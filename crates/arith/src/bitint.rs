@@ -1,0 +1,246 @@
+//! Fixed-width bit-vector integers: the number representation behind the
+//! dynamic multiplication of Proposition 4.7.
+//!
+//! All arithmetic is modulo `2^width` (the paper's products live in a
+//! fixed 2n-bit array, and the 0→1 / 1→0 cases add or two's-complement-
+//! subtract shifted operands — exactly wrap-around arithmetic).
+
+use std::fmt;
+
+/// An unsigned integer of a fixed bit width, little-endian limbs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitInt {
+    width: usize,
+    limbs: Vec<u64>,
+}
+
+impl BitInt {
+    /// Zero of the given width.
+    pub fn zero(width: usize) -> BitInt {
+        assert!(width > 0);
+        BitInt {
+            width,
+            limbs: vec![0; width.div_ceil(64)],
+        }
+    }
+
+    /// From a `u128` (truncated to `width`).
+    pub fn from_u128(width: usize, v: u128) -> BitInt {
+        let mut out = BitInt::zero(width);
+        for i in 0..width.min(128) {
+            if (v >> i) & 1 == 1 {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// To `u128`.
+    ///
+    /// # Panics
+    /// Panics if the value does not fit.
+    pub fn to_u128(&self) -> u128 {
+        assert!(
+            self.limbs.iter().skip(2).all(|&l| l == 0),
+            "value exceeds u128"
+        );
+        let lo = self.limbs[0] as u128;
+        let hi = *self.limbs.get(1).unwrap_or(&0) as u128;
+        lo | (hi << 64)
+    }
+
+    /// Bit width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Bit `i` (false beyond the width).
+    pub fn bit(&self, i: usize) -> bool {
+        if i >= self.width {
+            return false;
+        }
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i ≥ width`.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        assert!(i < self.width, "bit {i} out of width {}", self.width);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.limbs[i / 64] |= mask;
+        } else {
+            self.limbs[i / 64] &= !mask;
+        }
+    }
+
+    fn mask_top(&mut self) {
+        let extra = self.limbs.len() * 64 - self.width;
+        if extra > 0 {
+            let last = self.limbs.len() - 1;
+            self.limbs[last] &= u64::MAX >> extra;
+        }
+    }
+
+    /// `self + other (mod 2^width)`.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn wrapping_add(&self, other: &BitInt) -> BitInt {
+        assert_eq!(self.width, other.width);
+        let mut out = BitInt::zero(self.width);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len() {
+            let (s1, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        out.mask_top();
+        out
+    }
+
+    /// `self - other (mod 2^width)` — addition of the two's complement,
+    /// as in the paper's 1→0 update case.
+    pub fn wrapping_sub(&self, other: &BitInt) -> BitInt {
+        self.wrapping_add(&other.twos_complement())
+    }
+
+    /// Two's complement `(¬self) + 1 (mod 2^width)`.
+    pub fn twos_complement(&self) -> BitInt {
+        let mut flipped = BitInt {
+            width: self.width,
+            limbs: self.limbs.iter().map(|&l| !l).collect(),
+        };
+        flipped.mask_top();
+        flipped.wrapping_add(&BitInt::from_u128(self.width, 1))
+    }
+
+    /// `self << k (mod 2^width)`.
+    pub fn shl(&self, k: usize) -> BitInt {
+        let mut out = BitInt::zero(self.width);
+        for i in 0..self.width.saturating_sub(k) {
+            if self.bit(i) {
+                out.set_bit(i + k, true);
+            }
+        }
+        out
+    }
+
+    /// Zero-extend or truncate to a new width.
+    pub fn resize(&self, width: usize) -> BitInt {
+        let mut out = BitInt::zero(width);
+        for i in 0..width.min(self.width) {
+            if self.bit(i) {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Schoolbook multiplication into `out_width` bits — the static
+    /// recompute oracle of Proposition 4.7.
+    pub fn school_mul(&self, other: &BitInt, out_width: usize) -> BitInt {
+        let mut acc = BitInt::zero(out_width);
+        let wide = self.resize(out_width);
+        for i in 0..other.width {
+            if other.bit(i) {
+                acc = acc.wrapping_add(&wide.shl(i));
+            }
+        }
+        acc
+    }
+}
+
+impl fmt::Display for BitInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Most significant bit first.
+        for i in (0..self.width).rev() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn round_trips_u128() {
+        for v in [0u128, 1, 5, 255, 1 << 40, u64::MAX as u128 + 17] {
+            assert_eq!(BitInt::from_u128(80, v).to_u128(), v);
+        }
+    }
+
+    #[test]
+    fn bit_get_set() {
+        let mut b = BitInt::zero(70);
+        b.set_bit(0, true);
+        b.set_bit(69, true);
+        assert!(b.bit(0) && b.bit(69) && !b.bit(35));
+        b.set_bit(69, false);
+        assert!(!b.bit(69));
+        assert!(!b.bit(1000)); // out of width reads as 0
+    }
+
+    #[test]
+    fn add_wraps_at_width() {
+        let a = BitInt::from_u128(8, 200);
+        let b = BitInt::from_u128(8, 100);
+        assert_eq!(a.wrapping_add(&b).to_u128(), 300 % 256);
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = BitInt::from_u128(128, u64::MAX as u128);
+        let b = BitInt::from_u128(128, 1);
+        assert_eq!(a.wrapping_add(&b).to_u128(), (u64::MAX as u128) + 1);
+    }
+
+    #[test]
+    fn sub_is_twos_complement_add() {
+        let a = BitInt::from_u128(16, 1000);
+        let b = BitInt::from_u128(16, 300);
+        assert_eq!(a.wrapping_sub(&b).to_u128(), 700);
+        // Underflow wraps.
+        assert_eq!(b.wrapping_sub(&a).to_u128(), (65536 + 300 - 1000) as u128);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BitInt::from_u128(16, 0b1011);
+        assert_eq!(a.shl(4).to_u128(), 0b1011_0000);
+        // Shifted past the width: bits fall off.
+        assert_eq!(a.shl(14).to_u128(), 0b11 << 14);
+    }
+
+    #[test]
+    fn school_mul_matches_u128() {
+        let mut rng = rand::thread_rng();
+        for _ in 0..200 {
+            let x: u64 = rng.gen::<u64>() >> 16;
+            let y: u64 = rng.gen::<u64>() >> 16;
+            let a = BitInt::from_u128(48, x as u128);
+            let b = BitInt::from_u128(48, y as u128);
+            assert_eq!(
+                a.school_mul(&b, 96).to_u128(),
+                (x as u128) * (y as u128),
+                "{x} * {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_msb_first() {
+        assert_eq!(BitInt::from_u128(4, 0b1010).to_string(), "1010");
+    }
+}

@@ -1,0 +1,175 @@
+//! Dynamic multiplication (Proposition 4.7).
+//!
+//! Maintains the product `P = x · y (mod 2^{2n})` of two n-bit numbers
+//! under single-bit changes:
+//!
+//! * `Change(x, i, 0→1)`: `P += (y << i)` — one shifted addition;
+//! * `Change(x, i, 1→0)`: `P += twos_complement(y << i)` — i.e.
+//!   subtract;
+//!
+//! (and symmetrically for `y`). Each case is one FO-expressible addition
+//! (see [`crate::foadd`]), versus the `Θ(n)` shifted additions of a
+//! from-scratch schoolbook multiply — the Proposition 4.7 gap.
+
+use crate::bitint::BitInt;
+
+/// Which operand a bit-change targets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// The multiplicand `x`.
+    X,
+    /// The multiplier `y`.
+    Y,
+}
+
+/// A dynamically maintained product of two n-bit numbers.
+#[derive(Clone, Debug)]
+pub struct DynProduct {
+    x: BitInt,
+    y: BitInt,
+    product: BitInt, // width 2n
+    additions: u64,
+}
+
+impl DynProduct {
+    /// Both operands zero, n bits each.
+    pub fn new(n: usize) -> DynProduct {
+        DynProduct {
+            x: BitInt::zero(n),
+            y: BitInt::zero(n),
+            product: BitInt::zero(2 * n),
+            additions: 0,
+        }
+    }
+
+    /// Operand width n.
+    pub fn n(&self) -> usize {
+        self.x.width()
+    }
+
+    /// Current x.
+    pub fn x(&self) -> &BitInt {
+        &self.x
+    }
+
+    /// Current y.
+    pub fn y(&self) -> &BitInt {
+        &self.y
+    }
+
+    /// The maintained product (2n bits).
+    pub fn product(&self) -> &BitInt {
+        &self.product
+    }
+
+    /// Wide additions performed so far (1 per effective update).
+    pub fn additions(&self) -> u64 {
+        self.additions
+    }
+
+    /// Set bit `i` of the chosen operand to `value`, updating the
+    /// product with a single shifted (two's-complement) addition.
+    ///
+    /// # Panics
+    /// Panics if `i ≥ n`.
+    pub fn change(&mut self, op: Operand, i: usize, value: bool) {
+        let (target_is_x, other) = match op {
+            Operand::X => (true, &self.y),
+            Operand::Y => (false, &self.x),
+        };
+        let current = if target_is_x { self.x.bit(i) } else { self.y.bit(i) };
+        if current == value {
+            return; // no actual change; P is already correct
+        }
+        let shifted = other.resize(2 * self.n()).shl(i);
+        self.product = if value {
+            self.product.wrapping_add(&shifted)
+        } else {
+            // The paper's 1→0 case: add the two's complement.
+            self.product.wrapping_add(&shifted.twos_complement())
+        };
+        self.additions += 1;
+        if target_is_x {
+            self.x.set_bit(i, value);
+        } else {
+            self.y.set_bit(i, value);
+        }
+    }
+
+    /// Recompute the product from scratch (the static baseline).
+    pub fn recompute(&self) -> BitInt {
+        self.x.school_mul(&self.y, 2 * self.n())
+    }
+
+    /// Check the maintained product against the from-scratch oracle.
+    pub fn is_consistent(&self) -> bool {
+        self.product == self.recompute()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn maintains_product_through_random_bit_flips() {
+        let mut rng = rand::thread_rng();
+        let n = 48;
+        let mut p = DynProduct::new(n);
+        for _ in 0..500 {
+            let op = if rng.gen_bool(0.5) { Operand::X } else { Operand::Y };
+            let i = rng.gen_range(0..n);
+            let value = rng.gen_bool(0.5);
+            p.change(op, i, value);
+            assert!(p.is_consistent(), "x={} y={}", p.x(), p.y());
+        }
+    }
+
+    #[test]
+    fn small_product_example() {
+        let mut p = DynProduct::new(8);
+        // x = 6 (bits 1, 2), y = 5 (bits 0, 2).
+        p.change(Operand::X, 1, true);
+        p.change(Operand::X, 2, true);
+        p.change(Operand::Y, 0, true);
+        p.change(Operand::Y, 2, true);
+        assert_eq!(p.product().to_u128(), 30);
+        // Flip a bit of y off: y = 1 → product 6.
+        p.change(Operand::Y, 2, false);
+        assert_eq!(p.product().to_u128(), 6);
+    }
+
+    #[test]
+    fn redundant_changes_cost_nothing() {
+        let mut p = DynProduct::new(8);
+        p.change(Operand::X, 3, true);
+        let adds = p.additions();
+        p.change(Operand::X, 3, true); // already 1
+        assert_eq!(p.additions(), adds);
+        p.change(Operand::Y, 0, false); // already 0
+        assert_eq!(p.additions(), adds);
+    }
+
+    #[test]
+    fn one_addition_per_effective_update() {
+        let mut p = DynProduct::new(32);
+        for i in 0..10 {
+            p.change(Operand::X, i, true);
+        }
+        assert_eq!(p.additions(), 10);
+    }
+
+    #[test]
+    fn product_width_holds_full_result() {
+        let n = 16;
+        let mut p = DynProduct::new(n);
+        for i in 0..n {
+            p.change(Operand::X, i, true);
+            p.change(Operand::Y, i, true);
+        }
+        // (2^16 − 1)² needs 32 bits: no overflow in 2n.
+        assert_eq!(p.product().to_u128(), (65535u128) * 65535);
+        assert!(p.is_consistent());
+    }
+}

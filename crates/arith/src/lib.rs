@@ -1,0 +1,12 @@
+//! # dynfo-arith
+//!
+//! Arithmetic substrate for Proposition 4.7: fixed-width bit-vector
+//! integers, first-order carry-lookahead addition (evaluated by the
+//! `dynfo-logic` engine), and the dynamic multiplication structure.
+
+pub mod bitint;
+pub mod dynmul;
+pub mod foadd;
+
+pub use bitint::BitInt;
+pub use dynmul::{DynProduct, Operand};

@@ -1,0 +1,220 @@
+//! Deterministic finite automata over small alphabets.
+//!
+//! The substrate for Theorem 4.6 ("every regular language is in
+//! Dyn-FO"): states are `u8` (the paper's programs store transition
+//! *functions* `Q → Q` as bounded-size tables, so |Q| ≤ 255 keeps those
+//! tables tiny), symbols are indexes into an alphabet.
+
+use std::collections::BTreeSet;
+
+/// State id.
+pub type State = u8;
+
+/// Symbol id (index into the DFA's alphabet).
+pub type SymbolId = usize;
+
+/// A deterministic finite automaton.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Dfa {
+    /// Number of states; states are `0..num_states`.
+    num_states: State,
+    /// Alphabet characters (for parsing input strings).
+    alphabet: Vec<char>,
+    /// `delta[sym][q]` = next state.
+    delta: Vec<Vec<State>>,
+    /// Start state.
+    start: State,
+    /// Accepting states.
+    accepting: BTreeSet<State>,
+}
+
+impl Dfa {
+    /// Build a DFA.
+    ///
+    /// # Panics
+    /// Panics if the transition table shape is inconsistent or any
+    /// target state is out of range.
+    pub fn new(
+        num_states: State,
+        alphabet: &[char],
+        delta: Vec<Vec<State>>,
+        start: State,
+        accepting: impl IntoIterator<Item = State>,
+    ) -> Dfa {
+        assert_eq!(delta.len(), alphabet.len(), "one row per symbol");
+        for row in &delta {
+            assert_eq!(row.len(), num_states as usize, "one entry per state");
+            assert!(row.iter().all(|&q| q < num_states), "target out of range");
+        }
+        assert!(start < num_states);
+        let accepting: BTreeSet<State> = accepting.into_iter().collect();
+        assert!(accepting.iter().all(|&q| q < num_states));
+        Dfa {
+            num_states,
+            alphabet: alphabet.to_vec(),
+            delta,
+            start,
+            accepting,
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> State {
+        self.num_states
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &[char] {
+        &self.alphabet
+    }
+
+    /// The symbol id of a character, if in the alphabet.
+    pub fn symbol(&self, c: char) -> Option<SymbolId> {
+        self.alphabet.iter().position(|&a| a == c)
+    }
+
+    /// Start state.
+    pub fn start(&self) -> State {
+        self.start
+    }
+
+    /// Is `q` accepting?
+    pub fn is_accepting(&self, q: State) -> bool {
+        self.accepting.contains(&q)
+    }
+
+    /// One transition step.
+    pub fn step(&self, q: State, sym: SymbolId) -> State {
+        self.delta[sym][q as usize]
+    }
+
+    /// The transition function `δ(·, sym)` as a table.
+    pub fn transition_map(&self, sym: SymbolId) -> Vec<State> {
+        self.delta[sym].clone()
+    }
+
+    /// Run on a symbol sequence from the start state.
+    pub fn run(&self, syms: impl IntoIterator<Item = SymbolId>) -> State {
+        syms.into_iter().fold(self.start, |q, s| self.step(q, s))
+    }
+
+    /// Accept a character string (`None` symbols are skipped — the
+    /// "empty" positions of a dynamic string).
+    ///
+    /// # Panics
+    /// Panics if a character is not in the alphabet.
+    pub fn accepts(&self, input: &str) -> bool {
+        let q = self.run(input.chars().map(|c| {
+            self.symbol(c)
+                .unwrap_or_else(|| panic!("character {c:?} not in alphabet"))
+        }));
+        self.is_accepting(q)
+    }
+}
+
+/// `L = { w : the number of `target` characters in w is ≡ r mod m }`.
+pub fn count_mod(alphabet: &[char], target: char, m: u8, r: u8) -> Dfa {
+    assert!(m > 0 && r < m);
+    let delta = alphabet
+        .iter()
+        .map(|&c| {
+            (0..m)
+                .map(|q| if c == target { (q + 1) % m } else { q })
+                .collect()
+        })
+        .collect();
+    Dfa::new(m, alphabet, delta, 0, [r])
+}
+
+/// `L = { w : w contains `pattern` as a substring }` (KMP-style states).
+pub fn contains_substring(alphabet: &[char], pattern: &str) -> Dfa {
+    let pat: Vec<char> = pattern.chars().collect();
+    let m = pat.len();
+    assert!(m > 0 && m < 255, "pattern length in 1..255");
+    // State q = length of the longest prefix of `pat` matching a suffix
+    // of the input; state m is absorbing (found).
+    let mut delta = vec![vec![0 as State; m + 1]; alphabet.len()];
+    for (si, &c) in alphabet.iter().enumerate() {
+        for q in 0..=m {
+            if q == m {
+                delta[si][q] = m as State;
+                continue;
+            }
+            // Longest k ≤ q+1 such that pat[..k] is a suffix of
+            // pat[..q] + c.
+            let mut text: Vec<char> = pat[..q].to_vec();
+            text.push(c);
+            let mut k = (q + 1).min(m);
+            loop {
+                if text[text.len() - k..] == pat[..k] {
+                    break;
+                }
+                k -= 1;
+            }
+            delta[si][q] = k as State;
+        }
+    }
+    Dfa::new((m + 1) as State, alphabet, delta, 0, [m as State])
+}
+
+/// Strings over {a, b} of the form `a*b*` (no `a` after a `b`).
+pub fn a_star_b_star() -> Dfa {
+    // States: 0 = reading a's, 1 = reading b's, 2 = dead.
+    let delta = vec![
+        vec![0, 2, 2], // on 'a'
+        vec![1, 1, 2], // on 'b'
+    ];
+    Dfa::new(3, &['a', 'b'], delta, 0, [0, 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_mod_accepts_correctly() {
+        let even_a = count_mod(&['a', 'b'], 'a', 2, 0);
+        assert!(even_a.accepts(""));
+        assert!(even_a.accepts("aab"));
+        assert!(!even_a.accepts("ab"));
+        assert!(even_a.accepts("bb"));
+        let three_mod = count_mod(&['a', 'b'], 'b', 3, 1);
+        assert!(three_mod.accepts("b"));
+        assert!(!three_mod.accepts("bb"));
+        assert!(three_mod.accepts("abbbab"));
+    }
+
+    #[test]
+    fn substring_matcher() {
+        let d = contains_substring(&['a', 'b'], "abba");
+        assert!(d.accepts("abba"));
+        assert!(d.accepts("bbabbab"));
+        assert!(!d.accepts("ababab"));
+        assert!(!d.accepts(""));
+        // Overlapping prefixes handled (KMP failure links).
+        let e = contains_substring(&['a', 'b'], "aab");
+        assert!(e.accepts("aaab"));
+    }
+
+    #[test]
+    fn a_star_b_star_language() {
+        let d = a_star_b_star();
+        assert!(d.accepts(""));
+        assert!(d.accepts("aaabb"));
+        assert!(d.accepts("bb"));
+        assert!(!d.accepts("aba"));
+    }
+
+    #[test]
+    fn run_composes_steps() {
+        let d = count_mod(&['x'], 'x', 4, 0);
+        assert_eq!(d.run([0, 0, 0]), 3);
+        assert_eq!(d.run([0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in alphabet")]
+    fn foreign_character_panics() {
+        a_star_b_star().accepts("abc");
+    }
+}

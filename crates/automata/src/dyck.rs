@@ -1,0 +1,268 @@
+//! Dyck languages `D^k` (Proposition 4.8): balanced parentheses of `k`
+//! types, maintained dynamically.
+//!
+//! The paper's Dyn-FO algorithm maintains the *level* of every position
+//! (the prefix-sum trick of \[BC89\]) — an O(1)-depth, O(n)-work parallel
+//! update — and answers membership with an FO sentence over levels.
+//! The sequential mirror here is the classic segment tree of
+//! *irreducible forms*: every substring of a Dyck word reduces (by
+//! cancelling matched pairs) to a sequence of unmatched closers followed
+//! by unmatched openers; two children merge by matching the left child's
+//! openers against the right child's closers, checking types. The root
+//! reduces to the empty form iff the string is in `D^k`.
+//!
+//! Updates touch O(log n) nodes (each merge costs the irreducible
+//! lengths, which stay short on balanced-ish workloads); membership is
+//! O(1) at the root.
+
+/// One parenthesis: a type in `0..k` and an orientation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Paren {
+    /// Parenthesis type.
+    pub ty: u8,
+    /// True = opening.
+    pub open: bool,
+}
+
+impl Paren {
+    /// Opening parenthesis of type `ty`.
+    pub fn open(ty: u8) -> Paren {
+        Paren { ty, open: true }
+    }
+
+    /// Closing parenthesis of type `ty`.
+    pub fn close(ty: u8) -> Paren {
+        Paren { ty, open: false }
+    }
+}
+
+/// Irreducible form of a segment: unmatched closers (left to right),
+/// then unmatched openers. `None` = a type mismatch occurred inside the
+/// segment (the segment can never participate in a valid word until
+/// edited).
+type Form = Option<(Vec<u8>, Vec<u8>)>;
+
+fn leaf_form(slot: Option<Paren>) -> Form {
+    match slot {
+        None => Some((Vec::new(), Vec::new())),
+        Some(p) if p.open => Some((Vec::new(), vec![p.ty])),
+        Some(p) => Some((vec![p.ty], Vec::new())),
+    }
+}
+
+fn merge(left: &Form, right: &Form) -> Form {
+    let (lc, lo) = left.as_ref()?;
+    let (rc, ro) = right.as_ref()?;
+    let m = lo.len().min(rc.len());
+    // The last m openers of the left meet the first m closers of the
+    // right, innermost pair first.
+    for i in 0..m {
+        if lo[lo.len() - 1 - i] != rc[i] {
+            return None;
+        }
+    }
+    let mut closers = lc.clone();
+    closers.extend_from_slice(&rc[m..]);
+    let mut openers: Vec<u8> = lo[..lo.len() - m].to_vec();
+    openers.extend_from_slice(ro);
+    Some((closers, openers))
+}
+
+/// A dynamic parenthesis string with O(log n)-node membership
+/// maintenance for `D^k`.
+#[derive(Clone, Debug)]
+pub struct DynDyck {
+    k: u8,
+    leaves: usize,
+    slots: Vec<Option<Paren>>,
+    tree: Vec<Form>,
+    merges: u64,
+}
+
+impl DynDyck {
+    /// An all-empty string of capacity `n` over `k` parenthesis types.
+    pub fn new(k: u8, n: usize) -> DynDyck {
+        assert!(k > 0 && n > 0);
+        let leaves = n.next_power_of_two();
+        DynDyck {
+            k,
+            leaves,
+            slots: vec![None; n],
+            tree: vec![Some((Vec::new(), Vec::new())); 2 * leaves],
+            merges: 0,
+        }
+    }
+
+    /// Capacity.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True iff all positions are empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// The parenthesis at `pos`.
+    pub fn get(&self, pos: usize) -> Option<Paren> {
+        self.slots[pos]
+    }
+
+    /// Place `p` at `pos` (replacing whatever was there). O(log n) nodes.
+    ///
+    /// # Panics
+    /// Panics if the type is out of range.
+    pub fn set(&mut self, pos: usize, p: Option<Paren>) {
+        if let Some(p) = p {
+            assert!(p.ty < self.k, "type {} out of range {}", p.ty, self.k);
+        }
+        self.slots[pos] = p;
+        let mut vtx = self.leaves + pos;
+        self.tree[vtx] = leaf_form(p);
+        while vtx > 1 {
+            vtx /= 2;
+            self.tree[vtx] = merge(&self.tree[2 * vtx], &self.tree[2 * vtx + 1]);
+            self.merges += 1;
+        }
+    }
+
+    /// Insert an opening parenthesis.
+    pub fn insert_open(&mut self, pos: usize, ty: u8) {
+        self.set(pos, Some(Paren::open(ty)));
+    }
+
+    /// Insert a closing parenthesis.
+    pub fn insert_close(&mut self, pos: usize, ty: u8) {
+        self.set(pos, Some(Paren::close(ty)));
+    }
+
+    /// Empty the position.
+    pub fn delete(&mut self, pos: usize) {
+        self.set(pos, None);
+    }
+
+    /// Is the current string in `D^k`? O(1).
+    pub fn balanced(&self) -> bool {
+        matches!(&self.tree[1], Some((c, o)) if c.is_empty() && o.is_empty())
+    }
+
+    /// Node merges performed so far.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// The current string as characters, k ≤ 4: `([{<` and `)]}>`.
+    pub fn string(&self) -> String {
+        const OPEN: [char; 4] = ['(', '[', '{', '<'];
+        const CLOSE: [char; 4] = [')', ']', '}', '>'];
+        self.slots
+            .iter()
+            .flatten()
+            .map(|p| {
+                if p.open {
+                    OPEN[p.ty as usize]
+                } else {
+                    CLOSE[p.ty as usize]
+                }
+            })
+            .collect()
+    }
+}
+
+/// Static oracle: stack-based Dyck check over the occupied positions.
+pub fn dyck_valid(slots: &[Option<Paren>]) -> bool {
+    let mut stack: Vec<u8> = Vec::new();
+    for p in slots.iter().flatten() {
+        if p.open {
+            stack.push(p.ty);
+        } else {
+            match stack.pop() {
+                Some(ty) if ty == p.ty => {}
+                _ => return false,
+            }
+        }
+    }
+    stack.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn simple_balance() {
+        let mut d = DynDyck::new(2, 8);
+        assert!(d.balanced()); // empty
+        d.insert_open(0, 0);
+        assert!(!d.balanced());
+        d.insert_close(3, 0);
+        assert!(d.balanced()); // "()"
+        d.insert_open(1, 1);
+        d.insert_close(2, 1);
+        assert!(d.balanced()); // "([])"
+        assert_eq!(d.string(), "([])");
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let mut d = DynDyck::new(2, 4);
+        d.insert_open(0, 0);
+        d.insert_close(1, 1); // "(]"
+        assert!(!d.balanced());
+        d.insert_close(1, 0);
+        assert!(d.balanced());
+    }
+
+    #[test]
+    fn wrong_order_detected() {
+        let mut d = DynDyck::new(1, 4);
+        d.insert_close(0, 0);
+        d.insert_open(1, 0); // ")("
+        assert!(!d.balanced());
+    }
+
+    #[test]
+    fn edits_flip_membership() {
+        let mut d = DynDyck::new(2, 8);
+        // "([])" then corrupt the inner pair, then heal it.
+        d.insert_open(0, 0);
+        d.insert_open(1, 1);
+        d.insert_close(2, 1);
+        d.insert_close(3, 0);
+        assert!(d.balanced());
+        d.set(2, Some(Paren::close(0))); // "([0)" mismatch
+        assert!(!d.balanced());
+        d.set(2, Some(Paren::close(1)));
+        assert!(d.balanced());
+        d.delete(1);
+        assert!(!d.balanced()); // "(])"
+        d.delete(2);
+        assert!(d.balanced()); // "()"
+    }
+
+    #[test]
+    fn agrees_with_stack_oracle_under_random_edits() {
+        let mut rng = rand::thread_rng();
+        for k in [1u8, 2, 4] {
+            let n = 64;
+            let mut d = DynDyck::new(k, n);
+            for _ in 0..400 {
+                let pos = rng.gen_range(0..n);
+                let action = rng.gen_range(0..3);
+                match action {
+                    0 => d.insert_open(pos, rng.gen_range(0..k)),
+                    1 => d.insert_close(pos, rng.gen_range(0..k)),
+                    _ => d.delete(pos),
+                }
+                assert_eq!(d.balanced(), dyck_valid(&d.slots), "string {:?}", d.string());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn type_out_of_range_panics() {
+        DynDyck::new(2, 4).insert_open(0, 2);
+    }
+}

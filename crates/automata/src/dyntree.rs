@@ -1,0 +1,266 @@
+//! The Theorem 4.6 structure: a balanced binary tree of transition-
+//! function compositions, supporting O(log n)-node updates to a dynamic
+//! string and O(1) membership queries for a fixed regular language.
+//!
+//! Leaf `i` stores the transition function `δ(·, wᵢ) : Q → Q` of the
+//! character at position `i` (the identity for an *empty* position —
+//! the paper treats deletion as setting the position to the empty
+//! string). Each internal node stores the composition of its children,
+//! so the root holds `δ*(·, w)` and `w ∈ L(D)` iff the root map sends
+//! the start state into an accepting state.
+//!
+//! This is precisely the data structure the paper's FO+BIT formula
+//! addresses: the log n changed nodes per update are the ancestors of
+//! the touched leaf, and the per-node recomputation is the bounded-size
+//! function composition. The FO-verifiability of one update (the paper's
+//! "guess the O(log n) changed bits, then universally verify" trick) is
+//! exposed as [`DynRegular::consistency_violations`] — a local check at
+//! every node.
+
+use crate::dfa::{Dfa, State, SymbolId};
+
+/// A transition function `Q → Q`, densely tabulated.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TransMap(Vec<State>);
+
+impl TransMap {
+    /// The identity map on `k` states.
+    pub fn identity(k: State) -> TransMap {
+        TransMap((0..k).collect())
+    }
+
+    /// Tabulate from a vector.
+    pub fn from_vec(v: Vec<State>) -> TransMap {
+        TransMap(v)
+    }
+
+    /// Apply to a state.
+    pub fn apply(&self, q: State) -> State {
+        self.0[q as usize]
+    }
+
+    /// Composition in *string order*: `f.then(&g)` is "read f's
+    /// substring, then g's substring" (i.e. `g ∘ f` as functions).
+    pub fn then(&self, g: &TransMap) -> TransMap {
+        TransMap(self.0.iter().map(|&q| g.apply(q)).collect())
+    }
+}
+
+/// A dynamic string with O(log n) regular-language membership
+/// maintenance for one fixed DFA.
+#[derive(Clone, Debug)]
+pub struct DynRegular {
+    dfa: Dfa,
+    /// Length of the (padded) position space: a power of two ≥ n.
+    leaves: usize,
+    /// The logical string: `None` = empty position.
+    chars: Vec<Option<SymbolId>>,
+    /// Heap-layout tree: `tree[1]` is the root; leaf `i` lives at
+    /// `leaves + i`. Node v's children are 2v and 2v+1.
+    tree: Vec<TransMap>,
+    /// Count of composition recomputations (for work accounting).
+    recomputations: u64,
+}
+
+impl DynRegular {
+    /// An all-empty string of capacity `n` positions.
+    pub fn new(dfa: Dfa, n: usize) -> DynRegular {
+        assert!(n > 0);
+        let leaves = n.next_power_of_two();
+        let k = dfa.num_states();
+        let tree = vec![TransMap::identity(k); 2 * leaves];
+        DynRegular {
+            dfa,
+            leaves,
+            chars: vec![None; n],
+            tree,
+            recomputations: 0,
+        }
+    }
+
+    /// Capacity (number of positions).
+    pub fn len(&self) -> usize {
+        self.chars.len()
+    }
+
+    /// True iff every position is empty.
+    pub fn is_empty(&self) -> bool {
+        self.chars.iter().all(Option::is_none)
+    }
+
+    /// The character at `pos` (symbol id), if any.
+    pub fn get(&self, pos: usize) -> Option<SymbolId> {
+        self.chars[pos]
+    }
+
+    /// Set position `pos` to character `c`. O(log n).
+    ///
+    /// # Panics
+    /// Panics if `c` is not in the DFA's alphabet.
+    pub fn insert_char(&mut self, pos: usize, c: char) {
+        let sym = self
+            .dfa
+            .symbol(c)
+            .unwrap_or_else(|| panic!("character {c:?} not in alphabet"));
+        self.set(pos, Some(sym));
+    }
+
+    /// Make position `pos` empty. O(log n).
+    pub fn delete_char(&mut self, pos: usize) {
+        self.set(pos, None);
+    }
+
+    /// Set position `pos` to an optional symbol. O(log n).
+    pub fn set(&mut self, pos: usize, sym: Option<SymbolId>) {
+        self.chars[pos] = sym;
+        let k = self.dfa.num_states();
+        let mut v = self.leaves + pos;
+        self.tree[v] = match sym {
+            None => TransMap::identity(k),
+            Some(s) => TransMap::from_vec(self.dfa.transition_map(s)),
+        };
+        self.recomputations += 1;
+        while v > 1 {
+            v /= 2;
+            self.tree[v] = self.tree[2 * v].then(&self.tree[2 * v + 1]);
+            self.recomputations += 1;
+        }
+    }
+
+    /// Is the current string in the language? O(1).
+    pub fn accepted(&self) -> bool {
+        let q = self.tree[1].apply(self.dfa.start());
+        self.dfa.is_accepting(q)
+    }
+
+    /// The current string (skipping empty positions).
+    pub fn string(&self) -> String {
+        self.chars
+            .iter()
+            .flatten()
+            .map(|&s| self.dfa.alphabet()[s])
+            .collect()
+    }
+
+    /// Total node recomputations so far (≈ (log n + 1) per update).
+    pub fn recomputations(&self) -> u64 {
+        self.recomputations
+    }
+
+    /// The paper's universal verification step: every internal node must
+    /// equal the composition of its children, and every leaf must match
+    /// its character. Returns the number of violated nodes (0 = the
+    /// guessed update is consistent). This is the FO-checkable local
+    /// condition that makes the "guess O(log n) bits" trick sound.
+    pub fn consistency_violations(&self) -> usize {
+        let k = self.dfa.num_states();
+        let mut bad = 0;
+        for v in 1..self.leaves {
+            if self.tree[v] != self.tree[2 * v].then(&self.tree[2 * v + 1]) {
+                bad += 1;
+            }
+        }
+        for (i, sym) in self.chars.iter().enumerate() {
+            let expected = match sym {
+                None => TransMap::identity(k),
+                Some(s) => TransMap::from_vec(self.dfa.transition_map(*s)),
+            };
+            if self.tree[self.leaves + i] != expected {
+                bad += 1;
+            }
+        }
+        // Padded leaves beyond n must stay identity.
+        for i in self.chars.len()..self.leaves {
+            if self.tree[self.leaves + i] != TransMap::identity(k) {
+                bad += 1;
+            }
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::{a_star_b_star, contains_substring, count_mod};
+    use rand::Rng;
+
+    #[test]
+    fn trans_map_composition_is_string_order() {
+        // f = "read a", g = "read b" for the a*b* DFA: reading "ab"
+        // from state 0 gives 1.
+        let d = a_star_b_star();
+        let f = TransMap::from_vec(d.transition_map(0));
+        let g = TransMap::from_vec(d.transition_map(1));
+        assert_eq!(f.then(&g).apply(0), 1);
+        // "ba" goes dead.
+        assert_eq!(g.then(&f).apply(0), 2);
+    }
+
+    #[test]
+    fn tracks_membership_through_edits() {
+        let mut s = DynRegular::new(a_star_b_star(), 8);
+        assert!(s.accepted()); // empty string
+        s.insert_char(0, 'a');
+        s.insert_char(3, 'b');
+        assert!(s.accepted()); // "ab"
+        s.insert_char(5, 'a'); // "aba"
+        assert!(!s.accepted());
+        s.delete_char(3); // "aa"
+        assert!(s.accepted());
+        assert_eq!(s.string(), "aa");
+    }
+
+    #[test]
+    fn agrees_with_direct_dfa_run_under_random_edits() {
+        let dfas = [
+            count_mod(&['a', 'b'], 'a', 3, 2),
+            contains_substring(&['a', 'b'], "abab"),
+            a_star_b_star(),
+        ];
+        let mut rng = rand::thread_rng();
+        for dfa in dfas {
+            let n = 64;
+            let mut s = DynRegular::new(dfa.clone(), n);
+            for _ in 0..300 {
+                let pos = rng.gen_range(0..n);
+                if rng.gen_bool(0.3) {
+                    s.delete_char(pos);
+                } else {
+                    let c = if rng.gen_bool(0.5) { 'a' } else { 'b' };
+                    s.insert_char(pos, c);
+                }
+                assert_eq!(s.accepted(), dfa.accepts(&s.string()));
+                assert_eq!(s.consistency_violations(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn update_cost_is_logarithmic() {
+        let dfa = count_mod(&['x'], 'x', 2, 0);
+        let mut s = DynRegular::new(dfa, 1 << 10);
+        let before = s.recomputations();
+        s.insert_char(513, 'x');
+        let cost = s.recomputations() - before;
+        assert_eq!(cost, 11); // leaf + 10 ancestors
+    }
+
+    #[test]
+    fn consistency_detects_corruption() {
+        let mut s = DynRegular::new(a_star_b_star(), 8);
+        s.insert_char(1, 'a');
+        assert_eq!(s.consistency_violations(), 0);
+        // Corrupt an internal node.
+        s.tree[2] = TransMap::from_vec(vec![2, 2, 2]);
+        assert!(s.consistency_violations() > 0);
+    }
+
+    #[test]
+    fn non_power_of_two_capacity_pads() {
+        let mut s = DynRegular::new(count_mod(&['x'], 'x', 2, 1), 5);
+        s.insert_char(4, 'x');
+        assert!(s.accepted());
+        assert_eq!(s.consistency_violations(), 0);
+    }
+}

@@ -1,0 +1,18 @@
+//! # dynfo-automata
+//!
+//! Regular-language and Dyck-language substrate for the Dyn-FO
+//! reproduction: DFAs, a regex → NFA → DFA pipeline, the Theorem 4.6
+//! balanced tree of transition-function compositions, and the
+//! Proposition 4.8 dynamic Dyck structure.
+
+pub mod dfa;
+pub mod dyck;
+pub mod dyntree;
+pub mod ops;
+pub mod regex;
+
+pub use dfa::{Dfa, State, SymbolId};
+pub use dyck::{dyck_valid, DynDyck, Paren};
+pub use dyntree::{DynRegular, TransMap};
+pub use ops::{complement, equivalent, intersect, is_empty, minimize, union};
+pub use regex::{compile, Nfa, Regex};

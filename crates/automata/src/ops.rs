@@ -1,0 +1,268 @@
+//! DFA algebra: complement, product (intersection/union), emptiness,
+//! equivalence, and Moore minimization.
+//!
+//! Rounds out the Theorem 4.6 substrate: experiments can build the
+//! language they need compositionally (e.g. "matches this regex AND has
+//! an even number of a's") and every construction stays a DFA, so the
+//! dynamic composition tree applies unchanged.
+
+use crate::dfa::{Dfa, State};
+use std::collections::{BTreeMap, VecDeque};
+
+/// The complement DFA (same alphabet, accepting set flipped).
+pub fn complement(d: &Dfa) -> Dfa {
+    let accepting: Vec<State> = (0..d.num_states())
+        .filter(|&q| !d.is_accepting(q))
+        .collect();
+    Dfa::new(
+        d.num_states(),
+        d.alphabet(),
+        (0..d.alphabet().len()).map(|s| d.transition_map(s)).collect(),
+        d.start(),
+        accepting,
+    )
+}
+
+/// Product construction. `accept` combines the component acceptances
+/// (⟨∧⟩ for intersection, ⟨∨⟩ for union).
+///
+/// # Panics
+/// Panics if the alphabets differ or the product exceeds 255 states.
+pub fn product(a: &Dfa, b: &Dfa, accept: impl Fn(bool, bool) -> bool) -> Dfa {
+    assert_eq!(a.alphabet(), b.alphabet(), "alphabet mismatch");
+    let (na, nb) = (a.num_states() as usize, b.num_states() as usize);
+    let total = na * nb;
+    assert!(total <= 255, "product DFA exceeds 255 states");
+    let code = |qa: State, qb: State| (qa as usize * nb + qb as usize) as State;
+    let delta = (0..a.alphabet().len())
+        .map(|s| {
+            let mut row = Vec::with_capacity(total);
+            for qa in 0..na as State {
+                for qb in 0..nb as State {
+                    row.push(code(a.step(qa, s), b.step(qb, s)));
+                }
+            }
+            row
+        })
+        .collect();
+    let mut accepting: Vec<State> = Vec::new();
+    for qa in 0..na as State {
+        for qb in 0..nb as State {
+            if accept(a.is_accepting(qa), b.is_accepting(qb)) {
+                accepting.push(code(qa, qb));
+            }
+        }
+    }
+    Dfa::new(
+        total as State,
+        a.alphabet(),
+        delta,
+        code(a.start(), b.start()),
+        accepting,
+    )
+}
+
+/// Intersection of two languages.
+pub fn intersect(a: &Dfa, b: &Dfa) -> Dfa {
+    product(a, b, |x, y| x && y)
+}
+
+/// Union of two languages.
+pub fn union(a: &Dfa, b: &Dfa) -> Dfa {
+    product(a, b, |x, y| x || y)
+}
+
+/// Is the language empty? (No accepting state reachable from start.)
+pub fn is_empty(d: &Dfa) -> bool {
+    let mut seen = vec![false; d.num_states() as usize];
+    let mut queue = VecDeque::from([d.start()]);
+    seen[d.start() as usize] = true;
+    while let Some(q) = queue.pop_front() {
+        if d.is_accepting(q) {
+            return false;
+        }
+        for s in 0..d.alphabet().len() {
+            let r = d.step(q, s);
+            if !seen[r as usize] {
+                seen[r as usize] = true;
+                queue.push_back(r);
+            }
+        }
+    }
+    true
+}
+
+/// Language equivalence: `(A ∩ ¬B) ∪ (¬A ∩ B)` is empty.
+pub fn equivalent(a: &Dfa, b: &Dfa) -> bool {
+    is_empty(&intersect(a, &complement(b))) && is_empty(&intersect(&complement(a), b))
+}
+
+/// Moore minimization: merge states indistinguishable by any suffix,
+/// dropping unreachable states first. The result accepts the same
+/// language with the minimum number of states.
+pub fn minimize(d: &Dfa) -> Dfa {
+    // 1. Keep only reachable states.
+    let mut reach = vec![false; d.num_states() as usize];
+    let mut queue = VecDeque::from([d.start()]);
+    reach[d.start() as usize] = true;
+    while let Some(q) = queue.pop_front() {
+        for s in 0..d.alphabet().len() {
+            let r = d.step(q, s);
+            if !reach[r as usize] {
+                reach[r as usize] = true;
+                queue.push_back(r);
+            }
+        }
+    }
+    let states: Vec<State> = (0..d.num_states()).filter(|&q| reach[q as usize]).collect();
+
+    // 2. Partition refinement: start with accepting/rejecting, split by
+    // successor blocks until stable.
+    let mut block: BTreeMap<State, usize> = states
+        .iter()
+        .map(|&q| (q, usize::from(d.is_accepting(q))))
+        .collect();
+    loop {
+        // Signature = (current block, successor blocks per symbol).
+        let mut sig_to_new: BTreeMap<Vec<usize>, usize> = BTreeMap::new();
+        let mut next: BTreeMap<State, usize> = BTreeMap::new();
+        for &q in &states {
+            let mut sig = vec![block[&q]];
+            for s in 0..d.alphabet().len() {
+                sig.push(block[&d.step(q, s)]);
+            }
+            let fresh = sig_to_new.len();
+            let id = *sig_to_new.entry(sig).or_insert(fresh);
+            next.insert(q, id);
+        }
+        if next == block {
+            break;
+        }
+        block = next;
+    }
+
+    // 3. Rebuild.
+    let num_blocks = block.values().copied().max().unwrap_or(0) + 1;
+    assert!(num_blocks <= 255);
+    let mut repr: Vec<Option<State>> = vec![None; num_blocks];
+    for &q in &states {
+        let b = block[&q];
+        if repr[b].is_none() {
+            repr[b] = Some(q);
+        }
+    }
+    let delta = (0..d.alphabet().len())
+        .map(|s| {
+            (0..num_blocks)
+                .map(|b| block[&d.step(repr[b].unwrap(), s)] as State)
+                .collect()
+        })
+        .collect();
+    let accepting: Vec<State> = (0..num_blocks)
+        .filter(|&b| d.is_accepting(repr[b].unwrap()))
+        .map(|b| b as State)
+        .collect();
+    Dfa::new(
+        num_blocks as State,
+        d.alphabet(),
+        delta,
+        block[&d.start()] as State,
+        accepting,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::{a_star_b_star, count_mod, Dfa};
+    use crate::regex::compile;
+
+    const AB: [char; 2] = ['a', 'b'];
+
+    fn strings_up_to(len: usize) -> Vec<String> {
+        let mut out = vec![String::new()];
+        let mut frontier = vec![String::new()];
+        for _ in 0..len {
+            let mut next = Vec::new();
+            for s in &frontier {
+                for c in AB {
+                    let mut t = s.clone();
+                    t.push(c);
+                    next.push(t);
+                }
+            }
+            out.extend(next.iter().cloned());
+            frontier = next;
+        }
+        out
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let d = a_star_b_star();
+        let c = complement(&d);
+        for s in strings_up_to(5) {
+            assert_eq!(d.accepts(&s), !c.accepts(&s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn intersection_and_union_semantics() {
+        let even_a = count_mod(&AB, 'a', 2, 0);
+        let shape = a_star_b_star();
+        let both = intersect(&even_a, &shape);
+        let either = union(&even_a, &shape);
+        for s in strings_up_to(6) {
+            assert_eq!(both.accepts(&s), even_a.accepts(&s) && shape.accepts(&s));
+            assert_eq!(either.accepts(&s), even_a.accepts(&s) || shape.accepts(&s));
+        }
+    }
+
+    #[test]
+    fn emptiness() {
+        let d = a_star_b_star();
+        assert!(!is_empty(&d));
+        // a*b* ∩ (b a anything) is empty… build as regex: strings
+        // starting "ba" never match a*b*.
+        let ba = compile("ba(a|b)*", &AB).unwrap();
+        assert!(is_empty(&intersect(&d, &ba)));
+    }
+
+    #[test]
+    fn equivalence_of_regexes() {
+        let a = compile("(ab)*", &AB).unwrap();
+        let b = compile("(ab)*(ab)*", &AB).unwrap();
+        assert!(equivalent(&a, &b));
+        let c = compile("(ab)+", &AB).unwrap();
+        assert!(!equivalent(&a, &c)); // ε
+    }
+
+    #[test]
+    fn minimize_reduces_and_preserves() {
+        // Subset construction outputs are rarely minimal.
+        let d = compile("(a|b)*abb", &AB).unwrap();
+        let m = minimize(&d);
+        assert!(m.num_states() <= d.num_states());
+        assert!(equivalent(&d, &m));
+        for s in strings_up_to(7) {
+            assert_eq!(d.accepts(&s), m.accepts(&s), "{s:?}");
+        }
+        // The canonical (a|b)*abb machine has exactly 4 states.
+        assert_eq!(m.num_states(), 4);
+    }
+
+    #[test]
+    fn minimize_drops_unreachable_states() {
+        // Hand-built DFA with a junk unreachable state.
+        let d = Dfa::new(
+            3,
+            &['x'],
+            vec![vec![0, 0, 2]],
+            0,
+            [0],
+        );
+        let m = minimize(&d);
+        assert_eq!(m.num_states(), 1);
+        assert!(m.accepts("xxx"));
+    }
+}

@@ -1,0 +1,352 @@
+//! A small regular-expression engine: parser → Thompson NFA → subset-
+//! construction DFA.
+//!
+//! Syntax: literals, concatenation, `|`, `*`, `+`, `?`, parentheses.
+//! This rounds out the regular-language substrate: Theorem 4.6
+//! experiments can take any regex, compile it, and maintain membership
+//! dynamically via [`crate::dyntree::DynRegular`].
+
+use crate::dfa::{Dfa, State};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Regex AST.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Regex {
+    /// The empty string ε.
+    Epsilon,
+    /// A single character.
+    Char(char),
+    /// Concatenation.
+    Concat(Box<Regex>, Box<Regex>),
+    /// Alternation.
+    Alt(Box<Regex>, Box<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+}
+
+/// Regex parse error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RegexError(pub String);
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// Parse a regular expression.
+pub fn parse(src: &str) -> Result<Regex, RegexError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut pos = 0;
+    let r = parse_alt(&chars, &mut pos)?;
+    if pos != chars.len() {
+        return Err(RegexError(format!("trailing input at {pos}")));
+    }
+    Ok(r)
+}
+
+fn parse_alt(cs: &[char], pos: &mut usize) -> Result<Regex, RegexError> {
+    let mut left = parse_concat(cs, pos)?;
+    while cs.get(*pos) == Some(&'|') {
+        *pos += 1;
+        let right = parse_concat(cs, pos)?;
+        left = Regex::Alt(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_concat(cs: &[char], pos: &mut usize) -> Result<Regex, RegexError> {
+    let mut parts: Vec<Regex> = Vec::new();
+    while let Some(&c) = cs.get(*pos) {
+        if c == '|' || c == ')' {
+            break;
+        }
+        parts.push(parse_postfix(cs, pos)?);
+    }
+    Ok(parts
+        .into_iter()
+        .reduce(|a, b| Regex::Concat(Box::new(a), Box::new(b)))
+        .unwrap_or(Regex::Epsilon))
+}
+
+fn parse_postfix(cs: &[char], pos: &mut usize) -> Result<Regex, RegexError> {
+    let mut base = parse_atom(cs, pos)?;
+    while let Some(&c) = cs.get(*pos) {
+        base = match c {
+            '*' => Regex::Star(Box::new(base)),
+            '+' => Regex::Concat(Box::new(base.clone()), Box::new(Regex::Star(Box::new(base)))),
+            '?' => Regex::Alt(Box::new(base), Box::new(Regex::Epsilon)),
+            _ => break,
+        };
+        *pos += 1;
+    }
+    Ok(base)
+}
+
+fn parse_atom(cs: &[char], pos: &mut usize) -> Result<Regex, RegexError> {
+    match cs.get(*pos) {
+        None => Err(RegexError("unexpected end".into())),
+        Some('(') => {
+            *pos += 1;
+            let inner = parse_alt(cs, pos)?;
+            if cs.get(*pos) != Some(&')') {
+                return Err(RegexError(format!("expected ')' at {pos:?}")));
+            }
+            *pos += 1;
+            Ok(inner)
+        }
+        Some(&c) if c == '*' || c == '+' || c == '?' || c == ')' || c == '|' => {
+            Err(RegexError(format!("unexpected {c:?} at {pos:?}")))
+        }
+        Some(&c) => {
+            *pos += 1;
+            Ok(Regex::Char(c))
+        }
+    }
+}
+
+/// A Thompson NFA with ε-moves.
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    /// Per-state character transitions.
+    trans: Vec<Vec<(char, usize)>>,
+    /// Per-state ε transitions.
+    eps: Vec<Vec<usize>>,
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    /// Thompson construction.
+    pub fn from_regex(r: &Regex) -> Nfa {
+        let mut nfa = Nfa {
+            trans: Vec::new(),
+            eps: Vec::new(),
+            start: 0,
+            accept: 0,
+        };
+        let (s, a) = nfa.build(r);
+        nfa.start = s;
+        nfa.accept = a;
+        nfa
+    }
+
+    fn fresh(&mut self) -> usize {
+        self.trans.push(Vec::new());
+        self.eps.push(Vec::new());
+        self.trans.len() - 1
+    }
+
+    fn build(&mut self, r: &Regex) -> (usize, usize) {
+        match r {
+            Regex::Epsilon => {
+                let s = self.fresh();
+                let a = self.fresh();
+                self.eps[s].push(a);
+                (s, a)
+            }
+            Regex::Char(c) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                self.trans[s].push((*c, a));
+                (s, a)
+            }
+            Regex::Concat(x, y) => {
+                let (sx, ax) = self.build(x);
+                let (sy, ay) = self.build(y);
+                self.eps[ax].push(sy);
+                (sx, ay)
+            }
+            Regex::Alt(x, y) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                let (sx, ax) = self.build(x);
+                let (sy, ay) = self.build(y);
+                self.eps[s].push(sx);
+                self.eps[s].push(sy);
+                self.eps[ax].push(a);
+                self.eps[ay].push(a);
+                (s, a)
+            }
+            Regex::Star(x) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                let (sx, ax) = self.build(x);
+                self.eps[s].push(sx);
+                self.eps[s].push(a);
+                self.eps[ax].push(sx);
+                self.eps[ax].push(a);
+                (s, a)
+            }
+        }
+    }
+
+    fn eps_closure(&self, set: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut out = set.clone();
+        let mut queue: VecDeque<usize> = set.iter().copied().collect();
+        while let Some(q) = queue.pop_front() {
+            for &r in &self.eps[q] {
+                if out.insert(r) {
+                    queue.push_back(r);
+                }
+            }
+        }
+        out
+    }
+
+    /// Subset construction over the given alphabet.
+    ///
+    /// # Panics
+    /// Panics if the construction needs more than 255 DFA states.
+    pub fn to_dfa(&self, alphabet: &[char]) -> Dfa {
+        let start_set = self.eps_closure(&BTreeSet::from([self.start]));
+        let mut ids: BTreeMap<BTreeSet<usize>, State> = BTreeMap::new();
+        let mut order: Vec<BTreeSet<usize>> = Vec::new();
+        ids.insert(start_set.clone(), 0);
+        order.push(start_set);
+        let mut delta: Vec<Vec<State>> = vec![Vec::new(); alphabet.len()];
+        let mut i = 0;
+        while i < order.len() {
+            let cur = order[i].clone();
+            for (si, &c) in alphabet.iter().enumerate() {
+                let mut next = BTreeSet::new();
+                for &q in &cur {
+                    for &(tc, r) in &self.trans[q] {
+                        if tc == c {
+                            next.insert(r);
+                        }
+                    }
+                }
+                let next = self.eps_closure(&next);
+                let id = *ids.entry(next.clone()).or_insert_with(|| {
+                    order.push(next);
+                    assert!(order.len() <= 255, "subset construction exceeds 255 states");
+                    (order.len() - 1) as State
+                });
+                delta[si].push(id);
+            }
+            i += 1;
+        }
+        let accepting: Vec<State> = order
+            .iter()
+            .enumerate()
+            .filter(|(_, set)| set.contains(&self.accept))
+            .map(|(i, _)| i as State)
+            .collect();
+        Dfa::new(order.len() as State, alphabet, delta, 0, accepting)
+    }
+}
+
+/// Compile a regex string straight to a DFA over `alphabet`.
+pub fn compile(src: &str, alphabet: &[char]) -> Result<Dfa, RegexError> {
+    Ok(Nfa::from_regex(&parse(src)?).to_dfa(alphabet))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matches(re: &str, input: &str) -> bool {
+        compile(re, &['a', 'b', 'c']).unwrap().accepts(input)
+    }
+
+    #[test]
+    fn literals_and_concat() {
+        assert!(matches("abc", "abc"));
+        assert!(!matches("abc", "ab"));
+        assert!(!matches("abc", "abcc"));
+    }
+
+    #[test]
+    fn alternation_and_grouping() {
+        assert!(matches("a|b", "a"));
+        assert!(matches("a|b", "b"));
+        assert!(!matches("a|b", "ab"));
+        assert!(matches("(ab|c)*", ""));
+        assert!(matches("(ab|c)*", "abccab"));
+        assert!(!matches("(ab|c)*", "ba"));
+    }
+
+    #[test]
+    fn star_plus_question() {
+        assert!(matches("a*", ""));
+        assert!(matches("a*", "aaaa"));
+        assert!(!matches("a+", ""));
+        assert!(matches("a+", "aa"));
+        assert!(matches("ab?c", "ac"));
+        assert!(matches("ab?c", "abc"));
+        assert!(!matches("ab?c", "abbc"));
+    }
+
+    #[test]
+    fn classic_even_count() {
+        // (b*ab*a)*b* — even number of a's.
+        let re = "(b*ab*a)*b*";
+        assert!(matches(re, ""));
+        assert!(matches(re, "aa"));
+        assert!(matches(re, "baba"));
+        assert!(!matches(re, "aaa"));
+        assert!(!matches(re, "a"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("(ab").is_err());
+        assert!(parse("*a").is_err());
+        assert!(parse("a)").is_err());
+        assert!(parse("a||b").is_ok()); // empty alternative = ε
+    }
+
+    #[test]
+    fn empty_regex_matches_empty() {
+        assert!(matches("", ""));
+        assert!(!matches("", "a"));
+    }
+
+    #[test]
+    fn dfa_agrees_with_backtracking_reference() {
+        // Brute-force reference: enumerate all strings up to length 6
+        // over {a,b} and compare against a simple recursive matcher.
+        fn reference(r: &Regex, s: &[char]) -> bool {
+            match r {
+                Regex::Epsilon => s.is_empty(),
+                Regex::Char(c) => s.len() == 1 && s[0] == *c,
+                Regex::Concat(x, y) => (0..=s.len())
+                    .any(|i| reference(x, &s[..i]) && reference(y, &s[i..])),
+                Regex::Alt(x, y) => reference(x, s) || reference(y, s),
+                Regex::Star(x) => {
+                    s.is_empty()
+                        || (1..=s.len())
+                            .any(|i| reference(x, &s[..i]) && reference(r, &s[i..]))
+                }
+            }
+        }
+        let res = ["(ab)*a?", "a(a|b)*b", "(a|ba)*", "(aa|bb)*(a|b)?"];
+        for src in res {
+            let ast = parse(src).unwrap();
+            let dfa = Nfa::from_regex(&ast).to_dfa(&['a', 'b']);
+            let mut strings = vec![String::new()];
+            for _ in 0..6 {
+                let mut next = Vec::new();
+                for s in &strings {
+                    next.push(format!("{s}a"));
+                    next.push(format!("{s}b"));
+                }
+                strings.extend(next);
+            }
+            strings.sort();
+            strings.dedup();
+            for s in &strings {
+                let chars: Vec<char> = s.chars().collect();
+                assert_eq!(
+                    dfa.accepts(s),
+                    reference(&ast, &chars),
+                    "regex {src:?} on {s:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! E03/E04 — REACH(acyclic) and transitive reduction (Theorem 4.2,
+//! Corollary 4.3): per-update maintenance vs closure/TR recompute.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynfo_bench::dag_workload;
+use dynfo_core::machine::DynFoMachine;
+use dynfo_core::native::NativeReachAcyclic;
+use dynfo_core::programs::{reach_acyclic, trans_reduction};
+use dynfo_core::request::Request;
+use dynfo_graph::graph::DiGraph;
+use dynfo_graph::transitive::{transitive_closure, transitive_reduction};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E03_reach_acyclic");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [8u32, 16, 32] {
+        let reqs = dag_workload(n, 20, 13);
+
+        group.bench_with_input(BenchmarkId::new("fo_update", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = DynFoMachine::new(reach_acyclic::program(), n);
+                for r in &reqs {
+                    m.apply(r).unwrap();
+                }
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("native_bitset", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = NativeReachAcyclic::new(n);
+                for r in &reqs {
+                    match r {
+                        Request::Ins(_, a) => m.insert(a[0], a[1]),
+                        Request::Del(_, a) => m.delete(a[0], a[1]),
+                        _ => {}
+                    }
+                }
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("static_closure", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut g = DiGraph::new(n);
+                for r in &reqs {
+                    match r {
+                        Request::Ins(_, a) => {
+                            g.insert(a[0], a[1]);
+                        }
+                        Request::Del(_, a) => {
+                            g.remove(a[0], a[1]);
+                        }
+                        _ => {}
+                    }
+                    std::hint::black_box(transitive_closure(&g));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("E04_transitive_reduction");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [8u32, 16] {
+        let reqs = dag_workload(n, 15, 17);
+
+        group.bench_with_input(BenchmarkId::new("fo_update", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = DynFoMachine::new(trans_reduction::program(), n);
+                for r in &reqs {
+                    m.apply(r).unwrap();
+                }
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("static_tr", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut g = DiGraph::new(n);
+                for r in &reqs {
+                    match r {
+                        Request::Ins(_, a) => {
+                            g.insert(a[0], a[1]);
+                        }
+                        Request::Del(_, a) => {
+                            g.remove(a[0], a[1]);
+                        }
+                        _ => {}
+                    }
+                    std::hint::black_box(transitive_reduction(&g));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

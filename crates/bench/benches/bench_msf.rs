@@ -1,0 +1,83 @@
+//! E05 — Minimum spanning forests (Theorem 4.4): dynamic maintenance vs
+//! Kruskal-from-scratch per update.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynfo_bench::weighted_workload;
+use dynfo_core::machine::DynFoMachine;
+use dynfo_core::native::NativeMsf;
+use dynfo_core::programs::msf;
+use dynfo_core::request::Request;
+use dynfo_graph::mst::{kruskal, WeightedGraph};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E05_msf");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [6u32, 8] {
+        let reqs = weighted_workload(n, 12, 19);
+
+        group.bench_with_input(BenchmarkId::new("fo_update", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = DynFoMachine::new(msf::program(), n);
+                for r in &reqs {
+                    m.apply(r).unwrap();
+                }
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("native_update", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = NativeMsf::new(n);
+                for r in &reqs {
+                    match r {
+                        Request::Ins(_, a) => m.insert(a[0], a[1], a[2]),
+                        Request::Del(_, a) => m.delete(a[0], a[1], a[2]),
+                        _ => {}
+                    }
+                }
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("kruskal_recompute", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut g = WeightedGraph::new(n);
+                for r in &reqs {
+                    match r {
+                        Request::Ins(_, a) => {
+                            g.insert(a[0], a[1], a[2]);
+                        }
+                        Request::Del(_, a) => {
+                            g.remove(a[0], a[1]);
+                        }
+                        _ => {}
+                    }
+                    std::hint::black_box(kruskal(&g));
+                }
+            })
+        });
+    }
+    // Native scales far beyond the interpreter: show one large point.
+    let n = 256u32;
+    let reqs = weighted_workload(n, 500, 20);
+    group.bench_function("native_update_n256", |b| {
+        b.iter(|| {
+            let mut m = NativeMsf::new(n);
+            for r in &reqs {
+                match r {
+                    Request::Ins(_, a) => m.insert(a[0], a[1], a[2]),
+                    Request::Del(_, a) => m.delete(a[0], a[1], a[2]),
+                    _ => {}
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E11 — Multiplication (Proposition 4.7): one shifted addition per bit
+//! change vs Θ(n) additions for a from-scratch schoolbook multiply.
+//!
+//! Expected shape: the dynamic change grows linearly in the *word*
+//! count (one wide add); the recompute grows quadratically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynfo_arith::{DynProduct, Operand};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_multiplication");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for bits in [64usize, 256, 1024, 4096] {
+        let mut p = DynProduct::new(bits);
+        for i in (0..bits).step_by(2) {
+            p.change(Operand::X, i, true);
+        }
+        for i in (0..bits).step_by(3) {
+            p.change(Operand::Y, i, true);
+        }
+        group.bench_with_input(BenchmarkId::new("dyn_change", bits), &bits, |b, &bits| {
+            let mut i = 0usize;
+            let mut on = false;
+            b.iter(|| {
+                i = (i * 48271 + 11) % bits;
+                on = !on;
+                p.change(Operand::X, i, on);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("school_recompute", bits), &bits, |b, _| {
+            b.iter(|| p.recompute())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

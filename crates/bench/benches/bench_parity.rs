@@ -1,0 +1,55 @@
+//! E01 — PARITY (Example 3.2): Dyn-FO update vs static recount.
+//!
+//! Expected shape: the static recount grows linearly in n; the native
+//! dynamic bit is flat; the interpreted FO update grows only with the
+//! input-copy materialization (and its *depth* is 0 — see the unit
+//! tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynfo_core::machine::DynFoMachine;
+use dynfo_core::programs::parity;
+use dynfo_core::request::Request;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E01_parity");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [64u32, 256, 1024] {
+        let reqs: Vec<Request> = (0..50)
+            .map(|i| Request::ins("M", [(i * 13) % n]))
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("fo_update", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = DynFoMachine::new(parity::program(), n);
+                for r in &reqs {
+                    m.apply(r).unwrap();
+                }
+                m.query().unwrap()
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("static_recount", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut bits = vec![false; n as usize];
+                let mut last = false;
+                for r in &reqs {
+                    if let Request::Ins(_, a) = r {
+                        bits[a[0] as usize] = true;
+                    }
+                    last = bits.iter().filter(|&&x| x).count() % 2 == 1;
+                }
+                last
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! E02 — REACH_u (Theorem 4.1): per-update cost of the interpreted FO
+//! program, the native spanning-forest mirror, and the static
+//! BFS-relabel baseline, across n.
+//!
+//! Expected shape: fo ≫ native > static at small n (interpreter
+//! constants), with static growing fastest in n·m; the native dynamic
+//! wins on sparse churn as n grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynfo_bench::undirected_workload;
+use dynfo_core::machine::DynFoMachine;
+use dynfo_core::native::NativeReachU;
+use dynfo_core::programs::reach_u;
+use dynfo_core::request::Request;
+use dynfo_graph::graph::Graph;
+use dynfo_graph::traversal::components;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E02_reach_u");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [8u32, 12, 16] {
+        let reqs = undirected_workload(n, 20, 11);
+
+        group.bench_with_input(BenchmarkId::new("fo_update", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = DynFoMachine::new(reach_u::program(), n);
+                for r in &reqs {
+                    m.apply(r).unwrap();
+                }
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("native_update", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = NativeReachU::new(n);
+                for r in &reqs {
+                    match r {
+                        Request::Ins(_, a) => m.insert(a[0], a[1]),
+                        Request::Del(_, a) => m.delete(a[0], a[1]),
+                        _ => {}
+                    }
+                }
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("static_relabel", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut g = Graph::new(n);
+                for r in &reqs {
+                    match r {
+                        Request::Ins(_, a) => {
+                            g.insert(a[0], a[1]);
+                        }
+                        Request::Del(_, a) => {
+                            g.remove(a[0], a[1]);
+                        }
+                        _ => {}
+                    }
+                    std::hint::black_box(components(&g));
+                }
+            })
+        });
+    }
+
+    // Query cost after a fixed prefix (O(1) table lookups in fo form).
+    let n = 16u32;
+    let reqs = undirected_workload(n, 40, 11);
+    let mut m = DynFoMachine::new(reach_u::program(), n);
+    for r in &reqs {
+        m.apply(r).unwrap();
+    }
+    group.bench_function("fo_query_connected", |b| {
+        b.iter(|| m.query_named("connected", &[0, n - 1]).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E13/E15 — Section 5 machinery: the Proposition 5.3 transfer's
+//! constant-factor overhead, and PAD(REACH_a)'s per-padded-step cost
+//! (Theorem 5.14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynfo_bench::edge_requests;
+use dynfo_core::machine::DynFoMachine;
+use dynfo_core::programs::reach_u;
+use dynfo_graph::generate::{churn_stream, rng};
+use dynfo_reductions::{reach_d_to_reach_u, AltUpdate, PaddedReachA, TransferMachine};
+
+fn bench_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E13_transfer");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [6u32, 8, 12] {
+        let ops = churn_stream(n, 20, 0.35, false, &mut rng(31));
+        let reqs = edge_requests("E", &ops);
+        group.bench_with_input(BenchmarkId::new("via_reduction", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m =
+                    TransferMachine::new(reach_d_to_reach_u(), reach_u::program(), n, 6).unwrap();
+                for r in &reqs {
+                    m.apply(r).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("direct_reach_u", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = DynFoMachine::new(reach_u::program(), n);
+                for r in &reqs {
+                    m.apply(r).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pad(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E15_pad_reach_a");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [16u32, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("padded_round", n), &n, |b, &n| {
+            let mut p = PaddedReachA::new(n, 0, n - 1);
+            for i in 0..n - 1 {
+                p.real_update(AltUpdate::InsEdge(i, i + 1));
+                p.finish_padding();
+            }
+            // One fresh update, then measure single padded rounds.
+            p.real_update(AltUpdate::DelEdge(n / 2, n / 2 + 1));
+            b.iter(|| {
+                let mut q = p.clone();
+                q.padded_step();
+                q
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_real_update", n), &n, |b, &n| {
+            let mut p = PaddedReachA::new(n, 0, n - 1);
+            for i in 0..n - 1 {
+                p.real_update(AltUpdate::InsEdge(i, i + 1));
+                p.finish_padding();
+            }
+            b.iter(|| {
+                let mut q = p.clone();
+                q.real_update(AltUpdate::DelEdge(n / 2, n / 2 + 1));
+                q.finish_padding();
+                q.query()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_transfer, bench_pad
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E10/E12 — Regular languages (Theorem 4.6) and Dyck languages
+//! (Proposition 4.8): O(log n) tree maintenance vs O(n) full rescans.
+//!
+//! Expected shape: tree update time grows like log n; rescans grow
+//! linearly; the crossover is immediate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynfo_automata::dfa::contains_substring;
+use dynfo_automata::dyck::{dyck_valid, DynDyck};
+use dynfo_automata::dyntree::DynRegular;
+
+fn bench_regular(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_regular");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let dfa = contains_substring(&['a', 'b'], "abba");
+    for exp in [8u32, 10, 12, 14] {
+        let n = 1usize << exp;
+        let mut s = DynRegular::new(dfa.clone(), n);
+        for i in (0..n).step_by(3) {
+            s.insert_char(i, if i % 2 == 0 { 'a' } else { 'b' });
+        }
+        group.bench_with_input(BenchmarkId::new("tree_update", n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i * 2654435761 + 17) % n;
+                s.insert_char(i, if i % 3 == 0 { 'b' } else { 'a' });
+                s.accepted()
+            })
+        });
+        let text = s.string();
+        group.bench_with_input(BenchmarkId::new("dfa_rerun", n), &n, |b, _| {
+            b.iter(|| dfa.accepts(std::hint::black_box(&text)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dyck(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E12_dyck");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for exp in [8u32, 10, 12, 14] {
+        let n = 1usize << exp;
+        let mut d = DynDyck::new(2, n);
+        for i in 0..n / 2 {
+            d.insert_open(2 * i, (i % 2) as u8);
+            d.insert_close(2 * i + 1, (i % 2) as u8);
+        }
+        group.bench_with_input(BenchmarkId::new("tree_update", n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i * 2654435761 + 29) % (n / 2);
+                d.insert_open(2 * i, 0);
+                d.insert_close(2 * i + 1, 0);
+                d.balanced()
+            })
+        });
+        let slots: Vec<_> = (0..n).map(|i| d.get(i)).collect();
+        group.bench_with_input(BenchmarkId::new("stack_rescan", n), &n, |b, _| {
+            b.iter(|| dyck_valid(std::hint::black_box(&slots)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_regular, bench_dyck
+}
+criterion_main!(benches);

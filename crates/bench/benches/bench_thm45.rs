@@ -1,0 +1,155 @@
+//! E06–E09 — the Theorem 4.5 quartet: bipartiteness, k-edge
+//! connectivity, maximal matching, lowest common ancestors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynfo_bench::undirected_workload;
+use dynfo_core::machine::DynFoMachine;
+use dynfo_core::native::NativeMatching;
+use dynfo_core::programs::{bipartite, kconn, lca, matching};
+use dynfo_core::request::Request;
+use dynfo_graph::bipartite::is_bipartite;
+use dynfo_graph::graph::Graph;
+
+fn bench_bipartite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E06_bipartite");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [6u32, 8, 12] {
+        let reqs = undirected_workload(n, 12, 23);
+        group.bench_with_input(BenchmarkId::new("fo_update", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = DynFoMachine::new(bipartite::program(), n);
+                for r in &reqs {
+                    m.apply(r).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("static_2coloring", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut g = Graph::new(n);
+                for r in &reqs {
+                    match r {
+                        Request::Ins(_, a) => {
+                            g.insert(a[0], a[1]);
+                        }
+                        Request::Del(_, a) => {
+                            g.remove(a[0], a[1]);
+                        }
+                        _ => {}
+                    }
+                    std::hint::black_box(is_bipartite(&g));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kconn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E07_kconn_query_vs_k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 6u32;
+    let mut machine = DynFoMachine::new(kconn::program_up_to(3), n);
+    let mut g = Graph::new(n);
+    for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (4, 5)] {
+        machine.apply(&Request::ins("E", [a, b])).unwrap();
+        g.insert(a, b);
+    }
+    for k in 1usize..=2 {
+        let name = format!("kconn{k}");
+        group.bench_with_input(BenchmarkId::new("fo_query", k), &k, |b, _| {
+            let mut m = machine.clone();
+            b.iter(|| m.query_named(&name, &[0, 2]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("flow_oracle", k), &k, |b, &k| {
+            b.iter(|| dynfo_graph::flow::k_edge_connected_pair(&g, 0, 2, k))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E08_matching");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [8u32, 16] {
+        let reqs = undirected_workload(n, 20, 29);
+        group.bench_with_input(BenchmarkId::new("fo_update", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = DynFoMachine::new(matching::program(), n);
+                for r in &reqs {
+                    m.apply(r).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("native_update", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = NativeMatching::new(n);
+                for r in &reqs {
+                    match r {
+                        Request::Ins(_, a) => m.insert(a[0], a[1]),
+                        Request::Del(_, a) => m.delete(a[0], a[1]),
+                        _ => {}
+                    }
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_recompute", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut g = Graph::new(n);
+                for r in &reqs {
+                    match r {
+                        Request::Ins(_, a) => {
+                            g.insert(a[0], a[1]);
+                        }
+                        Request::Del(_, a) => {
+                            g.remove(a[0], a[1]);
+                        }
+                        _ => {}
+                    }
+                    std::hint::black_box(dynfo_graph::matching::greedy_maximal_matching(&g));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lca(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E09_lca");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [8u32, 16] {
+        let reqs: Vec<Request> = (1..n)
+            .map(|v| Request::ins("E", [(v * 7 + 3) % v, v]))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("fo_build_forest", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = DynFoMachine::new(lca::program(), n);
+                for r in &reqs {
+                    m.apply(r).unwrap();
+                }
+            })
+        });
+        let mut m = DynFoMachine::new(lca::program(), n);
+        for r in &reqs {
+            m.apply(r).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("fo_query", n), &n, |b, _| {
+            b.iter(|| m.query_named("lca", &[n - 1, n - 2, 0]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_bipartite, bench_kconn, bench_matching, bench_lca
+}
+criterion_main!(benches);

@@ -1,0 +1,675 @@
+//! Regenerates every experiment table (E01–E16) from `DESIGN.md` /
+//! `EXPERIMENTS.md`.
+//!
+//! Run with: `cargo run --release -p dynfo-bench --bin tables`
+//!
+//! Times are microseconds per operation. Absolute numbers are
+//! machine-specific; the *shapes* (who grows with n, who stays flat,
+//! constant depth columns, expansion dichotomies) are what reproduce the
+//! paper's claims.
+
+use dynfo_bench::{
+    dag_workload, mean_update_seconds, row, timed, undirected_workload, us, weighted_workload,
+};
+use dynfo_core::machine::DynFoMachine;
+use dynfo_core::native::{NativeMatching, NativeMsf, NativeReachAcyclic, NativeReachU};
+use dynfo_core::programs;
+use dynfo_core::request::Request;
+use dynfo_graph::graph::{DiGraph, Graph};
+use dynfo_logic::parallel::{cram_depth, evaluate_parallel};
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn main() {
+    println!("Dyn-FO experiment tables (microseconds unless noted)");
+    e01_parity();
+    e02_reach_u();
+    e03_reach_acyclic();
+    e04_transitive_reduction();
+    e05_msf();
+    e06_bipartite();
+    e07_kconn();
+    e08_matching();
+    e09_lca();
+    e10_regular();
+    e11_multiplication();
+    e12_dyck();
+    e13_transfer();
+    e14_expansion();
+    e15_pad();
+    e16_parallel();
+    println!("\ndone.");
+}
+
+/// E01 — PARITY (Example 3.2): O(1)-depth dynamic bit vs O(n) recount.
+fn e01_parity() {
+    header("E01 PARITY (Ex 3.2): update vs static recount");
+    row(["n", "fo upd", "native upd", "recount", "depth"].map(String::from).as_ref());
+    for n in [64u32, 256, 1024] {
+        let program = programs::parity::program();
+        let depth = program.update_depth();
+        let mut machine = DynFoMachine::new(program, n);
+        let reqs: Vec<Request> = (0..200)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Request::del("M", [(i * 7) % n])
+                } else {
+                    Request::ins("M", [(i * 13) % n])
+                }
+            })
+            .collect();
+        let fo = mean_update_seconds(&mut machine, &reqs);
+
+        // Native: toggle a bit + parity flag.
+        let mut bits = vec![false; n as usize];
+        let mut parity = false;
+        let (_, native_total) = timed(|| {
+            for r in &reqs {
+                let (i, val) = match r {
+                    Request::Ins(_, a) => (a[0] as usize, true),
+                    Request::Del(_, a) => (a[0] as usize, false),
+                    _ => unreachable!(),
+                };
+                if bits[i] != val {
+                    bits[i] = val;
+                    parity = !parity;
+                }
+            }
+        });
+        // Static recount after each update.
+        let (_, recount_total) = timed(|| {
+            for r in &reqs {
+                let (i, val) = match r {
+                    Request::Ins(_, a) => (a[0] as usize, true),
+                    Request::Del(_, a) => (a[0] as usize, false),
+                    _ => unreachable!(),
+                };
+                bits[i] = val;
+                let _odd = bits.iter().filter(|&&b| b).count() % 2 == 1;
+                std::hint::black_box(_odd);
+            }
+        });
+        row(&[
+            n.to_string(),
+            us(fo),
+            us(native_total / reqs.len() as f64),
+            us(recount_total / reqs.len() as f64),
+            depth.to_string(),
+        ]);
+    }
+}
+
+/// E02 — REACH_u (Thm 4.1).
+fn e02_reach_u() {
+    header("E02 REACH_u (Thm 4.1): fo vs native vs BFS-relabel per update");
+    row(["n", "fo upd", "native upd", "static upd", "fo query", "depth"]
+        .map(String::from).as_ref());
+    for n in [8u32, 12, 16, 24] {
+        let steps = 60;
+        let reqs = undirected_workload(n, steps, 11);
+        let program = programs::reach_u::program();
+        let depth = program.update_depth();
+        let mut machine = DynFoMachine::new(program, n);
+        let fo = mean_update_seconds(&mut machine, &reqs);
+        let (_, q) = timed(|| {
+            for x in 0..n {
+                let _ = machine.query_named("connected", &[x, (x + 1) % n]).unwrap();
+            }
+        });
+
+        let mut native = NativeReachU::new(n);
+        let (_, nat) = timed(|| {
+            for r in &reqs {
+                match r {
+                    Request::Ins(_, a) => native.insert(a[0], a[1]),
+                    Request::Del(_, a) => native.delete(a[0], a[1]),
+                    _ => {}
+                }
+            }
+        });
+
+        let mut g = Graph::new(n);
+        let (_, stat) = timed(|| {
+            for r in &reqs {
+                match r {
+                    Request::Ins(_, a) => {
+                        g.insert(a[0], a[1]);
+                    }
+                    Request::Del(_, a) => {
+                        g.remove(a[0], a[1]);
+                    }
+                    _ => {}
+                }
+                std::hint::black_box(dynfo_graph::traversal::components(&g));
+            }
+        });
+        row(&[
+            n.to_string(),
+            us(fo),
+            us(nat / steps as f64),
+            us(stat / steps as f64),
+            us(q / n as f64),
+            depth.to_string(),
+        ]);
+    }
+}
+
+/// E03 — REACH(acyclic) (Thm 4.2).
+fn e03_reach_acyclic() {
+    header("E03 REACH acyclic (Thm 4.2): fo vs native bitset vs closure recompute");
+    row(["n", "fo upd", "native upd", "static upd", "depth"].map(String::from).as_ref());
+    for n in [8u32, 16, 32] {
+        let steps = 80;
+        let reqs = dag_workload(n, steps, 13);
+        let program = programs::reach_acyclic::program();
+        let depth = program.update_depth();
+        let mut machine = DynFoMachine::new(program, n);
+        let fo = mean_update_seconds(&mut machine, &reqs);
+
+        let mut native = NativeReachAcyclic::new(n);
+        let (_, nat) = timed(|| {
+            for r in &reqs {
+                match r {
+                    Request::Ins(_, a) => native.insert(a[0], a[1]),
+                    Request::Del(_, a) => native.delete(a[0], a[1]),
+                    _ => {}
+                }
+            }
+        });
+
+        let mut g = DiGraph::new(n);
+        let (_, stat) = timed(|| {
+            for r in &reqs {
+                match r {
+                    Request::Ins(_, a) => {
+                        g.insert(a[0], a[1]);
+                    }
+                    Request::Del(_, a) => {
+                        g.remove(a[0], a[1]);
+                    }
+                    _ => {}
+                }
+                std::hint::black_box(dynfo_graph::transitive::transitive_closure(&g));
+            }
+        });
+        row(&[
+            n.to_string(),
+            us(fo),
+            us(nat / steps as f64),
+            us(stat / steps as f64),
+            depth.to_string(),
+        ]);
+    }
+}
+
+/// E04 — Transitive reduction (Cor 4.3).
+fn e04_transitive_reduction() {
+    header("E04 transitive reduction (Cor 4.3): fo vs static TR recompute");
+    row(["n", "fo upd", "static upd"].map(String::from).as_ref());
+    for n in [8u32, 12, 16] {
+        let steps = 60;
+        let reqs = dag_workload(n, steps, 17);
+        let mut machine = DynFoMachine::new(programs::trans_reduction::program(), n);
+        let fo = mean_update_seconds(&mut machine, &reqs);
+
+        let mut g = DiGraph::new(n);
+        let (_, stat) = timed(|| {
+            for r in &reqs {
+                match r {
+                    Request::Ins(_, a) => {
+                        g.insert(a[0], a[1]);
+                    }
+                    Request::Del(_, a) => {
+                        g.remove(a[0], a[1]);
+                    }
+                    _ => {}
+                }
+                std::hint::black_box(dynfo_graph::transitive::transitive_reduction(&g));
+            }
+        });
+        row(&[n.to_string(), us(fo), us(stat / steps as f64)]);
+    }
+}
+
+/// E05 — Minimum spanning forest (Thm 4.4).
+fn e05_msf() {
+    header("E05 MSF (Thm 4.4): fo vs native vs Kruskal recompute");
+    row(["n", "fo upd", "native upd", "kruskal upd"].map(String::from).as_ref());
+    for n in [6u32, 8, 12] {
+        let steps = 40;
+        let reqs = weighted_workload(n, steps, 19);
+        let mut machine = DynFoMachine::new(programs::msf::program(), n);
+        let fo = mean_update_seconds(&mut machine, &reqs);
+
+        let mut native = NativeMsf::new(n);
+        let (_, nat) = timed(|| {
+            for r in &reqs {
+                match r {
+                    Request::Ins(_, a) => native.insert(a[0], a[1], a[2]),
+                    Request::Del(_, a) => native.delete(a[0], a[1], a[2]),
+                    _ => {}
+                }
+            }
+        });
+
+        let mut g = dynfo_graph::mst::WeightedGraph::new(n);
+        let (_, stat) = timed(|| {
+            for r in &reqs {
+                match r {
+                    Request::Ins(_, a) => {
+                        g.insert(a[0], a[1], a[2]);
+                    }
+                    Request::Del(_, a) => {
+                        g.remove(a[0], a[1]);
+                    }
+                    _ => {}
+                }
+                std::hint::black_box(dynfo_graph::mst::kruskal(&g));
+            }
+        });
+        row(&[
+            n.to_string(),
+            us(fo),
+            us(nat / steps as f64),
+            us(stat / steps as f64),
+        ]);
+    }
+}
+
+/// E06 — Bipartiteness (Thm 4.5(1)).
+fn e06_bipartite() {
+    header("E06 bipartiteness (Thm 4.5.1): fo vs 2-coloring recompute");
+    row(["n", "fo upd", "fo query", "static upd"].map(String::from).as_ref());
+    for n in [6u32, 8, 12] {
+        let steps = 40;
+        let reqs = undirected_workload(n, steps, 23);
+        let mut machine = DynFoMachine::new(programs::bipartite::program(), n);
+        let fo = mean_update_seconds(&mut machine, &reqs);
+        let (_, q) = timed(|| {
+            for _ in 0..10 {
+                let _ = machine.query().unwrap();
+            }
+        });
+
+        let mut g = Graph::new(n);
+        let (_, stat) = timed(|| {
+            for r in &reqs {
+                match r {
+                    Request::Ins(_, a) => {
+                        g.insert(a[0], a[1]);
+                    }
+                    Request::Del(_, a) => {
+                        g.remove(a[0], a[1]);
+                    }
+                    _ => {}
+                }
+                std::hint::black_box(dynfo_graph::bipartite::is_bipartite(&g));
+            }
+        });
+        row(&[
+            n.to_string(),
+            us(fo),
+            us(q / 10.0),
+            us(stat / steps as f64),
+        ]);
+    }
+}
+
+/// E07 — k-edge connectivity (Thm 4.5(2)): query cost grows with k,
+/// update cost does not.
+fn e07_kconn() {
+    header("E07 k-edge connectivity (Thm 4.5.2): query cost vs k (n = 6)");
+    row(["k", "fo query", "flow oracle", "query size"].map(String::from).as_ref());
+    let n = 6u32;
+    let mut machine = DynFoMachine::new(programs::kconn::program_up_to(3), n);
+    let mut g = Graph::new(n);
+    for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (4, 5)] {
+        machine.apply(&Request::ins("E", [a, b])).unwrap();
+        g.insert(a, b);
+    }
+    for k in 1usize..=3 {
+        let (_, fo) = timed(|| {
+            for x in 0..n {
+                let _ = machine
+                    .query_named(&format!("kconn{k}"), &[x, (x + 2) % n])
+                    .unwrap();
+            }
+        });
+        let (_, oracle) = timed(|| {
+            for x in 0..n {
+                std::hint::black_box(dynfo_graph::flow::k_edge_connected_pair(
+                    &g,
+                    x,
+                    (x + 2) % n,
+                    k,
+                ));
+            }
+        });
+        let size = dynfo_logic::analysis::size(&programs::kconn::kconn_query(k));
+        row(&[
+            k.to_string(),
+            us(fo / n as f64),
+            us(oracle / n as f64),
+            size.to_string(),
+        ]);
+    }
+}
+
+/// E08 — Maximal matching (Thm 4.5(3)).
+fn e08_matching() {
+    header("E08 maximal matching (Thm 4.5.3): fo vs native vs greedy recompute");
+    row(["n", "fo upd", "native upd", "static upd"].map(String::from).as_ref());
+    for n in [8u32, 16, 24] {
+        let steps = 60;
+        let reqs = undirected_workload(n, steps, 29);
+        let mut machine = DynFoMachine::new(programs::matching::program(), n);
+        let fo = mean_update_seconds(&mut machine, &reqs);
+
+        let mut native = NativeMatching::new(n);
+        let (_, nat) = timed(|| {
+            for r in &reqs {
+                match r {
+                    Request::Ins(_, a) => native.insert(a[0], a[1]),
+                    Request::Del(_, a) => native.delete(a[0], a[1]),
+                    _ => {}
+                }
+            }
+        });
+
+        let mut g = Graph::new(n);
+        let (_, stat) = timed(|| {
+            for r in &reqs {
+                match r {
+                    Request::Ins(_, a) => {
+                        g.insert(a[0], a[1]);
+                    }
+                    Request::Del(_, a) => {
+                        g.remove(a[0], a[1]);
+                    }
+                    _ => {}
+                }
+                std::hint::black_box(dynfo_graph::matching::greedy_maximal_matching(&g));
+            }
+        });
+        row(&[
+            n.to_string(),
+            us(fo),
+            us(nat / steps as f64),
+            us(stat / steps as f64),
+        ]);
+    }
+}
+
+/// E09 — LCA in forests (Thm 4.5(4)).
+fn e09_lca() {
+    header("E09 LCA (Thm 4.5.4): fo query vs ancestor-walk oracle");
+    row(["n", "fo upd", "fo query", "oracle query"].map(String::from).as_ref());
+    for n in [8u32, 16] {
+        let mut machine = DynFoMachine::new(programs::lca::program(), n);
+        let mut g = DiGraph::new(n);
+        // A random forest built by attaching each vertex below an
+        // earlier one.
+        let mut reqs = Vec::new();
+        for v in 1..n {
+            let parent = (v * 7 + 3) % v;
+            reqs.push(Request::ins("E", [parent, v]));
+            g.insert(parent, v);
+        }
+        let fo_upd = mean_update_seconds(&mut machine, &reqs);
+        let (_, foq) = timed(|| {
+            for x in 0..n {
+                let y = (x + 3) % n;
+                for a in 0..n {
+                    let _ = machine.query_named("lca", &[x, y, a]).unwrap();
+                }
+            }
+        });
+        let (_, oq) = timed(|| {
+            for x in 0..n {
+                std::hint::black_box(dynfo_graph::lca::lca(&g, x, (x + 3) % n));
+            }
+        });
+        row(&[
+            n.to_string(),
+            us(fo_upd),
+            us(foq / (n * n) as f64),
+            us(oq / n as f64),
+        ]);
+    }
+}
+
+/// E10 — Regular languages (Thm 4.6): O(log n) tree vs O(n) rerun.
+fn e10_regular() {
+    header("E10 regular languages (Thm 4.6): composition tree vs full DFA rerun");
+    row(["n", "tree upd", "rerun", "tree nodes/upd"].map(String::from).as_ref());
+    let dfa = dynfo_automata::dfa::contains_substring(&['a', 'b'], "abba");
+    for exp in [8u32, 10, 12, 14] {
+        let n = 1usize << exp;
+        let mut s = dynfo_automata::dyntree::DynRegular::new(dfa.clone(), n);
+        // Preload.
+        for i in (0..n).step_by(3) {
+            s.insert_char(i, if i % 2 == 0 { 'a' } else { 'b' });
+        }
+        let edits: Vec<(usize, char)> = (0..2000)
+            .map(|i| ((i * 2654435761) % n, if i % 3 == 0 { 'b' } else { 'a' }))
+            .collect();
+        let before = s.recomputations();
+        let (_, tree) = timed(|| {
+            for &(pos, c) in &edits {
+                s.insert_char(pos, c);
+            }
+        });
+        let per_update_nodes = (s.recomputations() - before) as f64 / edits.len() as f64;
+        let (_, rerun) = timed(|| {
+            for _ in 0..50 {
+                std::hint::black_box(dfa.accepts(&s.string()));
+            }
+        });
+        row(&[
+            n.to_string(),
+            us(tree / edits.len() as f64),
+            us(rerun / 50.0),
+            format!("{per_update_nodes:.0}"),
+        ]);
+    }
+}
+
+/// E11 — Multiplication (Prop 4.7).
+fn e11_multiplication() {
+    header("E11 multiplication (Prop 4.7): one shifted add vs school multiply");
+    row(["bits", "dyn change", "recompute"].map(String::from).as_ref());
+    for n in [64usize, 256, 1024, 4096] {
+        let mut p = dynfo_arith::DynProduct::new(n);
+        // Preload operands.
+        for i in (0..n).step_by(2) {
+            p.change(dynfo_arith::Operand::X, i, true);
+        }
+        for i in (0..n).step_by(3) {
+            p.change(dynfo_arith::Operand::Y, i, true);
+        }
+        let flips: Vec<(usize, bool)> = (0..500)
+            .map(|i| ((i * 48271) % n, i % 2 == 0))
+            .collect();
+        let (_, dynt) = timed(|| {
+            for &(i, v) in &flips {
+                p.change(dynfo_arith::Operand::X, i, v);
+            }
+        });
+        let (_, stat) = timed(|| {
+            for _ in 0..20 {
+                std::hint::black_box(p.recompute());
+            }
+        });
+        row(&[
+            n.to_string(),
+            us(dynt / flips.len() as f64),
+            us(stat / 20.0),
+        ]);
+    }
+}
+
+/// E12 — Dyck languages (Prop 4.8).
+fn e12_dyck() {
+    header("E12 Dyck D^k (Prop 4.8): segment tree vs stack rescan (k = 2)");
+    row(["n", "tree upd", "rescan"].map(String::from).as_ref());
+    for exp in [8u32, 10, 12, 14] {
+        let n = 1usize << exp;
+        let mut d = dynfo_automata::dyck::DynDyck::new(2, n);
+        // Balanced preload: ( at even, ) at odd positions.
+        for i in 0..n / 2 {
+            d.insert_open(2 * i, (i % 2) as u8);
+            d.insert_close(2 * i + 1, (i % 2) as u8);
+        }
+        let edits: Vec<usize> = (0..1000).map(|i| (i * 2654435761) % n).collect();
+        let (_, tree) = timed(|| {
+            for (j, &pos) in edits.iter().enumerate() {
+                if j % 2 == 0 {
+                    d.insert_open(pos, 0);
+                } else {
+                    d.insert_close(pos, 0);
+                }
+                std::hint::black_box(d.balanced());
+            }
+        });
+        let slots: Vec<_> = (0..n).map(|i| d.get(i)).collect();
+        let (_, rescan) = timed(|| {
+            for _ in 0..50 {
+                std::hint::black_box(dynfo_automata::dyck::dyck_valid(std::hint::black_box(
+                    &slots,
+                )));
+            }
+        });
+        row(&[
+            n.to_string(),
+            us(tree / edits.len() as f64),
+            us(rescan / 50.0),
+        ]);
+    }
+}
+
+/// E13 — The transfer theorem (Prop 5.3): constant-factor overhead.
+fn e13_transfer() {
+    header("E13 transfer (Prop 5.3): REACH_d via reduction vs direct REACH_u");
+    row(["n", "via reduction", "direct", "overhead x"].map(String::from).as_ref());
+    for n in [6u32, 8, 12] {
+        let steps = 30;
+        let ops = dynfo_graph::generate::churn_stream(
+            n,
+            steps,
+            0.35,
+            false,
+            &mut dynfo_graph::generate::rng(31),
+        );
+        let reqs = dynfo_bench::edge_requests("E", &ops);
+
+        let mut via = dynfo_reductions::TransferMachine::new(
+            dynfo_reductions::reach_d_to_reach_u(),
+            programs::reach_u::program(),
+            n,
+            6,
+        )
+        .unwrap();
+        let (_, tvia) = timed(|| {
+            for r in &reqs {
+                via.apply(r).unwrap();
+            }
+        });
+
+        let mut direct = DynFoMachine::new(programs::reach_u::program(), n);
+        // The direct machine sees the symmetrized workload.
+        let (_, tdir) = timed(|| {
+            for r in &reqs {
+                direct.apply(r).unwrap();
+            }
+        });
+        row(&[
+            n.to_string(),
+            us(tvia / steps as f64),
+            us(tdir / steps as f64),
+            format!("{:.1}", tvia / tdir),
+        ]);
+    }
+}
+
+/// E14 — The expansion dichotomy (Def 5.1, Cor 5.10, Fact 5.11).
+fn e14_expansion() {
+    header("E14 expansion per input change (tuples)");
+    row(["n", "I_{d-u} (bfo)", "TM config graph", "COLOR-REACH"].map(String::from).as_ref());
+    for n in [8u32, 16, 32] {
+        let ops = dynfo_graph::generate::churn_stream(
+            n,
+            60,
+            0.4,
+            false,
+            &mut dynfo_graph::generate::rng(n as u64),
+        );
+        let reqs = dynfo_bench::edge_requests("E", &ops);
+        let report =
+            dynfo_reductions::measure_expansion(&dynfo_reductions::reach_d_to_reach_u(), n, &reqs)
+                .unwrap();
+        let tm = dynfo_reductions::majority(n as usize).expansion_at_bit(n as usize - 1);
+        row(&[
+            n.to_string(),
+            report.max_expansion().to_string(),
+            tm.to_string(),
+            "1".to_string(),
+        ]);
+    }
+}
+
+/// E15 — PAD(REACH_a) (Thm 5.14).
+fn e15_pad() {
+    header("E15 PAD(REACH_a) (Thm 5.14): FO rounds amortized over padding");
+    row(["n", "rounds/real-update", "padding n", "amortized/padded"].map(String::from).as_ref());
+    use rand::Rng;
+    for n in [16u32, 32, 64] {
+        let mut p = dynfo_reductions::PaddedReachA::new(n, 0, n - 1);
+        let mut rand = dynfo_graph::generate::rng(37);
+        let updates = 60;
+        for _ in 0..updates {
+            let a = rand.gen_range(0..n);
+            let b = rand.gen_range(0..n);
+            p.real_update(dynfo_reductions::AltUpdate::InsEdge(a, b));
+            p.finish_padding();
+        }
+        let per_update = p.total_rounds as f64 / updates as f64;
+        row(&[
+            n.to_string(),
+            format!("{per_update:.1}"),
+            n.to_string(),
+            format!("{:.2}", per_update / n as f64),
+        ]);
+    }
+}
+
+/// E16 — FO = CRAM[1]: constant depth, parallelizable work.
+fn e16_parallel() {
+    header("E16 parallel evaluation (FO = CRAM[1])");
+    row(["n", "depth", "1 thread ms", "2", "4", "8"].map(String::from).as_ref());
+    // Evaluate a REACH_u-style path-join formula over a sizable graph.
+    use dynfo_logic::formula::{exists, rel, v};
+    let f = exists(
+        ["u"],
+        rel("E", [v("x"), v("u")]) & rel("E", [v("u"), v("y")]) & rel("E", [v("y"), v("z")]),
+    );
+    let depth = cram_depth(&f);
+    for n in [48u32, 96] {
+        let g = dynfo_graph::generate::gnp(n, 0.2, &mut dynfo_graph::generate::rng(41));
+        let vocab = std::sync::Arc::new(dynfo_logic::Vocabulary::new().with_relation("E", 2));
+        let mut st = dynfo_logic::Structure::empty(vocab, n);
+        for (a, b) in g.edges() {
+            st.insert("E", [a, b]);
+            st.insert("E", [b, a]);
+        }
+        let mut cols = vec![n.to_string(), depth.to_string()];
+        for threads in [1usize, 2, 4, 8] {
+            let (_, secs) = timed(|| {
+                std::hint::black_box(evaluate_parallel(&f, &st, &[], threads).unwrap());
+            });
+            cols.push(format!("{:.1}", secs * 1e3));
+        }
+        row(&cols);
+    }
+}

@@ -1,0 +1,123 @@
+//! # dynfo-bench
+//!
+//! Benchmark harness for the experiment index in `DESIGN.md` /
+//! `EXPERIMENTS.md`. Shared workload builders live here; the Criterion
+//! benches (`benches/`) measure wall-clock, and the `tables` binary
+//! regenerates the experiment tables (shape comparisons, work counters,
+//! expansion measurements, depth constants).
+
+use dynfo_core::machine::DynFoMachine;
+use dynfo_core::request::Request;
+use dynfo_graph::generate::{churn_stream, dag_churn_stream, rng, EdgeOp};
+use std::time::Instant;
+
+/// Convert edge ops to requests against relation `rel`.
+pub fn edge_requests(rel: &str, ops: &[EdgeOp]) -> Vec<Request> {
+    ops.iter()
+        .map(|op| match *op {
+            EdgeOp::Ins(a, b) => Request::ins(rel, [a, b]),
+            EdgeOp::Del(a, b) => Request::del(rel, [a, b]),
+        })
+        .collect()
+}
+
+/// A reproducible undirected churn workload.
+pub fn undirected_workload(n: u32, steps: usize, seed: u64) -> Vec<Request> {
+    edge_requests("E", &churn_stream(n, steps, 0.35, true, &mut rng(seed)))
+}
+
+/// A reproducible DAG churn workload.
+pub fn dag_workload(n: u32, steps: usize, seed: u64) -> Vec<Request> {
+    edge_requests("E", &dag_churn_stream(n, steps, 0.35, &mut rng(seed)))
+}
+
+/// A reproducible weighted churn workload over `W³` (weights < n).
+pub fn weighted_workload(n: u32, steps: usize, seed: u64) -> Vec<Request> {
+    let mut rand = rng(seed);
+    let mut present: Vec<(u32, u32, u32)> = Vec::new();
+    let mut out = Vec::with_capacity(steps);
+    use rand::Rng;
+    while out.len() < steps {
+        if !present.is_empty() && rand.gen_bool(0.35) {
+            let i = rand.gen_range(0..present.len());
+            let (a, b, w) = present.swap_remove(i);
+            out.push(Request::del("W", [a, b, w]));
+        } else {
+            let a = rand.gen_range(0..n);
+            let b = rand.gen_range(0..n);
+            if a == b
+                || present
+                    .iter()
+                    .any(|&(x, y, _)| (x, y) == (a.min(b), a.max(b)))
+            {
+                continue;
+            }
+            let w = rand.gen_range(0..n);
+            present.push((a.min(b), a.max(b), w));
+            out.push(Request::ins("W", [a.min(b), a.max(b), w]));
+        }
+    }
+    out
+}
+
+/// Time a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Drive a machine over a workload; returns mean seconds per update.
+pub fn mean_update_seconds(machine: &mut DynFoMachine, reqs: &[Request]) -> f64 {
+    let (_, secs) = timed(|| {
+        for r in reqs {
+            machine.apply(r).expect("update");
+        }
+    });
+    secs / reqs.len().max(1) as f64
+}
+
+/// Pretty-print one table row: first column left-aligned (30), rest
+/// right-aligned (14).
+pub fn row(cols: &[String]) {
+    let mut line = String::new();
+    for (i, c) in cols.iter().enumerate() {
+        if i == 0 {
+            line.push_str(&format!("{c:<30}"));
+        } else {
+            line.push_str(&format!("{c:>14}"));
+        }
+    }
+    println!("{line}");
+}
+
+/// Format seconds as microseconds with one decimal.
+pub fn us(secs: f64) -> String {
+    format!("{:.1}", secs * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_reproducible() {
+        assert_eq!(undirected_workload(8, 40, 1), undirected_workload(8, 40, 1));
+        assert_eq!(dag_workload(8, 40, 2), dag_workload(8, 40, 2));
+        assert_eq!(weighted_workload(8, 40, 3), weighted_workload(8, 40, 3));
+    }
+
+    #[test]
+    fn weighted_workload_is_replayable() {
+        // Deletes always carry the weight of the matching insert.
+        let reqs = weighted_workload(10, 120, 4);
+        let mut present = std::collections::BTreeSet::new();
+        for r in &reqs {
+            match r {
+                Request::Ins(_, args) => assert!(present.insert(args.clone())),
+                Request::Del(_, args) => assert!(present.remove(args)),
+                _ => {}
+            }
+        }
+    }
+}

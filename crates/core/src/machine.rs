@@ -1,0 +1,355 @@
+//! The Dyn-FO machine: executes a [`DynFoProgram`] against a request
+//! stream, maintaining the auxiliary structure (`f_n(r̄)` in §3.1) and
+//! answering queries.
+//!
+//! The machine is the `g_n` of the definition: given the current
+//! auxiliary structure and one request, it produces the next auxiliary
+//! structure by evaluating every matching update formula against the
+//! *pre*-state (simultaneous semantics) and swapping the results in.
+
+use crate::program::DynFoProgram;
+use crate::request::{apply_to_input, Op, Request};
+use dynfo_logic::eval::Evaluator;
+use dynfo_logic::{Elem, EvalError, EvalStats, Relation, Structure, Tuple};
+
+/// Cumulative execution statistics.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct MachineStats {
+    /// Requests applied.
+    pub requests: usize,
+    /// Queries answered.
+    pub queries: usize,
+    /// Evaluator work across all updates.
+    pub update_work: EvalStats,
+    /// Evaluator work across all queries.
+    pub query_work: EvalStats,
+}
+
+/// A running instance of a Dyn-FO program.
+#[derive(Clone, Debug)]
+pub struct DynFoMachine {
+    program: DynFoProgram,
+    state: Structure,
+    stats: MachineStats,
+}
+
+impl DynFoMachine {
+    /// Initialize for universe size `n` (runs the program's `f(∅)`).
+    pub fn new(program: DynFoProgram, n: Elem) -> DynFoMachine {
+        let state = program.initial_structure(n);
+        DynFoMachine {
+            program,
+            state,
+            stats: MachineStats::default(),
+        }
+    }
+
+    /// The program being run.
+    pub fn program(&self) -> &DynFoProgram {
+        &self.program
+    }
+
+    /// The current auxiliary structure (`f_n(r̄)`).
+    pub fn state(&self) -> &Structure {
+        &self.state
+    }
+
+    /// Universe size.
+    pub fn n(&self) -> Elem {
+        self.state.size()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Apply one request: evaluate all matching update rules on the
+    /// pre-state, then install the new relations. Returns the evaluator
+    /// work for this update.
+    ///
+    /// # Panics
+    /// Panics if the request is malformed (unknown symbol, wrong arity,
+    /// or an element outside the universe — e.g. a weight ≥ n).
+    pub fn apply(&mut self, req: &Request) -> Result<EvalStats, EvalError> {
+        req.validate(self.program.input_vocab(), self.n())
+            .unwrap_or_else(|e| panic!("invalid request {req}: {e}"));
+        let params = req.params();
+        let rules = self.program.rules_for(req.kind());
+        let mut work = EvalStats::default();
+
+        // Evaluate every rule against the pre-state.
+        let mut new_relations = Vec::with_capacity(rules.len());
+        for rule in rules {
+            let mut ev = Evaluator::new(&self.state, &params);
+            let table = ev.eval(&rule.formula)?;
+            work.absorb(&ev.stats());
+            let aligned = if rule.vars.is_empty() {
+                table
+            } else {
+                // Simplification may erase a declared variable from the
+                // stored formula (e.g. a tautological `x = x` conjunct);
+                // such a variable is unconstrained — extend it over the
+                // whole universe before projecting to column order.
+                let mut t = table;
+                for &v in &rule.vars {
+                    if t.col(v).is_none() {
+                        t = t.extend(v, self.n());
+                    }
+                }
+                t.project(&rule.vars)
+            };
+            let relation = Relation::from_tuples(
+                rule.vars.len(),
+                aligned.rows().iter().copied(),
+            );
+            let id = self
+                .state
+                .vocab()
+                .relation(rule.target)
+                .expect("rule target exists in aux vocab");
+            new_relations.push((id, relation));
+        }
+
+        // Simultaneous install.
+        for (id, relation) in new_relations {
+            self.state.set_relation(id, relation);
+        }
+
+        // `set` requests update the stored constant copy directly (the
+        // auxiliary structure mirrors input constants; programs may add
+        // rules on top).
+        if let Request::Set(sym, value) = req {
+            if self.state.vocab().constant(*sym).is_some() {
+                self.state.set_const(sym.as_str(), *value);
+            }
+        }
+        debug_assert!(
+            !matches!(req.kind().op, Op::Set) || !req.params().is_empty()
+        );
+
+        self.stats.requests += 1;
+        self.stats.update_work.absorb(&work);
+        Ok(work)
+    }
+
+    /// Apply a sequence of requests.
+    pub fn apply_all(&mut self, reqs: &[Request]) -> Result<(), EvalError> {
+        for r in reqs {
+            self.apply(r)?;
+        }
+        Ok(())
+    }
+
+    /// Answer the program's boolean query.
+    pub fn query(&mut self) -> Result<bool, EvalError> {
+        let mut ev = Evaluator::new(&self.state, &[]);
+        let t = ev.eval(self.program.query())?;
+        self.stats.queries += 1;
+        self.stats.query_work.absorb(&ev.stats());
+        Ok(t.as_bool())
+    }
+
+    /// Answer a named query with arguments bound to `?0, ?1, …`.
+    ///
+    /// # Panics
+    /// Panics if the query name is unknown.
+    pub fn query_named(&mut self, name: &str, args: &[Elem]) -> Result<bool, EvalError> {
+        let f = self
+            .program
+            .named_query(name)
+            .unwrap_or_else(|| panic!("unknown named query {name}"))
+            .clone();
+        let mut ev = Evaluator::new(&self.state, args);
+        let t = ev.eval(&f)?;
+        self.stats.queries += 1;
+        self.stats.query_work.absorb(&ev.stats());
+        Ok(t.as_bool())
+    }
+
+    /// Evaluate an arbitrary formula over the current auxiliary
+    /// structure (diagnostics, tests).
+    pub fn evaluate(&self, f: &dynfo_logic::Formula, params: &[Elem]) -> Result<dynfo_logic::Table, EvalError> {
+        dynfo_logic::evaluate(f, &self.state, params)
+    }
+
+    /// Convenience: does auxiliary relation `name` contain `t`?
+    pub fn holds(&self, name: &str, t: impl Into<Tuple>) -> bool {
+        self.state.holds(name, t)
+    }
+}
+
+/// Run the machine and an input-structure replay side by side over a
+/// request stream, calling `check` after every step with
+/// `(step, machine, current input structure)`. The workhorse of the
+/// differential tests.
+pub fn run_with_oracle(
+    program: DynFoProgram,
+    n: Elem,
+    reqs: &[Request],
+    mut check: impl FnMut(usize, &mut DynFoMachine, &Structure),
+) -> DynFoMachine {
+    let mut machine = DynFoMachine::new(program, n);
+    let mut input = Structure::empty(
+        std::sync::Arc::clone(machine.program().input_vocab()),
+        n,
+    );
+    check(0, &mut machine, &input);
+    for (i, r) in reqs.iter().enumerate() {
+        r.validate(machine.program().input_vocab(), n)
+            .unwrap_or_else(|e| panic!("invalid request {r}: {e}"));
+        machine.apply(r).unwrap_or_else(|e| panic!("update failed on {r}: {e}"));
+        apply_to_input(&mut input, r);
+        check(i + 1, &mut machine, &input);
+    }
+    machine
+}
+
+/// Empirically check memorylessness (§3): apply two request sequences
+/// with the same `eval` result and compare the auxiliary structures.
+/// Returns true iff the final states are identical.
+pub fn check_memoryless(
+    program: &DynFoProgram,
+    n: Elem,
+    seq_a: &[Request],
+    seq_b: &[Request],
+) -> Result<bool, EvalError> {
+    let mut a = DynFoMachine::new(program.clone(), n);
+    a.apply_all(seq_a)?;
+    let mut b = DynFoMachine::new(program.clone(), n);
+    b.apply_all(seq_b)?;
+    Ok(a.state() == b.state())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::input_copy_rules;
+    use crate::request::RequestKind;
+    use dynfo_logic::formula::{exists, rel, v, Formula};
+
+    /// The toy "is the set nonempty" program.
+    fn toy() -> DynFoProgram {
+        let (_, ins_m, del_m) = input_copy_rules("M", 1);
+        DynFoProgram::builder("nonempty")
+            .input_relation("M", 1)
+            .on(RequestKind::ins("M"), "M", &["x0"], ins_m)
+            .on(RequestKind::del("M"), "M", &["x0"], del_m)
+            .query(exists(["x"], rel("M", [v("x")])))
+            .memoryless()
+            .build()
+    }
+
+    #[test]
+    fn machine_tracks_input_copy() {
+        let mut m = DynFoMachine::new(toy(), 8);
+        assert!(!m.query().unwrap());
+        m.apply(&Request::ins("M", [3])).unwrap();
+        assert!(m.holds("M", [3u32]));
+        assert!(m.query().unwrap());
+        m.apply(&Request::del("M", [3])).unwrap();
+        assert!(!m.query().unwrap());
+        assert_eq!(m.stats().requests, 2);
+        assert_eq!(m.stats().queries, 3);
+    }
+
+    #[test]
+    fn simultaneous_semantics_uses_pre_state() {
+        // A rule pair that *swaps* two relations must read the pre-state:
+        // A' = B, B' = A on every insert into M.
+        let p = DynFoProgram::builder("swap")
+            .input_relation("M", 1)
+            .aux_relation("A", 1)
+            .aux_relation("B", 1)
+            .on(RequestKind::ins("M"), "A", &["x"], rel("B", [v("x")]))
+            .on(
+                RequestKind::ins("M"),
+                "B",
+                &["x"],
+                rel("A", [v("x")]) | Formula::Eq(v("x"), dynfo_logic::formula::param(0)),
+            )
+            .query(Formula::True)
+            .build();
+        let mut m = DynFoMachine::new(p, 4);
+        m.apply(&Request::ins("M", [1])).unwrap();
+        // After step 1: A = old B = ∅; B = old A ∪ {1} = {1}.
+        assert!(!m.holds("A", [1u32]));
+        assert!(m.holds("B", [1u32]));
+        m.apply(&Request::ins("M", [2])).unwrap();
+        // After step 2: A = {1}; B = {2}.
+        assert!(m.holds("A", [1u32]));
+        assert!(!m.holds("A", [2u32]));
+        assert!(m.holds("B", [2u32]));
+        assert!(!m.holds("B", [1u32]));
+    }
+
+    #[test]
+    fn memoryless_check_on_toy() {
+        let p = toy();
+        let a = [Request::ins("M", [1]), Request::ins("M", [2])];
+        let b = [
+            Request::ins("M", [2]),
+            Request::ins("M", [3]),
+            Request::del("M", [3]),
+            Request::ins("M", [1]),
+        ];
+        assert!(check_memoryless(&p, 8, &a, &b).unwrap());
+        let c = [Request::ins("M", [1])];
+        assert!(!check_memoryless(&p, 8, &a, &c).unwrap());
+    }
+
+    #[test]
+    fn run_with_oracle_sees_every_step() {
+        let reqs = [
+            Request::ins("M", [1]),
+            Request::ins("M", [2]),
+            Request::del("M", [1]),
+        ];
+        let mut steps = 0;
+        run_with_oracle(toy(), 8, &reqs, |i, m, input| {
+            steps += 1;
+            // The machine's input copy always matches the replay.
+            assert_eq!(m.state().rel("M"), input.rel("M"), "step {i}");
+        });
+        assert_eq!(steps, 4);
+    }
+
+    #[test]
+    fn set_requests_update_constant_copy() {
+        let p = DynFoProgram::builder("consts")
+            .input_relation("M", 1)
+            .input_constant("c")
+            .query(rel("M", [dynfo_logic::formula::cst("c")]))
+            .build();
+        let mut m = DynFoMachine::new(p, 8);
+        m.apply(&Request::set("c", 5)).unwrap();
+        assert_eq!(m.state().const_val("c"), 5);
+        // Query reads through the constant; M has no maintenance rules in
+        // this toy, so insert M(5) directly into the state for the check.
+        assert!(!m.query().unwrap());
+    }
+
+    #[test]
+    fn named_queries_take_params() {
+        let (_, ins_m, _) = input_copy_rules("M", 1);
+        let p = DynFoProgram::builder("member")
+            .input_relation("M", 1)
+            .on(RequestKind::ins("M"), "M", &["x0"], ins_m)
+            .query(Formula::True)
+            .named_query("member", rel("M", [dynfo_logic::formula::param(0)]))
+            .build();
+        let mut m = DynFoMachine::new(p, 8);
+        m.apply(&Request::ins("M", [6])).unwrap();
+        assert!(m.query_named("member", &[6]).unwrap());
+        assert!(!m.query_named("member", &[5]).unwrap());
+    }
+
+    #[test]
+    fn update_work_accumulates() {
+        let mut m = DynFoMachine::new(toy(), 16);
+        m.apply(&Request::ins("M", [1])).unwrap();
+        let w1 = m.stats().update_work.rows_built;
+        m.apply(&Request::ins("M", [2])).unwrap();
+        assert!(m.stats().update_work.rows_built > w1);
+    }
+}

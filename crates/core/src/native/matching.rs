@@ -1,0 +1,140 @@
+//! Native dynamic maximal matching mirroring Theorem 4.5(3): insert
+//! matches free endpoints; deleting a matched edge repairs both
+//! endpoints with their minimum free neighbors — the same deterministic
+//! rule as the FO program.
+
+use dynfo_graph::graph::{Graph, Node};
+
+/// Dynamic maximal matching.
+#[derive(Clone, Debug)]
+pub struct NativeMatching {
+    graph: Graph,
+    /// `mate[v]` = matched partner.
+    mate: Vec<Option<Node>>,
+}
+
+impl NativeMatching {
+    /// Empty graph on `n` vertices.
+    pub fn new(n: Node) -> NativeMatching {
+        NativeMatching {
+            graph: Graph::new(n),
+            mate: vec![None; n as usize],
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The partner of `v`, if matched.
+    pub fn mate(&self, v: Node) -> Option<Node> {
+        self.mate[v as usize]
+    }
+
+    /// Is edge `{a,b}` in the matching?
+    pub fn matched(&self, a: Node, b: Node) -> bool {
+        self.mate[a as usize] == Some(b)
+    }
+
+    /// Insert edge `{a, b}`.
+    pub fn insert(&mut self, a: Node, b: Node) {
+        if !self.graph.insert(a, b) || a == b {
+            return;
+        }
+        if self.mate[a as usize].is_none() && self.mate[b as usize].is_none() {
+            self.mate[a as usize] = Some(b);
+            self.mate[b as usize] = Some(a);
+        }
+    }
+
+    /// Delete edge `{a, b}`; repairs maximality locally.
+    pub fn delete(&mut self, a: Node, b: Node) {
+        if !self.graph.remove(a, b) {
+            return;
+        }
+        if self.mate[a as usize] != Some(b) {
+            return;
+        }
+        self.mate[a as usize] = None;
+        self.mate[b as usize] = None;
+        self.rematch(a);
+        self.rematch(b);
+    }
+
+    /// Match `v` with its minimum free neighbor, if any.
+    fn rematch(&mut self, v: Node) {
+        if self.mate[v as usize].is_some() {
+            return;
+        }
+        let free = self
+            .graph
+            .neighbors(v)
+            .find(|&w| w != v && self.mate[w as usize].is_none());
+        if let Some(w) = free {
+            self.mate[v as usize] = Some(w);
+            self.mate[w as usize] = Some(v);
+        }
+    }
+
+    /// Export as an edge set.
+    pub fn matching(&self) -> dynfo_graph::matching::Matching {
+        let mut m = dynfo_graph::matching::Matching::new();
+        for (v, &mate) in self.mate.iter().enumerate() {
+            if let Some(w) = mate {
+                let v = v as Node;
+                if v <= w {
+                    m.insert((v, w));
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynfo_graph::generate::{churn_stream, rng, EdgeOp};
+    use dynfo_graph::matching::is_maximal_matching;
+
+    #[test]
+    fn invariant_holds_under_churn() {
+        let n = 32;
+        let mut native = NativeMatching::new(n);
+        let ops = churn_stream(n, 1000, 0.45, true, &mut rng(81));
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                EdgeOp::Ins(a, b) => native.insert(a, b),
+                EdgeOp::Del(a, b) => native.delete(a, b),
+            }
+            assert!(
+                is_maximal_matching(native.graph(), &native.matching()),
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn delete_repairs_both_sides() {
+        let mut m = NativeMatching::new(6);
+        m.insert(0, 1);
+        m.insert(0, 2);
+        m.insert(1, 3);
+        assert!(m.matched(0, 1));
+        m.delete(0, 1);
+        assert_eq!(m.mate(0), Some(2));
+        assert_eq!(m.mate(1), Some(3));
+    }
+
+    #[test]
+    fn mate_symmetry() {
+        let mut m = NativeMatching::new(4);
+        m.insert(2, 3);
+        assert_eq!(m.mate(2), Some(3));
+        assert_eq!(m.mate(3), Some(2));
+        m.delete(2, 3);
+        assert_eq!(m.mate(2), None);
+        assert_eq!(m.mate(3), None);
+    }
+}

@@ -1,0 +1,23 @@
+//! Native dynamic algorithms: hand-coded fast paths maintaining the
+//! *same auxiliary information* as the Section 4 FO programs.
+//!
+//! The FO programs in [`crate::programs`] are the paper-faithful
+//! artifacts; these natives exist for two reasons:
+//!
+//! 1. **Differential testing** — a second, independent implementation of
+//!    each maintenance strategy, cross-checked against both the FO
+//!    machines and the static oracles.
+//! 2. **Scale** — the interpreted FO updates cost polynomial work per
+//!    request (they are *parallel* constant-depth, not sequentially
+//!    cheap); the natives let the benchmark harness drive the same
+//!    dynamic-vs-static comparison at n in the thousands.
+
+pub mod acyclic;
+pub mod matching;
+pub mod msf;
+pub mod reach_u;
+
+pub use acyclic::NativeReachAcyclic;
+pub use matching::NativeMatching;
+pub use msf::NativeMsf;
+pub use reach_u::NativeReachU;

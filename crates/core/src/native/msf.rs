@@ -1,0 +1,257 @@
+//! Native dynamic minimum spanning forest mirroring Theorem 4.4.
+//!
+//! Edges are keyed `(weight, min, max)` — the same total order the FO
+//! program uses, so both maintain the identical unique MSF.
+
+use dynfo_graph::graph::{Graph, Node};
+use dynfo_graph::mst::{Weight, WeightedGraph};
+use std::collections::VecDeque;
+
+/// Dynamic MSF with spanning-forest repair.
+#[derive(Clone, Debug)]
+pub struct NativeMsf {
+    graph: WeightedGraph,
+    forest: Graph,
+    comp: Vec<Node>,
+}
+
+type Key = (Weight, Node, Node);
+
+fn key(w: Weight, a: Node, b: Node) -> Key {
+    (w, a.min(b), a.max(b))
+}
+
+impl NativeMsf {
+    /// Empty weighted graph on `n` vertices.
+    pub fn new(n: Node) -> NativeMsf {
+        NativeMsf {
+            graph: WeightedGraph::new(n),
+            forest: Graph::new(n),
+            comp: (0..n).collect(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> Node {
+        self.forest.num_nodes()
+    }
+
+    /// The maintained forest.
+    pub fn forest(&self) -> &Graph {
+        &self.forest
+    }
+
+    /// The weighted graph.
+    pub fn graph(&self) -> &WeightedGraph {
+        &self.graph
+    }
+
+    /// Are `x`, `y` connected?
+    pub fn connected(&self, x: Node, y: Node) -> bool {
+        self.comp[x as usize] == self.comp[y as usize]
+    }
+
+    /// Total forest weight.
+    pub fn weight(&self) -> u64 {
+        self.forest
+            .edges()
+            .map(|(a, b)| self.graph.weight(a, b).expect("forest edge weighted") as u64)
+            .sum()
+    }
+
+    fn relabel(&mut self, from: Node, to: Node) {
+        for c in self.comp.iter_mut() {
+            if *c == from {
+                *c = to;
+            }
+        }
+    }
+
+    /// The unique forest path between two connected vertices.
+    fn forest_path(&self, a: Node, b: Node) -> Vec<(Node, Node)> {
+        let n = self.num_nodes() as usize;
+        let mut prev: Vec<Option<Node>> = vec![None; n];
+        prev[a as usize] = Some(a);
+        let mut queue = VecDeque::from([a]);
+        while let Some(u) = queue.pop_front() {
+            if u == b {
+                break;
+            }
+            for w in self.forest.neighbors(u) {
+                if prev[w as usize].is_none() {
+                    prev[w as usize] = Some(u);
+                    queue.push_back(w);
+                }
+            }
+        }
+        let mut path = Vec::new();
+        let mut cur = b;
+        while cur != a {
+            let p = prev[cur as usize].expect("connected in forest");
+            path.push((p, cur));
+            cur = p;
+        }
+        path
+    }
+
+    /// Insert edge `{a, b}` with weight `w`.
+    pub fn insert(&mut self, a: Node, b: Node, w: Weight) {
+        if a == b {
+            self.graph.insert(a, b, w);
+            return;
+        }
+        if self.graph.weight(a, b).is_some() {
+            // Re-inserting an existing edge: treat as weight overwrite
+            // is not supported (mirrors the FO program's contract).
+            return;
+        }
+        self.graph.insert(a, b, w);
+        if self.comp[a as usize] != self.comp[b as usize] {
+            self.forest.insert(a, b);
+            let from = self.comp[b as usize];
+            let to = self.comp[a as usize];
+            self.relabel(from, to);
+            return;
+        }
+        // Cycle: swap out the maximum-key edge on the forest path if the
+        // new edge improves it.
+        let path = self.forest_path(a, b);
+        let (mx, my) = path
+            .iter()
+            .copied()
+            .max_by_key(|&(x, y)| key(self.graph.weight(x, y).unwrap(), x, y))
+            .expect("nonempty path");
+        let max_key = key(self.graph.weight(mx, my).unwrap(), mx, my);
+        if key(w, a, b) < max_key {
+            self.forest.remove(mx, my);
+            self.forest.insert(a, b);
+        }
+    }
+
+    /// Delete edge `{a, b}` with weight `w` (must match the stored
+    /// weight, else no-op — the FO program's contract).
+    pub fn delete(&mut self, a: Node, b: Node, w: Weight) {
+        if self.graph.weight(a, b) != Some(w) {
+            return;
+        }
+        self.graph.remove(a, b);
+        if !self.forest.remove(a, b) {
+            return;
+        }
+        let side_a = dynfo_graph::traversal::reachable_undirected(&self.forest, a);
+        // Minimum-key crossing edge.
+        let mut best: Option<(Key, Node, Node)> = None;
+        for x in 0..self.num_nodes() {
+            if !side_a[x as usize] || self.comp[x as usize] != self.comp[a as usize] {
+                continue;
+            }
+            for y in self.graph.graph().neighbors(x) {
+                if self.comp[y as usize] == self.comp[a as usize] && !side_a[y as usize] {
+                    let k = key(self.graph.weight(x, y).unwrap(), x, y);
+                    if best.is_none_or(|(bk, _, _)| k < bk) {
+                        best = Some((k, x, y));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, x, y)) => {
+                self.forest.insert(x, y);
+            }
+            None => {
+                // Relabel both sides (see NativeReachU::delete).
+                let old = self.comp[a as usize];
+                let members: Vec<Node> = (0..self.num_nodes())
+                    .filter(|&v| self.comp[v as usize] == old)
+                    .collect();
+                let label_a = *members
+                    .iter()
+                    .find(|&&v| side_a[v as usize])
+                    .expect("side contains a");
+                let label_b = *members
+                    .iter()
+                    .find(|&&v| !side_a[v as usize])
+                    .expect("other side contains b");
+                for &v in &members {
+                    self.comp[v as usize] = if side_a[v as usize] { label_a } else { label_b };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynfo_graph::mst::kruskal;
+    use rand::Rng;
+
+    #[test]
+    fn matches_kruskal_under_weighted_churn() {
+        let n = 16u32;
+        let mut native = NativeMsf::new(n);
+        let mut oracle = WeightedGraph::new(n);
+        let mut present: Vec<(Node, Node, Weight)> = Vec::new();
+        let mut rng = dynfo_graph::generate::rng(61);
+        for step in 0..400 {
+            if !present.is_empty() && rng.gen_bool(0.35) {
+                let i = rng.gen_range(0..present.len());
+                let (a, b, w) = present.swap_remove(i);
+                native.delete(a, b, w);
+                oracle.remove(a, b);
+            } else {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a == b || oracle.weight(a, b).is_some() {
+                    continue;
+                }
+                let w = rng.gen_range(0..50);
+                native.insert(a, b, w);
+                oracle.insert(a, b, w);
+                present.push((a, b, w));
+            }
+            let oracle_weight: u64 = kruskal(&oracle).iter().map(|&(_, _, w)| w as u64).sum();
+            assert_eq!(native.weight(), oracle_weight, "step {step}");
+            assert_eq!(
+                native.forest().num_edges(),
+                kruskal(&oracle).len(),
+                "step {step}: forest size"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_forest_matches_kruskal_with_the_shared_key_order() {
+        // Ties broken by (weight, min, max) on both sides → identical
+        // edge sets, not just equal weights.
+        let n = 10u32;
+        let mut native = NativeMsf::new(n);
+        let mut oracle = WeightedGraph::new(n);
+        let mut rng = dynfo_graph::generate::rng(62);
+        for _ in 0..60 {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a == b || oracle.weight(a, b).is_some() {
+                continue;
+            }
+            let w = rng.gen_range(0..4); // heavy ties
+            native.insert(a, b, w);
+            oracle.insert(a, b, w);
+            let k: std::collections::BTreeSet<(Node, Node)> =
+                kruskal(&oracle).into_iter().map(|(a, b, _)| (a, b)).collect();
+            let f: std::collections::BTreeSet<(Node, Node)> = native.forest().edges().collect();
+            assert_eq!(k, f);
+        }
+    }
+
+    #[test]
+    fn lighter_cycle_edge_swaps() {
+        let mut m = NativeMsf::new(3);
+        m.insert(0, 1, 5);
+        m.insert(1, 2, 9);
+        m.insert(0, 2, 3);
+        let edges: Vec<_> = m.forest().edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2)]);
+        assert_eq!(m.weight(), 8);
+    }
+}

@@ -1,0 +1,193 @@
+//! Native dynamic undirected connectivity mirroring Theorem 4.1:
+//! a spanning forest with replacement-edge repair on deletion.
+//!
+//! Insertions use union-by-relabeling of the smaller side; deletions of
+//! forest edges cut the tree, look for the lexicographically least
+//! reconnecting edge (the same deterministic choice as the FO program's
+//! `New`), and either splice it in or split the component.
+
+use dynfo_graph::graph::{Graph, Node};
+
+/// Dynamic connectivity with a maintained spanning forest.
+#[derive(Clone, Debug)]
+pub struct NativeReachU {
+    graph: Graph,
+    forest: Graph,
+    comp: Vec<Node>,
+}
+
+impl NativeReachU {
+    /// Empty graph on `n` vertices.
+    pub fn new(n: Node) -> NativeReachU {
+        NativeReachU {
+            graph: Graph::new(n),
+            forest: Graph::new(n),
+            comp: (0..n).collect(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> Node {
+        self.graph.num_nodes()
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The maintained spanning forest.
+    pub fn forest(&self) -> &Graph {
+        &self.forest
+    }
+
+    /// Are `x` and `y` connected? O(1).
+    pub fn connected(&self, x: Node, y: Node) -> bool {
+        self.comp[x as usize] == self.comp[y as usize]
+    }
+
+    /// Insert edge `{a, b}`.
+    pub fn insert(&mut self, a: Node, b: Node) {
+        if !self.graph.insert(a, b) || a == b {
+            return;
+        }
+        if self.comp[a as usize] != self.comp[b as usize] {
+            self.forest.insert(a, b);
+            // Relabel b's side to a's label (smaller side would be
+            // better; correctness first, the sides are forest-connected).
+            let target = self.comp[a as usize];
+            let from = self.comp[b as usize];
+            for c in self.comp.iter_mut() {
+                if *c == from {
+                    *c = target;
+                }
+            }
+        }
+    }
+
+    /// Delete edge `{a, b}`.
+    pub fn delete(&mut self, a: Node, b: Node) {
+        if !self.graph.remove(a, b) {
+            return;
+        }
+        if !self.forest.remove(a, b) {
+            return; // non-forest edge: connectivity unchanged
+        }
+        // Cut: find a's side within the old tree.
+        let side_a = dynfo_graph::traversal::reachable_undirected(&self.forest, a);
+        // Least crossing edge (x in side_a, y outside), lexicographic.
+        let mut replacement: Option<(Node, Node)> = None;
+        for x in 0..self.num_nodes() {
+            if !side_a[x as usize] || self.comp[x as usize] != self.comp[a as usize] {
+                continue;
+            }
+            for y in self.graph.neighbors(x) {
+                if self.comp[y as usize] == self.comp[a as usize] && !side_a[y as usize] {
+                    let cand = (x, y);
+                    if replacement.is_none_or(|r| cand < r) {
+                        replacement = Some(cand);
+                    }
+                }
+            }
+        }
+        match replacement {
+            Some((x, y)) => {
+                self.forest.insert(x, y);
+            }
+            None => {
+                // Split: relabel BOTH sides of the old component with
+                // their minimum vertices (relabeling only one side could
+                // leave the old label alive on both).
+                let old = self.comp[a as usize];
+                let members: Vec<Node> = (0..self.num_nodes())
+                    .filter(|&v| self.comp[v as usize] == old)
+                    .collect();
+                let label_a = *members
+                    .iter()
+                    .find(|&&v| side_a[v as usize])
+                    .expect("side contains a");
+                let label_b = *members
+                    .iter()
+                    .find(|&&v| !side_a[v as usize])
+                    .expect("other side contains b");
+                for &v in &members {
+                    self.comp[v as usize] = if side_a[v as usize] { label_a } else { label_b };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynfo_graph::generate::{churn_stream, rng, EdgeOp};
+    use dynfo_graph::traversal::{components, connected};
+
+    #[test]
+    fn matches_bfs_oracle_under_churn() {
+        let n = 24;
+        let mut native = NativeReachU::new(n);
+        let mut oracle = Graph::new(n);
+        let ops = churn_stream(n, 600, 0.4, true, &mut rng(51));
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                EdgeOp::Ins(a, b) => {
+                    native.insert(a, b);
+                    oracle.insert(a, b);
+                }
+                EdgeOp::Del(a, b) => {
+                    native.delete(a, b);
+                    oracle.remove(a, b);
+                }
+            }
+            // Forest invariants.
+            let gc = components(&oracle);
+            let fc = components(native.forest());
+            assert_eq!(gc, fc, "step {step}: forest does not span");
+            for x in 0..n {
+                for y in 0..n {
+                    assert_eq!(
+                        native.connected(x, y),
+                        connected(&oracle, x, y),
+                        "step {step}: connected({x},{y})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deletion_without_replacement_splits() {
+        let mut d = NativeReachU::new(4);
+        d.insert(0, 1);
+        d.insert(1, 2);
+        assert!(d.connected(0, 2));
+        d.delete(1, 2);
+        assert!(!d.connected(0, 2));
+        assert!(d.connected(0, 1));
+    }
+
+    #[test]
+    fn deletion_with_replacement_reconnects() {
+        let mut d = NativeReachU::new(4);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            d.insert(a, b);
+        }
+        d.delete(0, 1);
+        assert!(d.connected(0, 1)); // via 0-3-2-1
+        d.delete(2, 3);
+        // Remaining edges: {1,2} and {3,0} — two components.
+        assert!(d.connected(0, 3));
+        assert!(d.connected(1, 2));
+        assert!(!d.connected(0, 1));
+    }
+
+    #[test]
+    fn self_loops_and_phantoms_ignored() {
+        let mut d = NativeReachU::new(3);
+        d.insert(1, 1);
+        d.delete(0, 2);
+        assert!(!d.connected(0, 1));
+    }
+}

@@ -1,0 +1,204 @@
+//! Bipartiteness (Theorem 4.5(1)).
+//!
+//! Maintains the Theorem 4.1 spanning forest (`F`, `PV`) plus
+//! `Odd(x, y)`: the (unique) forest path from `x` to `y` has odd length.
+//! The graph is bipartite iff every edge's endpoints have an odd forest
+//! path between them: `∀x,y (E(x,y) → Odd(x,y))`. (A self-loop `E(x,x)`
+//! fails the test, since `Odd(x,x)` never holds — correct.)
+//!
+//! On merge (insert joining two trees) the new path `x ⇝ u – w ⇝ y` has
+//! odd length iff the two side-path parities agree; on delete, surviving
+//! parities persist and cross-pairs recombine through the replacement
+//! edge the same way.
+
+use crate::program::DynFoProgram;
+use crate::programs::reach_u::{forest_formulas, new_edge, same_tree, ForestFormulas};
+use crate::request::RequestKind;
+use dynfo_logic::formula::{eq, exists, forall, implies, not, param, rel, v, Formula, Term};
+
+/// Surviving-path guard w.r.t. the deleted edge `{?0, ?1}`.
+fn survives(p: Term, q: Term) -> Formula {
+    not(rel("PV", [p, q, param(0)]) & rel("PV", [p, q, param(1)]))
+}
+
+/// Parity agreement of two side paths (each guarded by connectivity in
+/// the caller): odd–odd or even–even. `odd(p,q)` must already encode
+/// "connected with odd path"; evenness is `p = q ∨ (connected ∧ ¬odd)`.
+fn parity_agree(odd1: Formula, even1: Formula, odd2: Formula, even2: Formula) -> Formula {
+    (odd1 & odd2) | (even1 & even2)
+}
+
+/// Build the bipartiteness program. Boolean query: is the graph
+/// bipartite? Named queries: `odd_path(?0, ?1)`, `connected(?0, ?1)`.
+pub fn program() -> DynFoProgram {
+    let (a, b) = (param(0), param(1));
+    let ForestFormulas {
+        ins_e,
+        ins_f,
+        ins_pv,
+        del_e,
+        del_f,
+        del_pv,
+    } = forest_formulas();
+
+    // ---- insert(E, a, b): recombine parities across the new edge ----
+    let odd_side = |p: &str, q: &str| rel("Odd", [v(p), v(q)]);
+    let even_side = |p: &str, q: &str| eq(v(p), v(q)) | (same_tree(v(p), v(q)) & not(odd_side(p, q)));
+    let ins_odd = rel("Odd", [v("x"), v("y")])
+        | (not(same_tree(a, b))
+            & exists(
+                ["u", "w"],
+                ((eq(v("u"), a) & eq(v("w"), b)) | (eq(v("u"), b) & eq(v("w"), a)))
+                    & same_tree(v("x"), v("u"))
+                    & same_tree(v("w"), v("y"))
+                    & parity_agree(
+                        odd_side("x", "u"),
+                        even_side("x", "u"),
+                        odd_side("w", "y"),
+                        even_side("w", "y"),
+                    ),
+            ));
+
+    // ---- delete(E, a, b) ----
+    // Parities that survive the cut; then recombination through the
+    // replacement edge (New), adding one to the combined length.
+    let was_forest = rel("F", [a, b]);
+    let odd_t = |p: &str, q: &str| rel("Odd", [v(p), v(q)]) & survives(v(p), v(q));
+    let conn_t = |p: &str, q: &str| {
+        eq(v(p), v(q)) | (rel("PV", [v(p), v(q), v(p)]) & survives(v(p), v(q)))
+    };
+    let even_t = |p: &str, q: &str| eq(v(p), v(q)) | (conn_t(p, q) & not(rel("Odd", [v(p), v(q)])));
+    let del_odd = (not(was_forest.clone()) & rel("Odd", [v("x"), v("y")]))
+        | (was_forest
+            & (odd_t("x", "y")
+                | exists(
+                    ["u", "w"],
+                    (new_edge("u", "w") | new_edge("w", "u"))
+                        & conn_t("x", "u")
+                        & conn_t("w", "y")
+                        & parity_agree(
+                            odd_t("x", "u"),
+                            even_t("x", "u"),
+                            odd_t("w", "y"),
+                            even_t("w", "y"),
+                        ),
+                )));
+
+    DynFoProgram::builder("bipartite")
+        .input_relation("E", 2)
+        .aux_relation("F", 2)
+        .aux_relation("PV", 3)
+        .aux_relation("Odd", 2)
+        .on(RequestKind::ins("E"), "E", &["x", "y"], ins_e)
+        .on(RequestKind::ins("E"), "F", &["x", "y"], ins_f)
+        .on(RequestKind::ins("E"), "PV", &["x", "y", "z"], ins_pv)
+        .on(RequestKind::ins("E"), "Odd", &["x", "y"], ins_odd)
+        .on(RequestKind::del("E"), "E", &["x", "y"], del_e)
+        .on(RequestKind::del("E"), "F", &["x", "y"], del_f)
+        .on(RequestKind::del("E"), "PV", &["x", "y", "z"], del_pv)
+        .on(RequestKind::del("E"), "Odd", &["x", "y"], del_odd)
+        .query(forall(
+            ["x", "y"],
+            implies(rel("E", [v("x"), v("y")]), rel("Odd", [v("x"), v("y")])),
+        ))
+        .named_query("odd_path", rel("Odd", [param(0), param(1)]))
+        .named_query("connected", same_tree(param(0), param(1)))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{run_with_oracle, DynFoMachine};
+    use crate::request::Request;
+    use dynfo_graph::bipartite::is_bipartite;
+    use dynfo_graph::generate::{churn_stream, rng, EdgeOp};
+    use dynfo_graph::graph::Graph;
+    use dynfo_logic::Structure;
+
+    fn to_requests(ops: &[EdgeOp]) -> Vec<Request> {
+        ops.iter()
+            .map(|op| match *op {
+                EdgeOp::Ins(a, b) => Request::ins("E", [a, b]),
+                EdgeOp::Del(a, b) => Request::del("E", [a, b]),
+            })
+            .collect()
+    }
+
+    fn graph_of(input: &Structure) -> Graph {
+        let mut g = Graph::new(input.size());
+        for t in input.rel("E").iter() {
+            g.insert(t[0], t[1]);
+        }
+        g
+    }
+
+    #[test]
+    fn matches_two_coloring_oracle_under_churn() {
+        let ops = churn_stream(6, 60, 0.35, true, &mut rng(31));
+        run_with_oracle(program(), 6, &to_requests(&ops), |step, machine, input| {
+            let g = graph_of(input);
+            assert_eq!(
+                machine.query().unwrap(),
+                is_bipartite(&g),
+                "step {step}: bipartiteness"
+            );
+        });
+    }
+
+    #[test]
+    fn odd_cycle_breaks_bipartiteness_even_cycle_does_not() {
+        let mut m = DynFoMachine::new(program(), 6);
+        // Build 4-cycle: bipartite.
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            m.apply(&Request::ins("E", [a, b])).unwrap();
+        }
+        assert!(m.query().unwrap());
+        // Chord makes a triangle: not bipartite.
+        m.apply(&Request::ins("E", [0, 2])).unwrap();
+        assert!(!m.query().unwrap());
+        // Removing the chord restores it.
+        m.apply(&Request::del("E", [0, 2])).unwrap();
+        assert!(m.query().unwrap());
+    }
+
+    #[test]
+    fn odd_path_tracks_forest_distance_parity() {
+        let mut m = DynFoMachine::new(program(), 6);
+        m.apply(&Request::ins("E", [0, 1])).unwrap();
+        m.apply(&Request::ins("E", [1, 2])).unwrap();
+        assert!(m.query_named("odd_path", &[0, 1]).unwrap());
+        assert!(!m.query_named("odd_path", &[0, 2]).unwrap());
+        assert!(m.query_named("odd_path", &[0, 2]).unwrap() == false);
+        m.apply(&Request::ins("E", [2, 3])).unwrap();
+        assert!(m.query_named("odd_path", &[0, 3]).unwrap());
+        // Disconnected pairs have no odd path.
+        assert!(!m.query_named("odd_path", &[0, 5]).unwrap());
+    }
+
+    #[test]
+    fn self_loop_is_not_bipartite() {
+        let mut m = DynFoMachine::new(program(), 4);
+        assert!(m.query().unwrap()); // empty graph bipartite
+        m.apply(&Request::ins("E", [2, 2])).unwrap();
+        assert!(!m.query().unwrap());
+        m.apply(&Request::del("E", [2, 2])).unwrap();
+        assert!(m.query().unwrap());
+    }
+
+    #[test]
+    fn delete_reconnection_preserves_parity() {
+        // Even cycle; delete a forest edge so the replacement recombines
+        // parities; graph stays bipartite and distances stay consistent.
+        let mut m = DynFoMachine::new(program(), 8);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)] {
+            m.apply(&Request::ins("E", [a, b])).unwrap();
+        }
+        assert!(m.query().unwrap());
+        m.apply(&Request::del("E", [2, 3])).unwrap();
+        assert!(m.query().unwrap());
+        // 0..3 now via 0-5-4-3: still odd.
+        assert!(m.query_named("odd_path", &[0, 3]).unwrap());
+        assert!(!m.query_named("odd_path", &[0, 4]).unwrap());
+    }
+}

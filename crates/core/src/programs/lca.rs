@@ -1,0 +1,139 @@
+//! Lowest common ancestors in directed forests (Theorem 4.5(4)).
+//!
+//! Maintains the path relation `P` exactly as Theorem 4.2 (a directed
+//! forest is acyclic, so the promise holds whenever the requester keeps
+//! the graph a forest). The LCA is then a pure query:
+//!
+//! ```text
+//! lca(x, y, a) ≡ P*(a,x) ∧ P*(a,y) ∧ ∀z ((P*(z,x) ∧ P*(z,y)) → P*(z,a))
+//! ```
+//!
+//! (Edges are parent → child; `P*` is the reflexive closure.)
+
+use crate::program::DynFoProgram;
+use crate::programs::reach_acyclic::{del_p, ins_p, path};
+use crate::programs::tuple_is_params;
+use crate::request::RequestKind;
+use dynfo_logic::formula::{forall, implies, not, param, rel, v, Formula};
+
+/// Build the LCA program. Input: `⟨E²⟩`, promise: a directed forest at
+/// all times. Named queries: `lca(?0, ?1, ?2)` — is `?2` the LCA of
+/// `?0`, `?1`? — and `ancestor(?0, ?1)`.
+pub fn program() -> DynFoProgram {
+    let ins_e = rel("E", [v("x"), v("y")]) | tuple_is_params(&["x", "y"]);
+    let del_e = rel("E", [v("x"), v("y")]) & not(tuple_is_params(&["x", "y"]));
+
+    let lca_query = path(param(2), param(0))
+        & path(param(2), param(1))
+        & forall(
+            ["z"],
+            implies(
+                path(v("z"), param(0)) & path(v("z"), param(1)),
+                path(v("z"), param(2)),
+            ),
+        );
+
+    DynFoProgram::builder("lca")
+        .input_relation("E", 2)
+        .aux_relation("P", 2)
+        .memoryless()
+        .on(RequestKind::ins("E"), "E", &["x", "y"], ins_e)
+        .on(RequestKind::ins("E"), "P", &["x", "y"], ins_p())
+        .on(RequestKind::del("E"), "E", &["x", "y"], del_e)
+        .on(RequestKind::del("E"), "P", &["x", "y"], del_p())
+        .query(Formula::True)
+        .named_query("lca", lca_query)
+        .named_query("ancestor", path(param(0), param(1)))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::DynFoMachine;
+    use crate::request::Request;
+    use dynfo_graph::generate::rng;
+    use dynfo_graph::graph::DiGraph;
+    use dynfo_graph::lca::lca as lca_oracle;
+    use rand::Rng;
+
+    fn check_all_lcas(m: &mut DynFoMachine, g: &DiGraph, step: usize) {
+        let n = g.num_nodes();
+        for x in 0..n {
+            for y in 0..n {
+                let expected = lca_oracle(g, x, y);
+                for a in 0..n {
+                    assert_eq!(
+                        m.query_named("lca", &[x, y, a]).unwrap(),
+                        expected == Some(a),
+                        "step {step}: lca({x},{y}) cand {a}, expected {expected:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_static_forest() {
+        //        0            5
+        //       / \           |
+        //      1   2          6
+        //     / \
+        //    3   4
+        let mut m = DynFoMachine::new(program(), 7);
+        let mut g = DiGraph::new(7);
+        for (p, c) in [(0, 1), (0, 2), (1, 3), (1, 4), (5, 6)] {
+            m.apply(&Request::ins("E", [p, c])).unwrap();
+            g.insert(p, c);
+        }
+        check_all_lcas(&mut m, &g, 0);
+        // Spot checks for readability.
+        assert!(m.query_named("lca", &[3, 4, 1]).unwrap());
+        assert!(m.query_named("lca", &[3, 2, 0]).unwrap());
+        assert!(!m.query_named("lca", &[3, 2, 1]).unwrap());
+        // Cross-tree pairs have no LCA.
+        assert!(!m.query_named("lca", &[3, 6, 0]).unwrap());
+    }
+
+    #[test]
+    fn link_and_cut_under_random_forest_edits() {
+        let n = 7u32;
+        let mut m = DynFoMachine::new(program(), n);
+        let mut g = DiGraph::new(n);
+        let mut rand = rng(23);
+        for step in 0..40 {
+            // Random forest edit: either cut a random child, or link a
+            // root under another vertex (keeping forest-ness).
+            let child = rand.gen_range(1..n);
+            let parent_opt = { g.predecessors(child).next() };
+            if let Some(parent) = parent_opt {
+                if rand.gen_bool(0.45) {
+                    g.remove(parent, child);
+                    m.apply(&Request::del("E", [parent, child])).unwrap();
+                }
+            } else {
+                // `child` is a root; link it below any vertex not in its
+                // own subtree (avoid creating a cycle).
+                let target = rand.gen_range(0..n);
+                let in_subtree =
+                    dynfo_graph::traversal::reachable_directed(&g, child)[target as usize];
+                if target != child && !in_subtree {
+                    g.insert(target, child);
+                    m.apply(&Request::ins("E", [target, child])).unwrap();
+                }
+            }
+            assert!(dynfo_graph::lca::is_forest(&g), "test bug: lost forestness");
+            check_all_lcas(&mut m, &g, step);
+        }
+    }
+
+    #[test]
+    fn ancestor_query() {
+        let mut m = DynFoMachine::new(program(), 5);
+        m.apply(&Request::ins("E", [0, 1])).unwrap();
+        m.apply(&Request::ins("E", [1, 2])).unwrap();
+        assert!(m.query_named("ancestor", &[0, 2]).unwrap());
+        assert!(m.query_named("ancestor", &[2, 2]).unwrap());
+        assert!(!m.query_named("ancestor", &[2, 0]).unwrap());
+    }
+}

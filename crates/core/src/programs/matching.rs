@@ -1,0 +1,231 @@
+//! Maximal matching (Theorem 4.5(3)).
+//!
+//! Auxiliary relation `M(x, y)` (symmetric): edge `{x,y}` is in the
+//! matching. `MP(x) ≡ ∃z M(x, z)` abbreviates "x is matched".
+//!
+//! * **Insert** `{a,b}`: add to the matching iff both endpoints are
+//!   free (and `a ≠ b`).
+//! * **Delete** `{a,b}`: if it was matched, unmatch it, then re-match
+//!   `a` with its minimum free neighbor, then `b` likewise (the paper's
+//!   two sequential repairs, expressed in one simultaneous FO update).
+//!
+//! The maintained invariant — `M` is a maximal matching of `E` — is what
+//! the differential tests check; the matching itself is history-
+//! dependent (not memoryless), which the paper permits.
+
+use crate::program::DynFoProgram;
+use crate::programs::eq_pair;
+use crate::request::RequestKind;
+use dynfo_logic::formula::{eq, exists, forall, implies, le, not, param, rel, v, Formula, Term};
+
+/// `MP(t)` in the *pre* matching: `∃z M(t, z)`.
+fn matched(t: Term) -> Formula {
+    exists(["mz"], rel("M", [t, v("mz")]))
+}
+
+/// `MP₀(t)`: matched after removing the pair `{?0, ?1}`.
+fn matched0(t: Term) -> Formula {
+    exists(
+        ["mz"],
+        rel("M", [t, v("mz")])
+            & not(
+                (eq(t, param(0)) & eq(v("mz"), param(1)))
+                    | (eq(t, param(1)) & eq(v("mz"), param(0))),
+            ),
+    )
+}
+
+/// `E'(p, q)`: the edge relation after deleting `{?0, ?1}`.
+fn e_after(p: Term, q: Term) -> Formula {
+    rel("E", [p, q])
+        & not((eq(p, param(0)) & eq(q, param(1))) | (eq(p, param(1)) & eq(q, param(0))))
+}
+
+/// `RepA(y)`: the minimum free neighbor of `a = ?0` after the unmatch.
+fn rep_a(y: &str) -> Formula {
+    e_after(param(0), v(y))
+        & not(matched0(v(y)))
+        & not(eq(v(y), param(0)))
+        & forall(
+            ["w2"],
+            implies(
+                e_after(param(0), v("w2")) & not(matched0(v("w2"))) & not(eq(v("w2"), param(0))),
+                le(v(y), v("w2")),
+            ),
+        )
+}
+
+/// `MP₁(t)`: matched after the unmatch *and* `a`'s repair.
+fn matched1(t: Term) -> Formula {
+    matched0(t) | (eq(t, param(0)) & exists(["ra"], rep_a("ra"))) | rel_is_rep_a(t)
+}
+
+/// Helper: `t` is the vertex `a` was re-matched to.
+fn rel_is_rep_a(t: Term) -> Formula {
+    // t = RepA: restate rep_a with t in place of the variable.
+    e_after(param(0), t)
+        & not(matched0(t))
+        & not(eq(t, param(0)))
+        & forall(
+            ["w3"],
+            implies(
+                e_after(param(0), v("w3")) & not(matched0(v("w3"))) & not(eq(v("w3"), param(0))),
+                le(t, v("w3")),
+            ),
+        )
+}
+
+/// `RepB(y)`: minimum neighbor of `b = ?1` free after `a`'s repair.
+fn rep_b(y: &str) -> Formula {
+    e_after(param(1), v(y))
+        & not(matched1(v(y)))
+        & not(eq(v(y), param(1)))
+        & forall(
+            ["w4"],
+            implies(
+                e_after(param(1), v("w4")) & not(matched1(v("w4"))) & not(eq(v("w4"), param(1))),
+                le(v(y), v("w4")),
+            ),
+        )
+}
+
+/// Build the maximal-matching program. Named queries:
+/// `matched(?0, ?1)` and `is_matched(?0)`.
+pub fn program() -> DynFoProgram {
+    let ins_e = rel("E", [v("x"), v("y")]) | eq_pair("x", "y");
+    let del_e = rel("E", [v("x"), v("y")]) & not(eq_pair("x", "y"));
+
+    // ---- insert(E, a, b) ----
+    let ins_m = rel("M", [v("x"), v("y")])
+        | (eq_pair("x", "y")
+            & not(matched(param(0)))
+            & not(matched(param(1)))
+            & not(eq(param(0), param(1))));
+
+    // ---- delete(E, a, b) ----
+    let was_matched = rel("M", [param(0), param(1)]);
+    let m0 = rel("M", [v("x"), v("y")]) & not(eq_pair("x", "y"));
+    let del_m = (not(was_matched.clone()) & rel("M", [v("x"), v("y")]))
+        | (was_matched
+            & (m0
+                | (eq(v("x"), param(0)) & rep_a("y"))
+                | (rep_a("x") & eq(v("y"), param(0)))
+                | (eq(v("x"), param(1)) & rep_b("y"))
+                | (rep_b("x") & eq(v("y"), param(1)))));
+
+    DynFoProgram::builder("matching")
+        .input_relation("E", 2)
+        .aux_relation("M", 2)
+        .on(RequestKind::ins("E"), "E", &["x", "y"], ins_e)
+        .on(RequestKind::ins("E"), "M", &["x", "y"], ins_m)
+        .on(RequestKind::del("E"), "E", &["x", "y"], del_e)
+        .on(RequestKind::del("E"), "M", &["x", "y"], del_m)
+        // Query: is the matching nonempty? (The interesting queries are
+        // the named ones; maximality is the maintained invariant.)
+        .query(exists(["x", "y"], rel("M", [v("x"), v("y")])))
+        .named_query("matched", rel("M", [param(0), param(1)]))
+        .named_query("is_matched", exists(["z"], rel("M", [param(0), v("z")])))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{run_with_oracle, DynFoMachine};
+    use crate::request::Request;
+    use dynfo_graph::generate::{churn_stream, rng, EdgeOp};
+    use dynfo_graph::graph::Graph;
+    use dynfo_graph::matching::{is_maximal_matching, Matching};
+    use dynfo_logic::Structure;
+
+    fn to_requests(ops: &[EdgeOp]) -> Vec<Request> {
+        ops.iter()
+            .map(|op| match *op {
+                EdgeOp::Ins(a, b) => Request::ins("E", [a, b]),
+                EdgeOp::Del(a, b) => Request::del("E", [a, b]),
+            })
+            .collect()
+    }
+
+    fn graph_of(input: &Structure) -> Graph {
+        let mut g = Graph::new(input.size());
+        for t in input.rel("E").iter() {
+            g.insert(t[0], t[1]);
+        }
+        g
+    }
+
+    fn extract_matching(m: &DynFoMachine) -> Matching {
+        let mut out = Matching::new();
+        for t in m.state().rel("M").iter() {
+            assert!(
+                m.state().holds("M", [t[1], t[0]]),
+                "matching not symmetric at {t}"
+            );
+            if t[0] <= t[1] {
+                out.insert((t[0], t[1]));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn invariant_holds_under_churn() {
+        let ops = churn_stream(8, 120, 0.4, true, &mut rng(17));
+        run_with_oracle(program(), 8, &to_requests(&ops), |step, machine, input| {
+            let g = graph_of(input);
+            let m = extract_matching(machine);
+            assert!(
+                is_maximal_matching(&g, &m),
+                "step {step}: {m:?} not a maximal matching"
+            );
+        });
+    }
+
+    #[test]
+    fn insert_matches_free_endpoints_only() {
+        let mut m = DynFoMachine::new(program(), 6);
+        m.apply(&Request::ins("E", [0, 1])).unwrap();
+        assert!(m.query_named("matched", &[0, 1]).unwrap());
+        // 1 is taken: edge (1,2) stays unmatched.
+        m.apply(&Request::ins("E", [1, 2])).unwrap();
+        assert!(!m.query_named("matched", &[1, 2]).unwrap());
+        // Fresh pair matches.
+        m.apply(&Request::ins("E", [2, 3])).unwrap();
+        assert!(m.query_named("matched", &[2, 3]).unwrap());
+    }
+
+    #[test]
+    fn delete_rematches_both_endpoints() {
+        let mut m = DynFoMachine::new(program(), 8);
+        // Path 2-0-1-3: (0,1) matches first, leaving 2 and 3 free.
+        m.apply(&Request::ins("E", [0, 1])).unwrap();
+        m.apply(&Request::ins("E", [0, 2])).unwrap();
+        m.apply(&Request::ins("E", [1, 3])).unwrap();
+        assert!(m.query_named("matched", &[0, 1]).unwrap());
+        assert!(!m.query_named("is_matched", &[2]).unwrap());
+        // Deleting (0,1) frees both; each re-matches with its neighbor.
+        m.apply(&Request::del("E", [0, 1])).unwrap();
+        assert!(m.query_named("matched", &[0, 2]).unwrap());
+        assert!(m.query_named("matched", &[1, 3]).unwrap());
+    }
+
+    #[test]
+    fn self_loops_never_match() {
+        let mut m = DynFoMachine::new(program(), 4);
+        m.apply(&Request::ins("E", [1, 1])).unwrap();
+        assert!(!m.query_named("matched", &[1, 1]).unwrap());
+        assert!(!m.query().unwrap());
+    }
+
+    #[test]
+    fn deleting_unmatched_edge_changes_matching_not_at_all() {
+        let mut m = DynFoMachine::new(program(), 6);
+        m.apply(&Request::ins("E", [0, 1])).unwrap();
+        m.apply(&Request::ins("E", [1, 2])).unwrap();
+        let before: Vec<_> = m.state().rel("M").iter().copied().collect();
+        m.apply(&Request::del("E", [1, 2])).unwrap();
+        let after: Vec<_> = m.state().rel("M").iter().copied().collect();
+        assert_eq!(before, after);
+    }
+}

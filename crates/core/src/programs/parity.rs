@@ -1,0 +1,119 @@
+//! PARITY (Example 3.2): is the number of ones in the bit string odd?
+//!
+//! Not in static FO (\[A83\], \[FSS84\]); the dynamic program maintains a
+//! single bit `Odd` (a 0-ary auxiliary relation) and the input copy `M`,
+//! toggling `Odd` exactly when a request actually changes the string:
+//!
+//! ```text
+//! ins(M, a):  M'(x) ≡ M(x) ∨ x = a
+//!             Odd'  ≡ (Odd ∧ M(a)) ∨ (¬Odd ∧ ¬M(a))
+//! del(M, a):  M'(x) ≡ M(x) ∧ x ≠ a
+//!             Odd'  ≡ (Odd ∧ ¬M(a)) ∨ (¬Odd ∧ M(a))
+//! ```
+
+use crate::program::DynFoProgram;
+use crate::request::RequestKind;
+use dynfo_logic::formula::{eq, not, param, rel, v};
+
+/// Build the PARITY program. Input vocabulary `⟨M¹⟩`; query: `Odd`.
+pub fn program() -> DynFoProgram {
+    let m = |x| rel("M", [x]);
+    let odd = rel("Odd", []);
+    DynFoProgram::builder("parity")
+        .input_relation("M", 1)
+        .aux_relation("Odd", 0)
+        .memoryless()
+        // ins(M, a)
+        .on(
+            RequestKind::ins("M"),
+            "M",
+            &["x"],
+            m(v("x")) | eq(v("x"), param(0)),
+        )
+        .on(
+            RequestKind::ins("M"),
+            "Odd",
+            &[],
+            (odd.clone() & m(param(0))) | (not(odd.clone()) & not(m(param(0)))),
+        )
+        // del(M, a)
+        .on(
+            RequestKind::del("M"),
+            "M",
+            &["x"],
+            m(v("x")) & not(eq(v("x"), param(0))),
+        )
+        .on(
+            RequestKind::del("M"),
+            "Odd",
+            &[],
+            (odd.clone() & not(m(param(0)))) | (not(odd) & m(param(0))),
+        )
+        .query(rel("Odd", []))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{check_memoryless, DynFoMachine};
+    use crate::request::Request;
+    use rand::Rng;
+
+    #[test]
+    fn tracks_parity_through_random_requests() {
+        let mut machine = DynFoMachine::new(program(), 32);
+        let mut reference = [false; 32];
+        let mut rng = dynfo_graph::generate::rng(11);
+        for _ in 0..300 {
+            let i = rng.gen_range(0..32u32);
+            let req = if rng.gen_bool(0.5) {
+                reference[i as usize] = true;
+                Request::ins("M", [i])
+            } else {
+                reference[i as usize] = false;
+                Request::del("M", [i])
+            };
+            machine.apply(&req).unwrap();
+            let expected = reference.iter().filter(|&&b| b).count() % 2 == 1;
+            assert_eq!(machine.query().unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn redundant_requests_do_not_toggle() {
+        let mut machine = DynFoMachine::new(program(), 8);
+        machine.apply(&Request::ins("M", [3])).unwrap();
+        assert!(machine.query().unwrap());
+        // Inserting an already-present bit must not change parity.
+        machine.apply(&Request::ins("M", [3])).unwrap();
+        assert!(machine.query().unwrap());
+        // Deleting an absent bit must not change parity.
+        machine.apply(&Request::del("M", [5])).unwrap();
+        assert!(machine.query().unwrap());
+        machine.apply(&Request::del("M", [3])).unwrap();
+        assert!(!machine.query().unwrap());
+    }
+
+    #[test]
+    fn update_depth_is_constant_zero() {
+        // The PARITY update formulas are quantifier-free: CRAM depth 0.
+        let p = program();
+        assert_eq!(p.update_depth(), 0);
+        assert_eq!(p.query_depth(), 0);
+    }
+
+    #[test]
+    fn memoryless() {
+        let p = program();
+        let a = [Request::ins("M", [1]), Request::ins("M", [4])];
+        let b = [
+            Request::ins("M", [4]),
+            Request::ins("M", [2]),
+            Request::del("M", [2]),
+            Request::ins("M", [1]),
+            Request::ins("M", [1]),
+        ];
+        assert!(check_memoryless(&p, 8, &a, &b).unwrap());
+    }
+}

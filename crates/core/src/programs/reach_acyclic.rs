@@ -1,0 +1,195 @@
+//! REACH(acyclic) (Theorem 4.2, after \[DS93\]): reachability in directed
+//! graphs *promised to stay acyclic* throughout their history.
+//!
+//! One auxiliary relation `P(x, y)` — "there is a (nonempty) directed
+//! path from `x` to `y`" — suffices:
+//!
+//! ```text
+//! ins(E, a, b):  P'(x,y) ≡ P(x,y) ∨ (P*(x,a) ∧ P*(b,y))
+//! del(E, a, b):  P'(x,y) ≡ P(x,y) ∧ [¬P*(x,a) ∨ ¬P*(b,y) ∨
+//!     ∃u,w (P*(x,u) ∧ P*(u,a) ∧ E(u,w) ∧ ¬P*(w,a) ∧ P*(w,y) ∧ (w≠b ∨ u≠a))]
+//! ```
+//!
+//! where `P*(x, y) ≡ x = y ∨ P(x, y)` is the reflexive closure (we store
+//! only nonempty paths; the paper's `P` is used reflexively in exactly
+//! this way). The delete case is the paper's "last vertex `u` from which
+//! `a` is reachable" argument; acyclicity guarantees the detour avoids
+//! the deleted edge.
+
+use crate::program::DynFoProgram;
+use crate::programs::tuple_is_params;
+use crate::request::RequestKind;
+use dynfo_logic::formula::{cst, eq, exists, not, param, rel, v, Formula, Term};
+
+/// `P*(s, t)`: reflexive closure of the path relation.
+pub(crate) fn path(s: Term, t: Term) -> Formula {
+    eq(s, t) | rel("P", [s, t])
+}
+
+/// The insert-update for `P` (shared with Corollary 4.3 and
+/// Theorem 4.5(4)).
+pub(crate) fn ins_p() -> Formula {
+    rel("P", [v("x"), v("y")]) | (path(v("x"), param(0)) & path(param(1), v("y")))
+}
+
+/// The delete-update for `P` (shared likewise).
+///
+/// One guard beyond the paper: the update only fires when the deleted
+/// edge was actually present (`E(a,b)`). The paper's correctness
+/// argument ("`u ≠ y` because the graph was acyclic") uses the cycle
+/// `a → b ⇝ y ⇝ a`, which needs the edge to exist; deleting an *absent*
+/// edge must be a no-op, and without the guard it is not.
+pub(crate) fn del_p() -> Formula {
+    rel("P", [v("x"), v("y")])
+        & (not(rel("E", [param(0), param(1)]))
+            | not(path(v("x"), param(0)))
+            | not(path(param(1), v("y")))
+            | exists(
+                ["u", "w"],
+                path(v("x"), v("u"))
+                    & path(v("u"), param(0))
+                    & rel("E", [v("u"), v("w")])
+                    & not(path(v("w"), param(0)))
+                    & path(v("w"), v("y"))
+                    & (not(eq(v("w"), param(1))) | not(eq(v("u"), param(0)))),
+            ))
+}
+
+/// Build the REACH(acyclic) program.
+///
+/// Input vocabulary `⟨E², s, t⟩`. The *promise*: every insert keeps the
+/// graph acyclic. Boolean query: `s ⇝ t`; named query `reaches(?0, ?1)`.
+pub fn program() -> DynFoProgram {
+    let ins_e = rel("E", [v("x"), v("y")]) | tuple_is_params(&["x", "y"]);
+    let del_e = rel("E", [v("x"), v("y")]) & not(tuple_is_params(&["x", "y"]));
+
+    DynFoProgram::builder("reach_acyclic")
+        .input_relation("E", 2)
+        .input_constant("s")
+        .input_constant("t")
+        .aux_relation("P", 2)
+        .memoryless()
+        .on(RequestKind::ins("E"), "E", &["x", "y"], ins_e)
+        .on(RequestKind::ins("E"), "P", &["x", "y"], ins_p())
+        .on(RequestKind::del("E"), "E", &["x", "y"], del_e)
+        .on(RequestKind::del("E"), "P", &["x", "y"], del_p())
+        .query(path(cst("s"), cst("t")))
+        .named_query("reaches", path(param(0), param(1)))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{check_memoryless, run_with_oracle, DynFoMachine};
+    use crate::request::Request;
+    use dynfo_graph::generate::{dag_churn_stream, rng, EdgeOp};
+    use dynfo_graph::graph::DiGraph;
+    use dynfo_graph::transitive::transitive_closure;
+    use dynfo_logic::Structure;
+
+    fn to_requests(ops: &[EdgeOp]) -> Vec<Request> {
+        ops.iter()
+            .map(|op| match *op {
+                EdgeOp::Ins(a, b) => Request::ins("E", [a, b]),
+                EdgeOp::Del(a, b) => Request::del("E", [a, b]),
+            })
+            .collect()
+    }
+
+    fn digraph_of(input: &Structure) -> DiGraph {
+        let mut g = DiGraph::new(input.size());
+        for t in input.rel("E").iter() {
+            g.insert(t[0], t[1]);
+        }
+        g
+    }
+
+    #[test]
+    fn p_matches_transitive_closure_under_churn() {
+        let ops = dag_churn_stream(8, 120, 0.35, &mut rng(7));
+        run_with_oracle(program(), 8, &to_requests(&ops), |step, machine, input| {
+            let g = digraph_of(input);
+            let tc = transitive_closure(&g);
+            for x in 0..8u32 {
+                for y in 0..8u32 {
+                    let expected = if x == y {
+                        // Stored P is irreflexive on acyclic graphs; the
+                        // query's reflexive closure handles x = y.
+                        true
+                    } else {
+                        tc[x as usize][y as usize]
+                    };
+                    assert_eq!(
+                        machine.query_named("reaches", &[x, y]).unwrap(),
+                        expected,
+                        "step {step}: reaches({x},{y})"
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn boolean_query_uses_constants() {
+        let mut m = DynFoMachine::new(program(), 6);
+        m.apply(&Request::set("s", 1)).unwrap();
+        m.apply(&Request::set("t", 4)).unwrap();
+        m.apply(&Request::ins("E", [1, 2])).unwrap();
+        m.apply(&Request::ins("E", [2, 4])).unwrap();
+        assert!(m.query().unwrap());
+        m.apply(&Request::del("E", [2, 4])).unwrap();
+        assert!(!m.query().unwrap());
+        // Direction matters.
+        m.apply(&Request::ins("E", [4, 2])).unwrap();
+        assert!(!m.query().unwrap());
+    }
+
+    #[test]
+    fn delete_with_alternative_path_preserves_reachability() {
+        // Diamond 0→1→3, 0→2→3: deleting one branch keeps 0 ⇝ 3.
+        let mut m = DynFoMachine::new(program(), 4);
+        for (a, b) in [(0, 1), (1, 3), (0, 2), (2, 3)] {
+            m.apply(&Request::ins("E", [a, b])).unwrap();
+        }
+        m.apply(&Request::del("E", [1, 3])).unwrap();
+        assert!(m.query_named("reaches", &[0, 3]).unwrap());
+        assert!(!m.query_named("reaches", &[1, 3]).unwrap());
+        m.apply(&Request::del("E", [2, 3])).unwrap();
+        assert!(!m.query_named("reaches", &[0, 3]).unwrap());
+    }
+
+    #[test]
+    fn memoryless_across_histories() {
+        let p = program();
+        // Same final DAG, different histories.
+        let a = [Request::ins("E", [0, 1]), Request::ins("E", [1, 2])];
+        let b = [
+            Request::ins("E", [1, 2]),
+            Request::ins("E", [0, 2]),
+            Request::ins("E", [0, 1]),
+            Request::del("E", [0, 2]),
+        ];
+        assert!(check_memoryless(&p, 5, &a, &b).unwrap());
+    }
+
+    #[test]
+    fn phantom_delete_is_a_no_op() {
+        // x→y plus a detour x→c→y, and y→a; deleting the ABSENT edge
+        // (a, y) must not disturb P (regression test for the E-guard).
+        let (x, y, c, a) = (0u32, 1, 2, 3);
+        let mut m = DynFoMachine::new(program(), 4);
+        for (p, q) in [(x, y), (x, c), (c, y), (y, a)] {
+            m.apply(&Request::ins("E", [p, q])).unwrap();
+        }
+        let before = m.state().clone();
+        m.apply(&Request::del("E", [a, y])).unwrap();
+        assert_eq!(m.state(), &before);
+        assert!(m.query_named("reaches", &[x, y]).unwrap());
+    }
+
+    #[test]
+    fn update_depth_constant() {
+        assert_eq!(program().update_depth(), 1);
+    }
+}

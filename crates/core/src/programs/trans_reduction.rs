@@ -1,0 +1,188 @@
+//! Transitive reduction of DAGs (Corollary 4.3) — **memoryless** Dyn-FO.
+//!
+//! Maintains the path relation `P` exactly as Theorem 4.2, plus
+//! `TR(x, y)`: edge `(x, y)` belongs to the transitive reduction (the
+//! unique minimal subgraph of the DAG with the same closure).
+//!
+//! ```text
+//! ins(E, a, b):  TR'(x,y) ≡ (¬P*(a,b) ∧ x=a ∧ y=b)
+//!                         ∨ [TR(x,y) ∧ ((x=a ∧ y=b) ∨ ¬(P*(x,a) ∧ P*(b,y)))]
+//! del(E, a, b):  New(x,y) ≡ E(x,y) ∧ ¬(x=a ∧ y=b) ∧ ¬TR(x,y)
+//!                         ∧ P*(x,a) ∧ P*(b,y) ∧ ¬Detour(x,y)
+//!                TR'(x,y) ≡ (TR(x,y) ∧ ¬(x=a ∧ y=b)) ∨ New(x,y)
+//! ```
+//!
+//! where `Detour(x, y)` is exactly the survival condition from the
+//! Theorem 4.2 delete formula (a path x ⇝ y avoiding the deleted edge
+//! and of length ≥ 2, i.e. not the edge `(x,y)` itself — acyclicity
+//! makes any detour avoid `(x,y)`).
+//!
+//! One correction to the published insert formula: the removal clause
+//! `TR(x,y) ∧ ¬(P(x,a) ∧ P(b,y))` must except the tuple `(a, b)` itself,
+//! otherwise *re-inserting* an edge already present (so `P(a,b)` holds)
+//! deletes it from TR.
+
+use crate::program::DynFoProgram;
+use crate::programs::reach_acyclic::{del_p, ins_p, path};
+use crate::programs::tuple_is_params;
+use crate::request::RequestKind;
+use dynfo_logic::formula::{eq, exists, not, param, rel, v, Formula};
+
+/// The paper's detour condition: after deleting `(?0, ?1)`, is there
+/// still a path `x ⇝ y` other than a direct edge use of `(?0, ?1)`?
+/// (Same ∃u,w subformula as the Theorem 4.2 delete.)
+fn detour() -> Formula {
+    exists(
+        ["u", "w"],
+        path(v("x"), v("u"))
+            & path(v("u"), param(0))
+            & rel("E", [v("u"), v("w")])
+            & not(path(v("w"), param(0)))
+            & path(v("w"), v("y"))
+            & (not(eq(v("w"), param(1))) | not(eq(v("u"), param(0))))
+            // Exclude the single-edge "path" (u,w) = (x,y): TR needs a
+            // detour of length ≥ 2, not the edge witnessing itself.
+            & (not(eq(v("u"), v("x"))) | not(eq(v("w"), v("y")))),
+    )
+}
+
+/// Build the transitive-reduction program.
+///
+/// Input vocabulary `⟨E²⟩`, promise: acyclic history. Named queries:
+/// `in_tr(?0, ?1)` and `reaches(?0, ?1)`.
+pub fn program() -> DynFoProgram {
+    let ins_e = rel("E", [v("x"), v("y")]) | tuple_is_params(&["x", "y"]);
+    let del_e = rel("E", [v("x"), v("y")]) & not(tuple_is_params(&["x", "y"]));
+    let is_ab = tuple_is_params(&["x", "y"]);
+
+    let ins_tr = (not(path(param(0), param(1))) & is_ab.clone())
+        | (rel("TR", [v("x"), v("y")])
+            & (is_ab.clone() | not(path(v("x"), param(0)) & path(param(1), v("y")))));
+
+    let new_edge = rel("E", [v("x"), v("y")])
+        & not(is_ab.clone())
+        & not(rel("TR", [v("x"), v("y")]))
+        & path(v("x"), param(0))
+        & path(param(1), v("y"))
+        & not(detour());
+    // Guarded by the deleted edge's presence, as in `del_p`: deleting an
+    // absent edge must not promote redundant edges into TR.
+    let del_tr =
+        (rel("TR", [v("x"), v("y")]) & not(is_ab)) | (rel("E", [param(0), param(1)]) & new_edge);
+
+    DynFoProgram::builder("trans_reduction")
+        .input_relation("E", 2)
+        .aux_relation("P", 2)
+        .aux_relation("TR", 2)
+        .memoryless()
+        .on(RequestKind::ins("E"), "E", &["x", "y"], ins_e)
+        .on(RequestKind::ins("E"), "P", &["x", "y"], ins_p())
+        .on(RequestKind::ins("E"), "TR", &["x", "y"], ins_tr)
+        .on(RequestKind::del("E"), "E", &["x", "y"], del_e)
+        .on(RequestKind::del("E"), "P", &["x", "y"], del_p())
+        .on(RequestKind::del("E"), "TR", &["x", "y"], del_tr)
+        .query(Formula::True)
+        .named_query("in_tr", rel("TR", [param(0), param(1)]))
+        .named_query("reaches", path(param(0), param(1)))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{check_memoryless, run_with_oracle, DynFoMachine};
+    use crate::request::Request;
+    use dynfo_graph::generate::{dag_churn_stream, rng, EdgeOp};
+    use dynfo_graph::graph::DiGraph;
+    use dynfo_graph::transitive::transitive_reduction;
+    use dynfo_logic::Structure;
+
+    fn to_requests(ops: &[EdgeOp]) -> Vec<Request> {
+        ops.iter()
+            .map(|op| match *op {
+                EdgeOp::Ins(a, b) => Request::ins("E", [a, b]),
+                EdgeOp::Del(a, b) => Request::del("E", [a, b]),
+            })
+            .collect()
+    }
+
+    fn digraph_of(input: &Structure) -> DiGraph {
+        let mut g = DiGraph::new(input.size());
+        for t in input.rel("E").iter() {
+            g.insert(t[0], t[1]);
+        }
+        g
+    }
+
+    #[test]
+    fn tr_matches_static_oracle_under_churn() {
+        let ops = dag_churn_stream(7, 100, 0.35, &mut rng(13));
+        run_with_oracle(program(), 7, &to_requests(&ops), |step, machine, input| {
+            let g = digraph_of(input);
+            let tr = transitive_reduction(&g);
+            for x in 0..7u32 {
+                for y in 0..7u32 {
+                    assert_eq!(
+                        machine.query_named("in_tr", &[x, y]).unwrap(),
+                        tr.has_edge(x, y),
+                        "step {step}: in_tr({x},{y})"
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn shortcut_edge_is_excluded_then_restored() {
+        let mut m = DynFoMachine::new(program(), 4);
+        m.apply(&Request::ins("E", [0, 1])).unwrap();
+        m.apply(&Request::ins("E", [1, 2])).unwrap();
+        // Shortcut 0→2 is redundant.
+        m.apply(&Request::ins("E", [0, 2])).unwrap();
+        assert!(!m.query_named("in_tr", &[0, 2]).unwrap());
+        // Removing the long route makes the shortcut essential.
+        m.apply(&Request::del("E", [1, 2])).unwrap();
+        assert!(m.query_named("in_tr", &[0, 2]).unwrap());
+    }
+
+    #[test]
+    fn reinserting_existing_edge_is_a_no_op() {
+        let mut m = DynFoMachine::new(program(), 4);
+        m.apply(&Request::ins("E", [0, 1])).unwrap();
+        let before = m.state().clone();
+        m.apply(&Request::ins("E", [0, 1])).unwrap();
+        assert_eq!(m.state(), &before);
+        assert!(m.query_named("in_tr", &[0, 1]).unwrap());
+    }
+
+    #[test]
+    fn phantom_delete_does_not_promote_redundant_edges() {
+        let (x, y, c, a) = (0u32, 1, 2, 3);
+        let mut m = DynFoMachine::new(program(), 4);
+        for (p, q) in [(x, y), (x, c), (c, y), (y, a)] {
+            m.apply(&Request::ins("E", [p, q])).unwrap();
+        }
+        assert!(!m.query_named("in_tr", &[x, y]).unwrap());
+        let before = m.state().clone();
+        m.apply(&Request::del("E", [a, y])).unwrap();
+        assert_eq!(m.state(), &before);
+    }
+
+    #[test]
+    fn memoryless_corollary_4_3() {
+        let p = program();
+        let a = [
+            Request::ins("E", [0, 1]),
+            Request::ins("E", [1, 2]),
+            Request::ins("E", [0, 2]),
+        ];
+        let b = [
+            Request::ins("E", [0, 2]),
+            Request::ins("E", [1, 2]),
+            Request::ins("E", [1, 3]),
+            Request::del("E", [1, 3]),
+            Request::ins("E", [0, 1]),
+        ];
+        assert!(check_memoryless(&p, 5, &a, &b).unwrap());
+    }
+}

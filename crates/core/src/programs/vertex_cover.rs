@@ -1,0 +1,145 @@
+//! Dynamic 2-approximate vertex cover — the \[P94\] direction the paper
+//! points to ("some NP-complete problems admit Dyn-FO approximation
+//! algorithms").
+//!
+//! The classical bridge: the endpoint set of any *maximal matching* is a
+//! vertex cover of size ≤ 2·OPT. Theorem 4.5(3) maintains a maximal
+//! matching in Dyn-FO, so the cover query
+//!
+//! ```text
+//! InCover(x) ≡ ∃z M(x, z)
+//! ```
+//!
+//! is a depth-1 view over that program's auxiliary relation — a Dyn-FO
+//! constant-factor approximation of an NP-hard optimum, maintained per
+//! edge update.
+
+use crate::program::DynFoProgram;
+use dynfo_logic::formula::{exists, param, rel, v};
+
+/// The matching program of Theorem 4.5(3) extended with the
+/// vertex-cover view queries: `in_cover(?0)` and the certificate query
+/// `covers_all()` (every edge has a covered endpoint — always true, by
+/// maximality).
+pub fn program() -> DynFoProgram {
+    // Reuse the whole maximal-matching program and bolt on the views.
+    let base = crate::programs::matching::program();
+    // Rebuild with the extra named queries (programs are immutable).
+    let mut b = DynFoProgram::builder("vertex_cover")
+        .input_relation("E", 2)
+        .aux_relation("M", 2);
+    for (kind, rule) in base.rules() {
+        let vars: Vec<&str> = rule.vars.iter().map(|s| s.as_str()).collect();
+        b = b.on(*kind, rule.target.as_str(), &vars, rule.formula.clone());
+    }
+    b.query(dynfo_logic::formula::forall(
+        ["x", "y"],
+        dynfo_logic::formula::implies(
+            rel("E", [v("x"), v("y")]),
+            exists(["z"], rel("M", [v("x"), v("z")]))
+                | exists(["z"], rel("M", [v("y"), v("z")]))
+                | dynfo_logic::formula::eq(v("x"), v("y")),
+        ),
+    ))
+    .named_query("in_cover", exists(["z"], rel("M", [param(0), v("z")])))
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::DynFoMachine;
+    use crate::request::Request;
+    use dynfo_graph::generate::{churn_stream, rng, EdgeOp};
+    use dynfo_graph::graph::Graph;
+
+    /// Brute-force minimum vertex cover (exponential; n ≤ 8 only).
+    fn optimal_cover_size(g: &Graph) -> usize {
+        let n = g.num_nodes();
+        let edges: Vec<(u32, u32)> = g.edges().filter(|&(a, b)| a != b).collect();
+        (0usize..1 << n)
+            .filter(|mask| {
+                edges
+                    .iter()
+                    .all(|&(a, b)| mask & (1 << a) != 0 || mask & (1 << b) != 0)
+            })
+            .map(|mask| mask.count_ones() as usize)
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn cover_of(m: &mut DynFoMachine, n: u32) -> Vec<u32> {
+        (0..n)
+            .filter(|&x| m.query_named("in_cover", &[x]).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn cover_is_valid_and_within_factor_two() {
+        let n = 7u32;
+        let mut machine = DynFoMachine::new(program(), n);
+        let mut g = Graph::new(n);
+        let ops = churn_stream(n, 50, 0.35, true, &mut rng(401));
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                EdgeOp::Ins(a, b) => {
+                    machine.apply(&Request::ins("E", [a, b])).unwrap();
+                    g.insert(a, b);
+                }
+                EdgeOp::Del(a, b) => {
+                    machine.apply(&Request::del("E", [a, b])).unwrap();
+                    g.remove(a, b);
+                }
+            }
+            let cover = cover_of(&mut machine, n);
+            // Validity: every (non-loop) edge covered.
+            for (a, b) in g.edges() {
+                if a != b {
+                    assert!(
+                        cover.contains(&a) || cover.contains(&b),
+                        "step {step}: edge ({a},{b}) uncovered by {cover:?}"
+                    );
+                }
+            }
+            // Approximation: |cover| ≤ 2·OPT.
+            let opt = optimal_cover_size(&g);
+            assert!(
+                cover.len() <= 2 * opt,
+                "step {step}: cover {} > 2·OPT {opt}",
+                cover.len()
+            );
+            // The boolean certificate query agrees.
+            assert!(machine.query().unwrap(), "step {step}: certificate");
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_empty_cover() {
+        let mut m = DynFoMachine::new(program(), 5);
+        assert!(cover_of(&mut m, 5).is_empty());
+        assert!(m.query().unwrap());
+    }
+
+    #[test]
+    fn single_edge_covers_both_matched_endpoints() {
+        let mut m = DynFoMachine::new(program(), 4);
+        m.apply(&Request::ins("E", [1, 2])).unwrap();
+        assert_eq!(cover_of(&mut m, 4), vec![1, 2]);
+        m.apply(&Request::del("E", [1, 2])).unwrap();
+        assert!(cover_of(&mut m, 4).is_empty());
+    }
+
+    #[test]
+    fn star_graph_shows_factor_two() {
+        // Star: OPT = 1 (the center); matching-based cover has size 2.
+        let mut m = DynFoMachine::new(program(), 6);
+        let mut g = Graph::new(6);
+        for leaf in 1..6 {
+            m.apply(&Request::ins("E", [0, leaf])).unwrap();
+            g.insert(0, leaf);
+        }
+        let cover = cover_of(&mut m, 6);
+        assert_eq!(cover.len(), 2);
+        assert_eq!(optimal_cover_size(&g), 1);
+    }
+}

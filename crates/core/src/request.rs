@@ -1,0 +1,229 @@
+//! Requests: the update operations of Definition 3.1.
+//!
+//! `R_{n,σ} = { ins(i, ā), del(i, ā), set(j, a) }` — insert a tuple into
+//! an input relation, delete one, or set an input constant. A request
+//! *sequence* evaluated against the initial structure `A₀ⁿ` yields the
+//! current input structure (`eval_{n,σ}`).
+
+use dynfo_logic::{Elem, Structure, Sym, Tuple, Vocabulary};
+use std::fmt;
+use std::sync::Arc;
+
+/// The operation of a request.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Op {
+    /// Insert a tuple into a relation.
+    Ins,
+    /// Delete a tuple from a relation.
+    Del,
+    /// Set a constant.
+    Set,
+}
+
+/// A single request against the input structure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// `ins(R, ā)`.
+    Ins(Sym, Vec<Elem>),
+    /// `del(R, ā)`.
+    Del(Sym, Vec<Elem>),
+    /// `set(c, a)`.
+    Set(Sym, Elem),
+}
+
+impl Request {
+    /// Insert request with any tuple-like argument.
+    pub fn ins(rel: &str, args: impl Into<Vec<Elem>>) -> Request {
+        Request::Ins(Sym::new(rel), args.into())
+    }
+
+    /// Delete request.
+    pub fn del(rel: &str, args: impl Into<Vec<Elem>>) -> Request {
+        Request::Del(Sym::new(rel), args.into())
+    }
+
+    /// Set-constant request.
+    pub fn set(cst: &str, value: Elem) -> Request {
+        Request::Set(Sym::new(cst), value)
+    }
+
+    /// The `(op, symbol)` pair that update rules dispatch on.
+    pub fn kind(&self) -> RequestKind {
+        match self {
+            Request::Ins(s, _) => RequestKind { op: Op::Ins, sym: *s },
+            Request::Del(s, _) => RequestKind { op: Op::Del, sym: *s },
+            Request::Set(s, _) => RequestKind { op: Op::Set, sym: *s },
+        }
+    }
+
+    /// The request's parameters, in order — these bind `?0, ?1, …` in
+    /// update formulas.
+    pub fn params(&self) -> Vec<Elem> {
+        match self {
+            Request::Ins(_, args) | Request::Del(_, args) => args.clone(),
+            Request::Set(_, v) => vec![*v],
+        }
+    }
+
+    /// Validate against a vocabulary and universe size.
+    pub fn validate(&self, vocab: &Vocabulary, n: Elem) -> Result<(), String> {
+        match self {
+            Request::Ins(s, args) | Request::Del(s, args) => {
+                let id = vocab
+                    .relation(*s)
+                    .ok_or_else(|| format!("unknown input relation {s}"))?;
+                if args.len() != vocab.arity(id) {
+                    return Err(format!(
+                        "relation {s} has arity {}, request has {} args",
+                        vocab.arity(id),
+                        args.len()
+                    ));
+                }
+                if let Some(&bad) = args.iter().find(|&&a| a >= n) {
+                    return Err(format!("element {bad} outside universe of size {n}"));
+                }
+                Ok(())
+            }
+            Request::Set(s, v) => {
+                vocab
+                    .constant(*s)
+                    .ok_or_else(|| format!("unknown input constant {s}"))?;
+                if *v >= n {
+                    return Err(format!("element {v} outside universe of size {n}"));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Ins(s, args) => write!(f, "ins({s}, {})", Tuple::from_slice(args)),
+            Request::Del(s, args) => write!(f, "del({s}, {})", Tuple::from_slice(args)),
+            Request::Set(s, v) => write!(f, "set({s}, {v})"),
+        }
+    }
+}
+
+/// Dispatch key for update rules: which operation on which symbol.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RequestKind {
+    /// Operation.
+    pub op: Op,
+    /// Relation or constant symbol.
+    pub sym: Sym,
+}
+
+impl RequestKind {
+    /// `ins(R, ·)` kind.
+    pub fn ins(rel: &str) -> RequestKind {
+        RequestKind { op: Op::Ins, sym: Sym::new(rel) }
+    }
+
+    /// `del(R, ·)` kind.
+    pub fn del(rel: &str) -> RequestKind {
+        RequestKind { op: Op::Del, sym: Sym::new(rel) }
+    }
+
+    /// `set(c, ·)` kind.
+    pub fn set(cst: &str) -> RequestKind {
+        RequestKind { op: Op::Set, sym: Sym::new(cst) }
+    }
+}
+
+/// Apply a request directly to an input structure — the paper's
+/// `eval_{n,σ}` step function. (This is the *semantic* update the Dyn-FO
+/// program must track in first-order logic.)
+pub fn apply_to_input(st: &mut Structure, req: &Request) {
+    match req {
+        Request::Ins(s, args) => {
+            st.rel_mut(s.as_str()).insert(Tuple::from_slice(args));
+        }
+        Request::Del(s, args) => {
+            st.rel_mut(s.as_str()).remove(&Tuple::from_slice(args));
+        }
+        Request::Set(s, v) => {
+            st.set_const(s.as_str(), *v);
+        }
+    }
+}
+
+/// `eval_{n,σ}`: fold a request sequence from the empty initial structure.
+pub fn eval_requests(vocab: &Arc<Vocabulary>, n: Elem, reqs: &[Request]) -> Structure {
+    let mut st = Structure::empty(Arc::clone(vocab), n);
+    for r in reqs {
+        apply_to_input(&mut st, r);
+    }
+    st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> Arc<Vocabulary> {
+        Arc::new(
+            Vocabulary::new()
+                .with_relation("E", 2)
+                .with_constant("s"),
+        )
+    }
+
+    #[test]
+    fn kinds_and_params() {
+        let r = Request::ins("E", [1, 2]);
+        assert_eq!(r.kind(), RequestKind::ins("E"));
+        assert_eq!(r.params(), vec![1, 2]);
+        let s = Request::set("s", 3);
+        assert_eq!(s.kind(), RequestKind::set("s"));
+        assert_eq!(s.params(), vec![3]);
+    }
+
+    #[test]
+    fn validation() {
+        let v = vocab();
+        assert!(Request::ins("E", [0, 1]).validate(&v, 4).is_ok());
+        assert!(Request::ins("E", [0]).validate(&v, 4).is_err());
+        assert!(Request::ins("E", [0, 9]).validate(&v, 4).is_err());
+        assert!(Request::ins("Q", [0, 1]).validate(&v, 4).is_err());
+        assert!(Request::set("s", 3).validate(&v, 4).is_ok());
+        assert!(Request::set("s", 4).validate(&v, 4).is_err());
+        assert!(Request::set("q", 0).validate(&v, 4).is_err());
+    }
+
+    #[test]
+    fn eval_requests_folds() {
+        let v = vocab();
+        let st = eval_requests(
+            &v,
+            4,
+            &[
+                Request::ins("E", [0, 1]),
+                Request::ins("E", [1, 2]),
+                Request::del("E", [0, 1]),
+                Request::set("s", 2),
+            ],
+        );
+        assert!(!st.holds("E", [0, 1]));
+        assert!(st.holds("E", [1, 2]));
+        assert_eq!(st.const_val("s"), 2);
+    }
+
+    #[test]
+    fn redundant_requests_are_idempotent() {
+        let v = vocab();
+        let a = eval_requests(&v, 4, &[Request::ins("E", [0, 1]), Request::ins("E", [0, 1])]);
+        let b = eval_requests(&v, 4, &[Request::ins("E", [0, 1])]);
+        assert_eq!(a, b);
+        let c = eval_requests(&v, 4, &[Request::del("E", [0, 1])]);
+        assert_eq!(c, Structure::empty(Arc::clone(&v), 4));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Request::ins("E", [1, 2]).to_string(), "ins(E, (1,2))");
+        assert_eq!(Request::set("s", 7).to_string(), "set(s, 7)");
+    }
+}

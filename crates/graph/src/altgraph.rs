@@ -1,0 +1,150 @@
+//! Alternating graphs and `REACH_a` — the P-complete problem of
+//! Proposition 5.5 and the padded Theorem 5.14.
+//!
+//! An alternating graph partitions vertices into existential (∃) and
+//! universal (∀) nodes. Alternating reachability `apath(x, y)` is the
+//! least relation with: `apath(y, y)`; for ∃-vertices, some successor
+//! must reach `y`; for ∀-vertices, *every* successor must reach `y` (and
+//! there must be at least one). `REACH_a` asks `apath(s, t)`.
+
+use crate::graph::{DiGraph, Node};
+
+/// Vertex kind in an alternating graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Kind {
+    /// Existential: reaches `t` iff some successor does.
+    Exists,
+    /// Universal: reaches `t` iff it has successors and all reach `t`.
+    Forall,
+}
+
+/// An alternating graph: a digraph plus a ∃/∀ marking per vertex.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AltGraph {
+    graph: DiGraph,
+    kind: Vec<Kind>,
+}
+
+impl AltGraph {
+    /// All-existential alternating graph on `n` vertices (plain digraph
+    /// reachability).
+    pub fn new(n: Node) -> AltGraph {
+        AltGraph {
+            graph: DiGraph::new(n),
+            kind: vec![Kind::Exists; n as usize],
+        }
+    }
+
+    /// The underlying digraph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Mutable digraph access.
+    pub fn graph_mut(&mut self) -> &mut DiGraph {
+        &mut self.graph
+    }
+
+    /// Vertex kind.
+    pub fn kind(&self, v: Node) -> Kind {
+        self.kind[v as usize]
+    }
+
+    /// Set a vertex's kind.
+    pub fn set_kind(&mut self, v: Node, k: Kind) {
+        self.kind[v as usize] = k;
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> Node {
+        self.graph.num_nodes()
+    }
+
+    /// The set of vertices that alternately reach `t`, by bottom-up
+    /// fixpoint (this is the P-complete computation; each round is the
+    /// FO-definable immediate-consequence operator).
+    pub fn alternating_reach(&self, t: Node) -> Vec<bool> {
+        let n = self.num_nodes() as usize;
+        let mut reach = vec![false; n];
+        reach[t as usize] = true;
+        loop {
+            let mut changed = false;
+            for v in 0..n as Node {
+                if reach[v as usize] {
+                    continue;
+                }
+                let mut succs = self.graph.successors(v).peekable();
+                let ok = match self.kind(v) {
+                    Kind::Exists => succs.any(|w| reach[w as usize]),
+                    Kind::Forall => {
+                        succs.peek().is_some()
+                            && self.graph.successors(v).all(|w| reach[w as usize])
+                    }
+                };
+                if ok {
+                    reach[v as usize] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return reach;
+            }
+        }
+    }
+
+    /// `REACH_a`: does `s` alternately reach `t`?
+    pub fn reaches(&self, s: Node, t: Node) -> bool {
+        self.alternating_reach(t)[s as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn existential_is_plain_reachability() {
+        let mut g = AltGraph::new(4);
+        g.graph_mut().insert(0, 1);
+        g.graph_mut().insert(1, 2);
+        assert!(g.reaches(0, 2));
+        assert!(!g.reaches(0, 3));
+        assert!(g.reaches(2, 2));
+    }
+
+    #[test]
+    fn universal_needs_all_successors() {
+        // 0 is ∀ with successors 1 and 2; only 1 reaches t=3.
+        let mut g = AltGraph::new(4);
+        g.set_kind(0, Kind::Forall);
+        g.graph_mut().insert(0, 1);
+        g.graph_mut().insert(0, 2);
+        g.graph_mut().insert(1, 3);
+        assert!(!g.reaches(0, 3));
+        // Once 2 also reaches 3, the ∀ node does too.
+        g.graph_mut().insert(2, 3);
+        assert!(g.reaches(0, 3));
+    }
+
+    #[test]
+    fn universal_with_no_successors_fails() {
+        let mut g = AltGraph::new(2);
+        g.set_kind(0, Kind::Forall);
+        assert!(!g.reaches(0, 1));
+        // Except trivially at t itself.
+        g.set_kind(1, Kind::Forall);
+        assert!(g.reaches(1, 1));
+    }
+
+    #[test]
+    fn alternation_two_levels() {
+        // AND-OR tree: 0 = ∀(1, 2); 1 = ∃(3, 4); 2 = ∃(4).
+        let mut g = AltGraph::new(6);
+        g.set_kind(0, Kind::Forall);
+        for (a, b) in [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4)] {
+            g.graph_mut().insert(a, b);
+        }
+        assert!(g.reaches(0, 4)); // both 1 and 2 can reach 4
+        assert!(!g.reaches(0, 3)); // 2 cannot reach 3
+    }
+}

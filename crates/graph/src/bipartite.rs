@@ -1,0 +1,93 @@
+//! Static bipartiteness check (2-coloring by BFS) — the oracle for
+//! Theorem 4.5(1).
+
+use crate::graph::{Graph, Node};
+use std::collections::VecDeque;
+
+/// A proper 2-coloring, if one exists.
+pub fn two_coloring(g: &Graph) -> Option<Vec<bool>> {
+    let n = g.num_nodes() as usize;
+    let mut color: Vec<Option<bool>> = vec![None; n];
+    for s in 0..n as Node {
+        if color[s as usize].is_some() {
+            continue;
+        }
+        color[s as usize] = Some(false);
+        let mut queue = VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            let cu = color[u as usize].unwrap();
+            for v in g.neighbors(u) {
+                match color[v as usize] {
+                    None => {
+                        color[v as usize] = Some(!cu);
+                        queue.push_back(v);
+                    }
+                    Some(cv) if cv == cu => return None,
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    Some(color.into_iter().map(|c| c.unwrap()).collect())
+}
+
+/// True iff the graph has no odd cycle.
+pub fn is_bipartite(g: &Graph) -> bool {
+    two_coloring(g).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_cycle_is_bipartite() {
+        let mut g = Graph::new(4);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            g.insert(a, b);
+        }
+        assert!(is_bipartite(&g));
+        let c = two_coloring(&g).unwrap();
+        for (a, b) in g.edges() {
+            assert_ne!(c[a as usize], c[b as usize]);
+        }
+    }
+
+    #[test]
+    fn odd_cycle_is_not_bipartite() {
+        let mut g = Graph::new(3);
+        for (a, b) in [(0, 1), (1, 2), (2, 0)] {
+            g.insert(a, b);
+        }
+        assert!(!is_bipartite(&g));
+    }
+
+    #[test]
+    fn self_loop_is_not_bipartite() {
+        let mut g = Graph::new(2);
+        g.insert(1, 1);
+        assert!(!is_bipartite(&g));
+    }
+
+    #[test]
+    fn empty_and_forest_are_bipartite() {
+        assert!(is_bipartite(&Graph::new(5)));
+        let mut g = Graph::new(5);
+        g.insert(0, 1);
+        g.insert(1, 2);
+        g.insert(3, 4);
+        assert!(is_bipartite(&g));
+    }
+
+    #[test]
+    fn becomes_nonbipartite_then_recovers() {
+        let mut g = Graph::new(5);
+        g.insert(0, 1);
+        g.insert(1, 2);
+        assert!(is_bipartite(&g));
+        g.insert(2, 0); // triangle
+        assert!(!is_bipartite(&g));
+        g.remove(1, 2);
+        assert!(is_bipartite(&g));
+    }
+}

@@ -1,0 +1,227 @@
+//! Boolean circuits and the circuit value problem (CVAL), equivalent to
+//! `REACH_a` (Proposition 5.5). Includes the standard conversion of a
+//! monotone circuit to an alternating graph, used by the reduction
+//! experiments.
+
+use crate::altgraph::{AltGraph, Kind};
+use crate::graph::Node;
+
+/// A gate in a boolean circuit. Wires point from a gate to its inputs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Gate {
+    /// A constant input.
+    Input(bool),
+    /// Conjunction of the listed gates (empty = true).
+    And(Vec<usize>),
+    /// Disjunction of the listed gates (empty = false).
+    Or(Vec<usize>),
+    /// Negation.
+    Not(usize),
+}
+
+/// A combinational circuit: gates indexed `0..len`, wires must point to
+/// lower indices (so the circuit is a DAG by construction).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Empty circuit.
+    pub fn new() -> Circuit {
+        Circuit::default()
+    }
+
+    /// Append a gate, returning its index.
+    ///
+    /// # Panics
+    /// Panics if any wire points at or above the new gate's index.
+    pub fn push(&mut self, gate: Gate) -> usize {
+        let idx = self.gates.len();
+        let ok = match &gate {
+            Gate::Input(_) => true,
+            Gate::And(ws) | Gate::Or(ws) => ws.iter().all(|&w| w < idx),
+            Gate::Not(w) => *w < idx,
+        };
+        assert!(ok, "wire points forward at gate {idx}");
+        self.gates.push(gate);
+        idx
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True iff no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gate at `idx`.
+    pub fn gate(&self, idx: usize) -> &Gate {
+        &self.gates[idx]
+    }
+
+    /// Flip input gate `idx` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is not an input gate.
+    pub fn set_input(&mut self, idx: usize, value: bool) {
+        match &mut self.gates[idx] {
+            Gate::Input(b) => *b = value,
+            g => panic!("gate {idx} is not an input: {g:?}"),
+        }
+    }
+
+    /// Evaluate every gate (CVAL). `values[i]` is gate `i`'s output.
+    pub fn evaluate(&self) -> Vec<bool> {
+        let mut values = Vec::with_capacity(self.gates.len());
+        for gate in &self.gates {
+            let v = match gate {
+                Gate::Input(b) => *b,
+                Gate::And(ws) => ws.iter().all(|&w| values[w]),
+                Gate::Or(ws) => ws.iter().any(|&w| values[w]),
+                Gate::Not(w) => !values[*w],
+            };
+            values.push(v);
+        }
+        values
+    }
+
+    /// The value of the output (last) gate.
+    ///
+    /// # Panics
+    /// Panics on an empty circuit.
+    pub fn output(&self) -> bool {
+        *self.evaluate().last().expect("empty circuit")
+    }
+
+    /// True iff the circuit is monotone (no NOT gates).
+    pub fn is_monotone(&self) -> bool {
+        !self.gates.iter().any(|g| matches!(g, Gate::Not(_)))
+    }
+
+    /// Convert a monotone circuit to an alternating graph such that gate
+    /// `g` evaluates true iff vertex `g` alternately reaches the
+    /// distinguished TRUE vertex (index `len()`).
+    ///
+    /// AND ↦ ∀-vertex over its wires, OR ↦ ∃-vertex over its wires, a
+    /// true input ↦ edge to TRUE, a false input ↦ ∃-vertex with no
+    /// successors. This is the textbook CVAL ≡ REACH_a correspondence.
+    ///
+    /// Returns `(graph, true_vertex)`.
+    ///
+    /// # Panics
+    /// Panics if the circuit is not monotone.
+    pub fn to_alternating_graph(&self) -> (AltGraph, Node) {
+        assert!(self.is_monotone(), "only monotone circuits convert");
+        let t = self.gates.len() as Node;
+        let mut ag = AltGraph::new(t + 1);
+        for (i, gate) in self.gates.iter().enumerate() {
+            let v = i as Node;
+            match gate {
+                Gate::Input(true) => {
+                    ag.graph_mut().insert(v, t);
+                }
+                Gate::Input(false) => {}
+                Gate::Or(ws) => {
+                    for &w in ws {
+                        ag.graph_mut().insert(v, w as Node);
+                    }
+                }
+                Gate::And(ws) => {
+                    ag.set_kind(v, Kind::Forall);
+                    if ws.is_empty() {
+                        // AND() ≡ true.
+                        ag.set_kind(v, Kind::Exists);
+                        ag.graph_mut().insert(v, t);
+                    }
+                    for &w in ws {
+                        ag.graph_mut().insert(v, w as Node);
+                    }
+                }
+                Gate::Not(_) => unreachable!("monotone checked above"),
+            }
+        }
+        (ag, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// (x ∧ y) ∨ z with the given inputs.
+    fn sample(x: bool, y: bool, z: bool) -> Circuit {
+        let mut c = Circuit::new();
+        let gx = c.push(Gate::Input(x));
+        let gy = c.push(Gate::Input(y));
+        let gz = c.push(Gate::Input(z));
+        let a = c.push(Gate::And(vec![gx, gy]));
+        c.push(Gate::Or(vec![a, gz]));
+        c
+    }
+
+    #[test]
+    fn cval_truth_table() {
+        for x in [false, true] {
+            for y in [false, true] {
+                for z in [false, true] {
+                    assert_eq!(sample(x, y, z).output(), (x && y) || z);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn not_gates_evaluate() {
+        let mut c = Circuit::new();
+        let i = c.push(Gate::Input(false));
+        c.push(Gate::Not(i));
+        assert!(c.output());
+        assert!(!c.is_monotone());
+    }
+
+    #[test]
+    #[should_panic(expected = "wire points forward")]
+    fn forward_wires_rejected() {
+        let mut c = Circuit::new();
+        c.push(Gate::And(vec![0]));
+    }
+
+    #[test]
+    fn set_input_reevaluates() {
+        let mut c = sample(false, true, false);
+        assert!(!c.output());
+        c.set_input(0, true);
+        assert!(c.output());
+    }
+
+    #[test]
+    fn alternating_graph_matches_cval() {
+        for x in [false, true] {
+            for y in [false, true] {
+                for z in [false, true] {
+                    let c = sample(x, y, z);
+                    let (ag, t) = c.to_alternating_graph();
+                    let out = (c.len() - 1) as Node;
+                    assert_eq!(
+                        ag.reaches(out, t),
+                        c.output(),
+                        "inputs ({x},{y},{z})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_gate_is_true_vertex() {
+        let mut c = Circuit::new();
+        c.push(Gate::And(vec![]));
+        assert!(c.output());
+        let (ag, t) = c.to_alternating_graph();
+        assert!(ag.reaches(0, t));
+    }
+}

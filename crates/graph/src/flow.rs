@@ -1,0 +1,151 @@
+//! Unit-capacity max-flow (edge-disjoint paths) and minimum edge cuts —
+//! the static oracle for k-edge connectivity (Theorem 4.5(2)).
+//!
+//! By Menger's theorem, the number of edge-disjoint `u`–`v` paths equals
+//! the minimum number of edges whose removal disconnects `u` from `v`, so
+//! "`u` and `v` are k-edge-connected" ⇔ `max_flow ≥ k`. For undirected
+//! graphs each edge becomes two unit arcs.
+
+use crate::graph::{Graph, Node};
+use std::collections::{HashMap, VecDeque};
+
+/// Maximum number of edge-disjoint paths between `s` and `t` in the
+/// undirected graph, computed by Edmonds–Karp on the unit-capacity
+/// digraph. `s == t` returns `usize::MAX` (infinitely connected).
+pub fn edge_disjoint_paths(g: &Graph, s: Node, t: Node) -> usize {
+    if s == t {
+        return usize::MAX;
+    }
+    // Residual capacities: each undirected edge {a,b} gives arcs a→b and
+    // b→a of capacity 1 (standard undirected-flow encoding).
+    let mut cap: HashMap<(Node, Node), i32> = HashMap::new();
+    for (a, b) in g.edges() {
+        if a == b {
+            continue;
+        }
+        *cap.entry((a, b)).or_insert(0) += 1;
+        *cap.entry((b, a)).or_insert(0) += 1;
+    }
+    let n = g.num_nodes() as usize;
+    let mut flow = 0usize;
+    loop {
+        // BFS for an augmenting path in the residual graph.
+        let mut pred: Vec<Option<Node>> = vec![None; n];
+        pred[s as usize] = Some(s);
+        let mut queue = VecDeque::from([s]);
+        'bfs: while let Some(u) = queue.pop_front() {
+            for v in g.neighbors(u) {
+                if pred[v as usize].is_none() && cap.get(&(u, v)).copied().unwrap_or(0) > 0 {
+                    pred[v as usize] = Some(u);
+                    if v == t {
+                        break 'bfs;
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        if pred[t as usize].is_none() {
+            return flow;
+        }
+        // Augment by 1 along the path.
+        let mut v = t;
+        while v != s {
+            let u = pred[v as usize].unwrap();
+            *cap.get_mut(&(u, v)).unwrap() -= 1;
+            *cap.entry((v, u)).or_insert(0) += 1;
+            v = u;
+        }
+        flow += 1;
+    }
+}
+
+/// True iff `s` and `t` cannot be separated by removing fewer than `k`
+/// edges (the paper's k-edge-connectivity query for a vertex pair).
+pub fn k_edge_connected_pair(g: &Graph, s: Node, t: Node, k: usize) -> bool {
+    edge_disjoint_paths(g, s, t) >= k
+}
+
+/// True iff *every* pair of distinct vertices is k-edge-connected — the
+/// whole-graph property. (Vacuously true for n ≤ 1.)
+pub fn k_edge_connected(g: &Graph, k: usize) -> bool {
+    let n = g.num_nodes();
+    for s in 0..n {
+        for t in (s + 1)..n {
+            if !k_edge_connected_pair(g, s, t, k) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: Node) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.insert(i, (i + 1) % n);
+        }
+        g
+    }
+
+    #[test]
+    fn path_has_one_disjoint_path() {
+        let mut g = Graph::new(4);
+        g.insert(0, 1);
+        g.insert(1, 2);
+        g.insert(2, 3);
+        assert_eq!(edge_disjoint_paths(&g, 0, 3), 1);
+        assert!(k_edge_connected_pair(&g, 0, 3, 1));
+        assert!(!k_edge_connected_pair(&g, 0, 3, 2));
+    }
+
+    #[test]
+    fn cycle_is_two_edge_connected() {
+        let g = cycle(5);
+        assert_eq!(edge_disjoint_paths(&g, 0, 2), 2);
+        assert!(k_edge_connected(&g, 2));
+        assert!(!k_edge_connected(&g, 3));
+    }
+
+    #[test]
+    fn disconnected_pair_has_zero() {
+        let mut g = Graph::new(4);
+        g.insert(0, 1);
+        assert_eq!(edge_disjoint_paths(&g, 0, 3), 0);
+    }
+
+    #[test]
+    fn complete_graph_connectivity() {
+        let mut g = Graph::new(4);
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                g.insert(a, b);
+            }
+        }
+        // K4 is 3-edge-connected.
+        assert!(k_edge_connected(&g, 3));
+        assert!(!k_edge_connected(&g, 4));
+    }
+
+    #[test]
+    fn parallel_structure_multigraph_free() {
+        // Simple graphs: two triangles sharing one vertex → cut at that
+        // vertex's edges is still ≥ 2 between triangle interiors? No:
+        // paths from 1 to 4 must pass through vertex 0; edge-disjointness
+        // allows 2 paths only if 0 has ≥2 edges to each side. It does.
+        let mut g = Graph::new(5);
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)] {
+            g.insert(a, b);
+        }
+        assert_eq!(edge_disjoint_paths(&g, 1, 4), 2);
+    }
+
+    #[test]
+    fn same_vertex_is_infinitely_connected() {
+        let g = cycle(3);
+        assert!(k_edge_connected_pair(&g, 1, 1, 99));
+    }
+}

@@ -1,0 +1,229 @@
+//! Workload generators: random graphs, DAGs, forests, and structured
+//! families used by the experiments.
+
+use crate::graph::{DiGraph, Graph, Node};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Erdős–Rényi `G(n, p)` (no self-loops).
+pub fn gnp(n: Node, p: f64, rng: &mut StdRng) -> Graph {
+    let mut g = Graph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.gen_bool(p) {
+                g.insert(a, b);
+            }
+        }
+    }
+    g
+}
+
+/// Random DAG: each edge `a → b` with `a < b` included with probability
+/// `p` (always acyclic).
+pub fn random_dag(n: Node, p: f64, rng: &mut StdRng) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.gen_bool(p) {
+                g.insert(a, b);
+            }
+        }
+    }
+    g
+}
+
+/// Random rooted forest on `n` vertices: each non-root vertex `v > 0`
+/// gets a parent drawn from `{0..v}` with probability `attach`; otherwise
+/// it starts a new tree. Edges are parent → child.
+pub fn random_forest(n: Node, attach: f64, rng: &mut StdRng) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for v in 1..n {
+        if rng.gen_bool(attach) {
+            let p = rng.gen_range(0..v);
+            g.insert(p, v);
+        }
+    }
+    g
+}
+
+/// Path graph `0 — 1 — … — (n−1)`.
+pub fn path(n: Node) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.insert(i - 1, i);
+    }
+    g
+}
+
+/// Cycle graph on `n ≥ 3` vertices.
+pub fn cycle(n: Node) -> Graph {
+    let mut g = path(n);
+    g.insert(n - 1, 0);
+    g
+}
+
+/// `rows × cols` grid graph.
+pub fn grid(rows: Node, cols: Node) -> Graph {
+    let n = rows * cols;
+    let mut g = Graph::new(n);
+    let id = |r: Node, c: Node| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.insert(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.insert(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// An edge-update request against a graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EdgeOp {
+    /// Insert edge `(a, b)`.
+    Ins(Node, Node),
+    /// Delete edge `(a, b)`.
+    Del(Node, Node),
+}
+
+/// A churn stream: `steps` operations against an initially empty edge
+/// set, deleting a present edge with probability `del_prob` (when any
+/// exists) and otherwise inserting a random absent edge. `symmetric`
+/// treats `(a,b)` and `(b,a)` as one edge (undirected workloads).
+pub fn churn_stream(
+    n: Node,
+    steps: usize,
+    del_prob: f64,
+    symmetric: bool,
+    rng: &mut StdRng,
+) -> Vec<EdgeOp> {
+    let mut present: Vec<(Node, Node)> = Vec::new();
+    let mut ops = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        if !present.is_empty() && rng.gen_bool(del_prob) {
+            let i = rng.gen_range(0..present.len());
+            let (a, b) = present.swap_remove(i);
+            ops.push(EdgeOp::Del(a, b));
+        } else {
+            // Rejection-sample an absent edge.
+            let mut attempt = 0;
+            loop {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                let key = if symmetric && b < a { (b, a) } else { (a, b) };
+                if a != b && !present.contains(&key) {
+                    present.push(key);
+                    ops.push(EdgeOp::Ins(key.0, key.1));
+                    break;
+                }
+                attempt += 1;
+                if attempt > 64 {
+                    // Dense graph: delete instead.
+                    if let Some(&(a, b)) = present.first() {
+                        present.swap_remove(0);
+                        ops.push(EdgeOp::Del(a, b));
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    ops
+}
+
+/// A DAG churn stream: like [`churn_stream`] but only edges `a → b` with
+/// `a < b` are ever inserted, so the graph stays acyclic throughout (the
+/// REACH(acyclic) promise).
+pub fn dag_churn_stream(n: Node, steps: usize, del_prob: f64, rng: &mut StdRng) -> Vec<EdgeOp> {
+    let ops = churn_stream(n, steps, del_prob, true, rng);
+    // churn_stream with symmetric=true already normalizes a < b.
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transitive::is_acyclic;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut r = rng(1);
+        assert_eq!(gnp(10, 0.0, &mut r).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, &mut r).num_edges(), 45);
+    }
+
+    #[test]
+    fn random_dag_is_acyclic() {
+        let mut r = rng(2);
+        for _ in 0..5 {
+            assert!(is_acyclic(&random_dag(12, 0.3, &mut r)));
+        }
+    }
+
+    #[test]
+    fn random_forest_is_forest() {
+        let mut r = rng(3);
+        for _ in 0..5 {
+            assert!(crate::lca::is_forest(&random_forest(20, 0.8, &mut r)));
+        }
+    }
+
+    #[test]
+    fn structured_families() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+    }
+
+    #[test]
+    fn churn_stream_is_consistent() {
+        // Replaying the stream never deletes an absent edge or inserts a
+        // present one.
+        let mut r = rng(4);
+        let ops = churn_stream(8, 200, 0.4, true, &mut r);
+        assert_eq!(ops.len(), 200);
+        let mut g = Graph::new(8);
+        for op in ops {
+            match op {
+                EdgeOp::Ins(a, b) => assert!(g.insert(a, b), "double insert {a},{b}"),
+                EdgeOp::Del(a, b) => assert!(g.remove(a, b), "phantom delete {a},{b}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dag_churn_stays_acyclic() {
+        let mut r = rng(5);
+        let ops = dag_churn_stream(8, 100, 0.3, &mut r);
+        let mut g = DiGraph::new(8);
+        for op in ops {
+            match op {
+                EdgeOp::Ins(a, b) => {
+                    assert!(a < b);
+                    g.insert(a, b);
+                }
+                EdgeOp::Del(a, b) => {
+                    g.remove(a, b);
+                }
+            }
+            assert!(is_acyclic(&g));
+        }
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let a = churn_stream(6, 50, 0.3, true, &mut rng(7));
+        let b = churn_stream(6, 50, 0.3, true, &mut rng(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,230 @@
+//! Simple graph types over the fixed universe `{0, …, n−1}`.
+//!
+//! Vertices are `u32` ids; the vertex set is fixed at construction
+//! (matching the paper's fixed potential universe) and the edge set is
+//! dynamic. Undirected graphs store both orientations.
+
+use std::collections::BTreeSet;
+
+/// Vertex id.
+pub type Node = u32;
+
+/// An undirected graph on vertices `{0..n}` with a dynamic edge set.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Graph {
+    n: Node,
+    adj: Vec<BTreeSet<Node>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Edgeless graph on `n` vertices.
+    pub fn new(n: Node) -> Graph {
+        Graph {
+            n,
+            adj: vec![BTreeSet::new(); n as usize],
+            num_edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> Node {
+        self.n
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Insert edge `{a, b}`; returns true if newly added. Self-loops are
+    /// allowed (stored once).
+    pub fn insert(&mut self, a: Node, b: Node) -> bool {
+        assert!(a < self.n && b < self.n, "vertex out of range");
+        let added = self.adj[a as usize].insert(b);
+        self.adj[b as usize].insert(a);
+        if added {
+            self.num_edges += 1;
+        }
+        added
+    }
+
+    /// Remove edge `{a, b}`; returns true if it was present.
+    pub fn remove(&mut self, a: Node, b: Node) -> bool {
+        let removed = self.adj[a as usize].remove(&b);
+        self.adj[b as usize].remove(&a);
+        if removed {
+            self.num_edges -= 1;
+        }
+        removed
+    }
+
+    /// True iff edge `{a, b}` is present.
+    pub fn has_edge(&self, a: Node, b: Node) -> bool {
+        self.adj[a as usize].contains(&b)
+    }
+
+    /// Neighbors of `a`, sorted.
+    pub fn neighbors(&self, a: Node) -> impl Iterator<Item = Node> + '_ {
+        self.adj[a as usize].iter().copied()
+    }
+
+    /// Degree of `a`.
+    pub fn degree(&self, a: Node) -> usize {
+        self.adj[a as usize].len()
+    }
+
+    /// All edges, each once, as `(min, max)` pairs, sorted.
+    pub fn edges(&self) -> impl Iterator<Item = (Node, Node)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(a, nbrs)| {
+            let a = a as Node;
+            nbrs.iter()
+                .copied()
+                .filter(move |&b| a <= b)
+                .map(move |b| (a, b))
+        })
+    }
+}
+
+/// A directed graph on vertices `{0..n}` with a dynamic edge set.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DiGraph {
+    n: Node,
+    out: Vec<BTreeSet<Node>>,
+    inn: Vec<BTreeSet<Node>>,
+    num_edges: usize,
+}
+
+impl DiGraph {
+    /// Edgeless digraph on `n` vertices.
+    pub fn new(n: Node) -> DiGraph {
+        DiGraph {
+            n,
+            out: vec![BTreeSet::new(); n as usize],
+            inn: vec![BTreeSet::new(); n as usize],
+            num_edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> Node {
+        self.n
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Insert edge `a → b`; returns true if newly added.
+    pub fn insert(&mut self, a: Node, b: Node) -> bool {
+        assert!(a < self.n && b < self.n, "vertex out of range");
+        let added = self.out[a as usize].insert(b);
+        self.inn[b as usize].insert(a);
+        if added {
+            self.num_edges += 1;
+        }
+        added
+    }
+
+    /// Remove edge `a → b`; returns true if it was present.
+    pub fn remove(&mut self, a: Node, b: Node) -> bool {
+        let removed = self.out[a as usize].remove(&b);
+        self.inn[b as usize].remove(&a);
+        if removed {
+            self.num_edges -= 1;
+        }
+        removed
+    }
+
+    /// True iff edge `a → b` is present.
+    pub fn has_edge(&self, a: Node, b: Node) -> bool {
+        self.out[a as usize].contains(&b)
+    }
+
+    /// Successors of `a`, sorted.
+    pub fn successors(&self, a: Node) -> impl Iterator<Item = Node> + '_ {
+        self.out[a as usize].iter().copied()
+    }
+
+    /// Predecessors of `a`, sorted.
+    pub fn predecessors(&self, a: Node) -> impl Iterator<Item = Node> + '_ {
+        self.inn[a as usize].iter().copied()
+    }
+
+    /// Out-degree of `a`.
+    pub fn out_degree(&self, a: Node) -> usize {
+        self.out[a as usize].len()
+    }
+
+    /// All directed edges, sorted by source then target.
+    pub fn edges(&self) -> impl Iterator<Item = (Node, Node)> + '_ {
+        self.out.iter().enumerate().flat_map(|(a, succ)| {
+            succ.iter().copied().map(move |b| (a as Node, b))
+        })
+    }
+
+    /// The underlying undirected graph.
+    pub fn to_undirected(&self) -> Graph {
+        let mut g = Graph::new(self.n);
+        for (a, b) in self.edges() {
+            g.insert(a, b);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undirected_edge_symmetry() {
+        let mut g = Graph::new(4);
+        assert!(g.insert(0, 1));
+        assert!(!g.insert(1, 0)); // same edge
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.remove(1, 0));
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn undirected_edges_listed_once() {
+        let mut g = Graph::new(4);
+        g.insert(2, 1);
+        g.insert(3, 3);
+        g.insert(0, 3);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 3), (1, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn directed_edges_are_oriented() {
+        let mut g = DiGraph::new(4);
+        g.insert(0, 1);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.successors(0).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(g.predecessors(1).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.out_degree(1), 0);
+    }
+
+    #[test]
+    fn digraph_to_undirected() {
+        let mut g = DiGraph::new(3);
+        g.insert(0, 1);
+        g.insert(1, 0);
+        g.insert(1, 2);
+        let u = g.to_undirected();
+        assert_eq!(u.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        Graph::new(3).insert(0, 3);
+    }
+}

@@ -1,0 +1,103 @@
+//! Lowest common ancestors in directed forests — static oracle for
+//! Theorem 4.5(4).
+//!
+//! The paper's setting: a directed forest where an edge `u → v` means `u`
+//! is the parent of `v`; the LCA of `x` and `y` is the deepest common
+//! ancestor (every vertex is an ancestor of itself).
+
+use crate::graph::{DiGraph, Node};
+use std::collections::BTreeSet;
+
+/// True iff the digraph is a forest of out-trees: in-degree ≤ 1
+/// everywhere and no directed cycle.
+pub fn is_forest(g: &DiGraph) -> bool {
+    let n = g.num_nodes();
+    for v in 0..n {
+        if g.predecessors(v).count() > 1 {
+            return false;
+        }
+    }
+    crate::transitive::is_acyclic(g)
+}
+
+/// The ancestors of `v` (following parent pointers up), including `v`,
+/// ordered root-first.
+pub fn ancestors(g: &DiGraph, v: Node) -> Vec<Node> {
+    let mut chain = vec![v];
+    let mut cur = v;
+    let mut guard = g.num_nodes() as usize + 1;
+    while let Some(p) = g.predecessors(cur).next() {
+        guard = guard.saturating_sub(1);
+        if guard == 0 {
+            break; // cycle; caller should have checked is_forest
+        }
+        chain.push(p);
+        cur = p;
+    }
+    chain.reverse();
+    chain
+}
+
+/// The lowest common ancestor of `x` and `y`, or `None` if they are in
+/// different trees.
+pub fn lca(g: &DiGraph, x: Node, y: Node) -> Option<Node> {
+    let ax = ancestors(g, x);
+    let ay: BTreeSet<Node> = ancestors(g, y).into_iter().collect();
+    // Deepest ancestor of x that is also an ancestor of y.
+    ax.into_iter().rev().find(|a| ay.contains(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small forest:
+    /// ```text
+    ///        0            7
+    ///       / \           |
+    ///      1   2          8
+    ///     / \   \
+    ///    3   4   5
+    ///    |
+    ///    6
+    /// ```
+    fn forest() -> DiGraph {
+        let mut g = DiGraph::new(9);
+        for (p, c) in [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (3, 6), (7, 8)] {
+            g.insert(p, c);
+        }
+        g
+    }
+
+    #[test]
+    fn forest_recognition() {
+        assert!(is_forest(&forest()));
+        let mut g = forest();
+        g.insert(4, 6); // 6 now has two parents
+        assert!(!is_forest(&g));
+        let mut c = DiGraph::new(2);
+        c.insert(0, 1);
+        c.insert(1, 0);
+        assert!(!is_forest(&c));
+    }
+
+    #[test]
+    fn ancestors_are_root_first() {
+        assert_eq!(ancestors(&forest(), 6), vec![0, 1, 3, 6]);
+        assert_eq!(ancestors(&forest(), 0), vec![0]);
+    }
+
+    #[test]
+    fn lca_within_tree() {
+        let g = forest();
+        assert_eq!(lca(&g, 6, 4), Some(1));
+        assert_eq!(lca(&g, 6, 5), Some(0));
+        assert_eq!(lca(&g, 3, 3), Some(3));
+        assert_eq!(lca(&g, 1, 6), Some(1)); // ancestor of the other
+    }
+
+    #[test]
+    fn lca_across_trees_is_none() {
+        assert_eq!(lca(&forest(), 6, 8), None);
+    }
+}

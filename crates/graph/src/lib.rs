@@ -1,0 +1,26 @@
+//! # dynfo-graph
+//!
+//! Static graph substrate for the Dyn-FO reproduction: graph types,
+//! workload generators, and recompute-from-scratch algorithms that serve
+//! as correctness oracles and benchmark baselines for every graph
+//! theorem in the paper (Theorems 4.1–4.5, Corollary 4.3,
+//! Proposition 5.5).
+
+pub mod altgraph;
+pub mod bipartite;
+pub mod circuit;
+pub mod flow;
+pub mod generate;
+pub mod graph;
+pub mod lca;
+pub mod matching;
+pub mod mst;
+pub mod transitive;
+pub mod traversal;
+pub mod unionfind;
+
+pub use altgraph::{AltGraph, Kind};
+pub use circuit::{Circuit, Gate};
+pub use graph::{DiGraph, Graph, Node};
+pub use mst::{Weight, WeightedGraph};
+pub use unionfind::UnionFind;

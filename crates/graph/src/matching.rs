@@ -1,0 +1,113 @@
+//! Maximal matching: greedy construction and the maximality verifier —
+//! oracle and invariant-checker for Theorem 4.5(3).
+//!
+//! Note *maximal* (no extendable edge), not *maximum*: the paper
+//! maintains a maximal matching, whose defining invariant is checkable in
+//! FO. Different request histories can legitimately maintain different
+//! maximal matchings, so tests verify the invariant, not set equality.
+
+use crate::graph::{Graph, Node};
+use std::collections::BTreeSet;
+
+/// A matching: a set of vertex-disjoint edges, stored as `(min, max)`.
+pub type Matching = BTreeSet<(Node, Node)>;
+
+/// Greedy maximal matching scanning edges in lexicographic order.
+pub fn greedy_maximal_matching(g: &Graph) -> Matching {
+    let mut matched = vec![false; g.num_nodes() as usize];
+    let mut m = Matching::new();
+    for (a, b) in g.edges() {
+        if a != b && !matched[a as usize] && !matched[b as usize] {
+            matched[a as usize] = true;
+            matched[b as usize] = true;
+            m.insert((a, b));
+        }
+    }
+    m
+}
+
+/// Check that `m` is a matching of `g` (edges exist, vertex-disjoint, no
+/// self-loops).
+pub fn is_matching(g: &Graph, m: &Matching) -> bool {
+    let mut used = vec![false; g.num_nodes() as usize];
+    for &(a, b) in m {
+        if a == b || !g.has_edge(a, b) || used[a as usize] || used[b as usize] {
+            return false;
+        }
+        used[a as usize] = true;
+        used[b as usize] = true;
+    }
+    true
+}
+
+/// Check maximality: no graph edge has both endpoints unmatched.
+pub fn is_maximal(g: &Graph, m: &Matching) -> bool {
+    let mut used = vec![false; g.num_nodes() as usize];
+    for &(a, b) in m {
+        used[a as usize] = true;
+        used[b as usize] = true;
+    }
+    g.edges()
+        .all(|(a, b)| a == b || used[a as usize] || used[b as usize])
+}
+
+/// Combined invariant for Theorem 4.5(3).
+pub fn is_maximal_matching(g: &Graph, m: &Matching) -> bool {
+    is_matching(g, m) && is_maximal(g, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(edges: &[(Node, Node)], n: Node) -> Graph {
+        let mut g = Graph::new(n);
+        for &(a, b) in edges {
+            g.insert(a, b);
+        }
+        g
+    }
+
+    #[test]
+    fn greedy_is_maximal_matching() {
+        let g = graph(&[(0, 1), (1, 2), (2, 3), (3, 4)], 5);
+        let m = greedy_maximal_matching(&g);
+        assert!(is_maximal_matching(&g, &m));
+        assert_eq!(m.len(), 2); // (0,1), (2,3)
+    }
+
+    #[test]
+    fn verifier_rejects_non_matchings() {
+        let g = graph(&[(0, 1), (1, 2)], 3);
+        // Shares vertex 1.
+        let bad: Matching = [(0, 1), (1, 2)].into_iter().collect();
+        assert!(!is_matching(&g, &bad));
+        // Edge not in graph.
+        let ghost: Matching = [(0, 2)].into_iter().collect();
+        assert!(!is_matching(&g, &ghost));
+    }
+
+    #[test]
+    fn verifier_rejects_non_maximal() {
+        let g = graph(&[(0, 1), (2, 3)], 4);
+        let partial: Matching = [(0, 1)].into_iter().collect();
+        assert!(is_matching(&g, &partial));
+        assert!(!is_maximal(&g, &partial));
+    }
+
+    #[test]
+    fn empty_graph_empty_matching() {
+        let g = Graph::new(4);
+        let m = greedy_maximal_matching(&g);
+        assert!(m.is_empty());
+        assert!(is_maximal_matching(&g, &m));
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let g = graph(&[(0, 0), (0, 1)], 2);
+        let m = greedy_maximal_matching(&g);
+        assert_eq!(m.len(), 1);
+        assert!(is_maximal_matching(&g, &m));
+    }
+}

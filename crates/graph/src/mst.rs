@@ -1,0 +1,158 @@
+//! Weighted graphs and Kruskal's minimum spanning forest — the static
+//! oracle for Theorem 4.4.
+//!
+//! Weights are universe elements (the paper compares them with the
+//! built-in ordering); ties are broken by the lexicographic edge order,
+//! which makes the minimum spanning forest *unique* — the property that
+//! makes the Dyn-FO program of Theorem 4.4 memoryless.
+
+use crate::graph::{Graph, Node};
+use crate::unionfind::UnionFind;
+use std::collections::BTreeMap;
+
+/// Edge weight.
+pub type Weight = u32;
+
+/// An undirected graph with per-edge weights.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WeightedGraph {
+    graph: Graph,
+    weights: BTreeMap<(Node, Node), Weight>,
+}
+
+fn norm(a: Node, b: Node) -> (Node, Node) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl WeightedGraph {
+    /// Edgeless weighted graph on `n` vertices.
+    pub fn new(n: Node) -> WeightedGraph {
+        WeightedGraph {
+            graph: Graph::new(n),
+            weights: BTreeMap::new(),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> Node {
+        self.graph.num_nodes()
+    }
+
+    /// Insert edge `{a,b}` with weight `w` (overwrites the weight if the
+    /// edge exists). Returns true if the edge is new.
+    pub fn insert(&mut self, a: Node, b: Node, w: Weight) -> bool {
+        let added = self.graph.insert(a, b);
+        self.weights.insert(norm(a, b), w);
+        added
+    }
+
+    /// Remove edge `{a,b}`.
+    pub fn remove(&mut self, a: Node, b: Node) -> bool {
+        self.weights.remove(&norm(a, b));
+        self.graph.remove(a, b)
+    }
+
+    /// Weight of edge `{a,b}`, if present.
+    pub fn weight(&self, a: Node, b: Node) -> Option<Weight> {
+        self.weights.get(&norm(a, b)).copied()
+    }
+
+    /// All `(a, b, w)` triples with `a ≤ b`, sorted by `(a, b)`.
+    pub fn edges(&self) -> impl Iterator<Item = (Node, Node, Weight)> + '_ {
+        self.weights.iter().map(|(&(a, b), &w)| (a, b, w))
+    }
+}
+
+/// Kruskal's algorithm: the unique minimum spanning forest under
+/// weight-then-lexicographic edge order. Returns the forest's edges
+/// (`a ≤ b`) sorted lexicographically.
+pub fn kruskal(g: &WeightedGraph) -> Vec<(Node, Node, Weight)> {
+    let mut edges: Vec<(Node, Node, Weight)> = g.edges().collect();
+    edges.sort_by_key(|&(a, b, w)| (w, a, b));
+    let mut uf = UnionFind::new(g.num_nodes());
+    let mut forest = Vec::new();
+    for (a, b, w) in edges {
+        if a != b && uf.union(a, b) {
+            forest.push((a, b, w));
+        }
+    }
+    forest.sort_by_key(|&(a, b, _)| (a, b));
+    forest
+}
+
+/// Total weight of the minimum spanning forest.
+pub fn msf_weight(g: &WeightedGraph) -> u64 {
+    kruskal(g).iter().map(|&(_, _, w)| w as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::components;
+
+    #[test]
+    fn weights_are_symmetric() {
+        let mut g = WeightedGraph::new(4);
+        g.insert(2, 1, 7);
+        assert_eq!(g.weight(1, 2), Some(7));
+        assert_eq!(g.weight(2, 1), Some(7));
+        g.remove(1, 2);
+        assert_eq!(g.weight(1, 2), None);
+    }
+
+    #[test]
+    fn kruskal_triangle_drops_heaviest() {
+        let mut g = WeightedGraph::new(3);
+        g.insert(0, 1, 1);
+        g.insert(1, 2, 2);
+        g.insert(0, 2, 3);
+        let f = kruskal(&g);
+        assert_eq!(f, vec![(0, 1, 1), (1, 2, 2)]);
+        assert_eq!(msf_weight(&g), 3);
+    }
+
+    #[test]
+    fn kruskal_spans_every_component() {
+        let mut g = WeightedGraph::new(6);
+        g.insert(0, 1, 5);
+        g.insert(1, 2, 5);
+        g.insert(0, 2, 5);
+        g.insert(4, 5, 9);
+        let f = kruskal(&g);
+        // Two components with edges: tree sizes 2 and 1.
+        assert_eq!(f.len(), 3);
+        // Forest connects exactly what the graph connects.
+        let mut forest_graph = Graph::new(6);
+        for &(a, b, _) in &f {
+            forest_graph.insert(a, b);
+        }
+        assert_eq!(components(&forest_graph), components(g.graph()));
+    }
+
+    #[test]
+    fn kruskal_ties_break_lexicographically() {
+        let mut g = WeightedGraph::new(3);
+        g.insert(0, 1, 5);
+        g.insert(0, 2, 5);
+        g.insert(1, 2, 5);
+        // All weight 5: keep (0,1) and (0,2).
+        assert_eq!(kruskal(&g), vec![(0, 1, 5), (0, 2, 5)]);
+    }
+
+    #[test]
+    fn self_loops_never_join_forest() {
+        let mut g = WeightedGraph::new(2);
+        g.insert(0, 0, 1);
+        g.insert(0, 1, 9);
+        assert_eq!(kruskal(&g), vec![(0, 1, 9)]);
+    }
+}

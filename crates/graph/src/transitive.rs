@@ -1,0 +1,132 @@
+//! Transitive closure, acyclicity, topological order, and transitive
+//! reduction of DAGs — static oracles for Theorem 4.2 and Corollary 4.3.
+
+use crate::graph::{DiGraph, Node};
+use crate::traversal::reachable_directed;
+
+/// Transitive closure as a boolean matrix: `tc[u][v]` ⇔ there is a
+/// directed path (of length ≥ 1... see below) from `u` to `v`.
+///
+/// Convention: `tc[u][u]` is true (the trivial path), matching the
+/// paper's `P(x, y)` usage where `P(x, a)` must hold for `x = a`.
+pub fn transitive_closure(g: &DiGraph) -> Vec<Vec<bool>> {
+    (0..g.num_nodes()).map(|u| reachable_directed(g, u)).collect()
+}
+
+/// True iff the digraph has no directed cycle (self-loops count).
+pub fn is_acyclic(g: &DiGraph) -> bool {
+    topological_order(g).is_some()
+}
+
+/// A topological order, if acyclic (Kahn's algorithm).
+pub fn topological_order(g: &DiGraph) -> Option<Vec<Node>> {
+    let n = g.num_nodes() as usize;
+    let mut indeg = vec![0usize; n];
+    for (_, b) in g.edges() {
+        indeg[b as usize] += 1;
+    }
+    let mut stack: Vec<Node> = (0..n as Node).filter(|&v| indeg[v as usize] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for v in g.successors(u) {
+            indeg[v as usize] -= 1;
+            if indeg[v as usize] == 0 {
+                stack.push(v);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Transitive reduction of a DAG: the unique minimal subgraph with the
+/// same transitive closure (paper, Corollary 4.3). Edge `(u,v)` survives
+/// iff there is no intermediate path `u ⇝ w ⇝ v` avoiding the edge.
+///
+/// # Panics
+/// Panics if the graph has a cycle (TR is only unique for DAGs).
+pub fn transitive_reduction(g: &DiGraph) -> DiGraph {
+    assert!(is_acyclic(g), "transitive reduction requires a DAG");
+    let tc = transitive_closure(g);
+    let mut tr = DiGraph::new(g.num_nodes());
+    for (u, v) in g.edges() {
+        // (u,v) is redundant iff some successor w ≠ v of u reaches v.
+        let redundant = g
+            .successors(u)
+            .any(|w| w != v && tc[w as usize][v as usize]);
+        if !redundant {
+            tr.insert(u, v);
+        }
+    }
+    tr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dag(edges: &[(Node, Node)], n: Node) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for &(a, b) in edges {
+            g.insert(a, b);
+        }
+        g
+    }
+
+    #[test]
+    fn closure_includes_reflexive_and_paths() {
+        let g = dag(&[(0, 1), (1, 2)], 4);
+        let tc = transitive_closure(&g);
+        assert!(tc[0][2]);
+        assert!(tc[0][0]);
+        assert!(!tc[2][0]);
+        assert!(!tc[0][3]);
+    }
+
+    #[test]
+    fn acyclicity_detection() {
+        assert!(is_acyclic(&dag(&[(0, 1), (1, 2), (0, 2)], 3)));
+        assert!(!is_acyclic(&dag(&[(0, 1), (1, 0)], 2)));
+        assert!(!is_acyclic(&dag(&[(1, 1)], 2)));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = dag(&[(2, 0), (0, 1), (2, 1)], 3);
+        let order = topological_order(&g).unwrap();
+        let pos = |v: Node| order.iter().position(|&x| x == v).unwrap();
+        for (a, b) in g.edges() {
+            assert!(pos(a) < pos(b));
+        }
+    }
+
+    #[test]
+    fn reduction_removes_shortcut_edges() {
+        let g = dag(&[(0, 1), (1, 2), (0, 2)], 3);
+        let tr = transitive_reduction(&g);
+        assert!(tr.has_edge(0, 1));
+        assert!(tr.has_edge(1, 2));
+        assert!(!tr.has_edge(0, 2));
+    }
+
+    #[test]
+    fn reduction_preserves_closure() {
+        let g = dag(&[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4), (0, 4)], 5);
+        let tr = transitive_reduction(&g);
+        assert_eq!(transitive_closure(&g), transitive_closure(&tr));
+        assert!(tr.num_edges() < g.num_edges());
+    }
+
+    #[test]
+    fn reduction_of_diamond_keeps_both_branches() {
+        let g = dag(&[(0, 1), (0, 2), (1, 3), (2, 3)], 4);
+        let tr = transitive_reduction(&g);
+        assert_eq!(tr.num_edges(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a DAG")]
+    fn reduction_rejects_cycles() {
+        transitive_reduction(&dag(&[(0, 1), (1, 0)], 2));
+    }
+}

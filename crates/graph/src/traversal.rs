@@ -1,0 +1,177 @@
+//! Breadth-first search and derived static queries — the recompute-from-
+//! scratch baselines that Dyn-FO programs are measured against.
+
+use crate::graph::{DiGraph, Graph, Node};
+use std::collections::VecDeque;
+
+/// Vertices reachable from `s` in the undirected graph (including `s`).
+pub fn reachable_undirected(g: &Graph, s: Node) -> Vec<bool> {
+    let mut seen = vec![false; g.num_nodes() as usize];
+    let mut queue = VecDeque::new();
+    seen[s as usize] = true;
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        for v in g.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// True iff `s` and `t` are connected in the undirected graph.
+pub fn connected(g: &Graph, s: Node, t: Node) -> bool {
+    reachable_undirected(g, s)[t as usize]
+}
+
+/// Vertices reachable from `s` by directed paths (including `s`).
+pub fn reachable_directed(g: &DiGraph, s: Node) -> Vec<bool> {
+    let mut seen = vec![false; g.num_nodes() as usize];
+    let mut queue = VecDeque::new();
+    seen[s as usize] = true;
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        for v in g.successors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// True iff there is a directed path from `s` to `t`.
+pub fn reaches(g: &DiGraph, s: Node, t: Node) -> bool {
+    reachable_directed(g, s)[t as usize]
+}
+
+/// Connected-component labels: `label[v] == label[u]` iff connected.
+/// Labels are the minimum vertex of each component.
+pub fn components(g: &Graph) -> Vec<Node> {
+    let n = g.num_nodes();
+    let mut label = vec![u32::MAX; n as usize];
+    for s in 0..n {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        let seen = reachable_undirected(g, s);
+        for (v, &r) in seen.iter().enumerate() {
+            if r && label[v] == u32::MAX {
+                label[v] = s;
+            }
+        }
+    }
+    label
+}
+
+/// BFS distances from `s` (`None` = unreachable).
+pub fn distances(g: &Graph, s: Node) -> Vec<Option<usize>> {
+    let mut dist = vec![None; g.num_nodes() as usize];
+    let mut queue = VecDeque::new();
+    dist[s as usize] = Some(0);
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u as usize].unwrap();
+        for v in g.neighbors(u) {
+            if dist[v as usize].is_none() {
+                dist[v as usize] = Some(d + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Deterministic reachability (REACH_d, Example 2.1): from `s`, follow
+/// edges only out of vertices with out-degree exactly one; can we reach
+/// `t`?
+pub fn reaches_deterministic(g: &DiGraph, s: Node, t: Node) -> bool {
+    let n = g.num_nodes() as usize;
+    let mut u = s;
+    // The deterministic path is a simple walk; it either reaches t, stalls
+    // at a branching/terminal vertex, or loops within n steps.
+    for _ in 0..=n {
+        if u == t {
+            return true;
+        }
+        if g.out_degree(u) != 1 {
+            return false;
+        }
+        u = g.successors(u).next().unwrap();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: Node) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.insert(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn connectivity_on_path() {
+        let g = path_graph(5);
+        assert!(connected(&g, 0, 4));
+        let mut g2 = g.clone();
+        g2.remove(2, 3);
+        assert!(connected(&g2, 0, 2));
+        assert!(!connected(&g2, 0, 3));
+    }
+
+    #[test]
+    fn components_label_by_minimum() {
+        let mut g = Graph::new(6);
+        g.insert(0, 1);
+        g.insert(4, 5);
+        assert_eq!(components(&g), vec![0, 0, 2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path_graph(4);
+        assert_eq!(
+            distances(&g, 0),
+            vec![Some(0), Some(1), Some(2), Some(3)]
+        );
+        let mut g2 = g;
+        g2.remove(1, 2);
+        assert_eq!(distances(&g2, 0)[3], None);
+    }
+
+    #[test]
+    fn directed_reachability_is_oriented() {
+        let mut g = DiGraph::new(3);
+        g.insert(0, 1);
+        g.insert(1, 2);
+        assert!(reaches(&g, 0, 2));
+        assert!(!reaches(&g, 2, 0));
+        assert!(reaches(&g, 1, 1));
+    }
+
+    #[test]
+    fn deterministic_reachability() {
+        let mut g = DiGraph::new(5);
+        g.insert(0, 1);
+        g.insert(1, 2);
+        assert!(reaches_deterministic(&g, 0, 2));
+        // Branch at 1 kills determinism.
+        g.insert(1, 3);
+        assert!(!reaches_deterministic(&g, 0, 2));
+        assert!(reaches_deterministic(&g, 0, 1));
+        // A cycle not containing t never reaches it.
+        let mut c = DiGraph::new(3);
+        c.insert(0, 1);
+        c.insert(1, 0);
+        assert!(!reaches_deterministic(&c, 0, 2));
+        assert!(reaches_deterministic(&c, 0, 0));
+    }
+}

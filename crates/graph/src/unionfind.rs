@@ -1,0 +1,95 @@
+//! Union-find (disjoint set union) with union by rank and path
+//! compression. Used by Kruskal and as a fast connectivity oracle for
+//! insert-only (semi-dynamic, `Dyn_s`) workloads.
+
+use crate::graph::Node;
+
+/// A disjoint-set forest over `{0..n}`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<Node>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: Node) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n as usize],
+            components: n as usize,
+        }
+    }
+
+    /// Representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: Node) -> Node {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: Node, b: Node) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (ra, rb) = if self.rank[ra as usize] < self.rank[rb as usize] {
+            (rb, ra)
+        } else {
+            (ra, rb)
+        };
+        self.parent[rb as usize] = ra;
+        if self.rank[ra as usize] == self.rank[rb as usize] {
+            self.rank[ra as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// True iff `a` and `b` are in the same set.
+    pub fn same(&mut self, a: Node, b: Node) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_find() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+        assert_eq!(uf.num_components(), 3);
+    }
+
+    #[test]
+    fn chain_compresses() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert!(uf.same(0, 99));
+        assert_eq!(uf.num_components(), 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the graph substrate: the oracles themselves
+//! must be trustworthy, since every Dyn-FO program is judged against
+//! them.
+
+use dynfo_graph::bipartite::two_coloring;
+use dynfo_graph::flow::edge_disjoint_paths;
+use dynfo_graph::generate::{gnp, random_dag, rng};
+use dynfo_graph::graph::{DiGraph, Graph};
+use dynfo_graph::mst::{kruskal, WeightedGraph};
+use dynfo_graph::transitive::{transitive_closure, transitive_reduction};
+use dynfo_graph::traversal::components;
+use dynfo_graph::unionfind::UnionFind;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3u32..9, proptest::collection::vec((0u32..9, 0u32..9), 0..20)).prop_map(|(n, pairs)| {
+        let mut g = Graph::new(n);
+        for (a, b) in pairs {
+            if a % n != b % n {
+                g.insert(a % n, b % n);
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Union-find over the edge list agrees with BFS components.
+    #[test]
+    fn union_find_matches_components(g in arb_graph()) {
+        let n = g.num_nodes();
+        let mut uf = UnionFind::new(n);
+        for (a, b) in g.edges() {
+            uf.union(a, b);
+        }
+        let comp = components(&g);
+        for x in 0..n {
+            for y in 0..n {
+                prop_assert_eq!(
+                    uf.same(x, y),
+                    comp[x as usize] == comp[y as usize],
+                    "({}, {})", x, y
+                );
+            }
+        }
+    }
+
+    /// Max-flow value is symmetric in its endpoints (undirected graphs)
+    /// and monotone under edge insertion.
+    #[test]
+    fn flow_symmetric_and_monotone(g in arb_graph(), extra in (0u32..9, 0u32..9)) {
+        let n = g.num_nodes();
+        let (s, t) = (0, n - 1);
+        let before = edge_disjoint_paths(&g, s, t);
+        prop_assert_eq!(before, edge_disjoint_paths(&g, t, s));
+        let (a, b) = (extra.0 % n, extra.1 % n);
+        if a != b {
+            let mut g2 = g.clone();
+            g2.insert(a, b);
+            prop_assert!(edge_disjoint_paths(&g2, s, t) >= before);
+        }
+    }
+
+    /// A proper 2-coloring, when claimed, is in fact proper; when
+    /// refused, some odd cycle exists (checked via: adding parity layers
+    /// — here simply that the refusal is stable under vertex order).
+    #[test]
+    fn two_coloring_is_proper(g in arb_graph()) {
+        match two_coloring(&g) {
+            Some(colors) => {
+                for (a, b) in g.edges() {
+                    if a != b {
+                        prop_assert_ne!(colors[a as usize], colors[b as usize]);
+                    }
+                }
+            }
+            None => {
+                // Not bipartite: verify by exhaustive 2-coloring for
+                // small n.
+                let n = g.num_nodes();
+                let edges: Vec<_> = g.edges().filter(|&(a, b)| a != b).collect();
+                let any_proper = (0u32..1 << n).any(|mask| {
+                    edges.iter().all(|&(a, b)| {
+                        (mask >> a) & 1 != (mask >> b) & 1
+                    })
+                });
+                prop_assert!(!any_proper, "oracle refused a 2-colorable graph");
+            }
+        }
+    }
+
+    /// Kruskal's forest weight is ≤ the weight of any random spanning
+    /// forest of the same graph (built by randomized union-find).
+    #[test]
+    fn kruskal_is_minimum(seed in 0u64..500) {
+        let mut r = rng(seed);
+        let g = gnp(8, 0.4, &mut r);
+        let mut wg = WeightedGraph::new(8);
+        use rand::Rng;
+        for (a, b) in g.edges() {
+            wg.insert(a, b, r.gen_range(0..20));
+        }
+        let optimal: u64 = kruskal(&wg).iter().map(|&(_, _, w)| w as u64).sum();
+        // Random spanning forests: shuffle edges, greedily take acyclic.
+        use rand::seq::SliceRandom;
+        for _ in 0..10 {
+            let mut edges: Vec<_> = wg.edges().collect();
+            edges.shuffle(&mut r);
+            let mut uf = UnionFind::new(8);
+            let mut weight = 0u64;
+            let mut count = 0usize;
+            for (a, b, w) in edges {
+                if uf.union(a, b) {
+                    weight += w as u64;
+                    count += 1;
+                }
+            }
+            prop_assert_eq!(count, kruskal(&wg).len(), "forest sizes differ");
+            prop_assert!(optimal <= weight);
+        }
+    }
+
+    /// Transitive reduction is minimal: removing any kept edge changes
+    /// the closure; and it is maximal-free: every removed edge was
+    /// redundant.
+    #[test]
+    fn transitive_reduction_is_exactly_minimal(seed in 0u64..300) {
+        let mut r = rng(seed);
+        let g = random_dag(7, 0.35, &mut r);
+        let tr = transitive_reduction(&g);
+        let closure = transitive_closure(&g);
+        prop_assert_eq!(&transitive_closure(&tr), &closure);
+        // Minimality.
+        for (a, b) in tr.edges() {
+            let mut smaller = tr.clone();
+            smaller.remove(a, b);
+            prop_assert_ne!(transitive_closure(&smaller), closure.clone());
+        }
+        // Redundancy of dropped edges.
+        for (a, b) in g.edges() {
+            if !tr.has_edge(a, b) {
+                let mut without = g.clone();
+                without.remove(a, b);
+                prop_assert_eq!(transitive_closure(&without), closure.clone());
+            }
+        }
+    }
+
+    /// Deterministic reachability is a restriction of plain
+    /// reachability.
+    #[test]
+    fn deterministic_reach_implies_reach(seed in 0u64..300) {
+        let mut r = rng(seed);
+        let dag = random_dag(7, 0.3, &mut r);
+        let mut g = DiGraph::new(7);
+        for (a, b) in dag.edges() {
+            g.insert(a, b);
+        }
+        for s in 0..7 {
+            for t in 0..7 {
+                if dynfo_graph::traversal::reaches_deterministic(&g, s, t) {
+                    prop_assert!(dynfo_graph::traversal::reaches(&g, s, t));
+                }
+            }
+        }
+    }
+}

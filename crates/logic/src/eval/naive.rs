@@ -1,0 +1,185 @@
+//! Reference evaluator: direct Tarskian semantics by exhaustive
+//! enumeration of assignments.
+//!
+//! Exponentially slower than the algebraic evaluator but obviously
+//! correct; it is the oracle the planner is differentially tested
+//! against, here and in downstream crates.
+
+use super::{EvalError, Table};
+use crate::analysis::free_vars;
+use crate::formula::{Formula, Term};
+use crate::intern::Sym;
+use crate::structure::Structure;
+use crate::tuple::{Elem, Tuple};
+use std::collections::BTreeMap;
+
+/// A variable assignment.
+pub type Env = BTreeMap<Sym, Elem>;
+
+/// Truth of `f` in `st` under `env` (must bind every free variable).
+pub fn naive_truth(
+    f: &Formula,
+    st: &Structure,
+    params: &[Elem],
+    env: &mut Env,
+) -> Result<bool, EvalError> {
+    use Formula::*;
+    Ok(match f {
+        True => true,
+        False => false,
+        Rel { name, args } => {
+            let id = st
+                .vocab()
+                .relation(*name)
+                .ok_or(EvalError::UnknownRelation(*name))?;
+            if args.len() != st.vocab().arity(id) {
+                return Err(EvalError::ArityMismatch {
+                    rel: *name,
+                    expected: st.vocab().arity(id),
+                    got: args.len(),
+                });
+            }
+            let tuple: Tuple = args
+                .iter()
+                .map(|t| term_value(t, st, params, env))
+                .collect::<Result<_, _>>()?;
+            st.relation(id).contains(&tuple)
+        }
+        Eq(a, b) => term_value(a, st, params, env)? == term_value(b, st, params, env)?,
+        Le(a, b) => term_value(a, st, params, env)? <= term_value(b, st, params, env)?,
+        Lt(a, b) => term_value(a, st, params, env)? < term_value(b, st, params, env)?,
+        Bit(a, b) => {
+            let x = term_value(a, st, params, env)?;
+            let y = term_value(b, st, params, env)?;
+            y < 32 && (x >> y) & 1 == 1
+        }
+        Not(g) => !naive_truth(g, st, params, env)?,
+        And(fs) => {
+            for g in fs {
+                if !naive_truth(g, st, params, env)? {
+                    return Ok(false);
+                }
+            }
+            true
+        }
+        Or(fs) => {
+            for g in fs {
+                if naive_truth(g, st, params, env)? {
+                    return Ok(true);
+                }
+            }
+            false
+        }
+        Implies(a, b) => !naive_truth(a, st, params, env)? || naive_truth(b, st, params, env)?,
+        Iff(a, b) => naive_truth(a, st, params, env)? == naive_truth(b, st, params, env)?,
+        Exists(vs, g) => quantify(vs, g, st, params, env, true)?,
+        Forall(vs, g) => !quantify(vs, g, st, params, env, false)?,
+    })
+}
+
+/// ∃-style search over the block `vs`. With `want = true` searches for a
+/// witness of `g`; with `want = false` searches for a counterexample
+/// (caller negates for ∀).
+fn quantify(
+    vs: &[Sym],
+    g: &Formula,
+    st: &Structure,
+    params: &[Elem],
+    env: &mut Env,
+    want: bool,
+) -> Result<bool, EvalError> {
+    fn rec(
+        vs: &[Sym],
+        g: &Formula,
+        st: &Structure,
+        params: &[Elem],
+        env: &mut Env,
+        want: bool,
+    ) -> Result<bool, EvalError> {
+        match vs.split_first() {
+            None => Ok(naive_truth(g, st, params, env)? == want),
+            Some((&v, rest)) => {
+                let saved = env.get(&v).copied();
+                for x in 0..st.size() {
+                    env.insert(v, x);
+                    if rec(rest, g, st, params, env, want)? {
+                        restore(env, v, saved);
+                        return Ok(true);
+                    }
+                }
+                restore(env, v, saved);
+                Ok(false)
+            }
+        }
+    }
+    fn restore(env: &mut Env, v: Sym, saved: Option<Elem>) {
+        match saved {
+            Some(x) => {
+                env.insert(v, x);
+            }
+            None => {
+                env.remove(&v);
+            }
+        }
+    }
+    rec(vs, g, st, params, env, want)
+}
+
+fn term_value(
+    t: &Term,
+    st: &Structure,
+    params: &[Elem],
+    env: &Env,
+) -> Result<Elem, EvalError> {
+    Ok(match t {
+        Term::Var(s) => *env
+            .get(s)
+            .unwrap_or_else(|| panic!("naive evaluation: unbound variable {s}")),
+        Term::Lit(e) => *e,
+        Term::Min => 0,
+        Term::Max => st.size() - 1,
+        Term::Param(i) => *params.get(*i).ok_or(EvalError::UnboundParam(*i))?,
+        Term::Const(s) => {
+            let id = st
+                .vocab()
+                .constant(*s)
+                .ok_or(EvalError::UnknownConstant(*s))?;
+            st.constant(id)
+        }
+    })
+}
+
+/// The table of satisfying assignments, computed by brute force.
+pub fn naive_evaluate(
+    f: &Formula,
+    st: &Structure,
+    params: &[Elem],
+) -> Result<Table, EvalError> {
+    let fv: Vec<Sym> = free_vars(f).into_iter().collect();
+    let mut rows = Vec::new();
+    let mut env = Env::new();
+    let mut assignment = vec![0 as Elem; fv.len()];
+    loop {
+        for (v, &x) in fv.iter().zip(&assignment) {
+            env.insert(*v, x);
+        }
+        if naive_truth(f, st, params, &mut env)? {
+            rows.push(Tuple::from_slice(&assignment));
+        }
+        // Advance the odometer.
+        let mut i = fv.len();
+        loop {
+            if i == 0 {
+                return Ok(Table::new(fv, rows));
+            }
+            i -= 1;
+            if assignment[i] + 1 < st.size() {
+                assignment[i] += 1;
+                for a in assignment.iter_mut().skip(i + 1) {
+                    *a = 0;
+                }
+                break;
+            }
+        }
+    }
+}

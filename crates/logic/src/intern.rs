@@ -1,0 +1,153 @@
+//! Global string interner for symbol names.
+//!
+//! Variable, relation, and constant names are interned into [`Sym`]s:
+//! cheap `Copy` handles that compare by identity. Interning is global and
+//! append-only; a name interned once keeps the same handle for the life of
+//! the process, so symbols can be shared freely across formulas,
+//! vocabularies, and threads.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned symbol: a process-wide unique handle for a name.
+///
+/// Two `Sym`s are equal iff they were interned from the same string.
+/// Ordering compares the *names*, so sorted collections of symbols are
+/// deterministic regardless of interning order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Sym) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sym {
+    fn cmp(&self, other: &Sym) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+struct Interner {
+    names: Vec<&'static str>,
+    map: HashMap<&'static str, u32>,
+}
+
+static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+
+fn interner() -> &'static RwLock<Interner> {
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            names: Vec::new(),
+            map: HashMap::new(),
+        })
+    })
+}
+
+impl Sym {
+    /// Intern `name`, returning its symbol. Idempotent.
+    pub fn new(name: &str) -> Sym {
+        let lock = interner();
+        if let Some(&id) = lock.read().map.get(name) {
+            return Sym(id);
+        }
+        let mut w = lock.write();
+        if let Some(&id) = w.map.get(name) {
+            return Sym(id);
+        }
+        // Leak the string: symbols live for the whole process. The set of
+        // distinct names in any run is small (variable and relation names).
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = w.names.len() as u32;
+        w.names.push(leaked);
+        w.map.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The interned name.
+    pub fn as_str(self) -> &'static str {
+        interner().read().names[self.0 as usize]
+    }
+
+    /// Raw id, stable within a process run. Useful for dense tables.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({})", self.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::new(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Sym {
+        Sym::new(&s)
+    }
+}
+
+/// Intern a name; shorthand for [`Sym::new`].
+pub fn sym(name: &str) -> Sym {
+    Sym::new(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_sym() {
+        assert_eq!(sym("x"), sym("x"));
+        assert_eq!(sym("x").as_str(), "x");
+    }
+
+    #[test]
+    fn distinct_names_distinct_syms() {
+        assert_ne!(sym("alpha"), sym("beta"));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(sym("Edge").to_string(), "Edge");
+    }
+
+    #[test]
+    fn interning_is_threadsafe() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let s = sym(&format!("t{}", i % 2));
+                    (i % 2, s)
+                })
+            })
+            .collect();
+        let mut seen = [None, None];
+        for h in handles {
+            let (k, s) = h.join().unwrap();
+            match seen[k] {
+                None => seen[k] = Some(s),
+                Some(prev) => assert_eq!(prev, s),
+            }
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! A text syntax for first-order formulas.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! formula  := iff
+//! iff      := impl ( '<->' impl )*
+//! impl     := or ( '->' or )*          (right-associative)
+//! or       := and ( '|' and )*
+//! and      := unary ( '&' unary )*
+//! unary    := '!' unary
+//!           | ('exists' | 'forall') ident+ '(' formula ')'
+//!           | atom
+//! atom     := 'true' | 'false'
+//!           | '(' formula ')'
+//!           | 'BIT' '(' term ',' term ')'
+//!           | Ident '(' term,* ')'              — relation atom
+//!           | term ('=' | '!=' | '<=' | '<') term
+//! term     := ident            — variable, or constant if declared
+//!           | '$' ident        — constant symbol (explicit)
+//!           | '?' digits       — request parameter
+//!           | '#' digits       — literal universe element
+//!           | 'min' | 'max'
+//! ```
+//!
+//! Bare identifiers are variables unless they appear in the supplied
+//! vocabulary's constant list (see [`parse_with`]) or use the explicit
+//! `$name` form. Relation atoms are recognized by the following `(`.
+
+use crate::formula::{Formula, Term};
+use crate::intern::Sym;
+use crate::vocab::Vocabulary;
+use std::fmt;
+
+/// A parse error with byte position and message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Byte offset in the source.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a formula with no declared constants: every bare identifier is a
+/// variable; use `$c` for constant symbols.
+pub fn parse(src: &str) -> Result<Formula, ParseError> {
+    Parser::new(src, None).run()
+}
+
+/// Parse a formula resolving bare identifiers that name constants of
+/// `vocab` as constant symbols.
+pub fn parse_with(src: &str, vocab: &Vocabulary) -> Result<Formula, ParseError> {
+    Parser::new(src, Some(vocab)).run()
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Dollar(String),
+    Param(usize),
+    Lit(u32),
+    LParen,
+    RParen,
+    Comma,
+    And,
+    Or,
+    Not,
+    Arrow,
+    DArrow,
+    Eq,
+    Neq,
+    Le,
+    Lt,
+    Eof,
+}
+
+struct Parser<'a> {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    vocab: Option<&'a Vocabulary>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &str, vocab: Option<&'a Vocabulary>) -> Parser<'a> {
+        Parser {
+            toks: lex(src),
+            pos: 0,
+            vocab,
+        }
+    }
+
+    fn run(mut self) -> Result<Formula, ParseError> {
+        let f = self.formula()?;
+        match self.peek() {
+            Tok::Eof => Ok(f),
+            t => Err(self.err(format!("unexpected trailing input {t:?}"))),
+        }
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].1.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            pos: self.toks[self.pos.min(self.toks.len() - 1)].0,
+            message,
+        }
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<(), ParseError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        self.iff()
+    }
+
+    fn iff(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.implication()?;
+        while *self.peek() == Tok::DArrow {
+            self.bump();
+            let g = self.implication()?;
+            f = Formula::Iff(Box::new(f), Box::new(g));
+        }
+        Ok(f)
+    }
+
+    fn implication(&mut self) -> Result<Formula, ParseError> {
+        let f = self.or()?;
+        if *self.peek() == Tok::Arrow {
+            self.bump();
+            let g = self.implication()?; // right-associative
+            return Ok(Formula::Implies(Box::new(f), Box::new(g)));
+        }
+        Ok(f)
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.and()?];
+        while *self.peek() == Tok::Or {
+            self.bump();
+            parts.push(self.and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::Or(parts)
+        })
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.unary()?];
+        while *self.peek() == Tok::And {
+            self.bump();
+            parts.push(self.unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::And(parts)
+        })
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek().clone() {
+            Tok::Not => {
+                self.bump();
+                Ok(Formula::Not(Box::new(self.unary()?)))
+            }
+            Tok::Ident(kw) if kw == "exists" || kw == "forall" => {
+                self.bump();
+                let mut vars = Vec::new();
+                while let Tok::Ident(name) = self.peek().clone() {
+                    if is_keyword(&name) {
+                        break;
+                    }
+                    self.bump();
+                    vars.push(Sym::new(&name));
+                }
+                if vars.is_empty() {
+                    return Err(self.err("quantifier needs at least one variable".into()));
+                }
+                self.expect(Tok::LParen, "'(' after quantifier variables")?;
+                let body = self.formula()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(if kw == "exists" {
+                    Formula::Exists(vars, Box::new(body))
+                } else {
+                    Formula::Forall(vars, Box::new(body))
+                })
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Formula, ParseError> {
+        match self.peek().clone() {
+            Tok::LParen => {
+                self.bump();
+                let f = self.formula()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(f)
+            }
+            Tok::Ident(name) if name == "true" => {
+                self.bump();
+                Ok(Formula::True)
+            }
+            Tok::Ident(name) if name == "false" => {
+                self.bump();
+                Ok(Formula::False)
+            }
+            Tok::Ident(name) if name == "BIT" => {
+                self.bump();
+                self.expect(Tok::LParen, "'('")?;
+                let a = self.term()?;
+                self.expect(Tok::Comma, "','")?;
+                let b = self.term()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(Formula::Bit(a, b))
+            }
+            Tok::Ident(name)
+                if self.toks.get(self.pos + 1).map(|t| &t.1) == Some(&Tok::LParen)
+                    && !is_keyword(&name) =>
+            {
+                // Relation atom.
+                self.bump();
+                self.bump(); // '('
+                let mut args = Vec::new();
+                if *self.peek() != Tok::RParen {
+                    args.push(self.term()?);
+                    while *self.peek() == Tok::Comma {
+                        self.bump();
+                        args.push(self.term()?);
+                    }
+                }
+                self.expect(Tok::RParen, "')'")?;
+                Ok(Formula::Rel {
+                    name: Sym::new(&name),
+                    args,
+                })
+            }
+            _ => {
+                // Comparison atom.
+                let a = self.term()?;
+                let op = self.bump();
+                let b = self.term()?;
+                match op {
+                    Tok::Eq => Ok(Formula::Eq(a, b)),
+                    Tok::Neq => Ok(Formula::Not(Box::new(Formula::Eq(a, b)))),
+                    Tok::Le => Ok(Formula::Le(a, b)),
+                    Tok::Lt => Ok(Formula::Lt(a, b)),
+                    t => Err(self.err(format!("expected comparison operator, found {t:?}"))),
+                }
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Tok::Ident(name) if name == "min" => Ok(Term::Min),
+            Tok::Ident(name) if name == "max" => Ok(Term::Max),
+            Tok::Ident(name) if !is_keyword(&name) => {
+                let s = Sym::new(&name);
+                if self.vocab.map(|v| v.constant(s).is_some()).unwrap_or(false) {
+                    Ok(Term::Const(s))
+                } else {
+                    Ok(Term::Var(s))
+                }
+            }
+            Tok::Dollar(name) => Ok(Term::Const(Sym::new(&name))),
+            Tok::Param(i) => Ok(Term::Param(i)),
+            Tok::Lit(e) => Ok(Term::Lit(e)),
+            t => Err(self.err(format!("expected term, found {t:?}"))),
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(s, "exists" | "forall" | "true" | "false" | "BIT" | "min" | "max")
+}
+
+fn lex(src: &str) -> Vec<(usize, Tok)> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                toks.push((start, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((start, Tok::RParen));
+                i += 1;
+            }
+            ',' => {
+                toks.push((start, Tok::Comma));
+                i += 1;
+            }
+            '&' => {
+                toks.push((start, Tok::And));
+                i += 1;
+            }
+            '|' => {
+                toks.push((start, Tok::Or));
+                i += 1;
+            }
+            '=' => {
+                toks.push((start, Tok::Eq));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((start, Tok::Neq));
+                    i += 2;
+                } else {
+                    toks.push((start, Tok::Not));
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((start, Tok::Le));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'-') && bytes.get(i + 2) == Some(&b'>') {
+                    toks.push((start, Tok::DArrow));
+                    i += 3;
+                } else {
+                    toks.push((start, Tok::Lt));
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push((start, Tok::Arrow));
+                    i += 2;
+                } else {
+                    // Lone '-' is an error token; surface as Ident to fail
+                    // in the parser with a position.
+                    toks.push((start, Tok::Ident("-".into())));
+                    i += 1;
+                }
+            }
+            '$' => {
+                i += 1;
+                let s = i;
+                while i < bytes.len() && (bytes[i] as char).is_alphanumeric()
+                    || i < bytes.len() && bytes[i] == b'_'
+                {
+                    i += 1;
+                }
+                toks.push((start, Tok::Dollar(src[s..i].to_string())));
+            }
+            '?' => {
+                i += 1;
+                let s = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n = src[s..i].parse().unwrap_or(usize::MAX);
+                toks.push((start, Tok::Param(n)));
+            }
+            '#' => {
+                i += 1;
+                let s = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n = src[s..i].parse().unwrap_or(u32::MAX);
+                toks.push((start, Tok::Lit(n)));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+                {
+                    i += 1;
+                }
+                toks.push((start, Tok::Ident(src[start..i].to_string())));
+            }
+            _ => {
+                toks.push((start, Tok::Ident(c.to_string())));
+                i += 1;
+            }
+        }
+    }
+    toks.push((src.len(), Tok::Eof));
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::*;
+
+    #[test]
+    fn parses_atoms() {
+        assert_eq!(parse("E(x, y)").unwrap(), rel("E", [v("x"), v("y")]));
+        assert_eq!(parse("x = y").unwrap(), eq(v("x"), v("y")));
+        assert_eq!(parse("x != y").unwrap(), neq(v("x"), v("y")));
+        assert_eq!(parse("x <= y").unwrap(), le(v("x"), v("y")));
+        assert_eq!(parse("x < max").unwrap(), lt(v("x"), Term::Max));
+        assert_eq!(parse("BIT(x, #3)").unwrap(), bit(v("x"), lit(3)));
+        assert_eq!(parse("true").unwrap(), Formula::True);
+    }
+
+    #[test]
+    fn parses_params_consts_lits() {
+        assert_eq!(
+            parse("E(?0, $t) & x = #7").unwrap(),
+            rel("E", [param(0), cst("t")]) & eq(v("x"), lit(7))
+        );
+    }
+
+    #[test]
+    fn vocab_resolves_constants() {
+        let vocab = Vocabulary::new().with_relation("E", 2).with_constant("t");
+        assert_eq!(
+            parse_with("E(x, t)", &vocab).unwrap(),
+            rel("E", [v("x"), cst("t")])
+        );
+        // Without the vocabulary, t is a variable.
+        assert_eq!(parse("E(x, t)").unwrap(), rel("E", [v("x"), v("t")]));
+    }
+
+    #[test]
+    fn precedence_and_associativity() {
+        // & binds tighter than |, -> tighter than <->, -> right-assoc.
+        assert_eq!(
+            parse("A() & B() | C()").unwrap(),
+            (rel("A", []) & rel("B", [])) | rel("C", [])
+        );
+        assert_eq!(
+            parse("A() -> B() -> C()").unwrap(),
+            implies(rel("A", []), implies(rel("B", []), rel("C", [])))
+        );
+        assert_eq!(
+            parse("A() <-> B() -> C()").unwrap(),
+            iff(rel("A", []), implies(rel("B", []), rel("C", [])))
+        );
+    }
+
+    #[test]
+    fn quantifiers_multi_variable() {
+        assert_eq!(
+            parse("exists u v (E(u, v) & u != v)").unwrap(),
+            exists(["u", "v"], rel("E", [v("u"), v("v")]) & neq(v("u"), v("v")))
+        );
+        assert_eq!(
+            parse("forall z (E(x, z) -> z = y)").unwrap(),
+            forall(["z"], implies(rel("E", [v("x"), v("z")]), eq(v("z"), v("y"))))
+        );
+    }
+
+    #[test]
+    fn negation_binds_tightly() {
+        assert_eq!(
+            parse("!E(x, y) & F(x, y)").unwrap(),
+            not(rel("E", [v("x"), v("y")])) & rel("F", [v("x"), v("y")])
+        );
+        assert_eq!(parse("!!A()").unwrap(), not(not(rel("A", []))));
+    }
+
+    #[test]
+    fn paper_example_2_1_parses() {
+        let src = "(E(x,y) & x != t & forall z (E(x,z) -> z = y)) \
+                   | (E(y,x) & y != t & forall z (E(y,z) -> z = x))";
+        let vocab = Vocabulary::new().with_relation("E", 2).with_constant("t");
+        let f = parse_with(src, &vocab).unwrap();
+        let fv = crate::analysis::free_vars(&f);
+        assert_eq!(fv.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = parse("E(x,").unwrap_err();
+        assert!(e.pos >= 4, "position was {}", e.pos);
+        assert!(parse("exists (A())").is_err());
+        assert!(parse("x + y").is_err());
+        assert!(parse("E(x) E(y)").is_err());
+    }
+
+    #[test]
+    fn empty_arg_relation() {
+        assert_eq!(parse("Flag()").unwrap(), rel("Flag", []));
+    }
+}

@@ -1,0 +1,232 @@
+//! Pretty-printing of formulas in the concrete syntax of
+//! [`crate::parser`], such that `parse(format!("{f}")) == f` (up to
+//! desugaring of `!=`, which parses back to `Not(Eq(..))` exactly as
+//! printed).
+
+use crate::formula::Formula;
+use std::fmt;
+
+/// Precedence levels, low to high.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Iff,
+    Implies,
+    Or,
+    And,
+    Unary,
+}
+
+fn prec(f: &Formula) -> Prec {
+    use Formula::*;
+    match f {
+        Iff(..) => Prec::Iff,
+        Implies(..) => Prec::Implies,
+        Or(fs) if fs.len() > 1 => Prec::Or,
+        And(fs) if fs.len() > 1 => Prec::And,
+        _ => Prec::Unary,
+    }
+}
+
+fn write_at(f: &Formula, parent: Prec, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let mine = prec(f);
+    let needs_parens = mine < parent;
+    if needs_parens {
+        write!(out, "(")?;
+    }
+    write_raw(f, out)?;
+    if needs_parens {
+        write!(out, ")")?;
+    }
+    Ok(())
+}
+
+fn write_raw(f: &Formula, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    use Formula::*;
+    match f {
+        True => write!(out, "true"),
+        False => write!(out, "false"),
+        Rel { name, args } => {
+            write!(out, "{name}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(out, ", ")?;
+                }
+                write!(out, "{a}")?;
+            }
+            write!(out, ")")
+        }
+        Eq(a, b) => write!(out, "{a} = {b}"),
+        Le(a, b) => write!(out, "{a} <= {b}"),
+        Lt(a, b) => write!(out, "{a} < {b}"),
+        Bit(a, b) => write!(out, "BIT({a}, {b})"),
+        Not(g) => match &**g {
+            Eq(a, b) => write!(out, "{a} != {b}"),
+            _ => {
+                write!(out, "!")?;
+                // Negation takes an atom-level operand; parenthesize
+                // anything that is not self-delimiting.
+                match &**g {
+                    True | False | Rel { .. } | Bit(..) | Not(..) => write_raw(g, out),
+                    _ => {
+                        write!(out, "(")?;
+                        write_raw(g, out)?;
+                        write!(out, ")")
+                    }
+                }
+            }
+        },
+        And(fs) => match fs.len() {
+            0 => write!(out, "true"),
+            1 => write_at(&fs[0], Prec::And, out),
+            _ => {
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(out, " & ")?;
+                    }
+                    write_at(g, Prec::And, out)?;
+                }
+                Ok(())
+            }
+        },
+        Or(fs) => match fs.len() {
+            0 => write!(out, "false"),
+            1 => write_at(&fs[0], Prec::Or, out),
+            _ => {
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(out, " | ")?;
+                    }
+                    write_at(g, Prec::Or, out)?;
+                }
+                Ok(())
+            }
+        },
+        Implies(a, b) => {
+            write_at(a, Prec::Or, out)?;
+            write!(out, " -> ")?;
+            write_at(b, Prec::Implies, out)
+        }
+        Iff(a, b) => {
+            write_at(a, Prec::Implies, out)?;
+            write!(out, " <-> ")?;
+            write_at(b, Prec::Implies, out)
+        }
+        Exists(vs, g) | Forall(vs, g) => {
+            let kw = if matches!(f, Exists(..)) { "exists" } else { "forall" };
+            write!(out, "{kw}")?;
+            for v in vs {
+                write!(out, " {v}")?;
+            }
+            write!(out, " (")?;
+            write_raw(g, out)?;
+            write!(out, ")")
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_raw(self, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::formula::*;
+    use crate::parser::parse;
+
+    fn round_trip(f: &Formula) {
+        let printed = f.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        assert_eq!(&reparsed, f, "round trip failed via {printed:?}");
+    }
+
+    #[test]
+    fn atoms_round_trip() {
+        round_trip(&rel("E", [v("x"), v("y")]));
+        round_trip(&eq(v("x"), Term::Max));
+        round_trip(&le(param(0), lit(3)));
+        round_trip(&bit(v("x"), v("y")));
+        round_trip(&Formula::True);
+        round_trip(&Formula::False);
+    }
+
+    #[test]
+    fn connectives_round_trip() {
+        round_trip(&((rel("A", []) & rel("B", [])) | rel("C", [])));
+        round_trip(&(rel("A", []) & (rel("B", []) | rel("C", []))));
+        round_trip(&not(rel("A", []) & rel("B", [])));
+        round_trip(&implies(rel("A", []), implies(rel("B", []), rel("C", []))));
+        round_trip(&iff(rel("A", []), rel("B", [])));
+        round_trip(&neq(v("x"), v("y")));
+        round_trip(&not(not(rel("A", []))));
+    }
+
+    #[test]
+    fn quantifiers_round_trip() {
+        round_trip(&exists(
+            ["u", "w"],
+            rel("E", [v("u"), v("w")]) & neq(v("u"), v("w")),
+        ));
+        round_trip(&forall(
+            ["z"],
+            implies(rel("E", [v("x"), v("z")]), eq(v("z"), v("y"))),
+        ));
+    }
+
+    #[test]
+    fn paper_formula_prints_readably() {
+        // Theorem 4.1 insert-update for F.
+        let f = rel("F", [v("x"), v("y")])
+            | (rel("Eq", [v("x"), v("y"), param(0), param(1)])
+                & not(rel("Pconn", [param(0), param(1)])));
+        assert_eq!(
+            f.to_string(),
+            "F(x, y) | Eq(x, y, ?0, ?1) & !Pconn(?0, ?1)"
+        );
+        round_trip(&f);
+    }
+
+    mod proptests {
+        use super::round_trip;
+        use crate::formula::*;
+        use proptest::prelude::*;
+
+        fn arb_formula() -> impl Strategy<Value = Formula> {
+            let term = prop_oneof![
+                Just(v("x")),
+                Just(v("yy")),
+                Just(cst("s")),
+                Just(param(1)),
+                Just(lit(5)),
+                Just(Term::Min),
+            ];
+            let leaf = prop_oneof![
+                (term.clone(), term.clone()).prop_map(|(a, b)| rel("E", [a, b])),
+                (term.clone(), term.clone()).prop_map(|(a, b)| eq(a, b)),
+                (term.clone(), term.clone()).prop_map(|(a, b)| lt(a, b)),
+                (term.clone(), term.clone()).prop_map(|(a, b)| bit(a, b)),
+                Just(Formula::True),
+            ];
+            leaf.prop_recursive(4, 32, 3, |inner| {
+                prop_oneof![
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| a & b),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| a | b),
+                    inner.clone().prop_map(not),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| implies(a, b)),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| iff(a, b)),
+                    inner.clone().prop_map(|f| exists(["u"], f)),
+                    inner.clone().prop_map(|f| forall(["w"], f)),
+                ]
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn print_parse_round_trip(f in arb_formula()) {
+                round_trip(&f);
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Finite relations: sets of [`Tuple`]s of a fixed arity.
+//!
+//! Relations are the stored state of a structure. The representation is a
+//! `BTreeSet` so iteration order is deterministic (important for
+//! reproducible benchmarks and for memorylessness checks, which compare
+//! whole structures).
+
+use crate::tuple::{all_tuples, Elem, Tuple};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A finite relation of fixed arity over universe elements.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// The empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Build from an iterator of tuples.
+    ///
+    /// # Panics
+    /// Panics if any tuple's length differs from `arity`.
+    pub fn from_tuples(arity: usize, iter: impl IntoIterator<Item = Tuple>) -> Relation {
+        let mut r = Relation::new(arity);
+        for t in iter {
+            r.insert(t);
+        }
+        r
+    }
+
+    /// Arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        debug_assert_eq!(t.len(), self.arity);
+        self.tuples.contains(t)
+    }
+
+    /// Insert a tuple; returns true if newly added.
+    ///
+    /// # Panics
+    /// Panics if the tuple length differs from the arity.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(
+            t.len(),
+            self.arity,
+            "tuple arity {} != relation arity {}",
+            t.len(),
+            self.arity
+        );
+        self.tuples.insert(t)
+    }
+
+    /// Remove a tuple; returns true if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        debug_assert_eq!(t.len(), self.arity);
+        self.tuples.remove(t)
+    }
+
+    /// Remove all tuples.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+    }
+
+    /// Iterate in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// The complement of this relation over universe `{0..n}`.
+    ///
+    /// Cost is `n^arity`; callers (the evaluator) guard arity.
+    pub fn complement(&self, n: Elem) -> Relation {
+        let mut out = Relation::new(self.arity);
+        for t in all_tuples(n, self.arity) {
+            if !self.tuples.contains(&t) {
+                out.tuples.insert(t);
+            }
+        }
+        out
+    }
+
+    /// Set union. Panics if arities differ.
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.arity, other.arity);
+        Relation {
+            arity: self.arity,
+            tuples: self.tuples.union(&other.tuples).copied().collect(),
+        }
+    }
+
+    /// Set intersection. Panics if arities differ.
+    pub fn intersection(&self, other: &Relation) -> Relation {
+        assert_eq!(self.arity, other.arity);
+        Relation {
+            arity: self.arity,
+            tuples: self.tuples.intersection(&other.tuples).copied().collect(),
+        }
+    }
+
+    /// Set difference. Panics if arities differ.
+    pub fn difference(&self, other: &Relation) -> Relation {
+        assert_eq!(self.arity, other.arity);
+        Relation {
+            arity: self.arity,
+            tuples: self.tuples.difference(&other.tuples).copied().collect(),
+        }
+    }
+
+    /// Symmetric-difference cardinality: how many tuples differ.
+    ///
+    /// This is the "number of affected tuples" that bounded-expansion
+    /// reductions (Definition 5.1) bound by a constant.
+    pub fn hamming(&self, other: &Relation) -> usize {
+        assert_eq!(self.arity, other.arity);
+        self.tuples.symmetric_difference(&other.tuples).count()
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    /// Collect tuples into a relation, inferring the arity from the first
+    /// tuple. An empty iterator yields an empty 0-ary relation.
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Relation {
+        let mut it = iter.into_iter().peekable();
+        let arity = it.peek().map(|t| t.len()).unwrap_or(0);
+        Relation::from_tuples(arity, it)
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(pairs: &[(Elem, Elem)]) -> Relation {
+        Relation::from_tuples(2, pairs.iter().map(|&(a, b)| Tuple::pair(a, b)))
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(Tuple::pair(1, 2)));
+        assert!(!r.insert(Tuple::pair(1, 2)));
+        assert!(r.contains(&Tuple::pair(1, 2)));
+        assert!(r.remove(&Tuple::pair(1, 2)));
+        assert!(!r.remove(&Tuple::pair(1, 2)));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "tuple arity")]
+    fn arity_mismatch_panics() {
+        Relation::new(2).insert(Tuple::unary(0));
+    }
+
+    #[test]
+    fn complement_partitions_universe() {
+        let r = rel(&[(0, 0), (1, 2)]);
+        let c = r.complement(3);
+        assert_eq!(r.len() + c.len(), 9);
+        assert!(c.contains(&Tuple::pair(2, 2)));
+        assert!(!c.contains(&Tuple::pair(0, 0)));
+        assert_eq!(r.intersection(&c).len(), 0);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = rel(&[(0, 1), (1, 2)]);
+        let b = rel(&[(1, 2), (2, 3)]);
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.intersection(&b), rel(&[(1, 2)]));
+        assert_eq!(a.difference(&b), rel(&[(0, 1)]));
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn deterministic_iteration_order() {
+        let r = rel(&[(2, 0), (0, 1), (1, 1)]);
+        let order: Vec<Tuple> = r.iter().copied().collect();
+        assert_eq!(
+            order,
+            vec![Tuple::pair(0, 1), Tuple::pair(1, 1), Tuple::pair(2, 0)]
+        );
+    }
+
+    #[test]
+    fn from_iterator_infers_arity() {
+        let r: Relation = vec![Tuple::triple(0, 1, 2)].into_iter().collect();
+        assert_eq!(r.arity(), 3);
+        let empty: Relation = std::iter::empty().collect();
+        assert_eq!(empty.arity(), 0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Formula simplification: constant folding and connective flattening.
+//!
+//! Substitution-heavy constructions (the k-fold composed queries of
+//! Theorem 4.5(2), instantiated reductions) produce formulas full of
+//! decidable-at-build-time atoms (`#3 = #3`, `min ≤ x`) and degenerate
+//! connectives (`φ ∧ true`, `∃x false`). Simplifying before evaluation
+//! shrinks plans without changing semantics.
+//!
+//! Rules (all semantics-preserving over nonempty universes — which the
+//! paper's structures always are):
+//!
+//! * ground numeric atoms between literals fold to `true`/`false`
+//!   (only literal/`min` terms: `max` and constants need the structure);
+//! * `t = t` folds to `true`; `t < t` to `false`; `t ≤ t` to `true`;
+//!   `min ≤ t` to `true`;
+//! * `∧`/`∨` drop neutral elements, short-circuit on absorbing ones,
+//!   flatten nested same-connectives, and deduplicate syntactically
+//!   equal juncts;
+//! * `¬¬φ → φ`, `¬true → false`, `¬false → true`;
+//! * `∃x̄ φ` / `∀x̄ φ` drop variables not free in `φ` (sound because
+//!   universes are nonempty) and fold constants through.
+
+use crate::analysis::free_vars;
+use crate::formula::{Formula, Term};
+
+/// Simplify a formula. Idempotent; preserves semantics on every
+/// structure (nonempty universe).
+pub fn simplify(f: &Formula) -> Formula {
+    use Formula::*;
+    match f {
+        True => True,
+        False => False,
+        Rel { .. } => f.clone(),
+        Eq(a, b) => fold_numeric(f, a, b),
+        Le(a, b) => fold_numeric(f, a, b),
+        Lt(a, b) => fold_numeric(f, a, b),
+        Bit(a, b) => fold_numeric(f, a, b),
+        Not(g) => match simplify(g) {
+            True => False,
+            False => True,
+            Not(inner) => *inner,
+            s => Not(Box::new(s)),
+        },
+        And(fs) => {
+            let mut out: Vec<Formula> = Vec::new();
+            for g in fs {
+                match simplify(g) {
+                    True => {}
+                    False => return False,
+                    And(inner) => {
+                        for h in inner {
+                            push_unique(&mut out, h);
+                        }
+                    }
+                    s => push_unique(&mut out, s),
+                }
+            }
+            match out.len() {
+                0 => True,
+                1 => out.pop().unwrap(),
+                _ => And(out),
+            }
+        }
+        Or(fs) => {
+            let mut out: Vec<Formula> = Vec::new();
+            for g in fs {
+                match simplify(g) {
+                    False => {}
+                    True => return True,
+                    Or(inner) => {
+                        for h in inner {
+                            push_unique(&mut out, h);
+                        }
+                    }
+                    s => push_unique(&mut out, s),
+                }
+            }
+            match out.len() {
+                0 => False,
+                1 => out.pop().unwrap(),
+                _ => Or(out),
+            }
+        }
+        Implies(a, b) => match (simplify(a), simplify(b)) {
+            (False, _) => True,
+            (True, sb) => sb,
+            (_, True) => True,
+            (sa, False) => simplify(&Not(Box::new(sa))),
+            (sa, sb) => Implies(Box::new(sa), Box::new(sb)),
+        },
+        Iff(a, b) => match (simplify(a), simplify(b)) {
+            (True, sb) => sb,
+            (sa, True) => sa,
+            (False, sb) => simplify(&Not(Box::new(sb))),
+            (sa, False) => simplify(&Not(Box::new(sa))),
+            (sa, sb) if sa == sb => True,
+            (sa, sb) => Iff(Box::new(sa), Box::new(sb)),
+        },
+        Exists(vs, g) => quantifier(true, vs, g),
+        Forall(vs, g) => quantifier(false, vs, g),
+    }
+}
+
+fn quantifier(existential: bool, vs: &[crate::intern::Sym], g: &Formula) -> Formula {
+    use Formula::*;
+    let body = simplify(g);
+    match body {
+        True => return True,
+        False => return False,
+        _ => {}
+    }
+    let fv = free_vars(&body);
+    let kept: Vec<_> = vs.iter().copied().filter(|v| fv.contains(v)).collect();
+    if kept.is_empty() {
+        return body;
+    }
+    if existential {
+        Exists(kept, Box::new(body))
+    } else {
+        Forall(kept, Box::new(body))
+    }
+}
+
+fn push_unique(out: &mut Vec<Formula>, f: Formula) {
+    if !out.contains(&f) {
+        out.push(f);
+    }
+}
+
+/// Fold a numeric atom whose truth is determined syntactically.
+fn fold_numeric(f: &Formula, a: &Term, b: &Term) -> Formula {
+    use Formula::*;
+    // Syntactic reflexivity (any term, including variables).
+    if a == b {
+        match f {
+            Eq(..) | Le(..) => return True,
+            Lt(..) => return False,
+            _ => {}
+        }
+    }
+    // min ≤ anything; nothing < min.
+    if matches!(f, Le(..)) && *a == Term::Min {
+        return True;
+    }
+    if matches!(f, Lt(..)) && *b == Term::Min {
+        return False;
+    }
+    // Literal/min ground terms fold fully (max/constants depend on the
+    // structure, so they stay).
+    let val = |t: &Term| match t {
+        Term::Lit(e) => Some(*e),
+        Term::Min => Some(0),
+        _ => None,
+    };
+    if let (Some(x), Some(y)) = (val(a), val(b)) {
+        let truth = match f {
+            Eq(..) => x == y,
+            Le(..) => x <= y,
+            Lt(..) => x < y,
+            Bit(..) => y < 32 && (x >> y) & 1 == 1,
+            _ => unreachable!(),
+        };
+        return if truth { True } else { False };
+    }
+    f.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::naive::naive_evaluate;
+    use crate::formula::*;
+    use crate::structure::Structure;
+    use crate::vocab::Vocabulary;
+    use std::sync::Arc;
+
+    #[test]
+    fn folds_ground_atoms() {
+        assert_eq!(simplify(&eq(lit(3), lit(3))), Formula::True);
+        assert_eq!(simplify(&eq(lit(3), lit(4))), Formula::False);
+        assert_eq!(simplify(&lt(lit(1), lit(2))), Formula::True);
+        assert_eq!(simplify(&le(Term::Min, v("x"))), Formula::True);
+        assert_eq!(simplify(&lt(v("x"), Term::Min)), Formula::False);
+        assert_eq!(simplify(&eq(v("x"), v("x"))), Formula::True);
+        assert_eq!(simplify(&bit(lit(5), lit(0))), Formula::True);
+        // max is structure-dependent: untouched.
+        assert_eq!(simplify(&eq(lit(3), Term::Max)), eq(lit(3), Term::Max));
+    }
+
+    #[test]
+    fn connective_identities() {
+        let a = rel("A", []);
+        assert_eq!(simplify(&(a.clone() & Formula::True)), a);
+        assert_eq!(simplify(&(a.clone() & Formula::False)), Formula::False);
+        assert_eq!(simplify(&(a.clone() | Formula::False)), a);
+        assert_eq!(simplify(&(a.clone() | Formula::True)), Formula::True);
+        assert_eq!(simplify(&not(not(a.clone()))), a);
+        // Dedup: A ∧ A → A.
+        assert_eq!(simplify(&(a.clone() & a.clone())), a);
+    }
+
+    #[test]
+    fn implication_and_iff() {
+        let a = rel("A", []);
+        assert_eq!(simplify(&implies(Formula::False, a.clone())), Formula::True);
+        assert_eq!(simplify(&implies(Formula::True, a.clone())), a);
+        assert_eq!(simplify(&implies(a.clone(), Formula::False)), not(a.clone()));
+        assert_eq!(simplify(&iff(a.clone(), a.clone())), Formula::True);
+        assert_eq!(simplify(&iff(a.clone(), Formula::False)), not(a));
+    }
+
+    #[test]
+    fn quantifiers_drop_unused_variables() {
+        let f = exists(["x", "y"], rel("A", [v("x")]));
+        assert_eq!(simplify(&f), exists(["x"], rel("A", [v("x")])));
+        assert_eq!(simplify(&exists(["x"], Formula::True)), Formula::True);
+        assert_eq!(simplify(&forall(["x"], Formula::False)), Formula::False);
+        // Body without the variable: quantifier vanishes entirely.
+        assert_eq!(simplify(&forall(["z"], rel("A", [v("x")]))), rel("A", [v("x")]));
+    }
+
+    #[test]
+    fn composed_kconn_style_formula_shrinks() {
+        // A formula with foldable junk, like post-substitution output.
+        let f = exists(
+            ["u"],
+            (rel("E", [v("u"), lit(3)]) & eq(lit(3), lit(3)))
+                | (Formula::False & rel("E", [v("u"), v("u")])),
+        );
+        let s = simplify(&f);
+        assert_eq!(s, exists(["u"], rel("E", [v("u"), lit(3)])));
+        assert!(crate::analysis::size(&s) < crate::analysis::size(&f));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_structure() -> impl Strategy<Value = Structure> {
+            (2u32..5, proptest::collection::vec((0u32..5, 0u32..5), 0..10)).prop_map(
+                |(n, pairs)| {
+                    let vocab = Arc::new(Vocabulary::new().with_relation("E", 2));
+                    let mut st = Structure::empty(vocab, n);
+                    for (a, b) in pairs {
+                        st.insert("E", [a % n, b % n]);
+                    }
+                    st
+                },
+            )
+        }
+
+        fn arb_formula() -> impl Strategy<Value = Formula> {
+            let term = prop_oneof![
+                Just(v("x")),
+                Just(v("y")),
+                Just(lit(1)),
+                Just(Term::Min),
+                Just(Term::Max),
+            ];
+            let leaf = prop_oneof![
+                (term.clone(), term.clone()).prop_map(|(a, b)| rel("E", [a, b])),
+                (term.clone(), term.clone()).prop_map(|(a, b)| eq(a, b)),
+                (term.clone(), term.clone()).prop_map(|(a, b)| le(a, b)),
+                (term.clone(), term.clone()).prop_map(|(a, b)| lt(a, b)),
+                Just(Formula::True),
+                Just(Formula::False),
+            ];
+            leaf.prop_recursive(3, 20, 3, |inner| {
+                prop_oneof![
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| a & b),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| a | b),
+                    inner.clone().prop_map(not),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| implies(a, b)),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| iff(a, b)),
+                    inner.clone().prop_map(|f| exists(["x"], f)),
+                    inner.clone().prop_map(|f| forall(["y"], f)),
+                ]
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Simplification preserves semantics on random structures.
+            #[test]
+            fn simplify_preserves_semantics(st in arb_structure(), f in arb_formula()) {
+                let s = simplify(&f);
+                let a = naive_evaluate(&f, &st, &[]).unwrap();
+                let b = naive_evaluate(&s, &st, &[]).unwrap();
+                // The simplified formula may have fewer free vars (e.g.
+                // x = x dropped); compare on the smaller variable set.
+                let shared: Vec<_> = b.vars().to_vec();
+                prop_assert_eq!(
+                    a.project(&shared).sorted(),
+                    b.sorted(),
+                    "simplify changed semantics"
+                );
+            }
+
+            /// Simplification never grows the formula and is idempotent.
+            #[test]
+            fn simplify_shrinks_and_is_idempotent(f in arb_formula()) {
+                let s = simplify(&f);
+                prop_assert!(crate::analysis::size(&s) <= crate::analysis::size(&f));
+                prop_assert_eq!(simplify(&s), s.clone());
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Finite relational structures (= relational databases).
+//!
+//! A structure `A = ⟨{0,…,n−1}, R₁^A … R_r^A, c₁^A … c_s^A⟩` (paper §2)
+//! interprets each relation symbol of its vocabulary as a finite relation
+//! and each constant symbol as a universe element. The universe is always
+//! an initial segment of the naturals, which gives meaning to the numeric
+//! predicates `≤`, `BIT`, `min`, `max`.
+
+use crate::relation::Relation;
+use crate::tuple::{Elem, Tuple};
+use crate::vocab::{ConstId, RelId, Vocabulary};
+use std::fmt;
+use std::sync::Arc;
+
+/// A finite structure over a fixed vocabulary.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Structure {
+    vocab: Arc<Vocabulary>,
+    size: Elem,
+    relations: Vec<Relation>,
+    constants: Vec<Elem>,
+}
+
+impl Structure {
+    /// The structure over `{0..n}` with all relations empty and all
+    /// constants set to 0.
+    ///
+    /// This matches the paper's initial structure `A₀ⁿ` except that the
+    /// paper additionally puts element 0 in the active-domain relation
+    /// `R₁` when one is used; callers that follow that convention insert
+    /// it explicitly.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` (universes are nonempty by definition).
+    pub fn empty(vocab: Arc<Vocabulary>, n: Elem) -> Structure {
+        assert!(n > 0, "universe must be nonempty");
+        let relations = vocab
+            .relations()
+            .map(|(_, sym)| Relation::new(sym.arity))
+            .collect();
+        let constants = vec![0; vocab.num_constants()];
+        Structure {
+            vocab,
+            size: n,
+            relations,
+            constants,
+        }
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Arc<Vocabulary> {
+        &self.vocab
+    }
+
+    /// Universe size `n` (the universe is `{0, …, n−1}`); `‖A‖` in the paper.
+    pub fn size(&self) -> Elem {
+        self.size
+    }
+
+    /// Interpretation of relation `id`.
+    pub fn relation(&self, id: RelId) -> &Relation {
+        &self.relations[id.0 as usize]
+    }
+
+    /// Mutable interpretation of relation `id`.
+    pub fn relation_mut(&mut self, id: RelId) -> &mut Relation {
+        &mut self.relations[id.0 as usize]
+    }
+
+    /// Look up a relation by name and return its interpretation.
+    ///
+    /// # Panics
+    /// Panics if the name is not in the vocabulary.
+    pub fn rel(&self, name: &str) -> &Relation {
+        let id = self
+            .vocab
+            .relation(name)
+            .unwrap_or_else(|| panic!("unknown relation {name}"));
+        self.relation(id)
+    }
+
+    /// Mutable variant of [`Structure::rel`].
+    pub fn rel_mut(&mut self, name: &str) -> &mut Relation {
+        let id = self
+            .vocab
+            .relation(name)
+            .unwrap_or_else(|| panic!("unknown relation {name}"));
+        self.relation_mut(id)
+    }
+
+    /// Interpretation of constant `id`.
+    pub fn constant(&self, id: ConstId) -> Elem {
+        self.constants[id.0 as usize]
+    }
+
+    /// Set constant `id` to `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the universe.
+    pub fn set_constant(&mut self, id: ConstId, v: Elem) {
+        assert!(v < self.size, "constant value {v} outside universe");
+        self.constants[id.0 as usize] = v;
+    }
+
+    /// Look up a constant by name.
+    ///
+    /// # Panics
+    /// Panics if the name is not in the vocabulary.
+    pub fn const_val(&self, name: &str) -> Elem {
+        let id = self
+            .vocab
+            .constant(name)
+            .unwrap_or_else(|| panic!("unknown constant {name}"));
+        self.constant(id)
+    }
+
+    /// Set a constant by name; panics if unknown or out of range.
+    pub fn set_const(&mut self, name: &str, v: Elem) {
+        let id = self
+            .vocab
+            .constant(name)
+            .unwrap_or_else(|| panic!("unknown constant {name}"));
+        self.set_constant(id, v);
+    }
+
+    /// Insert tuple `t` into relation `name`. Convenience for tests and
+    /// structure construction.
+    pub fn insert(&mut self, name: &str, t: impl Into<Tuple>) -> bool {
+        let t = t.into();
+        assert!(
+            t.iter().all(|v| v < self.size),
+            "tuple {t} outside universe of size {}",
+            self.size
+        );
+        self.rel_mut(name).insert(t)
+    }
+
+    /// Remove tuple `t` from relation `name`.
+    pub fn remove(&mut self, name: &str, t: impl Into<Tuple>) -> bool {
+        self.rel_mut(name).remove(&t.into())
+    }
+
+    /// Membership in relation `name`.
+    pub fn holds(&self, name: &str, t: impl Into<Tuple>) -> bool {
+        self.rel(name).contains(&t.into())
+    }
+
+    /// Total number of stored tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Number of tuples + constants differing from `other`.
+    ///
+    /// Both structures must share vocabulary and size. This is the change
+    /// count that bounded-expansion reductions bound per request.
+    pub fn hamming(&self, other: &Structure) -> usize {
+        assert_eq!(self.vocab, other.vocab, "vocabulary mismatch");
+        assert_eq!(self.size, other.size, "size mismatch");
+        let rels: usize = self
+            .relations
+            .iter()
+            .zip(&other.relations)
+            .map(|(a, b)| a.hamming(b))
+            .sum();
+        let consts = self
+            .constants
+            .iter()
+            .zip(&other.constants)
+            .filter(|(a, b)| a != b)
+            .count();
+        rels + consts
+    }
+
+    /// Replace the interpretation of relation `id` wholesale.
+    pub fn set_relation(&mut self, id: RelId, rel: Relation) {
+        assert_eq!(
+            rel.arity(),
+            self.vocab.arity(id),
+            "arity mismatch replacing relation"
+        );
+        self.relations[id.0 as usize] = rel;
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "structure over {} (n={})", self.vocab, self.size)?;
+        for (id, sym) in self.vocab.relations() {
+            writeln!(f, "  {} = {}", sym.name, self.relation(id))?;
+        }
+        for (id, name) in self.vocab.constants() {
+            writeln!(f, "  {} = {}", name, self.constant(id))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_vocab() -> Arc<Vocabulary> {
+        Arc::new(
+            Vocabulary::new()
+                .with_relation("E", 2)
+                .with_constant("s")
+                .with_constant("t"),
+        )
+    }
+
+    #[test]
+    fn empty_structure() {
+        let s = Structure::empty(graph_vocab(), 5);
+        assert_eq!(s.size(), 5);
+        assert!(s.rel("E").is_empty());
+        assert_eq!(s.const_val("s"), 0);
+        assert_eq!(s.total_tuples(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn zero_universe_panics() {
+        Structure::empty(graph_vocab(), 0);
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut s = Structure::empty(graph_vocab(), 4);
+        assert!(s.insert("E", [0, 1]));
+        assert!(!s.insert("E", [0, 1]));
+        assert!(s.holds("E", [0, 1]));
+        assert!(!s.holds("E", [1, 0]));
+        s.set_const("t", 3);
+        assert_eq!(s.const_val("t"), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_tuple_panics() {
+        let mut s = Structure::empty(graph_vocab(), 4);
+        s.insert("E", [0, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_constant_panics() {
+        let mut s = Structure::empty(graph_vocab(), 4);
+        s.set_const("s", 9);
+    }
+
+    #[test]
+    fn hamming_counts_all_differences() {
+        let mut a = Structure::empty(graph_vocab(), 4);
+        let mut b = a.clone();
+        assert_eq!(a.hamming(&b), 0);
+        a.insert("E", [0, 1]);
+        b.insert("E", [1, 2]);
+        b.set_const("t", 2);
+        assert_eq!(a.hamming(&b), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown relation")]
+    fn unknown_relation_panics() {
+        let s = Structure::empty(graph_vocab(), 4);
+        s.rel("Q");
+    }
+}

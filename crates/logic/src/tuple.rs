@@ -1,0 +1,307 @@
+//! Fixed-capacity inline tuples of universe elements.
+//!
+//! Every relation in a Dyn-FO program has small arity (the paper never
+//! needs more than 3; our evaluator's intermediate tables never need more
+//! than [`MAX_ARITY`] columns). Storing tuples inline keeps relations and
+//! join tables allocation-free per row.
+
+use std::fmt;
+use std::ops::Index;
+
+/// Maximum number of columns in a tuple / intermediate join table.
+///
+/// The widest intermediate in the paper's programs is 5 variables
+/// (PV-update in Theorem 4.1); 8 leaves comfortable headroom for user
+/// formulas while keeping `Tuple` at 36 bytes.
+pub const MAX_ARITY: usize = 8;
+
+/// An element of the universe `{0, 1, ..., n-1}`.
+pub type Elem = u32;
+
+/// A tuple of at most [`MAX_ARITY`] universe elements, stored inline.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple {
+    items: [Elem; MAX_ARITY],
+    len: u8,
+}
+
+impl Tuple {
+    /// The empty (0-ary) tuple.
+    pub const fn empty() -> Tuple {
+        Tuple {
+            items: [0; MAX_ARITY],
+            len: 0,
+        }
+    }
+
+    /// Build a tuple from a slice.
+    ///
+    /// # Panics
+    /// Panics if `items.len() > MAX_ARITY`.
+    pub fn from_slice(items: &[Elem]) -> Tuple {
+        assert!(
+            items.len() <= MAX_ARITY,
+            "tuple arity {} exceeds MAX_ARITY {}",
+            items.len(),
+            MAX_ARITY
+        );
+        let mut t = Tuple::empty();
+        t.items[..items.len()].copy_from_slice(items);
+        t.len = items.len() as u8;
+        t
+    }
+
+    /// A 1-tuple.
+    pub fn unary(a: Elem) -> Tuple {
+        Tuple::from_slice(&[a])
+    }
+
+    /// A 2-tuple.
+    pub fn pair(a: Elem, b: Elem) -> Tuple {
+        Tuple::from_slice(&[a, b])
+    }
+
+    /// A 3-tuple.
+    pub fn triple(a: Elem, b: Elem, c: Elem) -> Tuple {
+        Tuple::from_slice(&[a, b, c])
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True iff 0-ary.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The components as a slice.
+    pub fn as_slice(&self) -> &[Elem] {
+        &self.items[..self.len as usize]
+    }
+
+    /// Component `i`, or `None` if out of range.
+    pub fn get(&self, i: usize) -> Option<Elem> {
+        self.as_slice().get(i).copied()
+    }
+
+    /// Append a component, returning the extended tuple.
+    ///
+    /// # Panics
+    /// Panics if the tuple is already at [`MAX_ARITY`].
+    pub fn push(&self, v: Elem) -> Tuple {
+        assert!((self.len as usize) < MAX_ARITY, "tuple overflow");
+        let mut t = *self;
+        t.items[t.len as usize] = v;
+        t.len += 1;
+        t
+    }
+
+    /// Keep only the components at `positions`, in that order.
+    pub fn select(&self, positions: &[usize]) -> Tuple {
+        let mut t = Tuple::empty();
+        for &p in positions {
+            t = t.push(self.items[p]);
+        }
+        t
+    }
+
+    /// Concatenate two tuples.
+    ///
+    /// # Panics
+    /// Panics if the combined length exceeds [`MAX_ARITY`].
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut t = *self;
+        for &v in other.as_slice() {
+            t = t.push(v);
+        }
+        t
+    }
+
+    /// Iterate over components.
+    pub fn iter(&self) -> impl Iterator<Item = Elem> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Elem;
+    fn index(&self, i: usize) -> &Elem {
+        &self.as_slice()[i]
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<&[Elem]> for Tuple {
+    fn from(s: &[Elem]) -> Tuple {
+        Tuple::from_slice(s)
+    }
+}
+
+impl<const N: usize> From<[Elem; N]> for Tuple {
+    fn from(s: [Elem; N]) -> Tuple {
+        Tuple::from_slice(&s)
+    }
+}
+
+impl FromIterator<Elem> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Elem>>(iter: I) -> Tuple {
+        let mut t = Tuple::empty();
+        for v in iter {
+            t = t.push(v);
+        }
+        t
+    }
+}
+
+/// Enumerate all tuples of the given arity over universe `{0..n}`, in
+/// lexicographic order. Arity 0 yields exactly the empty tuple.
+pub fn all_tuples(n: Elem, arity: usize) -> impl Iterator<Item = Tuple> {
+    AllTuples {
+        n,
+        arity,
+        current: Some(Tuple::from_slice(&vec![0; arity])),
+        started: false,
+    }
+}
+
+struct AllTuples {
+    n: Elem,
+    arity: usize,
+    current: Option<Tuple>,
+    started: bool,
+}
+
+impl Iterator for AllTuples {
+    type Item = Tuple;
+    fn next(&mut self) -> Option<Tuple> {
+        if self.n == 0 && self.arity > 0 {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return self.current;
+        }
+        let cur = self.current?;
+        if self.arity == 0 {
+            self.current = None;
+            return None;
+        }
+        let mut items: Vec<Elem> = cur.as_slice().to_vec();
+        let mut i = self.arity;
+        loop {
+            if i == 0 {
+                self.current = None;
+                return None;
+            }
+            i -= 1;
+            if items[i] + 1 < self.n {
+                items[i] += 1;
+                for v in items.iter_mut().skip(i + 1) {
+                    *v = 0;
+                }
+                break;
+            }
+        }
+        self.current = Some(Tuple::from_slice(&items));
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::triple(1, 2, 3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0], 1);
+        assert_eq!(t[2], 3);
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let t = Tuple::empty();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t, Tuple::from_slice(&[]));
+    }
+
+    #[test]
+    fn push_select_concat() {
+        let t = Tuple::pair(7, 9).push(11);
+        assert_eq!(t.as_slice(), &[7, 9, 11]);
+        assert_eq!(t.select(&[2, 0]).as_slice(), &[11, 7]);
+        let u = Tuple::pair(1, 2).concat(&Tuple::unary(3));
+        assert_eq!(u, Tuple::triple(1, 2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "tuple overflow")]
+    fn overflow_panics() {
+        let mut t = Tuple::empty();
+        for i in 0..=MAX_ARITY as u32 {
+            t = t.push(i);
+        }
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_within_same_arity() {
+        assert!(Tuple::pair(0, 5) < Tuple::pair(1, 0));
+        assert!(Tuple::pair(1, 0) < Tuple::pair(1, 1));
+    }
+
+    #[test]
+    fn all_tuples_enumeration() {
+        let ts: Vec<Tuple> = all_tuples(3, 2).collect();
+        assert_eq!(ts.len(), 9);
+        assert_eq!(ts[0], Tuple::pair(0, 0));
+        assert_eq!(ts[8], Tuple::pair(2, 2));
+        // Lexicographic and duplicate-free.
+        for w in ts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn all_tuples_arity_zero_is_unit() {
+        let ts: Vec<Tuple> = all_tuples(5, 0).collect();
+        assert_eq!(ts, vec![Tuple::empty()]);
+    }
+
+    #[test]
+    fn all_tuples_empty_universe() {
+        assert_eq!(all_tuples(0, 2).count(), 0);
+        // By convention the 0-ary tuple exists even over the empty universe,
+        // but structures always have nonempty universes (per the paper).
+        assert_eq!(all_tuples(0, 0).count(), 1);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: Tuple = (0..4).collect();
+        assert_eq!(t.as_slice(), &[0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Vocabularies: the signatures of relational structures.
+//!
+//! A vocabulary `τ = ⟨R₁^{a₁}, …, R_r^{a_r}, c₁, …, c_s⟩` (paper §2) lists
+//! relation symbols with arities and constant symbols. Structures and
+//! formulas are checked against a vocabulary.
+
+use crate::intern::Sym;
+use std::fmt;
+
+/// Index of a relation symbol within a vocabulary.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RelId(pub u32);
+
+/// Index of a constant symbol within a vocabulary.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ConstId(pub u32);
+
+/// A relation symbol: a name and an arity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RelSym {
+    pub name: Sym,
+    pub arity: usize,
+}
+
+/// A vocabulary: ordered lists of relation and constant symbols.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Vocabulary {
+    relations: Vec<RelSym>,
+    constants: Vec<Sym>,
+}
+
+impl Vocabulary {
+    /// The empty vocabulary.
+    pub fn new() -> Vocabulary {
+        Vocabulary::default()
+    }
+
+    /// Add a relation symbol; returns its id.
+    ///
+    /// # Panics
+    /// Panics if a relation with the same name already exists, or if the
+    /// arity exceeds [`crate::tuple::MAX_ARITY`].
+    pub fn add_relation(&mut self, name: impl Into<Sym>, arity: usize) -> RelId {
+        let name = name.into();
+        assert!(
+            arity <= crate::tuple::MAX_ARITY,
+            "relation {name} arity {arity} exceeds MAX_ARITY"
+        );
+        assert!(
+            self.relation(name).is_none(),
+            "duplicate relation symbol {name}"
+        );
+        let id = RelId(self.relations.len() as u32);
+        self.relations.push(RelSym { name, arity });
+        id
+    }
+
+    /// Add a constant symbol; returns its id.
+    ///
+    /// # Panics
+    /// Panics if a constant with the same name already exists.
+    pub fn add_constant(&mut self, name: impl Into<Sym>) -> ConstId {
+        let name = name.into();
+        assert!(
+            self.constant(name).is_none(),
+            "duplicate constant symbol {name}"
+        );
+        let id = ConstId(self.constants.len() as u32);
+        self.constants.push(name);
+        id
+    }
+
+    /// Builder-style: add a relation and return `self`.
+    pub fn with_relation(mut self, name: impl Into<Sym>, arity: usize) -> Vocabulary {
+        self.add_relation(name, arity);
+        self
+    }
+
+    /// Builder-style: add a constant and return `self`.
+    pub fn with_constant(mut self, name: impl Into<Sym>) -> Vocabulary {
+        self.add_constant(name);
+        self
+    }
+
+    /// Look up a relation symbol by name.
+    pub fn relation(&self, name: impl Into<Sym>) -> Option<RelId> {
+        let name = name.into();
+        self.relations
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RelId(i as u32))
+    }
+
+    /// Look up a constant symbol by name.
+    pub fn constant(&self, name: impl Into<Sym>) -> Option<ConstId> {
+        let name = name.into();
+        self.constants
+            .iter()
+            .position(|&c| c == name)
+            .map(|i| ConstId(i as u32))
+    }
+
+    /// The symbol for relation `id`.
+    pub fn relation_sym(&self, id: RelId) -> RelSym {
+        self.relations[id.0 as usize]
+    }
+
+    /// Arity of relation `id`.
+    pub fn arity(&self, id: RelId) -> usize {
+        self.relations[id.0 as usize].arity
+    }
+
+    /// Name of constant `id`.
+    pub fn constant_name(&self, id: ConstId) -> Sym {
+        self.constants[id.0 as usize]
+    }
+
+    /// Number of relation symbols.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Number of constant symbols.
+    pub fn num_constants(&self) -> usize {
+        self.constants.len()
+    }
+
+    /// Iterate over `(RelId, RelSym)` pairs.
+    pub fn relations(&self) -> impl Iterator<Item = (RelId, RelSym)> + '_ {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (RelId(i as u32), r))
+    }
+
+    /// Iterate over `(ConstId, Sym)` pairs.
+    pub fn constants(&self) -> impl Iterator<Item = (ConstId, Sym)> + '_ {
+        self.constants
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (ConstId(i as u32), c))
+    }
+
+    /// True iff every symbol of `other` appears here with the same arity.
+    ///
+    /// Used to check that an auxiliary vocabulary extends the input
+    /// vocabulary (the Dyn-FO data structure carries a copy of the input).
+    pub fn extends(&self, other: &Vocabulary) -> bool {
+        other.relations.iter().all(|r| {
+            self.relation(r.name)
+                .map(|id| self.arity(id) == r.arity)
+                .unwrap_or(false)
+        }) && other
+            .constants
+            .iter()
+            .all(|&c| self.constant(c).is_some())
+    }
+}
+
+impl fmt::Display for Vocabulary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        let mut first = true;
+        for r in &self.relations {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{}^{}", r.name, r.arity)?;
+        }
+        for c in &self.constants {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let v = Vocabulary::new()
+            .with_relation("E", 2)
+            .with_relation("F", 2)
+            .with_constant("s")
+            .with_constant("t");
+        assert_eq!(v.num_relations(), 2);
+        assert_eq!(v.num_constants(), 2);
+        let e = v.relation("E").unwrap();
+        assert_eq!(v.arity(e), 2);
+        assert_eq!(v.relation_sym(e).name.as_str(), "E");
+        assert!(v.relation("G").is_none());
+        assert_eq!(v.constant_name(v.constant("t").unwrap()).as_str(), "t");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate relation")]
+    fn duplicate_relation_panics() {
+        Vocabulary::new().with_relation("E", 2).with_relation("E", 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate constant")]
+    fn duplicate_constant_panics() {
+        Vocabulary::new().with_constant("s").with_constant("s");
+    }
+
+    #[test]
+    fn extends_checks_arity() {
+        let sigma = Vocabulary::new().with_relation("E", 2).with_constant("s");
+        let tau = Vocabulary::new()
+            .with_relation("E", 2)
+            .with_relation("PV", 3)
+            .with_constant("s");
+        assert!(tau.extends(&sigma));
+        assert!(!sigma.extends(&tau));
+        let wrong = Vocabulary::new().with_relation("E", 3).with_constant("s");
+        assert!(!wrong.extends(&sigma));
+    }
+
+    #[test]
+    fn display_form() {
+        let v = Vocabulary::new().with_relation("E", 2).with_constant("s");
+        assert_eq!(v.to_string(), "⟨E^2, s⟩");
+    }
+}

@@ -1,0 +1,203 @@
+//! COLOR-REACH (\[MSV94\], Fact 5.11): the colorized reachability problem
+//! that *is* complete under bounded-expansion reductions.
+//!
+//! An instance is a digraph of out-degree ≤ 2 with out-edges labeled 0
+//! and 1, a partition of the vertices into classes `V_0, V_1, …, V_r`,
+//! and a color vector `C[1..r]`. For a vertex in class `i ≥ 1`, only the
+//! `C[i]`-labeled out-edge is followed (class 0 vertices follow both).
+//! Setting one bit `C[i]` redirects *all* of `V_i` at once — which is
+//! exactly why the configuration-graph reduction becomes bounded-
+//! expansion: "the set of nodes that would query input bit `i`" becomes
+//! class `i`, and flipping that input bit is **one** change to `C`.
+//!
+//! [`ColorReach::from_sweep`] builds the colorized instance for a
+//! [`crate::tm::SweepCounter`] — input-independently: the input lives
+//! entirely in the color vector.
+
+use crate::tm::SweepCounter;
+use dynfo_graph::graph::Node;
+use std::collections::VecDeque;
+
+/// A COLOR-REACH instance.
+#[derive(Clone, Debug)]
+pub struct ColorReach {
+    /// Per-vertex labeled out-edges: `edge[v][label]`.
+    edges: Vec<[Option<Node>; 2]>,
+    /// Class of each vertex (0 = uncolored: follow both edges).
+    class: Vec<usize>,
+    /// Color vector `C[1..=r]`; index 0 unused.
+    colors: Vec<bool>,
+    start: Node,
+    target: Node,
+}
+
+impl ColorReach {
+    /// Build an instance with `n` vertices and `r` color classes.
+    pub fn new(n: Node, r: usize, start: Node, target: Node) -> ColorReach {
+        ColorReach {
+            edges: vec![[None, None]; n as usize],
+            class: vec![0; n as usize],
+            colors: vec![false; r + 1],
+            start,
+            target,
+        }
+    }
+
+    /// Set vertex `v`'s out-edge with the given label.
+    pub fn set_edge(&mut self, v: Node, label: bool, to: Node) {
+        self.edges[v as usize][label as usize] = Some(to);
+    }
+
+    /// Assign vertex `v` to class `i` (1-based; 0 = uncolored).
+    pub fn set_class(&mut self, v: Node, i: usize) {
+        assert!(i < self.colors.len());
+        self.class[v as usize] = i;
+    }
+
+    /// Set color bit `i` — the *single-tuple* update corresponding to
+    /// flipping input bit `i` of the underlying machine.
+    pub fn set_color(&mut self, i: usize, value: bool) {
+        assert!(i >= 1 && i < self.colors.len(), "color index out of range");
+        self.colors[i] = value;
+    }
+
+    /// The color vector (excluding the unused slot 0).
+    pub fn colors(&self) -> &[bool] {
+        &self.colors[1..]
+    }
+
+    /// Reachability from `start` following the color-selected edges.
+    pub fn reachable(&self) -> bool {
+        let mut seen = vec![false; self.edges.len()];
+        let mut queue = VecDeque::from([self.start]);
+        seen[self.start as usize] = true;
+        while let Some(v) = queue.pop_front() {
+            if v == self.target {
+                return true;
+            }
+            let cls = self.class[v as usize];
+            let follow: &[usize] = if cls == 0 {
+                &[0, 1]
+            } else if self.colors[cls] {
+                &[1]
+            } else {
+                &[0]
+            };
+            for &lab in follow {
+                if let Some(w) = self.edges[v as usize][lab] {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// The colorized configuration-graph reduction for a sweep-counter
+    /// machine: class `i + 1` holds the configurations reading input bit
+    /// `i`; both possible successors are wired up front; the input is
+    /// supplied purely through the color vector. (Fact 5.11 /
+    /// Corollary 5.12 construction, specialized to our machine family.)
+    pub fn from_sweep(m: &SweepCounter) -> ColorReach {
+        let mut cr = ColorReach::new(m.num_nodes(), m.n, m.start_node(), m.accept_node());
+        for head in 0..m.n {
+            for count in 0..=head {
+                let v = m.config(head, count);
+                // Label 0: bit is 0 → count unchanged; label 1: bit is
+                // 1 → count + 1.
+                cr.set_edge(v, false, m.config(head + 1, count));
+                cr.set_edge(v, true, m.config(head + 1, count + 1));
+                cr.set_class(v, head + 1);
+            }
+        }
+        for count in 0..=m.n {
+            let v = m.config(m.n, count);
+            let sink = if (m.accept)(count, m.n) {
+                m.accept_node()
+            } else {
+                m.reject_node()
+            };
+            cr.set_edge(v, false, sink);
+            cr.set_edge(v, true, sink);
+        }
+        cr
+    }
+
+    /// Load an input string into the color vector (n single-bit
+    /// changes — but each is one tuple, the bfo property).
+    pub fn load_input(&mut self, input: &[bool]) {
+        for (i, &b) in input.iter().enumerate() {
+            self.set_color(i + 1, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tm::{majority, parity};
+
+    fn bits(s: &str) -> Vec<bool> {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn colorized_machine_agrees_with_direct_run() {
+        let machines: [(fn(usize) -> SweepCounter, &str); 2] =
+            [(majority, "majority"), (parity, "parity")];
+        for (mk, name) in machines {
+            let m = mk(6);
+            let mut cr = ColorReach::from_sweep(&m);
+            for input in ["000000", "111000", "111100", "101011", "111111"] {
+                let b = bits(input);
+                cr.load_input(&b);
+                assert_eq!(cr.reachable(), m.run(&b), "{name} on {input}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_color_flip_tracks_single_bit_flip() {
+        let m = majority(5);
+        let mut cr = ColorReach::from_sweep(&m);
+        cr.load_input(&bits("11000"));
+        assert!(!cr.reachable());
+        // One color change = one input-bit flip = one stored tuple.
+        cr.set_color(3, true); // input becomes 11100
+        assert!(cr.reachable());
+        cr.set_color(1, false); // 01100
+        assert!(!cr.reachable());
+    }
+
+    #[test]
+    fn class_zero_vertices_follow_both_edges() {
+        // A diamond where the branching vertex is uncolored: target
+        // reachable through either branch.
+        let mut cr = ColorReach::new(4, 1, 0, 3);
+        cr.set_edge(0, false, 1);
+        cr.set_edge(0, true, 2);
+        cr.set_edge(1, false, 3);
+        // Vertex 0 in class 0: both branches explored, 1 → 3 suffices.
+        assert!(cr.reachable());
+        // Put 0 in class 1 with color = 1: only edge to 2, dead end.
+        cr.set_class(0, 1);
+        cr.set_color(1, true);
+        assert!(!cr.reachable());
+        cr.set_color(1, false);
+        assert!(cr.reachable());
+    }
+
+    #[test]
+    fn expansion_dichotomy_quantified() {
+        // The payoff of Fact 5.11: flipping input bit i costs
+        // Θ(i) graph edits in the classical reduction but exactly one
+        // color-tuple edit in the colorized one.
+        let m = majority(32);
+        assert_eq!(m.expansion_at_bit(31), 64);
+        // Colorized: one change, by construction.
+        let color_expansion = 1;
+        assert!(color_expansion < m.expansion_at_bit(31));
+    }
+}

@@ -1,0 +1,283 @@
+//! First-order interpretations (Definition 2.2): k-ary first-order
+//! queries mapping `STRUC[σ] → STRUC[τ]`.
+//!
+//! A k-ary interpretation maps a structure with universe `{0..n}` to one
+//! with universe `{0..n^k}`; target element `⟨u₁,…,u_k⟩` is coded as
+//! `u_k + u_{k−1}·n + … + u₁·n^{k−1}` (the paper's coding). Each target
+//! relation of arity `a` is defined by a formula over the source with
+//! free variables `x1 … x{k·a}`; each target constant by a k-tuple of
+//! source constant symbols.
+//!
+//! When such a mapping is a many-one reduction it is a *first-order
+//! reduction*; [`crate::expansion`] measures whether it is additionally
+//! bounded-expansion (Definition 5.1).
+
+use dynfo_logic::formula::Formula;
+use dynfo_logic::{evaluate, Elem, EvalError, Structure, Sym, Tuple, Vocabulary};
+use std::sync::Arc;
+
+/// A k-ary first-order interpretation.
+#[derive(Clone, Debug)]
+pub struct Interpretation {
+    /// Descriptive name (for reports).
+    pub name: String,
+    /// Arity k of the interpretation.
+    pub k: usize,
+    /// Source vocabulary σ.
+    pub source: Arc<Vocabulary>,
+    /// Target vocabulary τ.
+    pub target: Arc<Vocabulary>,
+    /// One defining formula per target relation, in target-vocabulary
+    /// order. Free variables must be exactly `x1 … x{k·arity}`.
+    pub formulas: Vec<Formula>,
+    /// One k-tuple of source constant symbols per target constant.
+    pub constants: Vec<Vec<Sym>>,
+}
+
+impl Interpretation {
+    /// Construct and validate shape (formula count, free-variable
+    /// naming, constant tuple widths).
+    ///
+    /// # Panics
+    /// Panics on malformed input.
+    pub fn new(
+        name: &str,
+        k: usize,
+        source: Arc<Vocabulary>,
+        target: Arc<Vocabulary>,
+        formulas: Vec<Formula>,
+        constants: Vec<Vec<Sym>>,
+    ) -> Interpretation {
+        assert!(k >= 1);
+        assert_eq!(
+            formulas.len(),
+            target.num_relations(),
+            "one formula per target relation"
+        );
+        for (i, (id, sym)) in target.relations().enumerate() {
+            let expected: std::collections::BTreeSet<Sym> = (1..=k * sym.arity)
+                .map(|j| Sym::new(&format!("x{j}")))
+                .collect();
+            let fv = dynfo_logic::analysis::free_vars(&formulas[i]);
+            assert!(
+                fv.is_subset(&expected),
+                "formula for {} (relation {:?}) uses variables {:?} outside x1..x{}",
+                sym.name,
+                id,
+                fv,
+                k * sym.arity
+            );
+        }
+        assert_eq!(
+            constants.len(),
+            target.num_constants(),
+            "one constant tuple per target constant"
+        );
+        for c in &constants {
+            assert_eq!(c.len(), k, "constant tuples have width k");
+            for s in c {
+                assert!(
+                    source.constant(*s).is_some(),
+                    "unknown source constant {s}"
+                );
+            }
+        }
+        Interpretation {
+            name: name.to_string(),
+            k,
+            source,
+            target,
+            formulas,
+            constants,
+        }
+    }
+
+    /// Target universe size for a source of size `n`.
+    pub fn target_size(&self, n: Elem) -> Elem {
+        (n as u64).pow(self.k as u32) as Elem
+    }
+
+    /// Code a k-tuple of source elements as one target element.
+    pub fn encode(&self, n: Elem, tuple: &[Elem]) -> Elem {
+        debug_assert_eq!(tuple.len(), self.k);
+        tuple.iter().fold(0, |acc, &u| acc * n + u)
+    }
+
+    /// Apply the interpretation.
+    pub fn apply(&self, a: &Structure) -> Result<Structure, EvalError> {
+        let n = a.size();
+        let mut out = Structure::empty(Arc::clone(&self.target), self.target_size(n));
+        for (i, (id, sym)) in self.target.relations().enumerate() {
+            let table = evaluate(&self.formulas[i], a, &[])?;
+            // Column order x1, x2, …, x{k·a}; absent variables mean the
+            // formula is independent of that position — extend over the
+            // universe.
+            let mut t = table;
+            for j in 1..=self.k * sym.arity {
+                let var = Sym::new(&format!("x{j}"));
+                if t.col(var).is_none() {
+                    t = t.extend(var, n);
+                }
+            }
+            let order: Vec<Sym> = (1..=self.k * sym.arity)
+                .map(|j| Sym::new(&format!("x{j}")))
+                .collect();
+            let t = t.project(&order);
+            for row in t.rows() {
+                let coded: Tuple = (0..sym.arity)
+                    .map(|g| {
+                        let group: Vec<Elem> =
+                            (0..self.k).map(|j| row[g * self.k + j]).collect();
+                        self.encode(n, &group)
+                    })
+                    .collect();
+                out.relation_mut(id).insert(coded);
+            }
+        }
+        for (i, (cid, _)) in self.target.constants().enumerate() {
+            let vals: Vec<Elem> = self.constants[i]
+                .iter()
+                .map(|s| a.const_val(s.as_str()))
+                .collect();
+            out.set_constant(cid, self.encode(n, &vals));
+        }
+        Ok(out)
+    }
+}
+
+/// The unary reduction `I_{d-u}` of Example 2.1: REACH_d ≤ REACH_u.
+///
+/// `α(x,y) ≡ E(x,y) ∧ x ≠ t ∧ ∀z (E(x,z) → z = y)`;
+/// `φ_{d-u}(x,y) ≡ α(x,y) ∨ α(y,x)`; constants map identically.
+pub fn reach_d_to_reach_u() -> Interpretation {
+    use dynfo_logic::formula::{cst, eq, forall, implies, neq, rel, v};
+    let vocab: Arc<Vocabulary> = Arc::new(
+        Vocabulary::new()
+            .with_relation("E", 2)
+            .with_constant("s")
+            .with_constant("t"),
+    );
+    let alpha = |x: &str, y: &str| {
+        rel("E", [v(x), v(y)])
+            & neq(v(x), cst("t"))
+            & forall(["z"], implies(rel("E", [v(x), v("z")]), eq(v("z"), v(y))))
+    };
+    let phi = alpha("x1", "x2") | alpha("x2", "x1");
+    Interpretation::new(
+        "I_{d-u}",
+        1,
+        Arc::clone(&vocab),
+        vocab,
+        vec![phi],
+        vec![vec![Sym::new("s")], vec![Sym::new("t")]],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynfo_graph::graph::{DiGraph, Graph};
+    use dynfo_graph::traversal::{connected, reaches_deterministic};
+    use dynfo_logic::formula::{rel, v};
+
+    fn digraph_structure(n: Elem, edges: &[(Elem, Elem)], s: Elem, t: Elem) -> Structure {
+        let vocab = Arc::new(
+            Vocabulary::new()
+                .with_relation("E", 2)
+                .with_constant("s")
+                .with_constant("t"),
+        );
+        let mut st = Structure::empty(vocab, n);
+        for &(a, b) in edges {
+            st.insert("E", [a, b]);
+        }
+        st.set_const("s", s);
+        st.set_const("t", t);
+        st
+    }
+
+    #[test]
+    fn example_2_1_is_a_many_one_reduction() {
+        // Random digraphs: REACH_d(A) ⇔ REACH_u(I(A)).
+        let interp = reach_d_to_reach_u();
+        let mut rng = dynfo_graph::generate::rng(3);
+        for trial in 0..40 {
+            let g = dynfo_graph::generate::random_dag(6, 0.3, &mut rng);
+            let mut edges: Vec<(Elem, Elem)> = g.edges().collect();
+            // Mix in some cycles for generality.
+            if trial % 3 == 0 {
+                edges.push((5, 0));
+            }
+            let a = digraph_structure(6, &edges, 0, 5);
+            let image = interp.apply(&a).unwrap();
+
+            // Source truth.
+            let mut dg = DiGraph::new(6);
+            for &(x, y) in &edges {
+                dg.insert(x, y);
+            }
+            let source = reaches_deterministic(&dg, 0, 5);
+
+            // Target truth: undirected reachability in the image.
+            let mut ug = Graph::new(6);
+            for tup in image.rel("E").iter() {
+                ug.insert(tup[0], tup[1]);
+            }
+            let target = connected(&ug, image.const_val("s"), image.const_val("t"));
+            assert_eq!(source, target, "trial {trial}: edges {edges:?}");
+        }
+    }
+
+    #[test]
+    fn image_is_symmetric() {
+        let interp = reach_d_to_reach_u();
+        let a = digraph_structure(4, &[(0, 1), (1, 2), (1, 3)], 0, 3);
+        let image = interp.apply(&a).unwrap();
+        for t in image.rel("E").iter() {
+            assert!(image.holds("E", [t[1], t[0]]));
+        }
+        // Vertex 1 branches: its out-edges are removed.
+        assert!(image.holds("E", [0u32, 1]));
+        assert!(!image.holds("E", [1u32, 2]));
+    }
+
+    #[test]
+    fn binary_interpretation_squares_universe() {
+        // Target: P(x, y) over pairs — "both components related by E".
+        let sigma = Arc::new(Vocabulary::new().with_relation("E", 2));
+        let tau = Arc::new(Vocabulary::new().with_relation("Q", 1));
+        // Q over the squared universe: Q(⟨x1, x2⟩) ≡ E(x1, x2).
+        let interp = Interpretation::new(
+            "square",
+            2,
+            sigma.clone(),
+            tau,
+            vec![rel("E", [v("x1"), v("x2")])],
+            vec![],
+        );
+        let mut st = Structure::empty(sigma, 3);
+        st.insert("E", [1u32, 2]);
+        let image = interp.apply(&st).unwrap();
+        assert_eq!(image.size(), 9);
+        // ⟨1,2⟩ = 1·3 + 2 = 5.
+        assert!(image.holds("Q", [5u32]));
+        assert_eq!(image.rel("Q").len(), 1);
+    }
+
+    #[test]
+    fn constants_are_coded() {
+        let interp = reach_d_to_reach_u();
+        let a = digraph_structure(5, &[], 2, 4);
+        let image = interp.apply(&a).unwrap();
+        assert_eq!(image.const_val("s"), 2);
+        assert_eq!(image.const_val("t"), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one formula per target relation")]
+    fn wrong_formula_count_panics() {
+        let sigma = Arc::new(Vocabulary::new().with_relation("E", 2));
+        let tau = Arc::new(Vocabulary::new().with_relation("Q", 1));
+        Interpretation::new("bad", 1, sigma, tau, vec![], vec![]);
+    }
+}

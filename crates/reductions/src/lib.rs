@@ -1,0 +1,26 @@
+//! # dynfo-reductions
+//!
+//! Section 5 of the paper: first-order interpretations (Definition 2.2),
+//! bounded-expansion analysis (Definition 5.1), the transfer theorem
+//! (Proposition 5.3), the logspace-machine configuration-graph
+//! reductions whose expansion is unbounded (Corollary 5.10), the
+//! colorized COLOR-REACH construction that restores boundedness
+//! (Fact 5.11), and the padded `PAD(REACH_a)` algorithm (Theorem 5.14).
+
+pub mod color;
+pub mod expansion;
+pub mod interp;
+pub mod pad;
+pub mod s5;
+pub mod padgen;
+pub mod tm;
+pub mod transfer;
+
+pub use color::ColorReach;
+pub use expansion::{measure_expansion, ExpansionReport};
+pub use interp::{reach_d_to_reach_u, Interpretation};
+pub use pad::{AltUpdate, PaddedReachA};
+pub use padgen::PaddedStructure;
+pub use s5::{ColorPiS5, DynProductS5, Perm5};
+pub use tm::{majority, parity, SweepCounter};
+pub use transfer::{diff_to_requests, TransferMachine};

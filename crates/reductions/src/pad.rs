@@ -1,0 +1,235 @@
+//! `PAD(S)` (Definition 5.13) and Theorem 5.14: `PAD(REACH_a)` is in
+//! Dyn-FO.
+//!
+//! `PAD(S)` replicates the input n times, so *one* semantic change to
+//! the underlying `REACH_a` instance arrives as **n** padded requests —
+//! giving the dynamic algorithm n first-order steps to respond. That is
+//! enough to recompute alternating reachability from scratch: each step
+//! performs one round of the FO-definable immediate-consequence operator
+//!
+//! ```text
+//! R'(v) ≡ R(v) ∨ (∃-vertex v with a successor in R)
+//!        ∨ (∀-vertex v with ≥1 successor, all successors in R)
+//! ```
+//!
+//! and the fixpoint is reached after at most n rounds (it is exactly the
+//! `REACH_a` computation — P-complete, hence believed to *need* the
+//! padding; Corollary 5.7 says an unpadded Dyn-FO algorithm would put
+//! all of P in parallel linear time).
+
+use dynfo_graph::altgraph::{AltGraph, Kind};
+use dynfo_graph::graph::Node;
+
+/// The padded dynamic `REACH_a` solver. Callers submit one *semantic*
+/// update ([`PaddedReachA::real_update`]) followed by the n−1 remaining
+/// padded copies ([`PaddedReachA::padded_step`]); each copy advances the
+/// recomputation by one FO round.
+#[derive(Clone, Debug)]
+pub struct PaddedReachA {
+    graph: AltGraph,
+    source: Node,
+    target: Node,
+    /// Current (partially recomputed) reachability set.
+    reach: Vec<bool>,
+    /// Rounds applied since the last real update.
+    rounds: usize,
+    /// True once the operator reached its fixpoint.
+    converged: bool,
+    /// Total FO rounds executed (work accounting).
+    pub total_rounds: u64,
+}
+
+/// A semantic update to the alternating graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AltUpdate {
+    /// Insert edge `a → b`.
+    InsEdge(Node, Node),
+    /// Delete edge `a → b`.
+    DelEdge(Node, Node),
+    /// Set a vertex's kind.
+    SetKind(Node, Kind),
+}
+
+impl PaddedReachA {
+    /// Empty all-existential graph on `n` vertices with query pair
+    /// `(source, target)`.
+    pub fn new(n: Node, source: Node, target: Node) -> PaddedReachA {
+        let mut p = PaddedReachA {
+            graph: AltGraph::new(n),
+            source,
+            target,
+            reach: vec![false; n as usize],
+            rounds: 0,
+            converged: false,
+            total_rounds: 0,
+        };
+        p.reset_recomputation();
+        p
+    }
+
+    /// Number of padded steps a real update needs (the padding factor).
+    pub fn padding(&self) -> usize {
+        self.graph.num_nodes() as usize
+    }
+
+    /// Apply a semantic update; restarts the staged recomputation. This
+    /// plays the role of the *first* of the n padded copies.
+    pub fn real_update(&mut self, u: AltUpdate) {
+        match u {
+            AltUpdate::InsEdge(a, b) => {
+                self.graph.graph_mut().insert(a, b);
+            }
+            AltUpdate::DelEdge(a, b) => {
+                self.graph.graph_mut().remove(a, b);
+            }
+            AltUpdate::SetKind(v, k) => {
+                self.graph.set_kind(v, k);
+            }
+        }
+        self.reset_recomputation();
+        self.padded_step();
+    }
+
+    fn reset_recomputation(&mut self) {
+        self.reach.iter_mut().for_each(|r| *r = false);
+        self.reach[self.target as usize] = true;
+        self.rounds = 0;
+        self.converged = false;
+    }
+
+    /// One FO round of the immediate-consequence operator (what each of
+    /// the remaining padded copies performs).
+    pub fn padded_step(&mut self) {
+        if self.converged {
+            return;
+        }
+        self.total_rounds += 1;
+        self.rounds += 1;
+        let n = self.graph.num_nodes();
+        let mut next = self.reach.clone();
+        for v in 0..n {
+            if next[v as usize] {
+                continue;
+            }
+            let mut succs = self.graph.graph().successors(v).peekable();
+            let ok = match self.graph.kind(v) {
+                Kind::Exists => succs.any(|w| self.reach[w as usize]),
+                Kind::Forall => {
+                    succs.peek().is_some()
+                        && self
+                            .graph
+                            .graph()
+                            .successors(v)
+                            .all(|w| self.reach[w as usize])
+                }
+            };
+            if ok {
+                next[v as usize] = true;
+            }
+        }
+        if next == self.reach {
+            self.converged = true;
+        }
+        self.reach = next;
+    }
+
+    /// Run all remaining padded copies for the current update.
+    pub fn finish_padding(&mut self) {
+        for _ in self.rounds..self.padding() {
+            self.padded_step();
+        }
+        // Fixpoint must have been reached within n rounds.
+        debug_assert!(self.converged || self.rounds >= self.padding());
+    }
+
+    /// Has the staged recomputation converged?
+    pub fn ready(&self) -> bool {
+        self.converged || self.rounds >= self.padding()
+    }
+
+    /// The query answer; `None` while padding is still in flight (the
+    /// padded problem only promises answers at consistent instants).
+    pub fn query(&self) -> Option<bool> {
+        self.ready().then(|| self.reach[self.source as usize])
+    }
+
+    /// Direct oracle on the current graph.
+    pub fn oracle(&self) -> bool {
+        self.graph.reaches(self.source, self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn padded_updates_converge_to_oracle() {
+        let n = 10;
+        let mut p = PaddedReachA::new(n, 0, 9);
+        let mut rng = dynfo_graph::generate::rng(5);
+        for step in 0..120 {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            let u = match rng.gen_range(0..4) {
+                0 | 1 => AltUpdate::InsEdge(a, b),
+                2 => AltUpdate::DelEdge(a, b),
+                _ => AltUpdate::SetKind(
+                    a,
+                    if rng.gen_bool(0.5) {
+                        Kind::Forall
+                    } else {
+                        Kind::Exists
+                    },
+                ),
+            };
+            p.real_update(u);
+            p.finish_padding();
+            assert_eq!(p.query(), Some(p.oracle()), "step {step}");
+        }
+    }
+
+    #[test]
+    fn query_unavailable_mid_padding() {
+        let mut p = PaddedReachA::new(8, 0, 7);
+        // Build a path 0→1→…→7: convergence needs several rounds.
+        for i in 0..7 {
+            p.real_update(AltUpdate::InsEdge(i, i + 1));
+            p.finish_padding();
+        }
+        assert_eq!(p.query(), Some(true));
+        // A fresh update leaves the answer unavailable until enough
+        // padded copies arrive.
+        p.real_update(AltUpdate::DelEdge(3, 4));
+        assert!(p.query().is_none());
+        p.finish_padding();
+        assert_eq!(p.query(), Some(false));
+    }
+
+    #[test]
+    fn rounds_per_update_bounded_by_n() {
+        let n = 12;
+        let mut p = PaddedReachA::new(n, 0, 11);
+        for i in 0..11 {
+            p.real_update(AltUpdate::InsEdge(i, i + 1));
+            p.finish_padding();
+        }
+        // Each of the 11 updates costs at most n rounds.
+        assert!(p.total_rounds <= 11 * n as u64);
+    }
+
+    #[test]
+    fn alternation_respected() {
+        let mut p = PaddedReachA::new(5, 0, 4);
+        p.real_update(AltUpdate::SetKind(0, Kind::Forall));
+        p.real_update(AltUpdate::InsEdge(0, 1));
+        p.real_update(AltUpdate::InsEdge(0, 2));
+        p.real_update(AltUpdate::InsEdge(1, 4));
+        p.finish_padding();
+        assert_eq!(p.query(), Some(false)); // branch via 2 fails
+        p.real_update(AltUpdate::InsEdge(2, 4));
+        p.finish_padding();
+        assert_eq!(p.query(), Some(true));
+    }
+}

@@ -1,0 +1,132 @@
+//! The literal `PAD(S)` construction (Definition 5.13), generic over the
+//! input structure.
+//!
+//! `PAD(S) = { w₁, …, w_n : |w₁| = n, w₁ = ⋯ = w_n, w₁ ∈ S }` — the
+//! input is replicated n times, and an instance is well-formed only when
+//! all copies agree. A requester changing the underlying instance must
+//! touch all n copies, which is exactly what hands the dynamic algorithm
+//! its n FO steps (Theorem 5.14); between bursts the copies disagree and
+//! the padded membership is simply *false* (the tuple of copies is not
+//! in PAD(S)).
+//!
+//! [`PaddedStructure`] tracks the copies, exposes the integrity test
+//! ("all copies equal" — itself first-order over the copy index), and
+//! reports how many requests the current burst has delivered —
+//! the budget [`crate::pad::PaddedReachA`] spends on fixpoint rounds.
+
+use dynfo_core::request::{apply_to_input, Request};
+use dynfo_logic::{Elem, Structure, Vocabulary};
+use std::sync::Arc;
+
+/// `n` copies of an evolving input structure.
+#[derive(Clone, Debug)]
+pub struct PaddedStructure {
+    copies: Vec<Structure>,
+    /// Requests delivered since the copies last all agreed.
+    burst: usize,
+}
+
+impl PaddedStructure {
+    /// `n` empty copies over universe size `n` (the padding factor of
+    /// Definition 5.13 equals the instance size).
+    pub fn new(vocab: &Arc<Vocabulary>, n: Elem) -> PaddedStructure {
+        PaddedStructure {
+            copies: (0..n)
+                .map(|_| Structure::empty(Arc::clone(vocab), n))
+                .collect(),
+            burst: 0,
+        }
+    }
+
+    /// Number of copies (= padding factor).
+    pub fn padding(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Apply one request to copy `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn apply_to_copy(&mut self, i: usize, req: &Request) {
+        apply_to_input(&mut self.copies[i], req);
+        self.burst += 1;
+        if self.consistent() {
+            self.burst = 0;
+        }
+    }
+
+    /// Apply a semantic request to *every* copy — the well-formed usage;
+    /// returns the number of padded requests issued (= padding factor),
+    /// i.e. the FO-step budget this change grants.
+    pub fn apply_everywhere(&mut self, req: &Request) -> usize {
+        for copy in &mut self.copies {
+            apply_to_input(copy, req);
+        }
+        self.burst = 0;
+        self.copies.len()
+    }
+
+    /// Definition 5.13's membership precondition: all copies equal.
+    pub fn consistent(&self) -> bool {
+        self.copies.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// The common instance, if consistent.
+    pub fn instance(&self) -> Option<&Structure> {
+        self.consistent().then(|| &self.copies[0])
+    }
+
+    /// Requests since the copies last agreed (0 when consistent).
+    pub fn burst_len(&self) -> usize {
+        self.burst
+    }
+
+    /// Direct copy access (tests, diagnostics).
+    pub fn copy(&self, i: usize) -> &Structure {
+        &self.copies[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> Arc<Vocabulary> {
+        Arc::new(Vocabulary::new().with_relation("E", 2))
+    }
+
+    #[test]
+    fn consistent_while_updated_everywhere() {
+        let mut p = PaddedStructure::new(&vocab(), 4);
+        assert!(p.consistent());
+        let budget = p.apply_everywhere(&Request::ins("E", [0, 1]));
+        assert_eq!(budget, 4);
+        assert!(p.consistent());
+        assert!(p.instance().unwrap().holds("E", [0u32, 1]));
+    }
+
+    #[test]
+    fn partial_bursts_break_membership() {
+        let mut p = PaddedStructure::new(&vocab(), 4);
+        p.apply_to_copy(0, &Request::ins("E", [0, 1]));
+        assert!(!p.consistent());
+        assert!(p.instance().is_none());
+        assert_eq!(p.burst_len(), 1);
+        // Completing the burst restores consistency.
+        for i in 1..4 {
+            p.apply_to_copy(i, &Request::ins("E", [0, 1]));
+        }
+        assert!(p.consistent());
+        assert_eq!(p.burst_len(), 0);
+    }
+
+    #[test]
+    fn burst_budget_matches_padding() {
+        // The whole point of Theorem 5.14: one semantic change = n
+        // padded requests = n FO steps of budget, enough for the REACH_a
+        // fixpoint (≤ n rounds, see crate::pad).
+        let mut p = PaddedStructure::new(&vocab(), 8);
+        assert_eq!(p.apply_everywhere(&Request::ins("E", [2, 3])), 8);
+        assert_eq!(p.padding(), 8);
+    }
+}

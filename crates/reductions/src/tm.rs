@@ -1,0 +1,195 @@
+//! A small logspace-machine substrate: one-sweep counter machines and
+//! their configuration graphs.
+//!
+//! The classical completeness reductions for L and NL map an input `w`
+//! to the *configuration graph* of a machine on `w`. Section 5's
+//! observation (behind Corollary 5.10) is that this map is **not**
+//! bounded-expansion: one input bit is read by many configurations, so
+//! flipping it rewires Θ(poly) edges.
+//!
+//! The concrete machine here is a single left-to-right sweep that
+//! maintains a counter in `0..=n` (one logspace-sized register) and
+//! accepts by a predicate on the final count — MAJORITY, EXACTLY-k,
+//! PARITY, … are all instances. Its configuration graph is a *function
+//! graph* (out-degree 1 given the input), i.e. a `REACH_d` instance,
+//! matching the paper's L-completeness setting. A configuration
+//! `(head = i, count = c)` reads bit `i`, and `c` ranges over `0..=i`,
+//! so flipping bit `i` rewires `i + 1` edges — measured expansion Θ(n).
+
+use dynfo_graph::graph::{DiGraph, Node};
+
+/// Acceptance predicate on the final counter value.
+pub type AcceptFn = fn(count: usize, n: usize) -> bool;
+
+/// A one-sweep counter machine on inputs of length `n`.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepCounter {
+    /// Input length.
+    pub n: usize,
+    /// Accept predicate on the final count.
+    pub accept: AcceptFn,
+}
+
+/// MAJORITY: accept iff more than half the bits are 1.
+pub fn majority(n: usize) -> SweepCounter {
+    SweepCounter {
+        n,
+        accept: |c, n| 2 * c > n,
+    }
+}
+
+/// PARITY: accept iff the number of 1s is odd.
+pub fn parity(n: usize) -> SweepCounter {
+    SweepCounter {
+        n,
+        accept: |c, _| c % 2 == 1,
+    }
+}
+
+impl SweepCounter {
+    /// Configuration id of `(head, count)` with `head ∈ 0..=n`,
+    /// `count ∈ 0..=head` (counts can't exceed positions read). We lay
+    /// configurations out densely: id = head·(head+1)/2 + count for the
+    /// triangular part, plus 2 sink nodes.
+    pub fn config(&self, head: usize, count: usize) -> Node {
+        debug_assert!(head <= self.n && count <= head);
+        (head * (head + 1) / 2 + count) as Node
+    }
+
+    /// Total number of vertices (all configurations + accept + reject).
+    pub fn num_nodes(&self) -> Node {
+        let configs = (self.n + 1) * (self.n + 2) / 2;
+        (configs + 2) as Node
+    }
+
+    /// The accepting sink.
+    pub fn accept_node(&self) -> Node {
+        self.num_nodes() - 2
+    }
+
+    /// The rejecting sink.
+    pub fn reject_node(&self) -> Node {
+        self.num_nodes() - 1
+    }
+
+    /// The start configuration.
+    pub fn start_node(&self) -> Node {
+        self.config(0, 0)
+    }
+
+    /// Direct execution (the machine semantics, used as the oracle).
+    pub fn run(&self, input: &[bool]) -> bool {
+        assert_eq!(input.len(), self.n);
+        let count = input.iter().filter(|&&b| b).count();
+        (self.accept)(count, self.n)
+    }
+
+    /// The classical reduction: input ↦ configuration graph (a function
+    /// graph = `REACH_d` instance; query: start ⇝ accept).
+    pub fn config_graph(&self, input: &[bool]) -> DiGraph {
+        assert_eq!(input.len(), self.n);
+        let mut g = DiGraph::new(self.num_nodes());
+        for head in 0..self.n {
+            for count in 0..=head {
+                let from = self.config(head, count);
+                let next_count = count + usize::from(input[head]);
+                g.insert(from, self.config(head + 1, next_count));
+            }
+        }
+        // Final configurations step to a sink.
+        for count in 0..=self.n {
+            let from = self.config(self.n, count);
+            let to = if (self.accept)(count, self.n) {
+                self.accept_node()
+            } else {
+                self.reject_node()
+            };
+            g.insert(from, to);
+        }
+        g
+    }
+
+    /// Number of configuration-graph edges rewired by flipping input
+    /// bit `i` (the reduction's expansion at that bit): each config
+    /// `(i, c)` changes its successor, one delete + one insert each.
+    pub fn expansion_at_bit(&self, i: usize) -> usize {
+        2 * (i + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynfo_graph::traversal::reaches;
+
+    fn bits(s: &str) -> Vec<bool> {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn config_graph_simulates_the_machine() {
+        for (input, expected) in [
+            ("0000", false),
+            ("1110", true),
+            ("1100", false), // exactly half is not a majority
+            ("1111", true),
+        ] {
+            let m = majority(4);
+            let g = m.config_graph(&bits(input));
+            assert_eq!(
+                reaches(&g, m.start_node(), m.accept_node()),
+                expected,
+                "majority on {input}"
+            );
+            assert_eq!(m.run(&bits(input)), expected);
+        }
+    }
+
+    #[test]
+    fn parity_machine() {
+        let m = parity(5);
+        for input in ["00000", "10000", "11000", "10101"] {
+            let b = bits(input);
+            let g = m.config_graph(&b);
+            assert_eq!(
+                reaches(&g, m.start_node(), m.accept_node()),
+                b.iter().filter(|&&x| x).count() % 2 == 1
+            );
+        }
+    }
+
+    #[test]
+    fn config_graph_is_deterministic() {
+        let m = majority(6);
+        let g = m.config_graph(&bits("101010"));
+        for v in 0..g.num_nodes() {
+            assert!(g.out_degree(v) <= 1, "vertex {v} branches");
+        }
+    }
+
+    #[test]
+    fn flipping_a_bit_rewires_linearly_many_edges() {
+        let m = majority(8);
+        let mut input = bits("00000000");
+        let before = m.config_graph(&input);
+        input[6] = true;
+        let after = m.config_graph(&input);
+        // Count edge differences.
+        let e1: std::collections::BTreeSet<_> = before.edges().collect();
+        let e2: std::collections::BTreeSet<_> = after.edges().collect();
+        let diff = e1.symmetric_difference(&e2).count();
+        assert_eq!(diff, m.expansion_at_bit(6));
+        assert_eq!(diff, 14); // 2 · (6 + 1): grows with the bit index
+    }
+
+    #[test]
+    fn expansion_grows_with_n() {
+        // The reduction is NOT bounded-expansion: the worst bit's
+        // expansion scales with n (Corollary 5.10's mechanism).
+        let worst: Vec<usize> = [8usize, 16, 32]
+            .iter()
+            .map(|&n| majority(n).expansion_at_bit(n - 1))
+            .collect();
+        assert_eq!(worst, vec![16, 32, 64]);
+    }
+}

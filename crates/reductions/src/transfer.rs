@@ -1,0 +1,237 @@
+//! The transfer theorem (Proposition 5.3): if `S ≤_bfo T` and
+//! `T ∈ Dyn-FO`, then `S ∈ Dyn-FO`.
+//!
+//! Operationally: keep a Dyn-FO machine for `T` whose input is the
+//! *image* `I(A)` of the current `S`-input `A`. On each request to `A`,
+//! the bfo property guarantees `I(A)` changes in only O(1) tuples; relay
+//! exactly those changes as requests to the inner machine. The paper's
+//! proof existentially quantifies the changed tuples inside one FO
+//! update; here the relay is explicit, which also lets tests *verify*
+//! the boundedness claim on every step (a [`TransferMachine`] fails loudly
+//! if the reduction it was given is not actually bounded-expansion).
+
+use crate::interp::Interpretation;
+use dynfo_core::machine::DynFoMachine;
+use dynfo_core::program::DynFoProgram;
+use dynfo_core::request::{apply_to_input, Request};
+use dynfo_logic::{Elem, EvalError, Structure};
+use std::sync::Arc;
+
+/// A Dyn-FO machine for `S` assembled from `S ≤_bfo T` and a program
+/// for `T`.
+#[derive(Clone, Debug)]
+pub struct TransferMachine {
+    interp: Interpretation,
+    /// The current S-input `A` (replayed requests).
+    input: Structure,
+    /// The current image `I(A)` (kept to diff against the next image).
+    image: Structure,
+    /// The inner machine running the T-program on `I(A)`.
+    inner: DynFoMachine,
+    /// Abort if one request changes more than this many image tuples.
+    expansion_bound: usize,
+    /// Largest per-request expansion seen.
+    max_seen: usize,
+}
+
+impl TransferMachine {
+    /// Build for universe size `n`. `program` must accept the
+    /// interpretation's target vocabulary as (a subset of) its input
+    /// vocabulary; `expansion_bound` is the bfo constant to enforce.
+    pub fn new(
+        interp: Interpretation,
+        program: DynFoProgram,
+        n: Elem,
+        expansion_bound: usize,
+    ) -> Result<TransferMachine, EvalError> {
+        let input = Structure::empty(Arc::clone(&interp.source), n);
+        let image = interp.apply(&input)?;
+        let mut inner = DynFoMachine::new(program, interp.target_size(n));
+        // Replay any initial-image tuples (bfo proper gives O(1); bfo⁺
+        // precomputation may give more — permitted at init time only).
+        for req in diff_to_requests(&Structure::empty(Arc::clone(&interp.target), interp.target_size(n)), &image) {
+            inner.apply(&req)?;
+        }
+        Ok(TransferMachine {
+            interp,
+            input,
+            image,
+            inner,
+            expansion_bound,
+            max_seen: 0,
+        })
+    }
+
+    /// Apply one `S`-request; relays the image delta to the inner
+    /// machine.
+    ///
+    /// # Panics
+    /// Panics if the observed expansion exceeds the declared bound —
+    /// i.e. the provided reduction is not bfo.
+    pub fn apply(&mut self, req: &Request) -> Result<(), EvalError> {
+        apply_to_input(&mut self.input, req);
+        let next = self.interp.apply(&self.input)?;
+        let delta = diff_to_requests(&self.image, &next);
+        assert!(
+            delta.len() <= self.expansion_bound,
+            "reduction {} expanded request {req} into {} image changes (bound {})",
+            self.interp.name,
+            delta.len(),
+            self.expansion_bound
+        );
+        self.max_seen = self.max_seen.max(delta.len());
+        for r in &delta {
+            self.inner.apply(r)?;
+        }
+        self.image = next;
+        Ok(())
+    }
+
+    /// Answer the S-query through the inner T-query.
+    pub fn query(&mut self) -> Result<bool, EvalError> {
+        self.inner.query()
+    }
+
+    /// The inner machine (diagnostics).
+    pub fn inner(&self) -> &DynFoMachine {
+        &self.inner
+    }
+
+    /// Largest per-request expansion observed so far.
+    pub fn max_expansion_seen(&self) -> usize {
+        self.max_seen
+    }
+}
+
+/// The request sequence turning `from` into `to` (tuple inserts/deletes
+/// and constant sets). Structures must share vocabulary and size.
+pub fn diff_to_requests(from: &Structure, to: &Structure) -> Vec<Request> {
+    assert_eq!(from.vocab(), to.vocab());
+    assert_eq!(from.size(), to.size());
+    let mut out = Vec::new();
+    for (id, sym) in from.vocab().relations() {
+        let name = sym.name.as_str();
+        for t in from.relation(id).iter() {
+            if !to.relation(id).contains(t) {
+                out.push(Request::del(name, t.as_slice().to_vec()));
+            }
+        }
+        for t in to.relation(id).iter() {
+            if !from.relation(id).contains(t) {
+                out.push(Request::ins(name, t.as_slice().to_vec()));
+            }
+        }
+    }
+    for (id, name) in from.vocab().constants() {
+        if from.constant(id) != to.constant(id) {
+            out.push(Request::set(name.as_str(), to.constant(id)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::reach_d_to_reach_u;
+    use dynfo_core::programs::reach_u;
+    use dynfo_graph::graph::DiGraph;
+    use dynfo_graph::traversal::reaches_deterministic;
+
+    /// REACH_d solved through the Theorem 4.1 REACH_u program via the
+    /// Example 2.1 reduction — the paper's own proof of Theorem 4.2's
+    /// first half.
+    #[test]
+    fn reach_d_via_reach_u_program() {
+        let n = 7u32;
+        let mut machine = TransferMachine::new(
+            reach_d_to_reach_u(),
+            reach_u::program(),
+            n,
+            6,
+        )
+        .unwrap();
+        let mut g = DiGraph::new(n);
+        let mut rng = dynfo_graph::generate::rng(77);
+        let ops = dynfo_graph::generate::churn_stream(n, 60, 0.4, false, &mut rng);
+        // Fix s = 0, t = n-1.
+        machine.apply(&Request::set("t", n - 1)).unwrap();
+        for (step, op) in ops.iter().enumerate() {
+            let req = match *op {
+                dynfo_graph::generate::EdgeOp::Ins(a, b) => {
+                    g.insert(a, b);
+                    Request::ins("E", [a, b])
+                }
+                dynfo_graph::generate::EdgeOp::Del(a, b) => {
+                    g.remove(a, b);
+                    Request::del("E", [a, b])
+                }
+            };
+            machine.apply(&req).unwrap();
+            assert_eq!(
+                machine.query().unwrap(),
+                reaches_deterministic(&g, 0, n - 1),
+                "step {step}"
+            );
+        }
+        assert!(machine.max_expansion_seen() <= 6);
+    }
+
+    #[test]
+    fn diff_to_requests_round_trips() {
+        let vocab = Arc::new(
+            dynfo_logic::Vocabulary::new()
+                .with_relation("E", 2)
+                .with_constant("c"),
+        );
+        let mut a = Structure::empty(Arc::clone(&vocab), 5);
+        a.insert("E", [0u32, 1]);
+        a.insert("E", [2u32, 3]);
+        let mut b = Structure::empty(Arc::clone(&vocab), 5);
+        b.insert("E", [2u32, 3]);
+        b.insert("E", [4u32, 4]);
+        b.set_const("c", 2);
+        let delta = diff_to_requests(&a, &b);
+        assert_eq!(delta.len(), 3);
+        let mut replayed = a.clone();
+        for r in &delta {
+            apply_to_input(&mut replayed, r);
+        }
+        assert_eq!(replayed, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "expanded request")]
+    fn unbounded_reduction_is_rejected() {
+        // A deliberately non-bfo "reduction": Q(x1, x2) ≡ E(x1, x2) ∨
+        // (∃u,w E(u,w) ∧ x1 = x1) — any first insert flips the whole
+        // universe² on.
+        use dynfo_logic::formula::{exists, rel, v};
+        let sigma = Arc::new(dynfo_logic::Vocabulary::new().with_relation("E", 2));
+        let tau = Arc::new(dynfo_logic::Vocabulary::new().with_relation("E", 2));
+        let bad = Interpretation::new(
+            "exploder",
+            1,
+            sigma,
+            tau,
+            vec![rel("E", [v("x1"), v("x2")]) | exists(["u", "w"], rel("E", [v("u"), v("w")]))],
+            vec![],
+        );
+        let mut m = TransferMachine::new(bad, reach_u_like_program(), 6, 4).unwrap();
+        m.apply(&Request::ins("E", [0, 1])).unwrap();
+    }
+
+    /// A minimal program whose input vocabulary is just ⟨E²⟩, for the
+    /// rejection test.
+    fn reach_u_like_program() -> dynfo_core::program::DynFoProgram {
+        use dynfo_core::program::input_copy_rules;
+        use dynfo_core::request::RequestKind;
+        let (_, ins_e, del_e) = input_copy_rules("E", 2);
+        dynfo_core::program::DynFoProgram::builder("copy")
+            .input_relation("E", 2)
+            .on(RequestKind::ins("E"), "E", &["x0", "x1"], ins_e)
+            .on(RequestKind::del("E"), "E", &["x0", "x1"], del_e)
+            .query(dynfo_logic::Formula::True)
+            .build()
+    }
+}

@@ -1,0 +1,67 @@
+//! An incremental build system — the paper's own motivating example
+//! ("compiling a program" is a dynamic problem). The dependency graph is
+//! a DAG edited as the project evolves; we maintain
+//!
+//! * reachability (Theorem 4.2): "does editing X force rebuilding Y?",
+//! * the transitive reduction (Corollary 4.3): the minimal Makefile —
+//!   every edge that is implied by others is dropped automatically.
+//!
+//! Run with: `cargo run --example build_system`
+
+use dynfo::core::programs::trans_reduction;
+use dynfo::core::{DynFoMachine, Request};
+
+const MODULES: [&str; 7] = [
+    "util", "parser", "ast", "typecheck", "codegen", "driver", "tests",
+];
+
+fn id(name: &str) -> u32 {
+    MODULES.iter().position(|&m| m == name).unwrap() as u32
+}
+
+fn main() {
+    let mut deps = DynFoMachine::new(trans_reduction::program(), MODULES.len() as u32);
+
+    let mut add = |from: &str, to: &str| {
+        deps.apply(&Request::ins("E", [id(from), id(to)])).unwrap();
+        println!("dep added: {from} → {to}");
+    };
+
+    // Dependency = "is an input of": util → parser means parser reads util.
+    add("util", "parser");
+    add("parser", "ast");
+    add("ast", "typecheck");
+    add("typecheck", "codegen");
+    add("codegen", "driver");
+    add("util", "driver"); // redundant: implied through the chain
+    add("ast", "codegen"); // also redundant
+    add("codegen", "tests");
+
+    println!("\nminimal Makefile (transitive reduction, maintained in Dyn-FO):");
+    print_tr(&mut deps);
+
+    println!("\nediting util — which modules rebuild?");
+    for m in MODULES {
+        if deps.query_named("reaches", &[id("util"), id(m)]).unwrap() {
+            print!(" {m}");
+        }
+    }
+    println!();
+
+    // Refactor: typecheck no longer feeds codegen; ast → codegen becomes
+    // essential and reappears in the reduction automatically.
+    println!("\nrefactor: remove typecheck → codegen");
+    deps.apply(&Request::del("E", [id("typecheck"), id("codegen")]))
+        .unwrap();
+    print_tr(&mut deps);
+
+    println!("\ndoes editing typecheck still rebuild the tests? {}",
+        deps.query_named("reaches", &[id("typecheck"), id("tests")]).unwrap());
+}
+
+fn print_tr(deps: &mut DynFoMachine) {
+    let state = deps.state().clone();
+    for t in state.rel("TR").iter() {
+        println!("  {} → {}", MODULES[t[0] as usize], MODULES[t[1] as usize]);
+    }
+}

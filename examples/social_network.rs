@@ -1,0 +1,84 @@
+//! A dynamic social network: friendships come and go; we maintain
+//! connectivity (can a rumor travel between two people?), bipartiteness
+//! (is the network two-colorable — e.g. a valid "rivals" graph?), and a
+//! minimum spanning forest of communication costs — all three with the
+//! paper's Dyn-FO programs running on real FO formulas.
+//!
+//! Run with: `cargo run --example social_network`
+
+use dynfo::core::programs::{bipartite, msf, reach_u};
+use dynfo::core::{DynFoMachine, Request};
+use dynfo::graph::generate::rng;
+use rand::Rng;
+
+const PEOPLE: [&str; 8] = [
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+];
+
+fn main() {
+    let n = PEOPLE.len() as u32;
+    let mut reach = DynFoMachine::new(reach_u::program(), n);
+    let mut rivals = DynFoMachine::new(bipartite::program(), n);
+    let mut costs = DynFoMachine::new(msf::program(), n);
+
+    let mut rand = rng(2024);
+    let mut friendships: Vec<(u32, u32)> = Vec::new();
+
+    println!("simulating 25 friendship events over {n} people\n");
+    for step in 0..25 {
+        let drop = !friendships.is_empty() && rand.gen_bool(0.3);
+        if drop {
+            let i = rand.gen_range(0..friendships.len());
+            let (a, b) = friendships.swap_remove(i);
+            reach.apply(&Request::del("E", [a, b])).unwrap();
+            rivals.apply(&Request::del("E", [a, b])).unwrap();
+            let w = (a + b) % n; // deterministic cost
+            costs.apply(&Request::del("W", [a, b, w])).unwrap();
+            println!("{step:>2}: {} and {} fall out", PEOPLE[a as usize], PEOPLE[b as usize]);
+        } else {
+            let a = rand.gen_range(0..n);
+            let b = rand.gen_range(0..n);
+            if a == b || friendships.contains(&(a.min(b), b.max(a))) {
+                continue;
+            }
+            let (a, b) = (a.min(b), a.max(b));
+            friendships.push((a, b));
+            reach.apply(&Request::ins("E", [a, b])).unwrap();
+            rivals.apply(&Request::ins("E", [a, b])).unwrap();
+            let w = (a + b) % n;
+            costs.apply(&Request::ins("W", [a, b, w])).unwrap();
+            println!(
+                "{step:>2}: {} befriends {} (cost {w})",
+                PEOPLE[a as usize], PEOPLE[b as usize]
+            );
+        }
+    }
+
+    println!("\n--- queries (all answered by FO formulas over the data structure) ---");
+    let rumor = reach.query_named("connected", &[0, 7]).unwrap();
+    println!("can a rumor travel alice → heidi? {rumor}");
+
+    let two_sided = rivals.query().unwrap();
+    println!("is the network two-colorable (no odd friendship cycle)? {two_sided}");
+
+    let mut backbone: Vec<String> = Vec::new();
+    let mut total = 0u32;
+    for t in costs.state().rel("F").iter() {
+        if t[0] < t[1] {
+            let w = costs
+                .state()
+                .rel("W")
+                .iter()
+                .find(|u| u[0] == t[0] && u[1] == t[1])
+                .map(|u| u[2])
+                .unwrap_or(0);
+            total += w;
+            backbone.push(format!(
+                "{}–{} ({w})",
+                PEOPLE[t[0] as usize], PEOPLE[t[1] as usize]
+            ));
+        }
+    }
+    println!("cheapest communication backbone: {}", backbone.join(", "));
+    println!("backbone total cost: {total}");
+}

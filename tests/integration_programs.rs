@@ -1,0 +1,230 @@
+//! Cross-crate integration: every Section 4 program driven over a shared
+//! workload, validated against the independent static oracles, with the
+//! paper-level invariants (constant update depth, memorylessness where
+//! claimed) checked across the whole program library.
+
+use dynfo::core::machine::{check_memoryless, DynFoMachine};
+use dynfo::core::programs;
+use dynfo::core::Request;
+use dynfo::graph::generate::{churn_stream, dag_churn_stream, rng, EdgeOp};
+use dynfo::graph::graph::{DiGraph, Graph};
+
+fn edge_requests(ops: &[EdgeOp]) -> Vec<Request> {
+    ops.iter()
+        .map(|op| match *op {
+            EdgeOp::Ins(a, b) => Request::ins("E", [a, b]),
+            EdgeOp::Del(a, b) => Request::del("E", [a, b]),
+        })
+        .collect()
+}
+
+/// Every program in the library has O(1) update depth — the CRAM[1]
+/// claim, checked as one table.
+#[test]
+fn all_programs_have_constant_update_depth() {
+    let expectations = [
+        (programs::parity::program(), 0),
+        (programs::reach_u::program(), 2),
+        (programs::reach_acyclic::program(), 1),
+        (programs::trans_reduction::program(), 1),
+        (programs::msf::program(), 3),
+        (programs::bipartite::program(), 2),
+        (programs::kconn::program_up_to(2), 2),
+        (programs::matching::program(), 4),
+        (programs::lca::program(), 1),
+    ];
+    for (program, depth) in expectations {
+        assert_eq!(
+            program.update_depth(),
+            depth,
+            "program {} has unexpected update depth",
+            program.name()
+        );
+    }
+}
+
+/// One shared churn stream, three forest-based programs: they agree with
+/// each other (same underlying forest discipline) and with BFS.
+#[test]
+fn forest_programs_agree_on_shared_workload() {
+    let n = 6u32;
+    let reqs = edge_requests(&churn_stream(n, 40, 0.35, true, &mut rng(101)));
+    let mut reach = DynFoMachine::new(programs::reach_u::program(), n);
+    let mut bip = DynFoMachine::new(programs::bipartite::program(), n);
+    let mut graph = Graph::new(n);
+    for (step, r) in reqs.iter().enumerate() {
+        reach.apply(r).unwrap();
+        bip.apply(r).unwrap();
+        match r {
+            Request::Ins(_, a) => {
+                graph.insert(a[0], a[1]);
+            }
+            Request::Del(_, a) => {
+                graph.remove(a[0], a[1]);
+            }
+            _ => {}
+        }
+        // Same spanning-forest updates → identical F relations.
+        assert_eq!(
+            reach.state().rel("F"),
+            bip.state().rel("F"),
+            "step {step}: F diverged between reach_u and bipartite"
+        );
+        // Connectivity matches BFS; bipartiteness matches 2-coloring.
+        for x in 0..n {
+            assert_eq!(
+                reach.query_named("connected", &[x, (x + 1) % n]).unwrap(),
+                dynfo::graph::traversal::connected(&graph, x, (x + 1) % n),
+                "step {step}"
+            );
+        }
+        assert_eq!(
+            bip.query().unwrap(),
+            dynfo::graph::bipartite::is_bipartite(&graph),
+            "step {step}"
+        );
+    }
+}
+
+/// The two directed programs share P-maintenance; their P relations are
+/// identical on the same DAG stream.
+#[test]
+fn directed_programs_share_path_relation() {
+    let n = 6u32;
+    let reqs = edge_requests(&dag_churn_stream(n, 40, 0.35, &mut rng(103)));
+    let mut reach = DynFoMachine::new(programs::reach_acyclic::program(), n);
+    let mut tr = DynFoMachine::new(programs::trans_reduction::program(), n);
+    let mut lca = DynFoMachine::new(programs::lca::program(), n);
+    let mut g = DiGraph::new(n);
+    for (step, r) in reqs.iter().enumerate() {
+        reach.apply(r).unwrap();
+        tr.apply(r).unwrap();
+        lca.apply(r).unwrap();
+        match r {
+            Request::Ins(_, a) => {
+                g.insert(a[0], a[1]);
+            }
+            Request::Del(_, a) => {
+                g.remove(a[0], a[1]);
+            }
+            _ => {}
+        }
+        assert_eq!(reach.state().rel("P"), tr.state().rel("P"), "step {step}");
+        assert_eq!(reach.state().rel("P"), lca.state().rel("P"), "step {step}");
+    }
+}
+
+/// Memorylessness (the paper's §3 notion) holds for every program that
+/// claims it, over randomized equivalent histories.
+#[test]
+fn claimed_memorylessness_holds_on_random_histories() {
+    let n = 5u32;
+    // Build two histories with the same eval: shuffle + insert/delete
+    // noise.
+    let base = [
+        Request::ins("E", [0, 1]),
+        Request::ins("E", [1, 2]),
+        Request::ins("E", [3, 4]),
+    ];
+    let noisy = [
+        Request::ins("E", [3, 4]),
+        Request::ins("E", [2, 4]),
+        Request::ins("E", [1, 2]),
+        Request::del("E", [2, 4]),
+        Request::ins("E", [0, 1]),
+    ];
+    for program in [
+        programs::reach_acyclic::program(),
+        programs::trans_reduction::program(),
+        programs::lca::program(),
+    ] {
+        assert!(program.claims_memoryless());
+        assert!(
+            check_memoryless(&program, n, &base, &noisy).unwrap(),
+            "{} not memoryless",
+            program.name()
+        );
+    }
+}
+
+/// A Dyn-FO⁺ program (Section 3.1's relaxed condition (4)): start from a
+/// precomputed structure instead of the empty one. We precompute a
+/// complete "≤"-order relation and verify the machine sees it.
+#[test]
+fn dyn_fo_plus_precomputation() {
+    use dynfo::core::program::DynFoProgram;
+    use dynfo::core::RequestKind;
+    use dynfo::logic::formula::{le, param, rel, v};
+    use dynfo::logic::{Structure, Tuple};
+
+    let program = DynFoProgram::builder("leq_plus")
+        .input_relation("M", 1)
+        .aux_relation("Leq", 2)
+        .precomputed(|vocab, n| {
+            let mut st = Structure::empty(std::sync::Arc::clone(vocab), n);
+            for a in 0..n {
+                for b in a..n {
+                    st.insert("Leq", Tuple::pair(a, b));
+                }
+            }
+            st
+        })
+        .on(
+            RequestKind::ins("M"),
+            "M",
+            &["x"],
+            rel("M", [v("x")]) | dynfo::logic::formula::eq(v("x"), param(0)),
+        )
+        .query(dynfo::logic::formula::exists(
+            ["x"],
+            rel("M", [v("x")]) & le(v("x"), v("x")),
+        ))
+        .build();
+    assert!(program.has_precomputation());
+    let mut m = DynFoMachine::new(program, 6);
+    // The precomputed triangle is present from step zero.
+    assert_eq!(m.state().rel("Leq").len(), 21);
+    m.apply(&Request::ins("M", [2])).unwrap();
+    assert!(m.query().unwrap());
+}
+
+/// The MSF program and its native mirror maintain the *same* forest
+/// (shared key order) — strong cross-implementation agreement.
+#[test]
+fn msf_fo_and_native_maintain_identical_forests() {
+    use dynfo::core::native::NativeMsf;
+    let n = 6u32;
+    let mut fo = DynFoMachine::new(programs::msf::program(), n);
+    let mut native = NativeMsf::new(n);
+    let mut rand = rng(107);
+    use rand::Rng;
+    let mut present: Vec<(u32, u32, u32)> = Vec::new();
+    for step in 0..40 {
+        if !present.is_empty() && rand.gen_bool(0.3) {
+            let i = rand.gen_range(0..present.len());
+            let (a, b, w) = present.swap_remove(i);
+            fo.apply(&Request::del("W", [a, b, w])).unwrap();
+            native.delete(a, b, w);
+        } else {
+            let a = rand.gen_range(0..n);
+            let b = rand.gen_range(0..n);
+            if a == b || present.iter().any(|&(x, y, _)| (x, y) == (a.min(b), a.max(b))) {
+                continue;
+            }
+            let w = rand.gen_range(0..n);
+            present.push((a.min(b), a.max(b), w));
+            fo.apply(&Request::ins("W", [a.min(b), a.max(b), w])).unwrap();
+            native.insert(a.min(b), a.max(b), w);
+        }
+        let fo_forest: std::collections::BTreeSet<(u32, u32)> = fo
+            .state()
+            .rel("F")
+            .iter()
+            .filter(|t| t[0] <= t[1])
+            .map(|t| (t[0], t[1]))
+            .collect();
+        let native_forest: std::collections::BTreeSet<(u32, u32)> =
+            native.forest().edges().collect();
+        assert_eq!(fo_forest, native_forest, "step {step}");
+    }
+}

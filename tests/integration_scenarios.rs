@@ -1,0 +1,88 @@
+//! End-to-end scenario tests mirroring the examples: the build-system
+//! DAG, the text editor, and the spreadsheet — each exercising several
+//! crates through the public facade.
+
+use dynfo::arith::{DynProduct, Operand};
+use dynfo::automata::dyck::DynDyck;
+use dynfo::automata::dyntree::DynRegular;
+use dynfo::automata::regex;
+use dynfo::core::machine::DynFoMachine;
+use dynfo::core::programs::trans_reduction;
+use dynfo::core::Request;
+
+#[test]
+fn build_system_scenario() {
+    // util → parser → ast → codegen, plus a redundant util → codegen.
+    let mut deps = DynFoMachine::new(trans_reduction::program(), 4);
+    let (util, parser, ast, codegen) = (0u32, 1u32, 2u32, 3u32);
+    for (a, b) in [(util, parser), (parser, ast), (ast, codegen), (util, codegen)] {
+        deps.apply(&Request::ins("E", [a, b])).unwrap();
+    }
+    // Redundant edge excluded from the minimal Makefile.
+    assert!(!deps.query_named("in_tr", &[util, codegen]).unwrap());
+    // Editing util rebuilds everything.
+    for m in [parser, ast, codegen] {
+        assert!(deps.query_named("reaches", &[util, m]).unwrap());
+    }
+    // Cutting the middle makes the shortcut essential again.
+    deps.apply(&Request::del("E", [parser, ast])).unwrap();
+    assert!(deps.query_named("in_tr", &[util, codegen]).unwrap());
+    assert!(!deps.query_named("reaches", &[util, ast]).unwrap());
+}
+
+#[test]
+fn text_editor_scenario() {
+    let dfa = regex::compile("a(a|b)*b", &['a', 'b']).unwrap();
+    let n = 24;
+    let mut lint = DynRegular::new(dfa.clone(), n);
+    let mut brackets = DynDyck::new(2, n);
+
+    // Type a valid identifier and balanced brackets.
+    lint.insert_char(0, 'a');
+    lint.insert_char(4, 'b');
+    lint.insert_char(9, 'b');
+    assert!(lint.accepted()); // "abb"
+    brackets.insert_open(1, 0);
+    brackets.insert_open(2, 1);
+    brackets.insert_close(3, 1);
+    brackets.insert_close(5, 0);
+    assert!(brackets.balanced());
+
+    // Every edit keeps both structures consistent with full recompute.
+    assert_eq!(lint.accepted(), dfa.accepts(&lint.string()));
+    lint.delete_char(0);
+    assert!(!lint.accepted()); // "bb" doesn't start with a
+    assert_eq!(lint.accepted(), dfa.accepts(&lint.string()));
+    brackets.delete(3);
+    assert!(!brackets.balanced()); // "([)"
+    brackets.delete(2);
+    assert!(brackets.balanced()); // "()"
+}
+
+#[test]
+fn spreadsheet_scenario() {
+    let mut cell = DynProduct::new(24);
+    // Build x = 123, y = 456 bit by bit; product maintained throughout.
+    for i in 0..24 {
+        cell.change(Operand::X, i, (123 >> i) & 1 == 1);
+        cell.change(Operand::Y, i, (456 >> i) & 1 == 1);
+        assert!(cell.is_consistent());
+    }
+    assert_eq!(cell.product().to_u128(), 123 * 456);
+    // A burst of edits, then one consistency check.
+    for i in [3usize, 7, 11, 3, 7] {
+        cell.change(Operand::Y, i, i % 2 == 0);
+    }
+    assert!(cell.is_consistent());
+}
+
+#[test]
+fn quickstart_snippet_holds() {
+    use dynfo::core::programs::reach_u;
+    let mut m = DynFoMachine::new(reach_u::program(), 8);
+    m.apply(&Request::ins("E", [0, 1])).unwrap();
+    m.apply(&Request::ins("E", [1, 2])).unwrap();
+    assert!(m.query_named("connected", &[0, 2]).unwrap());
+    m.apply(&Request::del("E", [1, 2])).unwrap();
+    assert!(!m.query_named("connected", &[0, 2]).unwrap());
+}

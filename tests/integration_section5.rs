@@ -1,0 +1,137 @@
+//! Cross-crate integration for Section 5: the full reduction pipeline
+//! (Example 2.1 + Theorem 4.1 + Proposition 5.3), the expansion
+//! dichotomy, the colorized machine, and padded REACH_a.
+
+use dynfo::core::programs::reach_u;
+use dynfo::core::Request;
+use dynfo::graph::generate::{churn_stream, rng, EdgeOp};
+use dynfo::graph::graph::DiGraph;
+use dynfo::graph::traversal::reaches_deterministic;
+use dynfo::reductions::{
+    majority, measure_expansion, reach_d_to_reach_u, AltUpdate, ColorReach, PaddedReachA,
+    TransferMachine,
+};
+
+fn edge_requests(ops: &[EdgeOp]) -> Vec<Request> {
+    ops.iter()
+        .map(|op| match *op {
+            EdgeOp::Ins(a, b) => Request::ins("E", [a, b]),
+            EdgeOp::Del(a, b) => Request::del("E", [a, b]),
+        })
+        .collect()
+}
+
+/// End-to-end Proposition 5.3: a REACH_d problem solved through the
+/// REACH_u Dyn-FO program, correct at every step, with bounded relay.
+#[test]
+fn transfer_pipeline_end_to_end() {
+    let n = 6u32;
+    let mut machine =
+        TransferMachine::new(reach_d_to_reach_u(), reach_u::program(), n, 6).unwrap();
+    machine.apply(&Request::set("t", n - 1)).unwrap();
+    let mut g = DiGraph::new(n);
+    let reqs = edge_requests(&churn_stream(n, 40, 0.4, false, &mut rng(201)));
+    for (step, r) in reqs.iter().enumerate() {
+        match r {
+            Request::Ins(_, a) => {
+                g.insert(a[0], a[1]);
+            }
+            Request::Del(_, a) => {
+                g.remove(a[0], a[1]);
+            }
+            _ => {}
+        }
+        machine.apply(r).unwrap();
+        assert_eq!(
+            machine.query().unwrap(),
+            reaches_deterministic(&g, 0, n - 1),
+            "step {step}"
+        );
+    }
+    assert!(machine.max_expansion_seen() <= 6);
+}
+
+/// The three-way expansion dichotomy, quantified on one table.
+#[test]
+fn expansion_dichotomy() {
+    // (a) the bfo reduction stays constant across n;
+    let mut bfo_max = Vec::new();
+    for n in [8u32, 16] {
+        let reqs = edge_requests(&churn_stream(n, 60, 0.4, false, &mut rng(n as u64)));
+        bfo_max.push(
+            measure_expansion(&reach_d_to_reach_u(), n, &reqs)
+                .unwrap()
+                .max_expansion(),
+        );
+    }
+    assert!(bfo_max.iter().all(|&m| m <= 4), "bfo expansion {bfo_max:?}");
+
+    // (b) the TM configuration-graph reduction grows linearly;
+    assert_eq!(majority(16).expansion_at_bit(15), 32);
+    assert_eq!(majority(32).expansion_at_bit(31), 64);
+
+    // (c) the colorized reduction is exactly 1 per input bit by
+    // construction, and still decides the language.
+    let m = majority(7);
+    let mut cr = ColorReach::from_sweep(&m);
+    let input = [true, false, true, true, false, true, false];
+    cr.load_input(&input);
+    assert_eq!(cr.reachable(), m.run(&input));
+}
+
+/// Theorem 5.14: padded REACH_a answers correctly at every consistent
+/// instant, with exactly n FO rounds of budget per real update.
+#[test]
+fn padded_reach_a_full_history() {
+    let n = 9u32;
+    let mut p = PaddedReachA::new(n, 0, n - 1);
+    let mut rand = rng(203);
+    use rand::Rng;
+    for step in 0..60 {
+        let a = rand.gen_range(0..n);
+        let b = rand.gen_range(0..n);
+        let update = if rand.gen_bool(0.65) {
+            AltUpdate::InsEdge(a, b)
+        } else {
+            AltUpdate::DelEdge(a, b)
+        };
+        p.real_update(update);
+        // The n padded copies arrive...
+        p.finish_padding();
+        assert_eq!(p.query(), Some(p.oracle()), "step {step}");
+    }
+    // Total work stayed within the padding budget.
+    assert!(p.total_rounds <= 60 * n as u64);
+}
+
+/// The composed k-connectivity query (logic::subst) agrees with the
+/// max-flow oracle after dynamic updates — Sections 4 and 5 machinery
+/// working through the same formula-composition utility.
+#[test]
+fn kconn_composition_after_updates() {
+    use dynfo::core::machine::DynFoMachine;
+    use dynfo::core::programs::kconn;
+    let n = 5u32;
+    let mut machine = DynFoMachine::new(kconn::program_up_to(2), n);
+    let mut g = dynfo::graph::graph::Graph::new(n);
+    let reqs = edge_requests(&churn_stream(n, 25, 0.3, true, &mut rng(207)));
+    for (step, r) in reqs.iter().enumerate() {
+        machine.apply(r).unwrap();
+        match r {
+            Request::Ins(_, a) => {
+                g.insert(a[0], a[1]);
+            }
+            Request::Del(_, a) => {
+                g.remove(a[0], a[1]);
+            }
+            _ => {}
+        }
+        for k in 1..=2usize {
+            assert_eq!(
+                machine.query_named(&format!("kconn{k}"), &[0, n - 1]).unwrap(),
+                dynfo::graph::flow::k_edge_connected_pair(&g, 0, n - 1, k),
+                "step {step}, k={k}"
+            );
+        }
+    }
+}
