@@ -6,10 +6,9 @@
 //! the process, so symbols can be shared freely across formulas,
 //! vocabularies, and threads.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 /// An interned symbol: a process-wide unique handle for a name.
 ///
@@ -55,10 +54,10 @@ impl Sym {
     /// Intern `name`, returning its symbol. Idempotent.
     pub fn new(name: &str) -> Sym {
         let lock = interner();
-        if let Some(&id) = lock.read().map.get(name) {
+        if let Some(&id) = lock.read().unwrap().map.get(name) {
             return Sym(id);
         }
-        let mut w = lock.write();
+        let mut w = lock.write().unwrap();
         if let Some(&id) = w.map.get(name) {
             return Sym(id);
         }
@@ -73,7 +72,7 @@ impl Sym {
 
     /// The interned name.
     pub fn as_str(self) -> &'static str {
-        interner().read().names[self.0 as usize]
+        interner().read().unwrap().names[self.0 as usize]
     }
 
     /// Raw id, stable within a process run. Useful for dense tables.

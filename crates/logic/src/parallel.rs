@@ -54,12 +54,12 @@ pub fn evaluate_parallel(
     let threads = threads.min(n as usize);
     let chunk = n.div_ceil(threads as Elem);
 
-    let results: Vec<Result<Table, EvalError>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<Table, EvalError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let canonical = &canonical;
                 let fv = &fv;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let lo = t as Elem * chunk;
                     let hi = (lo + chunk).min(n);
                     let mut acc: Option<Table> = None;
@@ -82,8 +82,7 @@ pub fn evaluate_parallel(
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("parallel evaluation worker panicked");
+    });
 
     let mut acc: Option<Table> = None;
     for r in results {

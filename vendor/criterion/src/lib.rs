@@ -1,0 +1,316 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Same bench-authoring surface (`criterion_group!`, `criterion_main!`,
+//! `benchmark_group`, `bench_with_input`, `Bencher::iter`), measured with
+//! a plain wall-clock loop: warm-up for `warm_up_time`, then repeated
+//! timed batches until `measurement_time` elapses, reporting the median
+//! and min/max of per-iteration means across batches.
+//!
+//! Statistical machinery (outlier detection, regression, plots, HTML
+//! reports) is intentionally absent; the numbers print to stdout in a
+//! stable `name/param time: [min median max]` format that the experiment
+//! tables consume by hand.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_warm_up: Duration,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+            default_warm_up: Duration::from_millis(300),
+            default_measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream disables plot generation; we never generate plots.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Upstream config knob; accepted and used as the group default.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            warm_up: self.default_warm_up,
+            measurement: self.default_measurement,
+        }
+    }
+
+    /// Benchmark a single function outside a group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group(name.to_string());
+        g.run(name.to_string(), f);
+        g.finish();
+    }
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter (upstream's `from_parameter`).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total time budget for timed batches.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Benchmark `f` with `input` passed by reference.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.id, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a function by name.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(id.id, f);
+        self
+    }
+
+    /// End the group (prints nothing extra; present for API parity).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            mode: Mode::WarmUp { until: self.warm_up },
+            per_iter: Vec::new(),
+        };
+        // Warm-up pass: run the closure until the warm-up budget is spent.
+        f(&mut b);
+        // Timed batches.
+        let budget = self.measurement;
+        b.mode = Mode::Measure {
+            batches: self.sample_size,
+            budget,
+        };
+        f(&mut b);
+        let mut means = std::mem::take(&mut b.per_iter);
+        if means.is_empty() {
+            println!("{}/{} time: [no samples]", self.name, id);
+            return;
+        }
+        means.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = means[means.len() / 2];
+        let min = means[0];
+        let max = means[means.len() - 1];
+        println!(
+            "{}/{} time: [{} {} {}]",
+            self.name,
+            id,
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(max)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+enum Mode {
+    WarmUp { until: Duration },
+    Measure { batches: usize, budget: Duration },
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    mode: Mode,
+    per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine`. In the warm-up phase it runs untimed; in the
+    /// measurement phase it runs in `sample_size` timed batches whose
+    /// per-iteration means become the reported samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            Mode::WarmUp { until } => {
+                let start = Instant::now();
+                let mut iters_per_check = 1u64;
+                while start.elapsed() < until {
+                    for _ in 0..iters_per_check {
+                        black_box(routine());
+                    }
+                    iters_per_check = (iters_per_check * 2).min(1024);
+                }
+            }
+            Mode::Measure { batches, budget } => {
+                // Size batches so all of them fit the budget: estimate the
+                // per-iteration cost from one probe iteration.
+                let probe = Instant::now();
+                black_box(routine());
+                let per_iter = probe.elapsed().max(Duration::from_nanos(1));
+                let total_iters =
+                    (budget.as_secs_f64() / per_iter.as_secs_f64()).max(batches as f64);
+                let iters_per_batch = ((total_iters / batches as f64).ceil() as u64).max(1);
+                for _ in 0..batches {
+                    let start = Instant::now();
+                    for _ in 0..iters_per_batch {
+                        black_box(routine());
+                    }
+                    let elapsed = start.elapsed().as_secs_f64();
+                    self.per_iter.push(elapsed / iters_per_batch as f64);
+                }
+            }
+        }
+    }
+}
+
+/// Define a benchmark group. Both upstream forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("join", 64).id, "join/64");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn fmt_time_scales() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,451 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, range and tuple strategies, [`collection::vec`],
+//! [`bool::ANY`], `Just`, `prop_oneof!`, the `proptest!` test macro, the
+//! `prop_assert*` macros, and [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream, deliberate for an offline build:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   `Debug`-printed; reproduce by re-running (seeding is deterministic
+//!   per test name and case index).
+//! * **No persistence.** `proptest-regressions` files are ignored.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+use std::rc::Rc;
+
+/// The RNG handed to strategies.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Deterministic runner for `(test_name, case_index)`.
+    pub fn new(seed: u64) -> TestRunner {
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of values of one type.
+///
+/// Upstream proptest separates strategies from value trees (for
+/// shrinking); without shrinking a strategy is just a samplable object.
+pub trait Strategy: Clone + 'static {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> U + Clone + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive strategy: `self` is the leaf; `recurse` builds one level
+    /// from a strategy for the level below. `depth` bounds recursion;
+    /// `_desired_size` and `_expected_branch_size` are accepted for
+    /// upstream signature compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        R: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        Self::Value: 'static,
+    {
+        Recursive {
+            leaf: self.boxed(),
+            recurse: Rc::new(move |inner| recurse(inner).boxed()),
+            depth,
+        }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |runner: &mut TestRunner| self.sample(runner)))
+    }
+}
+
+/// A type-erased strategy (cheaply cloneable).
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRunner) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        (self.0)(runner)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + Clone + 'static,
+{
+    type Value = U;
+    fn sample(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.sample(runner))
+    }
+}
+
+/// [`Strategy::prop_recursive`] adapter.
+pub struct Recursive<T> {
+    leaf: BoxedStrategy<T>,
+    recurse: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Recursive {
+            leaf: self.leaf.clone(),
+            recurse: Rc::clone(&self.recurse),
+            depth: self.depth,
+        }
+    }
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        // Mix leaves in at every level so expected size stays bounded
+        // (upstream does the same via its size budget).
+        if self.depth == 0 || runner.rng().gen_bool(0.3) {
+            return self.leaf.sample(runner);
+        }
+        let inner = Recursive {
+            leaf: self.leaf.clone(),
+            recurse: Rc::clone(&self.recurse),
+            depth: self.depth - 1,
+        };
+        (self.recurse)(inner.boxed()).sample(runner)
+    }
+}
+
+/// Uniform choice between type-erased alternatives (`prop_oneof!`).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union(self.0.clone())
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let i = runner.rng().gen_range(0..self.0.len());
+        self.0[i].sample(runner)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.sample(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A vector of `len ∈ lens` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, lens: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, lens }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        lens: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = runner.rng().gen_range(self.lens.clone());
+            (0..len).map(|_| self.element.sample(runner)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    /// Either boolean, uniformly.
+    #[derive(Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, runner: &mut TestRunner) -> bool {
+            runner.rng().gen_bool(0.5)
+        }
+    }
+}
+
+/// Per-test configuration (only `cases` is honored).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Stable 64-bit FNV-1a over the test's identifying string, used to give
+/// every test a distinct deterministic seed stream.
+pub fn seed_for(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+    /// Alias so `prop::collection::vec` etc. resolve.
+    pub use crate as prop;
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Assert inside a property test (no shrinking: plain panic on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Define property tests. Supports the upstream forms used here:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(128))]
+///     #[test]
+///     fn my_property(x in 0u32..10, v in collection::vec(0u32..5, 0..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let test_name = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let mut runner = $crate::TestRunner::new($crate::seed_for(test_name, case));
+                $(let $arg = $crate::Strategy::sample(&$strat, &mut runner);)+
+                // One closure per case so `?`/control flow in the body
+                // stays local, as in upstream.
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl (<$crate::ProptestConfig as Default>::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut runner = crate::TestRunner::new(1);
+        let s = (0u32..5, 10u64..12);
+        for _ in 0..100 {
+            let (a, b) = s.sample(&mut runner);
+            assert!(a < 5);
+            assert!((10..12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_all_arms() {
+        let s = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut runner = crate::TestRunner::new(2);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.sample(&mut runner) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf,
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = Just(T::Leaf).prop_recursive(4, 32, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut runner = crate::TestRunner::new(3);
+        for _ in 0..50 {
+            assert!(depth(&s.sample(&mut runner)) <= 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_form_works(x in 0u32..10, v in crate::collection::vec(0u32..5, 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 4);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_form_works(b in crate::bool::ANY) {
+            let _ = b;
+        }
+    }
+}
