@@ -25,7 +25,7 @@ fn bench_regular(c: &mut Criterion) {
             let mut i = 0usize;
             b.iter(|| {
                 i = (i * 2654435761 + 17) % n;
-                s.insert_char(i, if i % 3 == 0 { 'b' } else { 'a' });
+                s.insert_char(i, if i.is_multiple_of(3) { 'b' } else { 'a' });
                 s.accepted()
             })
         });

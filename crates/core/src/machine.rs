@@ -7,10 +7,12 @@
 //! structure by evaluating every matching update formula against the
 //! *pre*-state (simultaneous semantics) and swapping the results in.
 
-use crate::program::DynFoProgram;
-use crate::request::{apply_to_input, Op, Request};
-use dynfo_logic::eval::Evaluator;
-use dynfo_logic::{Elem, EvalError, EvalStats, Relation, Structure, Tuple};
+use crate::program::{DynFoProgram, UpdateRule};
+use crate::request::{apply_to_input, Op, Request, RequestKind};
+use dynfo_logic::eval::{Evaluator, SubformulaCache};
+use dynfo_logic::formula::{Formula, Term};
+use dynfo_logic::{Elem, EvalError, EvalStats, Relation, Structure, Sym, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Cumulative execution statistics.
 #[derive(Clone, Copy, Default, Debug)]
@@ -25,23 +27,61 @@ pub struct MachineStats {
     pub query_work: EvalStats,
 }
 
+/// How one update rule is executed (compiled once per machine).
+#[derive(Clone, Debug)]
+enum RulePlan {
+    /// The rule is the standard insert copy `R(x̄) ∨ x̄ = ?̄`: the new
+    /// relation is the old plus the request tuple — an O(1) mutation,
+    /// no formula evaluation at all.
+    InsertCopy,
+    /// The standard delete copy `R(x̄) ∧ x̄ ≠ ?̄`: old minus the tuple.
+    DeleteCopy,
+    /// Full evaluation through the (cached) evaluator.
+    General,
+}
+
 /// A running instance of a Dyn-FO program.
 #[derive(Clone, Debug)]
 pub struct DynFoMachine {
     program: DynFoProgram,
     state: Structure,
     stats: MachineStats,
+    /// Per-(kind, rule-index) execution plans, compiled at construction.
+    plans: BTreeMap<RequestKind, Vec<RulePlan>>,
+    /// Subformula results kept warm across requests; entries are
+    /// invalidated when a relation they read changes ([`Self::apply`]
+    /// diffs every installed update), and the whole cache drops when a
+    /// constant changes.
+    cache: SubformulaCache,
 }
 
 impl DynFoMachine {
     /// Initialize for universe size `n` (runs the program's `f(∅)`).
     pub fn new(program: DynFoProgram, n: Elem) -> DynFoMachine {
         let state = program.initial_structure(n);
+        let mut plans: BTreeMap<RequestKind, Vec<RulePlan>> = BTreeMap::new();
+        for (&kind, rule) in program.rules() {
+            plans.entry(kind).or_default().push(classify_rule(rule));
+        }
         DynFoMachine {
             program,
             state,
             stats: MachineStats::default(),
+            plans,
+            cache: SubformulaCache::new(),
         }
+    }
+
+    /// The cross-request subformula cache (diagnostics, benches).
+    pub fn cache(&self) -> &SubformulaCache {
+        &self.cache
+    }
+
+    /// Drop every cached subformula table. Semantically a no-op — the
+    /// cache is delta-invalidated on every update — so this exists for
+    /// differential tests and cold-vs-warm benchmarks.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
     }
 
     /// The program being run.
@@ -68,6 +108,12 @@ impl DynFoMachine {
     /// pre-state, then install the new relations. Returns the evaluator
     /// work for this update.
     ///
+    /// Delta-aware execution: input-copy rules mutate their relation in
+    /// place (O(1) instead of a full re-evaluation); every installed
+    /// update is diffed against the pre-state so the cross-request
+    /// subformula cache evicts exactly the entries whose read sets
+    /// changed.
+    ///
     /// # Panics
     /// Panics if the request is malformed (unknown symbol, wrong arity,
     /// or an element outside the universe — e.g. a weight ≥ n).
@@ -75,54 +121,94 @@ impl DynFoMachine {
         req.validate(self.program.input_vocab(), self.n())
             .unwrap_or_else(|e| panic!("invalid request {req}: {e}"));
         let params = req.params();
-        let rules = self.program.rules_for(req.kind());
+        let n = self.state.size();
+        let kind = req.kind();
+        let rules = self.program.rules_for(kind);
+        let no_plans = Vec::new();
+        let plans = self.plans.get(&kind).unwrap_or(&no_plans);
+        debug_assert_eq!(rules.len(), plans.len());
         let mut work = EvalStats::default();
 
-        // Evaluate every rule against the pre-state.
-        let mut new_relations = Vec::with_capacity(rules.len());
-        for rule in rules {
-            let mut ev = Evaluator::new(&self.state, &params);
-            let table = ev.eval(&rule.formula)?;
-            work.absorb(&ev.stats());
-            let aligned = if rule.vars.is_empty() {
-                table
-            } else {
-                // Simplification may erase a declared variable from the
-                // stored formula (e.g. a tautological `x = x` conjunct);
-                // such a variable is unconstrained — extend it over the
-                // whole universe before projecting to column order.
-                let mut t = table;
-                for &v in &rule.vars {
-                    if t.col(v).is_none() {
-                        t = t.extend(v, self.n());
-                    }
-                }
-                t.project(&rule.vars)
-            };
-            let relation = Relation::from_tuples(
-                rule.vars.len(),
-                aligned.rows().iter().copied(),
-            );
+        // Evaluate the general rules against the pre-state; fast-path
+        // rules only *read* their own target, so their in-place mutation
+        // is deferred until after every evaluation (simultaneous
+        // semantics).
+        let mut installs = Vec::new();
+        let mut fast_ops: Vec<(dynfo_logic::RelId, Sym, bool)> = Vec::new();
+        for (rule, plan) in rules.iter().zip(plans) {
             let id = self
                 .state
                 .vocab()
                 .relation(rule.target)
                 .expect("rule target exists in aux vocab");
-            new_relations.push((id, relation));
+            match plan {
+                RulePlan::InsertCopy => fast_ops.push((id, rule.target, true)),
+                RulePlan::DeleteCopy => fast_ops.push((id, rule.target, false)),
+                RulePlan::General => {
+                    let mut ev = Evaluator::with_cache(&self.state, &params, &mut self.cache);
+                    let table = ev.eval(&rule.formula)?;
+                    work.absorb(&ev.stats());
+                    let aligned = if rule.vars.is_empty() {
+                        table
+                    } else {
+                        // Simplification may erase a declared variable
+                        // from the stored formula (e.g. a tautological
+                        // `x = x` conjunct); such a variable is
+                        // unconstrained — extend it over the whole
+                        // universe before projecting to column order.
+                        let mut t = table;
+                        for &v in &rule.vars {
+                            if t.col(v).is_none() {
+                                t = t.extend(v, n);
+                            }
+                        }
+                        t.project(&rule.vars)
+                    };
+                    let relation = Relation::from_tuples_with_universe(
+                        rule.vars.len(),
+                        n,
+                        aligned.rows().iter().copied(),
+                    );
+                    installs.push((id, rule.target, relation));
+                }
+            }
         }
 
-        // Simultaneous install.
-        for (id, relation) in new_relations {
-            self.state.set_relation(id, relation);
+        // Simultaneous install, diffing each relation so unchanged
+        // targets neither reallocate nor invalidate cache entries.
+        let mut changed: BTreeSet<Sym> = BTreeSet::new();
+        for (id, target, relation) in installs {
+            if *self.state.relation(id) != relation {
+                changed.insert(target);
+                self.state.set_relation(id, relation);
+            }
+        }
+        if !fast_ops.is_empty() {
+            let tuple = Tuple::from_slice(&params);
+            for (id, target, is_insert) in fast_ops {
+                let rel = self.state.relation_mut(id);
+                let did = if is_insert {
+                    rel.insert(tuple)
+                } else {
+                    rel.remove(&tuple)
+                };
+                if did {
+                    changed.insert(target);
+                }
+            }
         }
 
         // `set` requests update the stored constant copy directly (the
         // auxiliary structure mirrors input constants; programs may add
-        // rules on top).
+        // rules on top). Cached tables may depend on constants, so the
+        // whole cache drops.
         if let Request::Set(sym, value) = req {
             if self.state.vocab().constant(*sym).is_some() {
                 self.state.set_const(sym.as_str(), *value);
             }
+            self.cache.clear();
+        } else if !changed.is_empty() {
+            self.cache.invalidate_reads(&changed);
         }
         debug_assert!(
             !matches!(req.kind().op, Op::Set) || !req.params().is_empty()
@@ -143,7 +229,7 @@ impl DynFoMachine {
 
     /// Answer the program's boolean query.
     pub fn query(&mut self) -> Result<bool, EvalError> {
-        let mut ev = Evaluator::new(&self.state, &[]);
+        let mut ev = Evaluator::with_cache(&self.state, &[], &mut self.cache);
         let t = ev.eval(self.program.query())?;
         self.stats.queries += 1;
         self.stats.query_work.absorb(&ev.stats());
@@ -160,7 +246,7 @@ impl DynFoMachine {
             .named_query(name)
             .unwrap_or_else(|| panic!("unknown named query {name}"))
             .clone();
-        let mut ev = Evaluator::new(&self.state, args);
+        let mut ev = Evaluator::with_cache(&self.state, args, &mut self.cache);
         let t = ev.eval(&f)?;
         self.stats.queries += 1;
         self.stats.query_work.absorb(&ev.stats());
@@ -177,6 +263,106 @@ impl DynFoMachine {
     pub fn holds(&self, name: &str, t: impl Into<Tuple>) -> bool {
         self.state.holds(name, t)
     }
+}
+
+/// Decide how an update rule executes: detect the two canonical
+/// input-copy shapes (what [`crate::program::input_copy_rules`] produces,
+/// after simplification and canonicalization) and compile them to O(1)
+/// tuple mutations; everything else evaluates normally.
+///
+/// * insert: `R(x₀,…,x_{k−1}) ∨ ⋀ᵢ xᵢ = ?ᵢ`
+/// * delete: `R(x₀,…,x_{k−1}) ∧ (⋁ᵢ xᵢ ≠ ?ᵢ … negation pushed inward)`
+fn classify_rule(rule: &UpdateRule) -> RulePlan {
+    // The fast path computes `old ∪/∖ {params}` for the rule's own
+    // target; the atom must read exactly the target with the declared
+    // variables in declared order, each distinct.
+    let k = rule.vars.len();
+    let distinct: BTreeSet<Sym> = rule.vars.iter().copied().collect();
+    if k == 0 || distinct.len() != k {
+        return RulePlan::General;
+    }
+    let is_target_atom = |f: &Formula| -> bool {
+        matches!(f, Formula::Rel { name, args }
+            if *name == rule.target
+                && args.len() == k
+                && args.iter().zip(&rule.vars).all(|(a, v)| *a == Term::Var(*v)))
+    };
+    match &rule.formula {
+        Formula::Or(parts) if parts.len() == 2 => {
+            let eqs = if is_target_atom(&parts[0]) {
+                &parts[1]
+            } else if is_target_atom(&parts[1]) {
+                &parts[0]
+            } else {
+                return RulePlan::General;
+            };
+            if eq_conjunction_matches(eqs, &rule.vars, false) {
+                RulePlan::InsertCopy
+            } else {
+                RulePlan::General
+            }
+        }
+        Formula::And(parts) if parts.len() == 2 => {
+            let neqs = if is_target_atom(&parts[0]) {
+                &parts[1]
+            } else if is_target_atom(&parts[1]) {
+                &parts[0]
+            } else {
+                return RulePlan::General;
+            };
+            if eq_conjunction_matches(neqs, &rule.vars, true) {
+                RulePlan::DeleteCopy
+            } else {
+                RulePlan::General
+            }
+        }
+        _ => RulePlan::General,
+    }
+}
+
+/// Does `f` say `⋀ᵢ xᵢ = ?ᵢ` over exactly `vars` (or, for
+/// `negated = true`, its canonical negation `⋁ᵢ ¬(xᵢ = ?ᵢ)`)?
+fn eq_conjunction_matches(f: &Formula, vars: &[Sym], negated: bool) -> bool {
+    // Accept `x = ?i` with the variable on either side.
+    let eq_index = |g: &Formula| -> Option<(Sym, usize)> {
+        if let Formula::Eq(a, b) = g {
+            match (a, b) {
+                (Term::Var(v), Term::Param(i)) | (Term::Param(i), Term::Var(v)) => {
+                    Some((*v, *i))
+                }
+                _ => None,
+            }
+        } else {
+            None
+        }
+    };
+    let leaf = |g: &Formula| -> Option<(Sym, usize)> {
+        if negated {
+            if let Formula::Not(inner) = g {
+                eq_index(inner)
+            } else {
+                None
+            }
+        } else {
+            eq_index(g)
+        }
+    };
+    let parts: Vec<&Formula> = match f {
+        Formula::And(fs) if !negated => fs.iter().collect(),
+        Formula::Or(fs) if negated => fs.iter().collect(),
+        single => vec![single],
+    };
+    if parts.len() != vars.len() {
+        return false;
+    }
+    let mut seen = vec![false; vars.len()];
+    for g in parts {
+        match leaf(g) {
+            Some((v, i)) if i < vars.len() && vars[i] == v && !seen[i] => seen[i] = true,
+            _ => return false,
+        }
+    }
+    seen.iter().all(|&s| s)
 }
 
 /// Run the machine and an input-structure replay side by side over a
@@ -346,10 +532,97 @@ mod tests {
 
     #[test]
     fn update_work_accumulates() {
-        let mut m = DynFoMachine::new(toy(), 16);
+        // Input-copy rules compile to O(1) fast paths with zero evaluator
+        // work, so measure a rule the planner must actually evaluate.
+        let p = DynFoProgram::builder("evaluated")
+            .input_relation("M", 1)
+            .aux_relation("Twice", 1)
+            .on(
+                RequestKind::ins("M"),
+                "M",
+                &["x0"],
+                input_copy_rules("M", 1).1,
+            )
+            .on(
+                RequestKind::ins("M"),
+                "Twice",
+                &["x"],
+                rel("M", [v("x")]) | Formula::Eq(v("x"), dynfo_logic::formula::param(0)),
+            )
+            .query(Formula::True)
+            .build();
+        let mut m = DynFoMachine::new(p, 16);
         m.apply(&Request::ins("M", [1])).unwrap();
         let w1 = m.stats().update_work.rows_built;
+        assert!(w1 > 0);
         m.apply(&Request::ins("M", [2])).unwrap();
         assert!(m.stats().update_work.rows_built > w1);
+    }
+
+    #[test]
+    fn fast_path_matches_general_evaluation() {
+        // The input-copy fast path must produce exactly the relation the
+        // formula would: drive a machine through inserts, deletes,
+        // re-inserts, and duplicate ops, and replay the same stream on
+        // the input structure.
+        let (_, ins_e, del_e) = input_copy_rules("E", 2);
+        let p = DynFoProgram::builder("copy2")
+            .input_relation("E", 2)
+            .on(RequestKind::ins("E"), "E", &["x0", "x1"], ins_e)
+            .on(RequestKind::del("E"), "E", &["x0", "x1"], del_e)
+            .query(exists(["x", "y"], rel("E", [v("x"), v("y")])))
+            .build();
+        let reqs = [
+            Request::ins("E", [0, 1]),
+            Request::ins("E", [0, 1]), // duplicate insert
+            Request::ins("E", [2, 3]),
+            Request::del("E", [0, 1]),
+            Request::del("E", [7, 7]), // delete of absent tuple
+            Request::ins("E", [0, 1]), // re-insert
+        ];
+        run_with_oracle(p, 8, &reqs, |i, m, input| {
+            assert_eq!(m.state().rel("E"), input.rel("E"), "step {i}");
+        });
+    }
+
+    #[test]
+    fn cache_survives_unrelated_updates_and_invalidates_on_reads() {
+        // Two independent input relations; a query reads only A. Updating
+        // B must keep the query's cached subformula warm; updating A must
+        // evict it.
+        let (_, ins_a, _) = input_copy_rules("A", 1);
+        let (_, ins_b, _) = input_copy_rules("B", 1);
+        let p = DynFoProgram::builder("two-rels")
+            .input_relation("A", 1)
+            .input_relation("B", 1)
+            .on(RequestKind::ins("A"), "A", &["x0"], ins_a)
+            .on(RequestKind::ins("B"), "B", &["x0"], ins_b)
+            // Size ≥ 8 so the subformula cache keeps it.
+            .query(exists(
+                ["x", "y", "z"],
+                rel("A", [v("x")])
+                    & rel("A", [v("y")])
+                    & rel("A", [v("z")])
+                    & dynfo_logic::formula::le(v("x"), v("y"))
+                    & dynfo_logic::formula::le(v("y"), v("z"))
+                    & dynfo_logic::formula::le(v("x"), v("z")),
+            ))
+            .build();
+        let mut m = DynFoMachine::new(p, 8);
+        m.apply(&Request::ins("A", [1])).unwrap();
+        assert!(m.query().unwrap());
+        let cached = m.cache().len();
+        assert!(cached > 0, "query result should be cached");
+
+        // Unrelated update: cache intact, second query hits.
+        let hits_before = m.cache().hits();
+        m.apply(&Request::ins("B", [2])).unwrap();
+        assert_eq!(m.cache().len(), cached);
+        assert!(m.query().unwrap());
+        assert!(m.cache().hits() > hits_before, "warm entry should hit");
+
+        // Update to A: entry evicted, and the answer still correct.
+        m.apply(&Request::ins("A", [3])).unwrap();
+        assert!(m.query().unwrap());
     }
 }

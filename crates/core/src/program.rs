@@ -37,13 +37,16 @@ pub struct UpdateRule {
     pub formula: Formula,
 }
 
+/// Precomputation for a Dyn-FO⁺ initial structure.
+pub type InitFn = Arc<dyn Fn(&Arc<Vocabulary>, Elem) -> Structure + Send + Sync>;
+
 /// How the auxiliary structure is initialized.
 #[derive(Clone)]
 pub enum Init {
     /// `f(∅)` is the empty structure — plain Dyn-FO.
     Empty,
     /// `f(∅)` is precomputed by arbitrary (polynomial) work — Dyn-FO⁺.
-    Precomputed(Arc<dyn Fn(&Arc<Vocabulary>, Elem) -> Structure + Send + Sync>),
+    Precomputed(InitFn),
 }
 
 impl std::fmt::Debug for Init {

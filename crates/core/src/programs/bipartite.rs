@@ -169,7 +169,7 @@ mod tests {
         m.apply(&Request::ins("E", [1, 2])).unwrap();
         assert!(m.query_named("odd_path", &[0, 1]).unwrap());
         assert!(!m.query_named("odd_path", &[0, 2]).unwrap());
-        assert!(m.query_named("odd_path", &[0, 2]).unwrap() == false);
+        assert!(!m.query_named("odd_path", &[0, 2]).unwrap());
         m.apply(&Request::ins("E", [2, 3])).unwrap();
         assert!(m.query_named("odd_path", &[0, 3]).unwrap());
         // Disconnected pairs have no odd path.

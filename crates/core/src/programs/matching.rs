@@ -223,9 +223,9 @@ mod tests {
         let mut m = DynFoMachine::new(program(), 6);
         m.apply(&Request::ins("E", [0, 1])).unwrap();
         m.apply(&Request::ins("E", [1, 2])).unwrap();
-        let before: Vec<_> = m.state().rel("M").iter().copied().collect();
+        let before: Vec<_> = m.state().rel("M").iter().collect();
         m.apply(&Request::del("E", [1, 2])).unwrap();
-        let after: Vec<_> = m.state().rel("M").iter().copied().collect();
+        let after: Vec<_> = m.state().rel("M").iter().collect();
         assert_eq!(before, after);
     }
 }

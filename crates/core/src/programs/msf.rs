@@ -299,9 +299,9 @@ mod tests {
         let mut m = DynFoMachine::new(program(), 16);
         m.apply(&Request::ins("W", [0, 1, 2])).unwrap();
         m.apply(&Request::ins("W", [1, 2, 3])).unwrap();
-        let f_before: Vec<_> = m.state().rel("F").iter().copied().collect();
+        let f_before: Vec<_> = m.state().rel("F").iter().collect();
         m.apply(&Request::ins("W", [0, 2, 9])).unwrap();
-        let f_after: Vec<_> = m.state().rel("F").iter().copied().collect();
+        let f_after: Vec<_> = m.state().rel("F").iter().collect();
         assert_eq!(f_before, f_after);
         assert!(m.holds("W", [0u32, 2, 9]));
     }

@@ -258,7 +258,7 @@ mod tests {
             for y in 0..n {
                 let path = forest_path(&forest, x, y, &dist);
                 for z in 0..n {
-                    let expected = path.as_ref().map_or(false, |p| p.contains(&z));
+                    let expected = path.as_ref().is_some_and(|p| p.contains(&z));
                     let actual = state.holds("PV", Tuple::triple(x, y, z));
                     assert_eq!(
                         actual, expected,

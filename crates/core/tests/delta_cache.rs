@@ -1,0 +1,98 @@
+//! Differential check for delta-aware caching: a machine that keeps its
+//! subformula cache warm across requests must be indistinguishable —
+//! same auxiliary structure, same query answers — from one that
+//! evaluates every request cold. Any observable divergence means the
+//! cache's read-set invalidation retained a stale table.
+
+use dynfo_core::programs::{msf, parity, reach_u};
+use dynfo_core::{DynFoMachine, DynFoProgram, Request};
+use proptest::prelude::*;
+
+/// Drive the same stream through a warm-cache machine and a machine
+/// whose cache is wiped around every request, comparing full state and
+/// query answer at every step.
+fn assert_cache_transparent(program: impl Fn() -> DynFoProgram, n: u32, reqs: &[Request]) {
+    let mut warm = DynFoMachine::new(program(), n);
+    let mut cold = DynFoMachine::new(program(), n);
+    for (step, req) in reqs.iter().enumerate() {
+        warm.apply(req).unwrap();
+        cold.clear_cache();
+        cold.apply(req).unwrap();
+        cold.clear_cache();
+        assert_eq!(
+            warm.state(),
+            cold.state(),
+            "step {step} ({req}): states diverged"
+        );
+        assert_eq!(
+            warm.query().unwrap(),
+            cold.query().unwrap(),
+            "step {step} ({req}): query answers diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// REACH_u: undirected reachability under edge churn, including
+    /// duplicate inserts and phantom deletes.
+    #[test]
+    fn reach_u_cache_is_transparent(
+        ops in proptest::collection::vec((0u32..6, 0u32..6, proptest::bool::ANY), 1..25)
+    ) {
+        let reqs: Vec<Request> = ops
+            .iter()
+            .map(|&(a, b, ins)| if ins {
+                Request::ins("E", [a, b])
+            } else {
+                Request::del("E", [a, b])
+            })
+            .collect();
+        assert_cache_transparent(reach_u::program, 6, &reqs);
+    }
+
+    /// PARITY: monadic set churn.
+    #[test]
+    fn parity_cache_is_transparent(
+        ops in proptest::collection::vec((0u32..8, proptest::bool::ANY), 1..30)
+    ) {
+        let reqs: Vec<Request> = ops
+            .iter()
+            .map(|&(i, ins)| if ins {
+                Request::ins("M", [i])
+            } else {
+                Request::del("M", [i])
+            })
+            .collect();
+        assert_cache_transparent(parity::program, 8, &reqs);
+    }
+
+    /// MSF: weighted edge churn. Deletes replay a previously inserted
+    /// weighted edge when one exists (the program's delete contract),
+    /// falling back to a phantom delete otherwise.
+    #[test]
+    fn msf_cache_is_transparent(
+        ops in proptest::collection::vec((0u32..5, 0u32..5, 1u32..5, proptest::bool::ANY), 1..15)
+    ) {
+        let mut live: Vec<(u32, u32, u32)> = Vec::new();
+        let mut reqs = Vec::new();
+        for &(a, b, w, ins) in &ops {
+            if a == b {
+                continue;
+            }
+            if ins {
+                live.push((a, b, w));
+                reqs.push(Request::ins("W", [a, b, w]));
+            } else if let Some(pos) = live.iter().position(|&(x, y, _)| x == a && y == b) {
+                let (x, y, w) = live.remove(pos);
+                reqs.push(Request::del("W", [x, y, w]));
+            } else {
+                reqs.push(Request::del("W", [a, b, w]));
+            }
+        }
+        if !reqs.is_empty() {
+            assert_cache_transparent(msf::program, 5, &reqs);
+        }
+    }
+}

@@ -131,6 +131,52 @@ fn collect_all_vars(f: &Formula, out: &mut BTreeSet<Sym>) {
     }
 }
 
+/// All relation symbols mentioned by atoms of the formula.
+///
+/// This is the read set of an evaluation: a cached result for `f` stays
+/// valid as long as none of these relations change (and constants and
+/// parameters are fixed). Delta-aware update evaluation invalidates by
+/// this set.
+pub fn relation_symbols(f: &Formula) -> BTreeSet<Sym> {
+    let mut out = BTreeSet::new();
+    collect_relation_symbols(f, &mut out);
+    out
+}
+
+fn collect_relation_symbols(f: &Formula, out: &mut BTreeSet<Sym>) {
+    use Formula::*;
+    match f {
+        True | False | Eq(..) | Le(..) | Lt(..) | Bit(..) => {}
+        Rel { name, .. } => {
+            out.insert(*name);
+        }
+        Not(g) | Exists(_, g) | Forall(_, g) => collect_relation_symbols(g, out),
+        And(fs) | Or(fs) => fs.iter().for_each(|g| collect_relation_symbols(g, out)),
+        Implies(a, b) | Iff(a, b) => {
+            collect_relation_symbols(a, out);
+            collect_relation_symbols(b, out);
+        }
+    }
+}
+
+/// True iff any term of the formula is a request parameter `?i` or a
+/// structure constant — the parts of an evaluation context that vary
+/// between requests independently of the relations.
+pub fn mentions_param_or_const(f: &Formula) -> bool {
+    use Formula::*;
+    let term = |t: &Term| matches!(t, Term::Param(_) | Term::Const(_));
+    match f {
+        True | False => false,
+        Rel { args, .. } => args.iter().any(term),
+        Eq(a, b) | Le(a, b) | Lt(a, b) | Bit(a, b) => term(a) || term(b),
+        Not(g) | Exists(_, g) | Forall(_, g) => mentions_param_or_const(g),
+        And(fs) | Or(fs) => fs.iter().any(mentions_param_or_const),
+        Implies(a, b) | Iff(a, b) => {
+            mentions_param_or_const(a) || mentions_param_or_const(b)
+        }
+    }
+}
+
 /// Rewrite to canonical form (see module docs): no `Implies`/`Iff`/
 /// `Forall`; `Not` only over atoms and `Exists`.
 pub fn canonicalize(f: &Formula) -> Formula {
@@ -285,6 +331,27 @@ mod tests {
             ),
         );
         assert_eq!(free_vars(&f), free_vars(&canonicalize(&f)));
+    }
+
+    #[test]
+    fn relation_symbols_collects_atoms() {
+        let f = exists(
+            ["z"],
+            rel("E", [v("x"), v("z")]) & not(rel("F", [v("z")])) & eq(v("x"), v("x")),
+        );
+        let syms: Vec<&str> = relation_symbols(&f).into_iter().map(|s| s.as_str()).collect();
+        assert_eq!(syms, vec!["E", "F"]);
+        assert!(relation_symbols(&eq(v("x"), v("y"))).is_empty());
+    }
+
+    #[test]
+    fn param_and_const_detection() {
+        assert!(mentions_param_or_const(&eq(v("x"), param(0))));
+        assert!(mentions_param_or_const(&rel("E", [cst("s"), v("y")])));
+        assert!(!mentions_param_or_const(&exists(
+            ["z"],
+            rel("E", [v("z"), lit(3)])
+        )));
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Dense bitset-backed relations.
+//!
+//! An arity-`k` relation over universe `{0..n}` is a subset of `n^k`
+//! tuples; encoding tuple `(t₀, …, t_{k−1})` as the base-`n` index
+//! `t₀·n^{k−1} + … + t_{k−1}` turns the relation into a bitmap of
+//! `n^k` bits. Set algebra then runs 64 tuples per instruction —
+//! union/intersection/difference are single-pass word operations and
+//! complement is bitwise NOT. This is the literal "polynomial hardware"
+//! of the paper's CRAM picture: one processor per tuple, here time-sliced
+//! 64-at-a-time through ALU words.
+//!
+//! The base-`n` index order equals the lexicographic tuple order, so
+//! iteration yields tuples in exactly the order a sorted
+//! [`BTreeSet<Tuple>`](std::collections::BTreeSet) would — deterministic
+//! benchmarks and whole-structure comparisons (memorylessness checks)
+//! behave identically on either backend.
+
+use crate::tuple::{Elem, Tuple};
+use std::fmt;
+
+/// A dense bitset relation of fixed arity over universe `{0..n}`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitRel {
+    arity: usize,
+    n: Elem,
+    /// Number of set bits (maintained incrementally).
+    len: usize,
+    words: Vec<u64>,
+}
+
+/// Number of tuple slots (`n^arity`) as a u128 (overflow-safe).
+pub fn capacity_bits(n: Elem, arity: usize) -> u128 {
+    (n as u128).pow(arity as u32)
+}
+
+impl BitRel {
+    /// The empty dense relation of the given arity over `{0..n}`.
+    ///
+    /// # Panics
+    /// Panics if `n^arity` overflows `usize` — callers gate on
+    /// [`capacity_bits`] before choosing this backend.
+    pub fn new(arity: usize, n: Elem) -> BitRel {
+        let bits = usize::try_from(capacity_bits(n, arity))
+            .expect("BitRel capacity exceeds usize");
+        BitRel {
+            arity,
+            n,
+            len: 0,
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    /// Arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Universe size this relation is dense over.
+    pub fn universe(&self) -> Elem {
+        self.n
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base-`n` index of a tuple.
+    #[inline]
+    fn index(&self, t: &Tuple) -> usize {
+        debug_assert_eq!(t.len(), self.arity);
+        let mut idx = 0usize;
+        for v in t.iter() {
+            debug_assert!(v < self.n, "element {v} outside universe {}", self.n);
+            idx = idx * self.n as usize + v as usize;
+        }
+        idx
+    }
+
+    /// Decode a base-`n` index back to its tuple.
+    #[inline]
+    fn decode(&self, mut idx: usize) -> Tuple {
+        let mut items = [0 as Elem; crate::tuple::MAX_ARITY];
+        for i in (0..self.arity).rev() {
+            items[i] = (idx % self.n as usize) as Elem;
+            idx /= self.n as usize;
+        }
+        Tuple::from_slice(&items[..self.arity])
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, t: &Tuple) -> bool {
+        let i = self.index(t);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Insert a tuple; returns true if newly added.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        let i = self.index(&t);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Remove a tuple; returns true if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        let i = self.index(t);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let present = *w & mask != 0;
+        *w &= !mask;
+        self.len -= present as usize;
+        present
+    }
+
+    /// Remove all tuples.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterate set tuples in lexicographic (sorted) order.
+    pub fn iter(&self) -> BitRelIter<'_> {
+        self.iter_range(0, self.words.len() * 64)
+    }
+
+    /// Iterate tuples whose leading components equal `prefix`. Base-n
+    /// indexing makes those tuples one contiguous bit range, so only
+    /// ⌈n^(k−m)/64⌉ words are visited — the pushdown behind O(n)
+    /// bound-argument scans. A prefix component outside the universe
+    /// yields nothing.
+    pub fn iter_prefix(&self, prefix: &[Elem]) -> BitRelIter<'_> {
+        assert!(prefix.len() <= self.arity, "prefix longer than arity");
+        if prefix.iter().any(|&p| p >= self.n) {
+            return self.iter_range(0, 0);
+        }
+        let span = (self.n as usize).pow((self.arity - prefix.len()) as u32);
+        let mut base = 0usize;
+        for &p in prefix {
+            base = base * self.n as usize + p as usize;
+        }
+        self.iter_range(base * span, base * span + span)
+    }
+
+    fn iter_range(&self, start: usize, end: usize) -> BitRelIter<'_> {
+        let word_idx = start / 64;
+        let current = if word_idx < self.words.len() {
+            self.words[word_idx] & (!0u64 << (start % 64))
+        } else {
+            0
+        };
+        BitRelIter {
+            rel: self,
+            word_idx,
+            current,
+            end,
+        }
+    }
+
+    fn zip_words(&self, other: &BitRel, op: impl Fn(u64, u64) -> u64) -> BitRel {
+        assert_eq!(self.arity, other.arity, "arity mismatch");
+        assert_eq!(self.n, other.n, "universe mismatch");
+        let words: Vec<u64> = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| op(a, b))
+            .collect();
+        let len = words.iter().map(|w| w.count_ones() as usize).sum();
+        BitRel {
+            arity: self.arity,
+            n: self.n,
+            len,
+            words,
+        }
+    }
+
+    /// Set union (word-parallel OR).
+    pub fn union(&self, other: &BitRel) -> BitRel {
+        self.zip_words(other, |a, b| a | b)
+    }
+
+    /// Set intersection (word-parallel AND).
+    pub fn intersection(&self, other: &BitRel) -> BitRel {
+        self.zip_words(other, |a, b| a & b)
+    }
+
+    /// Set difference (word-parallel AND-NOT).
+    pub fn difference(&self, other: &BitRel) -> BitRel {
+        self.zip_words(other, |a, b| a & !b)
+    }
+
+    /// Complement over the full `n^arity` tuple space (word-parallel NOT
+    /// with a masked final word).
+    pub fn complement(&self) -> BitRel {
+        let bits = capacity_bits(self.n, self.arity) as usize;
+        let mut words: Vec<u64> = self.words.iter().map(|&w| !w).collect();
+        if let Some(last) = words.last_mut() {
+            let used = bits % 64;
+            if used != 0 {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+        BitRel {
+            arity: self.arity,
+            n: self.n,
+            len: bits - self.len,
+            words,
+        }
+    }
+
+    /// Symmetric-difference cardinality (word-parallel XOR popcount).
+    pub fn hamming(&self, other: &BitRel) -> usize {
+        assert_eq!(self.arity, other.arity, "arity mismatch");
+        assert_eq!(self.n, other.n, "universe mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+}
+
+/// Iterator over set tuples in index (= lexicographic) order.
+pub struct BitRelIter<'a> {
+    rel: &'a BitRel,
+    word_idx: usize,
+    current: u64,
+    /// Exclusive upper bit index (for prefix ranges).
+    end: usize,
+}
+
+impl Iterator for BitRelIter<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                let idx = self.word_idx * 64 + bit;
+                if idx >= self.end {
+                    return None;
+                }
+                self.current &= self.current - 1;
+                return Some(self.rel.decode(idx));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.rel.words.len() || self.word_idx * 64 >= self.end {
+                return None;
+            }
+            self.current = self.rel.words[self.word_idx];
+        }
+    }
+}
+
+impl fmt::Display for BitRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(n: Elem, pairs: &[(Elem, Elem)]) -> BitRel {
+        let mut r = BitRel::new(2, n);
+        for &(a, b) in pairs {
+            r.insert(Tuple::pair(a, b));
+        }
+        r
+    }
+
+    #[test]
+    fn insert_remove_contains_len() {
+        let mut r = BitRel::new(2, 5);
+        assert!(r.insert(Tuple::pair(1, 2)));
+        assert!(!r.insert(Tuple::pair(1, 2)));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&Tuple::pair(1, 2)));
+        assert!(r.remove(&Tuple::pair(1, 2)));
+        assert!(!r.remove(&Tuple::pair(1, 2)));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_lexicographic() {
+        let r = rel(4, &[(3, 1), (0, 2), (1, 1), (0, 0)]);
+        let order: Vec<Tuple> = r.iter().collect();
+        assert_eq!(
+            order,
+            vec![
+                Tuple::pair(0, 0),
+                Tuple::pair(0, 2),
+                Tuple::pair(1, 1),
+                Tuple::pair(3, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn word_ops_match_set_algebra() {
+        let a = rel(6, &[(0, 1), (1, 2), (5, 5)]);
+        let b = rel(6, &[(1, 2), (2, 3)]);
+        assert_eq!(a.union(&b).len(), 4);
+        let i = a.intersection(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![Tuple::pair(1, 2)]);
+        let d = a.difference(&b);
+        assert!(d.contains(&Tuple::pair(0, 1)));
+        assert!(!d.contains(&Tuple::pair(1, 2)));
+        assert_eq!(a.hamming(&b), 3);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn complement_masks_tail_word() {
+        // 5^2 = 25 bits: the last word has 25 used bits; the complement
+        // must not set any of the 39 slack bits (len would drift).
+        let r = rel(5, &[(0, 0), (4, 4)]);
+        let c = r.complement();
+        assert_eq!(c.len(), 23);
+        assert_eq!(c.iter().count(), 23);
+        assert_eq!(c.complement(), r);
+    }
+
+    #[test]
+    fn large_arity3_round_trip() {
+        let mut r = BitRel::new(3, 17);
+        let tuples = [
+            Tuple::triple(0, 0, 0),
+            Tuple::triple(16, 16, 16),
+            Tuple::triple(3, 9, 12),
+        ];
+        for t in tuples {
+            r.insert(t);
+        }
+        assert_eq!(r.iter().collect::<Vec<_>>(), {
+            let mut v = tuples.to_vec();
+            v.sort_unstable();
+            v
+        });
+    }
+
+    #[test]
+    fn zero_arity_is_a_bit() {
+        let mut r = BitRel::new(0, 9);
+        assert!(r.is_empty());
+        assert!(r.insert(Tuple::empty()));
+        assert!(r.contains(&Tuple::empty()));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![Tuple::empty()]);
+        let c = r.complement();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_math() {
+        assert_eq!(capacity_bits(10, 3), 1000);
+        assert_eq!(capacity_bits(2, 0), 1);
+        // Would overflow usize on 64-bit: still computable as u128.
+        assert!(capacity_bits(u32::MAX, 3) > u64::MAX as u128);
+    }
+}

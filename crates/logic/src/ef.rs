@@ -204,11 +204,11 @@ mod tests {
             let big = 2 * m + 4;
             let mut bits_a = vec![false; big];
             let mut bits_b = vec![false; big];
-            for i in 0..m {
-                bits_a[i] = true;
+            for bit in bits_a.iter_mut().take(m) {
+                *bit = true;
             }
-            for i in 0..=m {
-                bits_b[i] = true;
+            for bit in bits_b.iter_mut().take(m + 1) {
+                *bit = true;
             }
             let (a, b) = (word(&bits_a), word(&bits_b));
             // Different parity…

@@ -21,12 +21,15 @@ mod table;
 
 pub use table::Table;
 
-use crate::analysis::{canonicalize, free_vars, is_canonical};
+use crate::analysis::{
+    canonicalize, free_vars, is_canonical, mentions_param_or_const, relation_symbols,
+};
 use crate::formula::{Formula, Term};
+use crate::fxhash::FxHashMap;
 use crate::intern::Sym;
 use crate::structure::Structure;
-use crate::tuple::{Elem, Tuple};
-use std::collections::{BTreeSet, HashMap};
+use crate::tuple::{Elem, Tuple, MAX_ARITY};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Errors surfaced during evaluation.
@@ -101,17 +104,186 @@ impl EvalStats {
 /// Default cap on rows a single complement may produce.
 pub const DEFAULT_COMPLEMENT_BUDGET: u128 = 1 << 24;
 
+/// Composite subformulas at least this large are memoized.
+const CACHE_MIN_SIZE: usize = 8;
+
+/// Reserved column names for α-normalized cache keys. The middle dot
+/// cannot appear in parsed identifiers, so these can never collide with
+/// (or be captured by) program variables.
+fn slots() -> &'static [Sym; MAX_ARITY] {
+    static SLOTS: std::sync::OnceLock<[Sym; MAX_ARITY]> = std::sync::OnceLock::new();
+    SLOTS.get_or_init(|| std::array::from_fn(|i| crate::sym(&format!("·{i}"))))
+}
+
+fn slot_sym(i: usize) -> Sym {
+    slots()[i]
+}
+
+fn slot_index(s: Sym) -> Option<usize> {
+    slots().iter().position(|&slot| slot == s)
+}
+
+/// Rename the free variables of `f` to positional slots, numbered by
+/// **first occurrence** in a preorder walk, so α-equivalent occurrences —
+/// same formula up to free-variable names — produce identical cache
+/// keys. First-occurrence numbering (rather than sorted names) also
+/// unifies argument-swapped instances of symmetric definitions: Theorem
+/// 4.1's delete evaluates `New(x,y)`, `New(y,x)`, `New(u,w)`, `New(w,u)`,
+/// and all four normalize to the same key. Returns the normalized
+/// formula and the original variables in slot order; `None` when the
+/// formula has more free variables than a table can hold (never true for
+/// paper programs).
+fn alpha_normalize(f: &Formula) -> Option<(Formula, Vec<Sym>)> {
+    let mut fv = Vec::new();
+    let mut bound = Vec::new();
+    free_vars_in_order(f, &mut bound, &mut fv);
+    if fv.len() > MAX_ARITY {
+        return None;
+    }
+    let mut g = f.clone();
+    for (i, &var) in fv.iter().enumerate() {
+        g = g.substitute(var, crate::formula::Term::Var(slot_sym(i)));
+    }
+    Some((g, fv))
+}
+
+/// Collect free variables in order of first occurrence (preorder,
+/// left-to-right), respecting quantifier shadowing.
+fn free_vars_in_order(f: &Formula, bound: &mut Vec<Sym>, out: &mut Vec<Sym>) {
+    use Formula::*;
+    let term = |t: &Term, bound: &Vec<Sym>, out: &mut Vec<Sym>| {
+        if let Term::Var(s) = t {
+            if !bound.contains(s) && !out.contains(s) {
+                out.push(*s);
+            }
+        }
+    };
+    match f {
+        True | False => {}
+        Rel { args, .. } => {
+            for a in args {
+                term(a, bound, out);
+            }
+        }
+        Eq(s, t) | Le(s, t) | Lt(s, t) | Bit(s, t) => {
+            term(s, bound, out);
+            term(t, bound, out);
+        }
+        Not(g) => free_vars_in_order(g, bound, out),
+        And(fs) | Or(fs) => {
+            for g in fs {
+                free_vars_in_order(g, bound, out);
+            }
+        }
+        Implies(a, b) | Iff(a, b) => {
+            free_vars_in_order(a, bound, out);
+            free_vars_in_order(b, bound, out);
+        }
+        Exists(vs, g) | Forall(vs, g) => {
+            let depth = bound.len();
+            bound.extend(vs.iter().copied());
+            free_vars_in_order(g, bound, out);
+            bound.truncate(depth);
+        }
+    }
+}
+
+/// A memo table of subformula results that can outlive a single
+/// [`Evaluator`] — the delta-aware piece of update evaluation.
+///
+/// Each entry records the relations its formula reads, so a host that
+/// knows which relations changed between evaluations (the Dyn-FO machine
+/// diffs each installed update) can [`invalidate_reads`] exactly the
+/// stale entries and keep the rest warm across requests. Entries whose
+/// formulas mention request parameters are keyed by the parameter vector
+/// as well; entries mentioning structure constants must be dropped by the
+/// host when a constant changes ([`clear`]).
+///
+/// [`invalidate_reads`]: SubformulaCache::invalidate_reads
+/// [`clear`]: SubformulaCache::clear
+#[derive(Clone, Debug, Default)]
+pub struct SubformulaCache {
+    entries: FxHashMap<(Formula, Vec<Elem>), CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    table: Table,
+    /// Relation symbols the formula reads (its dependency set).
+    reads: BTreeSet<Sym>,
+}
+
+impl SubformulaCache {
+    /// An empty cache.
+    pub fn new() -> SubformulaCache {
+        SubformulaCache::default()
+    }
+
+    /// Number of cached subformula results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed and were recomputed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drop every entry whose formula reads one of `changed`; returns the
+    /// number of entries evicted. Entries reading only unchanged
+    /// relations survive and keep serving hits.
+    pub fn invalidate_reads(&mut self, changed: &BTreeSet<Sym>) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.reads.is_disjoint(changed));
+        before - self.entries.len()
+    }
+
+    /// Drop everything (e.g. after a constant changed).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// The evaluator's cache: owned per evaluation by default, or borrowed
+/// from a host that persists it across evaluations.
+enum CacheSlot<'a> {
+    Owned(SubformulaCache),
+    Shared(&'a mut SubformulaCache),
+}
+
+impl CacheSlot<'_> {
+    fn get(&mut self) -> &mut SubformulaCache {
+        match self {
+            CacheSlot::Owned(c) => c,
+            CacheSlot::Shared(c) => c,
+        }
+    }
+}
+
 /// A formula evaluator bound to one structure and one parameter vector.
 pub struct Evaluator<'a> {
     st: &'a Structure,
     params: &'a [Elem],
     stats: EvalStats,
     complement_budget: u128,
-    /// Memoized results for repeated composite subformulas (keyed by
-    /// printed form; structure and params are fixed per evaluator).
-    /// Update programs reuse large subformulas — e.g. Theorem 4.1's
-    /// `New` appears four times in one delete — so this saves real work.
-    cache: HashMap<String, Table>,
+    /// Memoized results for repeated composite subformulas. Update
+    /// programs reuse large subformulas — e.g. Theorem 4.1's `New`
+    /// appears four times in one delete — so this saves real work even
+    /// within one evaluation; shared across requests (see
+    /// [`Evaluator::with_cache`]) it makes update evaluation delta-aware.
+    cache: CacheSlot<'a>,
 }
 
 /// Evaluate `f` over `st` with request parameters `params`.
@@ -142,7 +314,25 @@ impl<'a> Evaluator<'a> {
             params,
             stats: EvalStats::default(),
             complement_budget: DEFAULT_COMPLEMENT_BUDGET,
-            cache: HashMap::new(),
+            cache: CacheSlot::Owned(SubformulaCache::new()),
+        }
+    }
+
+    /// Create an evaluator that reads and fills a caller-owned
+    /// [`SubformulaCache`], so memoized subformula results survive this
+    /// evaluator. The caller is responsible for invalidating the cache
+    /// when `st`'s relations or constants change between evaluations.
+    pub fn with_cache(
+        st: &'a Structure,
+        params: &'a [Elem],
+        cache: &'a mut SubformulaCache,
+    ) -> Evaluator<'a> {
+        Evaluator {
+            st,
+            params,
+            stats: EvalStats::default(),
+            complement_budget: DEFAULT_COMPLEMENT_BUDGET,
+            cache: CacheSlot::Shared(cache),
         }
     }
 
@@ -189,18 +379,48 @@ impl<'a> Evaluator<'a> {
     /// pre-canonicalize (Dyn-FO programs do, once, at construction).
     pub fn eval(&mut self, f: &Formula) -> Result<Table, EvalError> {
         use Formula::*;
-        // Memoize composite nodes: the printed form is the key (the
-        // structure and parameter bindings are fixed for this
-        // evaluator's lifetime).
+        // Memoize composite nodes, keyed by the α-normalized formula
+        // (free variables renamed to positional slots, so e.g. Theorem
+        // 4.1's `New(x,y)` and `New(u,w)` share one entry) plus the
+        // parameter vector when the subformula depends on it (parameter-
+        // free subformulas share one entry across all requests). The
+        // structure's relations are fixed for this evaluator's lifetime;
+        // a shared cache is invalidated by its host between evaluations.
+        // Relation atoms are always cache-eligible: a scan's table is
+        // often reused verbatim (the same atom appears across rules of
+        // one request, and across slices in the parallel evaluator) and
+        // the key is a two-node clone.
+        let cacheable = match f {
+            Rel { .. } => true,
+            And(..) | Or(..) | Exists(..) | Not(..) => {
+                crate::analysis::size(f) >= CACHE_MIN_SIZE
+            }
+            _ => false,
+        };
         let cache_key = match f {
-            And(..) | Or(..) | Exists(..) | Not(..)
-                if crate::analysis::size(f) >= 8 =>
-            {
-                let key = f.to_string();
-                if let Some(hit) = self.cache.get(&key) {
-                    return Ok(hit.clone());
+            _ if cacheable => {
+                match alpha_normalize(f) {
+                    None => None,
+                    Some((normalized, fv)) => {
+                        let key = (
+                            normalized,
+                            if mentions_param_or_const(f) {
+                                self.params.to_vec()
+                            } else {
+                                Vec::new()
+                            },
+                        );
+                        let cache = self.cache.get();
+                        if let Some(hit) = cache.entries.get(&key) {
+                            cache.hits += 1;
+                            // Stored columns are slots; rename them back
+                            // to this occurrence's variables.
+                            return Ok(hit.table.renamed(|c| slot_index(c).map(|i| fv[i])));
+                        }
+                        cache.misses += 1;
+                        Some((key, fv))
+                    }
                 }
-                Some(key)
             }
             _ => None,
         };
@@ -230,8 +450,10 @@ impl<'a> Evaluator<'a> {
             }
         };
         self.stats.note(&out);
-        if let Some(key) = cache_key {
-            self.cache.insert(key, out.clone());
+        if let Some((key, fv)) = cache_key {
+            let reads = relation_symbols(&key.0);
+            let table = out.renamed(|c| fv.iter().position(|&v| v == c).map(slot_sym));
+            self.cache.get().entries.insert(key, CacheEntry { table, reads });
         }
         Ok(out)
     }
@@ -283,27 +505,46 @@ impl<'a> Evaluator<'a> {
                 }
             }
         }
-        let mut rows = Vec::new();
-        'tuples: for tuple in self.st.relation(id).iter() {
-            let mut row = Tuple::empty();
-            for (i, p) in plan.iter().enumerate() {
-                let v = tuple[i];
-                match p {
-                    Pos::Ground(g) => {
-                        if v != *g {
-                            continue 'tuples;
+        // Ground leading arguments (parameters and substituted slice
+        // literals are the common case) push down into the relation as a
+        // prefix range: O(matching tuples) instead of O(|R|).
+        fn select(plan: &[Pos], tuples: impl Iterator<Item = Tuple>) -> Vec<Tuple> {
+            let mut rows = Vec::new();
+            'tuples: for tuple in tuples {
+                let mut row = Tuple::empty();
+                for (i, p) in plan.iter().enumerate() {
+                    let v = tuple[i];
+                    match p {
+                        Pos::Ground(g) => {
+                            if v != *g {
+                                continue 'tuples;
+                            }
                         }
-                    }
-                    Pos::Fresh => row = row.push(v),
-                    Pos::Repeat(j) => {
-                        if row[*j] != v {
-                            continue 'tuples;
+                        Pos::Fresh => row = row.push(v),
+                        Pos::Repeat(j) => {
+                            if row[*j] != v {
+                                continue 'tuples;
+                            }
                         }
                     }
                 }
+                rows.push(row);
             }
-            rows.push(row);
+            rows
         }
+        let prefix: Vec<Elem> = plan
+            .iter()
+            .map_while(|p| match p {
+                Pos::Ground(g) => Some(*g),
+                _ => None,
+            })
+            .collect();
+        let relation = self.st.relation(id);
+        let rows = if prefix.is_empty() {
+            select(&plan, relation.iter())
+        } else {
+            select(&plan, relation.iter_prefix(&prefix))
+        };
         Ok(Table::new(vars, rows))
     }
 

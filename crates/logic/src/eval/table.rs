@@ -5,9 +5,10 @@
 //! compiles formulas to operations on tables: scans, hash joins,
 //! antijoins, projections, unions, extensions, and complements.
 
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::intern::Sym;
 use crate::tuple::{all_tuples, Elem, Tuple, MAX_ARITY};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::fmt;
 
 /// A set of variable assignments (rows) over named columns.
@@ -84,6 +85,15 @@ impl Table {
         self.vars.iter().position(|&c| c == v)
     }
 
+    /// Rename columns through `map` (columns it returns `None` for keep
+    /// their name). Rows are untouched; the map must stay injective.
+    pub fn renamed(&self, map: impl Fn(Sym) -> Option<Sym>) -> Table {
+        Table {
+            vars: self.vars.iter().map(|&c| map(c).unwrap_or(c)).collect(),
+            rows: self.rows.clone(),
+        }
+    }
+
     fn dedup(&mut self) {
         self.rows.sort_unstable();
         self.rows.dedup();
@@ -147,7 +157,7 @@ impl Table {
         assert!(out_vars.len() <= MAX_ARITY, "join output too wide");
 
         // Hash the smaller side on the key.
-        let mut index: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
+        let mut index: FxHashMap<Tuple, Vec<&Tuple>> = FxHashMap::default();
         for r in &other.rows {
             index.entry(r.select(&right_key)).or_default().push(r);
         }
@@ -173,7 +183,7 @@ impl Table {
             .collect();
         let left_key: Vec<usize> = shared.iter().map(|&v| self.col(v).unwrap()).collect();
         let right_key: Vec<usize> = shared.iter().map(|&v| other.col(v).unwrap()).collect();
-        let index: HashSet<Tuple> = other.rows.iter().map(|r| r.select(&right_key)).collect();
+        let index: FxHashSet<Tuple> = other.rows.iter().map(|r| r.select(&right_key)).collect();
         Table {
             vars: self.vars.clone(),
             rows: self
@@ -246,8 +256,51 @@ impl Table {
 
     /// All assignments over `vars` **not** present in `self` (complement
     /// over universe `{0..n}`). Cost `n^k`; the evaluator guards `k`.
+    ///
+    /// Implemented as a word-parallel bitmap pass: present rows set bits
+    /// by base-`n` index, then the clear bits of each NOT-ed word decode
+    /// to output rows — no per-tuple hashing.
     pub fn complement(&self, n: Elem) -> Table {
-        let present: HashSet<Tuple> = self.rows.iter().copied().collect();
+        let k = self.vars.len();
+        let bits = match usize::try_from((n as u128).pow(k as u32)) {
+            Ok(b) => b,
+            Err(_) => return self.complement_by_hashing(n),
+        };
+        let mut words = vec![0u64; bits.div_ceil(64)];
+        for r in &self.rows {
+            let mut idx = 0usize;
+            for v in r.iter() {
+                idx = idx * n as usize + v as usize;
+            }
+            words[idx / 64] |= 1 << (idx % 64);
+        }
+        let mut rows = Vec::with_capacity(bits - self.rows.len());
+        for (w, &word) in words.iter().enumerate() {
+            let mut absent = !word;
+            if (w + 1) * 64 > bits {
+                absent &= (1u64 << (bits % 64)) - 1;
+            }
+            while absent != 0 {
+                let mut idx = w * 64 + absent.trailing_zeros() as usize;
+                absent &= absent - 1;
+                let mut items = [0 as Elem; MAX_ARITY];
+                for i in (0..k).rev() {
+                    items[i] = (idx % n as usize) as Elem;
+                    idx /= n as usize;
+                }
+                rows.push(Tuple::from_slice(&items[..k]));
+            }
+        }
+        Table {
+            vars: self.vars.clone(),
+            rows,
+        }
+    }
+
+    /// Fallback complement for tuple spaces too large to bitmap (the
+    /// evaluator's budget normally prevents reaching this).
+    fn complement_by_hashing(&self, n: Elem) -> Table {
+        let present: FxHashSet<Tuple> = self.rows.iter().copied().collect();
         let rows = all_tuples(n, self.vars.len())
             .filter(|t| !present.contains(t))
             .collect();

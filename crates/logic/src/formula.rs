@@ -32,7 +32,7 @@ pub enum Term {
 }
 
 /// A first-order formula.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Formula {
     /// The true sentence.
     True,

@@ -1,0 +1,105 @@
+//! A fast, non-cryptographic hasher for hot-path hash maps.
+//!
+//! The evaluator's inner loops (hash joins, antijoins, dedup, memo
+//! lookups) hash short fixed-size keys — [`Tuple`](crate::tuple::Tuple)s
+//! and interned symbols — millions of times per benchmark run. The
+//! standard library's SipHash pays a DoS-resistance premium that is pure
+//! overhead here: all keys are internally generated, never adversarial.
+//! This is the Firefox `FxHasher` multiply-rotate scheme: one wrapping
+//! multiply and a rotate per word of input.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The `FxHasher` word-mixing constant (derived from the golden ratio).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher; see module docs.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        BuildHasherDefault::<FxHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        let a = Tuple::pair(1, 2);
+        assert_eq!(hash_of(&a), hash_of(&Tuple::pair(1, 2)));
+        assert_ne!(hash_of(&a), hash_of(&Tuple::pair(2, 1)));
+        assert_ne!(hash_of(&a), hash_of(&Tuple::triple(1, 2, 0)));
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<Tuple, usize> = FxHashMap::default();
+        for i in 0..100u32 {
+            m.insert(Tuple::pair(i, i + 1), i as usize);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m[&Tuple::pair(7, 8)], 7);
+        let s: FxHashSet<u32> = (0..50).collect();
+        assert!(s.contains(&49) && !s.contains(&50));
+    }
+}

@@ -7,9 +7,11 @@
 //! compiles FO to relational algebra.
 
 pub mod analysis;
+pub mod bitrel;
 pub mod ef;
 pub mod eval;
 pub mod formula;
+pub mod fxhash;
 pub mod intern;
 pub mod parallel;
 pub mod parser;
@@ -21,9 +23,10 @@ pub mod subst;
 pub mod tuple;
 pub mod vocab;
 
-pub use eval::{evaluate, satisfies, EvalError, EvalStats, Evaluator, Table};
+pub use eval::{evaluate, satisfies, EvalError, EvalStats, Evaluator, SubformulaCache, Table};
 pub use formula::{Formula, Term};
 pub use intern::{sym, Sym};
+pub use bitrel::BitRel;
 pub use relation::Relation;
 pub use structure::Structure;
 pub use tuple::{Elem, Tuple, MAX_ARITY};

@@ -1,31 +1,88 @@
 //! Finite relations: sets of [`Tuple`]s of a fixed arity.
 //!
-//! Relations are the stored state of a structure. The representation is a
-//! `BTreeSet` so iteration order is deterministic (important for
-//! reproducible benchmarks and for memorylessness checks, which compare
-//! whole structures).
+//! Relations are the stored state of a structure. Two interchangeable
+//! backends sit behind one value type:
+//!
+//! * **Sparse** — a `BTreeSet<Tuple>`: no universe bound, memory
+//!   proportional to the tuple count. The default for free-standing
+//!   relations and for relations whose tuple space is too large to map.
+//! * **Dense** — a [`BitRel`] bitmap of all `n^arity` tuples: set algebra
+//!   (union/intersection/difference/complement/hamming) runs word-parallel,
+//!   64 tuples per instruction, and membership is O(1). Chosen per relation
+//!   by the `arity × n` threshold [`fits_dense`] when the universe is known
+//!   (see [`Relation::with_universe`]).
+//!
+//! Both backends iterate in lexicographic tuple order, so benchmarks,
+//! printed tables, and memorylessness checks (which compare whole
+//! structures) are deterministic and backend-independent; `PartialEq`
+//! compares tuple *sets*, never representations.
 
+use crate::bitrel::{capacity_bits, BitRel};
 use crate::tuple::{all_tuples, Elem, Tuple};
 use std::collections::BTreeSet;
 use std::fmt;
 
+/// Largest tuple-space a relation maps densely: `n^arity` bits ≤ 2^24
+/// (2 MiB of bitmap). Covers e.g. binary relations to n = 4096 and
+/// ternary to n = 256; anything bigger stays sparse.
+pub const DENSE_BITS_CAP: u128 = 1 << 24;
+
+/// True iff an arity-`arity` relation over `{0..n}` is allowed the dense
+/// backend under [`DENSE_BITS_CAP`].
+pub fn fits_dense(arity: usize, n: Elem) -> bool {
+    capacity_bits(n, arity) <= DENSE_BITS_CAP
+}
+
+#[derive(Clone, Eq, PartialEq, Debug)]
+enum Repr {
+    Sparse(BTreeSet<Tuple>),
+    Dense(BitRel),
+}
+
 /// A finite relation of fixed arity over universe elements.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Relation {
     arity: usize,
-    tuples: BTreeSet<Tuple>,
+    repr: Repr,
+}
+
+impl Default for Relation {
+    fn default() -> Relation {
+        Relation::new(0)
+    }
 }
 
 impl Relation {
-    /// The empty relation of the given arity.
+    /// The empty sparse relation of the given arity.
     pub fn new(arity: usize) -> Relation {
         Relation {
             arity,
-            tuples: BTreeSet::new(),
+            repr: Repr::Sparse(BTreeSet::new()),
         }
     }
 
-    /// Build from an iterator of tuples.
+    /// The empty dense relation of the given arity over `{0..n}`.
+    ///
+    /// # Panics
+    /// Panics if `n^arity` overflows `usize`; gate with [`fits_dense`].
+    pub fn dense(arity: usize, n: Elem) -> Relation {
+        Relation {
+            arity,
+            repr: Repr::Dense(BitRel::new(arity, n)),
+        }
+    }
+
+    /// The empty relation of the given arity, dense over `{0..n}` when the
+    /// tuple space fits [`DENSE_BITS_CAP`], sparse otherwise.
+    pub fn with_universe(arity: usize, n: Elem) -> Relation {
+        if fits_dense(arity, n) {
+            Relation::dense(arity, n)
+        } else {
+            Relation::new(arity)
+        }
+    }
+
+    /// Build a sparse relation from an iterator of tuples.
     ///
     /// # Panics
     /// Panics if any tuple's length differs from `arity`.
@@ -37,6 +94,70 @@ impl Relation {
         r
     }
 
+    /// Build a backend-selected relation (see [`Relation::with_universe`])
+    /// from an iterator of tuples over `{0..n}`.
+    pub fn from_tuples_with_universe(
+        arity: usize,
+        n: Elem,
+        iter: impl IntoIterator<Item = Tuple>,
+    ) -> Relation {
+        let mut r = Relation::with_universe(arity, n);
+        for t in iter {
+            r.insert(t);
+        }
+        r
+    }
+
+    /// `Some(n)` iff this relation is densely mapped over `{0..n}`.
+    pub fn dense_universe(&self) -> Option<Elem> {
+        match &self.repr {
+            Repr::Sparse(_) => None,
+            Repr::Dense(b) => Some(b.universe()),
+        }
+    }
+
+    /// The same tuple set on the dense backend over `{0..n}`.
+    ///
+    /// # Panics
+    /// Panics (in debug) if a tuple lies outside `{0..n}`, or if the
+    /// bitmap would overflow `usize`.
+    pub fn to_dense(&self, n: Elem) -> Relation {
+        match &self.repr {
+            Repr::Dense(b) if b.universe() == n => self.clone(),
+            _ => {
+                let mut b = BitRel::new(self.arity, n);
+                for t in self.iter() {
+                    b.insert(t);
+                }
+                Relation {
+                    arity: self.arity,
+                    repr: Repr::Dense(b),
+                }
+            }
+        }
+    }
+
+    /// The same tuple set on the sparse backend.
+    pub fn to_sparse(&self) -> Relation {
+        match &self.repr {
+            Repr::Sparse(_) => self.clone(),
+            Repr::Dense(_) => Relation {
+                arity: self.arity,
+                repr: Repr::Sparse(self.iter().collect()),
+            },
+        }
+    }
+
+    /// The same tuple set on the backend of `template` (dense over the
+    /// same universe iff `template` is dense).
+    pub fn to_backend_of(&self, template: &Relation) -> Relation {
+        match template.dense_universe() {
+            Some(n) if self.dense_universe() != Some(n) => self.to_dense(n),
+            None if self.dense_universe().is_some() => self.to_sparse(),
+            _ => self.clone(),
+        }
+    }
+
     /// Arity.
     pub fn arity(&self) -> usize {
         self.arity
@@ -44,18 +165,24 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        match &self.repr {
+            Repr::Sparse(s) => s.len(),
+            Repr::Dense(b) => b.len(),
+        }
     }
 
     /// True iff no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len() == 0
     }
 
     /// Membership test.
     pub fn contains(&self, t: &Tuple) -> bool {
         debug_assert_eq!(t.len(), self.arity);
-        self.tuples.contains(t)
+        match &self.repr {
+            Repr::Sparse(s) => s.contains(t),
+            Repr::Dense(b) => b.contains(t),
+        }
     }
 
     /// Insert a tuple; returns true if newly added.
@@ -70,33 +197,117 @@ impl Relation {
             t.len(),
             self.arity
         );
-        self.tuples.insert(t)
+        match &mut self.repr {
+            Repr::Sparse(s) => s.insert(t),
+            Repr::Dense(b) => b.insert(t),
+        }
     }
 
     /// Remove a tuple; returns true if it was present.
     pub fn remove(&mut self, t: &Tuple) -> bool {
         debug_assert_eq!(t.len(), self.arity);
-        self.tuples.remove(t)
+        match &mut self.repr {
+            Repr::Sparse(s) => s.remove(t),
+            Repr::Dense(b) => b.remove(t),
+        }
     }
 
     /// Remove all tuples.
     pub fn clear(&mut self) {
-        self.tuples.clear();
+        match &mut self.repr {
+            Repr::Sparse(s) => s.clear(),
+            Repr::Dense(b) => b.clear(),
+        }
     }
 
-    /// Iterate in sorted order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
-        self.tuples.iter()
+    /// Iterate in sorted (lexicographic) order on either backend.
+    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
+        match &self.repr {
+            Repr::Sparse(s) => RelIter::Sparse(s.iter()),
+            Repr::Dense(b) => RelIter::Dense(b.iter()),
+        }
+    }
+
+    /// Iterate (in the same lexicographic order as [`Relation::iter`])
+    /// only the tuples whose leading components equal `prefix` — a
+    /// contiguous bit range on the dense backend, a `BTreeSet` range
+    /// query on the sparse one. This is the pushdown that turns a scan
+    /// with bound leading arguments from O(|R|) into O(matching).
+    ///
+    /// # Panics
+    /// Panics if `prefix` is longer than the arity.
+    pub fn iter_prefix<'a>(&'a self, prefix: &[Elem]) -> impl Iterator<Item = Tuple> + 'a {
+        assert!(prefix.len() <= self.arity, "prefix longer than arity");
+        match &self.repr {
+            Repr::Sparse(s) => {
+                let mut lo = [0 as Elem; crate::tuple::MAX_ARITY];
+                let mut hi = [0 as Elem; crate::tuple::MAX_ARITY];
+                lo[..prefix.len()].copy_from_slice(prefix);
+                hi[..prefix.len()].copy_from_slice(prefix);
+                hi[prefix.len()..self.arity].fill(Elem::MAX);
+                let lo = Tuple::from_slice(&lo[..self.arity]);
+                let hi = Tuple::from_slice(&hi[..self.arity]);
+                PrefixIter::Sparse(s.range(lo..=hi))
+            }
+            Repr::Dense(b) => PrefixIter::Dense(b.iter_prefix(prefix)),
+        }
     }
 
     /// The complement of this relation over universe `{0..n}`.
     ///
-    /// Cost is `n^arity`; callers (the evaluator) guard arity.
+    /// Word-parallel NOT on a dense relation over the same `n`; otherwise
+    /// cost is `n^arity` membership tests. Callers (the evaluator) guard
+    /// arity with a budget.
     pub fn complement(&self, n: Elem) -> Relation {
-        let mut out = Relation::new(self.arity);
-        for t in all_tuples(n, self.arity) {
-            if !self.tuples.contains(&t) {
-                out.tuples.insert(t);
+        match &self.repr {
+            Repr::Dense(b) if b.universe() == n => Relation {
+                arity: self.arity,
+                repr: Repr::Dense(b.complement()),
+            },
+            _ => {
+                let mut out = Relation::with_universe(self.arity, n);
+                for t in all_tuples(n, self.arity) {
+                    if !self.contains(&t) {
+                        out.insert(t);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Word-op when both sides are dense over the same universe; otherwise
+    /// merge by (sorted) iteration onto `self`'s backend.
+    fn zip(
+        &self,
+        other: &Relation,
+        word_op: impl Fn(&BitRel, &BitRel) -> BitRel,
+        keep: impl Fn(bool, bool) -> bool,
+    ) -> Relation {
+        assert_eq!(self.arity, other.arity);
+        if let (Repr::Dense(a), Repr::Dense(b)) = (&self.repr, &other.repr) {
+            if a.universe() == b.universe() {
+                return Relation {
+                    arity: self.arity,
+                    repr: Repr::Dense(word_op(a, b)),
+                };
+            }
+        }
+        let mut out = Relation {
+            arity: self.arity,
+            repr: match &self.repr {
+                Repr::Sparse(_) => Repr::Sparse(BTreeSet::new()),
+                Repr::Dense(b) => Repr::Dense(BitRel::new(self.arity, b.universe())),
+            },
+        };
+        for t in self.iter() {
+            if keep(true, other.contains(&t)) {
+                out.insert(t);
+            }
+        }
+        for t in other.iter() {
+            if !self.contains(&t) && keep(false, true) {
+                out.insert(t);
             }
         }
         out
@@ -104,44 +315,92 @@ impl Relation {
 
     /// Set union. Panics if arities differ.
     pub fn union(&self, other: &Relation) -> Relation {
-        assert_eq!(self.arity, other.arity);
-        Relation {
-            arity: self.arity,
-            tuples: self.tuples.union(&other.tuples).copied().collect(),
-        }
+        self.zip(other, BitRel::union, |a, b| a || b)
     }
 
     /// Set intersection. Panics if arities differ.
     pub fn intersection(&self, other: &Relation) -> Relation {
-        assert_eq!(self.arity, other.arity);
-        Relation {
-            arity: self.arity,
-            tuples: self.tuples.intersection(&other.tuples).copied().collect(),
-        }
+        self.zip(other, BitRel::intersection, |a, b| a && b)
     }
 
     /// Set difference. Panics if arities differ.
     pub fn difference(&self, other: &Relation) -> Relation {
-        assert_eq!(self.arity, other.arity);
-        Relation {
-            arity: self.arity,
-            tuples: self.tuples.difference(&other.tuples).copied().collect(),
-        }
+        self.zip(other, BitRel::difference, |a, b| a && !b)
     }
 
     /// Symmetric-difference cardinality: how many tuples differ.
     ///
     /// This is the "number of affected tuples" that bounded-expansion
-    /// reductions (Definition 5.1) bound by a constant.
+    /// reductions (Definition 5.1) bound by a constant. XOR-popcount on
+    /// same-universe dense pairs.
     pub fn hamming(&self, other: &Relation) -> usize {
         assert_eq!(self.arity, other.arity);
-        self.tuples.symmetric_difference(&other.tuples).count()
+        if let (Repr::Dense(a), Repr::Dense(b)) = (&self.repr, &other.repr) {
+            if a.universe() == b.universe() {
+                return a.hamming(b);
+            }
+        }
+        let in_self_only = self.iter().filter(|t| !other.contains(t)).count();
+        let in_other_only = other.iter().filter(|t| !self.contains(t)).count();
+        in_self_only + in_other_only
     }
 }
 
+enum RelIter<'a> {
+    Sparse(std::collections::btree_set::Iter<'a, Tuple>),
+    Dense(crate::bitrel::BitRelIter<'a>),
+}
+
+impl Iterator for RelIter<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        match self {
+            RelIter::Sparse(it) => it.next().copied(),
+            RelIter::Dense(it) => it.next(),
+        }
+    }
+}
+
+enum PrefixIter<'a> {
+    Sparse(std::collections::btree_set::Range<'a, Tuple>),
+    Dense(crate::bitrel::BitRelIter<'a>),
+}
+
+impl Iterator for PrefixIter<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        match self {
+            PrefixIter::Sparse(it) => it.next().copied(),
+            PrefixIter::Dense(it) => it.next(),
+        }
+    }
+}
+
+/// Semantic equality: same arity and same tuple set, independent of
+/// backend. Both backends iterate sorted, so a zip comparison suffices.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Sparse(a), Repr::Sparse(b)) => self.arity == other.arity && a == b,
+            (Repr::Dense(a), Repr::Dense(b)) if a.universe() == b.universe() => {
+                self.arity == other.arity && a == b
+            }
+            _ => {
+                self.arity == other.arity
+                    && self.len() == other.len()
+                    && self.iter().eq(other.iter())
+            }
+        }
+    }
+}
+
+impl Eq for Relation {}
+
 impl FromIterator<Tuple> for Relation {
-    /// Collect tuples into a relation, inferring the arity from the first
-    /// tuple. An empty iterator yields an empty 0-ary relation.
+    /// Collect tuples into a sparse relation, inferring the arity from the
+    /// first tuple. An empty iterator yields an empty 0-ary relation.
     fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Relation {
         let mut it = iter.into_iter().peekable();
         let arity = it.peek().map(|t| t.len()).unwrap_or(0);
@@ -168,6 +427,10 @@ mod tests {
 
     fn rel(pairs: &[(Elem, Elem)]) -> Relation {
         Relation::from_tuples(2, pairs.iter().map(|&(a, b)| Tuple::pair(a, b)))
+    }
+
+    fn drel(n: Elem, pairs: &[(Elem, Elem)]) -> Relation {
+        Relation::from_tuples_with_universe(2, n, pairs.iter().map(|&(a, b)| Tuple::pair(a, b)))
     }
 
     #[test]
@@ -211,7 +474,7 @@ mod tests {
     #[test]
     fn deterministic_iteration_order() {
         let r = rel(&[(2, 0), (0, 1), (1, 1)]);
-        let order: Vec<Tuple> = r.iter().copied().collect();
+        let order: Vec<Tuple> = r.iter().collect();
         assert_eq!(
             order,
             vec![Tuple::pair(0, 1), Tuple::pair(1, 1), Tuple::pair(2, 0)]
@@ -224,5 +487,133 @@ mod tests {
         assert_eq!(r.arity(), 3);
         let empty: Relation = std::iter::empty().collect();
         assert_eq!(empty.arity(), 0);
+    }
+
+    #[test]
+    fn backend_selection_respects_cap() {
+        assert!(Relation::with_universe(2, 64).dense_universe().is_some());
+        // 4096^2 = 2^24 bits: exactly at the cap, still dense.
+        assert_eq!(Relation::with_universe(2, 4096).dense_universe(), Some(4096));
+        // 4097^2 > 2^24: sparse.
+        assert_eq!(Relation::with_universe(2, 4097).dense_universe(), None);
+        // Arity 8 blows past the cap for any n ≥ 2.
+        assert_eq!(Relation::with_universe(8, 16).dense_universe(), None);
+    }
+
+    #[test]
+    fn backends_are_semantically_equal() {
+        let s = rel(&[(0, 1), (3, 3), (7, 2)]);
+        let d = drel(8, &[(0, 1), (3, 3), (7, 2)]);
+        assert_eq!(s, d);
+        assert_eq!(d, s);
+        assert_ne!(d, rel(&[(0, 1)]));
+        // Same set, different dense universes: still equal.
+        assert_eq!(d, drel(11, &[(0, 1), (3, 3), (7, 2)]));
+        // Round trips preserve equality and order.
+        assert_eq!(d.to_sparse(), d);
+        assert_eq!(s.to_dense(8), s);
+        let order_s: Vec<Tuple> = s.iter().collect();
+        let order_d: Vec<Tuple> = d.iter().collect();
+        assert_eq!(order_s, order_d);
+    }
+
+    #[test]
+    fn mixed_backend_set_algebra() {
+        let s = rel(&[(0, 1), (1, 2)]);
+        let d = drel(6, &[(1, 2), (2, 3)]);
+        assert_eq!(s.union(&d), d.union(&s));
+        assert_eq!(s.union(&d).len(), 3);
+        assert_eq!(s.intersection(&d), rel(&[(1, 2)]));
+        assert_eq!(d.difference(&s), drel(6, &[(2, 3)]));
+        assert_eq!(s.hamming(&d), 2);
+        assert_eq!(d.hamming(&s), 2);
+        // Result backend follows the left operand.
+        assert!(s.union(&d).dense_universe().is_none());
+        assert_eq!(d.union(&s).dense_universe(), Some(6));
+    }
+
+    #[test]
+    fn dense_complement_is_word_parallel_and_exact() {
+        let d = drel(5, &[(0, 0), (4, 4)]);
+        let c = d.complement(5);
+        assert_eq!(c.len(), 23);
+        assert_eq!(c, rel(&[(0, 0), (4, 4)]).complement(5));
+        assert_eq!(c.dense_universe(), Some(5));
+    }
+
+    #[test]
+    fn to_backend_of_matches_template() {
+        let s = rel(&[(0, 1)]);
+        let d = drel(4, &[(2, 2)]);
+        assert_eq!(s.to_backend_of(&d).dense_universe(), Some(4));
+        assert_eq!(d.to_backend_of(&s).dense_universe(), None);
+        assert_eq!(s.to_backend_of(&d), s);
+        assert_eq!(d.to_backend_of(&s), d);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        const N: Elem = 6;
+
+        /// Apply the same insert/remove stream to both backends.
+        fn mirrored(ops: &[(Elem, Elem, bool)]) -> (Relation, Relation) {
+            let mut sparse = Relation::new(2);
+            let mut dense = Relation::dense(2, N);
+            for &(a, b, ins) in ops {
+                let t = Tuple::pair(a % N, b % N);
+                if ins {
+                    sparse.insert(t);
+                    dense.insert(t);
+                } else {
+                    sparse.remove(&t);
+                    dense.remove(&t);
+                }
+            }
+            (sparse, dense)
+        }
+
+        fn op_stream() -> impl Strategy<Value = Vec<(Elem, Elem, bool)>> {
+            proptest::collection::vec((0u32..N, 0u32..N, proptest::bool::ANY), 0..40)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            /// Same insert/delete stream ⇒ same tuples, same length,
+            /// same (lexicographic) iteration order, equal relations.
+            #[test]
+            fn backends_agree_under_churn(ops in op_stream()) {
+                let (sparse, dense) = mirrored(&ops);
+                prop_assert_eq!(sparse.len(), dense.len());
+                let s: Vec<Tuple> = sparse.iter().collect();
+                let d: Vec<Tuple> = dense.iter().collect();
+                prop_assert_eq!(s, d);
+                prop_assert_eq!(&sparse, &dense);
+                for a in 0..N {
+                    for b in 0..N {
+                        let t = Tuple::pair(a, b);
+                        prop_assert_eq!(sparse.contains(&t), dense.contains(&t));
+                    }
+                }
+            }
+
+            /// Word-parallel set algebra on dense pairs matches the
+            /// BTreeSet implementation on the same inputs.
+            #[test]
+            fn set_algebra_agrees(xs in op_stream(), ys in op_stream()) {
+                let (sx, dx) = mirrored(&xs);
+                let (sy, dy) = mirrored(&ys);
+                prop_assert_eq!(sx.union(&sy), dx.union(&dy));
+                prop_assert_eq!(sx.intersection(&sy), dx.intersection(&dy));
+                prop_assert_eq!(sx.difference(&sy), dx.difference(&dy));
+                prop_assert_eq!(sx.complement(N), dx.complement(N));
+                prop_assert_eq!(sx.hamming(&sy), dx.hamming(&dy));
+                // Mixed-backend calls agree too (iteration fallback).
+                prop_assert_eq!(sx.union(&dy), dx.union(&sy));
+                prop_assert_eq!(sx.difference(&dy), dx.difference(&sy));
+            }
+        }
     }
 }

@@ -34,9 +34,11 @@ impl Structure {
     /// Panics if `n == 0` (universes are nonempty by definition).
     pub fn empty(vocab: Arc<Vocabulary>, n: Elem) -> Structure {
         assert!(n > 0, "universe must be nonempty");
+        // Per-relation backend choice: dense bitmap when n^arity fits
+        // the cap, BTreeSet otherwise (see relation.rs).
         let relations = vocab
             .relations()
-            .map(|(_, sym)| Relation::new(sym.arity))
+            .map(|(_, sym)| Relation::with_universe(sym.arity, n))
             .collect();
         let constants = vec![0; vocab.num_constants()];
         Structure {
@@ -179,7 +181,10 @@ impl Structure {
             self.vocab.arity(id),
             "arity mismatch replacing relation"
         );
-        self.relations[id.0 as usize] = rel;
+        // Keep the slot's backend stable so equality checks, iteration,
+        // and later updates stay on the chosen representation.
+        let slot = &self.relations[id.0 as usize];
+        self.relations[id.0 as usize] = rel.to_backend_of(slot);
     }
 }
 

@@ -145,8 +145,8 @@ mod tests {
 
     #[test]
     fn colorized_machine_agrees_with_direct_run() {
-        let machines: [(fn(usize) -> SweepCounter, &str); 2] =
-            [(majority, "majority"), (parity, "parity")];
+        type Maker = fn(usize) -> SweepCounter;
+        let machines: [(Maker, &str); 2] = [(majority, "majority"), (parity, "parity")];
         for (mk, name) in machines {
             let m = mk(6);
             let mut cr = ColorReach::from_sweep(&m);

@@ -89,10 +89,10 @@ impl SweepCounter {
     pub fn config_graph(&self, input: &[bool]) -> DiGraph {
         assert_eq!(input.len(), self.n);
         let mut g = DiGraph::new(self.num_nodes());
-        for head in 0..self.n {
+        for (head, &cell) in input.iter().enumerate() {
             for count in 0..=head {
                 let from = self.config(head, count);
-                let next_count = count + usize::from(input[head]);
+                let next_count = count + usize::from(cell);
                 g.insert(from, self.config(head + 1, next_count));
             }
         }

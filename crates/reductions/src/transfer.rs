@@ -112,12 +112,12 @@ pub fn diff_to_requests(from: &Structure, to: &Structure) -> Vec<Request> {
     for (id, sym) in from.vocab().relations() {
         let name = sym.name.as_str();
         for t in from.relation(id).iter() {
-            if !to.relation(id).contains(t) {
+            if !to.relation(id).contains(&t) {
                 out.push(Request::del(name, t.as_slice().to_vec()));
             }
         }
         for t in to.relation(id).iter() {
-            if !from.relation(id).contains(t) {
+            if !from.relation(id).contains(&t) {
                 out.push(Request::ins(name, t.as_slice().to_vec()));
             }
         }

@@ -14,7 +14,7 @@ fn main() {
     let mut cell = DynProduct::new(n);
 
     println!("dynamic product of two {n}-bit numbers\n");
-    let mut edit = |cell: &mut DynProduct, op: Operand, bit: usize, val: bool| {
+    let edit = |cell: &mut DynProduct, op: Operand, bit: usize, val: bool| {
         cell.change(op, bit, val);
         let tag = match op {
             Operand::X => "x",

@@ -25,7 +25,7 @@ fn main() {
     let mut brackets = DynDyck::new(2, n);
 
     println!("keystroke-by-keystroke checking (buffer capacity {n})\n");
-    let mut tick = |what: &str, lint: &DynRegular, brackets: &DynDyck| {
+    let tick = |what: &str, lint: &DynRegular, brackets: &DynDyck| {
         println!(
             "{what:<28} buffer=`{}`  lint_ok={}  balanced={} ({})",
             lint.string(),
