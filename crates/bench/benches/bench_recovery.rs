@@ -1,0 +1,96 @@
+//! E18 — crash recovery: snapshot + bounded tail replay vs replaying
+//! the whole history.
+//!
+//! With a snapshot every `SNAPSHOT_EVERY` requests, recovery reads one
+//! snapshot and replays at most `SNAPSHOT_EVERY` journal frames, so its
+//! cost is flat in the total history length. Deleting the snapshots
+//! forces the fallback path — start over and replay everything — whose
+//! cost grows linearly with history. The gap is the operational payoff
+//! of maintaining auxiliary data instead of recomputing it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynfo_bench::undirected_workload;
+use dynfo_core::programs::reach_u;
+use dynfo_serve::{fault, scratch_dir, SessionStore, StoreConfig};
+use std::path::PathBuf;
+
+const N: u32 = 16;
+const SNAPSHOT_EVERY: u64 = 64;
+
+/// Populate a session directory with `history` journaled requests, with
+/// or without snapshots, and return the store root.
+fn prepare(history: usize, keep_snapshots: bool) -> PathBuf {
+    let root = scratch_dir(&format!(
+        "bench-recovery-{history}-{}",
+        if keep_snapshots { "snap" } else { "bare" }
+    ));
+    let config = StoreConfig {
+        snapshot_every: SNAPSHOT_EVERY,
+        // Group commit sized to the batch: setup speed, not durability,
+        // matters here.
+        group_commit: 64,
+    };
+    let store = SessionStore::open(&root, config).unwrap();
+    let s = store.session("sess", &reach_u::program(), N).unwrap();
+    for r in undirected_workload(N, history, 97) {
+        s.apply(&r).unwrap();
+    }
+    store.shutdown().unwrap();
+    if !keep_snapshots {
+        let dir = root.join("sess");
+        while fault::drop_latest_snapshot(&dir).unwrap().is_some() {}
+    }
+    root
+}
+
+fn bench(c: &mut Criterion) {
+    let config = StoreConfig {
+        snapshot_every: SNAPSHOT_EVERY,
+        group_commit: 64,
+    };
+    let mut group = c.benchmark_group("E18_recovery");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for history in [128usize, 256, 512] {
+        let with_snap = prepare(history, true);
+        let bare = prepare(history, false);
+
+        // Normal recovery: newest snapshot + a tail of at most
+        // SNAPSHOT_EVERY frames. Flat in `history`.
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_tail", history),
+            &history,
+            |b, _| {
+                b.iter(|| {
+                    let store = SessionStore::open(&with_snap, config).unwrap();
+                    let s = store.session("sess", &reach_u::program(), N).unwrap();
+                    assert_eq!(s.seq(), history as u64);
+                })
+            },
+        );
+
+        // Fallback: no snapshots survive, so recovery starts over and
+        // replays the entire journal. Linear in `history`.
+        group.bench_with_input(
+            BenchmarkId::new("replay_scratch", history),
+            &history,
+            |b, _| {
+                b.iter(|| {
+                    let store = SessionStore::open(&bare, config).unwrap();
+                    let s = store.session("sess", &reach_u::program(), N).unwrap();
+                    assert_eq!(s.seq(), history as u64);
+                    assert_eq!(s.recovery_report().replayed, history as u64);
+                })
+            },
+        );
+
+        std::fs::remove_dir_all(&with_snap).ok();
+        std::fs::remove_dir_all(&bare).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

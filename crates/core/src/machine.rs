@@ -8,11 +8,55 @@
 //! *pre*-state (simultaneous semantics) and swapping the results in.
 
 use crate::program::{DynFoProgram, UpdateRule};
-use crate::request::{apply_to_input, Op, Request, RequestKind};
+use crate::request::{apply_to_input, Op, Request, RequestError, RequestKind};
 use dynfo_logic::eval::{Evaluator, SubformulaCache};
 use dynfo_logic::formula::{Formula, Term};
 use dynfo_logic::{Elem, EvalError, EvalStats, Relation, Structure, Sym, Tuple};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Why a machine operation failed.
+///
+/// Every public machine entry point returns this instead of panicking,
+/// so a serving layer can reject a bad frame (or surface a corrupt
+/// snapshot) without aborting the process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MachineError {
+    /// The request failed validation against the input vocabulary.
+    Request(RequestError),
+    /// An update or query formula failed to evaluate.
+    Eval(EvalError),
+    /// [`DynFoMachine::query_named`] got a name the program lacks.
+    UnknownQuery(Sym),
+    /// [`DynFoMachine::from_state`] got a structure that does not fit
+    /// the program (wrong vocabulary or relation arity).
+    StateMismatch(String),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Request(e) => write!(f, "invalid request: {e}"),
+            MachineError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            MachineError::UnknownQuery(s) => write!(f, "unknown named query {s}"),
+            MachineError::StateMismatch(why) => write!(f, "state does not fit program: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<RequestError> for MachineError {
+    fn from(e: RequestError) -> MachineError {
+        MachineError::Request(e)
+    }
+}
+
+impl From<EvalError> for MachineError {
+    fn from(e: EvalError) -> MachineError {
+        MachineError::Eval(e)
+    }
+}
 
 /// Cumulative execution statistics.
 #[derive(Clone, Copy, Default, Debug)]
@@ -59,17 +103,66 @@ impl DynFoMachine {
     /// Initialize for universe size `n` (runs the program's `f(∅)`).
     pub fn new(program: DynFoProgram, n: Elem) -> DynFoMachine {
         let state = program.initial_structure(n);
-        let mut plans: BTreeMap<RequestKind, Vec<RulePlan>> = BTreeMap::new();
-        for (&kind, rule) in program.rules() {
-            plans.entry(kind).or_default().push(classify_rule(rule));
-        }
         DynFoMachine {
+            plans: compile_plans(&program),
             program,
             state,
             stats: MachineStats::default(),
-            plans,
             cache: SubformulaCache::new(),
         }
+    }
+
+    /// Restore a machine from a previously captured auxiliary structure
+    /// (the durability path: snapshot + journal-tail replay).
+    ///
+    /// The structure must interpret exactly the program's auxiliary
+    /// vocabulary — same relation names and arities, same constants —
+    /// and is adopted as the machine's state verbatim. Statistics start
+    /// at zero and the subformula cache starts cold (a freshly restored
+    /// machine has done no work), so a restored machine is
+    /// indistinguishable from the uninterrupted one in state and
+    /// answers, not in counters.
+    pub fn from_state(program: DynFoProgram, state: Structure) -> Result<DynFoMachine, MachineError> {
+        let vocab = program.aux_vocab();
+        let mismatch = |why: String| Err(MachineError::StateMismatch(why));
+        if state.vocab().num_relations() != vocab.num_relations()
+            || state.vocab().num_constants() != vocab.num_constants()
+            || !state.vocab().extends(vocab)
+        {
+            return mismatch(format!(
+                "structure vocabulary {} differs from auxiliary vocabulary {}",
+                state.vocab(),
+                vocab
+            ));
+        }
+        // `extends` checks names and arities but not symbol *order*;
+        // relation ids must line up for the compiled plans to address
+        // the right slots.
+        for (id, sym) in vocab.relations() {
+            let got = state.vocab().relation_sym(id);
+            if got.name != sym.name {
+                return mismatch(format!(
+                    "relation #{} is {} in the structure but {} in the program",
+                    id.0, got.name, sym.name
+                ));
+            }
+        }
+        for (id, name) in vocab.constants() {
+            if state.vocab().constant_name(id) != name {
+                return mismatch(format!(
+                    "constant #{} is {} in the structure but {name} in the program",
+                    id.0,
+                    state.vocab().constant_name(id)
+                ));
+            }
+        }
+        Ok(DynFoMachine {
+            plans: compile_plans(&program),
+            program,
+            state,
+            stats: MachineStats::default(),
+            cache: SubformulaCache::new(),
+        })
     }
 
     /// The cross-request subformula cache (diagnostics, benches).
@@ -114,12 +207,12 @@ impl DynFoMachine {
     /// subformula cache evicts exactly the entries whose read sets
     /// changed.
     ///
-    /// # Panics
-    /// Panics if the request is malformed (unknown symbol, wrong arity,
-    /// or an element outside the universe — e.g. a weight ≥ n).
-    pub fn apply(&mut self, req: &Request) -> Result<EvalStats, EvalError> {
-        req.validate(self.program.input_vocab(), self.n())
-            .unwrap_or_else(|e| panic!("invalid request {req}: {e}"));
+    /// A malformed request (unknown symbol, wrong arity, or an element
+    /// outside the universe — e.g. a weight ≥ n) is rejected with
+    /// [`MachineError::Request`] *before* any state changes, so a bad
+    /// frame leaves the machine untouched.
+    pub fn apply(&mut self, req: &Request) -> Result<EvalStats, MachineError> {
+        req.validate(self.program.input_vocab(), self.n())?;
         let params = req.params();
         let n = self.state.size();
         let kind = req.kind();
@@ -219,8 +312,8 @@ impl DynFoMachine {
         Ok(work)
     }
 
-    /// Apply a sequence of requests.
-    pub fn apply_all(&mut self, reqs: &[Request]) -> Result<(), EvalError> {
+    /// Apply a sequence of requests, stopping at the first failure.
+    pub fn apply_all(&mut self, reqs: &[Request]) -> Result<(), MachineError> {
         for r in reqs {
             self.apply(r)?;
         }
@@ -228,7 +321,7 @@ impl DynFoMachine {
     }
 
     /// Answer the program's boolean query.
-    pub fn query(&mut self) -> Result<bool, EvalError> {
+    pub fn query(&mut self) -> Result<bool, MachineError> {
         let mut ev = Evaluator::with_cache(&self.state, &[], &mut self.cache);
         let t = ev.eval(self.program.query())?;
         self.stats.queries += 1;
@@ -238,13 +331,13 @@ impl DynFoMachine {
 
     /// Answer a named query with arguments bound to `?0, ?1, …`.
     ///
-    /// # Panics
-    /// Panics if the query name is unknown.
-    pub fn query_named(&mut self, name: &str, args: &[Elem]) -> Result<bool, EvalError> {
+    /// An unknown query name is [`MachineError::UnknownQuery`], not a
+    /// panic, so a serving layer can reject it per-request.
+    pub fn query_named(&mut self, name: &str, args: &[Elem]) -> Result<bool, MachineError> {
         let f = self
             .program
             .named_query(name)
-            .unwrap_or_else(|| panic!("unknown named query {name}"))
+            .ok_or_else(|| MachineError::UnknownQuery(Sym::new(name)))?
             .clone();
         let mut ev = Evaluator::with_cache(&self.state, args, &mut self.cache);
         let t = ev.eval(&f)?;
@@ -263,6 +356,15 @@ impl DynFoMachine {
     pub fn holds(&self, name: &str, t: impl Into<Tuple>) -> bool {
         self.state.holds(name, t)
     }
+}
+
+/// Compile every rule of `program` to its execution plan.
+fn compile_plans(program: &DynFoProgram) -> BTreeMap<RequestKind, Vec<RulePlan>> {
+    let mut plans: BTreeMap<RequestKind, Vec<RulePlan>> = BTreeMap::new();
+    for (&kind, rule) in program.rules() {
+        plans.entry(kind).or_default().push(classify_rule(rule));
+    }
+    plans
 }
 
 /// Decide how an update rule executes: detect the two canonical
@@ -369,12 +471,15 @@ fn eq_conjunction_matches(f: &Formula, vars: &[Sym], negated: bool) -> bool {
 /// request stream, calling `check` after every step with
 /// `(step, machine, current input structure)`. The workhorse of the
 /// differential tests.
+///
+/// An invalid request or failed update surfaces as `Err` with the
+/// offending step index, never as a panic.
 pub fn run_with_oracle(
     program: DynFoProgram,
     n: Elem,
     reqs: &[Request],
     mut check: impl FnMut(usize, &mut DynFoMachine, &Structure),
-) -> DynFoMachine {
+) -> Result<DynFoMachine, (usize, MachineError)> {
     let mut machine = DynFoMachine::new(program, n);
     let mut input = Structure::empty(
         std::sync::Arc::clone(machine.program().input_vocab()),
@@ -382,13 +487,11 @@ pub fn run_with_oracle(
     );
     check(0, &mut machine, &input);
     for (i, r) in reqs.iter().enumerate() {
-        r.validate(machine.program().input_vocab(), n)
-            .unwrap_or_else(|e| panic!("invalid request {r}: {e}"));
-        machine.apply(r).unwrap_or_else(|e| panic!("update failed on {r}: {e}"));
+        machine.apply(r).map_err(|e| (i, e))?;
         apply_to_input(&mut input, r);
         check(i + 1, &mut machine, &input);
     }
-    machine
+    Ok(machine)
 }
 
 /// Empirically check memorylessness (§3): apply two request sequences
@@ -399,7 +502,7 @@ pub fn check_memoryless(
     n: Elem,
     seq_a: &[Request],
     seq_b: &[Request],
-) -> Result<bool, EvalError> {
+) -> Result<bool, MachineError> {
     let mut a = DynFoMachine::new(program.clone(), n);
     a.apply_all(seq_a)?;
     let mut b = DynFoMachine::new(program.clone(), n);
@@ -496,7 +599,7 @@ mod tests {
             steps += 1;
             // The machine's input copy always matches the replay.
             assert_eq!(m.state().rel("M"), input.rel("M"), "step {i}");
-        });
+        }).unwrap();
         assert_eq!(steps, 4);
     }
 
@@ -582,7 +685,7 @@ mod tests {
         ];
         run_with_oracle(p, 8, &reqs, |i, m, input| {
             assert_eq!(m.state().rel("E"), input.rel("E"), "step {i}");
-        });
+        }).unwrap();
     }
 
     #[test]

@@ -143,7 +143,7 @@ mod tests {
                 is_bipartite(&g),
                 "step {step}: bipartiteness"
             );
-        });
+        }).unwrap();
     }
 
     #[test]

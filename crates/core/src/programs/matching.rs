@@ -179,7 +179,7 @@ mod tests {
                 is_maximal_matching(&g, &m),
                 "step {step}: {m:?} not a maximal matching"
             );
-        });
+        }).unwrap();
     }
 
     #[test]

@@ -127,7 +127,7 @@ mod tests {
                     );
                 }
             }
-        });
+        }).unwrap();
     }
 
     #[test]

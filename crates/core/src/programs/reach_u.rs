@@ -313,7 +313,7 @@ mod tests {
         run_with_oracle(program(), 7, &to_requests(&ops), |step, machine, input| {
             let graph = graph_of(input);
             check_invariants(machine, &graph, step);
-        });
+        }).unwrap();
     }
 
     #[test]

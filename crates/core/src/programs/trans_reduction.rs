@@ -129,7 +129,7 @@ mod tests {
                     );
                 }
             }
-        });
+        }).unwrap();
     }
 
     #[test]

@@ -9,6 +9,41 @@ use dynfo_logic::{Elem, Structure, Sym, Tuple, Vocabulary};
 use std::fmt;
 use std::sync::Arc;
 
+/// Why a request failed validation against an input vocabulary.
+///
+/// These are the errors a serving layer must *reject* rather than crash
+/// on: a malformed frame from a journal or a client is an error value,
+/// never a panic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RequestError {
+    /// The request names a relation the input vocabulary lacks.
+    UnknownRelation(Sym),
+    /// The request names a constant the input vocabulary lacks.
+    UnknownConstant(Sym),
+    /// The argument count differs from the relation's arity.
+    ArityMismatch { rel: Sym, expected: usize, got: usize },
+    /// An argument lies outside the universe `{0..n}`.
+    OutOfUniverse { elem: Elem, n: Elem },
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::UnknownRelation(s) => write!(f, "unknown input relation {s}"),
+            RequestError::UnknownConstant(s) => write!(f, "unknown input constant {s}"),
+            RequestError::ArityMismatch { rel, expected, got } => write!(
+                f,
+                "relation {rel} has arity {expected}, request has {got} args"
+            ),
+            RequestError::OutOfUniverse { elem, n } => {
+                write!(f, "element {elem} outside universe of size {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
 /// The operation of a request.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Op {
@@ -66,30 +101,30 @@ impl Request {
     }
 
     /// Validate against a vocabulary and universe size.
-    pub fn validate(&self, vocab: &Vocabulary, n: Elem) -> Result<(), String> {
+    pub fn validate(&self, vocab: &Vocabulary, n: Elem) -> Result<(), RequestError> {
         match self {
             Request::Ins(s, args) | Request::Del(s, args) => {
                 let id = vocab
                     .relation(*s)
-                    .ok_or_else(|| format!("unknown input relation {s}"))?;
+                    .ok_or(RequestError::UnknownRelation(*s))?;
                 if args.len() != vocab.arity(id) {
-                    return Err(format!(
-                        "relation {s} has arity {}, request has {} args",
-                        vocab.arity(id),
-                        args.len()
-                    ));
+                    return Err(RequestError::ArityMismatch {
+                        rel: *s,
+                        expected: vocab.arity(id),
+                        got: args.len(),
+                    });
                 }
                 if let Some(&bad) = args.iter().find(|&&a| a >= n) {
-                    return Err(format!("element {bad} outside universe of size {n}"));
+                    return Err(RequestError::OutOfUniverse { elem: bad, n });
                 }
                 Ok(())
             }
             Request::Set(s, v) => {
                 vocab
                     .constant(*s)
-                    .ok_or_else(|| format!("unknown input constant {s}"))?;
+                    .ok_or(RequestError::UnknownConstant(*s))?;
                 if *v >= n {
-                    return Err(format!("element {v} outside universe of size {n}"));
+                    return Err(RequestError::OutOfUniverse { elem: *v, n });
                 }
                 Ok(())
             }

@@ -72,22 +72,34 @@ impl Structure {
     /// Look up a relation by name and return its interpretation.
     ///
     /// # Panics
-    /// Panics if the name is not in the vocabulary.
+    /// Panics if the name is not in the vocabulary; use
+    /// [`Structure::try_rel`] when the name is untrusted.
     pub fn rel(&self, name: &str) -> &Relation {
-        let id = self
-            .vocab
-            .relation(name)
-            .unwrap_or_else(|| panic!("unknown relation {name}"));
-        self.relation(id)
+        self.try_rel(name)
+            .unwrap_or_else(|| panic!("unknown relation {name}"))
+    }
+
+    /// Non-panicking [`Structure::rel`]: `None` if the vocabulary lacks
+    /// the name. The lookup for untrusted input (snapshot restore,
+    /// decoded frames).
+    pub fn try_rel(&self, name: &str) -> Option<&Relation> {
+        self.vocab.relation(name).map(|id| self.relation(id))
     }
 
     /// Mutable variant of [`Structure::rel`].
+    ///
+    /// # Panics
+    /// Panics if the name is not in the vocabulary; use
+    /// [`Structure::try_rel_mut`] when the name is untrusted.
     pub fn rel_mut(&mut self, name: &str) -> &mut Relation {
-        let id = self
-            .vocab
-            .relation(name)
-            .unwrap_or_else(|| panic!("unknown relation {name}"));
-        self.relation_mut(id)
+        self.try_rel_mut(name)
+            .unwrap_or_else(|| panic!("unknown relation {name}"))
+    }
+
+    /// Non-panicking [`Structure::rel_mut`].
+    pub fn try_rel_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        let id = self.vocab.relation(name)?;
+        Some(self.relation_mut(id))
     }
 
     /// Interpretation of constant `id`.
@@ -107,13 +119,16 @@ impl Structure {
     /// Look up a constant by name.
     ///
     /// # Panics
-    /// Panics if the name is not in the vocabulary.
+    /// Panics if the name is not in the vocabulary; use
+    /// [`Structure::try_const_val`] when the name is untrusted.
     pub fn const_val(&self, name: &str) -> Elem {
-        let id = self
-            .vocab
-            .constant(name)
-            .unwrap_or_else(|| panic!("unknown constant {name}"));
-        self.constant(id)
+        self.try_const_val(name)
+            .unwrap_or_else(|| panic!("unknown constant {name}"))
+    }
+
+    /// Non-panicking [`Structure::const_val`].
+    pub fn try_const_val(&self, name: &str) -> Option<Elem> {
+        self.vocab.constant(name).map(|id| self.constant(id))
     }
 
     /// Set a constant by name; panics if unknown or out of range.
@@ -123,6 +138,24 @@ impl Structure {
             .constant(name)
             .unwrap_or_else(|| panic!("unknown constant {name}"));
         self.set_constant(id, v);
+    }
+
+    /// Non-panicking [`Structure::set_const`]: `Err` names the failure
+    /// (unknown constant, or value outside the universe) instead of
+    /// panicking, so corrupt snapshot bytes surface as decode errors.
+    pub fn try_set_const(&mut self, name: &str, v: Elem) -> Result<(), String> {
+        let id = self
+            .vocab
+            .constant(name)
+            .ok_or_else(|| format!("unknown constant {name}"))?;
+        if v >= self.size {
+            return Err(format!(
+                "constant {name} value {v} outside universe of size {}",
+                self.size
+            ));
+        }
+        self.constants[id.0 as usize] = v;
+        Ok(())
     }
 
     /// Insert tuple `t` into relation `name`. Convenience for tests and
@@ -270,5 +303,22 @@ mod tests {
     fn unknown_relation_panics() {
         let s = Structure::empty(graph_vocab(), 4);
         s.rel("Q");
+    }
+
+    #[test]
+    fn try_lookups_return_options_not_panics() {
+        let mut s = Structure::empty(graph_vocab(), 4);
+        assert!(s.try_rel("E").is_some());
+        assert!(s.try_rel("Q").is_none());
+        assert!(s.try_rel_mut("Q").is_none());
+        s.try_rel_mut("E").unwrap().insert(Tuple::pair(1, 2));
+        assert!(s.holds("E", [1, 2]));
+        assert_eq!(s.try_const_val("s"), Some(0));
+        assert_eq!(s.try_const_val("nope"), None);
+        assert!(s.try_set_const("s", 3).is_ok());
+        assert_eq!(s.const_val("s"), 3);
+        assert!(s.try_set_const("s", 9).is_err());
+        assert!(s.try_set_const("nope", 0).is_err());
+        assert_eq!(s.const_val("s"), 3, "failed try_set_const must not write");
     }
 }

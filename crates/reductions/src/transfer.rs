@@ -11,10 +11,10 @@
 //! if the reduction it was given is not actually bounded-expansion).
 
 use crate::interp::Interpretation;
-use dynfo_core::machine::DynFoMachine;
+use dynfo_core::machine::{DynFoMachine, MachineError};
 use dynfo_core::program::DynFoProgram;
 use dynfo_core::request::{apply_to_input, Request};
-use dynfo_logic::{Elem, EvalError, Structure};
+use dynfo_logic::{Elem, Structure};
 use std::sync::Arc;
 
 /// A Dyn-FO machine for `S` assembled from `S ≤_bfo T` and a program
@@ -43,7 +43,7 @@ impl TransferMachine {
         program: DynFoProgram,
         n: Elem,
         expansion_bound: usize,
-    ) -> Result<TransferMachine, EvalError> {
+    ) -> Result<TransferMachine, MachineError> {
         let input = Structure::empty(Arc::clone(&interp.source), n);
         let image = interp.apply(&input)?;
         let mut inner = DynFoMachine::new(program, interp.target_size(n));
@@ -68,7 +68,7 @@ impl TransferMachine {
     /// # Panics
     /// Panics if the observed expansion exceeds the declared bound —
     /// i.e. the provided reduction is not bfo.
-    pub fn apply(&mut self, req: &Request) -> Result<(), EvalError> {
+    pub fn apply(&mut self, req: &Request) -> Result<(), MachineError> {
         apply_to_input(&mut self.input, req);
         let next = self.interp.apply(&self.input)?;
         let delta = diff_to_requests(&self.image, &next);
@@ -88,7 +88,7 @@ impl TransferMachine {
     }
 
     /// Answer the S-query through the inner T-query.
-    pub fn query(&mut self) -> Result<bool, EvalError> {
+    pub fn query(&mut self) -> Result<bool, MachineError> {
         self.inner.query()
     }
 

@@ -1,0 +1,297 @@
+//! Hand-rolled binary codec for the durability layer.
+//!
+//! The build environment has no serde, so every on-disk byte is written
+//! and read by this module: little-endian fixed-width integers,
+//! length-prefixed UTF-8 strings, and a table-driven CRC-32 (IEEE) for
+//! frame and snapshot checksums. Decoding never panics on malformed
+//! input — every read is bounds-checked and returns a [`DecodeError`]
+//! carrying the byte offset where the input stopped making sense.
+
+use std::fmt;
+
+/// Why a byte sequence failed to decode.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    Truncated {
+        /// Offset at which more bytes were needed.
+        offset: usize,
+        /// What was being read.
+        what: &'static str,
+    },
+    /// A value was read but is not meaningful.
+    Corrupt {
+        /// Offset of the offending value.
+        offset: usize,
+        /// What is wrong with it.
+        why: String,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { offset, what } => {
+                write!(f, "input truncated at byte {offset} while reading {what}")
+            }
+            DecodeError::Corrupt { offset, why } => {
+                write!(f, "corrupt value at byte {offset}: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append-only byte sink with the primitive writers.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// The bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume into the underlying buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True iff nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// u16-length-prefixed UTF-8 string.
+    ///
+    /// # Panics
+    /// Panics if the string exceeds 64 KiB — symbol names are always
+    /// tiny; a longer one is a caller bug, not an input condition.
+    pub fn put_str(&mut self, s: &str) {
+        assert!(s.len() <= u16::MAX as usize, "string too long for codec");
+        self.put_u16(s.len() as u16);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Raw bytes, no length prefix.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Bounds-checked reader over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True iff every byte was consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fail decoding at the current offset with a reason.
+    pub fn corrupt(&self, why: impl Into<String>) -> DecodeError {
+        DecodeError::Corrupt {
+            offset: self.pos,
+            why: why.into(),
+        }
+    }
+
+    fn take(&mut self, len: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < len {
+            return Err(DecodeError::Truncated {
+                offset: self.pos,
+                what,
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// One byte.
+    pub fn get_u8(&mut self, what: &'static str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Little-endian u16.
+    pub fn get_u16(&mut self, what: &'static str) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    /// Little-endian u32.
+    pub fn get_u32(&mut self, what: &'static str) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Little-endian u64.
+    pub fn get_u64(&mut self, what: &'static str) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// u16-length-prefixed UTF-8 string.
+    pub fn get_str(&mut self, what: &'static str) -> Result<&'a str, DecodeError> {
+        let len = self.get_u16(what)? as usize;
+        let start = self.pos;
+        let bytes = self.take(len, what)?;
+        std::str::from_utf8(bytes).map_err(|_| DecodeError::Corrupt {
+            offset: start,
+            why: format!("{what} is not valid UTF-8"),
+        })
+    }
+
+    /// Raw bytes, no length prefix.
+    pub fn get_bytes(&mut self, len: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        self.take(len, what)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the checksum guarding
+/// journal frames and snapshot files.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+/// Streaming CRC-32 update (state in, state out; pre/post inversion is
+/// the caller's job — [`crc32`] does both).
+pub fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        let idx = ((state ^ b as u32) & 0xFF) as usize;
+        state = CRC_TABLE[idx] ^ (state >> 8);
+    }
+    state
+}
+
+/// The reflected-polynomial lookup table, built at compile time.
+static CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_str("REACH_u");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8("a").unwrap(), 7);
+        assert_eq!(r.get_u16("b").unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32("c").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64("d").unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_str("e").unwrap(), "REACH_u");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_reads_report_offset() {
+        let mut w = Writer::new();
+        w.put_u32(42);
+        let mut bytes = w.into_bytes();
+        bytes.pop();
+        let mut r = Reader::new(&bytes);
+        match r.get_u32("value") {
+            Err(DecodeError::Truncated { offset: 0, what: "value" }) => {}
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_utf8_is_corrupt_not_panic() {
+        let mut w = Writer::new();
+        w.put_u16(2);
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.get_str("name"),
+            Err(DecodeError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Streaming in two chunks equals one shot.
+        let one = crc32(b"hello world");
+        let streamed =
+            crc32_update(crc32_update(0xFFFF_FFFF, b"hello "), b"world") ^ 0xFFFF_FFFF;
+        assert_eq!(one, streamed);
+    }
+}

@@ -1,0 +1,88 @@
+//! Fault injection against a session's on-disk state.
+//!
+//! These helpers mutate a session *directory* between runs, simulating
+//! what crashes and bit rot leave behind: a frame torn mid-write, a
+//! snapshot that vanished, a snapshot with a flipped byte. The
+//! crash-recovery tests drive them to prove the invariant that recovery
+//! (snapshot + tail replay) always reproduces exactly the durable
+//! prefix of the request stream — and only degrades to a longer replay,
+//! never to a wrong answer.
+
+use crate::error::ServeError;
+use crate::journal::{parse_segment_name, read_segment, segment_path, HEADER_LEN};
+use crate::snapshot::{parse_snapshot_name, snapshot_path};
+use std::path::Path;
+
+fn inventory(dir: &Path) -> Result<(Vec<u64>, Vec<u64>), ServeError> {
+    let mut snapshots = Vec::new();
+    let mut segments = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(|e| ServeError::io(dir, e))? {
+        let entry = entry.map_err(|e| ServeError::io(dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = parse_snapshot_name(&name) {
+            snapshots.push(seq);
+        } else if let Some(base) = parse_segment_name(&name) {
+            segments.push(base);
+        }
+    }
+    snapshots.sort_unstable();
+    segments.sort_unstable();
+    Ok((snapshots, segments))
+}
+
+/// Tear the final journal frame: chop a few bytes off the newest
+/// segment, exactly as a crash mid-`write` would. Returns the sequence
+/// number of the frame that was destroyed, or `None` if the newest
+/// segment holds no frames to tear.
+pub fn tear_final_frame(dir: &Path) -> Result<Option<u64>, ServeError> {
+    let (_, segments) = inventory(dir)?;
+    let Some(&base) = segments.last() else {
+        return Ok(None);
+    };
+    let path = segment_path(dir, base);
+    let read = read_segment(&path)?;
+    let Some(last) = read.entries.last() else {
+        return Ok(None);
+    };
+    let torn_seq = last.seq;
+    if read.valid_len <= HEADER_LEN as u64 + 3 {
+        return Ok(None);
+    }
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .map_err(|e| ServeError::io(&path, e))?;
+    f.set_len(read.valid_len - 3)
+        .map_err(|e| ServeError::io(&path, e))?;
+    Ok(Some(torn_seq))
+}
+
+/// Delete the newest snapshot, forcing recovery to fall back to an
+/// older one (or to a full replay). Returns the deleted snapshot's
+/// sequence number, or `None` if there was no snapshot.
+pub fn drop_latest_snapshot(dir: &Path) -> Result<Option<u64>, ServeError> {
+    let (snapshots, _) = inventory(dir)?;
+    let Some(&seq) = snapshots.last() else {
+        return Ok(None);
+    };
+    let path = snapshot_path(dir, seq);
+    std::fs::remove_file(&path).map_err(|e| ServeError::io(&path, e))?;
+    Ok(Some(seq))
+}
+
+/// Flip one byte in the middle of the newest snapshot. The CRC must
+/// catch it and recovery must fall back exactly as for a missing
+/// snapshot. Returns the damaged snapshot's sequence number.
+pub fn corrupt_latest_snapshot(dir: &Path) -> Result<Option<u64>, ServeError> {
+    let (snapshots, _) = inventory(dir)?;
+    let Some(&seq) = snapshots.last() else {
+        return Ok(None);
+    };
+    let path = snapshot_path(dir, seq);
+    let mut bytes = std::fs::read(&path).map_err(|e| ServeError::io(&path, e))?;
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).map_err(|e| ServeError::io(&path, e))?;
+    Ok(Some(seq))
+}

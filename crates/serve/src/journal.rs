@@ -1,0 +1,494 @@
+//! The request journal: an append-only write-ahead log of [`Request`]s.
+//!
+//! One journal *segment* is a file of CRC-checked frames after an 8-byte
+//! header. Segments are rotated at snapshot boundaries and named by the
+//! sequence number of the last request *before* the segment
+//! (`wal-<base>.log`), so recovery after a snapshot at sequence `s`
+//! touches only segments with base ≥ `s` — the tail — never the whole
+//! history.
+//!
+//! ```text
+//! segment  := "DYNJ" version:u16 flags:u16 frame*
+//! frame    := len:u32 crc:u32 payload         crc = CRC-32(payload)
+//! payload  := seq:u64 request
+//! request  := 0x00 rel:str argc:u8 arg:u32*   (ins)
+//!           | 0x01 rel:str argc:u8 arg:u32*   (del)
+//!           | 0x02 cst:str value:u32          (set)
+//! ```
+//!
+//! Writes are buffered and become durable only at [`JournalWriter::commit`]
+//! (group commit: one write + fsync for a whole batch). Reads are
+//! truncation-tolerant: [`read_segment`] returns the longest valid
+//! prefix of frames and reports — rather than fails on — a torn or
+//! corrupt tail, which is exactly what a crash mid-write leaves behind.
+
+use crate::codec::{crc32, DecodeError, Reader, Writer};
+use crate::error::ServeError;
+use dynfo_core::Request;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every journal segment.
+pub const JOURNAL_MAGIC: &[u8; 4] = b"DYNJ";
+/// Current journal format version.
+pub const JOURNAL_VERSION: u16 = 1;
+/// Segment header size in bytes (magic + version + flags).
+pub const HEADER_LEN: usize = 8;
+/// Per-frame header size in bytes (len + crc).
+pub const FRAME_HEADER_LEN: usize = 8;
+/// Upper bound on one frame's payload; a decoded length beyond this is
+/// corruption, not a huge request (the largest legal request is a few
+/// dozen bytes).
+pub const MAX_FRAME_LEN: u32 = 1 << 16;
+
+/// Encode one request (without the seq prefix).
+pub fn encode_request(w: &mut Writer, req: &Request) {
+    match req {
+        Request::Ins(sym, args) | Request::Del(sym, args) => {
+            w.put_u8(if matches!(req, Request::Ins(..)) { 0 } else { 1 });
+            w.put_str(sym.as_str());
+            debug_assert!(args.len() <= u8::MAX as usize);
+            w.put_u8(args.len() as u8);
+            for &a in args {
+                w.put_u32(a);
+            }
+        }
+        Request::Set(sym, v) => {
+            w.put_u8(2);
+            w.put_str(sym.as_str());
+            w.put_u32(*v);
+        }
+    }
+}
+
+/// Decode one request (the inverse of [`encode_request`]).
+pub fn decode_request(r: &mut Reader<'_>) -> Result<Request, DecodeError> {
+    let tag = r.get_u8("request tag")?;
+    match tag {
+        0 | 1 => {
+            let sym = r.get_str("relation name")?.to_string();
+            let argc = r.get_u8("argument count")? as usize;
+            let mut args = Vec::with_capacity(argc);
+            for _ in 0..argc {
+                args.push(r.get_u32("argument")?);
+            }
+            Ok(if tag == 0 {
+                Request::ins(&sym, args)
+            } else {
+                Request::del(&sym, args)
+            })
+        }
+        2 => {
+            let sym = r.get_str("constant name")?.to_string();
+            let v = r.get_u32("constant value")?;
+            Ok(Request::set(&sym, v))
+        }
+        other => Err(r.corrupt(format!("unknown request tag {other}"))),
+    }
+}
+
+/// One journaled request with its global sequence number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JournalEntry {
+    /// 1-based position in the session's total request order.
+    pub seq: u64,
+    /// The request itself.
+    pub request: Request,
+}
+
+/// Encode a full frame (header + payload) for one entry.
+fn encode_frame(entry_seq: u64, req: &Request) -> Vec<u8> {
+    let mut payload = Writer::new();
+    payload.put_u64(entry_seq);
+    encode_request(&mut payload, req);
+    let payload = payload.into_bytes();
+    let mut frame = Writer::new();
+    frame.put_u32(payload.len() as u32);
+    frame.put_u32(crc32(&payload));
+    frame.put_bytes(&payload);
+    frame.into_bytes()
+}
+
+/// The path of the segment based at sequence `base` under `dir`.
+pub fn segment_path(dir: &Path, base: u64) -> PathBuf {
+    dir.join(format!("wal-{base:020}.log"))
+}
+
+/// Parse a segment file name back to its base sequence number.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    rest.parse().ok()
+}
+
+/// Buffered, group-committing writer for one journal segment.
+///
+/// Appended frames sit in memory until [`commit`](Self::commit) writes
+/// and fsyncs them as one batch; `auto_commit_every` bounds the batch.
+/// Dropping the writer does **not** flush — exactly like a process that
+/// dies does not flush — so durability is decided only by `commit`.
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+    pending: Vec<u8>,
+    pending_frames: usize,
+    /// Frames made durable in this segment so far.
+    committed_frames: u64,
+    auto_commit_every: usize,
+    /// Fault hook: once this many frames are durable, silently drop all
+    /// later appends and commits (the process "died" at that frame).
+    kill_after_frame: Option<u64>,
+}
+
+impl JournalWriter {
+    /// Create a fresh segment at `path` (fails if it exists — segments
+    /// are immutable once rotated away from).
+    pub fn create(path: &Path, auto_commit_every: usize) -> Result<JournalWriter, ServeError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+            .map_err(|e| ServeError::io(path, e))?;
+        let mut header = Writer::new();
+        header.put_bytes(JOURNAL_MAGIC);
+        header.put_u16(JOURNAL_VERSION);
+        header.put_u16(0); // flags, reserved
+        file.write_all(header.as_bytes())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| ServeError::io(path, e))?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+            pending: Vec::new(),
+            pending_frames: 0,
+            committed_frames: 0,
+            auto_commit_every: auto_commit_every.max(1),
+            kill_after_frame: None,
+        })
+    }
+
+    /// Reopen an existing segment for appending after `existing_frames`
+    /// valid frames (`valid_len` bytes) — the tail beyond the valid
+    /// prefix, e.g. a torn frame, is truncated away first.
+    pub fn reopen(
+        path: &Path,
+        valid_len: u64,
+        existing_frames: u64,
+        auto_commit_every: usize,
+    ) -> Result<JournalWriter, ServeError> {
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| ServeError::io(path, e))?;
+        file.set_len(valid_len).map_err(|e| ServeError::io(path, e))?;
+        use std::io::Seek;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::End(0))
+            .map_err(|e| ServeError::io(path, e))?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+            pending: Vec::new(),
+            pending_frames: 0,
+            committed_frames: existing_frames,
+            auto_commit_every: auto_commit_every.max(1),
+            kill_after_frame: None,
+        })
+    }
+
+    /// Install the kill-after-frame fault: once `frame` frames are
+    /// durable, every later append/commit is silently dropped.
+    pub fn set_kill_after_frame(&mut self, frame: Option<u64>) {
+        self.kill_after_frame = frame;
+    }
+
+    /// Frames durably committed to this segment.
+    pub fn committed_frames(&self) -> u64 {
+        self.committed_frames
+    }
+
+    /// Frames appended but not yet durable.
+    pub fn pending_frames(&self) -> usize {
+        self.pending_frames
+    }
+
+    /// True iff the kill fault has triggered (writes are being dropped).
+    pub fn is_dead(&self) -> bool {
+        self.kill_after_frame
+            .is_some_and(|k| self.committed_frames >= k)
+    }
+
+    /// Append one entry to the batch; commits automatically when the
+    /// batch reaches the configured size.
+    pub fn append(&mut self, seq: u64, req: &Request) -> Result<(), ServeError> {
+        if self.is_dead() {
+            return Ok(()); // the "process" is gone; nothing reaches disk
+        }
+        self.pending.extend_from_slice(&encode_frame(seq, req));
+        self.pending_frames += 1;
+        if self.pending_frames >= self.auto_commit_every {
+            self.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Group commit: write the whole batch with one syscall and fsync.
+    /// Under the kill fault, commits at most the frames that "made it"
+    /// before the configured death point.
+    pub fn commit(&mut self) -> Result<(), ServeError> {
+        if self.pending_frames == 0 {
+            return Ok(());
+        }
+        let mut frames_to_write = self.pending_frames as u64;
+        if let Some(k) = self.kill_after_frame {
+            frames_to_write = frames_to_write.min(k.saturating_sub(self.committed_frames));
+        }
+        if frames_to_write < self.pending_frames as u64 {
+            // Re-slice the batch to the surviving prefix.
+            let mut r = Reader::new(&self.pending);
+            for _ in 0..frames_to_write {
+                let len = r.get_u32("len").expect("own batch") as usize;
+                r.get_u32("crc").expect("own batch");
+                r.get_bytes(len, "payload").expect("own batch");
+            }
+            let cut = r.pos();
+            self.pending.truncate(cut);
+        }
+        if !self.pending.is_empty() {
+            self.file
+                .write_all(&self.pending)
+                .and_then(|()| self.file.sync_data())
+                .map_err(|e| ServeError::io(&self.path, e))?;
+        }
+        self.committed_frames += frames_to_write;
+        self.pending.clear();
+        self.pending_frames = 0;
+        Ok(())
+    }
+}
+
+/// The result of reading one segment: the longest valid prefix.
+#[derive(Clone, Debug)]
+pub struct SegmentRead {
+    /// Frames of the valid prefix, in file order.
+    pub entries: Vec<JournalEntry>,
+    /// Byte length of the valid prefix (header included) — reopen the
+    /// segment truncated to this length to continue appending.
+    pub valid_len: u64,
+    /// Why reading stopped before end-of-file, if it did. A torn final
+    /// frame after a crash lands here, not in `Err`.
+    pub anomaly: Option<String>,
+}
+
+/// Read a segment, recovering the longest valid prefix of frames.
+///
+/// Only an unreadable file or a bad *header* is an `Err` — the header is
+/// written and fsynced before any frame, so a mangled header means the
+/// file is not a journal at all. Everything after the header degrades
+/// gracefully: the first truncated or CRC-mismatching frame ends the
+/// prefix and is reported as an anomaly.
+pub fn read_segment(path: &Path) -> Result<SegmentRead, ServeError> {
+    let bytes = std::fs::read(path).map_err(|e| ServeError::io(path, e))?;
+    let mut r = Reader::new(&bytes);
+    let magic = r
+        .get_bytes(4, "journal magic")
+        .map_err(ServeError::Decode)?;
+    if magic != JOURNAL_MAGIC {
+        return Err(ServeError::Corrupt(format!(
+            "{}: not a journal segment (bad magic)",
+            path.display()
+        )));
+    }
+    let version = r.get_u16("journal version").map_err(ServeError::Decode)?;
+    if version != JOURNAL_VERSION {
+        return Err(ServeError::Corrupt(format!(
+            "{}: unsupported journal version {version}",
+            path.display()
+        )));
+    }
+    r.get_u16("journal flags").map_err(ServeError::Decode)?;
+
+    let mut entries = Vec::new();
+    let mut valid_len = HEADER_LEN as u64;
+    let mut anomaly = None;
+    while !r.is_exhausted() {
+        let frame_start = r.pos();
+        let frame = read_one_frame(&mut r);
+        match frame {
+            Ok(entry) => {
+                entries.push(entry);
+                valid_len = r.pos() as u64;
+            }
+            Err(why) => {
+                anomaly = Some(format!("at byte {frame_start}: {why}"));
+                break;
+            }
+        }
+    }
+    Ok(SegmentRead {
+        entries,
+        valid_len,
+        anomaly,
+    })
+}
+
+fn read_one_frame(r: &mut Reader<'_>) -> Result<JournalEntry, String> {
+    let len = r.get_u32("frame length").map_err(|e| e.to_string())?;
+    if len > MAX_FRAME_LEN {
+        return Err(format!("frame length {len} exceeds maximum {MAX_FRAME_LEN}"));
+    }
+    let crc = r.get_u32("frame crc").map_err(|e| e.to_string())?;
+    let payload = r
+        .get_bytes(len as usize, "frame payload")
+        .map_err(|e| e.to_string())?;
+    if crc32(payload) != crc {
+        return Err("frame CRC mismatch".to_string());
+    }
+    let mut pr = Reader::new(payload);
+    let seq = pr.get_u64("entry seq").map_err(|e| e.to_string())?;
+    let request = decode_request(&mut pr).map_err(|e| e.to_string())?;
+    if !pr.is_exhausted() {
+        return Err(format!("{} trailing bytes in frame payload", pr.remaining()));
+    }
+    Ok(JournalEntry { seq, request })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch_dir;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::ins("E", [1, 2]),
+            Request::del("E", [1, 2]),
+            Request::set("s", 3),
+            Request::ins("W", [0, 4, 2]),
+        ]
+    }
+
+    #[test]
+    fn request_codec_round_trips() {
+        for req in sample_requests() {
+            let mut w = Writer::new();
+            encode_request(&mut w, &req);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(decode_request(&mut r).unwrap(), req);
+            assert!(r.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn write_then_read_whole_segment() {
+        let dir = scratch_dir("journal-rw");
+        let path = segment_path(&dir, 0);
+        let mut w = JournalWriter::create(&path, 2).unwrap();
+        for (i, req) in sample_requests().iter().enumerate() {
+            w.append(i as u64 + 1, req).unwrap();
+        }
+        w.commit().unwrap();
+        let read = read_segment(&path).unwrap();
+        assert!(read.anomaly.is_none());
+        assert_eq!(read.entries.len(), 4);
+        assert_eq!(read.entries[2].seq, 3);
+        assert_eq!(read.entries[2].request, Request::set("s", 3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn uncommitted_frames_are_not_durable() {
+        let dir = scratch_dir("journal-uncommitted");
+        let path = segment_path(&dir, 0);
+        let mut w = JournalWriter::create(&path, usize::MAX).unwrap();
+        w.append(1, &Request::ins("E", [0, 1])).unwrap();
+        w.commit().unwrap();
+        w.append(2, &Request::ins("E", [1, 2])).unwrap();
+        drop(w); // "kill −9": no flush on drop
+        let read = read_segment(&path).unwrap();
+        assert_eq!(read.entries.len(), 1);
+        assert!(read.anomaly.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_recovers_longest_valid_prefix() {
+        let dir = scratch_dir("journal-torn");
+        let path = segment_path(&dir, 0);
+        let mut w = JournalWriter::create(&path, 1).unwrap();
+        for (i, req) in sample_requests().iter().enumerate() {
+            w.append(i as u64 + 1, req).unwrap();
+        }
+        drop(w);
+        // Tear the final frame: chop 3 bytes off the file.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let read = read_segment(&path).unwrap();
+        assert_eq!(read.entries.len(), 3, "last frame is torn, first 3 valid");
+        assert!(read.anomaly.is_some());
+        // Reopening at valid_len truncates the tear and appends cleanly.
+        let mut w = JournalWriter::reopen(&path, read.valid_len, 3, 1).unwrap();
+        w.append(4, &Request::set("s", 1)).unwrap();
+        let read = read_segment(&path).unwrap();
+        assert!(read.anomaly.is_none());
+        assert_eq!(read.entries.len(), 4);
+        assert_eq!(read.entries[3].request, Request::set("s", 1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_frame_body_stops_the_prefix() {
+        let dir = scratch_dir("journal-corrupt");
+        let path = segment_path(&dir, 0);
+        let mut w = JournalWriter::create(&path, 1).unwrap();
+        for (i, req) in sample_requests().iter().enumerate() {
+            w.append(i as u64 + 1, req).unwrap();
+        }
+        drop(w);
+        // Flip one byte inside the second frame's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let first = read_segment(&path).unwrap();
+        assert_eq!(first.entries.len(), 4);
+        let second_frame_start = {
+            // Re-derive: header + first frame.
+            let mut r = Reader::new(&bytes[HEADER_LEN..]);
+            let len = r.get_u32("len").unwrap() as usize;
+            HEADER_LEN + FRAME_HEADER_LEN + len
+        };
+        bytes[second_frame_start + FRAME_HEADER_LEN + 2] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let read = read_segment(&path).unwrap();
+        assert_eq!(read.entries.len(), 1, "CRC catches the flipped byte");
+        assert!(read.anomaly.unwrap().contains("CRC"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kill_after_frame_drops_later_writes() {
+        let dir = scratch_dir("journal-kill");
+        let path = segment_path(&dir, 0);
+        let mut w = JournalWriter::create(&path, 1).unwrap();
+        w.set_kill_after_frame(Some(2));
+        for (i, req) in sample_requests().iter().enumerate() {
+            w.append(i as u64 + 1, req).unwrap();
+        }
+        w.commit().unwrap();
+        assert!(w.is_dead());
+        let read = read_segment(&path).unwrap();
+        assert_eq!(read.entries.len(), 2, "exactly the pre-death frames");
+        assert!(read.anomaly.is_none(), "death is clean, not torn");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_names_round_trip() {
+        let dir = PathBuf::from("/tmp");
+        let p = segment_path(&dir, 42);
+        let name = p.file_name().unwrap().to_str().unwrap();
+        assert_eq!(parse_segment_name(name), Some(42));
+        assert_eq!(parse_segment_name("snap-000.snap"), None);
+        assert_eq!(parse_segment_name("wal-junk.log"), None);
+    }
+}

@@ -1,0 +1,641 @@
+//! The session front-end: many named, durable machine instances served
+//! concurrently.
+//!
+//! A [`SessionStore`] owns a directory; each session gets a
+//! subdirectory holding its journal segments and snapshots. Sessions
+//! are `Sync` — worker threads share a session handle and the per-
+//! session mutex serializes its update/query stream (per-session total
+//! order), while different sessions proceed in parallel.
+//!
+//! Durability contract: [`Session::apply`] returns only after the
+//! request is (a) applied to the in-memory machine and (b) appended to
+//! the journal batch; the batch becomes durable at group-commit
+//! boundaries (every `group_commit` frames) and on [`Session::sync`].
+//! Recovery reproduces exactly the durable prefix: snapshot + journal-
+//! tail replay equals the uninterrupted machine at the last committed
+//! frame, byte for byte — the Dyn-FO answer to "start over and muddle
+//! through": never recompute a history, only replay a bounded tail.
+
+use crate::error::ServeError;
+use crate::journal::{
+    parse_segment_name, read_segment, segment_path, JournalWriter,
+};
+use crate::codec::{crc32, Reader, Writer};
+use crate::snapshot::{parse_snapshot_name, read_snapshot, snapshot_path, write_snapshot};
+use dynfo_core::{DynFoMachine, DynFoProgram, Request};
+use dynfo_logic::{Elem, EvalStats, Structure};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Store-wide durability policy.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Take a snapshot (and rotate the journal segment) every this many
+    /// requests; 0 disables automatic snapshots.
+    pub snapshot_every: u64,
+    /// Group commit: fsync the journal after this many frames. 1 means
+    /// every request is durable before `apply` returns.
+    pub group_commit: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            snapshot_every: 256,
+            group_commit: 1,
+        }
+    }
+}
+
+/// What recovery found and did for one session.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Sequence number of the snapshot recovery started from (0 = none,
+    /// started from the empty initial structure).
+    pub snapshot_seq: u64,
+    /// Journal frames replayed on top of the snapshot.
+    pub replayed: u64,
+    /// Everything suspicious seen on the way: torn frames, corrupt or
+    /// unreadable snapshots that were skipped. Empty on a clean start.
+    pub anomalies: Vec<String>,
+}
+
+/// Magic bytes of the per-session `meta` file.
+const META_MAGIC: &[u8; 4] = b"DYNM";
+const META_VERSION: u16 = 1;
+
+/// Write the immutable session metadata (program name, universe size)
+/// once, atomically, at session creation.
+fn write_meta(dir: &Path, program_name: &str, n: Elem) -> Result<(), ServeError> {
+    let mut w = Writer::new();
+    w.put_bytes(META_MAGIC);
+    w.put_u16(META_VERSION);
+    w.put_str(program_name);
+    w.put_u32(n);
+    let crc = crc32(w.as_bytes());
+    w.put_u32(crc);
+    let tmp = dir.join(".tmp-meta");
+    let path = dir.join("meta");
+    std::fs::write(&tmp, w.as_bytes()).map_err(|e| ServeError::io(&tmp, e))?;
+    std::fs::rename(&tmp, &path).map_err(|e| ServeError::io(&path, e))?;
+    Ok(())
+}
+
+/// Read back the session metadata: `(program_name, n)`.
+fn read_meta(dir: &Path) -> Result<(String, Elem), ServeError> {
+    let path = dir.join("meta");
+    let bytes = std::fs::read(&path).map_err(|e| ServeError::io(&path, e))?;
+    if bytes.len() < 4 + 2 + 4 {
+        return Err(ServeError::Corrupt("meta file too short".to_string()));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored_crc = u32::from_le_bytes(trailer.try_into().unwrap());
+    if crc32(body) != stored_crc {
+        return Err(ServeError::Corrupt("meta file CRC mismatch".to_string()));
+    }
+    let mut r = Reader::new(body);
+    let magic = r.get_bytes(4, "meta magic").map_err(ServeError::Decode)?;
+    if magic != META_MAGIC {
+        return Err(ServeError::Corrupt("meta file has bad magic".to_string()));
+    }
+    let version = r.get_u16("meta version").map_err(ServeError::Decode)?;
+    if version != META_VERSION {
+        return Err(ServeError::Corrupt(format!(
+            "unsupported meta version {version}"
+        )));
+    }
+    let name = r
+        .get_str("program name")
+        .map_err(ServeError::Decode)?
+        .to_string();
+    let n = r.get_u32("universe size").map_err(ServeError::Decode)?;
+    Ok((name, n))
+}
+
+/// A collection of named durable sessions rooted at one directory.
+pub struct SessionStore {
+    root: PathBuf,
+    config: StoreConfig,
+    sessions: RwLock<BTreeMap<String, Arc<Session>>>,
+}
+
+impl SessionStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>, config: StoreConfig) -> Result<SessionStore, ServeError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| ServeError::io(&root, e))?;
+        Ok(SessionStore {
+            root,
+            config,
+            sessions: RwLock::new(BTreeMap::new()),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Get the open session `name`, or open it — recovering from disk
+    /// if its directory exists, creating it fresh otherwise.
+    ///
+    /// `program` and `n` describe the machine to run; reopening an
+    /// existing session with a different program name or universe size
+    /// is an error.
+    pub fn session(
+        &self,
+        name: &str,
+        program: &DynFoProgram,
+        n: Elem,
+    ) -> Result<Arc<Session>, ServeError> {
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(ServeError::Corrupt(format!(
+                "session name {name:?} must be non-empty [A-Za-z0-9_-]"
+            )));
+        }
+        if let Some(s) = self.sessions.read().unwrap().get(name) {
+            if s.program_name() != program.name() {
+                return Err(ServeError::Corrupt(format!(
+                    "session {name} is open with program {}, requested {}",
+                    s.program_name(),
+                    program.name()
+                )));
+            }
+            return Ok(Arc::clone(s));
+        }
+        let mut map = self.sessions.write().unwrap();
+        // Double-checked: another thread may have opened it meanwhile.
+        if let Some(s) = map.get(name) {
+            return Ok(Arc::clone(s));
+        }
+        let session = Arc::new(Session::open(
+            self.root.join(name),
+            name,
+            program,
+            n,
+            self.config,
+        )?);
+        map.insert(name.to_string(), Arc::clone(&session));
+        Ok(session)
+    }
+
+    /// The open session `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Arc<Session>> {
+        self.sessions.read().unwrap().get(name).cloned()
+    }
+
+    /// Names of all open sessions.
+    pub fn session_names(&self) -> Vec<String> {
+        self.sessions.read().unwrap().keys().cloned().collect()
+    }
+
+    /// Graceful shutdown: commit every session's journal batch.
+    pub fn shutdown(self) -> Result<(), ServeError> {
+        for s in self.sessions.read().unwrap().values() {
+            s.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Simulated `kill -9`: drop every session *without* committing
+    /// buffered frames or writing anything. All volatile state is lost;
+    /// only what was group-committed survives on disk.
+    pub fn crash(self) {
+        // JournalWriter deliberately does not flush on Drop, so simply
+        // dropping the map is the crash.
+        drop(self);
+    }
+}
+
+/// One named durable machine instance.
+pub struct Session {
+    name: String,
+    dir: PathBuf,
+    config: StoreConfig,
+    recovery: RecoveryReport,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    machine: DynFoMachine,
+    /// Requests applied over the session's lifetime (== the sequence
+    /// number of the latest frame).
+    seq: u64,
+    journal: JournalWriter,
+    /// Fault hook: journal/snapshot writes stop after this sequence
+    /// number — the "process" died right after durably logging frame k.
+    killed_after: Option<u64>,
+}
+
+impl Session {
+    fn open(
+        dir: PathBuf,
+        name: &str,
+        program: &DynFoProgram,
+        n: Elem,
+        config: StoreConfig,
+    ) -> Result<Session, ServeError> {
+        let fresh = !dir.exists();
+        if fresh {
+            std::fs::create_dir_all(&dir).map_err(|e| ServeError::io(&dir, e))?;
+        }
+        let (machine, seq, journal, recovery) = if fresh {
+            write_meta(&dir, program.name(), n)?;
+            let journal = JournalWriter::create(&segment_path(&dir, 0), config.group_commit)?;
+            (
+                DynFoMachine::new(program.clone(), n),
+                0,
+                journal,
+                RecoveryReport::default(),
+            )
+        } else {
+            let (stored_name, stored_n) = read_meta(&dir)?;
+            if stored_name != program.name() || stored_n != n {
+                return Err(ServeError::Corrupt(format!(
+                    "session {name} was created for program {stored_name} with n={stored_n}, \
+                     reopened for {} with n={n}",
+                    program.name()
+                )));
+            }
+            recover(&dir, program, n, config)?
+        };
+        Ok(Session {
+            name: name.to_string(),
+            dir,
+            config,
+            recovery,
+            inner: Mutex::new(Inner {
+                machine,
+                seq,
+                journal,
+                killed_after: None,
+            }),
+        })
+    }
+
+    /// The session's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The session's on-disk directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The program this session runs (by name).
+    pub fn program_name(&self) -> String {
+        self.inner.lock().unwrap().machine.program().name().to_string()
+    }
+
+    /// What recovery found when this session was (re)opened.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Requests applied so far (the journal sequence number).
+    pub fn seq(&self) -> u64 {
+        self.inner.lock().unwrap().seq
+    }
+
+    /// Apply one request: machine update + journal append, atomically
+    /// ordered within this session. A malformed request is rejected
+    /// before any state or disk change.
+    pub fn apply(&self, req: &Request) -> Result<EvalStats, ServeError> {
+        let mut inner = self.inner.lock().unwrap();
+        let stats = inner.machine.apply(req)?;
+        inner.seq += 1;
+        let seq = inner.seq;
+        if !inner.is_killed(seq) {
+            inner.journal.append(seq, req)?;
+            if self.config.snapshot_every > 0 && seq.is_multiple_of(self.config.snapshot_every) {
+                inner.checkpoint_locked(&self.dir, self.config)?;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Answer the program's boolean query.
+    pub fn query(&self) -> Result<bool, ServeError> {
+        Ok(self.inner.lock().unwrap().machine.query()?)
+    }
+
+    /// Answer a named query with arguments.
+    pub fn query_named(&self, name: &str, args: &[Elem]) -> Result<bool, ServeError> {
+        Ok(self.inner.lock().unwrap().machine.query_named(name, args)?)
+    }
+
+    /// A clone of the current auxiliary structure (tests, diagnostics).
+    pub fn state(&self) -> Structure {
+        self.inner.lock().unwrap().machine.state().clone()
+    }
+
+    /// Force the journal batch to disk now.
+    pub fn sync(&self) -> Result<(), ServeError> {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.seq;
+        if inner.is_killed(seq) {
+            return Ok(());
+        }
+        inner.journal.commit()
+    }
+
+    /// Force a snapshot + segment rotation now.
+    pub fn checkpoint(&self) -> Result<(), ServeError> {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.seq;
+        if inner.is_killed(seq) {
+            return Ok(());
+        }
+        inner.checkpoint_locked(&self.dir, self.config)
+    }
+
+    /// Fault hook: pretend the process dies right after journal frame
+    /// `seq` becomes durable — every later journal append, commit, and
+    /// snapshot silently vanishes, while the in-memory machine keeps
+    /// running (that state is exactly what a real crash would lose).
+    pub fn kill_after_frame(&self, seq: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.killed_after = Some(seq);
+    }
+}
+
+impl Inner {
+    fn is_killed(&self, seq: u64) -> bool {
+        self.killed_after.is_some_and(|k| seq > k)
+    }
+
+    fn checkpoint_locked(&mut self, dir: &Path, config: StoreConfig) -> Result<(), ServeError> {
+        self.journal.commit()?;
+        write_snapshot(dir, &self.machine, self.seq)?;
+        // Rotate: later frames land in a fresh segment based at the
+        // snapshot, so recovery from this snapshot reads only segments
+        // with base ≥ seq.
+        self.journal = JournalWriter::create(&segment_path(dir, self.seq), config.group_commit)?;
+        Ok(())
+    }
+}
+
+/// Rebuild a session's machine from its directory: newest valid
+/// snapshot, then replay of every journaled frame after it.
+///
+/// Degradation ladder, newest first: a corrupt or missing snapshot
+/// falls back to the next older one, and with no usable snapshot at all
+/// recovery starts over from the empty initial structure and replays
+/// the whole journal ("muddle through") — slower, never wrong.
+fn recover(
+    dir: &Path,
+    program: &DynFoProgram,
+    n: Elem,
+    config: StoreConfig,
+) -> Result<(DynFoMachine, u64, JournalWriter, RecoveryReport), ServeError> {
+    let mut report = RecoveryReport::default();
+
+    // Inventory the directory.
+    let mut snapshots: Vec<u64> = Vec::new();
+    let mut segments: Vec<u64> = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(|e| ServeError::io(dir, e))? {
+        let entry = entry.map_err(|e| ServeError::io(dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = parse_snapshot_name(&name) {
+            snapshots.push(seq);
+        } else if let Some(base) = parse_segment_name(&name) {
+            segments.push(base);
+        }
+    }
+    snapshots.sort_unstable_by(|a, b| b.cmp(a)); // newest first
+    segments.sort_unstable(); // oldest first
+
+    // Newest snapshot that actually decodes and fits the program.
+    let mut machine = None;
+    let mut snap_seq = 0;
+    for &seq in &snapshots {
+        match read_snapshot(&snapshot_path(dir, seq), program) {
+            Ok((m, stored_seq)) => {
+                if stored_seq != seq {
+                    report.anomalies.push(format!(
+                        "snapshot {seq}: file name disagrees with stored seq {stored_seq}; skipped"
+                    ));
+                    continue;
+                }
+                machine = Some(m);
+                snap_seq = seq;
+                break;
+            }
+            Err(e) => report
+                .anomalies
+                .push(format!("snapshot {seq} unusable ({e}); falling back")),
+        }
+    }
+    let mut machine =
+        machine.unwrap_or_else(|| DynFoMachine::new(program.clone(), n));
+    report.snapshot_seq = snap_seq;
+
+    // Replay the tail. A segment is skipped entirely when the *next*
+    // segment starts at or before the snapshot (all its frames are
+    // already in the snapshot) — with rotation at snapshot boundaries
+    // this touches only the tail, making recovery O(snapshot + tail).
+    let mut seq = snap_seq;
+    let mut tail_writer: Option<JournalWriter> = None;
+    for (i, &base) in segments.iter().enumerate() {
+        let covered = segments.get(i + 1).is_some_and(|&next| next <= snap_seq);
+        if covered {
+            continue;
+        }
+        let is_last = i + 1 == segments.len();
+        let path = segment_path(dir, base);
+        let read = read_segment(&path)?;
+        if let Some(anomaly) = &read.anomaly {
+            report
+                .anomalies
+                .push(format!("segment {base}: {anomaly}; tail truncated"));
+            if !is_last {
+                return Err(ServeError::Corrupt(format!(
+                    "segment {base} is damaged mid-history ({anomaly}); later segments exist"
+                )));
+            }
+        }
+        let frames_in_segment = read.entries.len() as u64;
+        for entry in read.entries {
+            if entry.seq <= seq {
+                continue; // already in the snapshot
+            }
+            if entry.seq != seq + 1 {
+                return Err(ServeError::Corrupt(format!(
+                    "journal gap: expected seq {}, found {}",
+                    seq + 1,
+                    entry.seq
+                )));
+            }
+            machine.apply(&entry.request)?;
+            seq = entry.seq;
+            report.replayed += 1;
+        }
+        if is_last {
+            tail_writer = Some(JournalWriter::reopen(
+                &path,
+                read.valid_len,
+                frames_in_segment,
+                config.group_commit,
+            )?);
+        }
+    }
+
+    let journal = match tail_writer {
+        Some(w) => w,
+        // No segments at all (e.g. a bare snapshot was copied in):
+        // start a fresh one at the current position.
+        None => JournalWriter::create(&segment_path(dir, seq), config.group_commit)?,
+    };
+    Ok((machine, seq, journal, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch_dir;
+    use dynfo_core::programs::{parity, reach_u};
+
+    #[test]
+    fn fresh_session_applies_and_queries() {
+        let root = scratch_dir("store-fresh");
+        let store = SessionStore::open(&root, StoreConfig::default()).unwrap();
+        let s = store.session("net", &reach_u::program(), 8).unwrap();
+        s.apply(&Request::ins("E", [0, 1])).unwrap();
+        s.apply(&Request::ins("E", [1, 2])).unwrap();
+        assert!(s.query_named("connected", &[0, 2]).unwrap());
+        assert_eq!(s.seq(), 2);
+        store.shutdown().unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn restart_recovers_exact_state() {
+        let root = scratch_dir("store-restart");
+        {
+            let store = SessionStore::open(&root, StoreConfig::default()).unwrap();
+            let s = store.session("net", &reach_u::program(), 8).unwrap();
+            for (a, b) in [(0, 1), (1, 2), (2, 3), (4, 5)] {
+                s.apply(&Request::ins("E", [a, b])).unwrap();
+            }
+            s.apply(&Request::del("E", [2, 3])).unwrap();
+            store.shutdown().unwrap();
+        }
+        let mut reference = DynFoMachine::new(reach_u::program(), 8);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (4, 5)] {
+            reference.apply(&Request::ins("E", [a, b])).unwrap();
+        }
+        reference.apply(&Request::del("E", [2, 3])).unwrap();
+
+        let store = SessionStore::open(&root, StoreConfig::default()).unwrap();
+        let s = store.session("net", &reach_u::program(), 8).unwrap();
+        assert_eq!(s.seq(), 5);
+        assert_eq!(s.state(), *reference.state());
+        assert_eq!(s.recovery_report().replayed, 5);
+        assert!(s.recovery_report().anomalies.is_empty());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn snapshot_policy_rotates_segments() {
+        let root = scratch_dir("store-rotate");
+        let config = StoreConfig {
+            snapshot_every: 4,
+            group_commit: 1,
+        };
+        {
+            let store = SessionStore::open(&root, config).unwrap();
+            let s = store.session("bits", &parity::program(), 16).unwrap();
+            for i in 0..10u32 {
+                s.apply(&Request::ins("M", [i])).unwrap();
+            }
+            store.shutdown().unwrap();
+        }
+        let dir = root.join("bits");
+        let mut snaps = 0;
+        let mut segs = 0;
+        for e in std::fs::read_dir(&dir).unwrap() {
+            let name = e.unwrap().file_name();
+            let name = name.to_string_lossy().into_owned();
+            if parse_snapshot_name(&name).is_some() {
+                snaps += 1;
+            }
+            if parse_segment_name(&name).is_some() {
+                segs += 1;
+            }
+        }
+        assert_eq!(snaps, 2, "snapshots at seq 4 and 8");
+        assert_eq!(segs, 3, "segments based at 0, 4, 8");
+        // Recovery starts at snapshot 8 and replays only frames 9, 10.
+        let store = SessionStore::open(&root, config).unwrap();
+        let s = store.session("bits", &parity::program(), 16).unwrap();
+        assert_eq!(s.recovery_report().snapshot_seq, 8);
+        assert_eq!(s.recovery_report().replayed, 2);
+        assert_eq!(s.seq(), 10);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_without_poisoning_the_session() {
+        let root = scratch_dir("store-reject");
+        let store = SessionStore::open(&root, StoreConfig::default()).unwrap();
+        let s = store.session("net", &reach_u::program(), 8).unwrap();
+        s.apply(&Request::ins("E", [0, 1])).unwrap();
+        // Unknown relation, wrong arity, out of universe: all errors,
+        // none journaled, none applied.
+        assert!(s.apply(&Request::ins("Q", [0, 1])).is_err());
+        assert!(s.apply(&Request::ins("E", [0])).is_err());
+        assert!(s.apply(&Request::ins("E", [0, 99])).is_err());
+        assert!(s.query_named("no_such_query", &[]).is_err());
+        assert_eq!(s.seq(), 1);
+        s.apply(&Request::ins("E", [1, 2])).unwrap();
+        assert!(s.query_named("connected", &[0, 2]).unwrap());
+        store.shutdown().unwrap();
+        // The journal holds exactly the two good frames.
+        let store = SessionStore::open(&root, StoreConfig::default()).unwrap();
+        let s = store.session("net", &reach_u::program(), 8).unwrap();
+        assert_eq!(s.seq(), 2);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let root = scratch_dir("store-isolated");
+        let store = SessionStore::open(&root, StoreConfig::default()).unwrap();
+        let a = store.session("a", &parity::program(), 8).unwrap();
+        let b = store.session("b", &parity::program(), 8).unwrap();
+        a.apply(&Request::ins("M", [1])).unwrap();
+        assert!(a.query().unwrap(), "odd count in a");
+        assert!(!b.query().unwrap(), "b untouched");
+        assert_eq!(store.session_names(), vec!["a", "b"]);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reopening_with_wrong_shape_fails() {
+        let root = scratch_dir("store-shape");
+        {
+            let store = SessionStore::open(&root, StoreConfig::default()).unwrap();
+            let s = store.session("net", &reach_u::program(), 8).unwrap();
+            s.apply(&Request::ins("E", [0, 1])).unwrap();
+            store.shutdown().unwrap();
+        }
+        let store = SessionStore::open(&root, StoreConfig::default()).unwrap();
+        assert!(
+            store.session("net", &parity::program(), 8).is_err(),
+            "wrong program must not recover"
+        );
+        assert!(
+            store.session("net", &reach_u::program(), 16).is_err(),
+            "wrong universe size must not recover"
+        );
+        assert!(store.session("bad name!", &reach_u::program(), 8).is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,353 @@
+//! The crash-recovery test matrix.
+//!
+//! Invariant under test: **recovery = snapshot + tail replay reproduces
+//! exactly the machine an uninterrupted run would have after the
+//! durable prefix of the request stream** — for every kill point, for a
+//! frame torn mid-write, and for missing or corrupt snapshots (which
+//! only lengthen the replay, never change the answer).
+
+use dynfo_core::programs::{parity, reach_u};
+use dynfo_core::{DynFoMachine, DynFoProgram, Request};
+use dynfo_serve::{fault, scratch_dir, SessionStore, StoreConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A deterministic mixed ins/del edge stream for REACH_u on `n` nodes.
+fn reach_stream(n: u32, len: usize, seed: u64) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<(u32, u32)> = Vec::new();
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        if !live.is_empty() && rng.gen_bool(0.3) {
+            let i = rng.gen_range(0..live.len());
+            let (a, b) = live.swap_remove(i);
+            out.push(Request::del("E", [a, b]));
+        } else {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b && !live.contains(&(a, b)) {
+                live.push((a, b));
+                out.push(Request::ins("E", [a, b]));
+            }
+        }
+    }
+    out
+}
+
+/// The machine an uninterrupted run reaches after `reqs`.
+fn reference(program: &DynFoProgram, n: u32, reqs: &[Request]) -> DynFoMachine {
+    let mut m = DynFoMachine::new(program.clone(), n);
+    for r in reqs {
+        m.apply(r).unwrap();
+    }
+    m
+}
+
+/// Reopen the session and check it equals the reference after exactly
+/// `expected_seq` requests — state equality plus live query answers.
+fn assert_recovers_to_prefix(
+    root: &std::path::Path,
+    config: StoreConfig,
+    program: &DynFoProgram,
+    n: u32,
+    stream: &[Request],
+    expected_seq: u64,
+) {
+    let store = SessionStore::open(root, config).unwrap();
+    let s = store.session("sess", program, n).unwrap();
+    assert_eq!(s.seq(), expected_seq, "recovered to the wrong prefix");
+    let mut reference = reference(program, n, &stream[..expected_seq as usize]);
+    assert_eq!(
+        s.state(),
+        *reference.state(),
+        "recovered state differs from uninterrupted run at seq {expected_seq}"
+    );
+    if program.name() == "reach_u" {
+        for x in 0..n {
+            assert_eq!(
+                s.query_named("connected", &[x, (x + 3) % n]).unwrap(),
+                reference.query_named("connected", &[x, (x + 3) % n]).unwrap(),
+            );
+        }
+    } else {
+        assert_eq!(s.query().unwrap(), reference.query().unwrap());
+    }
+}
+
+#[test]
+fn kill_at_every_frame_recovers_that_prefix() {
+    let n = 8;
+    let program = reach_u::program();
+    let stream = reach_stream(n, 13, 7);
+    let config = StoreConfig {
+        snapshot_every: 4,
+        group_commit: 1,
+    };
+    for kill_at in 0..=stream.len() as u64 {
+        let root = scratch_dir(&format!("kill-{kill_at}"));
+        {
+            let store = SessionStore::open(&root, config).unwrap();
+            let s = store.session("sess", &program, n).unwrap();
+            s.kill_after_frame(kill_at);
+            for r in &stream {
+                s.apply(r).unwrap();
+            }
+            store.crash();
+        }
+        assert_recovers_to_prefix(&root, config, &program, n, &stream, kill_at);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}
+
+#[test]
+fn crash_loses_exactly_the_uncommitted_group_tail() {
+    let n = 8;
+    let program = reach_u::program();
+    let stream = reach_stream(n, 8, 11);
+    let config = StoreConfig {
+        snapshot_every: 0,
+        group_commit: 3,
+    };
+    let root = scratch_dir("group-commit");
+    {
+        let store = SessionStore::open(&root, config).unwrap();
+        let s = store.session("sess", &program, n).unwrap();
+        for r in &stream {
+            s.apply(r).unwrap();
+        }
+        assert_eq!(s.seq(), 8);
+        store.crash(); // 2 frames past the last auto-commit at 6 are lost
+    }
+    assert_recovers_to_prefix(&root, config, &program, n, &stream, 6);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn torn_final_frame_recovers_all_but_the_torn_one() {
+    let n = 8;
+    let program = reach_u::program();
+    let stream = reach_stream(n, 10, 23);
+    let config = StoreConfig {
+        snapshot_every: 4,
+        group_commit: 1,
+    };
+    let root = scratch_dir("torn");
+    {
+        let store = SessionStore::open(&root, config).unwrap();
+        let s = store.session("sess", &program, n).unwrap();
+        for r in &stream {
+            s.apply(r).unwrap();
+        }
+        store.shutdown().unwrap();
+    }
+    let torn = fault::tear_final_frame(&root.join("sess")).unwrap();
+    assert_eq!(torn, Some(10), "the newest frame gets torn");
+    {
+        let store = SessionStore::open(&root, config).unwrap();
+        let s = store.session("sess", &program, n).unwrap();
+        assert!(
+            s.recovery_report()
+                .anomalies
+                .iter()
+                .any(|a| a.contains("truncated")),
+            "tear must be reported: {:?}",
+            s.recovery_report().anomalies
+        );
+    }
+    assert_recovers_to_prefix(&root, config, &program, n, &stream, 9);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn missing_snapshots_degrade_to_longer_replay_never_wrong_answers() {
+    let n = 8;
+    let program = reach_u::program();
+    let stream = reach_stream(n, 10, 31);
+    let config = StoreConfig {
+        snapshot_every: 4,
+        group_commit: 1,
+    };
+    let root = scratch_dir("missing-snap");
+    {
+        let store = SessionStore::open(&root, config).unwrap();
+        let s = store.session("sess", &program, n).unwrap();
+        for r in &stream {
+            s.apply(r).unwrap();
+        }
+        store.shutdown().unwrap();
+    }
+    let dir = root.join("sess");
+
+    // Newest snapshot (seq 8) gone: fall back to snapshot 4 and replay 6.
+    assert_eq!(fault::drop_latest_snapshot(&dir).unwrap(), Some(8));
+    {
+        let store = SessionStore::open(&root, config).unwrap();
+        let s = store.session("sess", &program, n).unwrap();
+        assert_eq!(s.recovery_report().snapshot_seq, 4);
+        assert_eq!(s.recovery_report().replayed, 6);
+    }
+    assert_recovers_to_prefix(&root, config, &program, n, &stream, 10);
+
+    // Both snapshots gone: start over from the empty structure and
+    // muddle through the whole journal.
+    assert_eq!(fault::drop_latest_snapshot(&dir).unwrap(), Some(4));
+    {
+        let store = SessionStore::open(&root, config).unwrap();
+        let s = store.session("sess", &program, n).unwrap();
+        assert_eq!(s.recovery_report().snapshot_seq, 0);
+        assert_eq!(s.recovery_report().replayed, 10);
+    }
+    assert_recovers_to_prefix(&root, config, &program, n, &stream, 10);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn corrupt_snapshot_is_detected_and_skipped() {
+    let n = 8;
+    let program = reach_u::program();
+    let stream = reach_stream(n, 10, 41);
+    let config = StoreConfig {
+        snapshot_every: 4,
+        group_commit: 1,
+    };
+    let root = scratch_dir("corrupt-snap");
+    {
+        let store = SessionStore::open(&root, config).unwrap();
+        let s = store.session("sess", &program, n).unwrap();
+        for r in &stream {
+            s.apply(r).unwrap();
+        }
+        store.shutdown().unwrap();
+    }
+    assert_eq!(
+        fault::corrupt_latest_snapshot(&root.join("sess")).unwrap(),
+        Some(8)
+    );
+    {
+        let store = SessionStore::open(&root, config).unwrap();
+        let s = store.session("sess", &program, n).unwrap();
+        assert_eq!(s.recovery_report().snapshot_seq, 4, "fell back past the bad one");
+        assert!(
+            s.recovery_report()
+                .anomalies
+                .iter()
+                .any(|a| a.contains("snapshot 8")),
+            "bad snapshot must be reported: {:?}",
+            s.recovery_report().anomalies
+        );
+    }
+    assert_recovers_to_prefix(&root, config, &program, n, &stream, 10);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn stacked_faults_still_recover_the_durable_prefix() {
+    let n = 8;
+    let program = reach_u::program();
+    let stream = reach_stream(n, 12, 53);
+    let config = StoreConfig {
+        snapshot_every: 4,
+        group_commit: 1,
+    };
+    let root = scratch_dir("stacked");
+    {
+        let store = SessionStore::open(&root, config).unwrap();
+        let s = store.session("sess", &program, n).unwrap();
+        s.kill_after_frame(10); // die after frame 10: 11, 12 never durable
+        for r in &stream {
+            s.apply(r).unwrap();
+        }
+        store.crash();
+    }
+    let dir = root.join("sess");
+    // Then the last durable frame (10) is torn, and the newest surviving
+    // snapshot (8) is corrupted on top.
+    assert_eq!(fault::tear_final_frame(&dir).unwrap(), Some(10));
+    assert_eq!(fault::corrupt_latest_snapshot(&dir).unwrap(), Some(8));
+    {
+        let store = SessionStore::open(&root, config).unwrap();
+        let s = store.session("sess", &program, n).unwrap();
+        assert_eq!(s.recovery_report().snapshot_seq, 4);
+        assert_eq!(s.recovery_report().anomalies.len(), 2, "tear + bad snapshot");
+    }
+    assert_recovers_to_prefix(&root, config, &program, n, &stream, 9);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn concurrent_sessions_from_many_threads_survive_a_crash() {
+    let root = scratch_dir("concurrent");
+    let config = StoreConfig {
+        snapshot_every: 8,
+        group_commit: 1,
+    };
+    let n = 8;
+    let reach = reach_u::program();
+    let par = parity::program();
+
+    // Live endpoint states captured at the moment of the crash.
+    let (live_states, live_seqs) = {
+        let store = Arc::new(SessionStore::open(&root, config).unwrap());
+        // Three sessions shared by four workers; each worker interleaves
+        // updates and queries on all of them.
+        let names = ["alpha", "beta", "bits"];
+        for name in names.iter().take(2) {
+            store.session(name, &reach, n).unwrap();
+        }
+        store.session("bits", &par, n).unwrap();
+
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let store = Arc::clone(&store);
+            let reach = reach.clone();
+            let par = par.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1000 + t);
+                for i in 0..25u32 {
+                    let graph = store
+                        .session(if i % 2 == 0 { "alpha" } else { "beta" }, &reach, n)
+                        .unwrap();
+                    let a = rng.gen_range(0..n);
+                    let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                    // Blind inserts/deletes may be no-ops (promise
+                    // violations are the caller's problem); REACH_u's
+                    // rules are still deterministic, which is all the
+                    // journal needs.
+                    let _ = graph.apply(&Request::ins("E", [a, b]));
+                    if rng.gen_bool(0.25) {
+                        let _ = graph.apply(&Request::del("E", [a, b]));
+                    }
+                    let _ = graph.query_named("connected", &[a, b]).unwrap();
+                    let bits = store.session("bits", &par, n).unwrap();
+                    let _ = bits.apply(&Request::ins("M", [rng.gen_range(0..n)]));
+                    let _ = bits.query().unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let states: Vec<_> = names
+            .iter()
+            .map(|name| store.get(name).unwrap().state())
+            .collect();
+        let seqs: Vec<_> = names
+            .iter()
+            .map(|name| store.get(name).unwrap().seq())
+            .collect();
+        Arc::try_unwrap(store).ok().unwrap().crash();
+        (states, seqs)
+    };
+
+    // With group_commit=1 every acknowledged request was durable, so the
+    // reopened store must land exactly on the live state.
+    let store = SessionStore::open(&root, config).unwrap();
+    for (i, name) in ["alpha", "beta", "bits"].iter().enumerate() {
+        let program = if *name == "bits" { &par } else { &reach };
+        let s = store.session(name, program, n).unwrap();
+        assert_eq!(s.seq(), live_seqs[i], "session {name} lost frames");
+        assert_eq!(s.state(), live_states[i], "session {name} diverged");
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}

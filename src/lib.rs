@@ -27,6 +27,8 @@
 //! * [`reductions`] — first-order interpretations, bounded-expansion
 //!   measurement, the Proposition 5.3 transfer theorem, configuration
 //!   graphs, COLOR-REACH, and PAD(REACH_a) (Section 5).
+//! * [`serve`] — the durable serving layer: request journal (WAL),
+//!   state snapshots, crash recovery, and a concurrent session store.
 //!
 //! ## Quick start
 //!
@@ -48,6 +50,7 @@ pub use dynfo_automata as automata;
 pub use dynfo_graph as graph;
 pub use dynfo_logic as logic;
 pub use dynfo_reductions as reductions;
+pub use dynfo_serve as serve;
 
 /// The Dyn-FO machinery and the Section 4 program library.
 pub mod core {

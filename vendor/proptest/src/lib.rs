@@ -9,8 +9,9 @@
 //! Differences from upstream, deliberate for an offline build:
 //!
 //! * **No shrinking.** A failing case panics with the generated inputs
-//!   `Debug`-printed; reproduce by re-running (seeding is deterministic
-//!   per test name and case index).
+//!   `Debug`-printed; the failing case's seed is printed to stderr, and
+//!   setting `PROPTEST_SEED=<seed>` re-runs exactly that case (seeding
+//!   is otherwise deterministic per test name and case index).
 //! * **No persistence.** `proptest-regressions` files are ignored.
 
 use rand::rngs::StdRng;
@@ -293,6 +294,44 @@ pub fn seed_for(name: &str, case: u32) -> u64 {
     h ^ ((case as u64) << 32 | case as u64)
 }
 
+/// The seed override from the `PROPTEST_SEED` environment variable, if
+/// set and parseable. When present, every `proptest!` test runs exactly
+/// one case with this seed — the reproduction knob printed on failure.
+pub fn env_seed() -> Option<u64> {
+    std::env::var("PROPTEST_SEED").ok()?.trim().parse().ok()
+}
+
+/// Drop guard that prints the failing case's seed when the test body
+/// panics, so any failure is reproducible with `PROPTEST_SEED=<seed>`.
+pub struct SeedGuard {
+    test_name: &'static str,
+    case: u32,
+    seed: u64,
+}
+
+impl SeedGuard {
+    /// Arm the guard for one case.
+    pub fn new(test_name: &'static str, case: u32, seed: u64) -> SeedGuard {
+        SeedGuard {
+            test_name,
+            case,
+            seed,
+        }
+    }
+}
+
+impl Drop for SeedGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: {} failed at case {} with seed {}; \
+                 rerun with PROPTEST_SEED={} to reproduce",
+                self.test_name, self.case, self.seed, self.seed
+            );
+        }
+    }
+}
+
 /// Common imports, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
@@ -368,8 +407,12 @@ macro_rules! proptest {
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
             let test_name = concat!(module_path!(), "::", stringify!($name));
-            for case in 0..config.cases {
-                let mut runner = $crate::TestRunner::new($crate::seed_for(test_name, case));
+            let forced = $crate::env_seed();
+            let cases = if forced.is_some() { 1 } else { config.cases };
+            for case in 0..cases {
+                let seed = forced.unwrap_or_else(|| $crate::seed_for(test_name, case));
+                let _guard = $crate::SeedGuard::new(test_name, case, seed);
+                let mut runner = $crate::TestRunner::new(seed);
                 $(let $arg = $crate::Strategy::sample(&$strat, &mut runner);)+
                 // One closure per case so `?`/control flow in the body
                 // stays local, as in upstream.
