@@ -10,6 +10,9 @@ pub mod programs;
 pub mod program;
 pub mod request;
 
-pub use machine::{check_memoryless, run_with_oracle, DynFoMachine, MachineError, MachineStats};
+pub use machine::{
+    check_memoryless, run_with_oracle, BatchError, DynFoMachine, InstallMode, InstallStats,
+    MachineError, MachineStats,
+};
 pub use program::{DynFoProgram, Init, ProgramBuilder, UpdateRule};
 pub use request::{apply_to_input, eval_requests, Op, Request, RequestError, RequestKind};

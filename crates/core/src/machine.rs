@@ -9,11 +9,14 @@
 
 use crate::program::{DynFoProgram, UpdateRule};
 use crate::request::{apply_to_input, Op, Request, RequestError, RequestKind};
+use dynfo_logic::eval::delta::{install_plan, DeltaMode, InstallPlan};
 use dynfo_logic::eval::{Evaluator, SubformulaCache};
 use dynfo_logic::formula::{Formula, Term};
-use dynfo_logic::{Elem, EvalError, EvalStats, Relation, Structure, Sym, Tuple};
+use dynfo_logic::parallel::EvalPool;
+use dynfo_logic::{Elem, EvalError, EvalStats, RelId, Relation, Structure, Sym, Tuple};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Mutex;
 
 /// Why a machine operation failed.
 ///
@@ -58,6 +61,37 @@ impl From<EvalError> for MachineError {
     }
 }
 
+/// Why a batch failed, and how much of it took effect first.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BatchError {
+    /// Index of the offending request within the batch.
+    pub index: usize,
+    /// Requests applied before the failure. Validation runs over the
+    /// whole batch up front, so a malformed frame has `applied == 0`
+    /// and the machine untouched; an evaluation failure mid-batch
+    /// leaves the prefix applied, exactly like sequential
+    /// [`DynFoMachine::apply_all`].
+    pub applied: usize,
+    /// The underlying failure.
+    pub error: MachineError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batch failed at request {} ({} applied): {}",
+            self.index, self.applied, self.error
+        )
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
 /// Cumulative execution statistics.
 #[derive(Clone, Copy, Default, Debug)]
 pub struct MachineStats {
@@ -69,6 +103,40 @@ pub struct MachineStats {
     pub update_work: EvalStats,
     /// Evaluator work across all queries.
     pub query_work: EvalStats,
+    /// How general-rule results reached the auxiliary structure.
+    pub installs: InstallStats,
+}
+
+/// Counters for the install phase of updates: how each general rule's
+/// result reached its target relation. Together they witness the delta
+/// pipeline's claim — in [`InstallMode::Delta`], `rebuilds` stays 0 and
+/// an unchanged target costs no allocation (`unchanged` counts those).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct InstallStats {
+    /// General-rule evaluations whose install plan was empty: the
+    /// target was already correct, so nothing was written, allocated,
+    /// or invalidated.
+    pub unchanged: usize,
+    /// In-place delta installs (≥ 1 tuple added or removed).
+    pub delta: usize,
+    /// Full `Relation` constructions followed by a wholesale slot
+    /// replacement — the pre-delta path, taken only in
+    /// [`InstallMode::Rebuild`].
+    pub rebuilds: usize,
+    /// Tuples inserted by delta installs.
+    pub tuples_added: usize,
+    /// Tuples removed by delta installs.
+    pub tuples_removed: usize,
+    /// Rules evaluated in the restricted grow-only delta mode.
+    pub grow_evals: usize,
+    /// Rules evaluated in shrink-only mode.
+    pub shrink_evals: usize,
+    /// Rules routed through per-request guard refinement: closed guards
+    /// (params/constants only) evaluated first, then the surviving
+    /// disjuncts decide between no-op, grow, shrink, and full diff.
+    pub guarded_evals: usize,
+    /// Rules evaluated by conservative full evaluation.
+    pub full_evals: usize,
 }
 
 /// How one update rule is executed (compiled once per machine).
@@ -80,8 +148,103 @@ enum RulePlan {
     InsertCopy,
     /// The standard delete copy `R(x̄) ∧ x̄ ≠ ?̄`: old minus the tuple.
     DeleteCopy,
-    /// Full evaluation through the (cached) evaluator.
-    General,
+    /// Evaluation through the (cached) evaluator, with the install
+    /// strategy the rule's shape admits.
+    General(GeneralPlan),
+}
+
+/// The delta strategy compiled for a general rule (see
+/// [`dynfo_logic::eval::delta`]). Detection is purely syntactic on the
+/// canonical stored formula, so a plan is a *guarantee*, never a guess:
+///
+/// * `Grow(ψ)` — the formula is `T(x̄) ∨ ψ` with `T` the rule's own
+///   target read back exactly (declared variables, declared order, all
+///   distinct). The target only grows, so only `ψ` is evaluated and the
+///   old relation is never rescanned.
+/// * `Shrink` — the formula is `T(x̄) ∧ ψ` with the same exact
+///   self-atom. The new value is a subset of the old; one sorted merge
+///   yields the removals.
+/// * `Guarded` — the formula is a disjunction whose disjuncts carry
+///   *closed* guards (conjuncts with no free variables — only request
+///   params and constants, e.g. `F(?0,?1)` in REACH_u's PV-delete).
+///   Guards are evaluated first, per request; disjuncts whose guard
+///   fails are dropped, and the plan for the *surviving* disjuncts is
+///   chosen at runtime: all-identity → no-op without scanning the
+///   target, identity + ψ → grow, self-restrictions only → shrink,
+///   anything else → full diff of the pruned disjunction. This is the
+///   delta pipeline's parameter restriction: the common REACH_u delete
+///   of a non-forest edge costs one `F(?0,?1)` probe instead of an
+///   O(n³) PV copy.
+/// * `Full` — anything else: evaluate the whole formula and diff by
+///   sorted merge. Still installs in place; "full" refers to the
+///   evaluation, not to any relation rebuild.
+#[derive(Clone, Debug)]
+enum GeneralPlan {
+    Grow(Formula),
+    Shrink,
+    Guarded(GuardedPlan),
+    Full,
+}
+
+/// A disjunction compiled for per-request guard refinement.
+#[derive(Clone, Debug)]
+struct GuardedPlan {
+    disjuncts: Vec<GuardedDisjunct>,
+}
+
+/// One disjunct of a [`GuardedPlan`]: `γ₁ ∧ … ∧ γ_g ∧ body`, with every
+/// `γᵢ` closed. The disjunct contributes nothing to the request's result
+/// unless all its guards hold (γ ∧ body ≡ body when γ is true, ≡ ⊥ when
+/// false).
+#[derive(Clone, Debug)]
+struct GuardedDisjunct {
+    /// Closed conjuncts (no free variables; params and constants only).
+    guards: Vec<Formula>,
+    body: DisjunctBody,
+}
+
+/// What a guarded disjunct contributes once its guards hold.
+#[derive(Clone, Debug)]
+enum DisjunctBody {
+    /// Exactly the rule's self-atom `T(x̄)`: every old tuple survives.
+    /// No evaluation, no scan.
+    SelfIdentity,
+    /// A conjunction containing the self-atom positively (`T(x̄) ∧ ρ`,
+    /// guards stripped): contributes a *subset* of the old target.
+    SelfRestrict(Formula),
+    /// Any other residual ψ (guards stripped; `True` if the disjunct
+    /// was pure guard).
+    Other(Formula),
+}
+
+/// How general-rule results are installed into the auxiliary structure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InstallMode {
+    /// Plan each update as an explicit delta and mutate the target in
+    /// place (the default). Unchanged targets cost zero allocation and
+    /// the O(|R|) whole-relation equality diff disappears.
+    Delta,
+    /// Materialize a fresh `Relation` per rule and replace the slot when
+    /// it differs, evaluating with the baseline conjunct planner (no
+    /// guard short-circuiting) — the pre-delta executor, kept as the
+    /// differential baseline for tests and benchmarks.
+    Rebuild,
+}
+
+/// What a general-rule evaluation asks the install phase to do.
+#[derive(Clone, Debug)]
+enum GeneralOutcome {
+    Plan(InstallPlan),
+    Rebuild(Relation),
+}
+
+/// Reusable per-request buffers (satellite of the batched pipeline:
+/// `apply` allocates nothing for bookkeeping on the hot path).
+#[derive(Clone, Debug, Default)]
+struct Scratch {
+    params: Vec<Elem>,
+    installs: Vec<(RelId, Sym, GeneralOutcome)>,
+    fast_ops: Vec<(RelId, Sym, bool)>,
 }
 
 /// A running instance of a Dyn-FO program.
@@ -93,10 +256,17 @@ pub struct DynFoMachine {
     /// Per-(kind, rule-index) execution plans, compiled at construction.
     plans: BTreeMap<RequestKind, Vec<RulePlan>>,
     /// Subformula results kept warm across requests; entries are
-    /// invalidated when a relation they read changes ([`Self::apply`]
-    /// diffs every installed update), and the whole cache drops when a
-    /// constant changes.
+    /// invalidated when a relation they read changes (every install is
+    /// an explicit delta) or, for entries reading a constant, when that
+    /// constant is `set`.
     cache: SubformulaCache,
+    /// Delta installs (default) or the rebuild baseline.
+    install_mode: InstallMode,
+    /// Worker threads for scheduling general rules within one request
+    /// (1 = serial).
+    parallelism: usize,
+    /// Reused per-request buffers; empty between calls.
+    scratch: Scratch,
 }
 
 impl DynFoMachine {
@@ -109,6 +279,9 @@ impl DynFoMachine {
             state,
             stats: MachineStats::default(),
             cache: SubformulaCache::new(),
+            install_mode: InstallMode::Delta,
+            parallelism: 1,
+            scratch: Scratch::default(),
         }
     }
 
@@ -162,7 +335,47 @@ impl DynFoMachine {
             state,
             stats: MachineStats::default(),
             cache: SubformulaCache::new(),
+            install_mode: InstallMode::Delta,
+            parallelism: 1,
+            scratch: Scratch::default(),
         })
+    }
+
+    /// How general-rule results are installed (delta by default).
+    pub fn install_mode(&self) -> InstallMode {
+        self.install_mode
+    }
+
+    /// Select delta installs or the rebuild baseline. Both produce the
+    /// same state; the property tests hold them against each other.
+    pub fn set_install_mode(&mut self, mode: InstallMode) {
+        self.install_mode = mode;
+    }
+
+    /// Builder form of [`DynFoMachine::set_install_mode`].
+    pub fn with_install_mode(mut self, mode: InstallMode) -> DynFoMachine {
+        self.install_mode = mode;
+        self
+    }
+
+    /// Worker threads used to schedule general rules within one request.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Schedule general update rules across `threads` pool workers
+    /// (clamped to ≥ 1; 1 means the serial loop). Rules of one request
+    /// write disjoint targets and read only the pre-state, so the
+    /// parallel schedule is deterministic: worker stats and caches are
+    /// merged back in rule order.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.parallelism = threads.max(1);
+    }
+
+    /// Builder form of [`DynFoMachine::set_parallelism`].
+    pub fn with_parallelism(mut self, threads: usize) -> DynFoMachine {
+        self.set_parallelism(threads);
+        self
     }
 
     /// The cross-request subformula cache (diagnostics, benches).
@@ -213,21 +426,66 @@ impl DynFoMachine {
     /// frame leaves the machine untouched.
     pub fn apply(&mut self, req: &Request) -> Result<EvalStats, MachineError> {
         req.validate(self.program.input_vocab(), self.n())?;
-        let params = req.params();
-        let n = self.state.size();
-        let kind = req.kind();
+        self.apply_validated(req)
+    }
+
+    /// [`DynFoMachine::apply`] minus validation (the batch path
+    /// validates every frame up front).
+    fn apply_validated(&mut self, req: &Request) -> Result<EvalStats, MachineError> {
+        let mut params = std::mem::take(&mut self.scratch.params);
+        req.params_into(&mut params);
+        let out = self.update_with_params(req, &params);
+        params.clear();
+        self.scratch.params = params;
+        out
+    }
+
+    fn update_with_params(
+        &mut self,
+        req: &Request,
+        params: &[Elem],
+    ) -> Result<EvalStats, MachineError> {
+        debug_assert!(!matches!(req.kind().op, Op::Set) || !params.is_empty());
+        // Scratch buffers are owned by the machine and reused across
+        // requests; take them out for the duration of this update and
+        // put them back (cleared, capacity intact) on every exit path.
+        let mut installs = std::mem::take(&mut self.scratch.installs);
+        let mut fast_ops = std::mem::take(&mut self.scratch.fast_ops);
+        let evaled = self.eval_rules(req.kind(), params, &mut installs, &mut fast_ops);
+        let out = match evaled {
+            Ok(work) => {
+                self.install(req, params, &mut installs, &fast_ops);
+                self.stats.requests += 1;
+                self.stats.update_work.absorb(&work);
+                Ok(work)
+            }
+            Err(e) => Err(e),
+        };
+        installs.clear();
+        fast_ops.clear();
+        self.scratch.installs = installs;
+        self.scratch.fast_ops = fast_ops;
+        out
+    }
+
+    /// Evaluate every rule matching `kind` against the pre-state.
+    /// Fast-path rules only *read* their own target, so their in-place
+    /// mutation is deferred to the install phase together with the
+    /// general results (simultaneous semantics).
+    fn eval_rules(
+        &mut self,
+        kind: RequestKind,
+        params: &[Elem],
+        installs: &mut Vec<(RelId, Sym, GeneralOutcome)>,
+        fast_ops: &mut Vec<(RelId, Sym, bool)>,
+    ) -> Result<EvalStats, MachineError> {
         let rules = self.program.rules_for(kind);
         let no_plans = Vec::new();
         let plans = self.plans.get(&kind).unwrap_or(&no_plans);
         debug_assert_eq!(rules.len(), plans.len());
-        let mut work = EvalStats::default();
+        let mode = self.install_mode;
 
-        // Evaluate the general rules against the pre-state; fast-path
-        // rules only *read* their own target, so their in-place mutation
-        // is deferred until after every evaluation (simultaneous
-        // semantics).
-        let mut installs = Vec::new();
-        let mut fast_ops: Vec<(dynfo_logic::RelId, Sym, bool)> = Vec::new();
+        let mut generals: Vec<(&UpdateRule, &GeneralPlan, RelId)> = Vec::new();
         for (rule, plan) in rules.iter().zip(plans) {
             let id = self
                 .state
@@ -237,48 +495,114 @@ impl DynFoMachine {
             match plan {
                 RulePlan::InsertCopy => fast_ops.push((id, rule.target, true)),
                 RulePlan::DeleteCopy => fast_ops.push((id, rule.target, false)),
-                RulePlan::General => {
-                    let mut ev = Evaluator::with_cache(&self.state, &params, &mut self.cache);
-                    let table = ev.eval(&rule.formula)?;
-                    work.absorb(&ev.stats());
-                    let aligned = if rule.vars.is_empty() {
-                        table
-                    } else {
-                        // Simplification may erase a declared variable
-                        // from the stored formula (e.g. a tautological
-                        // `x = x` conjunct); such a variable is
-                        // unconstrained — extend it over the whole
-                        // universe before projecting to column order.
-                        let mut t = table;
-                        for &v in &rule.vars {
-                            if t.col(v).is_none() {
-                                t = t.extend(v, n);
-                            }
-                        }
-                        t.project(&rule.vars)
-                    };
-                    let relation = Relation::from_tuples_with_universe(
-                        rule.vars.len(),
-                        n,
-                        aligned.rows().iter().copied(),
-                    );
-                    installs.push((id, rule.target, relation));
-                }
+                RulePlan::General(g) => generals.push((rule, g, id)),
             }
         }
 
-        // Simultaneous install, diffing each relation so unchanged
-        // targets neither reallocate nor invalidate cache entries.
+        let mut work = EvalStats::default();
+        if self.parallelism > 1 && generals.len() > 1 {
+            // One job per general rule. The program builder rejects two
+            // rules with the same (kind, target), so rules write
+            // disjoint targets; all of them read the shared pre-state
+            // and the shared cache read-only. Each worker fills a
+            // result slot plus a private overlay cache, and the host
+            // merges slots *in rule order*, so stats, cache contents,
+            // and installs are identical to the serial schedule.
+            type WorkerOut = (
+                Result<GeneralOutcome, EvalError>,
+                EvalStats,
+                SubformulaCache,
+            );
+            let pool = EvalPool::global(self.parallelism);
+            let slots: Vec<Mutex<Option<WorkerOut>>> =
+                generals.iter().map(|_| Mutex::new(None)).collect();
+            {
+                let state = &self.state;
+                let base = &self.cache;
+                let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> =
+                    Vec::with_capacity(generals.len());
+                for (&(rule, gplan, id), slot) in generals.iter().zip(&slots) {
+                    jobs.push(Box::new(move || {
+                        let mut local = SubformulaCache::new();
+                        let mut ev =
+                            Evaluator::with_overlay_cache(state, params, base, &mut local);
+                        if mode == InstallMode::Rebuild {
+                            // The baseline executor measures the
+                            // pre-delta planner: no short-circuiting.
+                            ev.set_short_circuit(false);
+                        }
+                        let res = eval_general(state, rule, gplan, mode, id, &mut ev);
+                        let stats = ev.stats();
+                        drop(ev);
+                        *slot.lock().unwrap() = Some((res, stats, local));
+                    }));
+                }
+                pool.run_scoped(jobs);
+            }
+            for (&(rule, gplan, id), slot) in generals.iter().zip(slots) {
+                let (res, stats, local) = slot
+                    .into_inner()
+                    .unwrap()
+                    .expect("eval worker filled its slot");
+                work.absorb(&stats);
+                self.cache.absorb(local);
+                let outcome = res?;
+                self.stats.installs.note_eval(gplan, mode);
+                installs.push((id, rule.target, outcome));
+            }
+        } else {
+            for (rule, gplan, id) in generals {
+                let mut ev = Evaluator::with_cache(&self.state, params, &mut self.cache);
+                if mode == InstallMode::Rebuild {
+                    ev.set_short_circuit(false);
+                }
+                let res = eval_general(&self.state, rule, gplan, mode, id, &mut ev);
+                work.absorb(&ev.stats());
+                let outcome = res?;
+                self.stats.installs.note_eval(gplan, mode);
+                installs.push((id, rule.target, outcome));
+            }
+        }
+        Ok(work)
+    }
+
+    /// Install evaluated results and fast ops simultaneously, then
+    /// bring the cache (and, for `set`, the constant copy) up to date.
+    fn install(
+        &mut self,
+        req: &Request,
+        params: &[Elem],
+        installs: &mut Vec<(RelId, Sym, GeneralOutcome)>,
+        fast_ops: &[(RelId, Sym, bool)],
+    ) {
         let mut changed: BTreeSet<Sym> = BTreeSet::new();
-        for (id, target, relation) in installs {
-            if *self.state.relation(id) != relation {
-                changed.insert(target);
-                self.state.set_relation(id, relation);
+        for (id, target, outcome) in installs.drain(..) {
+            match outcome {
+                GeneralOutcome::Plan(plan) => {
+                    if plan.is_noop() {
+                        // The evaluation confirmed the target: no write,
+                        // no allocation, no cache eviction.
+                        self.stats.installs.unchanged += 1;
+                    } else {
+                        self.stats.installs.delta += 1;
+                        self.stats.installs.tuples_added += plan.added.len();
+                        self.stats.installs.tuples_removed += plan.removed.len();
+                        self.state.apply_delta(id, &plan.added, &plan.removed);
+                        changed.insert(target);
+                    }
+                }
+                GeneralOutcome::Rebuild(relation) => {
+                    self.stats.installs.rebuilds += 1;
+                    if *self.state.relation(id) != relation {
+                        changed.insert(target);
+                        self.state.set_relation(id, relation);
+                    }
+                }
             }
         }
         if !fast_ops.is_empty() {
-            let tuple = Tuple::from_slice(&params);
-            for (id, target, is_insert) in fast_ops {
+            let tuple = Tuple::from_slice(params);
+            for &(id, target, is_insert) in fast_ops {
                 let rel = self.state.relation_mut(id);
                 let did = if is_insert {
                     rel.insert(tuple)
@@ -293,23 +617,21 @@ impl DynFoMachine {
 
         // `set` requests update the stored constant copy directly (the
         // auxiliary structure mirrors input constants; programs may add
-        // rules on top). Cached tables may depend on constants, so the
-        // whole cache drops.
+        // rules on top). Only cached tables that actually read the
+        // constant can go stale — parameter dependence is part of the
+        // cache key — so eviction is by constant read-set, not a full
+        // clear.
         if let Request::Set(sym, value) = req {
             if self.state.vocab().constant(*sym).is_some() {
                 self.state.set_const(sym.as_str(), *value);
             }
-            self.cache.clear();
-        } else if !changed.is_empty() {
+            let mut consts = BTreeSet::new();
+            consts.insert(*sym);
+            self.cache.invalidate_consts(&consts);
+        }
+        if !changed.is_empty() {
             self.cache.invalidate_reads(&changed);
         }
-        debug_assert!(
-            !matches!(req.kind().op, Op::Set) || !req.params().is_empty()
-        );
-
-        self.stats.requests += 1;
-        self.stats.update_work.absorb(&work);
-        Ok(work)
     }
 
     /// Apply a sequence of requests, stopping at the first failure.
@@ -318,6 +640,127 @@ impl DynFoMachine {
             self.apply(r)?;
         }
         Ok(())
+    }
+
+    /// Apply a batch of requests as one pipeline pass.
+    ///
+    /// The whole batch is validated up front, so a malformed frame
+    /// rejects the batch with *nothing* applied (`applied == 0`) and
+    /// the machine untouched — a serving layer can refuse the frame
+    /// before journaling anything. After validation the batch is
+    /// equivalent to sequential [`DynFoMachine::apply_all`], but runs
+    /// of consecutive requests whose kinds compile entirely to
+    /// input-copy fast paths are coalesced: they mutate tuples directly,
+    /// share one cache-invalidation pass at the run boundary (sound
+    /// because no formula is evaluated inside the run), and consecutive
+    /// duplicate requests are skipped outright — insert/delete copies
+    /// are idempotent, so the repeat cannot change state and its tuple
+    /// is never even built.
+    ///
+    /// Returns the summed evaluator work. An evaluation failure
+    /// mid-batch leaves the prefix applied and reports both the failing
+    /// index and the applied count.
+    pub fn apply_batch(&mut self, reqs: &[Request]) -> Result<EvalStats, BatchError> {
+        for (index, r) in reqs.iter().enumerate() {
+            if let Err(e) = r.validate(self.program.input_vocab(), self.n()) {
+                return Err(BatchError {
+                    index,
+                    applied: 0,
+                    error: e.into(),
+                });
+            }
+        }
+        let mut work = EvalStats::default();
+        let mut i = 0;
+        while i < reqs.len() {
+            let run = reqs[i..]
+                .iter()
+                .take_while(|r| self.is_fast_only(r))
+                .count();
+            if run > 0 {
+                self.apply_fast_run(&reqs[i..i + run]);
+                i += run;
+            } else {
+                match self.apply_validated(&reqs[i]) {
+                    Ok(w) => work.absorb(&w),
+                    Err(error) => {
+                        return Err(BatchError {
+                            index: i,
+                            applied: i,
+                            error,
+                        })
+                    }
+                }
+                i += 1;
+            }
+        }
+        Ok(work)
+    }
+
+    /// True iff every rule for this request's kind is an input-copy
+    /// fast path — applying it cannot evaluate a formula. (A kind with
+    /// no rules at all is vacuously fast: the request is a no-op.)
+    fn is_fast_only(&self, req: &Request) -> bool {
+        if matches!(req, Request::Set(..)) {
+            return false;
+        }
+        match self.plans.get(&req.kind()) {
+            None => true,
+            Some(plans) => plans
+                .iter()
+                .all(|p| !matches!(p, RulePlan::General(_))),
+        }
+    }
+
+    /// Apply a coalesced run of fast-only requests (see
+    /// [`DynFoMachine::apply_batch`]). Infallible: the requests are
+    /// pre-validated and no evaluation happens.
+    fn apply_fast_run(&mut self, reqs: &[Request]) {
+        let mut changed: BTreeSet<Sym> = BTreeSet::new();
+        let mut params = std::mem::take(&mut self.scratch.params);
+        let mut prev: Option<&Request> = None;
+        for req in reqs {
+            self.stats.requests += 1;
+            if prev == Some(req) {
+                continue;
+            }
+            prev = Some(req);
+            let kind = req.kind();
+            let Some(plans) = self.plans.get(&kind) else {
+                continue;
+            };
+            let rules = self.program.rules_for(kind);
+            req.params_into(&mut params);
+            let tuple = Tuple::from_slice(&params);
+            for (rule, plan) in rules.iter().zip(plans) {
+                let is_insert = match plan {
+                    RulePlan::InsertCopy => true,
+                    RulePlan::DeleteCopy => false,
+                    RulePlan::General(_) => unreachable!("fast run contains general rule"),
+                };
+                let id = self
+                    .state
+                    .vocab()
+                    .relation(rule.target)
+                    .expect("rule target exists in aux vocab");
+                let rel = self.state.relation_mut(id);
+                let did = if is_insert {
+                    rel.insert(tuple)
+                } else {
+                    rel.remove(&tuple)
+                };
+                if did {
+                    changed.insert(rule.target);
+                }
+            }
+        }
+        params.clear();
+        self.scratch.params = params;
+        // Read-set invalidation is monotone, so one pass over the union
+        // of changed targets equals the per-request passes it replaces.
+        if !changed.is_empty() {
+            self.cache.invalidate_reads(&changed);
+        }
     }
 
     /// Answer the program's boolean query.
@@ -370,18 +813,21 @@ fn compile_plans(program: &DynFoProgram) -> BTreeMap<RequestKind, Vec<RulePlan>>
 /// Decide how an update rule executes: detect the two canonical
 /// input-copy shapes (what [`crate::program::input_copy_rules`] produces,
 /// after simplification and canonicalization) and compile them to O(1)
-/// tuple mutations; everything else evaluates normally.
+/// tuple mutations; detect grow-/shrink-only shapes for the delta
+/// planner; everything else evaluates in full.
 ///
 /// * insert: `R(x₀,…,x_{k−1}) ∨ ⋀ᵢ xᵢ = ?ᵢ`
 /// * delete: `R(x₀,…,x_{k−1}) ∧ (⋁ᵢ xᵢ ≠ ?ᵢ … negation pushed inward)`
+/// * grow:   `T(x̄) ∨ ψ` — target can only gain tuples (see [`GeneralPlan`])
+/// * shrink: `T(x̄) ∧ ψ` — target can only lose tuples
 fn classify_rule(rule: &UpdateRule) -> RulePlan {
-    // The fast path computes `old ∪/∖ {params}` for the rule's own
+    // Every special shape computes a set operation on the rule's own
     // target; the atom must read exactly the target with the declared
     // variables in declared order, each distinct.
     let k = rule.vars.len();
     let distinct: BTreeSet<Sym> = rule.vars.iter().copied().collect();
     if k == 0 || distinct.len() != k {
-        return RulePlan::General;
+        return RulePlan::General(GeneralPlan::Full);
     }
     let is_target_atom = |f: &Formula| -> bool {
         matches!(f, Formula::Rel { name, args }
@@ -390,36 +836,244 @@ fn classify_rule(rule: &UpdateRule) -> RulePlan {
                 && args.iter().zip(&rule.vars).all(|(a, v)| *a == Term::Var(*v)))
     };
     match &rule.formula {
-        Formula::Or(parts) if parts.len() == 2 => {
-            let eqs = if is_target_atom(&parts[0]) {
-                &parts[1]
-            } else if is_target_atom(&parts[1]) {
-                &parts[0]
-            } else {
-                return RulePlan::General;
+        Formula::Or(parts) => {
+            let Some(self_at) = parts.iter().position(is_target_atom) else {
+                return RulePlan::General(classify_guarded(parts, &is_target_atom));
             };
-            if eq_conjunction_matches(eqs, &rule.vars, false) {
-                RulePlan::InsertCopy
-            } else {
-                RulePlan::General
+            if parts.len() == 2 && eq_conjunction_matches(&parts[1 - self_at], &rule.vars, false) {
+                return RulePlan::InsertCopy;
             }
-        }
-        Formula::And(parts) if parts.len() == 2 => {
-            let neqs = if is_target_atom(&parts[0]) {
-                &parts[1]
-            } else if is_target_atom(&parts[1]) {
-                &parts[0]
-            } else {
-                return RulePlan::General;
+            // `T(x̄) ∨ ψ`: evaluate only ψ; the old target survives.
+            let rest: Vec<Formula> = parts
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != self_at)
+                .map(|(_, f)| f.clone())
+                .collect();
+            let psi = match rest.len() {
+                0 => return RulePlan::General(GeneralPlan::Full), // `T ∨ T`? keep it simple
+                1 => rest.into_iter().next().expect("one disjunct"),
+                _ => Formula::Or(rest),
             };
-            if eq_conjunction_matches(neqs, &rule.vars, true) {
-                RulePlan::DeleteCopy
-            } else {
-                RulePlan::General
-            }
+            RulePlan::General(GeneralPlan::Grow(psi))
         }
-        _ => RulePlan::General,
+        Formula::And(parts) => {
+            let Some(self_at) = parts.iter().position(is_target_atom) else {
+                return RulePlan::General(GeneralPlan::Full);
+            };
+            if parts.len() == 2 && eq_conjunction_matches(&parts[1 - self_at], &rule.vars, true) {
+                return RulePlan::DeleteCopy;
+            }
+            // `T(x̄) ∧ ψ`: the result is a subset of the old target.
+            RulePlan::General(GeneralPlan::Shrink)
+        }
+        _ => RulePlan::General(GeneralPlan::Full),
     }
+}
+
+impl InstallStats {
+    /// Count which evaluation mode a general rule took.
+    fn note_eval(&mut self, plan: &GeneralPlan, mode: InstallMode) {
+        match (mode, plan) {
+            (InstallMode::Delta, GeneralPlan::Grow(_)) => self.grow_evals += 1,
+            (InstallMode::Delta, GeneralPlan::Shrink) => self.shrink_evals += 1,
+            (InstallMode::Delta, GeneralPlan::Guarded(_)) => self.guarded_evals += 1,
+            _ => self.full_evals += 1,
+        }
+    }
+}
+
+/// Try to compile a self-atom-free disjunction into a [`GuardedPlan`]:
+/// split each disjunct into closed guards (no free variables) and a
+/// body, and classify the body against the rule's target. Worth doing
+/// only when at least one disjunct actually has a guard *and* at least
+/// one body reads the target back (identity or restriction) — otherwise
+/// runtime refinement can never beat plain full evaluation.
+fn classify_guarded(parts: &[Formula], is_target_atom: &dyn Fn(&Formula) -> bool) -> GeneralPlan {
+    use dynfo_logic::analysis::free_vars;
+    let mut disjuncts = Vec::with_capacity(parts.len());
+    let mut any_guard = false;
+    let mut any_self = false;
+    for part in parts {
+        let conjuncts: Vec<&Formula> = match part {
+            Formula::And(fs) => fs.iter().collect(),
+            single => vec![single],
+        };
+        let (guards, rest): (Vec<&Formula>, Vec<&Formula>) = conjuncts
+            .into_iter()
+            .partition(|f| free_vars(f).is_empty());
+        any_guard |= !guards.is_empty();
+        let body = if rest.len() == 1 && is_target_atom(rest[0]) {
+            any_self = true;
+            DisjunctBody::SelfIdentity
+        } else if rest.iter().any(|f| is_target_atom(f)) {
+            // The self-atom is a positive conjunct, so the body denotes
+            // a subset of the old target.
+            any_self = true;
+            DisjunctBody::SelfRestrict(Formula::And(rest.into_iter().cloned().collect()))
+        } else {
+            DisjunctBody::Other(match rest.len() {
+                0 => Formula::True, // pure guard: contributes all tuples
+                1 => rest[0].clone(),
+                _ => Formula::And(rest.into_iter().cloned().collect()),
+            })
+        };
+        disjuncts.push(GuardedDisjunct {
+            guards: guards.into_iter().cloned().collect(),
+            body,
+        });
+    }
+    if any_guard && any_self {
+        GeneralPlan::Guarded(GuardedPlan { disjuncts })
+    } else {
+        GeneralPlan::Full
+    }
+}
+
+/// Evaluate one general rule against the pre-state and decide its
+/// install action. Shared verbatim between the serial loop and the
+/// parallel scheduler (which passes an overlay-cache evaluator).
+fn eval_general(
+    st: &Structure,
+    rule: &UpdateRule,
+    plan: &GeneralPlan,
+    mode: InstallMode,
+    id: RelId,
+    ev: &mut Evaluator<'_>,
+) -> Result<GeneralOutcome, EvalError> {
+    let n = st.size();
+    if let (InstallMode::Delta, GeneralPlan::Guarded(gp)) = (mode, plan) {
+        return eval_guarded(st, rule, gp, id, ev);
+    }
+    // In delta mode a Grow rule evaluates only its ψ; every other
+    // combination evaluates the stored formula in full.
+    let formula = match (mode, plan) {
+        (InstallMode::Delta, GeneralPlan::Grow(psi)) => psi,
+        _ => &rule.formula,
+    };
+    let table = ev.eval(formula)?;
+    let rows = align_to_rule(table, rule, n);
+    match mode {
+        InstallMode::Rebuild => Ok(GeneralOutcome::Rebuild(Relation::from_tuples_with_universe(
+            rule.vars.len(),
+            n,
+            rows,
+        ))),
+        InstallMode::Delta => {
+            let delta_mode = match plan {
+                GeneralPlan::Grow(_) => DeltaMode::Grow,
+                GeneralPlan::Shrink => DeltaMode::Shrink,
+                GeneralPlan::Guarded(_) => unreachable!("guarded handled above"),
+                GeneralPlan::Full => DeltaMode::Full,
+            };
+            Ok(GeneralOutcome::Plan(install_plan(
+                delta_mode,
+                st.relation(id),
+                &rows,
+            )))
+        }
+    }
+}
+
+/// Project an evaluated table to the rule's declared variables and
+/// return its rows sorted and duplicate-free — the merge diff's
+/// precondition, re-asserted cheaply (near-linear on sorted input) so
+/// it never depends on table internals.
+fn align_to_rule(table: dynfo_logic::Table, rule: &UpdateRule, n: Elem) -> Vec<Tuple> {
+    let aligned = if rule.vars.is_empty() {
+        table
+    } else {
+        // Simplification may erase a declared variable from the stored
+        // formula (e.g. a tautological `x = x` conjunct); such a
+        // variable is unconstrained — extend it over the whole universe
+        // before projecting to column order.
+        let mut t = table;
+        for &v in &rule.vars {
+            if t.col(v).is_none() {
+                t = t.extend(v, n);
+            }
+        }
+        t.project(&rule.vars)
+    };
+    let mut rows = aligned.into_rows();
+    rows.sort_unstable();
+    rows.dedup();
+    rows
+}
+
+/// Execute a [`GuardedPlan`]: evaluate each disjunct's closed guards
+/// against the pre-state (params bound, results cached like any other
+/// subformula), drop the disjuncts whose guard fails, and pick the
+/// cheapest sound install strategy for the survivors.
+fn eval_guarded(
+    st: &Structure,
+    rule: &UpdateRule,
+    gp: &GuardedPlan,
+    id: RelId,
+    ev: &mut Evaluator<'_>,
+) -> Result<GeneralOutcome, EvalError> {
+    let n = st.size();
+    let mut live: Vec<&DisjunctBody> = Vec::with_capacity(gp.disjuncts.len());
+    'disjuncts: for d in &gp.disjuncts {
+        for g in &d.guards {
+            if !ev.eval(g)?.as_bool() {
+                continue 'disjuncts;
+            }
+        }
+        live.push(&d.body);
+    }
+    let any_identity = live
+        .iter()
+        .any(|b| matches!(b, DisjunctBody::SelfIdentity));
+    let (formulas, delta_mode): (Vec<&Formula>, DeltaMode) = if any_identity {
+        // A live identity disjunct keeps every old tuple, so the target
+        // can only grow; restriction bodies (subsets of the old target)
+        // are subsumed and skipped entirely.
+        let others: Vec<&Formula> = live
+            .iter()
+            .filter_map(|b| match b {
+                DisjunctBody::Other(f) => Some(f),
+                _ => None,
+            })
+            .collect();
+        if others.is_empty() {
+            // Every surviving disjunct re-reads the target: T′ = T,
+            // decided without scanning a single tuple.
+            return Ok(GeneralOutcome::Plan(InstallPlan::default()));
+        }
+        (others, DeltaMode::Grow)
+    } else {
+        let all_restrict = live
+            .iter()
+            .all(|b| matches!(b, DisjunctBody::SelfRestrict(_)));
+        let fs: Vec<&Formula> = live
+            .iter()
+            .map(|b| match b {
+                DisjunctBody::SelfRestrict(f) | DisjunctBody::Other(f) => f,
+                DisjunctBody::SelfIdentity => unreachable!("identity handled above"),
+            })
+            .collect();
+        if fs.is_empty() {
+            // Every guard failed: T′ = ∅.
+            return Ok(GeneralOutcome::Plan(install_plan(
+                DeltaMode::Full,
+                st.relation(id),
+                &[],
+            )));
+        }
+        (fs, if all_restrict { DeltaMode::Shrink } else { DeltaMode::Full })
+    };
+    let mut rows: Vec<Tuple> = Vec::new();
+    for f in formulas {
+        rows.extend(align_to_rule(ev.eval(f)?, rule, n));
+    }
+    rows.sort_unstable();
+    rows.dedup();
+    Ok(GeneralOutcome::Plan(install_plan(
+        delta_mode,
+        st.relation(id),
+        &rows,
+    )))
 }
 
 /// Does `f` say `⋀ᵢ xᵢ = ?ᵢ` over exactly `vars` (or, for
@@ -727,5 +1381,232 @@ mod tests {
         // Update to A: entry evicted, and the answer still correct.
         m.apply(&Request::ins("A", [3])).unwrap();
         assert!(m.query().unwrap());
+    }
+
+    /// A small mixed stream exercising general rules on REACH_u.
+    fn reach_stream() -> Vec<Request> {
+        let mut reqs = Vec::new();
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (0, 3)] {
+            reqs.push(Request::ins("E", [a, b]));
+        }
+        reqs.push(Request::del("E", [1, 2]));
+        reqs.push(Request::ins("E", [1, 2])); // re-insert: no-op update after
+        reqs.push(Request::ins("E", [1, 2])); // exact duplicate
+        reqs.push(Request::del("E", [4, 5]));
+        reqs
+    }
+
+    #[test]
+    fn apply_batch_matches_sequential_apply() {
+        let reqs = reach_stream();
+        let mut seq = DynFoMachine::new(crate::programs::reach_u::program(), 8);
+        seq.apply_all(&reqs).unwrap();
+        let mut batched = DynFoMachine::new(crate::programs::reach_u::program(), 8);
+        batched.apply_batch(&reqs).unwrap();
+        assert_eq!(seq.state(), batched.state());
+        assert_eq!(seq.stats().requests, batched.stats().requests);
+        assert_eq!(
+            seq.query_named("connected", &[0, 3]).unwrap(),
+            batched.query_named("connected", &[0, 3]).unwrap()
+        );
+    }
+
+    #[test]
+    fn apply_batch_rejects_invalid_frame_atomically() {
+        let mut m = DynFoMachine::new(crate::programs::reach_u::program(), 8);
+        m.apply(&Request::ins("E", [0, 1])).unwrap();
+        let before = m.state().clone();
+        let batch = vec![
+            Request::ins("E", [1, 2]),
+            Request::ins("E", [0, 99]), // outside the universe
+            Request::ins("E", [2, 3]),
+        ];
+        let err = m.apply_batch(&batch).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.applied, 0, "validation failures apply nothing");
+        assert!(matches!(err.error, MachineError::Request(_)));
+        assert_eq!(*m.state(), before, "machine untouched by rejected batch");
+        assert_eq!(m.stats().requests, 1);
+    }
+
+    #[test]
+    fn fast_run_coalescing_skips_duplicates_and_matches_sequential() {
+        // The toy program is all input-copy fast paths, so the whole
+        // batch coalesces into one run with one invalidation pass.
+        let reqs = vec![
+            Request::ins("M", [1]),
+            Request::ins("M", [1]), // consecutive duplicate: skipped
+            Request::ins("M", [2]),
+            Request::del("M", [1]),
+            Request::del("M", [1]), // skipped
+            Request::ins("M", [3]),
+        ];
+        let mut seq = DynFoMachine::new(toy(), 8);
+        seq.apply_all(&reqs).unwrap();
+        let mut batched = DynFoMachine::new(toy(), 8);
+        batched.apply_batch(&reqs).unwrap();
+        assert_eq!(seq.state(), batched.state());
+        assert_eq!(batched.stats().requests, reqs.len(), "duplicates still count");
+        assert!(batched.query().unwrap());
+    }
+
+    #[test]
+    fn delta_installs_never_rebuild_and_detect_unchanged_targets() {
+        let reqs = reach_stream();
+        let mut delta = DynFoMachine::new(crate::programs::reach_u::program(), 8);
+        assert_eq!(delta.install_mode(), InstallMode::Delta);
+        delta.apply_all(&reqs).unwrap();
+        let mut rebuild = DynFoMachine::new(crate::programs::reach_u::program(), 8)
+            .with_install_mode(InstallMode::Rebuild);
+        rebuild.apply_all(&reqs).unwrap();
+
+        assert_eq!(delta.state(), rebuild.state(), "modes agree on state");
+        let d = delta.stats().installs;
+        let r = rebuild.stats().installs;
+        assert_eq!(d.rebuilds, 0, "delta mode never materializes a Relation");
+        assert!(
+            d.unchanged > 0,
+            "the duplicate insert must plan a no-op install: {d:?}"
+        );
+        assert!(d.delta > 0);
+        assert!(r.rebuilds > 0, "baseline rebuilds every general result");
+        assert_eq!(r.tuples_added + r.tuples_removed, 0);
+    }
+
+    #[test]
+    fn guard_refinement_makes_nonforest_deletes_cheap() {
+        // REACH_u's delete updates for F and PV guard their repair
+        // disjuncts with the closed formula `F(?̄)`: deleting an edge
+        // that is *not* in the spanning forest must resolve to a no-op
+        // install from the guard probes alone, never materializing the
+        // O(n³) path-segment repair.
+        let mut m = DynFoMachine::new(crate::programs::reach_u::program(), 12);
+        for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+            m.apply(&Request::ins("E", [a, b])).unwrap();
+        }
+        // The third edge closed a cycle, so exactly one edge is outside
+        // the forest; find it rather than assuming insert order.
+        let (a, b) = [(0, 1), (1, 2), (0, 2)]
+            .into_iter()
+            .find(|&(a, b)| !m.holds("F", [a, b]) && !m.holds("F", [b, a]))
+            .expect("a triangle has a non-forest edge");
+        let installs_before = m.stats().installs;
+        let rows_before = m.stats().update_work.rows_built;
+        m.apply(&Request::del("E", [a, b])).unwrap();
+        let installs = m.stats().installs;
+        assert!(
+            installs.guarded_evals >= installs_before.guarded_evals + 2,
+            "both F and PV delete rules refine through guards: {installs:?}"
+        );
+        assert!(
+            installs.unchanged > installs_before.unchanged,
+            "PV survives a non-forest delete as a guard-decided no-op"
+        );
+        let rows = m.stats().update_work.rows_built - rows_before;
+        assert!(
+            rows < 500,
+            "non-forest delete must not evaluate the repair (rows_built = {rows})"
+        );
+        // Connectivity is untouched: the forest did not contain the edge.
+        assert!(m.query_named("connected", &[0, 2]).unwrap());
+        assert!(m.query_named("connected", &[1, 2]).unwrap());
+    }
+
+    #[test]
+    fn parallel_scheduler_matches_serial_schedule() {
+        // MSF has several general rules per request kind; run the same
+        // stream serial and with 4 workers and compare everything
+        // observable (state, cumulative stats, cache contents by len).
+        let mut reqs = Vec::new();
+        for (a, b, w) in [(0, 1, 3), (1, 2, 1), (2, 3, 2), (0, 3, 5), (3, 4, 1)] {
+            reqs.push(Request::ins("W", [a, b, w]));
+        }
+        reqs.push(Request::del("W", [0, 1, 3]));
+        let mut serial = DynFoMachine::new(crate::programs::msf::program(), 6);
+        serial.apply_all(&reqs).unwrap();
+        let mut parallel = DynFoMachine::new(crate::programs::msf::program(), 6)
+            .with_parallelism(4);
+        assert_eq!(parallel.parallelism(), 4);
+        parallel.apply_all(&reqs).unwrap();
+        assert_eq!(serial.state(), parallel.state());
+        // Workers carry private caches, so parallel evaluation may redo
+        // work a serial pass would have hit — it never does *less*.
+        assert!(
+            parallel.stats().update_work.rows_built >= serial.stats().update_work.rows_built,
+            "parallel can only add duplicated misses"
+        );
+        assert_eq!(
+            serial.cache().len(),
+            parallel.cache().len(),
+            "merged overlay caches hold the same entry set"
+        );
+        for a in 0..6 {
+            for b in 0..6 {
+                assert_eq!(
+                    serial.query_named("connected", &[a, b]).unwrap(),
+                    parallel.query_named("connected", &[a, b]).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_requests_evict_only_constant_reading_entries() {
+        let (_, ins_a, _) = input_copy_rules("A", 1);
+        let p = DynFoProgram::builder("const-cache")
+            .input_relation("A", 1)
+            .input_constant("c")
+            .on(RequestKind::ins("A"), "A", &["x0"], ins_a)
+            // Big enough for the cache (size >= CACHE_MIN_SIZE); reads
+            // constant c through four distinct numeric atoms.
+            .named_query(
+                "near_c",
+                exists(
+                    ["x", "y"],
+                    rel("A", [v("x")])
+                        & rel("A", [v("y")])
+                        & dynfo_logic::formula::le(v("x"), dynfo_logic::formula::cst("c"))
+                        & dynfo_logic::formula::le(v("y"), dynfo_logic::formula::cst("c"))
+                        & dynfo_logic::formula::lt(v("x"), dynfo_logic::formula::cst("c"))
+                        & dynfo_logic::formula::lt(v("y"), dynfo_logic::formula::cst("c")),
+                ),
+            )
+            // Same size, no constant anywhere.
+            .named_query(
+                "pairs",
+                exists(
+                    ["x", "y", "z"],
+                    rel("A", [v("x")])
+                        & rel("A", [v("y")])
+                        & rel("A", [v("z")])
+                        & dynfo_logic::formula::le(v("x"), v("y"))
+                        & dynfo_logic::formula::le(v("y"), v("z"))
+                        & dynfo_logic::formula::eq(v("x"), v("z")),
+                ),
+            )
+            .query(Formula::True)
+            .build();
+        let mut m = DynFoMachine::new(p, 8);
+        m.apply(&Request::ins("A", [1])).unwrap();
+        m.apply(&Request::set("c", 4)).unwrap();
+        assert!(m.query_named("near_c", &[]).unwrap());
+        assert!(m.query_named("pairs", &[]).is_ok());
+        let len_before = m.cache().len();
+        assert!(len_before > 0);
+
+        // Reassign the constant: only const-reading entries drop.
+        let hits_before = m.cache().hits();
+        m.apply(&Request::set("c", 5)).unwrap();
+        assert!(
+            !m.cache().is_empty(),
+            "constant-free entries survive a set request"
+        );
+        assert!(m.cache().len() < len_before, "constant readers evicted");
+        assert!(m.query_named("pairs", &[]).is_ok());
+        assert!(m.cache().hits() > hits_before, "surviving entry hits");
+        // And correctness: c moved from 4 to 5; query re-resolves.
+        assert!(m.query_named("near_c", &[]).unwrap());
+        m.apply(&Request::set("c", 0)).unwrap();
+        assert!(!m.query_named("near_c", &[]).unwrap(), "A={{1}} is not <= 0");
     }
 }

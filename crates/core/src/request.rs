@@ -94,9 +94,19 @@ impl Request {
     /// The request's parameters, in order — these bind `?0, ?1, …` in
     /// update formulas.
     pub fn params(&self) -> Vec<Elem> {
+        let mut out = Vec::new();
+        self.params_into(&mut out);
+        out
+    }
+
+    /// Write the parameter vector into a caller-owned buffer (cleared
+    /// first). The machine's hot path reuses one scratch buffer across
+    /// requests so parameter extraction never allocates.
+    pub fn params_into(&self, out: &mut Vec<Elem>) {
+        out.clear();
         match self {
-            Request::Ins(_, args) | Request::Del(_, args) => args.clone(),
-            Request::Set(_, v) => vec![*v],
+            Request::Ins(_, args) | Request::Del(_, args) => out.extend_from_slice(args),
+            Request::Set(_, v) => out.push(*v),
         }
     }
 

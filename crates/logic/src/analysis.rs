@@ -159,6 +159,41 @@ fn collect_relation_symbols(f: &Formula, out: &mut BTreeSet<Sym>) {
     }
 }
 
+/// All structure-constant symbols appearing as terms of the formula.
+///
+/// This is the constant analogue of [`relation_symbols`]: a cached
+/// subformula result can only go stale under a `set` request if the
+/// formula reads the constant being reassigned, so the cache tags each
+/// entry with this set and evicts by intersection.
+pub fn constant_symbols(f: &Formula) -> BTreeSet<Sym> {
+    let mut out = BTreeSet::new();
+    collect_constant_symbols(f, &mut out);
+    out
+}
+
+fn collect_constant_symbols(f: &Formula, out: &mut BTreeSet<Sym>) {
+    use Formula::*;
+    let mut term = |t: &Term| {
+        if let Term::Const(c) = t {
+            out.insert(*c);
+        }
+    };
+    match f {
+        True | False => {}
+        Rel { args, .. } => args.iter().for_each(term),
+        Eq(a, b) | Le(a, b) | Lt(a, b) | Bit(a, b) => {
+            term(a);
+            term(b);
+        }
+        Not(g) | Exists(_, g) | Forall(_, g) => collect_constant_symbols(g, out),
+        And(fs) | Or(fs) => fs.iter().for_each(|g| collect_constant_symbols(g, out)),
+        Implies(a, b) | Iff(a, b) => {
+            collect_constant_symbols(a, out);
+            collect_constant_symbols(b, out);
+        }
+    }
+}
+
 /// True iff any term of the formula is a request parameter `?i` or a
 /// structure constant — the parts of an evaluation context that vary
 /// between requests independently of the relations.

@@ -16,13 +16,16 @@
 //! The invariant throughout: `eval(φ)` returns a table whose column set is
 //! exactly the free variables of `φ`.
 
+pub mod delta;
 pub mod naive;
 mod table;
 
+pub use delta::{install_plan, DeltaMode, InstallPlan};
 pub use table::Table;
 
 use crate::analysis::{
-    canonicalize, free_vars, is_canonical, mentions_param_or_const, relation_symbols,
+    canonicalize, constant_symbols, free_vars, is_canonical, mentions_param_or_const,
+    relation_symbols,
 };
 use crate::formula::{Formula, Term};
 use crate::fxhash::FxHashMap;
@@ -193,14 +196,15 @@ fn free_vars_in_order(f: &Formula, bound: &mut Vec<Sym>, out: &mut Vec<Sym>) {
 ///
 /// Each entry records the relations its formula reads, so a host that
 /// knows which relations changed between evaluations (the Dyn-FO machine
-/// diffs each installed update) can [`invalidate_reads`] exactly the
-/// stale entries and keep the rest warm across requests. Entries whose
-/// formulas mention request parameters are keyed by the parameter vector
-/// as well; entries mentioning structure constants must be dropped by the
-/// host when a constant changes ([`clear`]).
+/// plans each installed update as an explicit delta) can
+/// [`invalidate_reads`] exactly the stale entries and keep the rest warm
+/// across requests. Entries whose formulas mention request parameters are
+/// keyed by the parameter vector as well; entries are likewise tagged
+/// with the structure constants they read, so a `set` request evicts
+/// only those ([`invalidate_consts`]).
 ///
 /// [`invalidate_reads`]: SubformulaCache::invalidate_reads
-/// [`clear`]: SubformulaCache::clear
+/// [`invalidate_consts`]: SubformulaCache::invalidate_consts
 #[derive(Clone, Debug, Default)]
 pub struct SubformulaCache {
     entries: FxHashMap<(Formula, Vec<Elem>), CacheEntry>,
@@ -213,6 +217,8 @@ struct CacheEntry {
     table: Table,
     /// Relation symbols the formula reads (its dependency set).
     reads: BTreeSet<Sym>,
+    /// Structure constants the formula reads; stale when one is `set`.
+    consts: BTreeSet<Sym>,
 }
 
 impl SubformulaCache {
@@ -250,26 +256,46 @@ impl SubformulaCache {
         before - self.entries.len()
     }
 
-    /// Drop everything (e.g. after a constant changed).
+    /// Drop every entry whose formula reads one of the constants in
+    /// `changed`; returns the number of entries evicted. This is the
+    /// `set`-request counterpart of [`invalidate_reads`]: reassigning a
+    /// constant can only stale results that actually resolve it, so
+    /// everything else keeps serving hits.
+    ///
+    /// [`invalidate_reads`]: SubformulaCache::invalidate_reads
+    pub fn invalidate_consts(&mut self, changed: &BTreeSet<Sym>) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.consts.is_disjoint(changed));
+        before - self.entries.len()
+    }
+
+    /// Merge another cache's entries (and hit/miss counters) into this
+    /// one. The parallel rule scheduler gives each worker a private
+    /// overlay cache and absorbs them back in rule order, so the merged
+    /// cache is deterministic regardless of worker timing.
+    pub fn absorb(&mut self, other: SubformulaCache) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.entries.extend(other.entries);
+    }
+
+    /// Drop everything.
     pub fn clear(&mut self) {
         self.entries.clear();
     }
 }
 
-/// The evaluator's cache: owned per evaluation by default, or borrowed
-/// from a host that persists it across evaluations.
+/// The evaluator's cache: owned per evaluation by default, borrowed
+/// from a host that persists it across evaluations, or — for parallel
+/// rule workers — a read-only shared base layered under a private
+/// local cache that collects this worker's new entries.
 enum CacheSlot<'a> {
     Owned(SubformulaCache),
     Shared(&'a mut SubformulaCache),
-}
-
-impl CacheSlot<'_> {
-    fn get(&mut self) -> &mut SubformulaCache {
-        match self {
-            CacheSlot::Owned(c) => c,
-            CacheSlot::Shared(c) => c,
-        }
-    }
+    Overlay {
+        base: &'a SubformulaCache,
+        local: &'a mut SubformulaCache,
+    },
 }
 
 /// A formula evaluator bound to one structure and one parameter vector.
@@ -278,6 +304,11 @@ pub struct Evaluator<'a> {
     params: &'a [Elem],
     stats: EvalStats,
     complement_budget: u128,
+    /// Conjunction-planner short-circuiting (on by default): once the
+    /// accumulated table is empty, remaining conjuncts are skipped.
+    /// Disabled by the pre-delta baseline executor so benchmarks and
+    /// differential tests measure the naive planner.
+    short_circuit: bool,
     /// Memoized results for repeated composite subformulas. Update
     /// programs reuse large subformulas — e.g. Theorem 4.1's `New`
     /// appears four times in one delete — so this saves real work even
@@ -314,6 +345,7 @@ impl<'a> Evaluator<'a> {
             params,
             stats: EvalStats::default(),
             complement_budget: DEFAULT_COMPLEMENT_BUDGET,
+            short_circuit: true,
             cache: CacheSlot::Owned(SubformulaCache::new()),
         }
     }
@@ -332,7 +364,33 @@ impl<'a> Evaluator<'a> {
             params,
             stats: EvalStats::default(),
             complement_budget: DEFAULT_COMPLEMENT_BUDGET,
+            short_circuit: true,
             cache: CacheSlot::Shared(cache),
+        }
+    }
+
+    /// Create an evaluator that *reads* a shared base cache but *writes*
+    /// new entries to a private local cache — the per-worker arrangement
+    /// of the parallel rule scheduler. Workers share the warm
+    /// cross-request cache without synchronization (it is never mutated
+    /// during the parallel window); each worker's new results land in
+    /// its own `local`, which the host [`absorb`]s back in rule order
+    /// once all workers finish. Hit/miss counters accrue on `local`.
+    ///
+    /// [`absorb`]: SubformulaCache::absorb
+    pub fn with_overlay_cache(
+        st: &'a Structure,
+        params: &'a [Elem],
+        base: &'a SubformulaCache,
+        local: &'a mut SubformulaCache,
+    ) -> Evaluator<'a> {
+        Evaluator {
+            st,
+            params,
+            stats: EvalStats::default(),
+            complement_budget: DEFAULT_COMPLEMENT_BUDGET,
+            short_circuit: true,
+            cache: CacheSlot::Overlay { base, local },
         }
     }
 
@@ -345,6 +403,15 @@ impl<'a> Evaluator<'a> {
     pub fn with_complement_budget(mut self, budget: u128) -> Evaluator<'a> {
         self.complement_budget = budget;
         self
+    }
+
+    /// Enable or disable conjunction-planner short-circuiting (on by
+    /// default). With it off, every conjunct is evaluated even after
+    /// the accumulated table empties — the pre-delta planner, kept so
+    /// the baseline executor and differential tests measure exactly
+    /// the work the short-circuit removes.
+    pub fn set_short_circuit(&mut self, enabled: bool) {
+        self.short_circuit = enabled;
     }
 
     fn n(&self) -> Elem {
@@ -410,14 +477,11 @@ impl<'a> Evaluator<'a> {
                                 Vec::new()
                             },
                         );
-                        let cache = self.cache.get();
-                        if let Some(hit) = cache.entries.get(&key) {
-                            cache.hits += 1;
+                        if let Some(table) = self.cache_lookup(&key) {
                             // Stored columns are slots; rename them back
                             // to this occurrence's variables.
-                            return Ok(hit.table.renamed(|c| slot_index(c).map(|i| fv[i])));
+                            return Ok(table.into_renamed(|c| slot_index(c).map(|i| fv[i])));
                         }
-                        cache.misses += 1;
                         Some((key, fv))
                     }
                 }
@@ -452,10 +516,53 @@ impl<'a> Evaluator<'a> {
         self.stats.note(&out);
         if let Some((key, fv)) = cache_key {
             let reads = relation_symbols(&key.0);
+            let consts = constant_symbols(&key.0);
             let table = out.renamed(|c| fv.iter().position(|&v| v == c).map(slot_sym));
-            self.cache.get().entries.insert(key, CacheEntry { table, reads });
+            self.cache_insert(key, CacheEntry { table, reads, consts });
         }
         Ok(out)
+    }
+
+    /// Look up a memoized result, counting the hit or miss. Overlay
+    /// evaluators consult their private layer first, then the shared
+    /// base; either hit returns a clone (the caller renames it anyway).
+    fn cache_lookup(&mut self, key: &(Formula, Vec<Elem>)) -> Option<Table> {
+        fn one(c: &mut SubformulaCache, key: &(Formula, Vec<Elem>)) -> Option<Table> {
+            if let Some(hit) = c.entries.get(key) {
+                c.hits += 1;
+                Some(hit.table.clone())
+            } else {
+                c.misses += 1;
+                None
+            }
+        }
+        match &mut self.cache {
+            CacheSlot::Owned(c) => one(c, key),
+            CacheSlot::Shared(c) => one(c, key),
+            CacheSlot::Overlay { base, local } => {
+                if let Some(hit) = local.entries.get(key) {
+                    local.hits += 1;
+                    return Some(hit.table.clone());
+                }
+                if let Some(hit) = base.entries.get(key) {
+                    local.hits += 1;
+                    return Some(hit.table.clone());
+                }
+                local.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record a computed result; overlay evaluators write to their
+    /// private layer only — the shared base is immutable to workers.
+    fn cache_insert(&mut self, key: (Formula, Vec<Elem>), entry: CacheEntry) {
+        let cache = match &mut self.cache {
+            CacheSlot::Owned(c) => c,
+            CacheSlot::Shared(c) => c,
+            CacheSlot::Overlay { local, .. } => local,
+        };
+        cache.entries.insert(key, entry);
     }
 
     fn complement(&mut self, t: Table) -> Result<Table, EvalError> {
@@ -662,6 +769,15 @@ impl<'a> Evaluator<'a> {
 
         let mut table = Table::unit();
         loop {
+            // Empty-table short-circuit: once the accumulated table has
+            // no rows, no further conjunct can add one, so the result
+            // is empty regardless of what remains. This is what makes
+            // closed guards cheap — `γ(?̄) ∧ big-repair` dies at the
+            // guard scan when γ is false instead of materializing the
+            // repair subformula.
+            if self.short_circuit && table.is_empty() {
+                return Ok(Table::empty(whole_free.iter().copied().collect()));
+            }
             let bound: BTreeSet<Sym> = table.vars().iter().copied().collect();
 
             // 1. Numeric atoms whose variables are all bound → filters;
@@ -844,6 +960,15 @@ impl<'a> Evaluator<'a> {
             // is bound yet), small relations beat big subformulas.
             let share_rank = if bound.is_empty() || shares { 0 } else { 1 };
             let size_rank = match g {
+                // A fully ground atom (every argument a param or
+                // constant) is a one-probe membership test — and a
+                // *guard*: if it fails, the empty-table short-circuit
+                // skips every remaining conjunct. Always take it first.
+                Formula::Rel { args, .. }
+                    if args.iter().all(|a| !matches!(a, Term::Var(_))) =>
+                {
+                    0
+                }
                 Formula::Rel { name, .. } => self
                     .st
                     .vocab()

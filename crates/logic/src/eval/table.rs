@@ -94,6 +94,25 @@ impl Table {
         }
     }
 
+    /// [`Table::renamed`] by value: reuses the row storage instead of
+    /// cloning it. The cache hit path pairs this with a cloned stored
+    /// table so a hit costs exactly one row copy.
+    pub fn into_renamed(mut self, map: impl Fn(Sym) -> Option<Sym>) -> Table {
+        for c in &mut self.vars {
+            if let Some(m) = map(*c) {
+                *c = m;
+            }
+        }
+        self
+    }
+
+    /// Consume the table, yielding its rows without copying. Rows built
+    /// through [`Table::new`] or [`Table::project`] are sorted and
+    /// duplicate-free.
+    pub fn into_rows(self) -> Vec<Tuple> {
+        self.rows
+    }
+
     fn dedup(&mut self) {
         self.rows.sort_unstable();
         self.rows.dedup();

@@ -212,6 +212,20 @@ impl Relation {
         }
     }
 
+    /// Bulk in-place insert; returns how many tuples were newly added.
+    ///
+    /// This is the install half of a delta update: the relation mutates
+    /// in place on its existing backend, so an empty slice costs nothing
+    /// and no reallocation or backend conversion ever happens.
+    pub fn insert_all(&mut self, tuples: &[Tuple]) -> usize {
+        tuples.iter().filter(|t| self.insert(**t)).count()
+    }
+
+    /// Bulk in-place remove; returns how many tuples were present.
+    pub fn remove_all(&mut self, tuples: &[Tuple]) -> usize {
+        tuples.iter().filter(|t| self.remove(t)).count()
+    }
+
     /// Remove all tuples.
     pub fn clear(&mut self) {
         match &mut self.repr {

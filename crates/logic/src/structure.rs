@@ -207,6 +207,28 @@ impl Structure {
         rels + consts
     }
 
+    /// Mutate relation `id` in place: insert every tuple of `added`,
+    /// remove every tuple of `removed`. Returns the number of tuples
+    /// whose membership actually changed.
+    ///
+    /// This is the install primitive of the delta update pipeline: in
+    /// contrast to [`Structure::set_relation`], nothing is allocated,
+    /// no backend conversion happens, and an empty delta is free — the
+    /// cost is proportional to the change, not to `|R|`.
+    ///
+    /// # Panics
+    /// Panics if a tuple's arity differs from the relation's, or an
+    /// added tuple lies outside the universe.
+    pub fn apply_delta(&mut self, id: RelId, added: &[Tuple], removed: &[Tuple]) -> usize {
+        let size = self.size;
+        debug_assert!(
+            added.iter().all(|t| t.iter().all(|v| v < size)),
+            "added tuple outside universe of size {size}"
+        );
+        let rel = &mut self.relations[id.0 as usize];
+        rel.insert_all(added) + rel.remove_all(removed)
+    }
+
     /// Replace the interpretation of relation `id` wholesale.
     pub fn set_relation(&mut self, id: RelId, rel: Relation) {
         assert_eq!(

@@ -135,6 +135,8 @@ pub struct JournalWriter {
     /// Frames made durable in this segment so far.
     committed_frames: u64,
     auto_commit_every: usize,
+    /// Write+fsync batches issued by [`commit`](Self::commit) so far.
+    syncs: u64,
     /// Fault hook: once this many frames are durable, silently drop all
     /// later appends and commits (the process "died" at that frame).
     kill_after_frame: Option<u64>,
@@ -163,6 +165,7 @@ impl JournalWriter {
             pending_frames: 0,
             committed_frames: 0,
             auto_commit_every: auto_commit_every.max(1),
+            syncs: 0,
             kill_after_frame: None,
         })
     }
@@ -192,6 +195,7 @@ impl JournalWriter {
             pending_frames: 0,
             committed_frames: existing_frames,
             auto_commit_every: auto_commit_every.max(1),
+            syncs: 0,
             kill_after_frame: None,
         })
     }
@@ -212,6 +216,12 @@ impl JournalWriter {
         self.pending_frames
     }
 
+    /// Write+fsync batches this segment has issued — the denominator of
+    /// "fsyncs per request" that batched serving amortizes.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
     /// True iff the kill fault has triggered (writes are being dropped).
     pub fn is_dead(&self) -> bool {
         self.kill_after_frame
@@ -221,14 +231,24 @@ impl JournalWriter {
     /// Append one entry to the batch; commits automatically when the
     /// batch reaches the configured size.
     pub fn append(&mut self, seq: u64, req: &Request) -> Result<(), ServeError> {
+        self.append_deferred(seq, req)?;
+        if self.pending_frames >= self.auto_commit_every {
+            self.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Append one entry *without* the auto-commit check: the caller
+    /// owns the commit point. Batched serving appends a whole batch
+    /// this way and then issues a single [`commit`](Self::commit), so
+    /// one write + fsync covers every frame of the batch regardless of
+    /// the configured `auto_commit_every`.
+    pub fn append_deferred(&mut self, seq: u64, req: &Request) -> Result<(), ServeError> {
         if self.is_dead() {
             return Ok(()); // the "process" is gone; nothing reaches disk
         }
         self.pending.extend_from_slice(&encode_frame(seq, req));
         self.pending_frames += 1;
-        if self.pending_frames >= self.auto_commit_every {
-            self.commit()?;
-        }
         Ok(())
     }
 
@@ -259,6 +279,7 @@ impl JournalWriter {
                 .write_all(&self.pending)
                 .and_then(|()| self.file.sync_data())
                 .map_err(|e| ServeError::io(&self.path, e))?;
+            self.syncs += 1;
         }
         self.committed_frames += frames_to_write;
         self.pending.clear();

@@ -40,7 +40,7 @@ pub mod snapshot;
 pub use codec::DecodeError;
 pub use error::ServeError;
 pub use journal::{read_segment, JournalEntry, JournalWriter, SegmentRead};
-pub use session::{RecoveryReport, Session, SessionStore, StoreConfig};
+pub use session::{drain_queues, RecoveryReport, Session, SessionStore, StoreConfig};
 pub use snapshot::{read_snapshot, write_snapshot};
 
 /// A fresh scratch directory for tests and examples, unique per process

@@ -113,11 +113,28 @@ fn read_meta(dir: &Path) -> Result<(String, Elem), ServeError> {
     Ok((name, n))
 }
 
+/// Number of independent locks the session map is split across.
+/// Lookups and opens on different shards never contend, so a worker
+/// pool serving many sessions is not serialized on one map lock.
+const STORE_SHARDS: usize = 16;
+
 /// A collection of named durable sessions rooted at one directory.
+///
+/// The name → session map is sharded across [`STORE_SHARDS`]
+/// independent `RwLock`s keyed by a hash of the session name; all
+/// operations on one session touch exactly one shard.
 pub struct SessionStore {
     root: PathBuf,
     config: StoreConfig,
-    sessions: RwLock<BTreeMap<String, Arc<Session>>>,
+    shards: Vec<RwLock<BTreeMap<String, Arc<Session>>>>,
+}
+
+/// Which shard a session name lives in (stable for the store's life).
+fn shard_index(name: &str) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = dynfo_logic::fxhash::FxHasher::default();
+    name.hash(&mut h);
+    (h.finish() as usize) % STORE_SHARDS
 }
 
 impl SessionStore {
@@ -128,7 +145,9 @@ impl SessionStore {
         Ok(SessionStore {
             root,
             config,
-            sessions: RwLock::new(BTreeMap::new()),
+            shards: (0..STORE_SHARDS)
+                .map(|_| RwLock::new(BTreeMap::new()))
+                .collect(),
         })
     }
 
@@ -158,7 +177,8 @@ impl SessionStore {
                 "session name {name:?} must be non-empty [A-Za-z0-9_-]"
             )));
         }
-        if let Some(s) = self.sessions.read().unwrap().get(name) {
+        let shard = &self.shards[shard_index(name)];
+        if let Some(s) = shard.read().unwrap().get(name) {
             if s.program_name() != program.name() {
                 return Err(ServeError::Corrupt(format!(
                     "session {name} is open with program {}, requested {}",
@@ -168,7 +188,7 @@ impl SessionStore {
             }
             return Ok(Arc::clone(s));
         }
-        let mut map = self.sessions.write().unwrap();
+        let mut map = shard.write().unwrap();
         // Double-checked: another thread may have opened it meanwhile.
         if let Some(s) = map.get(name) {
             return Ok(Arc::clone(s));
@@ -186,18 +206,30 @@ impl SessionStore {
 
     /// The open session `name`, if any.
     pub fn get(&self, name: &str) -> Option<Arc<Session>> {
-        self.sessions.read().unwrap().get(name).cloned()
+        self.shards[shard_index(name)]
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
     }
 
-    /// Names of all open sessions.
+    /// Names of all open sessions, sorted.
     pub fn session_names(&self) -> Vec<String> {
-        self.sessions.read().unwrap().keys().cloned().collect()
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().unwrap().keys().cloned().collect::<Vec<_>>())
+            .collect();
+        names.sort_unstable();
+        names
     }
 
     /// Graceful shutdown: commit every session's journal batch.
     pub fn shutdown(self) -> Result<(), ServeError> {
-        for s in self.sessions.read().unwrap().values() {
-            s.sync()?;
+        for shard in &self.shards {
+            for s in shard.read().unwrap().values() {
+                s.sync()?;
+            }
         }
         Ok(())
     }
@@ -227,6 +259,9 @@ struct Inner {
     /// number of the latest frame).
     seq: u64,
     journal: JournalWriter,
+    /// Fsyncs issued by journal segments already rotated away; the live
+    /// segment's count is added on read (see [`Session::fsyncs`]).
+    rotated_fsyncs: u64,
     /// Fault hook: journal/snapshot writes stop after this sequence
     /// number — the "process" died right after durably logging frame k.
     killed_after: Option<u64>,
@@ -273,6 +308,7 @@ impl Session {
                 machine,
                 seq,
                 journal,
+                rotated_fsyncs: 0,
                 killed_after: None,
             }),
         })
@@ -318,6 +354,62 @@ impl Session {
             }
         }
         Ok(stats)
+    }
+
+    /// Apply a batch of requests under one lock acquisition and one
+    /// journal group commit.
+    ///
+    /// The machine validates the whole batch up front
+    /// ([`DynFoMachine::apply_batch`]): a malformed frame rejects the
+    /// batch with nothing applied and nothing journaled. Applied frames
+    /// are appended without intermediate fsyncs and committed together
+    /// at the end, so a batch of K requests costs one write + fsync
+    /// instead of up to K — this changes the durability granularity
+    /// from `group_commit` frames to the batch: a crash before the
+    /// batch's commit loses the whole batch (never a prefix of it
+    /// interleaved with later writes), and recovery lands exactly on
+    /// the last durable frame.
+    ///
+    /// An evaluation failure mid-batch journals and keeps the applied
+    /// prefix — identical to issuing the requests one at a time — and
+    /// surfaces the machine's error.
+    pub fn apply_batch(&self, reqs: &[Request]) -> Result<EvalStats, ServeError> {
+        if reqs.is_empty() {
+            return Ok(EvalStats::default());
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let start = inner.seq;
+        let (applied, outcome) = match inner.machine.apply_batch(reqs) {
+            Ok(stats) => (reqs.len() as u64, Ok(stats)),
+            Err(be) => (be.applied as u64, Err(ServeError::from(be.error))),
+        };
+        for (k, req) in reqs[..applied as usize].iter().enumerate() {
+            let seq = start + 1 + k as u64;
+            if !inner.is_killed(seq) {
+                inner.journal.append_deferred(seq, req)?;
+            }
+        }
+        inner.seq = start + applied;
+        let seq = inner.seq;
+        if applied > 0 && !inner.is_killed(seq) {
+            inner.journal.commit()?;
+            // Snapshot if the batch crossed a boundary (the snapshot
+            // lands at the batch end, not the exact multiple; recovery
+            // handles arbitrary snapshot positions).
+            if self.config.snapshot_every > 0
+                && seq / self.config.snapshot_every > start / self.config.snapshot_every
+            {
+                inner.checkpoint_locked(&self.dir, self.config)?;
+            }
+        }
+        outcome
+    }
+
+    /// Journal fsyncs issued over this session's lifetime, all segments
+    /// included — divide by [`Session::seq`] for fsyncs per request.
+    pub fn fsyncs(&self) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        inner.rotated_fsyncs + inner.journal.syncs()
     }
 
     /// Answer the program's boolean query.
@@ -376,8 +468,63 @@ impl Inner {
         // Rotate: later frames land in a fresh segment based at the
         // snapshot, so recovery from this snapshot reads only segments
         // with base ≥ seq.
+        self.rotated_fsyncs += self.journal.syncs();
         self.journal = JournalWriter::create(&segment_path(dir, self.seq), config.group_commit)?;
         Ok(())
+    }
+}
+
+/// Drain per-session request queues with a pool of worker threads.
+///
+/// Each entry pairs a session with its queued requests. A worker claims
+/// one queue at a time and pushes it through [`Session::apply_batch`]
+/// in chunks of `batch` requests, so the per-session order is exactly
+/// the queue order while distinct sessions drain in parallel — the
+/// serving-side counterpart of the machine's parallel rule scheduler.
+/// Queues should reference distinct sessions; two queues for the same
+/// session stay safe (the per-session lock still serializes batches)
+/// but their interleaving is unspecified.
+///
+/// Returns the total number of requests applied. A failing queue stops
+/// at its failure (later queues still drain); the error of the
+/// lowest-indexed failing queue is reported, deterministically.
+pub fn drain_queues(
+    queues: &[(Arc<Session>, Vec<Request>)],
+    batch: usize,
+    workers: usize,
+) -> Result<usize, ServeError> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let batch = batch.max(1);
+    let next = AtomicUsize::new(0);
+    let applied = AtomicUsize::new(0);
+    let failures: Mutex<Vec<(usize, ServeError)>> = Mutex::new(Vec::new());
+    let workers = workers.clamp(1, queues.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let q = next.fetch_add(1, Ordering::Relaxed);
+                let Some((session, reqs)) = queues.get(q) else {
+                    break;
+                };
+                for chunk in reqs.chunks(batch) {
+                    match session.apply_batch(chunk) {
+                        Ok(_) => {
+                            applied.fetch_add(chunk.len(), Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            failures.lock().unwrap().push((q, e));
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let mut failures = failures.into_inner().unwrap();
+    failures.sort_by_key(|(q, _)| *q);
+    match failures.into_iter().next() {
+        Some((_, e)) => Err(e),
+        None => Ok(applied.into_inner()),
     }
 }
 
@@ -636,6 +783,180 @@ mod tests {
             "wrong universe size must not recover"
         );
         assert!(store.session("bad name!", &reach_u::program(), 8).is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn apply_batch_is_durable_at_batch_end() {
+        let root = scratch_dir("store-batch");
+        let config = StoreConfig {
+            snapshot_every: 0,
+            group_commit: 1_000, // never auto-commits: durability must
+                                 // come from the batch-end commit
+        };
+        let reqs: Vec<Request> = [(0, 1), (1, 2), (2, 3), (4, 5)]
+            .iter()
+            .map(|&(a, b)| Request::ins("E", [a, b]))
+            .collect();
+        {
+            let store = SessionStore::open(&root, config).unwrap();
+            let s = store.session("net", &reach_u::program(), 8).unwrap();
+            s.apply_batch(&reqs).unwrap();
+            assert_eq!(s.seq(), 4);
+            assert_eq!(s.fsyncs(), 1, "one group commit covers the batch");
+            store.crash(); // no shutdown: only the commit persists it
+        }
+        let mut reference = DynFoMachine::new(reach_u::program(), 8);
+        reference.apply_all(&reqs).unwrap();
+        let store = SessionStore::open(&root, config).unwrap();
+        let s = store.session("net", &reach_u::program(), 8).unwrap();
+        assert_eq!(s.seq(), 4);
+        assert_eq!(s.state(), *reference.state());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn apply_batch_rejects_bad_frames_without_advancing() {
+        let root = scratch_dir("store-batch-reject");
+        let store = SessionStore::open(&root, StoreConfig::default()).unwrap();
+        let s = store.session("net", &reach_u::program(), 8).unwrap();
+        s.apply(&Request::ins("E", [0, 1])).unwrap();
+        let batch = vec![
+            Request::ins("E", [1, 2]),
+            Request::ins("E", [0, 99]), // out of universe
+        ];
+        assert!(s.apply_batch(&batch).is_err());
+        assert_eq!(s.seq(), 1, "validation failure applies nothing");
+        assert!(s.apply_batch(&[]).is_ok(), "empty batch is a no-op");
+        assert_eq!(s.seq(), 1);
+        store.shutdown().unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn fsyncs_are_amortized_and_survive_rotation() {
+        let root = scratch_dir("store-fsyncs");
+        let per_request = StoreConfig {
+            snapshot_every: 0,
+            group_commit: 1,
+        };
+        let batched = StoreConfig {
+            snapshot_every: 4, // force checkpoint rotation mid-stream
+            group_commit: 1_000,
+        };
+        let reqs: Vec<Request> = (0..12u32).map(|i| Request::ins("M", [i])).collect();
+
+        let store_a = SessionStore::open(root.join("a"), per_request).unwrap();
+        let a = store_a.session("bits", &parity::program(), 16).unwrap();
+        for r in &reqs {
+            a.apply(r).unwrap();
+        }
+        assert_eq!(a.fsyncs(), 12, "group_commit=1 syncs every request");
+
+        let store_b = SessionStore::open(root.join("b"), batched).unwrap();
+        let b = store_b.session("bits", &parity::program(), 16).unwrap();
+        for chunk in reqs.chunks(4) {
+            b.apply_batch(chunk).unwrap();
+        }
+        assert_eq!(b.state(), a.state());
+        assert_eq!(
+            b.fsyncs(),
+            3,
+            "one sync per batch, counted across journal rotations"
+        );
+        store_a.shutdown().unwrap();
+        store_b.shutdown().unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn kill_mid_batch_loses_the_whole_batch() {
+        let root = scratch_dir("store-batch-kill");
+        let config = StoreConfig {
+            snapshot_every: 0,
+            group_commit: 1_000,
+        };
+        {
+            let store = SessionStore::open(&root, config).unwrap();
+            let s = store.session("net", &reach_u::program(), 8).unwrap();
+            s.apply_batch(&[Request::ins("E", [0, 1])]).unwrap();
+            // Crash after frame 3: the second batch's commit is reached
+            // only at its end (seq 5), so none of its frames persist —
+            // the batch is the unit of durability.
+            s.kill_after_frame(3);
+            s.apply_batch(&[
+                Request::ins("E", [1, 2]),
+                Request::ins("E", [2, 3]),
+                Request::ins("E", [3, 4]),
+                Request::ins("E", [4, 5]),
+            ])
+            .unwrap();
+            store.crash();
+        }
+        let store = SessionStore::open(&root, config).unwrap();
+        let s = store.session("net", &reach_u::program(), 8).unwrap();
+        assert_eq!(s.seq(), 1, "only the first committed batch survives");
+        assert!(!s.query_named("connected", &[1, 2]).unwrap());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn drain_queues_matches_sequential_replay() {
+        let root = scratch_dir("store-drain");
+        let store = SessionStore::open(&root, StoreConfig::default()).unwrap();
+        let mut queues = Vec::new();
+        let mut references = Vec::new();
+        for q in 0..5u32 {
+            let s = store
+                .session(&format!("net{q}"), &reach_u::program(), 8)
+                .unwrap();
+            let reqs: Vec<Request> = (0..20u32)
+                .map(|i| {
+                    let a = (i * 7 + q) % 8;
+                    let b = (i * 3 + q + 1) % 8;
+                    if i % 5 == 4 {
+                        Request::del("E", [a, b])
+                    } else {
+                        Request::ins("E", [a, b])
+                    }
+                })
+                .collect();
+            let mut reference = DynFoMachine::new(reach_u::program(), 8);
+            reference.apply_all(&reqs).unwrap();
+            references.push(reference);
+            queues.push((s, reqs));
+        }
+        let applied = drain_queues(&queues, 8, 4).unwrap();
+        assert_eq!(applied, 100);
+        for (q, (s, _)) in queues.iter().enumerate() {
+            assert_eq!(s.seq(), 20, "queue {q} fully drained");
+            assert_eq!(s.state(), *references[q].state());
+        }
+        store.shutdown().unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn drain_queues_reports_failure_without_stalling_others() {
+        let root = scratch_dir("store-drain-fail");
+        let store = SessionStore::open(&root, StoreConfig::default()).unwrap();
+        let good = store.session("good", &reach_u::program(), 8).unwrap();
+        let bad = store.session("bad", &reach_u::program(), 8).unwrap();
+        let queues = vec![
+            (
+                Arc::clone(&bad),
+                vec![Request::ins("E", [0, 1]), Request::ins("E", [0, 99])],
+            ),
+            (
+                Arc::clone(&good),
+                (0..6u32).map(|i| Request::ins("E", [i, i + 1])).collect(),
+            ),
+        ];
+        let err = drain_queues(&queues, 4, 2);
+        assert!(err.is_err(), "bad queue's error is surfaced");
+        assert_eq!(good.seq(), 6, "healthy queues drain to completion");
+        assert!(good.query_named("connected", &[0, 6]).unwrap());
+        store.shutdown().unwrap();
         std::fs::remove_dir_all(&root).unwrap();
     }
 }
