@@ -13,10 +13,10 @@ use dynfo_logic::eval::delta::{install_plan, DeltaMode, InstallPlan};
 use dynfo_logic::eval::{Evaluator, SubformulaCache};
 use dynfo_logic::formula::{Formula, Term};
 use dynfo_logic::parallel::EvalPool;
-use dynfo_logic::{Elem, EvalError, EvalStats, RelId, Relation, Structure, Sym, Tuple};
+use dynfo_logic::{Elem, EvalError, EvalStats, Plan, PlanArena, RelId, Relation, Structure, Sym, Tuple};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Why a machine operation failed.
 ///
@@ -217,6 +217,58 @@ enum DisjunctBody {
     Other(Formula),
 }
 
+/// A rule or query formula lowered to a bit-parallel kernel plan
+/// ([`dynfo_logic::Plan`]), paired with its reusable slot arena.
+/// Compiled once per machine; execution falls back to the interpreter
+/// when compilation declined or the plan bails at runtime (a relation's
+/// backend no longer matches the compiled layout).
+#[derive(Debug)]
+struct BitPlan {
+    plan: Arc<Plan>,
+    /// Slot buffers reused across requests. A mutex rather than a cell
+    /// because the parallel scheduler executes rule plans from pool
+    /// workers; each rule's plan is used by at most one job per request,
+    /// so the lock is never contended.
+    arena: Mutex<PlanArena>,
+}
+
+/// Work budget for machine-installed plans, in 64-bit words per
+/// execution (`Plan::work_words`). A compiled plan always pays its full
+/// `S^k`-shaped traversal, while the interpreter's delta pipeline often
+/// resolves the same rule from a guard probe or a restricted scan
+/// (REACH_a's shrink-shaped delete is microseconds interpreted but
+/// megabits as bit-vectors). Past this budget the fixed cost loses to
+/// the adaptive one, so the machine keeps the interpreter. 2^16 words =
+/// 4 Mbit ≈ tens of microseconds of kernel passes — comfortably above
+/// every binary-aux program at n ≤ 256, below the wide-formula regime
+/// where plans stop paying.
+const PLAN_WORK_WORDS_CAP: u64 = 1 << 16;
+
+impl BitPlan {
+    fn compile(f: &Formula, st: &Structure) -> Option<BitPlan> {
+        let plan = Plan::compile(f, st)?;
+        if plan.work_words() > PLAN_WORK_WORDS_CAP {
+            return None;
+        }
+        let arena = Mutex::new(plan.arena());
+        Some(BitPlan {
+            plan: Arc::new(plan),
+            arena,
+        })
+    }
+}
+
+impl Clone for BitPlan {
+    fn clone(&self) -> BitPlan {
+        // Fresh arena: buffers re-grow lazily and stable slots recompute
+        // once; cloned machines share only the immutable plan.
+        BitPlan {
+            plan: Arc::clone(&self.plan),
+            arena: Mutex::new(self.plan.arena()),
+        }
+    }
+}
+
 /// How general-rule results are installed into the auxiliary structure.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum InstallMode {
@@ -260,6 +312,17 @@ pub struct DynFoMachine {
     /// an explicit delta) or, for entries reading a constant, when that
     /// constant is `set`.
     cache: SubformulaCache,
+    /// Bit-parallel plans for general rules, parallel to `plans`
+    /// (`None` where compilation declined: input copies, guarded rules,
+    /// formulas over sparse-only relations).
+    bit_plans: BTreeMap<RequestKind, Vec<Option<BitPlan>>>,
+    /// Compiled plan for the program's boolean query.
+    query_plan: Option<BitPlan>,
+    /// Plans for named queries, compiled on first use.
+    named_plans: BTreeMap<Sym, Option<BitPlan>>,
+    /// Execute general rules and queries through compiled plans where
+    /// available (the default); off keeps the interpreter everywhere.
+    use_plans: bool,
     /// Delta installs (default) or the rebuild baseline.
     install_mode: InstallMode,
     /// Worker threads for scheduling general rules within one request
@@ -273,8 +336,15 @@ impl DynFoMachine {
     /// Initialize for universe size `n` (runs the program's `f(∅)`).
     pub fn new(program: DynFoProgram, n: Elem) -> DynFoMachine {
         let state = program.initial_structure(n);
+        let plans = compile_plans(&program);
+        let bit_plans = compile_bit_plans(&program, &plans, &state);
+        let query_plan = BitPlan::compile(program.query(), &state);
         DynFoMachine {
-            plans: compile_plans(&program),
+            plans,
+            bit_plans,
+            query_plan,
+            named_plans: BTreeMap::new(),
+            use_plans: true,
             program,
             state,
             stats: MachineStats::default(),
@@ -329,8 +399,15 @@ impl DynFoMachine {
                 ));
             }
         }
+        let plans = compile_plans(&program);
+        let bit_plans = compile_bit_plans(&program, &plans, &state);
+        let query_plan = BitPlan::compile(program.query(), &state);
         Ok(DynFoMachine {
-            plans: compile_plans(&program),
+            plans,
+            bit_plans,
+            query_plan,
+            named_plans: BTreeMap::new(),
+            use_plans: true,
             program,
             state,
             stats: MachineStats::default(),
@@ -355,6 +432,28 @@ impl DynFoMachine {
     /// Builder form of [`DynFoMachine::set_install_mode`].
     pub fn with_install_mode(mut self, mode: InstallMode) -> DynFoMachine {
         self.install_mode = mode;
+        self
+    }
+
+    /// Whether compiled bit-parallel plans execute general rules and
+    /// queries (the default).
+    pub fn use_plans(&self) -> bool {
+        self.use_plans
+    }
+
+    /// Enable or disable compiled plans. Both settings compute the same
+    /// state and answers — the interpreter is the always-available
+    /// fallback and the property tests hold the two against each other;
+    /// only `plan_*`/`kernel_words` counters and speed differ. Plans run
+    /// only in [`InstallMode::Delta`]; the rebuild baseline always
+    /// interprets.
+    pub fn set_use_plans(&mut self, on: bool) {
+        self.use_plans = on;
+    }
+
+    /// Builder form of [`DynFoMachine::set_use_plans`].
+    pub fn with_use_plans(mut self, on: bool) -> DynFoMachine {
+        self.use_plans = on;
         self
     }
 
@@ -484,9 +583,13 @@ impl DynFoMachine {
         let plans = self.plans.get(&kind).unwrap_or(&no_plans);
         debug_assert_eq!(rules.len(), plans.len());
         let mode = self.install_mode;
+        // Compiled plans only run in delta mode; the rebuild baseline
+        // stays a pure interpreter measurement.
+        let plans_on = self.use_plans && mode == InstallMode::Delta;
+        let bits = plans_on.then(|| self.bit_plans.get(&kind)).flatten();
 
-        let mut generals: Vec<(&UpdateRule, &GeneralPlan, RelId)> = Vec::new();
-        for (rule, plan) in rules.iter().zip(plans) {
+        let mut generals: Vec<(&UpdateRule, &GeneralPlan, RelId, Option<&BitPlan>)> = Vec::new();
+        for (i, (rule, plan)) in rules.iter().zip(plans).enumerate() {
             let id = self
                 .state
                 .vocab()
@@ -495,7 +598,10 @@ impl DynFoMachine {
             match plan {
                 RulePlan::InsertCopy => fast_ops.push((id, rule.target, true)),
                 RulePlan::DeleteCopy => fast_ops.push((id, rule.target, false)),
-                RulePlan::General(g) => generals.push((rule, g, id)),
+                RulePlan::General(g) => {
+                    let bp = bits.and_then(|v| v[i].as_ref());
+                    generals.push((rule, g, id, bp));
+                }
             }
         }
 
@@ -521,7 +627,7 @@ impl DynFoMachine {
                 let base = &self.cache;
                 let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> =
                     Vec::with_capacity(generals.len());
-                for (&(rule, gplan, id), slot) in generals.iter().zip(&slots) {
+                for (&(rule, gplan, id, bp), slot) in generals.iter().zip(&slots) {
                     jobs.push(Box::new(move || {
                         let mut local = SubformulaCache::new();
                         let mut ev =
@@ -531,7 +637,8 @@ impl DynFoMachine {
                             // pre-delta planner: no short-circuiting.
                             ev.set_short_circuit(false);
                         }
-                        let res = eval_general(state, rule, gplan, mode, id, &mut ev);
+                        let res =
+                            eval_general(state, rule, gplan, mode, id, bp, plans_on, &mut ev);
                         let stats = ev.stats();
                         drop(ev);
                         *slot.lock().unwrap() = Some((res, stats, local));
@@ -539,7 +646,7 @@ impl DynFoMachine {
                 }
                 pool.run_scoped(jobs);
             }
-            for (&(rule, gplan, id), slot) in generals.iter().zip(slots) {
+            for (&(rule, gplan, id, _), slot) in generals.iter().zip(slots) {
                 let (res, stats, local) = slot
                     .into_inner()
                     .unwrap()
@@ -551,12 +658,13 @@ impl DynFoMachine {
                 installs.push((id, rule.target, outcome));
             }
         } else {
-            for (rule, gplan, id) in generals {
+            for (rule, gplan, id, bp) in generals {
                 let mut ev = Evaluator::with_cache(&self.state, params, &mut self.cache);
                 if mode == InstallMode::Rebuild {
                     ev.set_short_circuit(false);
                 }
-                let res = eval_general(&self.state, rule, gplan, mode, id, &mut ev);
+                let res =
+                    eval_general(&self.state, rule, gplan, mode, id, bp, plans_on, &mut ev);
                 work.absorb(&ev.stats());
                 let outcome = res?;
                 self.stats.installs.note_eval(gplan, mode);
@@ -765,11 +873,18 @@ impl DynFoMachine {
 
     /// Answer the program's boolean query.
     pub fn query(&mut self) -> Result<bool, MachineError> {
+        // The query runs outside the rule scheduler, so big combine
+        // passes may slice across the pool.
+        let pool = (self.parallelism > 1).then(|| EvalPool::global(self.parallelism));
         let mut ev = Evaluator::with_cache(&self.state, &[], &mut self.cache);
-        let t = ev.eval(self.program.query())?;
+        let bits = self.use_plans.then_some(self.query_plan.as_ref()).flatten();
+        let ans = match run_plan(bits, self.use_plans, pool.as_deref(), &mut ev)? {
+            Some(t) => t.as_bool(),
+            None => ev.eval(self.program.query())?.as_bool(),
+        };
         self.stats.queries += 1;
         self.stats.query_work.absorb(&ev.stats());
-        Ok(t.as_bool())
+        Ok(ans)
     }
 
     /// Answer a named query with arguments bound to `?0, ?1, …`.
@@ -782,11 +897,27 @@ impl DynFoMachine {
             .named_query(name)
             .ok_or_else(|| MachineError::UnknownQuery(Sym::new(name)))?
             .clone();
+        let sym = Sym::new(name);
+        if self.use_plans && !self.named_plans.contains_key(&sym) {
+            // Plans are parameter-generic (`?i` resolves at execution),
+            // so one compilation serves every argument vector.
+            let bp = BitPlan::compile(&f, &self.state);
+            self.named_plans.insert(sym, bp);
+        }
+        let pool = (self.parallelism > 1).then(|| EvalPool::global(self.parallelism));
         let mut ev = Evaluator::with_cache(&self.state, args, &mut self.cache);
-        let t = ev.eval(&f)?;
+        let bits = self
+            .use_plans
+            .then(|| self.named_plans.get(&sym))
+            .flatten()
+            .and_then(|o| o.as_ref());
+        let ans = match run_plan(bits, self.use_plans, pool.as_deref(), &mut ev)? {
+            Some(t) => t.as_bool(),
+            None => ev.eval(&f)?.as_bool(),
+        };
         self.stats.queries += 1;
         self.stats.query_work.absorb(&ev.stats());
-        Ok(t.as_bool())
+        Ok(ans)
     }
 
     /// Evaluate an arbitrary formula over the current auxiliary
@@ -808,6 +939,40 @@ fn compile_plans(program: &DynFoProgram) -> BTreeMap<RequestKind, Vec<RulePlan>>
         plans.entry(kind).or_default().push(classify_rule(rule));
     }
     plans
+}
+
+/// Compile each general rule's evaluated formula to a bit-parallel plan
+/// where the lowering succeeds (`None` elsewhere — input copies, guarded
+/// rules, and formulas compilation declines). The compiled formula
+/// matches what delta-mode [`eval_general`] would hand the interpreter:
+/// a Grow rule's ψ, otherwise the stored formula.
+fn compile_bit_plans(
+    program: &DynFoProgram,
+    plans: &BTreeMap<RequestKind, Vec<RulePlan>>,
+    st: &Structure,
+) -> BTreeMap<RequestKind, Vec<Option<BitPlan>>> {
+    let mut out = BTreeMap::new();
+    for (&kind, rule_plans) in plans {
+        let rules = program.rules_for(kind);
+        debug_assert_eq!(rules.len(), rule_plans.len());
+        let compiled = rules
+            .iter()
+            .zip(rule_plans)
+            .map(|(rule, plan)| match plan {
+                RulePlan::General(GeneralPlan::Grow(psi)) => BitPlan::compile(psi, st),
+                RulePlan::General(GeneralPlan::Shrink | GeneralPlan::Full) => {
+                    BitPlan::compile(&rule.formula, st)
+                }
+                // Guard refinement already beats whole-formula
+                // evaluation; its surviving disjuncts vary per request,
+                // so there is no single formula to compile.
+                RulePlan::General(GeneralPlan::Guarded(_)) => None,
+                RulePlan::InsertCopy | RulePlan::DeleteCopy => None,
+            })
+            .collect();
+        out.insert(kind, compiled);
+    }
+    out
 }
 
 /// Decide how an update rule executes: detect the two canonical
@@ -930,20 +1095,72 @@ fn classify_guarded(parts: &[Formula], is_target_atom: &dyn Fn(&Formula) -> bool
     }
 }
 
+/// Execute a query's compiled plan if one is available. `Ok(None)` means
+/// the caller interprets instead — no plan, plans disabled, or a runtime
+/// bail — with `plan_fallback` counted whenever plans were enabled.
+fn run_plan(
+    bits: Option<&BitPlan>,
+    plans_on: bool,
+    pool: Option<&EvalPool>,
+    ev: &mut Evaluator<'_>,
+) -> Result<Option<dynfo_logic::Table>, EvalError> {
+    if let Some(bp) = bits {
+        let mut arena = bp.arena.lock().unwrap();
+        if let Some(t) = bp.plan.execute(ev, &mut arena, pool)? {
+            return Ok(Some(t));
+        }
+    }
+    if plans_on {
+        ev.stats_mut().plan_fallback += 1;
+    }
+    Ok(None)
+}
+
 /// Evaluate one general rule against the pre-state and decide its
 /// install action. Shared verbatim between the serial loop and the
 /// parallel scheduler (which passes an overlay-cache evaluator).
+#[allow(clippy::too_many_arguments)]
 fn eval_general(
     st: &Structure,
     rule: &UpdateRule,
     plan: &GeneralPlan,
     mode: InstallMode,
     id: RelId,
+    bits: Option<&BitPlan>,
+    plans_on: bool,
     ev: &mut Evaluator<'_>,
 ) -> Result<GeneralOutcome, EvalError> {
     let n = st.size();
     if let (InstallMode::Delta, GeneralPlan::Guarded(gp)) = (mode, plan) {
         return eval_guarded(st, rule, gp, id, ev);
+    }
+    // Compiled path first: execute the rule's bit-parallel plan over the
+    // dense backends. `Ok(None)` means the plan bailed at runtime (a
+    // relation's backend or universe no longer matches the compiled
+    // layout); real evaluation errors surface exactly like the
+    // interpreter's. `pool` is `None` — rule plans may already be
+    // running on pool workers, and pools must not nest.
+    if let Some(bp) = bits {
+        let mut arena = bp.arena.lock().unwrap();
+        if let Some(table) = bp.plan.execute(ev, &mut arena, None)? {
+            let rows = align_to_rule(table, rule, n);
+            let delta_mode = match plan {
+                GeneralPlan::Grow(_) => DeltaMode::Grow,
+                GeneralPlan::Shrink => DeltaMode::Shrink,
+                GeneralPlan::Guarded(_) => unreachable!("guarded handled above"),
+                GeneralPlan::Full => DeltaMode::Full,
+            };
+            return Ok(GeneralOutcome::Plan(install_plan(
+                delta_mode,
+                st.relation(id),
+                &rows,
+            )));
+        }
+    }
+    if plans_on {
+        // Plans are enabled but this rule is interpreting: compilation
+        // declined or the plan bailed above.
+        ev.stats_mut().plan_fallback += 1;
     }
     // In delta mode a Grow rule evaluates only its ψ; every other
     // combination evaluates the stored formula in full.
@@ -1308,7 +1525,9 @@ mod tests {
             )
             .query(Formula::True)
             .build();
-        let mut m = DynFoMachine::new(p, 16);
+        // Interpreter work is what's being measured; compiled plans
+        // build no intermediate rows.
+        let mut m = DynFoMachine::new(p, 16).with_use_plans(false);
         m.apply(&Request::ins("M", [1])).unwrap();
         let w1 = m.stats().update_work.rows_built;
         assert!(w1 > 0);
@@ -1365,7 +1584,9 @@ mod tests {
                     & dynfo_logic::formula::le(v("x"), v("z")),
             ))
             .build();
-        let mut m = DynFoMachine::new(p, 8);
+        // The subformula cache is the subject here; compiled plans keep
+        // their own (stable-slot) cache and would bypass it.
+        let mut m = DynFoMachine::new(p, 8).with_use_plans(false);
         m.apply(&Request::ins("A", [1])).unwrap();
         assert!(m.query().unwrap());
         let cached = m.cache().len();
@@ -1586,7 +1807,9 @@ mod tests {
             )
             .query(Formula::True)
             .build();
-        let mut m = DynFoMachine::new(p, 8);
+        // Constant-read eviction is interpreter-cache machinery;
+        // compiled plans would answer these queries without filling it.
+        let mut m = DynFoMachine::new(p, 8).with_use_plans(false);
         m.apply(&Request::ins("A", [1])).unwrap();
         m.apply(&Request::set("c", 4)).unwrap();
         assert!(m.query_named("near_c", &[]).unwrap());

@@ -184,9 +184,25 @@ impl BitRel {
         }
     }
 
+    fn zip_words_assign(&mut self, other: &BitRel, op: impl Fn(u64, u64) -> u64) {
+        assert_eq!(self.arity, other.arity, "arity mismatch");
+        assert_eq!(self.n, other.n, "universe mismatch");
+        let mut len = 0usize;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a = op(*a, b);
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
     /// Set union (word-parallel OR).
     pub fn union(&self, other: &BitRel) -> BitRel {
         self.zip_words(other, |a, b| a | b)
+    }
+
+    /// In-place union: `self ∪= other` without allocating a result.
+    pub fn union_assign(&mut self, other: &BitRel) {
+        self.zip_words_assign(other, |a, b| a | b)
     }
 
     /// Set intersection (word-parallel AND).
@@ -194,9 +210,19 @@ impl BitRel {
         self.zip_words(other, |a, b| a & b)
     }
 
+    /// In-place intersection: `self ∩= other`.
+    pub fn intersection_assign(&mut self, other: &BitRel) {
+        self.zip_words_assign(other, |a, b| a & b)
+    }
+
     /// Set difference (word-parallel AND-NOT).
     pub fn difference(&self, other: &BitRel) -> BitRel {
         self.zip_words(other, |a, b| a & !b)
+    }
+
+    /// In-place difference: `self ∖= other`.
+    pub fn difference_assign(&mut self, other: &BitRel) {
+        self.zip_words_assign(other, |a, b| a & !b)
     }
 
     /// Complement over the full `n^arity` tuple space (word-parallel NOT
@@ -218,6 +244,89 @@ impl BitRel {
         }
     }
 
+    /// Word slice access for same-crate kernels: when the universe is a
+    /// power of two the base-`n` layout coincides with the compiled
+    /// plans' padded power-of-two layout, so atom loads become straight
+    /// word copies.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Existential quantification along one tuple axis: the arity-(k−1)
+    /// relation `{ t∖axis | ∃v. t ∈ self }`, computed as an OR block-fold
+    /// over the `n` sub-spans the axis contributes. In base-`n` layout
+    /// the bits for fixed values of the axes before `axis` are `n`
+    /// consecutive spans of `n^(k−1−axis)` bits each, so the fold is a
+    /// word pass with two shifts per word — 64 tuples per instruction —
+    /// rather than a per-tuple projection.
+    ///
+    /// # Panics
+    /// Panics if `axis ≥ arity`.
+    pub fn exists_axis(&self, axis: usize) -> BitRel {
+        self.fold_axis(axis, false)
+    }
+
+    /// Universal quantification along one axis: the arity-(k−1) relation
+    /// `{ t∖axis | ∀v. t ∈ self }` — the AND block-fold dual of
+    /// [`BitRel::exists_axis`].
+    pub fn forall_axis(&self, axis: usize) -> BitRel {
+        self.fold_axis(axis, true)
+    }
+
+    fn fold_axis(&self, axis: usize, universal: bool) -> BitRel {
+        assert!(axis < self.arity, "axis {axis} out of range for arity {}", self.arity);
+        let n = self.n as usize;
+        let mut out = BitRel::new(self.arity - 1, self.n);
+        // Block = bits per value of the folded axis; group = the n
+        // blocks sharing one prefix assignment.
+        let block = n.pow((self.arity - 1 - axis) as u32);
+        let outer = n.pow(axis as u32);
+        for hi in 0..outer {
+            let dst0 = hi * block;
+            let src0 = hi * block * n;
+            span_copy(&mut out.words, dst0, &self.words, src0, block);
+            for d in 1..n {
+                span_op(
+                    &mut out.words,
+                    dst0,
+                    &self.words,
+                    src0 + d * block,
+                    block,
+                    universal,
+                );
+            }
+        }
+        out.len = out.words.iter().map(|w| w.count_ones() as usize).sum();
+        out
+    }
+
+    /// Reorder tuple components: the relation `{ (t[perm[0]], …,
+    /// t[perm[k−1]]) | t ∈ self }`, where `perm` is a permutation of
+    /// `0..arity`. Cost is O(len · arity) decode/re-encode — column
+    /// permutation has no base-`n` word trick; compiled plans avoid it
+    /// by keeping every buffer in one canonical column order and only
+    /// permuting at atom-load time through precomputed scatter tables.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..arity`.
+    pub fn permute(&self, perm: &[usize]) -> BitRel {
+        assert_eq!(perm.len(), self.arity, "permutation length != arity");
+        let mut seen = [false; crate::tuple::MAX_ARITY];
+        for &p in perm {
+            assert!(p < self.arity && !seen[p], "not a permutation of 0..{}", self.arity);
+            seen[p] = true;
+        }
+        let mut out = BitRel::new(self.arity, self.n);
+        let mut items = [0 as Elem; crate::tuple::MAX_ARITY];
+        for t in self.iter() {
+            for (i, &p) in perm.iter().enumerate() {
+                items[i] = t[p];
+            }
+            out.insert(Tuple::from_slice(&items[..self.arity]));
+        }
+        out
+    }
+
     /// Symmetric-difference cardinality (word-parallel XOR popcount).
     pub fn hamming(&self, other: &BitRel) -> usize {
         assert_eq!(self.arity, other.arity, "arity mismatch");
@@ -227,6 +336,92 @@ impl BitRel {
             .zip(&other.words)
             .map(|(&a, &b)| (a ^ b).count_ones() as usize)
             .sum()
+    }
+}
+
+/// Bit-addressed span primitives shared by [`BitRel`]'s axis folds and
+/// the compiled-plan kernels (`eval::kernels`). All three walk the
+/// *destination* a word at a time — 64 tuples per instruction even when
+/// the span offsets are not word-aligned (two shifts realign the source).
+///
+/// Read 64 bits of `src` starting at bit `pos`; bits past the end read 0.
+#[inline]
+pub(crate) fn read_bits(src: &[u64], pos: usize) -> u64 {
+    let w = pos / 64;
+    let b = pos % 64;
+    let lo = src.get(w).copied().unwrap_or(0);
+    if b == 0 {
+        lo
+    } else {
+        let hi = src.get(w + 1).copied().unwrap_or(0);
+        (lo >> b) | (hi << (64 - b))
+    }
+}
+
+/// A mask of bits `[a, b)` within one word (`0 ≤ a < b ≤ 64`).
+#[inline]
+pub(crate) fn mask_range(a: usize, b: usize) -> u64 {
+    let width = b - a;
+    let m = if width == 64 { !0u64 } else { (1u64 << width) - 1 };
+    m << a
+}
+
+/// Visit every destination word overlapping `dst[d0 .. d0+len)`, handing
+/// the callback the word, the source chunk realigned to it, and the mask
+/// of span bits inside it.
+#[inline]
+fn for_span(
+    dst: &mut [u64],
+    d0: usize,
+    src: &[u64],
+    s0: usize,
+    len: usize,
+    mut f: impl FnMut(&mut u64, u64, u64),
+) {
+    if len == 0 {
+        return;
+    }
+    let end_bit = d0 + len;
+    let words = d0 / 64..=(end_bit - 1) / 64;
+    for (w, d) in dst.iter_mut().enumerate().take(*words.end() + 1).skip(*words.start()) {
+        let word_lo = w * 64;
+        let lo = d0.max(word_lo);
+        let hi = end_bit.min(word_lo + 64);
+        let mask = mask_range(lo - word_lo, hi - word_lo);
+        let pos = s0 as isize + word_lo as isize - d0 as isize;
+        let chunk = if pos >= 0 {
+            read_bits(src, pos as usize)
+        } else {
+            // Only the first word can sit before the source start
+            // (`-pos ≤ 63`); bits below the mask are garbage and masked
+            // off by the callback.
+            read_bits(src, 0) << (-pos as usize)
+        };
+        f(d, chunk, mask);
+    }
+}
+
+/// `dst[d0..d0+len) = src[s0..s0+len)` (bit addressed).
+pub(crate) fn span_copy(dst: &mut [u64], d0: usize, src: &[u64], s0: usize, len: usize) {
+    for_span(dst, d0, src, s0, len, |d, chunk, mask| {
+        *d = (*d & !mask) | (chunk & mask)
+    });
+}
+
+/// `dst[d0..) op= src[s0..)` over `len` bits: AND when `universal`
+/// (bits outside the span are untouched), OR otherwise.
+pub(crate) fn span_op(
+    dst: &mut [u64],
+    d0: usize,
+    src: &[u64],
+    s0: usize,
+    len: usize,
+    universal: bool,
+) {
+    if universal {
+        for_span(dst, d0, src, s0, len, |d, chunk, mask| *d &= chunk | !mask);
+    } else {
+        for_span(dst, d0, src, s0, len, |d, chunk, mask| *d |= chunk & mask);
     }
 }
 
@@ -367,6 +562,120 @@ mod tests {
         assert_eq!(r.iter().collect::<Vec<_>>(), vec![Tuple::empty()]);
         let c = r.complement();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn assign_ops_match_allocating_ops() {
+        let a = rel(6, &[(0, 1), (1, 2), (5, 5)]);
+        let b = rel(6, &[(1, 2), (2, 3)]);
+        let mut u = a.clone();
+        u.union_assign(&b);
+        assert_eq!(u, a.union(&b));
+        assert_eq!(u.len(), a.union(&b).len());
+        let mut i = a.clone();
+        i.intersection_assign(&b);
+        assert_eq!(i, a.intersection(&b));
+        let mut d = a.clone();
+        d.difference_assign(&b);
+        assert_eq!(d, a.difference(&b));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn exists_axis_is_projection() {
+        // 7 is not a multiple of 64, so spans are unaligned on purpose.
+        let r = rel(7, &[(0, 1), (0, 5), (3, 3), (6, 2)]);
+        // ∃y R(x,y): fold axis 1.
+        let xs = r.exists_axis(1);
+        assert_eq!(
+            xs.iter().collect::<Vec<_>>(),
+            vec![Tuple::unary(0), Tuple::unary(3), Tuple::unary(6)]
+        );
+        // ∃x R(x,y): fold axis 0.
+        let ys = r.exists_axis(0);
+        assert_eq!(
+            ys.iter().collect::<Vec<_>>(),
+            vec![
+                Tuple::unary(1),
+                Tuple::unary(2),
+                Tuple::unary(3),
+                Tuple::unary(5)
+            ]
+        );
+    }
+
+    #[test]
+    fn forall_axis_is_universal() {
+        let mut r = BitRel::new(2, 5);
+        // Row 2 is full; row 4 misses one value.
+        for y in 0..5 {
+            r.insert(Tuple::pair(2, y));
+        }
+        for y in 0..4 {
+            r.insert(Tuple::pair(4, y));
+        }
+        let all = r.forall_axis(1);
+        assert_eq!(all.iter().collect::<Vec<_>>(), vec![Tuple::unary(2)]);
+        // Dual check: ∀x R(x,y) is empty here.
+        assert!(r.forall_axis(0).is_empty());
+    }
+
+    #[test]
+    fn fold_axis_middle_of_arity3() {
+        let mut r = BitRel::new(3, 5);
+        for &(a, b, c) in &[(1, 0, 2), (1, 3, 2), (1, 4, 4), (0, 2, 2)] {
+            r.insert(Tuple::triple(a, b, c));
+        }
+        let folded = r.exists_axis(1);
+        let mut expect: Vec<Tuple> =
+            vec![Tuple::pair(1, 2), Tuple::pair(1, 4), Tuple::pair(0, 2)];
+        expect.sort_unstable();
+        assert_eq!(folded.iter().collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn permute_reorders_columns() {
+        let mut r = BitRel::new(3, 6);
+        r.insert(Tuple::triple(1, 2, 3));
+        r.insert(Tuple::triple(4, 4, 0));
+        let p = r.permute(&[2, 0, 1]);
+        assert!(p.contains(&Tuple::triple(3, 1, 2)));
+        assert!(p.contains(&Tuple::triple(0, 4, 4)));
+        assert_eq!(p.len(), 2);
+        // Identity permutation is a no-op.
+        assert_eq!(r.permute(&[0, 1, 2]), r);
+        // Swapping twice round-trips.
+        let swap = rel(9, &[(1, 7), (2, 2)]);
+        assert_eq!(swap.permute(&[1, 0]).permute(&[1, 0]), swap);
+    }
+
+    #[test]
+    fn span_helpers_bit_exact() {
+        // Unaligned copy/or/and across word boundaries.
+        let mut src = vec![0u64; 3];
+        for b in [3usize, 64, 70, 127, 130] {
+            src[b / 64] |= 1 << (b % 64);
+        }
+        let mut dst = vec![!0u64; 3];
+        super::span_copy(&mut dst, 5, &src, 3, 128);
+        // dst bit 5 ↔ src bit 3 (set), dst bit 4 untouched (still 1).
+        assert_eq!(dst[0] & (1 << 5), 1 << 5);
+        assert_eq!(dst[0] & (1 << 4), 1 << 4);
+        // dst bit 6 ↔ src bit 4 (clear).
+        assert_eq!(dst[0] & (1 << 6), 0);
+        // dst bit 5+61=66 ↔ src bit 64 (set).
+        assert_eq!(dst[1] & (1 << 2), 1 << 2);
+        // Bits past the span (≥ 133) untouched.
+        assert_eq!(dst[2] >> 5, !0u64 >> 5);
+        // OR then AND against known spans.
+        let mut acc = vec![0u64; 3];
+        super::span_op(&mut acc, 5, &src, 3, 128, false);
+        assert_eq!(acc[0] & (1 << 5), 1 << 5);
+        let mut all = vec![!0u64; 3];
+        super::span_op(&mut all, 5, &src, 3, 128, true);
+        assert_eq!(all[0] & (1 << 5), 1 << 5);
+        assert_eq!(all[0] & (1 << 6), 0);
+        assert_eq!(all[0] & (1 << 4), 1 << 4); // outside span: kept
     }
 
     #[test]

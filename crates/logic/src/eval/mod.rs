@@ -17,7 +17,9 @@
 //! exactly the free variables of `φ`.
 
 pub mod delta;
+pub(crate) mod kernels;
 pub mod naive;
+pub mod plan;
 mod table;
 
 pub use delta::{install_plan, DeltaMode, InstallPlan};
@@ -86,6 +88,15 @@ pub struct EvalStats {
     pub complements: usize,
     /// Largest intermediate table, in rows.
     pub max_table: usize,
+    /// Evaluations served by a compiled bit-parallel plan
+    /// ([`plan::Plan`]).
+    pub plan_compiled: usize,
+    /// Evaluations that wanted a plan but fell back to the interpreter
+    /// (no plan compiled, or the plan bailed at runtime).
+    pub plan_fallback: usize,
+    /// 64-bit words processed by plan kernels — the bit-parallel
+    /// counterpart of `rows_built` (each word covers 64 tuples).
+    pub kernel_words: u64,
 }
 
 impl EvalStats {
@@ -101,6 +112,9 @@ impl EvalStats {
         self.antijoins += other.antijoins;
         self.complements += other.complements;
         self.max_table = self.max_table.max(other.max_table);
+        self.plan_compiled += other.plan_compiled;
+        self.plan_fallback += other.plan_fallback;
+        self.kernel_words += other.kernel_words;
     }
 }
 
@@ -397,6 +411,13 @@ impl<'a> Evaluator<'a> {
     /// Counters accumulated so far.
     pub fn stats(&self) -> EvalStats {
         self.stats
+    }
+
+    /// Mutable counter access, for hosts that account work done outside
+    /// `eval` against this evaluation (the plan executor, the machine's
+    /// fallback bookkeeping).
+    pub fn stats_mut(&mut self) -> &mut EvalStats {
+        &mut self.stats
     }
 
     /// Override the complement budget (rows).

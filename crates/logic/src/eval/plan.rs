@@ -1,0 +1,1076 @@
+//! One-shot compilation of FO formulas to bit-parallel plans.
+//!
+//! The tree-walking [`Evaluator`] re-interprets a formula's AST on every
+//! request, materializing intermediate [`Table`]s row by row. For the
+//! update formulas of Dyn-FO programs — boolean-heavy, shallow quantifier
+//! prefixes, evaluated thousands of times against dense relations — that
+//! per-row interpretation is the dominant cost. This module compiles such
+//! a formula **once** into a flat SSA-style sequence of relational-algebra
+//! ops over dense bit-buffers (the padded power-of-two layout of
+//! [`kernels`]), then executes the sequence with 64-tuples-per-instruction
+//! kernels on every request.
+//!
+//! Compilation is total-or-partial with graceful degradation:
+//!
+//! * a subformula the compiler cannot lower (sparse-backed relation atom,
+//!   slot over [`PLAN_SLOT_BITS_CAP`], non-canonical node) becomes an
+//!   [`Op::Interp`] node — the interpreter evaluates just that subtree and
+//!   the result is scattered into a bit-buffer, so the largest compilable
+//!   enclosure still runs on kernels;
+//! * if the *root* cannot be lowered at all, [`Plan::compile`] returns
+//!   `None` and the caller stays on the interpreter (counted as
+//!   `plan_fallback` in [`EvalStats`](super::EvalStats));
+//! * at execution time a relation whose backend changed since compilation
+//!   makes [`Plan::execute`] return `Ok(None)` — fall back, don't crash.
+//!
+//! Unguarded negation needs **no complement budget** here: on bit-buffers
+//! `¬φ` is a masked NOT over bits that already exist, not an `n^k` row
+//! materialization. `∀x̄ φ` (canonicalized to `¬∃x̄ ¬φ`) is peepholed to
+//! AND-folds so no complement pass runs at all.
+//!
+//! Buffers live in a [`PlanArena`] that persists across requests: slots
+//! are allocated once and overwritten in place, and slots whose value
+//! cannot change between requests (no relation, parameter, or constant
+//! reads — e.g. a `x < y` mask) are computed once and kept.
+
+use super::kernels::{self, Layout};
+use super::{numeric_pred, numeric_terms, EvalError, Evaluator, Table};
+use crate::analysis::{free_vars, is_canonical, mentions_param_or_const};
+use crate::bitrel::span_copy;
+use crate::formula::{Formula, Term};
+use crate::intern::Sym;
+use crate::parallel::EvalPool;
+use crate::structure::Structure;
+use crate::tuple::{Elem, Tuple, MAX_ARITY};
+use std::collections::HashMap;
+
+/// Cap on one slot's padded tuple space (`S^k` bits, 32 MiB of bitmap).
+/// Wider than the dense-relation cap because padding can double each
+/// axis; anything bigger falls back to the interpreter. This is a
+/// *feasibility* bound, not a profitability one — callers that must not
+/// regress a cheap interpreter path (the machine's rule plans) apply
+/// their own work budget on top via [`Plan::work_words`].
+pub const PLAN_SLOT_BITS_CAP: u128 = 1 << 28;
+
+/// Combine passes at least this many words wide are sliced across the
+/// [`EvalPool`] when the executor is given one (query path only — rule
+/// evaluation already runs rule-parallel on the pool).
+const PARALLEL_MIN_WORDS: usize = 1 << 14;
+
+type SlotId = usize;
+
+#[derive(Clone, Debug)]
+struct SlotInfo {
+    /// Free variables, in sorted `Sym` order — the canonical column
+    /// order every buffer shares, so connectives never permute.
+    vars: Vec<Sym>,
+    words: usize,
+    /// True iff the slot reads no relation, parameter, or constant:
+    /// its contents are identical for every request and survive in the
+    /// arena once computed.
+    stable: bool,
+}
+
+/// How one atom argument maps into the slot's axes.
+#[derive(Clone, Debug)]
+enum ColSpec {
+    /// First occurrence of a variable: relation column feeds this axis.
+    Axis(usize),
+    /// Repeated variable: must equal the named axis (a filter).
+    Repeat(usize),
+    /// Ground term, resolved against structure + params at execute time.
+    Ground(Term),
+}
+
+/// Specialized execution strategy for a [`Op::Load`], chosen at compile
+/// time from the argument shape and the universe geometry.
+#[derive(Clone, Debug)]
+enum LoadPath {
+    /// `n == S`, arguments are the slot variables in order: the base-`n`
+    /// and padded layouts coincide — straight word copy.
+    WordCopy,
+    /// Arguments in order but `n < S`: copy each innermost `n`-bit run
+    /// into its padded position (word-parallel spans).
+    Restride,
+    /// Arguments are a (non-identity) permutation of distinct variables
+    /// and `n == S ≥ 64`: per-word bit-scatter — `t_hi[w]` maps source
+    /// word `w`'s base index to its destination index, and the low 6
+    /// source bits land `b << tshift` above it. `tshift == 0` degrades
+    /// to whole-word moves.
+    Scatter { t_hi: Vec<usize>, tshift: u32 },
+    /// Everything else (repeats, grounds, unaligned permutations):
+    /// iterate set tuples with prefix pushdown and set bits one by one —
+    /// O(popcount), the dense-relation analogue of a scan.
+    Tuples,
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// `True`/`False` over the slot's variables.
+    Const { dst: SlotId, value: bool },
+    /// Scan a dense relation atom into a slot.
+    Load { dst: SlotId, rel: Sym, cols: Vec<ColSpec>, path: LoadPath },
+    /// Materialize a numeric predicate (`=`, `≤`, `<`, `BIT`) mask.
+    Numeric { dst: SlotId, atom: Formula, negated: bool },
+    /// Fused n-ary AND/OR with per-source negation.
+    Combine { dst: SlotId, srcs: Vec<(SlotId, bool)>, and: bool, masked: bool },
+    /// Masked complement.
+    Not { dst: SlotId, src: SlotId },
+    /// Insert an axis (align a narrower operand to a wider variable set).
+    Broadcast { dst: SlotId, src: SlotId, axis: usize, rep: Vec<u64> },
+    /// Quantify out an axis: OR-fold (∃) or AND-fold (∀).
+    Fold { dst: SlotId, src: SlotId, axis: usize, and: bool, gmask: Vec<u64> },
+    /// Interpreter island: evaluate the subtree with the [`Evaluator`]
+    /// (sharing its subformula cache) and scatter the rows into bits.
+    Interp { dst: SlotId, formula: Formula },
+}
+
+impl Op {
+    fn dst(&self) -> SlotId {
+        match self {
+            Op::Const { dst, .. }
+            | Op::Load { dst, .. }
+            | Op::Numeric { dst, .. }
+            | Op::Combine { dst, .. }
+            | Op::Not { dst, .. }
+            | Op::Broadcast { dst, .. }
+            | Op::Fold { dst, .. }
+            | Op::Interp { dst, .. } => *dst,
+        }
+    }
+}
+
+/// A compiled formula: a flat op sequence over bit-buffer slots.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    lay: Layout,
+    slots: Vec<SlotInfo>,
+    ops: Vec<Op>,
+    root: SlotId,
+    /// Valid-bit masks per arity, for ops that negate (built only for
+    /// arities that need one).
+    valids: Vec<Option<Vec<u64>>>,
+}
+
+/// Per-plan scratch buffers, reused across requests. Holding one arena
+/// per rule (each parallel rule worker owns its rule's arena) means zero
+/// allocation on the steady-state update path.
+#[derive(Debug, Default)]
+pub struct PlanArena {
+    bufs: Vec<Vec<u64>>,
+    /// Which `stable` slots already hold their (request-independent)
+    /// value. Never needs invalidation: stable slots read no state.
+    stable_done: Vec<bool>,
+}
+
+impl Plan {
+    /// Compile a canonical formula against the structure it will run on
+    /// (relation backends are inspected at compile time). Returns `None`
+    /// when the root cannot be lowered — callers keep the interpreter.
+    pub fn compile(f: &Formula, st: &Structure) -> Option<Plan> {
+        let canonical;
+        let f = if is_canonical(f) {
+            f
+        } else {
+            canonical = crate::analysis::canonicalize(f);
+            &canonical
+        };
+        let mut c = Compiler {
+            st,
+            lay: Layout::new(st.size()),
+            slots: Vec::new(),
+            ops: Vec::new(),
+            memo: HashMap::new(),
+        };
+        let root = c.emit(f).ok()?;
+        // A plan that is a single interpreter island does no kernel work;
+        // plain interpreter fallback is strictly cheaper.
+        if c.ops.len() == 1 && matches!(c.ops[0], Op::Interp { .. }) {
+            return None;
+        }
+        let mut valids: Vec<Option<Vec<u64>>> = vec![None; MAX_ARITY + 1];
+        for op in &c.ops {
+            let arity = match op {
+                Op::Combine { dst, masked: true, .. } | Op::Not { dst, .. } => {
+                    Some(c.slots[*dst].vars.len())
+                }
+                Op::Const { dst, value: true } => Some(c.slots[*dst].vars.len()),
+                _ => None,
+            };
+            if let Some(k) = arity {
+                if valids[k].is_none() {
+                    valids[k] = Some(kernels::valid_mask(&c.lay, k));
+                }
+            }
+        }
+        Some(Plan {
+            lay: c.lay,
+            slots: c.slots,
+            ops: c.ops,
+            root,
+            valids,
+        })
+    }
+
+    /// The variables of the result table, in slot (sorted) order.
+    pub fn vars(&self) -> &[Sym] {
+        &self.slots[self.root].vars
+    }
+
+    /// A proxy for per-execution kernel work: total buffer words across
+    /// every slot (each slot is written by exactly one op, so this is
+    /// roughly the plan's write traffic per run). Callers compare it
+    /// against what *their* fallback path would cost — the machine
+    /// refuses rule plans whose fixed `S^k`-shaped work would dwarf the
+    /// delta pipeline's guard-refined scans.
+    pub fn work_words(&self) -> u64 {
+        self.slots.iter().map(|s| s.words as u64).sum()
+    }
+
+    /// Number of ops (interpreter islands included).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True iff the plan has no ops (never produced by `compile`).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// A fresh arena sized for this plan.
+    pub fn arena(&self) -> PlanArena {
+        PlanArena {
+            bufs: self.slots.iter().map(|_| Vec::new()).collect(),
+            stable_done: vec![false; self.slots.len()],
+        }
+    }
+
+    /// Execute against the evaluator's structure and parameters; `ev`
+    /// also serves interpreter islands (sharing its subformula cache) and
+    /// accumulates `kernel_words`/`plan_compiled` counters.
+    ///
+    /// Returns `Ok(None)` when the plan no longer matches the structure
+    /// (universe resized, relation backend changed) — the caller falls
+    /// back to the interpreter. Real evaluation failures (unbound
+    /// parameter, unknown symbol) surface as errors, exactly as the
+    /// interpreter would raise them.
+    ///
+    /// `pool`: when given, combine passes over at least
+    /// `PARALLEL_MIN_WORDS` words are sliced across it. Pass `None` from
+    /// inside pool workers (the rule scheduler) — pools must not nest.
+    pub fn execute(
+        &self,
+        ev: &mut Evaluator<'_>,
+        arena: &mut PlanArena,
+        pool: Option<&EvalPool>,
+    ) -> Result<Option<Table>, EvalError> {
+        if Layout::new(ev.st.size()) != self.lay {
+            return Ok(None);
+        }
+        if arena.bufs.len() != self.slots.len() {
+            *arena = self.arena();
+        }
+        let mut kw = 0u64;
+        for op in &self.ops {
+            let dst = op.dst();
+            if self.slots[dst].stable && arena.stable_done[dst] {
+                continue;
+            }
+            // SSA: every source slot precedes its consumer, so splitting
+            // at `dst` gives the written buffer and read-only sources.
+            let (lo, hi) = arena.bufs.split_at_mut(dst);
+            let buf = &mut hi[0];
+            buf.resize(self.slots[dst].words, 0);
+            match op {
+                Op::Const { value, .. } => {
+                    if *value {
+                        let k = self.slots[dst].vars.len();
+                        buf.copy_from_slice(self.valids[k].as_ref().unwrap());
+                    } else {
+                        buf.fill(0);
+                    }
+                    kw += buf.len() as u64;
+                }
+                Op::Load { rel, cols, path, .. } => {
+                    match self.load(ev, buf, &self.slots[dst], *rel, cols, path)? {
+                        Some(words) => kw += words,
+                        None => return Ok(None),
+                    }
+                }
+                Op::Numeric { atom, negated, .. } => {
+                    kw += self.numeric(ev, buf, &self.slots[dst], atom, *negated)?;
+                }
+                Op::Combine { srcs, and, masked, .. } => {
+                    let operands: Vec<(&[u64], bool)> =
+                        srcs.iter().map(|&(s, neg)| (lo[s].as_slice(), neg)).collect();
+                    let k = self.slots[dst].vars.len();
+                    let valid = masked.then(|| self.valids[k].as_ref().unwrap().as_slice());
+                    kw += match pool {
+                        Some(p) if buf.len() >= PARALLEL_MIN_WORDS && p.size() > 1 => {
+                            combine_pooled(p, buf, &operands, *and, valid)
+                        }
+                        _ => kernels::combine(buf, &operands, *and, valid),
+                    };
+                }
+                Op::Not { src, .. } => {
+                    let k = self.slots[dst].vars.len();
+                    kw += kernels::not(buf, &lo[*src], self.valids[k].as_ref().unwrap());
+                }
+                Op::Broadcast { src, axis, rep, .. } => {
+                    let k_src = self.slots[*src].vars.len();
+                    kw += kernels::broadcast(buf, &lo[*src], &self.lay, k_src, *axis, rep);
+                }
+                Op::Fold { src, axis, and, gmask, .. } => {
+                    let k_src = self.slots[*src].vars.len();
+                    kw += kernels::fold(buf, &lo[*src], &self.lay, k_src, *axis, *and, gmask);
+                }
+                Op::Interp { formula, .. } => {
+                    let table = ev.eval(formula)?;
+                    buf.fill(0);
+                    let info = &self.slots[dst];
+                    let axes: Vec<usize> = table
+                        .vars()
+                        .iter()
+                        .map(|v| info.vars.iter().position(|x| x == v).unwrap())
+                        .collect();
+                    let shift = self.lay.shift as usize;
+                    let k = info.vars.len();
+                    for row in table.rows() {
+                        let mut idx = 0usize;
+                        for (col, &axis) in axes.iter().enumerate() {
+                            idx |= (row[col] as usize) << (shift * (k - 1 - axis));
+                        }
+                        buf[idx / 64] |= 1 << (idx % 64);
+                    }
+                }
+            }
+            if self.slots[dst].stable {
+                arena.stable_done[dst] = true;
+            }
+        }
+        ev.stats.kernel_words += kw;
+        ev.stats.plan_compiled += 1;
+        Ok(Some(self.decode(&arena.bufs[self.root], self.root)))
+    }
+
+    /// Decode a slot's set bits into a sorted, duplicate-free table.
+    fn decode(&self, buf: &[u64], slot: SlotId) -> Table {
+        let info = &self.slots[slot];
+        let k = info.vars.len();
+        let shift = self.lay.shift as usize;
+        let smask = (self.lay.stride() - 1) as Elem;
+        let mut rows = Vec::new();
+        for (w, &word) in buf.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let idx = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let mut items = [0 as Elem; MAX_ARITY];
+                for (j, item) in items.iter_mut().enumerate().take(k) {
+                    *item = (idx >> (shift * (k - 1 - j))) as Elem & smask;
+                }
+                rows.push(Tuple::from_slice(&items[..k]));
+            }
+        }
+        Table::new(info.vars.clone(), rows)
+    }
+
+    /// Execute one atom load. `Ok(None)` = backend mismatch, fall back.
+    fn load(
+        &self,
+        ev: &Evaluator<'_>,
+        buf: &mut [u64],
+        info: &SlotInfo,
+        name: Sym,
+        cols: &[ColSpec],
+        path: &LoadPath,
+    ) -> Result<Option<u64>, EvalError> {
+        let id = ev
+            .st
+            .vocab()
+            .relation(name)
+            .ok_or(EvalError::UnknownRelation(name))?;
+        let rel = ev.st.relation(id);
+        if rel.dense_universe() != Some(self.lay.n) {
+            return Ok(None);
+        }
+        let bits = rel
+            .dense_bits()
+            .expect("dense_universe implies dense backend");
+        let n = self.lay.n as usize;
+        let shift = self.lay.shift as usize;
+        let k = info.vars.len();
+        Ok(Some(match path {
+            LoadPath::WordCopy => {
+                buf.copy_from_slice(bits);
+                2 * buf.len() as u64
+            }
+            LoadPath::Restride => {
+                buf.fill(0);
+                if k == 0 {
+                    buf[0] = bits[0] & 1;
+                } else {
+                    let prefixes = n.pow((k - 1) as u32);
+                    let mut digits = [0usize; MAX_ARITY];
+                    for r in 0..prefixes {
+                        let mut padded = 0usize;
+                        for &d in digits.iter().take(k - 1) {
+                            padded = (padded << shift) | d;
+                        }
+                        span_copy(buf, padded << shift, bits, r * n, n);
+                        for j in (0..k - 1).rev() {
+                            digits[j] += 1;
+                            if digits[j] < n {
+                                break;
+                            }
+                            digits[j] = 0;
+                        }
+                    }
+                }
+                (buf.len() + bits.len()) as u64
+            }
+            LoadPath::Scatter { t_hi, tshift } => {
+                buf.fill(0);
+                for (w, &word) in bits.iter().enumerate() {
+                    if word == 0 {
+                        continue;
+                    }
+                    if *tshift == 0 {
+                        buf[t_hi[w] / 64] = word;
+                    } else {
+                        let mut x = word;
+                        while x != 0 {
+                            let b = x.trailing_zeros() as usize;
+                            x &= x - 1;
+                            let pos = t_hi[w] + (b << tshift);
+                            buf[pos / 64] |= 1 << (pos % 64);
+                        }
+                    }
+                }
+                (buf.len() + bits.len()) as u64
+            }
+            LoadPath::Tuples => {
+                buf.fill(0);
+                // Leading ground columns push down as a prefix range.
+                let mut prefix: Vec<Elem> = Vec::new();
+                for c in cols {
+                    match c {
+                        ColSpec::Ground(t) => prefix.push(resolve(ev, t)?),
+                        _ => break,
+                    }
+                }
+                let grounds: Vec<Option<Elem>> = cols
+                    .iter()
+                    .map(|c| match c {
+                        ColSpec::Ground(t) => resolve(ev, t).map(Some),
+                        _ => Ok(None),
+                    })
+                    .collect::<Result<_, _>>()?;
+                let mut count = 0u64;
+                'tuples: for t in rel.iter_prefix(&prefix) {
+                    count += 1;
+                    let mut digits = [0 as Elem; MAX_ARITY];
+                    for (i, c) in cols.iter().enumerate() {
+                        match c {
+                            ColSpec::Axis(a) => digits[*a] = t[i],
+                            ColSpec::Repeat(a) => {
+                                if digits[*a] != t[i] {
+                                    continue 'tuples;
+                                }
+                            }
+                            ColSpec::Ground(_) => {
+                                if grounds[i] != Some(t[i]) {
+                                    continue 'tuples;
+                                }
+                            }
+                        }
+                    }
+                    let idx = self.lay.index(&digits[..k]);
+                    buf[idx / 64] |= 1 << (idx % 64);
+                }
+                buf.len() as u64 + count
+            }
+        }))
+    }
+
+    /// Materialize a numeric-predicate mask.
+    fn numeric(
+        &self,
+        ev: &Evaluator<'_>,
+        buf: &mut [u64],
+        info: &SlotInfo,
+        atom: &Formula,
+        negated: bool,
+    ) -> Result<u64, EvalError> {
+        let (a, b) = numeric_terms(atom);
+        let pred = numeric_pred(atom);
+        let test = |x: Elem, y: Elem| pred(x, y) != negated;
+        let n = self.lay.n;
+        let shift = self.lay.shift as usize;
+        buf.fill(0);
+        let mut set = |idx: usize| buf[idx / 64] |= 1 << (idx % 64);
+        match (resolve_opt(ev, a)?, resolve_opt(ev, b)?) {
+            (Some(x), Some(y)) => {
+                if test(x, y) {
+                    set(0);
+                }
+            }
+            (None, Some(y)) => {
+                for x in 0..n {
+                    if test(x, y) {
+                        set(x as usize);
+                    }
+                }
+            }
+            (Some(x), None) => {
+                for y in 0..n {
+                    if test(x, y) {
+                        set(y as usize);
+                    }
+                }
+            }
+            (None, None) => {
+                let (va, vb) = (a.as_var().unwrap(), b.as_var().unwrap());
+                if va == vb {
+                    for x in 0..n {
+                        if test(x, x) {
+                            set(x as usize);
+                        }
+                    }
+                } else {
+                    // Two distinct variables: axis order follows the
+                    // slot's sorted columns.
+                    let a_first = info.vars[0] == va;
+                    for x in 0..n {
+                        for y in 0..n {
+                            if test(x, y) {
+                                let (d0, d1) = if a_first { (x, y) } else { (y, x) };
+                                set(((d0 as usize) << shift) | d1 as usize);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(buf.len() as u64)
+    }
+}
+
+/// Resolve a ground term against the evaluator's structure and params.
+fn resolve(ev: &Evaluator<'_>, t: &Term) -> Result<Elem, EvalError> {
+    resolve_opt(ev, t).map(|v| v.expect("ground term resolved to a variable"))
+}
+
+/// Like [`Evaluator::resolve`]: `None` for variables.
+fn resolve_opt(ev: &Evaluator<'_>, t: &Term) -> Result<Option<Elem>, EvalError> {
+    Ok(match t {
+        Term::Var(_) => None,
+        Term::Lit(e) => Some(*e),
+        Term::Min => Some(0),
+        Term::Max => Some(ev.st.size() - 1),
+        Term::Param(i) => Some(
+            ev.params
+                .get(*i)
+                .copied()
+                .ok_or(EvalError::UnboundParam(*i))?,
+        ),
+        Term::Const(s) => {
+            let id = ev
+                .st
+                .vocab()
+                .constant(*s)
+                .ok_or(EvalError::UnknownConstant(*s))?;
+            Some(ev.st.constant(id))
+        }
+    })
+}
+
+/// Slice one combine pass across the pool.
+fn combine_pooled(
+    pool: &EvalPool,
+    dst: &mut [u64],
+    srcs: &[(&[u64], bool)],
+    and: bool,
+    valid: Option<&[u64]>,
+) -> u64 {
+    let len = dst.len();
+    pool.for_each_chunk(dst, |off, piece| {
+        let sub: Vec<(&[u64], bool)> = srcs
+            .iter()
+            .map(|&(s, neg)| (&s[off..off + piece.len()], neg))
+            .collect();
+        kernels::combine(piece, &sub, and, valid.map(|v| &v[off..off + piece.len()]));
+    });
+    (len * (srcs.len() + 1)) as u64
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+/// Marker: this subtree cannot be lowered; the caller decides whether to
+/// wrap it in an interpreter island or give up.
+struct Unsupported;
+
+struct Compiler<'a> {
+    st: &'a Structure,
+    lay: Layout,
+    slots: Vec<SlotInfo>,
+    ops: Vec<Op>,
+    /// Structural CSE: α-identical subformulas share one slot, so e.g.
+    /// Theorem 4.1's fourfold `New(…)` is computed once per request.
+    memo: HashMap<Formula, SlotId>,
+}
+
+impl Compiler<'_> {
+    /// Sorted free variables, if the slot fits the caps.
+    fn slot_vars(&self, f: &Formula) -> Result<Vec<Sym>, Unsupported> {
+        let fv: Vec<Sym> = free_vars(f).into_iter().collect();
+        if fv.len() > MAX_ARITY || self.lay.bits_u128(fv.len()) > PLAN_SLOT_BITS_CAP {
+            return Err(Unsupported);
+        }
+        Ok(fv)
+    }
+
+    fn new_slot(&mut self, vars: Vec<Sym>, stable: bool) -> SlotId {
+        let words = self.lay.words(vars.len());
+        self.slots.push(SlotInfo { vars, words, stable });
+        self.slots.len() - 1
+    }
+
+    /// Lower `f` to a slot, memoized. `Err` means no kernel lowering
+    /// exists for this subtree — callers may still interp-island it.
+    fn emit(&mut self, f: &Formula) -> Result<SlotId, Unsupported> {
+        if let Some(&s) = self.memo.get(f) {
+            return Ok(s);
+        }
+        let s = self.emit_uncached(f)?;
+        self.memo.insert(f.clone(), s);
+        Ok(s)
+    }
+
+    fn emit_uncached(&mut self, f: &Formula) -> Result<SlotId, Unsupported> {
+        use Formula::*;
+        let vars = self.slot_vars(f)?;
+        match f {
+            True | False => {
+                let dst = self.new_slot(vars, true);
+                self.ops.push(Op::Const { dst, value: matches!(f, True) });
+                Ok(dst)
+            }
+            Rel { name, args } => self.emit_atom(*name, args, vars),
+            Eq(..) | Le(..) | Lt(..) | Bit(..) => Ok(self.emit_numeric(f, false, vars)),
+            Not(g) => match &**g {
+                Eq(..) | Le(..) | Lt(..) | Bit(..) => Ok(self.emit_numeric(g, true, vars)),
+                // ∀ peephole: ¬∃x̄ ¬h → AND-folds over h, skipping both
+                // complement passes.
+                Exists(vs, h) if matches!(&**h, Not(_)) => {
+                    let Not(body) = &**h else { unreachable!() };
+                    let inner = self.emit_or_island(body)?;
+                    Ok(self.emit_folds(inner, vs, true))
+                }
+                _ => {
+                    let src = self.emit_or_island(g)?;
+                    let stable = self.slots[src].stable;
+                    let dst = self.new_slot(vars, stable);
+                    self.ops.push(Op::Not { dst, src });
+                    Ok(dst)
+                }
+            },
+            And(fs) | Or(fs) => self.emit_connective(fs, matches!(f, And(..)), vars),
+            Exists(vs, g) => {
+                let inner = self.emit_or_island(g)?;
+                Ok(self.emit_folds(inner, vs, false))
+            }
+            Implies(..) | Iff(..) | Forall(..) => Err(Unsupported),
+        }
+    }
+
+    /// Lower a subtree, or box it as an interpreter island if its own
+    /// slot fits. Children of connectives always fit (their free
+    /// variables are a subset of the parent's), so failure only
+    /// propagates past quantifiers that *shrink* the variable set.
+    fn emit_or_island(&mut self, f: &Formula) -> Result<SlotId, Unsupported> {
+        if let Ok(s) = self.emit(f) {
+            return Ok(s);
+        }
+        let vars = self.slot_vars(f)?;
+        let dst = self.new_slot(vars, false);
+        self.ops.push(Op::Interp { dst, formula: f.clone() });
+        self.memo.insert(f.clone(), dst);
+        Ok(dst)
+    }
+
+    fn emit_atom(
+        &mut self,
+        name: Sym,
+        args: &[Term],
+        vars: Vec<Sym>,
+    ) -> Result<SlotId, Unsupported> {
+        // Compile against the current backend; execute re-checks and
+        // falls back if it changed. Sparse relations stay interpreted:
+        // scattering a huge sparse relation into a bitmap is exactly the
+        // blow-up the sparse backend exists to avoid.
+        let id = self.st.vocab().relation(name).ok_or(Unsupported)?;
+        let rel = self.st.relation(id);
+        if rel.dense_universe() != Some(self.lay.n) || args.len() != rel.arity() {
+            return Err(Unsupported);
+        }
+        let mut cols = Vec::with_capacity(args.len());
+        let mut seen: Vec<Sym> = Vec::new();
+        for t in args {
+            match t {
+                Term::Var(v) => {
+                    let axis = vars.iter().position(|x| x == v).expect("free var in slot");
+                    if seen.contains(v) {
+                        cols.push(ColSpec::Repeat(axis));
+                    } else {
+                        seen.push(*v);
+                        cols.push(ColSpec::Axis(axis));
+                    }
+                }
+                t => cols.push(ColSpec::Ground(*t)),
+            }
+        }
+        let k = vars.len();
+        let axes: Vec<usize> = cols
+            .iter()
+            .filter_map(|c| match c {
+                ColSpec::Axis(a) => Some(*a),
+                _ => None,
+            })
+            .collect();
+        let pure = axes.len() == cols.len() && axes.len() == k;
+        let identity = pure && axes.iter().enumerate().all(|(i, &a)| a == i);
+        let aligned = self.lay.n as usize == self.lay.stride();
+        let path = if identity && aligned {
+            LoadPath::WordCopy
+        } else if identity {
+            LoadPath::Restride
+        } else if pure && aligned && self.lay.shift >= 6 {
+            let shift = self.lay.shift as usize;
+            let src_words = self.lay.words(k);
+            let t_hi = (0..src_words)
+                .map(|w| {
+                    let idx = w * 64;
+                    let mut out = 0usize;
+                    for (j, &axis) in axes.iter().enumerate() {
+                        let digit = (idx >> (shift * (k - 1 - j))) & (self.lay.stride() - 1);
+                        out |= digit << (shift * (k - 1 - axis));
+                    }
+                    out
+                })
+                .collect();
+            let tshift = (shift * (k - 1 - axes[k - 1])) as u32;
+            LoadPath::Scatter { t_hi, tshift }
+        } else {
+            LoadPath::Tuples
+        };
+        let dst = self.new_slot(vars, false);
+        self.ops.push(Op::Load { dst, rel: name, cols, path });
+        Ok(dst)
+    }
+
+    fn emit_numeric(&mut self, atom: &Formula, negated: bool, vars: Vec<Sym>) -> SlotId {
+        let stable = !mentions_param_or_const(atom);
+        let dst = self.new_slot(vars, stable);
+        self.ops.push(Op::Numeric { dst, atom: atom.clone(), negated });
+        dst
+    }
+
+    /// Quantify out `vs` (those actually free in the slot) one axis at a
+    /// time.
+    fn emit_folds(&mut self, mut slot: SlotId, vs: &[Sym], and: bool) -> SlotId {
+        for v in vs {
+            let cur = &self.slots[slot];
+            let Some(axis) = cur.vars.iter().position(|x| x == v) else {
+                continue; // quantified variable not free: identity
+            };
+            let k = cur.vars.len();
+            let stable = cur.stable;
+            let mut vars = cur.vars.clone();
+            vars.remove(axis);
+            let gmask = if and {
+                kernels::fold_gmasks(&self.lay, k, axis)
+            } else {
+                Vec::new()
+            };
+            let dst = self.new_slot(vars, stable);
+            self.ops.push(Op::Fold { dst, src: slot, axis, and, gmask });
+            slot = dst;
+        }
+        slot
+    }
+
+    /// Lower a connective: emit operands (absorbing top-level negations
+    /// into the combine), broadcast each to the full variable set, then
+    /// one fused pass.
+    fn emit_connective(
+        &mut self,
+        fs: &[Formula],
+        and: bool,
+        vars: Vec<Sym>,
+    ) -> Result<SlotId, Unsupported> {
+        if fs.is_empty() {
+            let dst = self.new_slot(vars, true);
+            self.ops.push(Op::Const { dst, value: and });
+            return Ok(dst);
+        }
+        let mut srcs: Vec<(SlotId, bool)> = Vec::with_capacity(fs.len());
+        for g in fs {
+            // Absorb ¬h into the fused pass (ANDNOT/ORNOT lanes) instead
+            // of a separate complement op — except numeric atoms, whose
+            // negation is free at mask-build time.
+            let (h, neg) = match g {
+                Formula::Not(h) if !matches!(
+                    &**h,
+                    Formula::Eq(..) | Formula::Le(..) | Formula::Lt(..) | Formula::Bit(..)
+                ) =>
+                {
+                    (&**h, true)
+                }
+                _ => (g, false),
+            };
+            let slot = self.emit_or_island(h)?;
+            let slot = self.broadcast_to(slot, &vars);
+            srcs.push((slot, neg));
+        }
+        if srcs.len() == 1 && !srcs[0].1 {
+            return Ok(srcs[0].0);
+        }
+        let stable = srcs.iter().all(|&(s, _)| self.slots[s].stable);
+        let masked = srcs.iter().any(|&(_, neg)| neg);
+        let dst = self.new_slot(vars, stable);
+        self.ops.push(Op::Combine { dst, srcs, and, masked });
+        Ok(dst)
+    }
+
+    /// Insert axes until `slot` covers `target` (both sorted).
+    fn broadcast_to(&mut self, mut slot: SlotId, target: &[Sym]) -> SlotId {
+        for &v in target {
+            if self.slots[slot].vars.contains(&v) {
+                continue;
+            }
+            let cur = &self.slots[slot];
+            let axis = cur.vars.partition_point(|&x| x < v);
+            let k_src = cur.vars.len();
+            let stable = cur.stable;
+            let mut vars = cur.vars.clone();
+            vars.insert(axis, v);
+            let rep = kernels::broadcast_rep(&self.lay, k_src, axis);
+            let dst = self.new_slot(vars, stable);
+            self.ops.push(Op::Broadcast { dst, src: slot, axis, rep });
+            slot = dst;
+        }
+        slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::{and, bit, eq, exists, forall, le, lit, lt, not, or, param, rel, v};
+    use crate::structure::Structure;
+    use crate::vocab::Vocabulary;
+    use std::sync::Arc;
+
+    fn st(n: Elem, edges: &[(Elem, Elem)]) -> Structure {
+        let vocab = Arc::new(
+            Vocabulary::new()
+                .with_relation("E", 2)
+                .with_relation("M", 1)
+                .with_constant("c"),
+        );
+        let mut s = Structure::empty(vocab, n);
+        for &(a, b) in edges {
+            s.insert("E", [a, b]);
+        }
+        for i in 0..n {
+            if i % 3 == 0 {
+                s.insert("M", [i]);
+            }
+        }
+        s
+    }
+
+    /// Compile + execute must match the interpreter on the same formula.
+    fn check(f: &Formula, s: &Structure, params: &[Elem]) {
+        let canonical = crate::analysis::canonicalize(f);
+        let plan = Plan::compile(&canonical, s)
+            .unwrap_or_else(|| panic!("expected a plan for {canonical}"));
+        let mut arena = plan.arena();
+        let mut ev = Evaluator::new(s, params);
+        let got = plan
+            .execute(&mut ev, &mut arena, None)
+            .expect("plan execution failed")
+            .expect("plan bailed out at runtime");
+        let expect = crate::eval::evaluate(&canonical, s, params).expect("interpreter failed");
+        let order: Vec<Sym> = got.vars().to_vec();
+        assert_eq!(
+            got.clone().sorted(),
+            expect.project(&order).sorted(),
+            "plan != interpreter for {canonical}"
+        );
+        // Second execution reuses the arena (stable slots cached).
+        let mut ev2 = Evaluator::new(s, params);
+        let again = plan
+            .execute(&mut ev2, &mut arena, None)
+            .unwrap()
+            .unwrap();
+        assert_eq!(again.sorted(), got.sorted());
+    }
+
+    #[test]
+    fn atoms_and_boolean_connectives() {
+        let s = st(6, &[(0, 1), (1, 2), (2, 0), (4, 5)]);
+        check(&rel("E", [v("x"), v("y")]), &s, &[]);
+        check(&rel("E", [v("y"), v("x")]), &s, &[]);
+        check(&rel("E", [v("x"), v("x")]), &s, &[]);
+        check(&(rel("E", [v("x"), v("y")]) & rel("M", [v("x")])), &s, &[]);
+        check(&(rel("E", [v("x"), v("y")]) | rel("E", [v("y"), v("x")])), &s, &[]);
+        check(&not(rel("E", [v("x"), v("y")])), &s, &[]);
+        check(
+            &(rel("M", [v("x")]) & not(rel("E", [v("x"), v("y")]))),
+            &s,
+            &[],
+        );
+    }
+
+    #[test]
+    fn quantifiers_and_padding() {
+        // n=6 pads to S=8: folds and broadcasts cross garbage lanes.
+        let s = st(6, &[(0, 1), (1, 2), (2, 3), (5, 5)]);
+        check(&exists(["y"], rel("E", [v("x"), v("y")])), &s, &[]);
+        check(&exists(["x"], rel("E", [v("x"), v("y")])), &s, &[]);
+        check(&forall(["y"], le(v("x"), v("y"))), &s, &[]);
+        check(
+            &forall(["y"], or([rel("E", [v("x"), v("y")]), eq(v("x"), v("y")), lt(v("y"), v("x"))])),
+            &s,
+            &[],
+        );
+        check(
+            &exists(
+                ["y", "z"],
+                and([rel("E", [v("x"), v("y")]), rel("E", [v("y"), v("z")])]),
+            ),
+            &s,
+            &[],
+        );
+        // Sentence: two-hop reachability exists anywhere.
+        check(
+            &exists(
+                ["x", "y", "z"],
+                and([rel("E", [v("x"), v("y")]), rel("E", [v("y"), v("z")])]),
+            ),
+            &s,
+            &[],
+        );
+    }
+
+    #[test]
+    fn numeric_params_and_constants() {
+        let mut s = st(7, &[(0, 1), (3, 4)]);
+        s.set_const("c", 4);
+        check(&eq(v("x"), param(0)), &s, &[3]);
+        check(&(rel("E", [param(0), v("y")]) | eq(v("y"), param(1))), &s, &[3, 5]);
+        check(&bit(v("x"), lit(1)), &s, &[]);
+        check(&bit(v("x"), v("y")), &s, &[]);
+        check(&le(crate::formula::cst("c"), v("x")), &s, &[]);
+        check(&eq(param(0), param(1)), &s, &[2, 2]);
+        check(&eq(param(0), param(1)), &s, &[2, 3]);
+        check(&not(eq(v("x"), param(0))), &s, &[6]);
+    }
+
+    #[test]
+    fn aligned_universe_uses_word_paths() {
+        // n=64 == S: WordCopy and Scatter paths with shift ≥ 6.
+        let edges: Vec<(Elem, Elem)> = (0..64).map(|i| (i, (i * 7 + 3) % 64)).collect();
+        let s = st(64, &edges);
+        check(&rel("E", [v("x"), v("y")]), &s, &[]);
+        check(&rel("E", [v("y"), v("x")]), &s, &[]);
+        check(
+            &exists(["y"], and([rel("E", [v("x"), v("y")]), rel("E", [v("y"), v("x")])])),
+            &s,
+            &[],
+        );
+        check(&forall(["y"], or([rel("E", [v("x"), v("y")]), not(rel("E", [v("y"), v("x")]))])), &s, &[]);
+    }
+
+    #[test]
+    fn unguarded_negation_needs_no_budget() {
+        // The interpreter errors under a tiny complement budget; the
+        // plan's masked NOT does not touch the budget at all.
+        let s = st(16, &[(0, 1), (2, 3)]);
+        let f = crate::analysis::canonicalize(&not(rel("E", [v("x"), v("y")])));
+        let plan = Plan::compile(&f, &s).expect("plan");
+        let mut ev = Evaluator::new(&s, &[]).with_complement_budget(4);
+        assert!(matches!(
+            ev.eval(&f),
+            Err(EvalError::ComplementTooLarge { .. })
+        ));
+        let mut ev2 = Evaluator::new(&s, &[]).with_complement_budget(4);
+        let mut arena = plan.arena();
+        let got = plan.execute(&mut ev2, &mut arena, None).unwrap().unwrap();
+        assert_eq!(got.len(), 16 * 16 - 2);
+    }
+
+    #[test]
+    fn sparse_atom_becomes_interp_island_or_fallback() {
+        // Arity-8 relation at n=9: 9^8 bits blow the dense cap, so the
+        // backend is sparse and a lone atom has no plan at all…
+        let vocab = Arc::new(Vocabulary::new().with_relation("W", 8).with_relation("M", 1));
+        let mut s = Structure::empty(vocab, 9);
+        s.insert("W", Tuple::from_slice(&[0, 1, 2, 3, 4, 5, 0, 1]));
+        s.insert("M", [2]);
+        let atom = rel(
+            "W",
+            [v("a"), v("b"), v("c"), v("d"), v("e"), v("f"), v("g"), v("h")],
+        );
+        assert!(Plan::compile(&crate::analysis::canonicalize(&atom), &s).is_none());
+        // …but a sentence over it compiles with an interpreter island
+        // under the quantifier and still matches the interpreter.
+        let f = exists(
+            ["a", "b", "c", "d", "e", "f", "g", "h"],
+            and([atom, rel("M", [v("c")])]),
+        ) & rel("M", [v("x")]);
+        check(&f, &s, &[]);
+    }
+
+    #[test]
+    fn stable_slots_survive_relation_churn() {
+        // x<y is request-independent: computed once, reused after the
+        // relation changes (only the load is re-run).
+        let mut s = st(6, &[(0, 1)]);
+        let f = crate::analysis::canonicalize(&and([
+            rel("E", [v("x"), v("y")]),
+            lt(v("x"), v("y")),
+        ]));
+        let plan = Plan::compile(&f, &s).unwrap();
+        let mut arena = plan.arena();
+        let mut ev = Evaluator::new(&s, &[]);
+        let first = plan.execute(&mut ev, &mut arena, None).unwrap().unwrap();
+        assert_eq!(first.len(), 1);
+        s.insert("E", [2, 5]);
+        s.insert("E", [5, 2]);
+        let mut ev = Evaluator::new(&s, &[]);
+        let second = plan.execute(&mut ev, &mut arena, None).unwrap().unwrap();
+        assert_eq!(second.len(), 2);
+        assert!(arena.stable_done.iter().any(|&d| d), "no stable slot cached");
+    }
+
+    #[test]
+    fn plan_counts_kernel_words() {
+        let s = st(8, &[(0, 1), (1, 2)]);
+        let f = crate::analysis::canonicalize(&exists(
+            ["y"],
+            and([rel("E", [v("x"), v("y")]), not(rel("E", [v("y"), v("x")]))]),
+        ));
+        let plan = Plan::compile(&f, &s).unwrap();
+        let mut ev = Evaluator::new(&s, &[]);
+        let mut arena = plan.arena();
+        plan.execute(&mut ev, &mut arena, None).unwrap().unwrap();
+        let stats = ev.stats();
+        assert_eq!(stats.plan_compiled, 1);
+        assert!(stats.kernel_words > 0);
+    }
+}

@@ -23,6 +23,7 @@ pub mod subst;
 pub mod tuple;
 pub mod vocab;
 
+pub use eval::plan::{Plan, PlanArena};
 pub use eval::{evaluate, satisfies, EvalError, EvalStats, Evaluator, SubformulaCache, Table};
 pub use formula::{Formula, Term};
 pub use intern::{sym, Sym};

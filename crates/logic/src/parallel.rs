@@ -120,6 +120,25 @@ impl EvalPool {
         )
     }
 
+    /// Split `data` into one contiguous chunk per worker and run `f` on
+    /// each chunk concurrently, passing the chunk's starting offset in
+    /// `data`. Blocks until every chunk has been processed.
+    pub fn for_each_chunk<F>(&self, data: &mut [u64], f: F)
+    where
+        F: Fn(usize, &mut [u64]) + Send + Sync,
+    {
+        if data.is_empty() {
+            return;
+        }
+        let chunk = data.len().div_ceil(self.size.max(1));
+        let f = &f;
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        for (i, piece) in data.chunks_mut(chunk).enumerate() {
+            jobs.push(Box::new(move || f(i * chunk, piece)));
+        }
+        self.run_scoped(jobs);
+    }
+
     /// Run `jobs` on the pool and block until every one has finished,
     /// which is what lets them borrow from the caller's stack.
     pub fn run_scoped<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {

@@ -158,6 +158,15 @@ impl Relation {
         }
     }
 
+    /// Raw bitmap words when densely backed (base-`n` index order), for
+    /// same-crate kernels that re-stride or scatter the bits wholesale.
+    pub(crate) fn dense_bits(&self) -> Option<&[u64]> {
+        match &self.repr {
+            Repr::Sparse(_) => None,
+            Repr::Dense(b) => Some(b.words()),
+        }
+    }
+
     /// Arity.
     pub fn arity(&self) -> usize {
         self.arity
@@ -342,6 +351,54 @@ impl Relation {
         self.zip(other, BitRel::difference, |a, b| a && !b)
     }
 
+    /// In-place union: `self ← self ∪ other`. Word-parallel when both
+    /// sides are dense over the same universe; no fresh relation is
+    /// allocated on any backend. Panics if arities differ.
+    pub fn union_assign(&mut self, other: &Relation) {
+        assert_eq!(self.arity, other.arity);
+        if let (Repr::Dense(a), Repr::Dense(b)) = (&mut self.repr, &other.repr) {
+            if a.universe() == b.universe() {
+                a.union_assign(b);
+                return;
+            }
+        }
+        for t in other.iter() {
+            self.insert(t);
+        }
+    }
+
+    /// In-place intersection: `self ← self ∩ other`. Panics if arities
+    /// differ.
+    pub fn intersection_assign(&mut self, other: &Relation) {
+        assert_eq!(self.arity, other.arity);
+        if let (Repr::Dense(a), Repr::Dense(b)) = (&mut self.repr, &other.repr) {
+            if a.universe() == b.universe() {
+                a.intersection_assign(b);
+                return;
+            }
+        }
+        let gone: Vec<Tuple> = self.iter().filter(|t| !other.contains(t)).collect();
+        for t in &gone {
+            self.remove(t);
+        }
+    }
+
+    /// In-place difference: `self ← self ∖ other`. Panics if arities
+    /// differ.
+    pub fn difference_assign(&mut self, other: &Relation) {
+        assert_eq!(self.arity, other.arity);
+        if let (Repr::Dense(a), Repr::Dense(b)) = (&mut self.repr, &other.repr) {
+            if a.universe() == b.universe() {
+                a.difference_assign(b);
+                return;
+            }
+        }
+        let gone: Vec<Tuple> = self.iter().filter(|t| other.contains(t)).collect();
+        for t in &gone {
+            self.remove(t);
+        }
+    }
+
     /// Symmetric-difference cardinality: how many tuples differ.
     ///
     /// This is the "number of affected tuples" that bounded-expansion
@@ -483,6 +540,34 @@ mod tests {
         assert_eq!(a.difference(&b), rel(&[(0, 1)]));
         assert_eq!(a.hamming(&b), 2);
         assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn assign_ops_match_allocating_ops() {
+        let mk = |dense: bool, pairs: &[(Elem, Elem)]| {
+            if dense {
+                drel(5, pairs)
+            } else {
+                rel(pairs)
+            }
+        };
+        for &da in &[false, true] {
+            for &db in &[false, true] {
+                let a = mk(da, &[(0, 1), (1, 2), (4, 4)]);
+                let b = mk(db, &[(1, 2), (2, 3)]);
+                let mut u = a.clone();
+                u.union_assign(&b);
+                assert_eq!(u, a.union(&b));
+                let mut i = a.clone();
+                i.intersection_assign(&b);
+                assert_eq!(i, a.intersection(&b));
+                let mut d = a.clone();
+                d.difference_assign(&b);
+                assert_eq!(d, a.difference(&b));
+                // Backend of the mutated side is preserved.
+                assert_eq!(u.dense_universe().is_some(), da);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Differential property tests for the plan compiler: on every formula
+//! it accepts, a compiled bit-parallel plan must produce exactly the
+//! interpreter's table — over randomized structures, with parameters
+//! bound, and through repeated executions of one arena (stable-slot
+//! reuse). Divergence means a kernel, a load path, or the padding
+//! discipline is wrong.
+
+use dynfo_logic::analysis::canonicalize;
+use dynfo_logic::formula::{
+    bit, cst, eq, exists, forall, le, lt, neq, not, param, rel, v, Formula,
+};
+use dynfo_logic::{evaluate, Elem, Evaluator, Plan, Structure, Sym, Vocabulary};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A structure with a binary `E`, a unary `M`, and a constant `c`.
+fn structure(n: Elem, edges: &[(Elem, Elem)], marks: &[Elem], c: Elem) -> Structure {
+    let vocab = Arc::new(
+        Vocabulary::new()
+            .with_relation("E", 2)
+            .with_relation("M", 1)
+            .with_constant("c"),
+    );
+    let mut s = Structure::empty(vocab, n);
+    for &(a, b) in edges {
+        s.insert("E", [a % n, b % n]);
+    }
+    for &m in marks {
+        s.insert("M", [m % n]);
+    }
+    s.set_const("c", c % n);
+    s
+}
+
+/// Every connective and quantifier shape the compiler lowers, plus
+/// numeric atoms, parameters, and constants. `?0` and `?1` are always
+/// bound by the callers.
+fn corpus() -> Vec<Formula> {
+    vec![
+        rel("E", [v("x"), v("y")]),
+        rel("E", [v("y"), v("x")]),
+        rel("E", [v("x"), v("x")]),
+        rel("E", [v("x"), v("y")]) & rel("M", [v("y")]),
+        rel("E", [v("x"), v("y")]) | rel("E", [v("y"), v("x")]),
+        rel("M", [v("x")]) & not(rel("E", [v("x"), v("y")])),
+        not(rel("E", [v("x"), v("y")]) | rel("M", [v("x")])),
+        exists(["y"], rel("E", [v("x"), v("y")]) & rel("M", [v("y")])),
+        exists(["x", "y"], rel("E", [v("x"), v("y")])),
+        forall(["y"], rel("E", [v("x"), v("y")]) | not(rel("M", [v("y")]))),
+        exists(["z"], rel("E", [v("x"), v("z")]) & rel("E", [v("z"), v("y")])),
+        // Three-hop reachability: the query shape from EXPERIMENTS E20.
+        exists(
+            ["a", "b"],
+            rel("E", [v("x"), v("a")]) & rel("E", [v("a"), v("b")]) & rel("E", [v("b"), v("y")]),
+        ),
+        lt(v("x"), v("y")) & rel("E", [v("x"), v("y")]),
+        le(v("x"), cst("c")) & rel("M", [v("x")]),
+        bit(v("x"), v("y")) & rel("E", [v("x"), v("y")]),
+        eq(v("x"), param(0)) & rel("E", [v("x"), v("y")]),
+        rel("E", [param(0), v("y")]) | rel("E", [v("y"), param(1)]),
+        // Parameter guard: a closed conjunct gating a scan.
+        rel("E", [param(0), param(1)]) & rel("M", [v("x")]),
+        neq(v("x"), param(0)) & rel("M", [v("x")]),
+        exists(["y"], rel("E", [v("x"), v("y")]) & neq(v("y"), param(0))),
+    ]
+}
+
+/// Compile (skipping formulas the compiler declines), execute twice on
+/// one arena, and hold both runs against the interpreter.
+fn assert_plan_matches(f: &Formula, st: &Structure, params: &[Elem]) {
+    let canonical = canonicalize(f);
+    let Some(plan) = Plan::compile(&canonical, st) else {
+        return;
+    };
+    let mut arena = plan.arena();
+    let expect = evaluate(&canonical, st, params).expect("interpreter failed");
+    for run in 0..2 {
+        let mut ev = Evaluator::new(st, params);
+        let got = plan
+            .execute(&mut ev, &mut arena, None)
+            .expect("plan execution failed")
+            .expect("plan bailed at runtime on its own compile-time structure");
+        let order: Vec<Sym> = got.vars().to_vec();
+        assert_eq!(
+            got.sorted(),
+            expect.clone().project(&order).sorted(),
+            "run {run}: plan != interpreter for {canonical} (params {params:?})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The whole corpus over random structures and parameters, at
+    /// universe sizes covering every kernel regime boundary: in-word
+    /// groups, word-straddling groups, and (n = 8 → S = 8) layouts where
+    /// padding vanishes.
+    #[test]
+    fn plan_matches_interpreter_on_corpus(
+        n in prop_oneof![Just(3u32), Just(5u32), Just(7u32), Just(8u32), Just(11u32)],
+        edges in proptest::collection::vec((0u32..16, 0u32..16), 0..24),
+        marks in proptest::collection::vec(0u32..16, 0..8),
+        c in 0u32..16,
+        p0 in 0u32..16,
+        p1 in 0u32..16,
+    ) {
+        let st = structure(n, &edges, &marks, c);
+        let params = [p0 % n, p1 % n];
+        for f in corpus() {
+            assert_plan_matches(&f, &st, &params);
+        }
+    }
+
+    /// Sentences (boolean answers) reduce to 0-ary tables; the decode
+    /// path and the `as_bool` contract must agree with the interpreter.
+    #[test]
+    fn plan_matches_interpreter_on_sentences(
+        n in prop_oneof![Just(4u32), Just(6u32), Just(9u32)],
+        edges in proptest::collection::vec((0u32..12, 0u32..12), 0..20),
+        p0 in 0u32..12,
+    ) {
+        let st = structure(n, &edges, &[0, 2], 1);
+        let params = [p0 % n];
+        for f in [
+            exists(["x", "y"], rel("E", [v("x"), v("y")])),
+            forall(["x"], exists(["y"], rel("E", [v("x"), v("y")]) | rel("E", [v("y"), v("x")]))),
+            exists(["x"], rel("M", [v("x")]) & not(rel("E", [v("x"), v("x")]))),
+            rel("E", [param(0), param(0)]),
+        ] {
+            let canonical = canonicalize(&f);
+            let Some(plan) = Plan::compile(&canonical, &st) else { continue };
+            let mut arena = plan.arena();
+            let mut ev = Evaluator::new(&st, &params);
+            let got = plan.execute(&mut ev, &mut arena, None).unwrap().unwrap();
+            let expect = evaluate(&canonical, &st, &params).unwrap();
+            prop_assert_eq!(got.as_bool(), expect.as_bool(), "{}", canonical);
+        }
+    }
+}
+
+/// Plans complement with a masked word-NOT, so they need no complement
+/// budget: where the interpreter refuses an unguarded negation, the
+/// compiled plan still answers — and where both answer, they agree.
+#[test]
+fn plan_ignores_complement_budget() {
+    let st = structure(16, &[(0, 1), (3, 4), (7, 7)], &[1], 0);
+    let f = canonicalize(&not(rel("E", [v("x"), v("y")])));
+    // Budget below n² = 256: the interpreter errors out…
+    let mut strict = Evaluator::new(&st, &[]).with_complement_budget(64);
+    assert!(strict.eval(&f).is_err(), "budget should trip");
+    // …while the plan computes all 253 non-edges.
+    let plan = Plan::compile(&f, &st).expect("negation compiles");
+    let mut arena = plan.arena();
+    let mut ev = Evaluator::new(&st, &[]).with_complement_budget(64);
+    let got = plan.execute(&mut ev, &mut arena, None).unwrap().unwrap();
+    assert_eq!(got.len(), 16 * 16 - 3);
+    // With a roomy budget the interpreter agrees tuple-for-tuple.
+    let expect = evaluate(&f, &st, &[]).unwrap();
+    let order: Vec<Sym> = got.vars().to_vec();
+    assert_eq!(got.sorted(), expect.project(&order).sorted());
+}
+
+/// The word-aligned fast paths (n = 64 ⇒ no padding, whole-word loads)
+/// agree with the interpreter — the regime EXPERIMENTS E20 measures.
+#[test]
+fn plan_matches_interpreter_at_aligned_universe() {
+    let edges: Vec<(Elem, Elem)> = (0..63u32)
+        .map(|i| (i, (i * 7 + 3) % 64))
+        .chain([(5, 5), (63, 0)])
+        .collect();
+    let st = structure(64, &edges, &[0, 8, 16, 63], 17);
+    for f in corpus() {
+        assert_plan_matches(&f, &st, &[9, 33]);
+    }
+}

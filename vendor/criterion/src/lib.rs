@@ -229,20 +229,41 @@ impl Bencher {
             }
             Mode::Measure { batches, budget } => {
                 // Size batches so all of them fit the budget: estimate the
-                // per-iteration cost from one probe iteration.
+                // per-iteration cost from one probe iteration. The probe
+                // can undershoot badly when iteration cost varies (a
+                // routine rotating through cheap and expensive requests),
+                // so the budget is also enforced while running: batches
+                // cut off once they exceed their share, and measurement
+                // stops once the whole budget is well overspent.
                 let probe = Instant::now();
                 black_box(routine());
                 let per_iter = probe.elapsed().max(Duration::from_nanos(1));
                 let total_iters =
                     (budget.as_secs_f64() / per_iter.as_secs_f64()).max(batches as f64);
                 let iters_per_batch = ((total_iters / batches as f64).ceil() as u64).max(1);
+                let per_batch_cap = (budget.as_secs_f64() / batches as f64) * 4.0;
+                // Check the clock sparsely for fast routines so timer
+                // reads don't distort them; per-iteration for slow ones
+                // so a cost spike cuts off promptly.
+                let check_every = if per_iter >= Duration::from_micros(10) { 1 } else { 64 };
+                let all = Instant::now();
                 for _ in 0..batches {
                     let start = Instant::now();
+                    let mut done = 0u64;
                     for _ in 0..iters_per_batch {
                         black_box(routine());
+                        done += 1;
+                        if done.is_multiple_of(check_every)
+                            && start.elapsed().as_secs_f64() > per_batch_cap
+                        {
+                            break;
+                        }
                     }
                     let elapsed = start.elapsed().as_secs_f64();
-                    self.per_iter.push(elapsed / iters_per_batch as f64);
+                    self.per_iter.push(elapsed / done as f64);
+                    if all.elapsed().as_secs_f64() > budget.as_secs_f64() * 3.0 {
+                        break;
+                    }
                 }
             }
         }
