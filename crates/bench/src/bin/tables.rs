@@ -1,5 +1,5 @@
-//! Regenerates every experiment table (E01–E16, E20) from `DESIGN.md` /
-//! `EXPERIMENTS.md`.
+//! Regenerates every experiment table (E01–E16, E20, E21) from
+//! `DESIGN.md` / `EXPERIMENTS.md`.
 //!
 //! Run with: `cargo run --release -p dynfo-bench --bin tables`
 //!
@@ -28,7 +28,7 @@ fn main() {
     let filter: Vec<String> = std::env::args().skip(1).collect();
     let run = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
     println!("Dyn-FO experiment tables (microseconds unless noted)");
-    let sections: [(&str, fn()); 17] = [
+    let sections: [(&str, fn()); 18] = [
         ("e01", e01_parity),
         ("e02", e02_reach_u),
         ("e03", e03_reach_acyclic),
@@ -46,6 +46,7 @@ fn main() {
         ("e15", e15_pad),
         ("e16", e16_parallel),
         ("e20", e20_compiled),
+        ("e21", e21_observability),
     ];
     for (name, section) in sections {
         if run(name) {
@@ -827,5 +828,77 @@ fn e20_compiled() {
             format!("{:.1}x", slow / fast),
             format!("{}k", kwords / 1000),
         ]);
+    }
+}
+
+/// E21 — observability: the per-update cost of the compiled-in
+/// instrumentation on the E20 REACH_u workload (compare an `obs`-default
+/// build against `--no-default-features`), then a scripted durable batch
+/// workload — snapshots, shutdown, recovery — followed by a dump of the
+/// global metric registry. The dump is the exporter smoke test: CI greps
+/// it for the headline metric names.
+fn e21_observability() {
+    header("E21 observability overhead (REACH_u, compiled plans)");
+    row(["n", "per-update", "  instrumentation"].map(String::from).as_ref());
+    let label = if dynfo_obs::ENABLED {
+        "enabled"
+    } else {
+        "disabled (--no-default-features)"
+    };
+    for n in [64u32, 128] {
+        let reqs = undirected_workload(n, 150, 71);
+        let mut machine = DynFoMachine::new(programs::reach_u::program(), n);
+        let per = mean_update_seconds(&mut machine, &reqs);
+        row(&[n.to_string(), us(per), format!("  {label}")]);
+    }
+
+    // Scripted durable workload: REACH_u batches through a SessionStore
+    // with frequent snapshots, then shutdown + reopen so the recovery
+    // ladder actually runs (rung ≥ 1) before the registry is dumped.
+    header("E21 exporter dump after a durable REACH_u batch workload");
+    use dynfo_serve::{SessionStore, StoreConfig};
+    let n = 32u32;
+    let reqs = undirected_workload(n, 272, 83);
+    let root = dynfo_serve::scratch_dir("tables-e21");
+    let config = StoreConfig {
+        snapshot_every: 64,
+        group_commit: 4,
+    };
+    let store = SessionStore::open(&root, config).unwrap();
+    let session = store.session("e21", &programs::reach_u::program(), n).unwrap();
+    for chunk in reqs[..240].chunks(16) {
+        session.apply_batch(chunk).unwrap();
+    }
+    drop(session);
+    store.shutdown().unwrap();
+    let store = SessionStore::open(&root, config).unwrap();
+    let session = store.session("e21", &programs::reach_u::program(), n).unwrap();
+    let report = session.recovery_report().clone();
+    println!(
+        "recovery: rung {} (snapshot seq {}, {} frames replayed, {} anomalies)",
+        report.rung,
+        report.snapshot_seq,
+        report.replayed,
+        report.anomalies.len()
+    );
+    // The rest of the same stream, so the delete contract stays exact.
+    session.apply_batch(&reqs[240..]).unwrap();
+    drop(session);
+    store.shutdown().unwrap();
+    std::fs::remove_dir_all(&root).ok();
+
+    println!("{}", dynfo_obs::global().render_table());
+    println!("--- prometheus lines (headline metrics) ---");
+    let prom = dynfo_obs::global().render_prometheus();
+    for needle in [
+        "machine_rule_update_ns",
+        "eval_plan_compiled",
+        "eval_plan_fallback",
+        "serve_journal_fsync_ns",
+        "serve_recovery_rung",
+    ] {
+        for line in prom.lines().filter(|l| l.starts_with(needle)) {
+            println!("{line}");
+        }
     }
 }

@@ -14,9 +14,66 @@ use dynfo_logic::eval::{Evaluator, SubformulaCache};
 use dynfo_logic::formula::{Formula, Term};
 use dynfo_logic::parallel::EvalPool;
 use dynfo_logic::{Elem, EvalError, EvalStats, Plan, PlanArena, RelId, Relation, Structure, Sym, Tuple};
+use dynfo_obs::{Counter, Histogram, ObsHandle};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::{Arc, Mutex};
+
+/// Rule-kind labels for the per-rule update latency histograms, in
+/// [`MachineObs::rule_ns`] order.
+const RULE_KIND_NAMES: [&str; 5] = ["copy", "grow", "shrink", "guarded", "full"];
+
+/// Cached metric handles for one machine, resolved once (per
+/// [`ObsHandle`]) at construction so the update path records through
+/// plain atomics. Compiled to no-ops when `dynfo-obs` is disabled.
+#[derive(Clone, Debug)]
+struct MachineObs {
+    /// `machine.requests` — update requests applied.
+    requests: Arc<Counter>,
+    /// `machine.rule_update_ns.{copy,grow,shrink,guarded,full}` —
+    /// per-rule update latency by [`RulePlan`] kind (nanoseconds).
+    rule_ns: [Arc<Histogram>; 5],
+    /// `machine.guard.{noop,grow,shrink,full}` — guard-refinement
+    /// outcomes: which install strategy the surviving disjuncts chose.
+    guard: [Arc<Counter>; 4],
+    /// `machine.batch_size` — requests per `apply_batch` call.
+    batch_size: Arc<Histogram>,
+    /// `machine.batch_fast_runs` — coalesced fast-only runs executed.
+    batch_fast_runs: Arc<Counter>,
+    /// `machine.batch_coalesced` — requests skipped inside a fast run
+    /// as consecutive duplicates.
+    batch_coalesced: Arc<Counter>,
+}
+
+const GUARD_NOOP: usize = 0;
+const GUARD_GROW: usize = 1;
+const GUARD_SHRINK: usize = 2;
+const GUARD_FULL: usize = 3;
+
+impl MachineObs {
+    fn new(handle: &ObsHandle) -> MachineObs {
+        MachineObs {
+            requests: handle.counter("machine.requests"),
+            rule_ns: RULE_KIND_NAMES
+                .map(|k| handle.histogram(&format!("machine.rule_update_ns.{k}"))),
+            guard: ["noop", "grow", "shrink", "full"]
+                .map(|o| handle.counter(&format!("machine.guard.{o}"))),
+            batch_size: handle.histogram("machine.batch_size"),
+            batch_fast_runs: handle.counter("machine.batch_fast_runs"),
+            batch_coalesced: handle.counter("machine.batch_coalesced"),
+        }
+    }
+
+    /// Histogram index for a general rule's plan kind.
+    fn kind_index(plan: &GeneralPlan) -> usize {
+        match plan {
+            GeneralPlan::Grow(_) => 1,
+            GeneralPlan::Shrink => 2,
+            GeneralPlan::Guarded(_) => 3,
+            GeneralPlan::Full => 4,
+        }
+    }
+}
 
 /// Why a machine operation failed.
 ///
@@ -330,6 +387,8 @@ pub struct DynFoMachine {
     parallelism: usize,
     /// Reused per-request buffers; empty between calls.
     scratch: Scratch,
+    /// Where this machine's metrics go (see [`DynFoMachine::with_obs`]).
+    obs: MachineObs,
 }
 
 impl DynFoMachine {
@@ -352,6 +411,7 @@ impl DynFoMachine {
             install_mode: InstallMode::Delta,
             parallelism: 1,
             scratch: Scratch::default(),
+            obs: MachineObs::new(&ObsHandle::default()),
         }
     }
 
@@ -415,7 +475,16 @@ impl DynFoMachine {
             install_mode: InstallMode::Delta,
             parallelism: 1,
             scratch: Scratch::default(),
+            obs: MachineObs::new(&ObsHandle::default()),
         })
+    }
+
+    /// Route this machine's metrics through `handle` — the global
+    /// registry by default, a private registry for embedders and tests,
+    /// or nowhere ([`ObsHandle::disabled`]).
+    pub fn with_obs(mut self, handle: &ObsHandle) -> DynFoMachine {
+        self.obs = MachineObs::new(handle);
+        self
     }
 
     /// How general-rule results are installed (delta by default).
@@ -545,6 +614,7 @@ impl DynFoMachine {
         params: &[Elem],
     ) -> Result<EvalStats, MachineError> {
         debug_assert!(!matches!(req.kind().op, Op::Set) || !params.is_empty());
+        let _span = dynfo_obs::span("machine.update");
         // Scratch buffers are owned by the machine and reused across
         // requests; take them out for the duration of this update and
         // put them back (cleared, capacity intact) on every exit path.
@@ -555,6 +625,7 @@ impl DynFoMachine {
             Ok(work) => {
                 self.install(req, params, &mut installs, &fast_ops);
                 self.stats.requests += 1;
+                self.obs.requests.inc();
                 self.stats.update_work.absorb(&work);
                 Ok(work)
             }
@@ -625,10 +696,12 @@ impl DynFoMachine {
             {
                 let state = &self.state;
                 let base = &self.cache;
+                let obs = &self.obs;
                 let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> =
                     Vec::with_capacity(generals.len());
                 for (&(rule, gplan, id, bp), slot) in generals.iter().zip(&slots) {
                     jobs.push(Box::new(move || {
+                        let started = dynfo_obs::clock();
                         let mut local = SubformulaCache::new();
                         let mut ev =
                             Evaluator::with_overlay_cache(state, params, base, &mut local);
@@ -638,9 +711,10 @@ impl DynFoMachine {
                             ev.set_short_circuit(false);
                         }
                         let res =
-                            eval_general(state, rule, gplan, mode, id, bp, plans_on, &mut ev);
+                            eval_general(state, rule, gplan, mode, id, bp, plans_on, obs, &mut ev);
                         let stats = ev.stats();
                         drop(ev);
+                        obs.rule_ns[MachineObs::kind_index(gplan)].observe_since(started);
                         *slot.lock().unwrap() = Some((res, stats, local));
                     }));
                 }
@@ -659,13 +733,24 @@ impl DynFoMachine {
             }
         } else {
             for (rule, gplan, id, bp) in generals {
+                let started = dynfo_obs::clock();
                 let mut ev = Evaluator::with_cache(&self.state, params, &mut self.cache);
                 if mode == InstallMode::Rebuild {
                     ev.set_short_circuit(false);
                 }
-                let res =
-                    eval_general(&self.state, rule, gplan, mode, id, bp, plans_on, &mut ev);
+                let res = eval_general(
+                    &self.state,
+                    rule,
+                    gplan,
+                    mode,
+                    id,
+                    bp,
+                    plans_on,
+                    &self.obs,
+                    &mut ev,
+                );
                 work.absorb(&ev.stats());
+                self.obs.rule_ns[MachineObs::kind_index(gplan)].observe_since(started);
                 let outcome = res?;
                 self.stats.installs.note_eval(gplan, mode);
                 installs.push((id, rule.target, outcome));
@@ -709,6 +794,7 @@ impl DynFoMachine {
             }
         }
         if !fast_ops.is_empty() {
+            let started = dynfo_obs::clock();
             let tuple = Tuple::from_slice(params);
             for &(id, target, is_insert) in fast_ops {
                 let rel = self.state.relation_mut(id);
@@ -721,6 +807,7 @@ impl DynFoMachine {
                     changed.insert(target);
                 }
             }
+            self.obs.rule_ns[0].observe_since(started);
         }
 
         // `set` requests update the stored constant copy directly (the
@@ -778,6 +865,7 @@ impl DynFoMachine {
                 });
             }
         }
+        self.obs.batch_size.observe(reqs.len() as u64);
         let mut work = EvalStats::default();
         let mut i = 0;
         while i < reqs.len() {
@@ -786,6 +874,7 @@ impl DynFoMachine {
                 .take_while(|r| self.is_fast_only(r))
                 .count();
             if run > 0 {
+                self.obs.batch_fast_runs.inc();
                 self.apply_fast_run(&reqs[i..i + run]);
                 i += run;
             } else {
@@ -829,7 +918,9 @@ impl DynFoMachine {
         let mut prev: Option<&Request> = None;
         for req in reqs {
             self.stats.requests += 1;
+            self.obs.requests.inc();
             if prev == Some(req) {
+                self.obs.batch_coalesced.inc();
                 continue;
             }
             prev = Some(req);
@@ -873,6 +964,7 @@ impl DynFoMachine {
 
     /// Answer the program's boolean query.
     pub fn query(&mut self) -> Result<bool, MachineError> {
+        let _span = dynfo_obs::span("machine.query");
         // The query runs outside the rule scheduler, so big combine
         // passes may slice across the pool.
         let pool = (self.parallelism > 1).then(|| EvalPool::global(self.parallelism));
@@ -1112,6 +1204,9 @@ fn run_plan(
     }
     if plans_on {
         ev.stats_mut().plan_fallback += 1;
+        if dynfo_obs::ENABLED {
+            dynfo_logic::obs::eval_obs().plan_fallback.inc();
+        }
     }
     Ok(None)
 }
@@ -1128,11 +1223,12 @@ fn eval_general(
     id: RelId,
     bits: Option<&BitPlan>,
     plans_on: bool,
+    obs: &MachineObs,
     ev: &mut Evaluator<'_>,
 ) -> Result<GeneralOutcome, EvalError> {
     let n = st.size();
     if let (InstallMode::Delta, GeneralPlan::Guarded(gp)) = (mode, plan) {
-        return eval_guarded(st, rule, gp, id, ev);
+        return eval_guarded(st, rule, gp, id, obs, ev);
     }
     // Compiled path first: execute the rule's bit-parallel plan over the
     // dense backends. `Ok(None)` means the plan bailed at runtime (a
@@ -1161,6 +1257,9 @@ fn eval_general(
         // Plans are enabled but this rule is interpreting: compilation
         // declined or the plan bailed above.
         ev.stats_mut().plan_fallback += 1;
+        if dynfo_obs::ENABLED {
+            dynfo_logic::obs::eval_obs().plan_fallback.inc();
+        }
     }
     // In delta mode a Grow rule evaluates only its ψ; every other
     // combination evaluates the stored formula in full.
@@ -1227,6 +1326,7 @@ fn eval_guarded(
     rule: &UpdateRule,
     gp: &GuardedPlan,
     id: RelId,
+    obs: &MachineObs,
     ev: &mut Evaluator<'_>,
 ) -> Result<GeneralOutcome, EvalError> {
     let n = st.size();
@@ -1256,8 +1356,10 @@ fn eval_guarded(
         if others.is_empty() {
             // Every surviving disjunct re-reads the target: T′ = T,
             // decided without scanning a single tuple.
+            obs.guard[GUARD_NOOP].inc();
             return Ok(GeneralOutcome::Plan(InstallPlan::default()));
         }
+        obs.guard[GUARD_GROW].inc();
         (others, DeltaMode::Grow)
     } else {
         let all_restrict = live
@@ -1272,12 +1374,14 @@ fn eval_guarded(
             .collect();
         if fs.is_empty() {
             // Every guard failed: T′ = ∅.
+            obs.guard[GUARD_FULL].inc();
             return Ok(GeneralOutcome::Plan(install_plan(
                 DeltaMode::Full,
                 st.relation(id),
                 &[],
             )));
         }
+        obs.guard[if all_restrict { GUARD_SHRINK } else { GUARD_FULL }].inc();
         (fs, if all_restrict { DeltaMode::Shrink } else { DeltaMode::Full })
     };
     let mut rows: Vec<Tuple> = Vec::new();

@@ -1,0 +1,153 @@
+//! Bitwise-deterministic execution: two machines built identically and
+//! fed the identical request stream must finish with the identical
+//! auxiliary structure *and* the identical work profile — the same
+//! number of evaluations served by compiled plans, the same number of
+//! interpreter fallbacks, the same number of guard-refined rules. The
+//! counters are the stronger claim: they pin the whole control flow
+//! (plan cache hits, guard outcomes, install routing), not just the
+//! final answer, so any hidden nondeterminism — iteration over an
+//! unordered map, a time- or address-dependent cache policy — fails
+//! here even when the states happen to agree.
+//!
+//! All twelve Section 4 programs, n = 16, streams from seeded
+//! generators re-run from scratch for each machine.
+
+use dynfo_core::programs;
+use dynfo_core::{DynFoMachine, DynFoProgram, Request};
+use dynfo_testutil::{churn_stream, dag_churn_stream, edge_requests, rng, weighted_stream};
+
+const N: u32 = 16;
+const STEPS: usize = 36;
+
+/// One full run: fresh machine, plans enabled, whole stream applied.
+fn run(program: &dyn Fn() -> DynFoProgram, reqs: &[Request]) -> DynFoMachine {
+    let mut machine = DynFoMachine::new(program(), N).with_use_plans(true);
+    machine.apply_all(reqs).unwrap();
+    machine
+}
+
+fn assert_deterministic(name: &str, program: &dyn Fn() -> DynFoProgram, reqs: &[Request]) {
+    let first = run(program, reqs);
+    let second = run(program, reqs);
+
+    assert_eq!(
+        first.state(),
+        second.state(),
+        "{name}: auxiliary structures diverged between identical runs"
+    );
+
+    let (a, b) = (first.stats(), second.stats());
+    assert_eq!(
+        a.update_work.plan_compiled, b.update_work.plan_compiled,
+        "{name}: plan_compiled not reproduced"
+    );
+    assert_eq!(
+        a.update_work.plan_fallback, b.update_work.plan_fallback,
+        "{name}: plan_fallback not reproduced"
+    );
+    assert_eq!(
+        a.installs.guarded_evals, b.installs.guarded_evals,
+        "{name}: guarded_evals not reproduced"
+    );
+    // The full install profile rides along for free and pins the
+    // delta/grow/shrink routing too.
+    assert_eq!(a.installs, b.installs, "{name}: install profile not reproduced");
+}
+
+fn undirected(seed: u64) -> Vec<Request> {
+    edge_requests("E", &churn_stream(N, STEPS, 0.3, true, &mut rng(seed)))
+}
+
+fn dag(seed: u64) -> Vec<Request> {
+    edge_requests("E", &dag_churn_stream(N, STEPS, 0.3, &mut rng(seed)))
+}
+
+fn member_toggles(seed: u64) -> Vec<Request> {
+    use rand::Rng;
+    let mut rand = rng(seed);
+    (0..STEPS)
+        .map(|_| {
+            let i = rand.gen_range(0..N);
+            if rand.gen_bool(0.4) {
+                Request::del("M", [i])
+            } else {
+                Request::ins("M", [i])
+            }
+        })
+        .collect()
+}
+
+/// Insert-only stream for the semi-dynamic programs.
+fn insert_only(seed: u64, undirected_pairs: bool) -> Vec<Request> {
+    edge_requests("E", &churn_stream(N, STEPS / 2, 0.0, undirected_pairs, &mut rng(seed)))
+}
+
+type Cell = (&'static str, Box<dyn Fn() -> DynFoProgram>, Vec<Request>);
+
+#[test]
+fn all_programs_reproduce_state_and_work_profile() {
+    let cells: Vec<Cell> = vec![
+        ("parity", Box::new(programs::parity::program), member_toggles(301)),
+        ("reach_u", Box::new(programs::reach_u::program), undirected(303)),
+        ("reach_acyclic", Box::new(programs::reach_acyclic::program), dag(307)),
+        (
+            "trans_reduction",
+            Box::new(programs::trans_reduction::program),
+            dag(311),
+        ),
+        ("msf", Box::new(programs::msf::program), weighted_stream(N, STEPS, 313)),
+        ("bipartite", Box::new(programs::bipartite::program), undirected(317)),
+        (
+            "kconn(2)",
+            Box::new(|| programs::kconn::program_up_to(2)),
+            undirected(331),
+        ),
+        ("matching", Box::new(programs::matching::program), undirected(337)),
+        ("lca", Box::new(programs::lca::program), dag(347)),
+        (
+            "vertex_cover",
+            Box::new(programs::vertex_cover::program),
+            undirected(349),
+        ),
+        (
+            "semi::reach_u",
+            Box::new(programs::semi::reach_u_program),
+            insert_only(353, true),
+        ),
+        (
+            "semi::reach",
+            Box::new(programs::semi::reach_program),
+            insert_only(359, false),
+        ),
+    ];
+    assert_eq!(cells.len(), 12, "the whole Section 4 library is covered");
+    for (name, program, reqs) in &cells {
+        assert_deterministic(name, program, reqs);
+    }
+}
+
+/// The counters must also reproduce through the batched pipeline, whose
+/// coalescing and fast-run detection add more control flow to pin.
+#[test]
+fn batched_runs_reproduce_work_profile() {
+    let reqs = undirected(367);
+    let run_batched = || {
+        let mut machine =
+            DynFoMachine::new(programs::reach_u::program(), N).with_use_plans(true);
+        for chunk in reqs.chunks(8) {
+            machine.apply_batch(chunk).unwrap();
+        }
+        machine
+    };
+    let first = run_batched();
+    let second = run_batched();
+    assert_eq!(first.state(), second.state());
+    let (a, b) = (first.stats(), second.stats());
+    assert_eq!(a.update_work.plan_compiled, b.update_work.plan_compiled);
+    assert_eq!(a.update_work.plan_fallback, b.update_work.plan_fallback);
+    assert_eq!(a.installs, b.installs);
+    assert!(
+        a.update_work.plan_compiled > 0,
+        "the determinism claim is vacuous if nothing compiled"
+    );
+}

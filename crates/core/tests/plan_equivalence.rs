@@ -6,98 +6,20 @@
 //! streams, because each program stresses a different mix of plan
 //! shapes: grow-only ψ, shrink, full diffs, guarded fallbacks, numeric
 //! guards, and parameterized queries.
+//!
+//! The step-loop itself lives in `dynfo-testutil` —
+//! [`assert_plans_transparent`] and [`run_differential`] are the one
+//! shared oracle-differential harness, also used by the integration and
+//! logic-level suites.
 
 use dynfo_core::programs;
-use dynfo_core::{DynFoMachine, DynFoProgram, Request};
-use dynfo_graph::generate::{churn_stream, dag_churn_stream, rng, EdgeOp};
+use dynfo_core::Request;
+use dynfo_testutil::{
+    assert_plans_transparent, churn_stream, dag_churn_stream, edge_requests, rng,
+    run_differential, weighted_stream, DiffMode,
+};
 use proptest::prelude::*;
 use rand::Rng;
-
-fn edge_requests(ops: &[EdgeOp]) -> Vec<Request> {
-    ops.iter()
-        .map(|op| match *op {
-            EdgeOp::Ins(a, b) => Request::ins("E", [a, b]),
-            EdgeOp::Del(a, b) => Request::del("E", [a, b]),
-        })
-        .collect()
-}
-
-/// Drive the same stream through a plans-on and a plans-off machine,
-/// comparing full state, the boolean query, and every named query in
-/// `queries` at each step. `expect_compiled` asserts that the plan path
-/// actually ran (guards against silently falling back everywhere).
-fn assert_plans_transparent(
-    program: impl Fn() -> DynFoProgram,
-    n: u32,
-    reqs: &[Request],
-    queries: &[(&str, &[u32])],
-    expect_compiled: bool,
-) {
-    let mut on = DynFoMachine::new(program(), n);
-    let mut off = DynFoMachine::new(program(), n).with_use_plans(false);
-    assert!(on.use_plans());
-    for (step, req) in reqs.iter().enumerate() {
-        on.apply(req).unwrap();
-        off.apply(req).unwrap();
-        assert_eq!(
-            on.state(),
-            off.state(),
-            "step {step} ({req}): states diverged"
-        );
-        assert_eq!(
-            on.query().unwrap(),
-            off.query().unwrap(),
-            "step {step} ({req}): query answers diverged"
-        );
-        for &(name, args) in queries {
-            assert_eq!(
-                on.query_named(name, args).unwrap(),
-                off.query_named(name, args).unwrap(),
-                "step {step} ({req}): {name}{args:?} diverged"
-            );
-        }
-    }
-    if expect_compiled && !reqs.is_empty() {
-        let work = on.stats().update_work;
-        let qwork = on.stats().query_work;
-        assert!(
-            work.plan_compiled + qwork.plan_compiled > 0,
-            "no plan ever executed (update fallbacks: {}, query fallbacks: {})",
-            work.plan_fallback,
-            qwork.plan_fallback
-        );
-        assert_eq!(
-            off.stats().update_work.plan_compiled + off.stats().query_work.plan_compiled,
-            0,
-            "plans-off machine must never run a plan"
-        );
-    }
-}
-
-/// A weighted-edge stream honoring MSF's delete contract (deletes replay
-/// a live weighted edge).
-fn weighted_stream(n: u32, steps: usize, seed: u64) -> Vec<Request> {
-    let mut rand = rng(seed);
-    let mut live: Vec<(u32, u32, u32)> = Vec::new();
-    let mut reqs = Vec::new();
-    for _ in 0..steps {
-        if !live.is_empty() && rand.gen_bool(0.3) {
-            let i = rand.gen_range(0..live.len());
-            let (a, b, w) = live.swap_remove(i);
-            reqs.push(Request::del("W", [a, b, w]));
-        } else {
-            let a = rand.gen_range(0..n);
-            let b = rand.gen_range(0..n);
-            if a == b || live.iter().any(|&(x, y, _)| (x, y) == (a.min(b), a.max(b))) {
-                continue;
-            }
-            let w = rand.gen_range(0..n);
-            live.push((a.min(b), a.max(b), w));
-            reqs.push(Request::ins("W", [a.min(b), a.max(b), w]));
-        }
-    }
-    reqs
-}
 
 #[test]
 fn plan_parity() {
@@ -118,7 +40,7 @@ fn plan_parity() {
 #[test]
 fn plan_reach_u() {
     let n = 7u32;
-    let mut reqs = edge_requests(&churn_stream(n, 35, 0.3, true, &mut rng(13)));
+    let mut reqs = edge_requests("E", &churn_stream(n, 35, 0.3, true, &mut rng(13)));
     // Exercise `set` requests too: the query reads constants s and t.
     reqs.insert(10, Request::set("s", 2));
     reqs.insert(20, Request::set("t", 5));
@@ -134,7 +56,7 @@ fn plan_reach_u() {
 #[test]
 fn plan_reach_acyclic() {
     let n = 7u32;
-    let reqs = edge_requests(&dag_churn_stream(n, 35, 0.3, &mut rng(17)));
+    let reqs = edge_requests("E", &dag_churn_stream(n, 35, 0.3, &mut rng(17)));
     assert_plans_transparent(
         programs::reach_acyclic::program,
         n,
@@ -147,7 +69,7 @@ fn plan_reach_acyclic() {
 #[test]
 fn plan_trans_reduction() {
     let n = 6u32;
-    let reqs = edge_requests(&dag_churn_stream(n, 30, 0.3, &mut rng(19)));
+    let reqs = edge_requests("E", &dag_churn_stream(n, 30, 0.3, &mut rng(19)));
     assert_plans_transparent(
         programs::trans_reduction::program,
         n,
@@ -173,7 +95,7 @@ fn plan_msf() {
 #[test]
 fn plan_bipartite() {
     let n = 7u32;
-    let reqs = edge_requests(&churn_stream(n, 35, 0.3, true, &mut rng(29)));
+    let reqs = edge_requests("E", &churn_stream(n, 35, 0.3, true, &mut rng(29)));
     assert_plans_transparent(
         programs::bipartite::program,
         n,
@@ -186,7 +108,7 @@ fn plan_bipartite() {
 #[test]
 fn plan_kconn() {
     let n = 6u32;
-    let reqs = edge_requests(&churn_stream(n, 30, 0.3, true, &mut rng(31)));
+    let reqs = edge_requests("E", &churn_stream(n, 30, 0.3, true, &mut rng(31)));
     assert_plans_transparent(
         || programs::kconn::program_up_to(2),
         n,
@@ -199,7 +121,7 @@ fn plan_kconn() {
 #[test]
 fn plan_matching() {
     let n = 6u32;
-    let reqs = edge_requests(&churn_stream(n, 30, 0.3, true, &mut rng(37)));
+    let reqs = edge_requests("E", &churn_stream(n, 30, 0.3, true, &mut rng(37)));
     assert_plans_transparent(
         programs::matching::program,
         n,
@@ -212,7 +134,7 @@ fn plan_matching() {
 #[test]
 fn plan_lca() {
     let n = 6u32;
-    let reqs = edge_requests(&dag_churn_stream(n, 30, 0.3, &mut rng(41)));
+    let reqs = edge_requests("E", &dag_churn_stream(n, 30, 0.3, &mut rng(41)));
     assert_plans_transparent(
         programs::lca::program,
         n,
@@ -225,7 +147,7 @@ fn plan_lca() {
 #[test]
 fn plan_vertex_cover() {
     let n = 6u32;
-    let reqs = edge_requests(&churn_stream(n, 30, 0.3, true, &mut rng(43)));
+    let reqs = edge_requests("E", &churn_stream(n, 30, 0.3, true, &mut rng(43)));
     assert_plans_transparent(
         programs::vertex_cover::program,
         n,
@@ -239,7 +161,7 @@ fn plan_vertex_cover() {
 fn plan_semi_reach_u() {
     // Semi-dynamic: insert-only by contract.
     let n = 7u32;
-    let reqs: Vec<Request> = edge_requests(&churn_stream(n, 25, 0.0, true, &mut rng(47)));
+    let reqs: Vec<Request> = edge_requests("E", &churn_stream(n, 25, 0.0, true, &mut rng(47)));
     assert_plans_transparent(
         programs::semi::reach_u_program,
         n,
@@ -252,7 +174,7 @@ fn plan_semi_reach_u() {
 #[test]
 fn plan_semi_reach() {
     let n = 7u32;
-    let reqs: Vec<Request> = edge_requests(&churn_stream(n, 25, 0.0, false, &mut rng(53)));
+    let reqs: Vec<Request> = edge_requests("E", &churn_stream(n, 25, 0.0, false, &mut rng(53)));
     assert_plans_transparent(
         programs::semi::reach_program,
         n,
@@ -263,38 +185,50 @@ fn plan_semi_reach() {
 }
 
 /// The parallel scheduler executes rule plans from pool workers; the
-/// result must match the serial interpreter exactly.
+/// result must match the serial interpreter exactly, at every step.
 #[test]
 fn plan_parallel_scheduler_matches_serial_interpreter() {
     let n = 7u32;
-    let reqs = edge_requests(&churn_stream(n, 30, 0.3, true, &mut rng(59)));
-    let mut par = DynFoMachine::new(programs::reach_u::program(), n).with_parallelism(3);
-    let mut ser = DynFoMachine::new(programs::reach_u::program(), n)
-        .with_use_plans(false);
-    for (step, req) in reqs.iter().enumerate() {
-        par.apply(req).unwrap();
-        ser.apply(req).unwrap();
-        assert_eq!(par.state(), ser.state(), "step {step}");
-        assert_eq!(
-            par.query_named("connected", &[0, n - 1]).unwrap(),
-            ser.query_named("connected", &[0, n - 1]).unwrap(),
-            "step {step}"
-        );
-    }
-    assert!(par.stats().update_work.plan_compiled > 0);
+    let reqs = edge_requests("E", &churn_stream(n, 30, 0.3, true, &mut rng(59)));
+    let machines = run_differential(
+        &programs::reach_u::program,
+        n,
+        &reqs,
+        &[("connected", &[0, n - 1])],
+        &[DiffMode::Interp, DiffMode::Parallel(3)],
+    );
+    assert!(machines[1].stats().update_work.plan_compiled > 0);
 }
 
-/// Batch application with plans matches sequential application without.
+/// Batch application with plans matches sequential application without;
+/// the whole stream goes through one `apply_batch` chunk, so the
+/// comparison happens once, at the end.
 #[test]
 fn plan_batch_matches_sequential_interpreter() {
     let n = 7u32;
-    let reqs = edge_requests(&churn_stream(n, 40, 0.35, true, &mut rng(61)));
-    let mut batched = DynFoMachine::new(programs::reach_u::program(), n);
-    batched.apply_batch(&reqs).unwrap();
-    let mut seq = DynFoMachine::new(programs::reach_u::program(), n).with_use_plans(false);
-    seq.apply_all(&reqs).unwrap();
-    assert_eq!(batched.state(), seq.state());
-    assert_eq!(batched.query().unwrap(), seq.query().unwrap());
+    let reqs = edge_requests("E", &churn_stream(n, 40, 0.35, true, &mut rng(61)));
+    run_differential(
+        &programs::reach_u::program,
+        n,
+        &reqs,
+        &[],
+        &[DiffMode::Interp, DiffMode::Batch(reqs.len())],
+    );
+}
+
+/// Mid-size batches: chunk boundaries interleave with the stream, so the
+/// harness compares at every boundary, not just the end.
+#[test]
+fn plan_small_batches_match_stepwise_plans() {
+    let n = 7u32;
+    let reqs = edge_requests("E", &churn_stream(n, 40, 0.35, true, &mut rng(67)));
+    run_differential(
+        &programs::reach_u::program,
+        n,
+        &reqs,
+        &[("connected", &[0, 6])],
+        &[DiffMode::Plans, DiffMode::Batch(7), DiffMode::Batch(3)],
+    );
 }
 
 proptest! {

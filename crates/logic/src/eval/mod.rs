@@ -535,6 +535,9 @@ impl<'a> Evaluator<'a> {
             }
         };
         self.stats.note(&out);
+        if dynfo_obs::ENABLED {
+            crate::obs::eval_obs().interp_rows.add(out.len() as u64);
+        }
         if let Some((key, fv)) = cache_key {
             let reads = relation_symbols(&key.0);
             let consts = constant_symbols(&key.0);
@@ -557,22 +560,31 @@ impl<'a> Evaluator<'a> {
                 None
             }
         }
-        match &mut self.cache {
+        let found = match &mut self.cache {
             CacheSlot::Owned(c) => one(c, key),
             CacheSlot::Shared(c) => one(c, key),
             CacheSlot::Overlay { base, local } => {
                 if let Some(hit) = local.entries.get(key) {
                     local.hits += 1;
-                    return Some(hit.table.clone());
-                }
-                if let Some(hit) = base.entries.get(key) {
+                    Some(hit.table.clone())
+                } else if let Some(hit) = base.entries.get(key) {
                     local.hits += 1;
-                    return Some(hit.table.clone());
+                    Some(hit.table.clone())
+                } else {
+                    local.misses += 1;
+                    None
                 }
-                local.misses += 1;
-                None
+            }
+        };
+        if dynfo_obs::ENABLED {
+            let obs = crate::obs::eval_obs();
+            let class = crate::obs::class_of(&key.0);
+            match found {
+                Some(_) => obs.cache_hit[class].inc(),
+                None => obs.cache_miss[class].inc(),
             }
         }
+        found
     }
 
     /// Record a computed result; overlay evaluators write to their

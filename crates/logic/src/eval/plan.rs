@@ -350,6 +350,11 @@ impl Plan {
         }
         ev.stats.kernel_words += kw;
         ev.stats.plan_compiled += 1;
+        if dynfo_obs::ENABLED {
+            let obs = crate::obs::eval_obs();
+            obs.kernel_words.add(kw);
+            obs.plan_compiled.inc();
+        }
         Ok(Some(self.decode(&arena.bufs[self.root], self.root)))
     }
 

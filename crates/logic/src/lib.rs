@@ -13,6 +13,7 @@ pub mod eval;
 pub mod formula;
 pub mod fxhash;
 pub mod intern;
+pub mod obs;
 pub mod parallel;
 pub mod parser;
 pub mod printer;

@@ -1,0 +1,71 @@
+//! Evaluator and pool instrumentation: process-wide metric handles,
+//! resolved once against the global [`dynfo_obs`] registry and cached
+//! in a `OnceLock`, so hot-path recording is a single relaxed atomic.
+//! Everything here compiles to nothing when `dynfo_obs::ENABLED` is
+//! false (call sites guard on it, and the primitives early-return).
+
+use crate::formula::Formula;
+use dynfo_obs::{Counter, Gauge};
+use std::sync::{Arc, OnceLock};
+
+/// Subformula classes for the cache hit/miss breakdown, in the order
+/// of [`CLASS_NAMES`].
+pub const CLASS_NAMES: [&str; 6] = ["rel", "and", "or", "not", "exists", "other"];
+
+/// Map a formula to its class index in [`CLASS_NAMES`].
+pub fn class_of(f: &Formula) -> usize {
+    match f {
+        Formula::Rel { .. } => 0,
+        Formula::And(..) => 1,
+        Formula::Or(..) => 2,
+        Formula::Not(..) => 3,
+        Formula::Exists(..) => 4,
+        _ => 5,
+    }
+}
+
+/// Cached handles for every metric the evaluator and the pool record.
+pub struct EvalObs {
+    /// `eval.cache_hit.{class}` — subformula-cache hits by class.
+    pub cache_hit: [Arc<Counter>; 6],
+    /// `eval.cache_miss.{class}` — subformula-cache misses by class.
+    pub cache_miss: [Arc<Counter>; 6],
+    /// `eval.plan_compiled` — evaluations served by a compiled plan.
+    pub plan_compiled: Arc<Counter>,
+    /// `eval.plan_fallback` — planned evaluations that fell back to
+    /// the relational-algebra interpreter.
+    pub plan_fallback: Arc<Counter>,
+    /// `eval.interp_rows` — rows materialized by the interpreter.
+    pub interp_rows: Arc<Counter>,
+    /// `eval.kernel_words` — 64-bit words touched by plan kernels.
+    pub kernel_words: Arc<Counter>,
+    /// `pool.jobs` — jobs submitted to [`crate::parallel::EvalPool`]s.
+    pub pool_jobs: Arc<Counter>,
+    /// `pool.queue_depth` — submitted-but-not-started jobs, now.
+    pub pool_queue_depth: Arc<Gauge>,
+    /// `pool.steal_draws` — slice hand-outs drawn by pool workers.
+    pub pool_steal_draws: Arc<Counter>,
+    /// `pool.busy_ns` — total nanoseconds pool workers spent running
+    /// jobs (sum across workers; divide by wall time for utilization).
+    pub pool_busy_ns: Arc<Counter>,
+}
+
+/// The process-wide evaluator metrics, registered on first use.
+pub fn eval_obs() -> &'static EvalObs {
+    static OBS: OnceLock<EvalObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = dynfo_obs::global();
+        EvalObs {
+            cache_hit: CLASS_NAMES.map(|c| reg.counter(&format!("eval.cache_hit.{c}"))),
+            cache_miss: CLASS_NAMES.map(|c| reg.counter(&format!("eval.cache_miss.{c}"))),
+            plan_compiled: reg.counter("eval.plan_compiled"),
+            plan_fallback: reg.counter("eval.plan_fallback"),
+            interp_rows: reg.counter("eval.interp_rows"),
+            kernel_words: reg.counter("eval.kernel_words"),
+            pool_jobs: reg.counter("pool.jobs"),
+            pool_queue_depth: reg.gauge("pool.queue_depth"),
+            pool_steal_draws: reg.counter("pool.steal_draws"),
+            pool_busy_ns: reg.counter("pool.busy_ns"),
+        }
+    })
+}

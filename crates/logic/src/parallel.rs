@@ -86,9 +86,18 @@ impl EvalPool {
                             // A panicking job must not kill the worker;
                             // the latch guard in `run_scoped` reports it.
                             Ok(job) => {
+                                let start = dynfo_obs::clock();
+                                if dynfo_obs::ENABLED {
+                                    crate::obs::eval_obs().pool_queue_depth.add(-1);
+                                }
                                 let _ = std::panic::catch_unwind(
                                     std::panic::AssertUnwindSafe(job),
                                 );
+                                if dynfo_obs::ENABLED {
+                                    crate::obs::eval_obs()
+                                        .pool_busy_ns
+                                        .add(dynfo_obs::elapsed_ns(start));
+                                }
                             }
                             Err(_) => break, // pool dropped
                         }
@@ -144,6 +153,11 @@ impl EvalPool {
     pub fn run_scoped<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
         if jobs.is_empty() {
             return;
+        }
+        if dynfo_obs::ENABLED {
+            let obs = crate::obs::eval_obs();
+            obs.pool_jobs.add(jobs.len() as u64);
+            obs.pool_queue_depth.add(jobs.len() as i64);
         }
         let latch = Arc::new((Mutex::new(jobs.len()), Condvar::new()));
         for job in jobs {
@@ -328,6 +342,9 @@ fn evaluate_sliced(
         let mut local: Vec<Tuple> = Vec::new();
         let result = loop {
             let value = next.fetch_add(1, Ordering::Relaxed);
+            if dynfo_obs::ENABLED {
+                crate::obs::eval_obs().pool_steal_draws.inc();
+            }
             if value >= n {
                 break Ok(std::mem::take(&mut local));
             }

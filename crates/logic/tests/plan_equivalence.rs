@@ -4,12 +4,16 @@
 //! bound, and through repeated executions of one arena (stable-slot
 //! reuse). Divergence means a kernel, a load path, or the padding
 //! discipline is wrong.
+//!
+//! The compile-execute-compare loop is `dynfo_testutil::assert_plan_matches`,
+//! shared with the machine-level differential suites.
 
 use dynfo_logic::analysis::canonicalize;
 use dynfo_logic::formula::{
     bit, cst, eq, exists, forall, le, lt, neq, not, param, rel, v, Formula,
 };
 use dynfo_logic::{evaluate, Elem, Evaluator, Plan, Structure, Sym, Vocabulary};
+use dynfo_testutil::assert_plan_matches;
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -63,30 +67,6 @@ fn corpus() -> Vec<Formula> {
         neq(v("x"), param(0)) & rel("M", [v("x")]),
         exists(["y"], rel("E", [v("x"), v("y")]) & neq(v("y"), param(0))),
     ]
-}
-
-/// Compile (skipping formulas the compiler declines), execute twice on
-/// one arena, and hold both runs against the interpreter.
-fn assert_plan_matches(f: &Formula, st: &Structure, params: &[Elem]) {
-    let canonical = canonicalize(f);
-    let Some(plan) = Plan::compile(&canonical, st) else {
-        return;
-    };
-    let mut arena = plan.arena();
-    let expect = evaluate(&canonical, st, params).expect("interpreter failed");
-    for run in 0..2 {
-        let mut ev = Evaluator::new(st, params);
-        let got = plan
-            .execute(&mut ev, &mut arena, None)
-            .expect("plan execution failed")
-            .expect("plan bailed at runtime on its own compile-time structure");
-        let order: Vec<Sym> = got.vars().to_vec();
-        assert_eq!(
-            got.sorted(),
-            expect.clone().project(&order).sorted(),
-            "run {run}: plan != interpreter for {canonical} (params {params:?})"
-        );
-    }
 }
 
 proptest! {

@@ -1,0 +1,89 @@
+//! Text exporters: Prometheus-style exposition lines and a
+//! human-readable table, both rendered from a registry snapshot.
+
+use crate::metrics::Histogram;
+use crate::registry::{Metric, Registry};
+use std::fmt::Write;
+
+/// `a.b.c` → `a_b_c`: Prometheus metric names allow `[a-zA-Z0-9_:]`.
+fn promname(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' })
+        .collect()
+}
+
+fn prom_histogram(out: &mut String, name: &str, h: &Histogram) {
+    let base = promname(name);
+    for (q, v) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
+        writeln!(out, "{base}{{quantile=\"{q}\"}} {v}").unwrap();
+    }
+    writeln!(out, "{base}_sum {}", h.sum()).unwrap();
+    writeln!(out, "{base}_count {}", h.count()).unwrap();
+}
+
+impl Registry {
+    /// Prometheus-style exposition: one `name value` line per counter
+    /// and gauge; summaries (`quantile` labels, `_sum`, `_count`) per
+    /// histogram. Dots in registered names become underscores.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in self.snapshot() {
+            match metric {
+                Metric::Counter(c) => {
+                    writeln!(out, "{} {}", promname(&name), c.get()).unwrap();
+                }
+                Metric::Gauge(g) => {
+                    writeln!(out, "{} {}", promname(&name), g.get()).unwrap();
+                }
+                Metric::Histogram(h) => prom_histogram(&mut out, &name, &h),
+            }
+        }
+        out
+    }
+
+    /// A human-readable table: counters/gauges as `name value`,
+    /// histograms as count/mean/p50/p90/p99 (values interpreted as
+    /// nanoseconds when the name ends in `_ns`, shown in µs).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let snap = self.snapshot();
+        let width = snap.iter().map(|(n, _)| n.len()).max().unwrap_or(0).max(24);
+        writeln!(
+            out,
+            "{:width$}  {:>14}  {:>10}  {:>10}  {:>10}  {:>10}",
+            "metric", "value/count", "mean", "p50", "p90", "p99"
+        )
+        .unwrap();
+        for (name, metric) in snap {
+            match metric {
+                Metric::Counter(c) => {
+                    writeln!(out, "{name:width$}  {:>14}", c.get()).unwrap();
+                }
+                Metric::Gauge(g) => {
+                    writeln!(out, "{name:width$}  {:>14}", g.get()).unwrap();
+                }
+                Metric::Histogram(h) => {
+                    let in_us = name.contains("_ns");
+                    let show = |v: f64| {
+                        if in_us {
+                            format!("{:.1}us", v / 1e3)
+                        } else {
+                            format!("{v:.0}")
+                        }
+                    };
+                    writeln!(
+                        out,
+                        "{name:width$}  {:>14}  {:>10}  {:>10}  {:>10}  {:>10}",
+                        h.count(),
+                        show(h.mean()),
+                        show(h.p50() as f64),
+                        show(h.p90() as f64),
+                        show(h.p99() as f64),
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,141 @@
+//! # dynfo-obs
+//!
+//! Observability substrate for the Dyn-FO workspace: a lock-free
+//! metrics registry (atomic [`Counter`]s, [`Gauge`]s, and log₂-bucketed
+//! latency [`Histogram`]s with p50/p90/p99 readout), lightweight
+//! structured tracing ([`span`] enter/exit with static labels,
+//! thread-local span stacks, an optional JSONL sink), and text
+//! exporters (Prometheus-style lines plus a human-readable table).
+//!
+//! ## Zero cost when disabled
+//!
+//! The whole crate is gated on the `enabled` cargo feature (default
+//! on). With the feature off, [`ENABLED`] is `const false` and every
+//! *recording* method — `inc`, `add`, `set`, `observe`, span
+//! enter/exit — starts with a constant-folded early return, so the
+//! instrumented hot paths compile to exactly the uninstrumented code.
+//! The *registration and readout* surface (registry lookup, quantiles,
+//! exporters) stays functional in both modes so call sites never need
+//! `cfg` attributes; a disabled build simply reports zeros.
+//!
+//! ## Hot-path discipline
+//!
+//! Registration takes a registry lock once; callers cache the returned
+//! `Arc` and every subsequent update is a single relaxed atomic
+//! operation. Latency is recorded in nanoseconds via [`clock`] /
+//! [`Histogram::observe_since`], which never reads the clock when the
+//! crate is disabled.
+
+mod export;
+mod metrics;
+mod registry;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, Timer, HISTOGRAM_BUCKETS};
+pub use registry::{global, Metric, Registry};
+pub use trace::{clear_jsonl_sink, current_path, set_jsonl_sink, span, Span};
+
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Compile-time switch: true iff the `enabled` cargo feature is on.
+/// Recording methods early-return on `!ENABLED`, which the compiler
+/// folds away entirely.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+/// Read the monotonic clock, but only when instrumentation is compiled
+/// in; pair with [`Histogram::observe_since`].
+#[inline]
+pub fn clock() -> Option<Instant> {
+    if ENABLED {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Nanoseconds elapsed since a [`clock`] reading (0 when disabled),
+/// saturated to `u64`.
+#[inline]
+pub fn elapsed_ns(start: Option<Instant>) -> u64 {
+    match start {
+        Some(t) => t.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        None => 0,
+    }
+}
+
+/// A cheap, cloneable capability deciding *where* a component's metrics
+/// go: the process-global registry (default), a private registry (tests
+/// and embedders), or nowhere ([`ObsHandle::disabled`]). Components
+/// resolve their metric handles through this once, at construction, and
+/// then touch only cached atomics.
+#[derive(Clone, Debug)]
+pub struct ObsHandle {
+    registry: Option<Arc<Registry>>,
+}
+
+impl ObsHandle {
+    /// A handle backed by the process-global registry (no-op when the
+    /// `enabled` feature is off).
+    pub fn global() -> Self {
+        ObsHandle {
+            registry: Some(global().clone()),
+        }
+    }
+
+    /// A handle that records nothing: metrics resolved through it are
+    /// detached singletons invisible to every exporter.
+    pub fn disabled() -> Self {
+        ObsHandle { registry: None }
+    }
+
+    /// A handle backed by a caller-owned registry.
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        ObsHandle {
+            registry: Some(registry),
+        }
+    }
+
+    /// True when metrics resolved through this handle are observable
+    /// somewhere (compiled in *and* routed to a registry).
+    pub fn is_enabled(&self) -> bool {
+        ENABLED && self.registry.is_some()
+    }
+
+    /// The backing registry, if any.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.registry.as_ref()
+    }
+
+    /// Resolve (get or register) a counter by name. Disabled handles
+    /// return a detached counter that no exporter will ever see.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match &self.registry {
+            Some(r) => r.counter(name),
+            None => Arc::new(Counter::new()),
+        }
+    }
+
+    /// Resolve (get or register) a gauge by name.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match &self.registry {
+            Some(r) => r.gauge(name),
+            None => Arc::new(Gauge::new()),
+        }
+    }
+
+    /// Resolve (get or register) a histogram by name.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match &self.registry {
+            Some(r) => r.histogram(name),
+            None => Arc::new(Histogram::new()),
+        }
+    }
+}
+
+impl Default for ObsHandle {
+    /// The default handle records to the process-global registry.
+    fn default() -> Self {
+        ObsHandle::global()
+    }
+}

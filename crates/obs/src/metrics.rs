@@ -1,0 +1,246 @@
+//! Lock-free metric primitives: counters, gauges, and log₂-bucketed
+//! histograms. All updates are single relaxed atomic operations;
+//! readers get monotonic-enough snapshots without stopping writers.
+
+use crate::ENABLED;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonically increasing event count. Increments wrap on overflow
+/// (two's-complement `fetch_add`), which the overflow test pins — a
+/// counter that has lived through 2⁶⁴ events is assumed to be read
+/// often enough that rate math survives one wrap.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n` (wrapping).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !ENABLED {
+            return;
+        }
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (tests and before/after measurements).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A signed instantaneous level (queue depth, rung, resident bytes).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if !ENABLED {
+            return;
+        }
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Move the level by `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if !ENABLED {
+            return;
+        }
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Bucket count for [`Histogram`]: one underflow bucket for the value
+/// 0, then one bucket per bit length 1..=64.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram: bucket `i > 0` holds values whose bit
+/// length is `i`, i.e. the range `[2^(i-1), 2^i)`; bucket 0 holds
+/// exactly the value 0. Quantile readout returns the *inclusive upper
+/// bound* of the bucket containing the requested rank, so a reported
+/// pXX is never below the true quantile and less than 2× above it.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else the bit length (1..=64).
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the top bucket).
+pub(crate) fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if !ENABLED {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record nanoseconds elapsed since a [`crate::clock`] reading; a
+    /// `None` start (disabled build) records nothing and never reads
+    /// the clock.
+    #[inline]
+    pub fn observe_since(&self, start: Option<Instant>) {
+        if let Some(t) = start {
+            self.observe(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+
+    /// A drop guard that records elapsed nanoseconds into `self`.
+    pub fn start_timer(&self) -> Timer<'_> {
+        Timer {
+            hist: self,
+            start: crate::clock(),
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wrapping).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Per-bucket counts (index by bit length; see type docs).
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// The value `v` such that at least `q`·count of the recorded
+    /// values are ≤ `v`, rounded up to the containing bucket's upper
+    /// bound. Returns 0 for an empty histogram. `q` is clamped to
+    /// [0, 1]; `quantile(0.0)` reports the lowest non-empty bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Median (upper-bounded, see [`Histogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Reset every bucket, the count, and the sum to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Drop guard from [`Histogram::start_timer`]: records the elapsed
+/// nanoseconds when dropped. Holds no clock reading in disabled builds.
+pub struct Timer<'a> {
+    hist: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl Drop for Timer<'_> {
+    fn drop(&mut self) {
+        self.hist.observe_since(self.start);
+    }
+}

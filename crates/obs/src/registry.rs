@@ -1,0 +1,117 @@
+//! Named-metric registry. Registration (get-or-create by name) takes a
+//! write lock once per *name*; the returned `Arc` is cached by the
+//! caller, so steady-state recording never touches the registry again
+//! — the hot path is lock-free by construction.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A registered metric, by kind.
+#[derive(Clone, Debug)]
+pub enum Metric {
+    /// Monotonic event count.
+    Counter(Arc<Counter>),
+    /// Instantaneous signed level.
+    Gauge(Arc<Gauge>),
+    /// Log₂-bucketed value distribution.
+    Histogram(Arc<Histogram>),
+}
+
+/// A collection of named metrics. Names are dot-separated lowercase
+/// paths (`serve.journal.fsync_ns`); the exporters translate them for
+/// each output format. Registering the same name twice returns the
+/// same metric; registering it as a *different kind* panics — that is
+/// a programming error, not a runtime condition.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        if let Some(m) = self.metrics.read().unwrap().get(name) {
+            return m.clone();
+        }
+        let mut map = self.metrics.write().unwrap();
+        map.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// Get or register a counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} already registered as {other:?}, wanted counter"),
+        }
+    }
+
+    /// Get or register a gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as {other:?}, wanted gauge"),
+        }
+    }
+
+    /// Get or register a histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} already registered as {other:?}, wanted histogram"),
+        }
+    }
+
+    /// Look up a metric without registering it.
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.metrics.read().unwrap().get(name).cloned()
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.metrics.read().unwrap().keys().cloned().collect()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.read().unwrap().len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sorted snapshot of every registered metric.
+    pub fn snapshot(&self) -> Vec<(String, Metric)> {
+        self.metrics
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Zero every registered metric (before/after measurements and
+    /// tests). Registration survives; only the values reset.
+    pub fn reset(&self) {
+        for (_, m) in self.snapshot() {
+            match m {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+}
+
+/// The process-global registry, where all built-in instrumentation
+/// lands unless a component was handed a private [`crate::ObsHandle`].
+pub fn global() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(Registry::new()))
+}

@@ -1,0 +1,275 @@
+//! The metric primitives under adversarial inputs: histogram bucket
+//! boundaries at exact powers of two, quantile error bounds over random
+//! streams (never below the true quantile, strictly less than 2× above
+//! it), counter overflow wrap, concurrent registration races, and the
+//! registry's kind-conflict panic.
+//!
+//! Value-recording assertions gate on [`dynfo_obs::ENABLED`]: in a
+//! `--no-default-features` build every recording call is a no-op by
+//! contract, and the registration/readout surface must still work.
+
+use dynfo_obs::{global, Counter, Gauge, Histogram, ObsHandle, Registry, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Bucket i > 0 holds bit-length-i values, i.e. [2^(i-1), 2^i);
+/// bucket 0 holds exactly 0. Pinned at every boundary that matters.
+#[test]
+fn histogram_bucket_boundaries() {
+    if !dynfo_obs::ENABLED {
+        return;
+    }
+    let h = Histogram::new();
+    // (value, expected bucket index)
+    let cases: &[(u64, usize)] = &[
+        (0, 0),
+        (1, 1),
+        (2, 2),
+        (3, 2),
+        (4, 3),
+        (7, 3),
+        (8, 4),
+        (1 << 10, 11),
+        ((1 << 11) - 1, 11),
+        (1 << 62, 63),
+        (1 << 63, 64),
+        (u64::MAX, 64),
+    ];
+    for &(v, _) in cases {
+        h.observe(v);
+    }
+    let counts = h.bucket_counts();
+    for &(v, bucket) in cases {
+        assert!(
+            counts[bucket] > 0,
+            "value {v} should land in bucket {bucket}: {counts:?}"
+        );
+    }
+    let expected: u64 = cases.len() as u64;
+    assert_eq!(h.count(), expected);
+    assert_eq!(counts.iter().sum::<u64>(), expected);
+    // Two values shared bucket 2, two shared bucket 3, two bucket 11,
+    // two bucket 64 — pin the full layout.
+    assert_eq!(counts[0], 1);
+    assert_eq!(counts[2], 2);
+    assert_eq!(counts[3], 2);
+    assert_eq!(counts[11], 2);
+    assert_eq!(counts[64], 2);
+}
+
+#[test]
+fn histogram_quantiles_on_adversarial_streams() {
+    if !dynfo_obs::ENABLED {
+        return;
+    }
+    // Empty: all quantiles 0.
+    let h = Histogram::new();
+    assert_eq!(h.p50(), 0);
+    assert_eq!(h.p99(), 0);
+    assert_eq!(h.mean(), 0.0);
+
+    // Single repeated value: every quantile is its bucket upper bound.
+    let h = Histogram::new();
+    for _ in 0..1000 {
+        h.observe(100); // bit length 7 → bucket [64, 128), upper 127
+    }
+    assert_eq!(h.p50(), 127);
+    assert_eq!(h.p90(), 127);
+    assert_eq!(h.p99(), 127);
+    assert_eq!(h.quantile(0.0), 127, "q=0 reports the lowest non-empty bucket");
+
+    // Heavy skew: one huge outlier among many small values. The p99
+    // must ignore the outlier until rank reaches it.
+    let h = Histogram::new();
+    for _ in 0..99 {
+        h.observe(1);
+    }
+    h.observe(1_000_000);
+    assert_eq!(h.p50(), 1);
+    assert_eq!(h.quantile(0.99), 1);
+    assert_eq!(h.quantile(1.0), (1 << 20) - 1);
+
+    // All-zero stream stays in the underflow bucket.
+    let h = Histogram::new();
+    for _ in 0..10 {
+        h.observe(0);
+    }
+    assert_eq!(h.p50(), 0);
+    assert_eq!(h.quantile(1.0), 0);
+    assert_eq!(h.bucket_counts()[0], 10);
+
+    // Reset clears buckets, count, and sum.
+    h.reset();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+    assert_eq!(h.bucket_counts(), [0; HISTOGRAM_BUCKETS]);
+}
+
+#[test]
+fn counter_overflow_wraps() {
+    if !dynfo_obs::ENABLED {
+        return;
+    }
+    let c = Counter::new();
+    c.add(u64::MAX);
+    assert_eq!(c.get(), u64::MAX);
+    c.inc();
+    assert_eq!(c.get(), 0, "increments wrap on overflow by contract");
+    c.add(u64::MAX - 1);
+    c.add(3);
+    assert_eq!(c.get(), 1);
+    c.reset();
+    assert_eq!(c.get(), 0);
+}
+
+#[test]
+fn gauge_moves_both_directions() {
+    if !dynfo_obs::ENABLED {
+        return;
+    }
+    let g = Gauge::new();
+    g.add(5);
+    g.add(-8);
+    assert_eq!(g.get(), -3);
+    g.set(42);
+    assert_eq!(g.get(), 42);
+    g.reset();
+    assert_eq!(g.get(), 0);
+}
+
+#[test]
+fn timer_guard_records_one_observation() {
+    let h = Histogram::new();
+    {
+        let _t = h.start_timer();
+    }
+    if dynfo_obs::ENABLED {
+        assert_eq!(h.count(), 1);
+    } else {
+        assert_eq!(h.count(), 0, "disabled builds record nothing");
+    }
+}
+
+/// Registration is get-or-create: the same name yields the same metric,
+/// from any number of threads racing on a cold registry.
+#[test]
+fn concurrent_registration_converges() {
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<Arc<Counter>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    let c = registry.counter("race.requests");
+                    c.add(10);
+                    c
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    for h in &handles {
+        assert!(
+            Arc::ptr_eq(h, &handles[0]),
+            "every thread must resolve the same counter"
+        );
+    }
+    if dynfo_obs::ENABLED {
+        assert_eq!(registry.counter("race.requests").get(), 80);
+    }
+    assert_eq!(registry.len(), 1);
+}
+
+#[test]
+#[should_panic(expected = "already registered")]
+fn registering_the_same_name_as_a_different_kind_panics() {
+    let registry = Registry::new();
+    registry.counter("serve.mixed");
+    registry.histogram("serve.mixed");
+}
+
+#[test]
+fn handles_route_and_disabled_handles_detach() {
+    let registry = Arc::new(Registry::new());
+    let routed = ObsHandle::with_registry(Arc::clone(&registry));
+    let detached = ObsHandle::disabled();
+    let c1 = routed.counter("h.count");
+    let c2 = detached.counter("h.count");
+    assert!(!Arc::ptr_eq(&c1, &c2), "disabled handles never share metrics");
+    c1.inc();
+    c2.inc();
+    if dynfo_obs::ENABLED {
+        assert_eq!(registry.counter("h.count").get(), 1, "only the routed inc lands");
+    }
+    assert_eq!(registry.len(), 1, "the detached counter is invisible");
+    assert!(!detached.is_enabled());
+    // The global registry is a real, shared registry.
+    assert!(Arc::ptr_eq(global(), ObsHandle::global().registry().unwrap()));
+}
+
+#[test]
+fn exporters_render_all_kinds() {
+    let registry = Registry::new();
+    registry.counter("exp.requests").add(7);
+    registry.gauge("exp.depth").set(-2);
+    registry.histogram("exp.latency_ns").observe(1500);
+    let prom = registry.render_prometheus();
+    let table = registry.render_table();
+    if dynfo_obs::ENABLED {
+        assert!(prom.contains("exp_requests 7"), "{prom}");
+        assert!(prom.contains("exp_depth -2"), "{prom}");
+        assert!(prom.contains("exp_latency_ns_count 1"), "{prom}");
+        assert!(prom.contains("exp_latency_ns{quantile=\"0.5\"} 2047"), "{prom}");
+        assert!(table.contains("exp.latency_ns"), "{table}");
+        assert!(table.contains("us"), "ns-suffixed histograms render in µs: {table}");
+    }
+    // Both renderers stay functional (just zeros) when disabled.
+    assert!(prom.contains("exp_requests"));
+    assert!(table.contains("exp.requests"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The quantile contract over random streams: the reported value is
+    /// never below the true quantile and strictly less than twice it
+    /// (for nonzero true quantiles) — the log₂ bucket guarantee.
+    #[test]
+    fn quantile_error_is_bounded(
+        mut values in proptest::collection::vec(0u64..(1 << 40), 1..200),
+        q_pct in 1u32..100,
+    ) {
+        if dynfo_obs::ENABLED {
+            let q = q_pct as f64 / 100.0;
+            let h = Histogram::new();
+            for &v in &values {
+                h.observe(v);
+            }
+            values.sort_unstable();
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+            let truth = values[rank - 1];
+            let got = h.quantile(q);
+            prop_assert!(got >= truth, "reported {} below true quantile {}", got, truth);
+            if truth > 0 {
+                prop_assert!(got < truth * 2, "reported {} >= 2x true quantile {}", got, truth);
+            } else {
+                prop_assert_eq!(got, 0);
+            }
+        }
+    }
+
+    /// Count and sum survive any stream; mean is their ratio.
+    #[test]
+    fn count_and_sum_are_exact(
+        values in proptest::collection::vec(0u64..(1 << 32), 0..100),
+    ) {
+        if dynfo_obs::ENABLED {
+            let h = Histogram::new();
+            for &v in &values {
+                h.observe(v);
+            }
+            prop_assert_eq!(h.count(), values.len() as u64);
+            prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        }
+    }
+}

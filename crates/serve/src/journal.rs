@@ -247,8 +247,12 @@ impl JournalWriter {
         if self.is_dead() {
             return Ok(()); // the "process" is gone; nothing reaches disk
         }
+        let started = dynfo_obs::clock();
         self.pending.extend_from_slice(&encode_frame(seq, req));
         self.pending_frames += 1;
+        if dynfo_obs::ENABLED {
+            crate::obs::journal_obs().append_ns.observe_since(started);
+        }
         Ok(())
     }
 
@@ -275,11 +279,17 @@ impl JournalWriter {
             self.pending.truncate(cut);
         }
         if !self.pending.is_empty() {
+            let started = dynfo_obs::clock();
             self.file
                 .write_all(&self.pending)
                 .and_then(|()| self.file.sync_data())
                 .map_err(|e| ServeError::io(&self.path, e))?;
             self.syncs += 1;
+            if dynfo_obs::ENABLED {
+                let obs = crate::obs::journal_obs();
+                obs.fsync_ns.observe_since(started);
+                obs.batch_frames.observe(frames_to_write);
+            }
         }
         self.committed_frames += frames_to_write;
         self.pending.clear();

@@ -18,6 +18,16 @@
 //! * [`fault`] — fault injection (torn frames, missing or corrupt
 //!   snapshots) used by the crash-recovery test matrix.
 //!
+//! The layer is instrumented end to end (`dynfo-obs`, behind the
+//! default-on `obs` feature): journal append and group-commit fsync
+//! latency histograms, frames per commit, snapshot write latency,
+//! per-session request counters, and the recovery ladder published as
+//! the `serve.recovery.rung` gauge — 0 fresh, 1 newest snapshot,
+//! 2 older snapshot after a fallback, 3 full journal replay — so a
+//! monitoring system can see a degraded recovery the moment it
+//! happens. Tests route metrics to private registries via
+//! [`SessionStore::open_with_obs`].
+//!
 //! The recovery invariant, proved by `tests/crash_recovery.rs`: for
 //! every prefix of a request stream that was durably committed, reopen
 //! after a crash reproduces *exactly* the machine state an
@@ -34,6 +44,7 @@ pub mod codec;
 pub mod error;
 pub mod fault;
 pub mod journal;
+pub(crate) mod obs;
 pub mod session;
 pub mod snapshot;
 

@@ -1,0 +1,67 @@
+//! Serve-layer metric handles (crate-private).
+//!
+//! Two lifetimes of handle live here. [`journal_obs`] is a process-wide
+//! singleton on the global registry, because `JournalWriter` is created
+//! deep inside recovery and rotation paths where threading a handle
+//! would contaminate every signature for three histograms. Everything
+//! session-scoped — snapshot duration, the recovery-ladder rung,
+//! per-session request counters — goes through [`SessionObs`], resolved
+//! from the [`ObsHandle`] the `SessionStore` was opened with, so tests
+//! can route one store's metrics to a private registry.
+
+use dynfo_obs::{Counter, Gauge, Histogram, ObsHandle};
+use std::sync::{Arc, OnceLock};
+
+/// Journal write-path metrics, registered on the global registry.
+pub(crate) struct JournalObs {
+    /// Time to encode + buffer one frame (`serve.journal.append_ns`).
+    pub append_ns: Arc<Histogram>,
+    /// Time for one group commit's write + fsync
+    /// (`serve.journal.fsync_ns`).
+    pub fsync_ns: Arc<Histogram>,
+    /// Frames per group commit (`serve.journal.batch_frames`) — the
+    /// batch size group commit amortizes one fsync across.
+    pub batch_frames: Arc<Histogram>,
+}
+
+/// The process-wide journal metrics (lazily registered).
+pub(crate) fn journal_obs() -> &'static JournalObs {
+    static OBS: OnceLock<JournalObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let handle = ObsHandle::global();
+        JournalObs {
+            append_ns: handle.histogram("serve.journal.append_ns"),
+            fsync_ns: handle.histogram("serve.journal.fsync_ns"),
+            batch_frames: handle.histogram("serve.journal.batch_frames"),
+        }
+    })
+}
+
+/// Per-session metric handles, resolved once at `Session::open`.
+#[derive(Clone, Debug)]
+pub(crate) struct SessionObs {
+    /// Snapshot encode + write + rename time
+    /// (`serve.snapshot.write_ns`).
+    pub snapshot_ns: Arc<Histogram>,
+    /// Recovery ladder rung taken at the most recent open
+    /// (`serve.recovery.rung`): 0 fresh, 1 newest snapshot, 2 older
+    /// snapshot after falling back, 3 full journal replay.
+    pub recovery_rung: Arc<Gauge>,
+    /// Journal frames replayed across recoveries
+    /// (`serve.recovery.replayed`).
+    pub recovery_replayed: Arc<Counter>,
+    /// Requests applied through this session
+    /// (`serve.session.<name>.requests`).
+    pub requests: Arc<Counter>,
+}
+
+impl SessionObs {
+    pub fn new(handle: &ObsHandle, session_name: &str) -> SessionObs {
+        SessionObs {
+            snapshot_ns: handle.histogram("serve.snapshot.write_ns"),
+            recovery_rung: handle.gauge("serve.recovery.rung"),
+            recovery_replayed: handle.counter("serve.recovery.replayed"),
+            requests: handle.counter(&format!("serve.session.{session_name}.requests")),
+        }
+    }
+}

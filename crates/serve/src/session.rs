@@ -21,9 +21,11 @@ use crate::journal::{
     parse_segment_name, read_segment, segment_path, JournalWriter,
 };
 use crate::codec::{crc32, Reader, Writer};
+use crate::obs::SessionObs;
 use crate::snapshot::{parse_snapshot_name, read_snapshot, snapshot_path, write_snapshot};
 use dynfo_core::{DynFoMachine, DynFoProgram, Request};
 use dynfo_logic::{Elem, EvalStats, Structure};
+use dynfo_obs::ObsHandle;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
@@ -59,6 +61,15 @@ pub struct RecoveryReport {
     /// Everything suspicious seen on the way: torn frames, corrupt or
     /// unreadable snapshots that were skipped. Empty on a clean start.
     pub anomalies: Vec<String>,
+    /// Which rung of the degradation ladder recovery landed on — also
+    /// published as the `serve.recovery.rung` gauge:
+    ///
+    /// * `0` — fresh session, nothing to recover;
+    /// * `1` — restored from the newest snapshot on disk;
+    /// * `2` — newest snapshot was unusable, fell back to an older one;
+    /// * `3` — no usable snapshot at all, replayed the whole journal
+    ///   from the empty initial structure ("muddle through").
+    pub rung: u8,
 }
 
 /// Magic bytes of the per-session `meta` file.
@@ -126,6 +137,7 @@ const STORE_SHARDS: usize = 16;
 pub struct SessionStore {
     root: PathBuf,
     config: StoreConfig,
+    obs: ObsHandle,
     shards: Vec<RwLock<BTreeMap<String, Arc<Session>>>>,
 }
 
@@ -138,13 +150,27 @@ fn shard_index(name: &str) -> usize {
 }
 
 impl SessionStore {
-    /// Open (creating if needed) a store rooted at `root`.
+    /// Open (creating if needed) a store rooted at `root`, recording
+    /// metrics to the process-global registry.
     pub fn open(root: impl Into<PathBuf>, config: StoreConfig) -> Result<SessionStore, ServeError> {
+        SessionStore::open_with_obs(root, config, ObsHandle::default())
+    }
+
+    /// Like [`SessionStore::open`], but route the store's session-scoped
+    /// metrics (snapshot duration, recovery rung, per-session request
+    /// counters) through `obs` — a private registry in tests, or
+    /// [`ObsHandle::disabled`] to record nothing.
+    pub fn open_with_obs(
+        root: impl Into<PathBuf>,
+        config: StoreConfig,
+        obs: ObsHandle,
+    ) -> Result<SessionStore, ServeError> {
         let root = root.into();
         std::fs::create_dir_all(&root).map_err(|e| ServeError::io(&root, e))?;
         Ok(SessionStore {
             root,
             config,
+            obs,
             shards: (0..STORE_SHARDS)
                 .map(|_| RwLock::new(BTreeMap::new()))
                 .collect(),
@@ -199,6 +225,7 @@ impl SessionStore {
             program,
             n,
             self.config,
+            &self.obs,
         )?);
         map.insert(name.to_string(), Arc::clone(&session));
         Ok(session)
@@ -250,6 +277,7 @@ pub struct Session {
     dir: PathBuf,
     config: StoreConfig,
     recovery: RecoveryReport,
+    obs: SessionObs,
     inner: Mutex<Inner>,
 }
 
@@ -274,7 +302,9 @@ impl Session {
         program: &DynFoProgram,
         n: Elem,
         config: StoreConfig,
+        handle: &ObsHandle,
     ) -> Result<Session, ServeError> {
+        let obs = SessionObs::new(handle, name);
         let fresh = !dir.exists();
         if fresh {
             std::fs::create_dir_all(&dir).map_err(|e| ServeError::io(&dir, e))?;
@@ -283,7 +313,7 @@ impl Session {
             write_meta(&dir, program.name(), n)?;
             let journal = JournalWriter::create(&segment_path(&dir, 0), config.group_commit)?;
             (
-                DynFoMachine::new(program.clone(), n),
+                DynFoMachine::new(program.clone(), n).with_obs(handle),
                 0,
                 journal,
                 RecoveryReport::default(),
@@ -297,13 +327,16 @@ impl Session {
                     program.name()
                 )));
             }
-            recover(&dir, program, n, config)?
+            recover(&dir, program, n, config, handle)?
         };
+        obs.recovery_rung.set(recovery.rung as i64);
+        obs.recovery_replayed.add(recovery.replayed);
         Ok(Session {
             name: name.to_string(),
             dir,
             config,
             recovery,
+            obs,
             inner: Mutex::new(Inner {
                 machine,
                 seq,
@@ -345,12 +378,13 @@ impl Session {
     pub fn apply(&self, req: &Request) -> Result<EvalStats, ServeError> {
         let mut inner = self.inner.lock().unwrap();
         let stats = inner.machine.apply(req)?;
+        self.obs.requests.inc();
         inner.seq += 1;
         let seq = inner.seq;
         if !inner.is_killed(seq) {
             inner.journal.append(seq, req)?;
             if self.config.snapshot_every > 0 && seq.is_multiple_of(self.config.snapshot_every) {
-                inner.checkpoint_locked(&self.dir, self.config)?;
+                inner.checkpoint_locked(&self.dir, self.config, &self.obs)?;
             }
         }
         Ok(stats)
@@ -383,6 +417,7 @@ impl Session {
             Ok(stats) => (reqs.len() as u64, Ok(stats)),
             Err(be) => (be.applied as u64, Err(ServeError::from(be.error))),
         };
+        self.obs.requests.add(applied);
         for (k, req) in reqs[..applied as usize].iter().enumerate() {
             let seq = start + 1 + k as u64;
             if !inner.is_killed(seq) {
@@ -399,7 +434,7 @@ impl Session {
             if self.config.snapshot_every > 0
                 && seq / self.config.snapshot_every > start / self.config.snapshot_every
             {
-                inner.checkpoint_locked(&self.dir, self.config)?;
+                inner.checkpoint_locked(&self.dir, self.config, &self.obs)?;
             }
         }
         outcome
@@ -444,7 +479,7 @@ impl Session {
         if inner.is_killed(seq) {
             return Ok(());
         }
-        inner.checkpoint_locked(&self.dir, self.config)
+        inner.checkpoint_locked(&self.dir, self.config, &self.obs)
     }
 
     /// Fault hook: pretend the process dies right after journal frame
@@ -462,9 +497,16 @@ impl Inner {
         self.killed_after.is_some_and(|k| seq > k)
     }
 
-    fn checkpoint_locked(&mut self, dir: &Path, config: StoreConfig) -> Result<(), ServeError> {
+    fn checkpoint_locked(
+        &mut self,
+        dir: &Path,
+        config: StoreConfig,
+        obs: &SessionObs,
+    ) -> Result<(), ServeError> {
         self.journal.commit()?;
+        let started = dynfo_obs::clock();
         write_snapshot(dir, &self.machine, self.seq)?;
+        obs.snapshot_ns.observe_since(started);
         // Rotate: later frames land in a fresh segment based at the
         // snapshot, so recovery from this snapshot reads only segments
         // with base ≥ seq.
@@ -540,6 +582,7 @@ fn recover(
     program: &DynFoProgram,
     n: Elem,
     config: StoreConfig,
+    obs: &ObsHandle,
 ) -> Result<(DynFoMachine, u64, JournalWriter, RecoveryReport), ServeError> {
     let mut report = RecoveryReport::default();
 
@@ -562,7 +605,8 @@ fn recover(
     // Newest snapshot that actually decodes and fits the program.
     let mut machine = None;
     let mut snap_seq = 0;
-    for &seq in &snapshots {
+    let mut used_rank = None;
+    for (rank, &seq) in snapshots.iter().enumerate() {
         match read_snapshot(&snapshot_path(dir, seq), program) {
             Ok((m, stored_seq)) => {
                 if stored_seq != seq {
@@ -573,6 +617,7 @@ fn recover(
                 }
                 machine = Some(m);
                 snap_seq = seq;
+                used_rank = Some(rank);
                 break;
             }
             Err(e) => report
@@ -580,9 +625,15 @@ fn recover(
                 .push(format!("snapshot {seq} unusable ({e}); falling back")),
         }
     }
-    let mut machine =
-        machine.unwrap_or_else(|| DynFoMachine::new(program.clone(), n));
+    let mut machine = machine
+        .unwrap_or_else(|| DynFoMachine::new(program.clone(), n))
+        .with_obs(obs);
     report.snapshot_seq = snap_seq;
+    report.rung = match used_rank {
+        Some(0) => 1, // newest snapshot held
+        Some(_) => 2, // fell back to an older snapshot
+        None => 3,    // no usable snapshot: full journal replay
+    };
 
     // Replay the tail. A segment is skipped entirely when the *next*
     // segment starts at or before the snapshot (all its frames are

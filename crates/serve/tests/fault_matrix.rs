@@ -1,0 +1,205 @@
+//! The recovery fault matrix: {kill after frame i, torn final frame,
+//! corrupt newest snapshot, dropped newest snapshot} × snapshot-every-k
+//! ∈ {1, 4, 16} × two programs. Every cell asserts three things:
+//!
+//! 1. the recovered machine state equals an uninterrupted run over
+//!    exactly the durable prefix (never a wrong answer, only a longer
+//!    replay);
+//! 2. the [`RecoveryReport::rung`] matches the rung the fault forces
+//!    (1 = newest snapshot, 2 = older snapshot after falling back,
+//!    3 = no usable snapshot, full replay);
+//! 3. the `serve.recovery.rung` gauge in the store's private registry
+//!    agrees with the report — the metric is the report, exported.
+//!
+//! Each cell runs against its own scratch directory and its own
+//! [`Registry`], so cells never race on the process-global gauge.
+
+use dynfo_core::programs;
+use dynfo_core::{DynFoMachine, DynFoProgram, Request};
+use dynfo_graph::generate::{churn_stream, rng};
+use dynfo_obs::{ObsHandle, Registry};
+use dynfo_serve::fault::{corrupt_latest_snapshot, drop_latest_snapshot, tear_final_frame};
+use dynfo_serve::{scratch_dir, RecoveryReport, SessionStore, StoreConfig};
+use std::sync::Arc;
+
+/// Stream length for every cell; the kill fault strikes after frame 10.
+const STREAM: usize = 24;
+const KILL_AT: u64 = 10;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Fault {
+    /// The process dies right after frame [`KILL_AT`] becomes durable.
+    Kill,
+    /// A crash mid-write tears the final frame of the newest segment.
+    TornFrame,
+    /// Bit rot flips a byte inside the newest snapshot.
+    CorruptSnapshot,
+    /// The newest snapshot file vanishes entirely.
+    DroppedSnapshot,
+}
+
+/// What a cell must recover to: the durable request prefix and the
+/// recovery-ladder rung the fault forces, both closed-form in (fault, k).
+fn expectations(fault: Fault, k: u64) -> (u64, u8) {
+    let full = STREAM as u64;
+    // Snapshots taken while `prefix` frames were durable.
+    let snapshots = |prefix: u64| prefix / k;
+    match fault {
+        Fault::Kill => {
+            let rung = if snapshots(KILL_AT) >= 1 { 1 } else { 3 };
+            (KILL_AT, rung)
+        }
+        // With k | STREAM the final snapshot rotates to an empty
+        // segment, so there is no final frame to tear.
+        Fault::TornFrame => {
+            let prefix = if full.is_multiple_of(k) { full } else { full - 1 };
+            (prefix, if snapshots(full) >= 1 { 1 } else { 3 })
+        }
+        Fault::CorruptSnapshot => {
+            (full, if snapshots(full) >= 2 { 2 } else { 3 })
+        }
+        Fault::DroppedSnapshot => {
+            (full, if snapshots(full) >= 2 { 1 } else { 3 })
+        }
+    }
+}
+
+/// A 24-request edge-churn stream for the REACH_u program.
+fn reach_u_stream() -> Vec<Request> {
+    let ops = churn_stream(8, 64, 0.3, true, &mut rng(211));
+    let reqs: Vec<Request> = ops
+        .iter()
+        .map(|op| match *op {
+            dynfo_graph::generate::EdgeOp::Ins(a, b) => Request::ins("E", [a, b]),
+            dynfo_graph::generate::EdgeOp::Del(a, b) => Request::del("E", [a, b]),
+        })
+        .take(STREAM)
+        .collect();
+    assert_eq!(reqs.len(), STREAM);
+    reqs
+}
+
+/// A deterministic 24-request member-toggle stream for PARITY.
+fn parity_stream() -> Vec<Request> {
+    (0..STREAM as u32)
+        .map(|i| {
+            if i % 3 == 2 {
+                Request::del("M", [(i * 7) % 8])
+            } else {
+                Request::ins("M", [(i * 13) % 8])
+            }
+        })
+        .collect()
+}
+
+fn run_cell(
+    label: &str,
+    program: &dyn Fn() -> DynFoProgram,
+    reqs: &[Request],
+    fault: Fault,
+    k: u64,
+) {
+    let (want_seq, want_rung) = expectations(fault, k);
+    let root = scratch_dir(&format!("fault-matrix-{label}-{fault:?}-k{k}"));
+    let config = StoreConfig {
+        snapshot_every: k,
+        group_commit: 1,
+    };
+    let n = 8u32;
+
+    // Phase 1: run the stream, injecting the fault.
+    {
+        let store = SessionStore::open_with_obs(
+            &root,
+            config,
+            ObsHandle::with_registry(Arc::new(Registry::new())),
+        )
+        .unwrap();
+        let session = store.session("s", &program(), n).unwrap();
+        if fault == Fault::Kill {
+            session.kill_after_frame(KILL_AT);
+        }
+        for req in reqs {
+            session.apply(req).unwrap();
+        }
+        drop(session);
+        if fault == Fault::Kill {
+            store.crash();
+        } else {
+            store.shutdown().unwrap();
+        }
+    }
+    let dir = root.join("s");
+    match fault {
+        Fault::Kill => {}
+        Fault::TornFrame => {
+            let torn = tear_final_frame(&dir).unwrap();
+            assert_eq!(torn.is_some(), want_seq < STREAM as u64, "{label} {fault:?} k={k}");
+        }
+        Fault::CorruptSnapshot => {
+            corrupt_latest_snapshot(&dir).unwrap().expect("a snapshot to corrupt");
+        }
+        Fault::DroppedSnapshot => {
+            drop_latest_snapshot(&dir).unwrap().expect("a snapshot to drop");
+        }
+    }
+
+    // Phase 2: recover against a fresh private registry.
+    let registry = Arc::new(Registry::new());
+    let store =
+        SessionStore::open_with_obs(&root, config, ObsHandle::with_registry(Arc::clone(&registry)))
+            .unwrap();
+    let session = store.session("s", &program(), n).unwrap();
+    let report: RecoveryReport = session.recovery_report().clone();
+    let cell = format!("{label} {fault:?} k={k}: {report:?}");
+
+    assert_eq!(session.seq(), want_seq, "durable prefix, {cell}");
+    assert_eq!(report.rung, want_rung, "recovery rung, {cell}");
+    assert_eq!(
+        report.replayed,
+        want_seq - report.snapshot_seq,
+        "replay covers snapshot..prefix, {cell}"
+    );
+
+    // The rung metric is the report's rung, and the replayed counter
+    // its frame count — when instrumentation is compiled in.
+    if dynfo_obs::ENABLED {
+        assert_eq!(
+            registry.gauge("serve.recovery.rung").get(),
+            want_rung as i64,
+            "rung gauge, {cell}"
+        );
+        assert_eq!(
+            registry.counter("serve.recovery.replayed").get(),
+            report.replayed,
+            "replayed counter, {cell}"
+        );
+    }
+
+    // Recovered state == uninterrupted run over the durable prefix.
+    let mut reference = DynFoMachine::new(program(), n);
+    reference.apply_all(&reqs[..want_seq as usize]).unwrap();
+    assert_eq!(&session.state(), reference.state(), "state, {cell}");
+
+    drop(session);
+    store.shutdown().unwrap();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn recovery_fault_matrix() {
+    let faults = [
+        Fault::Kill,
+        Fault::TornFrame,
+        Fault::CorruptSnapshot,
+        Fault::DroppedSnapshot,
+    ];
+    let reach = reach_u_stream();
+    let parity = parity_stream();
+    for fault in faults {
+        for k in [1u64, 4, 16] {
+            run_cell("reach_u", &programs::reach_u::program, &reach, fault, k);
+            run_cell("parity", &programs::parity::program, &parity, fault, k);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! # dynfo-testutil
+//!
+//! The one copy of the oracle-differential step-loop that used to be
+//! pasted into three test files: [`run_differential`] drives one
+//! request stream through several machine configurations
+//! ([`DiffMode`]s) and asserts they are indistinguishable — same
+//! auxiliary state, same boolean query, same named-query answers — at
+//! every aligned step. Also hosts the shared workload builders
+//! ([`edge_requests`], [`weighted_stream`]) and the formula-level
+//! plan-vs-interpreter assertion ([`assert_plan_matches`]) used by the
+//! `dynfo-logic` differential suite.
+
+use dynfo_core::{DynFoMachine, DynFoProgram, Request};
+use dynfo_logic::analysis::canonicalize;
+use dynfo_logic::formula::Formula;
+use dynfo_logic::{evaluate, Elem, Evaluator, Plan, Structure, Sym};
+use rand::Rng;
+
+pub use dynfo_graph::generate::{churn_stream, dag_churn_stream, rng, EdgeOp};
+
+/// Convert edge ops into ins/del requests against relation `rel`.
+pub fn edge_requests(rel: &str, ops: &[EdgeOp]) -> Vec<Request> {
+    ops.iter()
+        .map(|op| match *op {
+            EdgeOp::Ins(a, b) => Request::ins(rel, [a, b]),
+            EdgeOp::Del(a, b) => Request::del(rel, [a, b]),
+        })
+        .collect()
+}
+
+/// A weighted-edge stream honoring MSF's delete contract: deletes
+/// replay a live weighted edge, inserts dedup by the (min, max) pair.
+pub fn weighted_stream(n: u32, steps: usize, seed: u64) -> Vec<Request> {
+    let mut rand = rng(seed);
+    let mut live: Vec<(u32, u32, u32)> = Vec::new();
+    let mut reqs = Vec::new();
+    for _ in 0..steps {
+        if !live.is_empty() && rand.gen_bool(0.3) {
+            let i = rand.gen_range(0..live.len());
+            let (a, b, w) = live.swap_remove(i);
+            reqs.push(Request::del("W", [a, b, w]));
+        } else {
+            let a = rand.gen_range(0..n);
+            let b = rand.gen_range(0..n);
+            if a == b || live.iter().any(|&(x, y, _)| (x, y) == (a.min(b), a.max(b))) {
+                continue;
+            }
+            let w = rand.gen_range(0..n);
+            live.push((a.min(b), a.max(b), w));
+            reqs.push(Request::ins("W", [a.min(b), a.max(b), w]));
+        }
+    }
+    reqs
+}
+
+/// One machine configuration for [`run_differential`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiffMode {
+    /// Relational-algebra interpreter only (`with_use_plans(false)`).
+    Interp,
+    /// Compiled bit-parallel plans (the default machine).
+    Plans,
+    /// Plans plus the parallel rule scheduler with this many workers.
+    Parallel(usize),
+    /// Plans, applying requests through `apply_batch` in chunks of
+    /// this size; state is compared at chunk boundaries only.
+    Batch(usize),
+}
+
+impl DiffMode {
+    fn build(self, program: &dyn Fn() -> DynFoProgram, n: u32) -> DynFoMachine {
+        match self {
+            DiffMode::Interp => DynFoMachine::new(program(), n).with_use_plans(false),
+            DiffMode::Plans | DiffMode::Batch(_) => DynFoMachine::new(program(), n),
+            DiffMode::Parallel(t) => DynFoMachine::new(program(), n).with_parallelism(t),
+        }
+    }
+}
+
+/// Drive `reqs` through one machine per mode and assert every mode is
+/// indistinguishable from `modes[0]` (which must not be a batch mode):
+/// identical auxiliary state, identical boolean query answer, and
+/// identical answers for every `(name, args)` in `queries`, at every
+/// step where the compared machine is aligned (always, except inside a
+/// `Batch` chunk). Returns the machines, in mode order, so callers can
+/// make additional assertions about their stats.
+pub fn run_differential(
+    program: &dyn Fn() -> DynFoProgram,
+    n: u32,
+    reqs: &[Request],
+    queries: &[(&str, &[u32])],
+    modes: &[DiffMode],
+) -> Vec<DynFoMachine> {
+    assert!(!modes.is_empty(), "need at least a reference mode");
+    assert!(
+        !matches!(modes[0], DiffMode::Batch(_)),
+        "the reference mode must step request-by-request"
+    );
+    let mut machines: Vec<DynFoMachine> =
+        modes.iter().map(|m| m.build(program, n)).collect();
+    let mut pending: Vec<Vec<Request>> = vec![Vec::new(); modes.len()];
+    for (step, req) in reqs.iter().enumerate() {
+        for (i, mode) in modes.iter().enumerate() {
+            match mode {
+                DiffMode::Batch(k) => {
+                    pending[i].push(req.clone());
+                    if pending[i].len() >= (*k).max(1) || step + 1 == reqs.len() {
+                        machines[i]
+                            .apply_batch(&pending[i])
+                            .unwrap_or_else(|e| panic!("step {step}: batch failed: {e}"));
+                        pending[i].clear();
+                    }
+                }
+                _ => {
+                    machines[i]
+                        .apply(req)
+                        .unwrap_or_else(|e| panic!("step {step} ({req}): apply failed: {e}"));
+                }
+            }
+        }
+        for (i, mode) in modes.iter().enumerate().skip(1) {
+            if matches!(mode, DiffMode::Batch(_)) && !pending[i].is_empty() {
+                continue; // mid-chunk: not aligned with the reference yet
+            }
+            let (head, rest) = machines.split_first_mut().unwrap();
+            let m = &mut rest[i - 1];
+            assert_eq!(
+                m.state(),
+                head.state(),
+                "step {step} ({req}): {mode:?} state diverged from {:?}",
+                modes[0]
+            );
+            assert_eq!(
+                m.query().unwrap(),
+                head.query().unwrap(),
+                "step {step} ({req}): {mode:?} query diverged from {:?}",
+                modes[0]
+            );
+            for &(name, args) in queries {
+                assert_eq!(
+                    m.query_named(name, args).unwrap(),
+                    head.query_named(name, args).unwrap(),
+                    "step {step} ({req}): {mode:?} {name}{args:?} diverged"
+                );
+            }
+        }
+    }
+    machines
+}
+
+/// The plans-on vs plans-off differential from the PR 4 suite, now a
+/// thin wrapper over [`run_differential`]. `expect_compiled` asserts
+/// the plan path actually ran (guards against silently falling back
+/// everywhere) and that the plans-off machine never ran a plan.
+pub fn assert_plans_transparent(
+    program: impl Fn() -> DynFoProgram,
+    n: u32,
+    reqs: &[Request],
+    queries: &[(&str, &[u32])],
+    expect_compiled: bool,
+) {
+    let machines = run_differential(
+        &program,
+        n,
+        reqs,
+        queries,
+        &[DiffMode::Interp, DiffMode::Plans],
+    );
+    let (off, on) = (&machines[0], &machines[1]);
+    assert!(on.use_plans());
+    if expect_compiled && !reqs.is_empty() {
+        let work = on.stats().update_work;
+        let qwork = on.stats().query_work;
+        assert!(
+            work.plan_compiled + qwork.plan_compiled > 0,
+            "no plan ever executed (update fallbacks: {}, query fallbacks: {})",
+            work.plan_fallback,
+            qwork.plan_fallback
+        );
+        assert_eq!(
+            off.stats().update_work.plan_compiled + off.stats().query_work.plan_compiled,
+            0,
+            "plans-off machine must never run a plan"
+        );
+    }
+}
+
+/// Formula-level differential: compile `f` (skipping formulas the plan
+/// compiler declines), execute the plan twice on one arena (stable-slot
+/// reuse), and hold both runs against the interpreter's table.
+pub fn assert_plan_matches(f: &Formula, st: &Structure, params: &[Elem]) {
+    let canonical = canonicalize(f);
+    let Some(plan) = Plan::compile(&canonical, st) else {
+        return;
+    };
+    let mut arena = plan.arena();
+    let expect = evaluate(&canonical, st, params).expect("interpreter failed");
+    for run in 0..2 {
+        let mut ev = Evaluator::new(st, params);
+        let got = plan
+            .execute(&mut ev, &mut arena, None)
+            .expect("plan execution failed")
+            .expect("plan bailed at runtime on its own compile-time structure");
+        let order: Vec<Sym> = got.vars().to_vec();
+        assert_eq!(
+            got.sorted(),
+            expect.clone().project(&order).sorted(),
+            "run {run}: plan != interpreter for {canonical} (params {params:?})"
+        );
+    }
+}

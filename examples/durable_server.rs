@@ -95,8 +95,9 @@ fn main() {
     for s in [&friends, &activity] {
         let r = s.recovery_report();
         println!(
-            "  {}: snapshot at seq {}, replayed {} journal frames{}",
+            "  {}: rung {} — snapshot at seq {}, replayed {} journal frames{}",
             s.name(),
+            r.rung,
             r.snapshot_seq,
             r.replayed,
             if r.anomalies.is_empty() {
@@ -123,4 +124,10 @@ fn main() {
 
     store.shutdown().expect("graceful shutdown");
     std::fs::remove_dir_all(&root).ok();
+
+    // Everything the run just did, as the operator would see it: the
+    // global metric registry — journal fsync latency, per-rule update
+    // latency, the recovery rung each session took, request counters.
+    println!("\n--- phase 4: what the metrics saw ---");
+    print!("{}", dynfo::obs::global().render_table());
 }

@@ -29,6 +29,12 @@
 //!   graphs, COLOR-REACH, and PAD(REACH_a) (Section 5).
 //! * [`serve`] — the durable serving layer: request journal (WAL),
 //!   state snapshots, crash recovery, and a concurrent session store.
+//! * [`obs`] — the observability substrate: a lock-free metrics
+//!   registry (counters, gauges, log₂ histograms) fed by every layer
+//!   above, structured span tracing, and Prometheus/table exporters.
+//!   `dynfo::obs::global().render_table()` shows what a machine has
+//!   been doing; building with `--no-default-features` compiles every
+//!   recording call away.
 //!
 //! ## Quick start
 //!
@@ -49,6 +55,7 @@ pub use dynfo_arith as arith;
 pub use dynfo_automata as automata;
 pub use dynfo_graph as graph;
 pub use dynfo_logic as logic;
+pub use dynfo_obs as obs;
 pub use dynfo_reductions as reductions;
 pub use dynfo_serve as serve;
 

@@ -6,17 +6,8 @@
 use dynfo::core::machine::{check_memoryless, DynFoMachine};
 use dynfo::core::programs;
 use dynfo::core::Request;
-use dynfo::graph::generate::{churn_stream, dag_churn_stream, rng, EdgeOp};
 use dynfo::graph::graph::{DiGraph, Graph};
-
-fn edge_requests(ops: &[EdgeOp]) -> Vec<Request> {
-    ops.iter()
-        .map(|op| match *op {
-            EdgeOp::Ins(a, b) => Request::ins("E", [a, b]),
-            EdgeOp::Del(a, b) => Request::del("E", [a, b]),
-        })
-        .collect()
-}
+use dynfo_testutil::{churn_stream, dag_churn_stream, edge_requests, rng, weighted_stream};
 
 /// Every program in the library has O(1) update depth — the CRAM[1]
 /// claim, checked as one table.
@@ -48,7 +39,7 @@ fn all_programs_have_constant_update_depth() {
 #[test]
 fn forest_programs_agree_on_shared_workload() {
     let n = 6u32;
-    let reqs = edge_requests(&churn_stream(n, 40, 0.35, true, &mut rng(101)));
+    let reqs = edge_requests("E", &churn_stream(n, 40, 0.35, true, &mut rng(101)));
     let mut reach = DynFoMachine::new(programs::reach_u::program(), n);
     let mut bip = DynFoMachine::new(programs::bipartite::program(), n);
     let mut graph = Graph::new(n);
@@ -91,7 +82,7 @@ fn forest_programs_agree_on_shared_workload() {
 #[test]
 fn directed_programs_share_path_relation() {
     let n = 6u32;
-    let reqs = edge_requests(&dag_churn_stream(n, 40, 0.35, &mut rng(103)));
+    let reqs = edge_requests("E", &dag_churn_stream(n, 40, 0.35, &mut rng(103)));
     let mut reach = DynFoMachine::new(programs::reach_acyclic::program(), n);
     let mut tr = DynFoMachine::new(programs::trans_reduction::program(), n);
     let mut lca = DynFoMachine::new(programs::lca::program(), n);
@@ -196,25 +187,13 @@ fn msf_fo_and_native_maintain_identical_forests() {
     let n = 6u32;
     let mut fo = DynFoMachine::new(programs::msf::program(), n);
     let mut native = NativeMsf::new(n);
-    let mut rand = rng(107);
-    use rand::Rng;
-    let mut present: Vec<(u32, u32, u32)> = Vec::new();
-    for step in 0..40 {
-        if !present.is_empty() && rand.gen_bool(0.3) {
-            let i = rand.gen_range(0..present.len());
-            let (a, b, w) = present.swap_remove(i);
-            fo.apply(&Request::del("W", [a, b, w])).unwrap();
-            native.delete(a, b, w);
-        } else {
-            let a = rand.gen_range(0..n);
-            let b = rand.gen_range(0..n);
-            if a == b || present.iter().any(|&(x, y, _)| (x, y) == (a.min(b), a.max(b))) {
-                continue;
-            }
-            let w = rand.gen_range(0..n);
-            present.push((a.min(b), a.max(b), w));
-            fo.apply(&Request::ins("W", [a.min(b), a.max(b), w])).unwrap();
-            native.insert(a.min(b), a.max(b), w);
+    // Both implementations consume the same shared weighted stream.
+    for (step, r) in weighted_stream(n, 40, 107).iter().enumerate() {
+        fo.apply(r).unwrap();
+        match r {
+            Request::Ins(_, a) => native.insert(a[0], a[1], a[2]),
+            Request::Del(_, a) => native.delete(a[0], a[1], a[2]),
+            _ => unreachable!(),
         }
         let fo_forest: std::collections::BTreeSet<(u32, u32)> = fo
             .state()
