@@ -4,23 +4,29 @@
 //! them into ⌈n²/64⌉ machine words so union/intersection/difference/
 //! complement run word-parallel (64 tuples per instruction) and
 //! membership is one shift and mask. This bench measures those set-
-//! algebra primitives on both backends at n ∈ {64, 256, 1024} — the
-//! range the Dyn-FO programs actually sweep — on G(n, p) edge sets.
+//! algebra primitives on the btree, dense, and chunked backends at
+//! n ∈ {64, 256, 1024, 4096} — through the range the Dyn-FO programs
+//! actually sweep and into the large-n regime where the chunked
+//! backend's per-block containers stop paying dense-universe costs —
+//! on G(n, p) edge sets (expected degree 8, so density 8/n falls as n
+//! grows and large n is exactly the chunked backend's sparse regime).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dynfo_graph::generate::{gnp, rng};
 use dynfo_logic::{Relation, Tuple};
 
-fn edge_relations(n: u32, dense: bool) -> (Relation, Relation) {
+fn edge_relations(n: u32, backend: &str) -> (Relation, Relation) {
     let make = |seed: u64| {
         let g = gnp(n, 8.0 / n as f64, &mut rng(seed));
         let tuples = g
             .edges()
             .flat_map(|(a, b)| [Tuple::pair(a, b), Tuple::pair(b, a)]);
-        if dense {
-            Relation::from_tuples_with_universe(2, n, tuples)
-        } else {
-            Relation::from_tuples(2, tuples)
+        let sparse = Relation::from_tuples(2, tuples);
+        match backend {
+            "btree" => sparse,
+            "bitset" => sparse.to_dense(n),
+            "chunked" => sparse.to_chunked(n),
+            other => unreachable!("unknown backend {other}"),
         }
     };
     (make(7), make(8))
@@ -31,9 +37,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for n in [64u32, 256, 1024] {
-        for (backend, dense) in [("btree", false), ("bitset", true)] {
-            let (x, y) = edge_relations(n, dense);
+    for n in [64u32, 256, 1024, 4096] {
+        for backend in ["btree", "bitset", "chunked"] {
+            let (x, y) = edge_relations(n, backend);
             group.bench_with_input(
                 BenchmarkId::new(format!("union_{backend}"), n),
                 &n,

@@ -1,7 +1,11 @@
-//! Regenerates every experiment table (E01–E16, E20, E21) from
+//! Regenerates every experiment table (E01–E16, E20–E22) from
 //! `DESIGN.md` / `EXPERIMENTS.md`.
 //!
 //! Run with: `cargo run --release -p dynfo-bench --bin tables`
+//!
+//! `--json` additionally writes the E22 rows to `BENCH_E22.json`
+//! (`{op, n, backend, ns_per_op, kernel_words}` records) for CI trend
+//! tracking; remaining args filter sections by substring.
 //!
 //! Times are microseconds per operation. Absolute numbers are
 //! machine-specific; the *shapes* (who grows with n, who stays flat,
@@ -22,13 +26,21 @@ fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Whether `--json` was passed: E22 also writes `BENCH_E22.json`.
+static EMIT_JSON: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
 fn main() {
     // Optional args filter sections by substring (`tables e20 e05`), so
     // one experiment can be regenerated without the full ~5-minute run.
-    let filter: Vec<String> = std::env::args().skip(1).collect();
+    // `--json` is consumed as a flag, not a filter.
+    let mut filter: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = filter.iter().position(|a| a == "--json") {
+        filter.remove(pos);
+        EMIT_JSON.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
     let run = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
     println!("Dyn-FO experiment tables (microseconds unless noted)");
-    let sections: [(&str, fn()); 18] = [
+    let sections: [(&str, fn()); 19] = [
         ("e01", e01_parity),
         ("e02", e02_reach_u),
         ("e03", e03_reach_acyclic),
@@ -47,6 +59,7 @@ fn main() {
         ("e16", e16_parallel),
         ("e20", e20_compiled),
         ("e21", e21_observability),
+        ("e22", e22_simd_chunked),
     ];
     for (name, section) in sections {
         if run(name) {
@@ -731,12 +744,16 @@ fn e20_compiled() {
     // so deletes run interpreted (the fallback counter lights up) while
     // inserts run compiled.
     let cases: Vec<Case> = vec![
-        ("PARITY", programs::parity::program, Box::new(parity_reqs), vec![64, 128]),
+        // PARITY's aux relations are unary, so it sweeps to n = 1024
+        // for free and pins the blocked-fold path at large n; REACH_u's
+        // n = 256 row is the largest binary-aux size whose interpreter
+        // baseline still finishes in table time.
+        ("PARITY", programs::parity::program, Box::new(parity_reqs), vec![64, 128, 1024]),
         (
             "REACH_u",
             programs::reach_u::program,
             Box::new(|n| undirected_workload(n, 150, 71)),
-            vec![64, 128],
+            vec![64, 128, 256],
         ),
         (
             "REACH_a",
@@ -900,5 +917,241 @@ fn e21_observability() {
         for line in prom.lines().filter(|l| l.starts_with(needle)) {
             println!("{line}");
         }
+    }
+}
+
+/// One E22 measurement, also emitted to `BENCH_E22.json` under `--json`.
+struct E22Row {
+    op: &'static str,
+    n: u32,
+    backend: String,
+    ns_per_op: f64,
+    kernel_words: u64,
+}
+
+/// Time `f` over enough iterations for a stable mean; ns per call.
+fn e22_time(mut f: impl FnMut()) -> f64 {
+    // Warm up and calibrate on a single call.
+    let (_, probe) = timed(&mut f);
+    let iters = ((0.05 / probe.max(1e-9)) as usize).clamp(3, 20_000);
+    let (_, total) = timed(|| {
+        for _ in 0..iters {
+            f();
+        }
+    });
+    total * 1e9 / iters as f64
+}
+
+/// E22 — SIMD word kernels and the chunked hybrid backend at large n.
+///
+/// Part 1 sweeps the production fused word passes over arity-2 buffers
+/// at n ∈ {64, 256, 1024, 4096}, pinning the dispatch tier to scalar
+/// and then to the detected SIMD tier inside one process
+/// (`simd::force_tier`). The measured shapes are exactly what the
+/// relation layer runs: `union`/`difference` are the combine+popcount
+/// passes behind `BitRel` set algebra (`combine2_count`, which keeps
+/// `len` maintained in the same pass — the popcount is where scalar
+/// serializes on the popcnt port and vector nibble-LUT counting pulls
+/// ahead), and `exists` is the blocked ∃ axis-fold (`fold_blocks`,
+/// one dispatch per fold instead of one per digit). The paper's
+/// 64-tuples-per-instruction claim scales with lane width: the SIMD
+/// rows must not lose to scalar at n ≥ 1024, where the buffers outgrow
+/// L1 and the passes are stream-bound.
+///
+/// Part 2 compares `Relation` set algebra across the three backends at
+/// n ∈ {1024, 4096} by occupancy: at ≤ 1% density the chunked backend's
+/// block skipping and sparse-container merges must beat the dense
+/// backend's full `S²/64`-word passes, while at 50% dense word passes
+/// stay ahead — the crossover that justifies density-aware routing.
+fn e22_simd_chunked() {
+    use dynfo_logic::simd::{self, Tier};
+    use dynfo_logic::{Relation, Tuple};
+    let mut rows: Vec<E22Row> = Vec::new();
+
+    header("E22 SIMD word kernels: scalar vs vector tier, ns/pass");
+    row(["op", "n", "words", "scalar ns", "simd ns", "speedup", "tier"]
+        .map(String::from).as_ref());
+    let hw = simd::force_tier(Tier::Avx2); // clamped to what the host has
+    for n in [64u32, 256, 1024, 4096] {
+        let s = (n as usize).next_power_of_two();
+        let words = s * s / 64;
+        let a = vec![0x5a5a_5a5a_a5a5_a5a5u64; words];
+        let b = vec![0x0f0f_f0f0_3c3c_c3c3u64; words];
+        let mut dst = vec![0u64; words];
+        // ∃-fold geometry for arity 2, axis 0: n blocks of s/64 words.
+        let bw = s / 64;
+
+        for (op, scalar_ns, simd_ns) in [
+            (
+                "union",
+                {
+                    simd::force_tier(Tier::Scalar);
+                    e22_time(|| {
+                        std::hint::black_box(simd::combine2_count(&mut dst, &a, &b, false, 0));
+                    })
+                },
+                {
+                    simd::force_tier(hw);
+                    e22_time(|| {
+                        std::hint::black_box(simd::combine2_count(&mut dst, &a, &b, false, 0));
+                    })
+                },
+            ),
+            (
+                "difference",
+                {
+                    simd::force_tier(Tier::Scalar);
+                    e22_time(|| {
+                        std::hint::black_box(simd::combine2_count(&mut dst, &a, &b, true, !0u64));
+                    })
+                },
+                {
+                    simd::force_tier(hw);
+                    e22_time(|| {
+                        std::hint::black_box(simd::combine2_count(&mut dst, &a, &b, true, !0u64));
+                    })
+                },
+            ),
+            (
+                "exists",
+                {
+                    simd::force_tier(Tier::Scalar);
+                    e22_time(|| {
+                        dst[..bw].copy_from_slice(&a[..bw]);
+                        simd::fold_blocks(&mut dst[..bw], &a[bw..n as usize * bw], false);
+                        std::hint::black_box(&dst);
+                    })
+                },
+                {
+                    simd::force_tier(hw);
+                    e22_time(|| {
+                        dst[..bw].copy_from_slice(&a[..bw]);
+                        simd::fold_blocks(&mut dst[..bw], &a[bw..n as usize * bw], false);
+                        std::hint::black_box(&dst);
+                    })
+                },
+            ),
+        ] {
+            row(&[
+                op.to_string(),
+                n.to_string(),
+                words.to_string(),
+                format!("{scalar_ns:.0}"),
+                format!("{simd_ns:.0}"),
+                format!("{:.2}x", scalar_ns / simd_ns),
+                hw.name().to_string(),
+            ]);
+            rows.push(E22Row {
+                op,
+                n,
+                backend: "dense/scalar".into(),
+                ns_per_op: scalar_ns,
+                kernel_words: words as u64,
+            });
+            rows.push(E22Row {
+                op,
+                n,
+                backend: format!("dense/{}", hw.name()),
+                ns_per_op: simd_ns,
+                kernel_words: words as u64,
+            });
+        }
+    }
+    simd::force_tier(hw);
+
+    header("E22 relation backends by occupancy: ns/op");
+    row(["op", "n", "density", "btree", "dense", "chunked", "dense/chunked"]
+        .map(String::from).as_ref());
+    use rand::Rng;
+    for n in [1024u32, 4096] {
+        for density in [0.001f64, 0.05, 0.5] {
+            let space = (n as u64) * (n as u64);
+            let target = ((space as f64) * density) as u64;
+            let mk_tuples = |seed_off: u32| -> Vec<Tuple> {
+                let mut seen = std::collections::BTreeSet::new();
+                let mut rand = dynfo_graph::generate::rng(171 + seed_off as u64);
+                while (seen.len() as u64) < target {
+                    seen.insert((rand.gen_range(0..n), rand.gen_range(0..n)));
+                }
+                seen.into_iter().map(|(a, b)| Tuple::pair(a, b)).collect()
+            };
+            let ta = mk_tuples(0);
+            let tb = mk_tuples(1);
+            // BTreeSet merges at ≥ 5% of n=4096 (≥ 840k tuples) take
+            // seconds per op; the sparse backend is out of its regime
+            // there, so those cells stay empty rather than dominate the
+            // run time.
+            let btree_ok = target <= 100_000;
+            let (sa, sb) = (
+                Relation::from_tuples(2, ta.iter().cloned()),
+                Relation::from_tuples(2, tb.iter().cloned()),
+            );
+            let (da, db) = (sa.to_dense(n), sb.to_dense(n));
+            let (ca, cb) = (sa.to_chunked(n), sb.to_chunked(n));
+            assert_eq!(ca.backend_kind(), "chunked");
+            for (op, f_btree, f_dense, f_chunked) in [
+                (
+                    "union",
+                    Box::new(|| std::hint::black_box(sa.union(&sb)).len()) as Box<dyn Fn() -> usize>,
+                    Box::new(|| std::hint::black_box(da.union(&db)).len()) as Box<dyn Fn() -> usize>,
+                    Box::new(|| std::hint::black_box(ca.union(&cb)).len()) as Box<dyn Fn() -> usize>,
+                ),
+                (
+                    "difference",
+                    Box::new(|| std::hint::black_box(sa.difference(&sb)).len()),
+                    Box::new(|| std::hint::black_box(da.difference(&db)).len()),
+                    Box::new(|| std::hint::black_box(ca.difference(&cb)).len()),
+                ),
+                (
+                    "intersection",
+                    Box::new(|| std::hint::black_box(sa.intersection(&sb)).len()),
+                    Box::new(|| std::hint::black_box(da.intersection(&db)).len()),
+                    Box::new(|| std::hint::black_box(ca.intersection(&cb)).len()),
+                ),
+            ] {
+                let bt = btree_ok.then(|| e22_time(|| { f_btree(); }));
+                let de = e22_time(|| { f_dense(); });
+                let ch = e22_time(|| { f_chunked(); });
+                row(&[
+                    op.to_string(),
+                    n.to_string(),
+                    format!("{density}"),
+                    bt.map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".into()),
+                    format!("{de:.0}"),
+                    format!("{ch:.0}"),
+                    format!("{:.1}x", de / ch),
+                ]);
+                if let Some(bt) = bt {
+                    rows.push(E22Row { op, n, backend: format!("btree@{density}"), ns_per_op: bt, kernel_words: 0 });
+                }
+                rows.push(E22Row { op, n, backend: format!("dense@{density}"), ns_per_op: de, kernel_words: space / 64 });
+                let kw = if dynfo_obs::ENABLED {
+                    let c = dynfo_logic::obs::eval_obs().chunked_kernel_words.get();
+                    f_chunked();
+                    dynfo_logic::obs::eval_obs().chunked_kernel_words.get() - c
+                } else {
+                    0
+                };
+                rows.push(E22Row { op, n, backend: format!("chunked@{density}"), ns_per_op: ch, kernel_words: kw });
+            }
+        }
+    }
+
+    if EMIT_JSON.load(std::sync::atomic::Ordering::Relaxed) {
+        let mut out = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"op\": \"{}\", \"n\": {}, \"backend\": \"{}\", \"ns_per_op\": {:.1}, \"kernel_words\": {}}}{}\n",
+                r.op,
+                r.n,
+                r.backend,
+                r.ns_per_op,
+                r.kernel_words,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write("BENCH_E22.json", &out).expect("write BENCH_E22.json");
+        println!("wrote BENCH_E22.json ({} rows)", rows.len());
     }
 }

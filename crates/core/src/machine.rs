@@ -277,11 +277,19 @@ enum DisjunctBody {
 /// A rule or query formula lowered to a bit-parallel kernel plan
 /// ([`dynfo_logic::Plan`]), paired with its reusable slot arena.
 /// Compiled once per machine; execution falls back to the interpreter
-/// when compilation declined or the plan bails at runtime (a relation's
-/// backend no longer matches the compiled layout).
+/// when compilation declined, the plan bails at runtime (a relation's
+/// backend no longer matches the compiled layout), or the live budget
+/// rules the plan unprofitable ([`BitPlan::profitable`]).
 #[derive(Debug)]
 struct BitPlan {
     plan: Arc<Plan>,
+    /// Fixed kernel work per execution (`Plan::work_words`), cached for
+    /// the profitability check on every request.
+    work_words: u64,
+    /// Relations the formula reads, resolved against the structure's
+    /// vocabulary at compile time. Their maintained populations are the
+    /// live side of the density-aware budget.
+    reads: Arc<[RelId]>,
     /// Slot buffers reused across requests. A mutex rather than a cell
     /// because the parallel scheduler executes rule plans from pool
     /// workers; each rule's plan is used by at most one job per request,
@@ -289,29 +297,90 @@ struct BitPlan {
     arena: Mutex<PlanArena>,
 }
 
-/// Work budget for machine-installed plans, in 64-bit words per
-/// execution (`Plan::work_words`). A compiled plan always pays its full
-/// `S^k`-shaped traversal, while the interpreter's delta pipeline often
-/// resolves the same rule from a guard probe or a restricted scan
-/// (REACH_a's shrink-shaped delete is microseconds interpreted but
-/// megabits as bit-vectors). Past this budget the fixed cost loses to
-/// the adaptive one, so the machine keeps the interpreter. 2^16 words =
-/// 4 Mbit ≈ tens of microseconds of kernel passes — comfortably above
-/// every binary-aux program at n ≤ 256, below the wide-formula regime
-/// where plans stop paying.
+/// Default base work budget for machine-installed plans, in 64-bit
+/// words per execution (`Plan::work_words`). A compiled plan always
+/// pays its full `S^k`-shaped traversal, while the interpreter's delta
+/// pipeline often resolves the same rule from a guard probe or a
+/// restricted scan (REACH_a's shrink-shaped delete is microseconds
+/// interpreted but megabits as bit-vectors). Below this budget the
+/// plan always runs. 2^16 words = 4 Mbit ≈ tens of microseconds of
+/// kernel passes — comfortably above every binary-aux program at
+/// n ≤ 256. Above it, [`BitPlan::profitable`] consults the read
+/// relations' live populations: dense state means the interpreter
+/// would scan comparable volume anyway, so the plan still pays;
+/// sparse state keeps the adaptive interpreter.
 const PLAN_WORK_WORDS_CAP: u64 = 1 << 16;
+
+/// Hard ceiling on compiled-plan size, independent of density. Slot
+/// buffers and arity valid-masks materialize at `work_words` scale, so
+/// this bounds per-plan memory (2^22 words = 32 MiB) no matter what
+/// the env override or the live budget would admit.
+const PLAN_COMPILE_WORDS_CAP: u64 = 1 << 22;
+
+/// Interpreter cost proxy: kernel words one maintained row is worth.
+/// The delta pipeline touches each live row a handful of times per
+/// evaluation (probe, scan, diff, install); 8 words/row keeps the
+/// estimate conservative — the plan must still be within an order of
+/// magnitude of the scan volume its reads imply.
+const PLAN_WORDS_PER_ROW: u64 = 8;
+
+/// The base plan budget: `DYNFO_PLAN_WORK_CAP` when set to a positive
+/// integer (parsed once per process, exported through dynfo-obs as the
+/// `machine.plan_work_cap` gauge), else [`PLAN_WORK_WORDS_CAP`].
+fn plan_work_cap() -> u64 {
+    static CAP: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *CAP.get_or_init(|| {
+        let cap = std::env::var("DYNFO_PLAN_WORK_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(PLAN_WORK_WORDS_CAP);
+        if dynfo_obs::ENABLED {
+            ObsHandle::default()
+                .gauge("machine.plan_work_cap")
+                .set(cap.min(i64::MAX as u64) as i64);
+        }
+        cap
+    })
+}
 
 impl BitPlan {
     fn compile(f: &Formula, st: &Structure) -> Option<BitPlan> {
         let plan = Plan::compile(f, st)?;
-        if plan.work_words() > PLAN_WORK_WORDS_CAP {
+        let work_words = plan.work_words();
+        if work_words > PLAN_COMPILE_WORDS_CAP.max(plan_work_cap()) {
             return None;
         }
+        let reads: Arc<[RelId]> = dynfo_logic::analysis::relation_symbols(f)
+            .into_iter()
+            .filter_map(|name| st.vocab().relation(name))
+            .collect();
         let arena = Mutex::new(plan.arena());
         Some(BitPlan {
             plan: Arc::new(plan),
+            work_words,
+            reads,
             arena,
         })
+    }
+
+    /// Density-aware routing: run the plan when its fixed work is
+    /// within the base budget, or when the read relations' maintained
+    /// populations say the interpreter would scan comparable volume
+    /// anyway (`rows × PLAN_WORDS_PER_ROW`). Monotone over the old
+    /// fixed cap — everything it admitted still runs — while plans
+    /// over sparsely populated reads (REACH_a's shrink-shaped delete
+    /// against a thin path relation) keep the interpreter.
+    fn profitable(&self, st: &Structure) -> bool {
+        if self.work_words <= plan_work_cap() {
+            return true;
+        }
+        let rows: u64 = self
+            .reads
+            .iter()
+            .map(|&id| st.relation(id).len() as u64)
+            .sum();
+        self.work_words <= rows.saturating_mul(PLAN_WORDS_PER_ROW)
     }
 }
 
@@ -321,6 +390,8 @@ impl Clone for BitPlan {
         // once; cloned machines share only the immutable plan.
         BitPlan {
             plan: Arc::clone(&self.plan),
+            work_words: self.work_words,
+            reads: Arc::clone(&self.reads),
             arena: Mutex::new(self.plan.arena()),
         }
     }
@@ -543,6 +614,18 @@ impl DynFoMachine {
     /// Builder form of [`DynFoMachine::set_parallelism`].
     pub fn with_parallelism(mut self, threads: usize) -> DynFoMachine {
         self.set_parallelism(threads);
+        self
+    }
+
+    /// Convert every auxiliary relation that fits to the chunked hybrid
+    /// bitmap backend (roaring-style blocks; see
+    /// `dynfo_logic::bitrel::chunked`). Answers are unchanged: compiled
+    /// plans expect the dense layout, bail at runtime against chunked
+    /// state, and fall back to the interpreter, whose relation ops all
+    /// have chunked fast paths. Use for large-n or low-density states
+    /// where `n^k`-bit dense bitmaps stop fitting.
+    pub fn with_chunked_state(mut self) -> DynFoMachine {
+        self.state.force_chunked();
         self
     }
 
@@ -970,7 +1053,7 @@ impl DynFoMachine {
         let pool = (self.parallelism > 1).then(|| EvalPool::global(self.parallelism));
         let mut ev = Evaluator::with_cache(&self.state, &[], &mut self.cache);
         let bits = self.use_plans.then_some(self.query_plan.as_ref()).flatten();
-        let ans = match run_plan(bits, self.use_plans, pool.as_deref(), &mut ev)? {
+        let ans = match run_plan(&self.state, bits, self.use_plans, pool.as_deref(), &mut ev)? {
             Some(t) => t.as_bool(),
             None => ev.eval(self.program.query())?.as_bool(),
         };
@@ -1003,7 +1086,7 @@ impl DynFoMachine {
             .then(|| self.named_plans.get(&sym))
             .flatten()
             .and_then(|o| o.as_ref());
-        let ans = match run_plan(bits, self.use_plans, pool.as_deref(), &mut ev)? {
+        let ans = match run_plan(&self.state, bits, self.use_plans, pool.as_deref(), &mut ev)? {
             Some(t) => t.as_bool(),
             None => ev.eval(&f)?.as_bool(),
         };
@@ -1188,18 +1271,22 @@ fn classify_guarded(parts: &[Formula], is_target_atom: &dyn Fn(&Formula) -> bool
 }
 
 /// Execute a query's compiled plan if one is available. `Ok(None)` means
-/// the caller interprets instead — no plan, plans disabled, or a runtime
-/// bail — with `plan_fallback` counted whenever plans were enabled.
+/// the caller interprets instead — no plan, plans disabled, the budget
+/// declined, or a runtime bail — with `plan_fallback` counted whenever
+/// plans were enabled.
 fn run_plan(
+    st: &Structure,
     bits: Option<&BitPlan>,
     plans_on: bool,
     pool: Option<&EvalPool>,
     ev: &mut Evaluator<'_>,
 ) -> Result<Option<dynfo_logic::Table>, EvalError> {
     if let Some(bp) = bits {
-        let mut arena = bp.arena.lock().unwrap();
-        if let Some(t) = bp.plan.execute(ev, &mut arena, pool)? {
-            return Ok(Some(t));
+        if bp.profitable(st) {
+            let mut arena = bp.arena.lock().unwrap();
+            if let Some(t) = bp.plan.execute(ev, &mut arena, pool)? {
+                return Ok(Some(t));
+            }
         }
     }
     if plans_on {
@@ -1231,12 +1318,14 @@ fn eval_general(
         return eval_guarded(st, rule, gp, id, obs, ev);
     }
     // Compiled path first: execute the rule's bit-parallel plan over the
-    // dense backends. `Ok(None)` means the plan bailed at runtime (a
-    // relation's backend or universe no longer matches the compiled
-    // layout); real evaluation errors surface exactly like the
-    // interpreter's. `pool` is `None` — rule plans may already be
-    // running on pool workers, and pools must not nest.
-    if let Some(bp) = bits {
+    // dense backends, provided the live budget says the fixed kernel
+    // work beats the interpreter at the current occupancy. `Ok(None)`
+    // means the plan bailed at runtime (a relation's backend or universe
+    // no longer matches the compiled layout); real evaluation errors
+    // surface exactly like the interpreter's. `pool` is `None` — rule
+    // plans may already be running on pool workers, and pools must not
+    // nest.
+    if let Some(bp) = bits.filter(|bp| bp.profitable(st)) {
         let mut arena = bp.arena.lock().unwrap();
         if let Some(table) = bp.plan.execute(ev, &mut arena, None)? {
             let rows = align_to_rule(table, rule, n);

@@ -1,0 +1,235 @@
+//! Differential check for the chunked hybrid relation backend at the
+//! machine level: a machine whose auxiliary structure lives on chunked
+//! bitmaps (`with_chunked_state`) must be indistinguishable — same
+//! state, same answers at every step — from the interpreter over dense
+//! bitmaps, across every program in the Section 4 library. Compiled
+//! plans expect the dense layout and bail against chunked state, so
+//! this additionally exercises the fallback path: every rule interprets
+//! through the chunked relation ops (insert/remove, set algebra with
+//! block skipping, prefix scans).
+
+use dynfo_core::{programs, Request};
+use dynfo_testutil::{
+    churn_stream, dag_churn_stream, edge_requests, rng, run_differential, weighted_stream,
+    DiffMode,
+};
+use dynfo_core::DynFoProgram;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Interp-vs-chunked differential, asserting the compared machine's
+/// auxiliary relations really are on the chunked backend.
+fn assert_chunked_transparent(
+    program: impl Fn() -> DynFoProgram,
+    n: u32,
+    reqs: &[Request],
+    queries: &[(&str, &[u32])],
+) {
+    let machines = run_differential(
+        &program,
+        n,
+        reqs,
+        queries,
+        &[DiffMode::Interp, DiffMode::Chunked],
+    );
+    let chunked = &machines[1];
+    let st = chunked.state();
+    let any_chunked = st
+        .vocab()
+        .relations()
+        .any(|(id, _)| st.relation(id).backend_kind() == "chunked");
+    assert!(any_chunked, "with_chunked_state left no relation chunked");
+}
+
+#[test]
+fn chunked_parity() {
+    let mut rand = rng(71);
+    let reqs: Vec<Request> = (0..40)
+        .map(|_| {
+            let i = rand.gen_range(0..8u32);
+            if rand.gen_bool(0.4) {
+                Request::del("M", [i])
+            } else {
+                Request::ins("M", [i])
+            }
+        })
+        .collect();
+    assert_chunked_transparent(programs::parity::program, 8, &reqs, &[]);
+}
+
+#[test]
+fn chunked_reach_u() {
+    let n = 7u32;
+    let mut reqs = edge_requests("E", &churn_stream(n, 35, 0.3, true, &mut rng(73)));
+    reqs.insert(10, Request::set("s", 2));
+    reqs.insert(20, Request::set("t", 5));
+    assert_chunked_transparent(
+        programs::reach_u::program,
+        n,
+        &reqs,
+        &[("connected", &[0, 6]), ("connected", &[2, 3])],
+    );
+}
+
+#[test]
+fn chunked_reach_acyclic() {
+    let n = 7u32;
+    let reqs = edge_requests("E", &dag_churn_stream(n, 35, 0.3, &mut rng(79)));
+    assert_chunked_transparent(
+        programs::reach_acyclic::program,
+        n,
+        &reqs,
+        &[("reaches", &[0, 6])],
+    );
+}
+
+#[test]
+fn chunked_trans_reduction() {
+    let n = 6u32;
+    let reqs = edge_requests("E", &dag_churn_stream(n, 30, 0.3, &mut rng(83)));
+    assert_chunked_transparent(
+        programs::trans_reduction::program,
+        n,
+        &reqs,
+        &[("in_tr", &[0, 1]), ("reaches", &[0, 5])],
+    );
+}
+
+#[test]
+fn chunked_msf() {
+    let n = 5u32;
+    let reqs = weighted_stream(n, 30, 89);
+    assert_chunked_transparent(
+        programs::msf::program,
+        n,
+        &reqs,
+        &[("in_msf", &[0, 1]), ("connected", &[0, 4])],
+    );
+}
+
+#[test]
+fn chunked_bipartite() {
+    let n = 7u32;
+    let reqs = edge_requests("E", &churn_stream(n, 35, 0.3, true, &mut rng(97)));
+    assert_chunked_transparent(
+        programs::bipartite::program,
+        n,
+        &reqs,
+        &[("odd_path", &[0, 1]), ("connected", &[0, 6])],
+    );
+}
+
+#[test]
+fn chunked_kconn() {
+    let n = 6u32;
+    let reqs = edge_requests("E", &churn_stream(n, 30, 0.3, true, &mut rng(101)));
+    assert_chunked_transparent(
+        || programs::kconn::program_up_to(2),
+        n,
+        &reqs,
+        &[("connected", &[0, 5])],
+    );
+}
+
+#[test]
+fn chunked_matching() {
+    let n = 6u32;
+    let reqs = edge_requests("E", &churn_stream(n, 30, 0.3, true, &mut rng(103)));
+    assert_chunked_transparent(
+        programs::matching::program,
+        n,
+        &reqs,
+        &[("matched", &[0, 1]), ("is_matched", &[2])],
+    );
+}
+
+#[test]
+fn chunked_lca() {
+    let n = 6u32;
+    let reqs = edge_requests("E", &dag_churn_stream(n, 30, 0.3, &mut rng(107)));
+    assert_chunked_transparent(programs::lca::program, n, &reqs, &[("ancestor", &[0, 5])]);
+}
+
+#[test]
+fn chunked_vertex_cover() {
+    let n = 6u32;
+    let reqs = edge_requests("E", &churn_stream(n, 30, 0.3, true, &mut rng(109)));
+    assert_chunked_transparent(
+        programs::vertex_cover::program,
+        n,
+        &reqs,
+        &[("in_cover", &[0]), ("in_cover", &[3])],
+    );
+}
+
+#[test]
+fn chunked_semi_reach_u() {
+    let n = 7u32;
+    let reqs = edge_requests("E", &churn_stream(n, 25, 0.0, true, &mut rng(113)));
+    assert_chunked_transparent(
+        programs::semi::reach_u_program,
+        n,
+        &reqs,
+        &[("connected", &[0, 6])],
+    );
+}
+
+#[test]
+fn chunked_semi_reach() {
+    let n = 7u32;
+    let reqs = edge_requests("E", &churn_stream(n, 25, 0.0, false, &mut rng(127)));
+    assert_chunked_transparent(
+        programs::semi::reach_program,
+        n,
+        &reqs,
+        &[("reaches", &[0, 6])],
+    );
+}
+
+/// Chunked state composes with the batched pipeline and the parallel
+/// rule scheduler: all four configurations stay aligned step-for-step.
+#[test]
+fn chunked_composes_with_batch_and_parallel() {
+    let n = 7u32;
+    let reqs = edge_requests("E", &churn_stream(n, 40, 0.35, true, &mut rng(131)));
+    run_differential(
+        &programs::reach_u::program,
+        n,
+        &reqs,
+        &[("connected", &[0, 6])],
+        &[
+            DiffMode::Interp,
+            DiffMode::Chunked,
+            DiffMode::Parallel(3),
+            DiffMode::Batch(5),
+        ],
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized REACH_u streams over chunked state: duplicate inserts,
+    /// phantom deletes, and guarded deletes all route through the
+    /// chunked relation ops and stay aligned with the dense interpreter.
+    #[test]
+    fn chunked_reach_u_random(
+        ops in proptest::collection::vec((0u32..6, 0u32..6, proptest::bool::ANY), 1..25)
+    ) {
+        let reqs: Vec<Request> = ops
+            .iter()
+            .map(|&(a, b, ins)| if ins {
+                Request::ins("E", [a, b])
+            } else {
+                Request::del("E", [a, b])
+            })
+            .collect();
+        run_differential(
+            &programs::reach_u::program,
+            6,
+            &reqs,
+            &[("connected", &[0, 5])],
+            &[DiffMode::Interp, DiffMode::Chunked],
+        );
+    }
+}

@@ -1,0 +1,1361 @@
+//! Chunked hybrid bitmap relations (roaring-style).
+//!
+//! [`BitRel`](super::BitRel) charges every operation the full dense
+//! `⌈n^k/64⌉`-word cost regardless of how many tuples are actually
+//! present; at large `n` a relation holding a few thousand tuples pays
+//! for gigabits of zeros. [`ChunkedRel`] keeps the same base-`n` bit
+//! index space but splits it into fixed 2^16-bit **blocks**, each stored
+//! in the cheapest container for its occupancy:
+//!
+//! * [`Block::Empty`] — no bits; zero bytes.
+//! * [`Block::Sparse`] — ≤ [`SPARSE_MAX`] bits as a sorted `Vec<u16>`
+//!   of in-block offsets.
+//! * [`Block::Run`] — few maximal runs of consecutive bits as sorted
+//!   inclusive `(start, end)` pairs; how full blocks and complements of
+//!   sparse data are stored.
+//! * [`Block::Dense`] — the raw 1024-word bitmap with a maintained
+//!   popcount.
+//!
+//! Set algebra works container-vs-container with Empty/Full
+//! short-circuits (counted in `chunked.blocks_skipped`), so sparse
+//! relations at large `n` do work proportional to occupied blocks, not
+//! the universe — the "work-sensitive" cost model of Schmidt et al.
+//! (2021) rather than the universe-size cost of the naive dense layout.
+//! `len` is maintained incrementally from per-block counts; there is no
+//! whole-vector popcount rescan anywhere.
+//!
+//! Promotion/demotion happens per block as occupancy crosses container
+//! thresholds; bulk operations renormalize each result block, single-bit
+//! mutations adjust locally. Iteration order is identical to
+//! [`BitRel`]'s (ascending base-`n` index = lexicographic tuple order),
+//! so the two backends are observationally interchangeable.
+
+use super::capacity_bits;
+use crate::tuple::{Elem, Tuple};
+use std::fmt;
+
+/// Bits per block (2^16, the roaring container size — u16 offsets).
+pub const BLOCK_BITS: usize = 1 << 16;
+/// 64-bit words per dense block.
+pub const BLOCK_WORDS: usize = BLOCK_BITS / 64;
+/// Max set bits for the Sparse container (4096 × u16 = one dense
+/// block's 8 KiB, the classic roaring break-even).
+pub const SPARSE_MAX: usize = 4096;
+/// Max runs for the Run container (above this, Dense is both smaller
+/// and faster to operate on).
+pub const RUN_MAX: usize = 1 << 10;
+/// Past this combined element count, Sparse×Sparse ops scatter into a
+/// block bitmap instead of sorted-merging: the merge retires one
+/// element per iteration while the bitmap path is word-parallel, and
+/// 2048 u16s already cover a quarter of the 1024-word block.
+const MERGE_MAX: usize = 2048;
+
+/// One 2^16-bit block in its occupancy-chosen container.
+#[derive(Clone, Debug)]
+pub enum Block {
+    /// All zero.
+    Empty,
+    /// Sorted in-block bit offsets; at most [`SPARSE_MAX`] of them.
+    Sparse(Vec<u16>),
+    /// Sorted, disjoint, non-adjacent inclusive runs `(start, end)`.
+    Run(Vec<(u16, u16)>),
+    /// Raw bitmap with maintained popcount.
+    Dense { words: Box<[u64]>, len: u32 },
+}
+
+impl Block {
+    /// Set bits in this block.
+    fn len(&self) -> usize {
+        match self {
+            Block::Empty => 0,
+            Block::Sparse(v) => v.len(),
+            Block::Run(runs) => runs
+                .iter()
+                .map(|&(s, e)| e as usize - s as usize + 1)
+                .sum(),
+            Block::Dense { len, .. } => *len as usize,
+        }
+    }
+
+    /// True iff every one of the block's `cap` valid bits is set.
+    fn is_full(&self, cap: usize) -> bool {
+        self.len() == cap
+    }
+
+    /// A block with all `cap` bits set.
+    fn full(cap: usize) -> Block {
+        debug_assert!(cap > 0);
+        Block::Run(vec![(0, (cap - 1) as u16)])
+    }
+
+    /// Membership of in-block offset `b`.
+    fn contains(&self, b: u16) -> bool {
+        match self {
+            Block::Empty => false,
+            Block::Sparse(v) => v.binary_search(&b).is_ok(),
+            Block::Run(runs) => runs
+                .binary_search_by(|&(s, e)| {
+                    if e < b {
+                        std::cmp::Ordering::Less
+                    } else if s > b {
+                        std::cmp::Ordering::Greater
+                    } else {
+                        std::cmp::Ordering::Equal
+                    }
+                })
+                .is_ok(),
+            Block::Dense { words, .. } => {
+                words[b as usize / 64] >> (b % 64) & 1 == 1
+            }
+        }
+    }
+
+    /// Scatter this block's bits into a zeroed 1024-word buffer.
+    fn materialize(&self, buf: &mut [u64]) {
+        debug_assert_eq!(buf.len(), BLOCK_WORDS);
+        match self {
+            Block::Empty => {}
+            Block::Sparse(v) => {
+                for &b in v {
+                    buf[b as usize / 64] |= 1u64 << (b % 64);
+                }
+            }
+            Block::Run(runs) => {
+                for &(s, e) in runs {
+                    set_bit_range(buf, s as usize, e as usize);
+                }
+            }
+            Block::Dense { words, .. } => buf.copy_from_slice(words),
+        }
+    }
+
+    /// Smallest set offset ≥ `from`, if any.
+    fn next_set(&self, from: u32) -> Option<u16> {
+        if from >= BLOCK_BITS as u32 {
+            return None;
+        }
+        let from16 = from as u16;
+        match self {
+            Block::Empty => None,
+            Block::Sparse(v) => {
+                let i = v.partition_point(|&b| b < from16);
+                v.get(i).copied()
+            }
+            Block::Run(runs) => {
+                let i = runs.partition_point(|&(_, e)| e < from16);
+                runs.get(i).map(|&(s, _)| s.max(from16))
+            }
+            Block::Dense { words, .. } => {
+                let mut w = from as usize / 64;
+                let mut cur = words[w] & (!0u64 << (from % 64));
+                loop {
+                    if cur != 0 {
+                        return Some((w * 64 + cur.trailing_zeros() as usize) as u16);
+                    }
+                    w += 1;
+                    if w >= BLOCK_WORDS {
+                        return None;
+                    }
+                    cur = words[w];
+                }
+            }
+        }
+    }
+}
+
+/// Set the inclusive bit range `[s, e]` in a block-sized word buffer.
+fn set_bit_range(buf: &mut [u64], s: usize, e: usize) {
+    let (w0, w1) = (s / 64, e / 64);
+    if w0 == w1 {
+        buf[w0] |= super::mask_range(s % 64, e % 64 + 1);
+    } else {
+        buf[w0] |= !0u64 << (s % 64);
+        for w in &mut buf[w0 + 1..w1] {
+            *w = !0;
+        }
+        buf[w1] |= super::mask_range(0, e % 64 + 1);
+    }
+}
+
+/// Build the canonical-enough container for the bits in `buf` (a full
+/// block-sized bitmap), given the block's valid-bit capacity. One pass
+/// computes popcount and run count together; the cheapest container
+/// that fits is extracted.
+fn normalize(buf: &[u64], cap: usize) -> Block {
+    debug_assert_eq!(buf.len(), BLOCK_WORDS);
+    let mut len = 0usize;
+    let mut runs = 0usize;
+    let mut prev_msb = 0u64; // bit 63 of the previous word
+    for &w in buf {
+        len += w.count_ones() as usize;
+        // A run starts at every 1 whose predecessor bit is 0.
+        runs += (w & !((w << 1) | prev_msb)).count_ones() as usize;
+        prev_msb = w >> 63;
+    }
+    if len == 0 {
+        return Block::Empty;
+    }
+    if len == cap {
+        return Block::full(cap);
+    }
+    if len <= SPARSE_MAX {
+        let mut v = Vec::with_capacity(len);
+        for (wi, &w) in buf.iter().enumerate() {
+            let mut cur = w;
+            while cur != 0 {
+                v.push((wi * 64 + cur.trailing_zeros() as usize) as u16);
+                cur &= cur - 1;
+            }
+        }
+        return Block::Sparse(v);
+    }
+    if runs <= RUN_MAX {
+        let mut out = Vec::with_capacity(runs);
+        let mut start: Option<usize> = None;
+        for i in 0..BLOCK_BITS {
+            let set = buf[i / 64] >> (i % 64) & 1 == 1;
+            match (set, start) {
+                (true, None) => start = Some(i),
+                (false, Some(s)) => {
+                    out.push((s as u16, (i - 1) as u16));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            out.push((s as u16, (BLOCK_BITS - 1) as u16));
+        }
+        return Block::Run(out);
+    }
+    Block::Dense {
+        words: buf.to_vec().into_boxed_slice(),
+        len: len as u32,
+    }
+}
+
+thread_local! {
+    /// Reusable block-sized word buffers for the materialize/scatter
+    /// paths: `[a-side, b-side, combine dst]`. One warm 24 KiB arena
+    /// per thread instead of an 8 KiB alloc+zero per block op — the
+    /// alloc churn (fresh pages, cold lines) costs more than the ops
+    /// themselves on mid-density blocks.
+    static SCRATCH: std::cell::RefCell<[Vec<u64>; 3]> = std::cell::RefCell::new([
+        vec![0u64; BLOCK_WORDS],
+        vec![0u64; BLOCK_WORDS],
+        vec![0u64; BLOCK_WORDS],
+    ]);
+}
+
+/// Note words touched by a chunked container op (obs).
+#[inline]
+fn note_words(words: usize) {
+    if dynfo_obs::ENABLED && words > 0 {
+        crate::obs::eval_obs().chunked_kernel_words.add(words as u64);
+    }
+}
+
+/// Note blocks short-circuited by an Empty/Full fast path (obs).
+#[inline]
+fn note_skipped(blocks: usize) {
+    if dynfo_obs::ENABLED && blocks > 0 {
+        crate::obs::eval_obs()
+            .chunked_blocks_skipped
+            .add(blocks as u64);
+    }
+}
+
+/// A chunked hybrid bitmap relation of fixed arity over `{0..n}`.
+///
+/// Same index space and iteration order as [`BitRel`](super::BitRel);
+/// different cost model (per occupied block, not per universe bit).
+#[derive(Clone, Debug)]
+pub struct ChunkedRel {
+    arity: usize,
+    n: Elem,
+    /// Total valid bits (`n^arity`).
+    bits: usize,
+    /// Number of set bits, maintained incrementally from block counts.
+    len: usize,
+    blocks: Vec<Block>,
+}
+
+impl ChunkedRel {
+    /// The empty chunked relation of the given arity over `{0..n}`.
+    ///
+    /// # Panics
+    /// Panics if `n^arity` overflows `usize` — callers gate on
+    /// [`capacity_bits`] before choosing this backend.
+    pub fn new(arity: usize, n: Elem) -> ChunkedRel {
+        let bits = usize::try_from(capacity_bits(n, arity))
+            .expect("ChunkedRel capacity exceeds usize");
+        ChunkedRel {
+            arity,
+            n,
+            bits,
+            len: 0,
+            blocks: (0..bits.div_ceil(BLOCK_BITS)).map(|_| Block::Empty).collect(),
+        }
+    }
+
+    /// Arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> Elem {
+        self.n
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no tuples.
+    /// Container census `[empty, sparse, run, dense]` — how many blocks
+    /// sit in each representation. Cheap (one pass over block tags);
+    /// used by benches and tests to confirm occupancy-driven promotion.
+    pub fn container_census(&self) -> [usize; 4] {
+        let mut c = [0usize; 4];
+        for b in &self.blocks {
+            c[match b {
+                Block::Empty => 0,
+                Block::Sparse(_) => 1,
+                Block::Run(_) => 2,
+                Block::Dense { .. } => 3,
+            }] += 1;
+        }
+        c
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Valid-bit capacity of block `bi` (the last block may be partial).
+    fn cap(&self, bi: usize) -> usize {
+        if bi + 1 == self.blocks.len() && !self.bits.is_multiple_of(BLOCK_BITS) {
+            self.bits % BLOCK_BITS
+        } else {
+            BLOCK_BITS
+        }
+    }
+
+    /// Base-`n` index of a tuple.
+    #[inline]
+    fn index(&self, t: &Tuple) -> usize {
+        debug_assert_eq!(t.len(), self.arity);
+        let mut idx = 0usize;
+        for v in t.iter() {
+            debug_assert!(v < self.n, "element {v} outside universe {}", self.n);
+            idx = idx * self.n as usize + v as usize;
+        }
+        idx
+    }
+
+    /// Decode a base-`n` index back to its tuple.
+    #[inline]
+    fn decode(&self, mut idx: usize) -> Tuple {
+        let mut items = [0 as Elem; crate::tuple::MAX_ARITY];
+        for i in (0..self.arity).rev() {
+            items[i] = (idx % self.n as usize) as Elem;
+            idx /= self.n as usize;
+        }
+        Tuple::from_slice(&items[..self.arity])
+    }
+
+    /// Membership by raw bit index.
+    #[inline]
+    fn contains_idx(&self, idx: usize) -> bool {
+        self.blocks[idx / BLOCK_BITS].contains((idx % BLOCK_BITS) as u16)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.contains_idx(self.index(t))
+    }
+
+    /// Insert by raw bit index; returns true if newly added. Promotes
+    /// the block when it outgrows its container (Sparse → Dense; Run
+    /// with too many fragments → Dense).
+    fn insert_idx(&mut self, idx: usize) -> bool {
+        let (bi, b) = (idx / BLOCK_BITS, (idx % BLOCK_BITS) as u16);
+        let cap = self.cap(bi);
+        let block = &mut self.blocks[bi];
+        let mut renorm = false;
+        let fresh = match block {
+            Block::Empty => {
+                *block = Block::Sparse(vec![b]);
+                true
+            }
+            Block::Sparse(v) => match v.binary_search(&b) {
+                Ok(_) => false,
+                Err(pos) => {
+                    v.insert(pos, b);
+                    renorm = v.len() > SPARSE_MAX;
+                    true
+                }
+            },
+            Block::Run(runs) => {
+                // First run whose end ≥ b; runs are sorted and disjoint,
+                // so b is inside it or strictly before it.
+                let i = runs.partition_point(|&(_, e)| e < b);
+                if i < runs.len() && runs[i].0 <= b {
+                    false
+                } else {
+                    // u32 arithmetic: b ± 1 can leave u16 range.
+                    let merge_prev = i > 0 && runs[i - 1].1 as u32 + 1 == b as u32;
+                    let merge_next = i < runs.len() && b as u32 + 1 == runs[i].0 as u32;
+                    match (merge_prev, merge_next) {
+                        (true, true) => {
+                            runs[i - 1].1 = runs[i].1;
+                            runs.remove(i);
+                        }
+                        (true, false) => runs[i - 1].1 = b,
+                        (false, true) => runs[i].0 = b,
+                        (false, false) => {
+                            runs.insert(i, (b, b));
+                            renorm = runs.len() > RUN_MAX;
+                        }
+                    }
+                    true
+                }
+            }
+            Block::Dense { words, len } => {
+                let w = &mut words[b as usize / 64];
+                let mask = 1u64 << (b % 64);
+                let fresh = *w & mask == 0;
+                *w |= mask;
+                *len += fresh as u32;
+                fresh
+            }
+        };
+        if renorm {
+            let mut buf = vec![0u64; BLOCK_WORDS];
+            self.blocks[bi].materialize(&mut buf);
+            self.blocks[bi] = normalize(&buf, cap);
+        }
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Remove by raw bit index; returns true if it was present. Demotes
+    /// the block when it shrinks out of its container (Dense below
+    /// [`SPARSE_MAX`]/2 → Sparse; empty → Empty).
+    fn remove_idx(&mut self, idx: usize) -> bool {
+        let (bi, b) = (idx / BLOCK_BITS, (idx % BLOCK_BITS) as u16);
+        let cap = self.cap(bi);
+        let block = &mut self.blocks[bi];
+        let mut renorm = false;
+        let present = match block {
+            Block::Empty => false,
+            Block::Sparse(v) => match v.binary_search(&b) {
+                Ok(pos) => {
+                    v.remove(pos);
+                    if v.is_empty() {
+                        *block = Block::Empty;
+                    }
+                    true
+                }
+                Err(_) => false,
+            },
+            Block::Run(runs) => {
+                let i = runs.partition_point(|&(_, e)| e < b);
+                if i >= runs.len() || runs[i].0 > b {
+                    false
+                } else {
+                    let (s, e) = runs[i];
+                    if s == e {
+                        runs.remove(i);
+                        if runs.is_empty() {
+                            *block = Block::Empty;
+                        }
+                    } else if b == s {
+                        runs[i].0 = s + 1;
+                    } else if b == e {
+                        runs[i].1 = e - 1;
+                    } else {
+                        runs[i].1 = b - 1;
+                        runs.insert(i + 1, (b + 1, e));
+                        renorm = runs.len() > RUN_MAX;
+                    }
+                    true
+                }
+            }
+            Block::Dense { words, len } => {
+                let w = &mut words[b as usize / 64];
+                let mask = 1u64 << (b % 64);
+                let present = *w & mask != 0;
+                *w &= !mask;
+                *len -= present as u32;
+                if present && (*len as usize) < SPARSE_MAX / 2 {
+                    let mut v = Vec::with_capacity(*len as usize);
+                    for (wi, &word) in words.iter().enumerate() {
+                        let mut cur = word;
+                        while cur != 0 {
+                            v.push((wi * 64 + cur.trailing_zeros() as usize) as u16);
+                            cur &= cur - 1;
+                        }
+                    }
+                    *block = if v.is_empty() { Block::Empty } else { Block::Sparse(v) };
+                }
+                present
+            }
+        };
+        if renorm {
+            let mut buf = vec![0u64; BLOCK_WORDS];
+            self.blocks[bi].materialize(&mut buf);
+            self.blocks[bi] = normalize(&buf, cap);
+        }
+        self.len -= present as usize;
+        present
+    }
+
+    /// Insert a tuple; returns true if newly added.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        let idx = self.index(&t);
+        self.insert_idx(idx)
+    }
+
+    /// Remove a tuple; returns true if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        let idx = self.index(t);
+        self.remove_idx(idx)
+    }
+
+    /// Remove all tuples.
+    pub fn clear(&mut self) {
+        self.blocks.iter_mut().for_each(|b| *b = Block::Empty);
+        self.len = 0;
+    }
+
+    /// Per-block binary set op. `op` maps `(a, b, cap) → (block, words
+    /// touched)` for the slow path; the Empty/Full short-circuits live
+    /// in the callers and are counted as skipped blocks there.
+    fn zip_blocks(
+        &self,
+        other: &ChunkedRel,
+        mut op: impl FnMut(&Block, &Block, usize) -> Block,
+    ) -> ChunkedRel {
+        assert_eq!(self.arity, other.arity, "arity mismatch");
+        assert_eq!(self.n, other.n, "universe mismatch");
+        let mut out = ChunkedRel::new(self.arity, self.n);
+        let mut len = 0usize;
+        for bi in 0..self.blocks.len() {
+            let blk = op(&self.blocks[bi], &other.blocks[bi], self.cap(bi));
+            len += blk.len();
+            out.blocks[bi] = blk;
+        }
+        out.len = len;
+        out
+    }
+
+    /// General-path binary op: materialize both sides and combine word
+    /// by word, then renormalize. `and`/`negate_b` select AND/OR and
+    /// b-complement (difference = `a AND NOT b`).
+    fn dense_combine(a: &Block, b: &Block, cap: usize, and: bool, negate_b: bool) -> Block {
+        SCRATCH.with(|s| {
+            let mut s = s.borrow_mut();
+            let [wa_buf, wb_buf, dst] = &mut *s;
+            // Dense inputs lend their words directly; only Sparse/Run
+            // sides pay the materialize scatter (and its obs charge).
+            let wa: &[u64] = if let Block::Dense { words, .. } = a {
+                words
+            } else {
+                wa_buf.fill(0);
+                a.materialize(wa_buf);
+                note_words(BLOCK_WORDS);
+                wa_buf
+            };
+            let wb: &[u64] = if let Block::Dense { words, .. } = b {
+                words
+            } else {
+                wb_buf.fill(0);
+                b.materialize(wb_buf);
+                note_words(BLOCK_WORDS);
+                wb_buf
+            };
+            let fb = if negate_b { !0u64 } else { 0 };
+            // `dst` needs no clear: combine2 overwrites every word.
+            crate::simd::combine2(dst, wa, wb, and, 0, fb, None);
+            // Mask off invalid bits of a partial last block (a
+            // complemented b sets them).
+            if cap < BLOCK_BITS {
+                clear_above(dst, cap);
+            }
+            normalize(dst, cap)
+        })
+    }
+
+    /// Set union (per-block OR with Empty/Full skips).
+    pub fn union(&self, other: &ChunkedRel) -> ChunkedRel {
+        self.zip_blocks(other, |a, b, cap| match (a, b) {
+            (Block::Empty, x) | (x, Block::Empty) => {
+                note_skipped(1);
+                x.clone()
+            }
+            (x, _) if x.is_full(cap) => {
+                note_skipped(1);
+                Block::full(cap)
+            }
+            (_, x) if x.is_full(cap) => {
+                note_skipped(1);
+                Block::full(cap)
+            }
+            (Block::Sparse(va), Block::Sparse(vb)) => {
+                if va.len() + vb.len() > MERGE_MAX {
+                    // Big sparse sides: scatter both and renormalize —
+                    // word-parallel instead of element-at-a-time.
+                    SCRATCH.with(|s| {
+                        let buf = &mut s.borrow_mut()[0];
+                        buf.fill(0);
+                        scatter(buf, va);
+                        scatter(buf, vb);
+                        note_words(BLOCK_WORDS);
+                        normalize(buf, cap)
+                    })
+                } else {
+                    let m = merge_union(va, vb);
+                    debug_assert!(m.len() <= SPARSE_MAX);
+                    Block::Sparse(m)
+                }
+            }
+            _ => Self::dense_combine(a, b, cap, false, false),
+        })
+    }
+
+    /// In-place union.
+    pub fn union_assign(&mut self, other: &ChunkedRel) {
+        *self = self.union(other);
+    }
+
+    /// Set intersection (per-block AND with Empty/Full skips).
+    pub fn intersection(&self, other: &ChunkedRel) -> ChunkedRel {
+        self.zip_blocks(other, |a, b, cap| match (a, b) {
+            (Block::Empty, _) | (_, Block::Empty) => {
+                note_skipped(1);
+                Block::Empty
+            }
+            (x, f) | (f, x) if f.is_full(cap) => {
+                note_skipped(1);
+                x.clone()
+            }
+            (Block::Sparse(va), Block::Sparse(vb)) => {
+                let m = if va.len() + vb.len() > MERGE_MAX {
+                    // Scatter the bigger side, probe with the smaller:
+                    // O(words + |small|) with O(1) membership tests.
+                    let (small, big) =
+                        if va.len() <= vb.len() { (va, vb) } else { (vb, va) };
+                    SCRATCH.with(|s| {
+                        let buf = &mut s.borrow_mut()[0];
+                        buf.fill(0);
+                        scatter(buf, big);
+                        note_words(BLOCK_WORDS);
+                        small.iter().copied().filter(|&x| probe(buf, x)).collect()
+                    })
+                } else {
+                    merge_intersect(va, vb)
+                };
+                if m.is_empty() { Block::Empty } else { Block::Sparse(m) }
+            }
+            (Block::Sparse(v), x) | (x, Block::Sparse(v)) => {
+                let m: Vec<u16> = v.iter().copied().filter(|&b| x.contains(b)).collect();
+                if m.is_empty() { Block::Empty } else { Block::Sparse(m) }
+            }
+            _ => Self::dense_combine(a, b, cap, true, false),
+        })
+    }
+
+    /// In-place intersection.
+    pub fn intersection_assign(&mut self, other: &ChunkedRel) {
+        *self = self.intersection(other);
+    }
+
+    /// Set difference (per-block AND-NOT with Empty/Full skips).
+    pub fn difference(&self, other: &ChunkedRel) -> ChunkedRel {
+        self.zip_blocks(other, |a, b, cap| match (a, b) {
+            (Block::Empty, _) => {
+                note_skipped(1);
+                Block::Empty
+            }
+            (x, Block::Empty) => {
+                note_skipped(1);
+                x.clone()
+            }
+            (_, f) if f.is_full(cap) => {
+                note_skipped(1);
+                Block::Empty
+            }
+            (Block::Sparse(va), Block::Sparse(vb)) => {
+                let m = if va.len() + vb.len() > MERGE_MAX {
+                    // Scatter b once, probe each element of a — replaces
+                    // a binary search per element with O(1) word tests.
+                    SCRATCH.with(|s| {
+                        let buf = &mut s.borrow_mut()[0];
+                        buf.fill(0);
+                        scatter(buf, vb);
+                        note_words(BLOCK_WORDS);
+                        va.iter().copied().filter(|&x| !probe(buf, x)).collect()
+                    })
+                } else {
+                    merge_difference(va, vb)
+                };
+                if m.is_empty() { Block::Empty } else { Block::Sparse(m) }
+            }
+            (Block::Sparse(v), x) => {
+                // x is Run or Dense here: contains() is a binary search
+                // over few runs or an O(1) word probe.
+                let m: Vec<u16> = v.iter().copied().filter(|&b| !x.contains(b)).collect();
+                if m.is_empty() { Block::Empty } else { Block::Sparse(m) }
+            }
+            (x, Block::Sparse(v)) => {
+                // Materialize x and clear b's few bits — O(words + |v|).
+                SCRATCH.with(|s| {
+                    let buf = &mut s.borrow_mut()[0];
+                    buf.fill(0);
+                    x.materialize(buf);
+                    note_words(BLOCK_WORDS);
+                    for &bit in v {
+                        buf[bit as usize / 64] &= !(1u64 << (bit % 64));
+                    }
+                    normalize(buf, cap)
+                })
+            }
+            _ => Self::dense_combine(a, b, cap, true, true),
+        })
+    }
+
+    /// In-place difference.
+    pub fn difference_assign(&mut self, other: &ChunkedRel) {
+        *self = self.difference(other);
+    }
+
+    /// Complement over the full `n^arity` tuple space.
+    pub fn complement(&self) -> ChunkedRel {
+        let mut out = ChunkedRel::new(self.arity, self.n);
+        for bi in 0..self.blocks.len() {
+            let cap = self.cap(bi);
+            out.blocks[bi] = match &self.blocks[bi] {
+                Block::Empty => {
+                    note_skipped(1);
+                    if cap == 0 { Block::Empty } else { Block::full(cap) }
+                }
+                b if b.is_full(cap) => {
+                    note_skipped(1);
+                    Block::Empty
+                }
+                Block::Run(runs) => {
+                    // Complement of maximal runs is the gaps — still runs.
+                    let mut gaps = Vec::with_capacity(runs.len() + 1);
+                    let mut next = 0u32;
+                    for &(s, e) in runs {
+                        if (s as u32) > next {
+                            gaps.push((next as u16, s - 1));
+                        }
+                        next = e as u32 + 1;
+                    }
+                    if (next as usize) < cap {
+                        gaps.push((next as u16, (cap - 1) as u16));
+                    }
+                    let gap_len: usize =
+                        gaps.iter().map(|&(s, e)| e as usize - s as usize + 1).sum();
+                    if gaps.is_empty() {
+                        Block::Empty
+                    } else if gap_len <= SPARSE_MAX {
+                        let mut v = Vec::with_capacity(gap_len);
+                        for &(s, e) in &gaps {
+                            v.extend(s..=e);
+                        }
+                        Block::Sparse(v)
+                    } else {
+                        Block::Run(gaps)
+                    }
+                }
+                b => {
+                    let mut buf = vec![0u64; BLOCK_WORDS];
+                    b.materialize(&mut buf);
+                    note_words(BLOCK_WORDS);
+                    for w in buf.iter_mut() {
+                        *w = !*w;
+                    }
+                    clear_above(&mut buf, cap);
+                    normalize(&buf, cap)
+                }
+            };
+            out.len += out.blocks[bi].len();
+        }
+        out
+    }
+
+    /// Existential quantification along one axis — see
+    /// [`BitRel::exists_axis`](super::BitRel::exists_axis). Cost is
+    /// O(len) bit visits plus inserts, not a universe-sized fold: each
+    /// set bit projects to one bit of the arity-(k−1) result.
+    pub fn exists_axis(&self, axis: usize) -> ChunkedRel {
+        assert!(axis < self.arity, "axis {axis} out of range for arity {}", self.arity);
+        let n = self.n as usize;
+        let block = n.pow((self.arity - 1 - axis) as u32);
+        let mut out = ChunkedRel::new(self.arity - 1, self.n);
+        let mut it = self.bit_indices(0, self.bits);
+        while let Some(idx) = it.next_idx() {
+            let hi = idx / (block * n);
+            let lo = idx % block;
+            out.insert_idx(hi * block + lo);
+        }
+        out
+    }
+
+    /// Universal quantification along one axis — the AND dual of
+    /// [`ChunkedRel::exists_axis`]. Counts per projected index (O(len)
+    /// for the scan); a projected tuple survives iff all `n` of its
+    /// axis-extensions are present.
+    pub fn forall_axis(&self, axis: usize) -> ChunkedRel {
+        assert!(axis < self.arity, "axis {axis} out of range for arity {}", self.arity);
+        let n = self.n as usize;
+        let block = n.pow((self.arity - 1 - axis) as u32);
+        let mut out = ChunkedRel::new(self.arity - 1, self.n);
+        if n == 0 {
+            return out;
+        }
+        // Projected indices arrive in nondecreasing order per (hi, lo)
+        // scan only when axis == 0; in general, count in a map.
+        let mut counts: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+        let mut it = self.bit_indices(0, self.bits);
+        while let Some(idx) = it.next_idx() {
+            let hi = idx / (block * n);
+            let lo = idx % block;
+            *counts.entry(hi * block + lo).or_insert(0) += 1;
+        }
+        let mut hits: Vec<usize> = counts
+            .into_iter()
+            .filter(|&(_, c)| c as usize == n)
+            .map(|(k, _)| k)
+            .collect();
+        hits.sort_unstable();
+        for idx in hits {
+            out.insert_idx(idx);
+        }
+        out
+    }
+
+    /// Reorder tuple components — see
+    /// [`BitRel::permute`](super::BitRel::permute). O(len · arity).
+    pub fn permute(&self, perm: &[usize]) -> ChunkedRel {
+        assert_eq!(perm.len(), self.arity, "permutation length != arity");
+        let mut seen = [false; crate::tuple::MAX_ARITY];
+        for &p in perm {
+            assert!(p < self.arity && !seen[p], "not a permutation of 0..{}", self.arity);
+            seen[p] = true;
+        }
+        let mut out = ChunkedRel::new(self.arity, self.n);
+        let mut items = [0 as Elem; crate::tuple::MAX_ARITY];
+        for t in self.iter() {
+            for (i, &p) in perm.iter().enumerate() {
+                items[i] = t[p];
+            }
+            out.insert(Tuple::from_slice(&items[..self.arity]));
+        }
+        out
+    }
+
+    /// Symmetric-difference cardinality, per block with fast paths.
+    pub fn hamming(&self, other: &ChunkedRel) -> usize {
+        assert_eq!(self.arity, other.arity, "arity mismatch");
+        assert_eq!(self.n, other.n, "universe mismatch");
+        let mut total = 0usize;
+        for bi in 0..self.blocks.len() {
+            let (a, b) = (&self.blocks[bi], &other.blocks[bi]);
+            total += match (a, b) {
+                (Block::Empty, x) | (x, Block::Empty) => {
+                    note_skipped(1);
+                    x.len()
+                }
+                (Block::Sparse(va), Block::Sparse(vb)) => {
+                    va.len() + vb.len() - 2 * merge_intersect(va, vb).len()
+                }
+                _ => {
+                    let mut wa = vec![0u64; BLOCK_WORDS];
+                    let mut wb = vec![0u64; BLOCK_WORDS];
+                    a.materialize(&mut wa);
+                    b.materialize(&mut wb);
+                    note_words(2 * BLOCK_WORDS);
+                    wa.iter()
+                        .zip(&wb)
+                        .map(|(&x, &y)| (x ^ y).count_ones() as usize)
+                        .sum()
+                }
+            };
+        }
+        total
+    }
+
+    /// Iterate set tuples in lexicographic (sorted) order — identical
+    /// order to the dense backend.
+    pub fn iter(&self) -> ChunkedIter<'_> {
+        ChunkedIter {
+            rel: self,
+            cursor: self.bit_indices(0, self.bits),
+        }
+    }
+
+    /// Iterate tuples whose leading components equal `prefix` (one
+    /// contiguous bit range, as on the dense backend). A prefix
+    /// component outside the universe yields nothing.
+    pub fn iter_prefix(&self, prefix: &[Elem]) -> ChunkedIter<'_> {
+        assert!(prefix.len() <= self.arity, "prefix longer than arity");
+        if prefix.iter().any(|&p| p >= self.n) {
+            return ChunkedIter {
+                rel: self,
+                cursor: self.bit_indices(0, 0),
+            };
+        }
+        let span = (self.n as usize).pow((self.arity - prefix.len()) as u32);
+        let mut base = 0usize;
+        for &p in prefix {
+            base = base * self.n as usize + p as usize;
+        }
+        ChunkedIter {
+            rel: self,
+            cursor: self.bit_indices(base * span, base * span + span),
+        }
+    }
+
+    fn bit_indices(&self, start: usize, end: usize) -> BitCursor<'_> {
+        BitCursor {
+            blocks: &self.blocks,
+            pos: start,
+            end: end.min(self.bits),
+        }
+    }
+
+    /// Rebuild from a dense word bitmap (tests / conversions).
+    pub fn from_bitrel(r: &super::BitRel) -> ChunkedRel {
+        let mut out = ChunkedRel::new(r.arity(), r.universe());
+        let words = r.words();
+        let mut len = 0usize;
+        for bi in 0..out.blocks.len() {
+            let w0 = bi * BLOCK_WORDS;
+            let w1 = (w0 + BLOCK_WORDS).min(words.len());
+            let mut buf = vec![0u64; BLOCK_WORDS];
+            buf[..w1 - w0].copy_from_slice(&words[w0..w1]);
+            let blk = normalize(&buf, out.cap(bi));
+            len += blk.len();
+            out.blocks[bi] = blk;
+        }
+        out.len = len;
+        out
+    }
+}
+
+/// Clear all bits at offsets ≥ `cap` in a block-sized buffer.
+fn clear_above(buf: &mut [u64], cap: usize) {
+    if cap >= BLOCK_BITS {
+        return;
+    }
+    let w = cap / 64;
+    if !cap.is_multiple_of(64) {
+        buf[w] &= (1u64 << (cap % 64)) - 1;
+        buf[w + 1..].fill(0);
+    } else {
+        buf[w..].fill(0);
+    }
+}
+
+/// Union of two sorted u16 vecs. The advance arithmetic is branchless
+/// (`cmov`-friendly) — a three-way `match` mispredicts on nearly every
+/// compare over random offsets, which dominated mid-density profiles.
+fn merge_union(a: &[u16], b: &[u16]) -> Vec<u16> {
+    let mut out: Vec<u16> = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    // SAFETY: k ≤ i + j ≤ capacity at every step; set_len publishes
+    // exactly the k slots written through `p`.
+    unsafe {
+        let p = out.as_mut_ptr();
+        while i < a.len() && j < b.len() {
+            let av = *a.get_unchecked(i);
+            let bv = *b.get_unchecked(j);
+            *p.add(k) = if av <= bv { av } else { bv };
+            k += 1;
+            i += (av <= bv) as usize;
+            j += (bv <= av) as usize;
+        }
+        out.set_len(k);
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Intersection of two sorted u16 vecs. Fully branchless: the
+/// candidate is stored unconditionally and the write cursor advances
+/// only on a match, so a non-match just overwrites the slot next round
+/// — no data-dependent branch to mispredict.
+fn merge_intersect(a: &[u16], b: &[u16]) -> Vec<u16> {
+    let mut out: Vec<u16> = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    // SAFETY: k counts matches, bounded by min(|a|, |b|) = capacity;
+    // set_len publishes exactly the k slots written through `p`.
+    unsafe {
+        let p = out.as_mut_ptr();
+        while i < a.len() && j < b.len() {
+            let av = *a.get_unchecked(i);
+            let bv = *b.get_unchecked(j);
+            *p.add(k) = av;
+            k += (av == bv) as usize;
+            i += (av <= bv) as usize;
+            j += (bv <= av) as usize;
+        }
+        out.set_len(k);
+    }
+    out
+}
+
+/// `a \ b` over two sorted u16 vecs, branchless (same
+/// store-then-conditionally-advance trick as [`merge_intersect`]).
+fn merge_difference(a: &[u16], b: &[u16]) -> Vec<u16> {
+    let mut out: Vec<u16> = Vec::with_capacity(a.len());
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    // SAFETY: k ≤ i ≤ |a| = capacity; set_len publishes exactly the k
+    // slots written through `p`.
+    unsafe {
+        let p = out.as_mut_ptr();
+        while i < a.len() && j < b.len() {
+            let av = *a.get_unchecked(i);
+            let bv = *b.get_unchecked(j);
+            *p.add(k) = av;
+            k += (av < bv) as usize;
+            i += (av <= bv) as usize;
+            j += (bv <= av) as usize;
+        }
+        out.set_len(k);
+    }
+    out.extend_from_slice(&a[i..]);
+    out
+}
+
+/// Scatter sorted offsets into a zeroed block bitmap.
+fn scatter(buf: &mut [u64], v: &[u16]) {
+    for &x in v {
+        buf[x as usize / 64] |= 1u64 << (x % 64);
+    }
+}
+
+/// Word-indexed membership probe against a scattered bitmap.
+#[inline]
+fn probe(buf: &[u64], x: u16) -> bool {
+    buf[x as usize / 64] >> (x % 64) & 1 == 1
+}
+
+/// Ascending set-bit cursor over a block vector.
+struct BitCursor<'a> {
+    blocks: &'a [Block],
+    /// Next candidate global bit index.
+    pos: usize,
+    /// Exclusive end.
+    end: usize,
+}
+
+impl BitCursor<'_> {
+    fn next_idx(&mut self) -> Option<usize> {
+        while self.pos < self.end {
+            let bi = self.pos / BLOCK_BITS;
+            match self.blocks[bi].next_set((self.pos % BLOCK_BITS) as u32) {
+                Some(off) => {
+                    let idx = bi * BLOCK_BITS + off as usize;
+                    if idx >= self.end {
+                        return None;
+                    }
+                    self.pos = idx + 1;
+                    return Some(idx);
+                }
+                None => self.pos = (bi + 1) * BLOCK_BITS,
+            }
+        }
+        None
+    }
+}
+
+/// Iterator over set tuples in index (= lexicographic) order.
+pub struct ChunkedIter<'a> {
+    rel: &'a ChunkedRel,
+    cursor: BitCursor<'a>,
+}
+
+impl Iterator for ChunkedIter<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        self.cursor.next_idx().map(|idx| self.rel.decode(idx))
+    }
+}
+
+impl PartialEq for ChunkedRel {
+    fn eq(&self, other: &ChunkedRel) -> bool {
+        // Semantic equality — containers are occupancy-chosen with
+        // hysteresis, so the same bit set may sit in different reprs.
+        self.arity == other.arity
+            && self.n == other.n
+            && self.len == other.len
+            && self
+                .blocks
+                .iter()
+                .zip(&other.blocks)
+                .enumerate()
+                .all(|(bi, (a, b))| block_eq(a, b, self.cap(bi)))
+    }
+}
+
+impl Eq for ChunkedRel {}
+
+fn block_eq(a: &Block, b: &Block, cap: usize) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    match (a, b) {
+        (Block::Empty, Block::Empty) => true,
+        (Block::Sparse(va), Block::Sparse(vb)) => va == vb,
+        (Block::Run(ra), Block::Run(rb)) => ra == rb,
+        (Block::Dense { words: wa, .. }, Block::Dense { words: wb, .. }) => wa == wb,
+        _ => {
+            if a.is_full(cap) && b.is_full(cap) {
+                return true;
+            }
+            let mut ba = vec![0u64; BLOCK_WORDS];
+            let mut bb = vec![0u64; BLOCK_WORDS];
+            a.materialize(&mut ba);
+            b.materialize(&mut bb);
+            ba == bb
+        }
+    }
+}
+
+impl fmt::Display for ChunkedRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::BitRel;
+    use super::*;
+
+    /// Mirrored dense/chunked pair for differential checks.
+    fn mirrored(arity: usize, n: Elem, idxs: &[usize]) -> (BitRel, ChunkedRel) {
+        let mut d = BitRel::new(arity, n);
+        let mut c = ChunkedRel::new(arity, n);
+        for &i in idxs {
+            let t = c.decode(i);
+            d.insert(t);
+            c.insert(t);
+        }
+        (d, c)
+    }
+
+    fn same(d: &BitRel, c: &ChunkedRel) {
+        assert_eq!(d.len(), c.len(), "len mismatch");
+        assert_eq!(
+            d.iter().collect::<Vec<_>>(),
+            c.iter().collect::<Vec<_>>(),
+            "tuple sets differ"
+        );
+    }
+
+    #[test]
+    fn chunked_insert_remove_promote_demote() {
+        // n=300, arity 2 → 90_000 bits → 2 blocks (one partial).
+        let mut c = ChunkedRel::new(2, 300);
+        assert_eq!(c.blocks.len(), 2);
+        assert_eq!(c.cap(1), 90_000 - BLOCK_BITS);
+        // Fill past SPARSE_MAX in block 0 to force a promotion.
+        for i in 0..(SPARSE_MAX + 10) {
+            assert!(c.insert_idx(i * 3 % BLOCK_BITS + (i / BLOCK_BITS)));
+        }
+        let dense_now = matches!(c.blocks[0], Block::Dense { .. } | Block::Run(_));
+        assert!(dense_now, "block should have left Sparse: {:?}", c.blocks[0].len());
+        let before = c.len();
+        // Remove most of them: demotes back below SPARSE_MAX/2.
+        let mut removed = 0;
+        for i in 0..(SPARSE_MAX + 10) {
+            removed += c.remove_idx(i * 3 % BLOCK_BITS + (i / BLOCK_BITS)) as usize;
+        }
+        assert_eq!(before - removed, c.len());
+        assert_eq!(c.len(), 0);
+        assert!(matches!(c.blocks[0], Block::Empty));
+    }
+
+    #[test]
+    fn chunked_block_edge_bits() {
+        // Bits exactly at 2^16-block boundaries.
+        let n = 600; // 360_000 bits, 6 blocks
+        let mut c = ChunkedRel::new(2, n);
+        let edges = [
+            0usize,
+            BLOCK_BITS - 1,
+            BLOCK_BITS,
+            BLOCK_BITS + 1,
+            2 * BLOCK_BITS - 1,
+            2 * BLOCK_BITS,
+            360_000 - 1,
+        ];
+        for &e in &edges {
+            assert!(c.insert_idx(e));
+            assert!(c.contains_idx(e));
+        }
+        assert_eq!(c.len(), edges.len());
+        let got: Vec<usize> = {
+            let mut it = c.bit_indices(0, c.bits);
+            std::iter::from_fn(move || it.next_idx()).collect()
+        };
+        assert_eq!(got, edges);
+        for &e in &edges {
+            assert!(c.remove_idx(e));
+        }
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn chunked_set_algebra_matches_dense() {
+        let n = 300; // 2 blocks, second partial
+        let idx_a: Vec<usize> = (0..5000).map(|i| (i * 17) % 90_000).collect();
+        let idx_b: Vec<usize> = (0..5000).map(|i| (i * 23 + 1) % 90_000).collect();
+        let (da, ca) = mirrored(2, n, &idx_a);
+        let (db, cb) = mirrored(2, n, &idx_b);
+        same(&da.union(&db), &ca.union(&cb));
+        same(&da.intersection(&db), &ca.intersection(&cb));
+        same(&da.difference(&db), &ca.difference(&cb));
+        same(&da.complement(), &ca.complement());
+        assert_eq!(da.hamming(&db), ca.hamming(&cb));
+        // Assign forms agree with the allocating forms.
+        let mut u = ca.clone();
+        u.union_assign(&cb);
+        assert_eq!(u, ca.union(&cb));
+    }
+
+    #[test]
+    fn chunked_full_and_empty_fast_paths() {
+        let n = 300;
+        let empty = ChunkedRel::new(2, n);
+        let full = empty.complement();
+        assert_eq!(full.len(), 90_000);
+        assert!(full.blocks.iter().enumerate().all(|(bi, b)| b.is_full(full.cap(bi))));
+        assert_eq!(full.complement(), empty);
+        let (_, some) = mirrored(2, n, &[0, 7, 65_535, 65_536, 89_999]);
+        assert_eq!(some.union(&full), full);
+        assert_eq!(some.intersection(&full), some);
+        assert_eq!(some.difference(&full), empty);
+        assert_eq!(full.difference(&some).len(), 90_000 - 5);
+        assert_eq!(some.union(&empty), some);
+        assert_eq!(some.intersection(&empty), empty);
+    }
+
+    #[test]
+    fn chunked_axis_folds_match_dense() {
+        let n = 70; // arity 3 → 343_000 bits, 6 blocks
+        let idxs: Vec<usize> = (0..4000).map(|i| (i * 97) % 343_000).collect();
+        let (d, c) = mirrored(3, n, &idxs);
+        for axis in 0..3 {
+            let de = d.exists_axis(axis);
+            let ce = c.exists_axis(axis);
+            assert_eq!(
+                de.iter().collect::<Vec<_>>(),
+                ce.iter().collect::<Vec<_>>(),
+                "exists axis {axis}"
+            );
+            assert_eq!(de.len(), ce.len());
+        }
+        // ∀ needs structured data: make two full rows.
+        let mut d2 = BitRel::new(2, 70);
+        let mut c2 = ChunkedRel::new(2, 70);
+        for y in 0..70 {
+            d2.insert(Tuple::pair(3, y));
+            c2.insert(Tuple::pair(3, y));
+        }
+        for y in 0..69 {
+            d2.insert(Tuple::pair(10, y));
+            c2.insert(Tuple::pair(10, y));
+        }
+        for axis in 0..2 {
+            assert_eq!(
+                d2.forall_axis(axis).iter().collect::<Vec<_>>(),
+                c2.forall_axis(axis).iter().collect::<Vec<_>>(),
+                "forall axis {axis}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_prefix_iteration() {
+        let n = 300;
+        let mut c = ChunkedRel::new(2, n);
+        let mut expect = Vec::new();
+        for y in [0u32, 5, 299] {
+            c.insert(Tuple::pair(220, y));
+            expect.push(Tuple::pair(220, y));
+        }
+        c.insert(Tuple::pair(219, 299));
+        c.insert(Tuple::pair(221, 0));
+        assert_eq!(c.iter_prefix(&[220]).collect::<Vec<_>>(), expect);
+        assert_eq!(c.iter_prefix(&[4]).count(), 0);
+        assert_eq!(c.iter_prefix(&[999]).count(), 0);
+        assert_eq!(c.iter_prefix(&[]).count(), 5);
+    }
+
+    #[test]
+    fn chunked_permute_and_from_bitrel() {
+        let n = 80;
+        let idxs: Vec<usize> = (0..2000).map(|i| (i * 31) % (80 * 80 * 80)).collect();
+        let (d, c) = mirrored(3, n, &idxs);
+        assert_eq!(ChunkedRel::from_bitrel(&d), c);
+        let dp = d.permute(&[2, 0, 1]);
+        let cp = c.permute(&[2, 0, 1]);
+        same(&dp, &cp);
+    }
+
+    #[test]
+    fn chunked_run_containers_round_trip() {
+        // A half-full block: dense ranges → Run container via complement
+        // of a sparse set.
+        let n = 300;
+        let (_, sparse) = mirrored(2, n, &(0..100).map(|i| i * 641).collect::<Vec<_>>());
+        let co = sparse.complement();
+        assert_eq!(co.len(), 90_000 - 100);
+        assert!(
+            co.blocks.iter().any(|b| matches!(b, Block::Run(_))),
+            "complement of sparse should produce Run containers"
+        );
+        assert_eq!(co.complement(), sparse);
+        // Runs behave under single-bit edits.
+        let mut r = co.clone();
+        let probe = 641 * 50; // a cleared bit inside run territory
+        assert!(!r.contains_idx(probe));
+        assert!(r.insert_idx(probe));
+        assert!(r.contains_idx(probe));
+        assert!(r.remove_idx(probe));
+        assert_eq!(r, co);
+    }
+
+    #[test]
+    fn chunked_zero_arity_and_tiny() {
+        let mut r = ChunkedRel::new(0, 9);
+        assert!(r.is_empty());
+        assert!(r.insert(Tuple::empty()));
+        assert!(r.contains(&Tuple::empty()));
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![Tuple::empty()]);
+        let c = r.complement();
+        assert!(c.is_empty());
+        // Tiny universe: one partial block.
+        let mut s = ChunkedRel::new(2, 5);
+        s.insert(Tuple::pair(4, 4));
+        assert_eq!(s.complement().len(), 24);
+    }
+}

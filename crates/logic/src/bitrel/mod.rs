@@ -18,6 +18,9 @@
 use crate::tuple::{Elem, Tuple};
 use std::fmt;
 
+pub mod chunked;
+pub use chunked::ChunkedRel;
+
 /// A dense bitset relation of fixed arity over universe `{0..n}`.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct BitRel {
@@ -166,63 +169,58 @@ impl BitRel {
         }
     }
 
-    fn zip_words(&self, other: &BitRel, op: impl Fn(u64, u64) -> u64) -> BitRel {
+    /// Out-of-place word combine through the tiered fused
+    /// combine-and-popcount pass (`dst = self op (other ^ fb)`): the
+    /// cardinality is counted while each result word is still in a
+    /// register — vectorized with the combine under AVX2 — instead of a
+    /// second whole-vector sweep re-reading what was just written.
+    fn zip_words(&self, other: &BitRel, and: bool, fb: u64) -> BitRel {
         assert_eq!(self.arity, other.arity, "arity mismatch");
         assert_eq!(self.n, other.n, "universe mismatch");
-        let words: Vec<u64> = self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(&a, &b)| op(a, b))
-            .collect();
-        let len = words.iter().map(|w| w.count_ones() as usize).sum();
+        let mut words = vec![0u64; self.words.len()];
+        let len = crate::simd::combine2_count(&mut words, &self.words, &other.words, and, fb);
         BitRel {
             arity: self.arity,
             n: self.n,
-            len,
+            len: len as usize,
             words,
         }
     }
 
-    fn zip_words_assign(&mut self, other: &BitRel, op: impl Fn(u64, u64) -> u64) {
+    fn zip_words_assign(&mut self, other: &BitRel, and: bool, fb: u64) {
         assert_eq!(self.arity, other.arity, "arity mismatch");
         assert_eq!(self.n, other.n, "universe mismatch");
-        let mut len = 0usize;
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            *a = op(*a, b);
-            len += a.count_ones() as usize;
-        }
-        self.len = len;
+        self.len = crate::simd::fold_count(&mut self.words, &other.words, and, fb) as usize;
     }
 
     /// Set union (word-parallel OR).
     pub fn union(&self, other: &BitRel) -> BitRel {
-        self.zip_words(other, |a, b| a | b)
+        self.zip_words(other, false, 0)
     }
 
     /// In-place union: `self ∪= other` without allocating a result.
     pub fn union_assign(&mut self, other: &BitRel) {
-        self.zip_words_assign(other, |a, b| a | b)
+        self.zip_words_assign(other, false, 0)
     }
 
     /// Set intersection (word-parallel AND).
     pub fn intersection(&self, other: &BitRel) -> BitRel {
-        self.zip_words(other, |a, b| a & b)
+        self.zip_words(other, true, 0)
     }
 
     /// In-place intersection: `self ∩= other`.
     pub fn intersection_assign(&mut self, other: &BitRel) {
-        self.zip_words_assign(other, |a, b| a & b)
+        self.zip_words_assign(other, true, 0)
     }
 
     /// Set difference (word-parallel AND-NOT).
     pub fn difference(&self, other: &BitRel) -> BitRel {
-        self.zip_words(other, |a, b| a & !b)
+        self.zip_words(other, true, !0)
     }
 
     /// In-place difference: `self ∖= other`.
     pub fn difference_assign(&mut self, other: &BitRel) {
-        self.zip_words_assign(other, |a, b| a & !b)
+        self.zip_words_assign(other, true, !0)
     }
 
     /// Complement over the full `n^arity` tuple space (word-parallel NOT
@@ -281,6 +279,7 @@ impl BitRel {
         // blocks sharing one prefix assignment.
         let block = n.pow((self.arity - 1 - axis) as u32);
         let outer = n.pow(axis as u32);
+        let mut len = 0usize;
         for hi in 0..outer {
             let dst0 = hi * block;
             let src0 = hi * block * n;
@@ -295,8 +294,13 @@ impl BitRel {
                     universal,
                 );
             }
+            // Count this span while its words are still hot in cache,
+            // instead of a cold whole-vector rescan at the end. Spans
+            // are disjoint bit ranges, so the per-span counts sum to
+            // the exact total.
+            len += popcount_span(&out.words, dst0, block);
         }
-        out.len = out.words.iter().map(|w| w.count_ones() as usize).sum();
+        out.len = len;
         out
     }
 
@@ -356,6 +360,24 @@ pub(crate) fn read_bits(src: &[u64], pos: usize) -> u64 {
         let hi = src.get(w + 1).copied().unwrap_or(0);
         (lo >> b) | (hi << (64 - b))
     }
+}
+
+/// Popcount of the bit range `words[start .. start+len)`.
+#[inline]
+pub(crate) fn popcount_span(words: &[u64], start: usize, len: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let end = start + len;
+    let (w0, w1) = (start / 64, (end - 1) / 64);
+    if w0 == w1 {
+        return (words[w0] & mask_range(start % 64, (end - 1) % 64 + 1)).count_ones() as usize;
+    }
+    let mut count = (words[w0] >> (start % 64)).count_ones() as usize;
+    for w in &words[w0 + 1..w1] {
+        count += w.count_ones() as usize;
+    }
+    count + (words[w1] & mask_range(0, (end - 1) % 64 + 1)).count_ones() as usize
 }
 
 /// A mask of bits `[a, b)` within one word (`0 ≤ a < b ≤ 64`).

@@ -96,26 +96,18 @@ pub(crate) fn combine(
     debug_assert!(!srcs.is_empty());
     debug_assert!(srcs.iter().all(|(s, _)| s.len() == dst.len()));
     let vmask = |w: usize| valid.map(|v| v[w]).unwrap_or(!0u64);
-    // Specialized unrolled passes for the common widths keep the loop
-    // body branch-free so it autovectorizes.
+    // The 1- and 2-source widths (the overwhelming majority after the
+    // compiler's connective fusion) go through the runtime-dispatched
+    // SIMD passes; wider combines keep the scalar loop, which the
+    // compiler autovectorizes.
     match srcs {
         [(a, na)] => {
             let fa = if *na { !0 } else { 0 };
-            for w in 0..dst.len() {
-                dst[w] = (a[w] ^ fa) & vmask(w);
-            }
+            crate::simd::combine1(dst, a, fa, valid);
         }
         [(a, na), (b, nb)] => {
             let (fa, fb) = (if *na { !0 } else { 0 }, if *nb { !0 } else { 0 });
-            if and {
-                for w in 0..dst.len() {
-                    dst[w] = (a[w] ^ fa) & (b[w] ^ fb) & vmask(w);
-                }
-            } else {
-                for w in 0..dst.len() {
-                    dst[w] = ((a[w] ^ fa) | (b[w] ^ fb)) & vmask(w);
-                }
-            }
+            crate::simd::combine2(dst, a, b, and, fa, fb, valid);
         }
         _ => {
             for w in 0..dst.len() {
@@ -136,11 +128,14 @@ pub(crate) fn combine(
 /// over bits that already exist.
 pub(crate) fn not(dst: &mut [u64], src: &[u64], valid: &[u64]) -> u64 {
     debug_assert_eq!(dst.len(), src.len());
-    for w in 0..dst.len() {
-        dst[w] = !src[w] & valid[w];
-    }
+    crate::simd::not_masked(dst, src, valid);
     (dst.len() * 2) as u64
 }
+
+/// Destination-tile size for the wide fold/broadcast regimes: 4096
+/// words = 32 KiB, half a typical L1d, leaving room for the streaming
+/// source lines.
+const FOLD_TILE_WORDS: usize = 1 << 12;
 
 /// Geometry of one fold/broadcast axis: position `axis` in a relation
 /// whose *wider* side has arity `k` (fold input / broadcast output).
@@ -196,21 +191,34 @@ pub(crate) fn fold(
     if g.block >= 64 {
         let bw = g.block / 64;
         let gw = g.group / 64;
+        // Cache-block the accumulate: fold all n source blocks through
+        // one destination tile before moving on, so at large blocks
+        // (arity-3 slots at n ≥ 1024, where bw alone overflows L2) the
+        // destination words stay in L1 across the whole axis instead of
+        // being evicted once per digit.
         for hi in 0..g.outer {
             let d0 = hi * bw;
             let s0 = hi * gw;
-            dst[d0..d0 + bw].copy_from_slice(&src[s0..s0 + bw]);
-            for d in 1..n {
-                let off = s0 + d * bw;
-                if and {
-                    for j in 0..bw {
-                        dst[d0 + j] &= src[off + j];
-                    }
-                } else {
-                    for j in 0..bw {
-                        dst[d0 + j] |= src[off + j];
-                    }
+            if bw <= FOLD_TILE_WORDS {
+                // Small blocks sit contiguously in the run: one blocked
+                // fold streams all n of them through register-resident
+                // accumulators (per-block dispatch would cost more than
+                // the block's own words).
+                let tile = &mut dst[d0..d0 + bw];
+                tile.copy_from_slice(&src[s0..s0 + bw]);
+                crate::simd::fold_blocks(tile, &src[s0 + bw..s0 + n * bw], and);
+                continue;
+            }
+            let mut t0 = 0;
+            while t0 < bw {
+                let tw = FOLD_TILE_WORDS.min(bw - t0);
+                let tile = &mut dst[d0 + t0..d0 + t0 + tw];
+                tile.copy_from_slice(&src[s0 + t0..s0 + t0 + tw]);
+                for d in 1..n {
+                    let off = s0 + d * bw + t0;
+                    crate::simd::fold_assign(tile, &src[off..off + tw], and);
                 }
+                t0 += tw;
             }
         }
         touched += (g.outer * gw) as u64;
@@ -327,11 +335,19 @@ pub(crate) fn broadcast(
     if g.block >= 64 {
         let bw = g.block / 64;
         let gw = g.group / 64;
+        // Tile so one source chunk stays hot in L1 across all n
+        // destination stamps, rather than re-reading a larger-than-L2
+        // source block once per digit.
         for hi in 0..g.outer {
             let s0 = hi * bw;
-            for d in 0..n {
-                dst[hi * gw + d * bw..hi * gw + (d + 1) * bw]
-                    .copy_from_slice(&src[s0..s0 + bw]);
+            let mut t0 = 0;
+            while t0 < bw {
+                let tw = FOLD_TILE_WORDS.min(bw - t0);
+                for d in 0..n {
+                    let doff = hi * gw + d * bw + t0;
+                    dst[doff..doff + tw].copy_from_slice(&src[s0 + t0..s0 + t0 + tw]);
+                }
+                t0 += tw;
             }
         }
         touched += (g.outer * n * bw) as u64;

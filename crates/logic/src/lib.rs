@@ -18,6 +18,7 @@ pub mod parallel;
 pub mod parser;
 pub mod printer;
 pub mod relation;
+pub mod simd;
 pub mod simplify;
 pub mod structure;
 pub mod subst;

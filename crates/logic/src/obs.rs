@@ -39,6 +39,15 @@ pub struct EvalObs {
     pub interp_rows: Arc<Counter>,
     /// `eval.kernel_words` — 64-bit words touched by plan kernels.
     pub kernel_words: Arc<Counter>,
+    /// `eval.simd_lanes` — u64 words that went through a ≥128-bit
+    /// vector path in [`crate::simd`] (0 when the scalar tier runs).
+    pub simd_lanes: Arc<Counter>,
+    /// `chunked.kernel_words` — 64-bit words touched by chunked-backend
+    /// container ops.
+    pub chunked_kernel_words: Arc<Counter>,
+    /// `chunked.blocks_skipped` — 2^16-bit blocks short-circuited by
+    /// Empty/Full fast paths instead of being materialized.
+    pub chunked_blocks_skipped: Arc<Counter>,
     /// `pool.jobs` — jobs submitted to [`crate::parallel::EvalPool`]s.
     pub pool_jobs: Arc<Counter>,
     /// `pool.queue_depth` — submitted-but-not-started jobs, now.
@@ -62,6 +71,9 @@ pub fn eval_obs() -> &'static EvalObs {
             plan_fallback: reg.counter("eval.plan_fallback"),
             interp_rows: reg.counter("eval.interp_rows"),
             kernel_words: reg.counter("eval.kernel_words"),
+            simd_lanes: reg.counter("eval.simd_lanes"),
+            chunked_kernel_words: reg.counter("chunked.kernel_words"),
+            chunked_blocks_skipped: reg.counter("chunked.blocks_skipped"),
             pool_jobs: reg.counter("pool.jobs"),
             pool_queue_depth: reg.gauge("pool.queue_depth"),
             pool_steal_draws: reg.counter("pool.steal_draws"),

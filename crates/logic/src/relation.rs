@@ -1,6 +1,6 @@
 //! Finite relations: sets of [`Tuple`]s of a fixed arity.
 //!
-//! Relations are the stored state of a structure. Two interchangeable
+//! Relations are the stored state of a structure. Three interchangeable
 //! backends sit behind one value type:
 //!
 //! * **Sparse** — a `BTreeSet<Tuple>`: no universe bound, memory
@@ -11,13 +11,19 @@
 //!   64 tuples per instruction, and membership is O(1). Chosen per relation
 //!   by the `arity × n` threshold [`fits_dense`] when the universe is known
 //!   (see [`Relation::with_universe`]).
+//! * **Chunked** — a [`ChunkedRel`] roaring-style hybrid bitmap: the same
+//!   base-`n` index space as Dense, split into 2^16-bit blocks stored in
+//!   occupancy-chosen containers, so sparse relations over big universes
+//!   get O(1) membership and block-skipping set algebra without paying
+//!   the full `n^arity` bitmap. Chosen when the tuple space exceeds
+//!   [`DENSE_BITS_CAP`] but fits [`CHUNKED_BITS_CAP`].
 //!
-//! Both backends iterate in lexicographic tuple order, so benchmarks,
+//! All backends iterate in lexicographic tuple order, so benchmarks,
 //! printed tables, and memorylessness checks (which compare whole
 //! structures) are deterministic and backend-independent; `PartialEq`
 //! compares tuple *sets*, never representations.
 
-use crate::bitrel::{capacity_bits, BitRel};
+use crate::bitrel::{capacity_bits, BitRel, ChunkedRel};
 use crate::tuple::{all_tuples, Elem, Tuple};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -33,10 +39,23 @@ pub fn fits_dense(arity: usize, n: Elem) -> bool {
     capacity_bits(n, arity) <= DENSE_BITS_CAP
 }
 
+/// Largest tuple-space a relation maps with the chunked hybrid backend:
+/// `n^arity` bits ≤ 2^32 (65 536 blocks of block-vec overhead, ~2 MiB
+/// even when empty; occupied blocks cost what their occupancy demands).
+/// Covers binary relations to n = 65 536 and ternary to n = 1625.
+pub const CHUNKED_BITS_CAP: u128 = 1 << 32;
+
+/// True iff an arity-`arity` relation over `{0..n}` is allowed the
+/// chunked backend under [`CHUNKED_BITS_CAP`].
+pub fn fits_chunked(arity: usize, n: Elem) -> bool {
+    capacity_bits(n, arity) <= CHUNKED_BITS_CAP
+}
+
 #[derive(Clone, Eq, PartialEq, Debug)]
 enum Repr {
     Sparse(BTreeSet<Tuple>),
     Dense(BitRel),
+    Chunked(ChunkedRel),
 }
 
 /// A finite relation of fixed arity over universe elements.
@@ -72,11 +91,25 @@ impl Relation {
         }
     }
 
+    /// The empty chunked relation of the given arity over `{0..n}`.
+    ///
+    /// # Panics
+    /// Panics if `n^arity` overflows `usize`; gate with [`fits_chunked`].
+    pub fn chunked(arity: usize, n: Elem) -> Relation {
+        Relation {
+            arity,
+            repr: Repr::Chunked(ChunkedRel::new(arity, n)),
+        }
+    }
+
     /// The empty relation of the given arity, dense over `{0..n}` when the
-    /// tuple space fits [`DENSE_BITS_CAP`], sparse otherwise.
+    /// tuple space fits [`DENSE_BITS_CAP`], chunked when it fits
+    /// [`CHUNKED_BITS_CAP`], sparse otherwise.
     pub fn with_universe(arity: usize, n: Elem) -> Relation {
         if fits_dense(arity, n) {
             Relation::dense(arity, n)
+        } else if fits_chunked(arity, n) {
+            Relation::chunked(arity, n)
         } else {
             Relation::new(arity)
         }
@@ -111,8 +144,26 @@ impl Relation {
     /// `Some(n)` iff this relation is densely mapped over `{0..n}`.
     pub fn dense_universe(&self) -> Option<Elem> {
         match &self.repr {
-            Repr::Sparse(_) => None,
+            Repr::Sparse(_) | Repr::Chunked(_) => None,
             Repr::Dense(b) => Some(b.universe()),
+        }
+    }
+
+    /// `Some(n)` iff this relation is chunked-mapped over `{0..n}`.
+    pub fn chunked_universe(&self) -> Option<Elem> {
+        match &self.repr {
+            Repr::Chunked(c) => Some(c.universe()),
+            _ => None,
+        }
+    }
+
+    /// Backend name, for benches and tables: `"sparse"`, `"dense"`, or
+    /// `"chunked"`.
+    pub fn backend_kind(&self) -> &'static str {
+        match &self.repr {
+            Repr::Sparse(_) => "sparse",
+            Repr::Dense(_) => "dense",
+            Repr::Chunked(_) => "chunked",
         }
     }
 
@@ -141,19 +192,49 @@ impl Relation {
     pub fn to_sparse(&self) -> Relation {
         match &self.repr {
             Repr::Sparse(_) => self.clone(),
-            Repr::Dense(_) => Relation {
+            _ => Relation {
                 arity: self.arity,
                 repr: Repr::Sparse(self.iter().collect()),
             },
         }
     }
 
-    /// The same tuple set on the backend of `template` (dense over the
-    /// same universe iff `template` is dense).
+    /// The same tuple set on the chunked backend over `{0..n}`.
+    ///
+    /// # Panics
+    /// Panics (in debug) if a tuple lies outside `{0..n}`, or if the
+    /// block vector would overflow `usize`.
+    pub fn to_chunked(&self, n: Elem) -> Relation {
+        match &self.repr {
+            Repr::Chunked(c) if c.universe() == n => self.clone(),
+            Repr::Dense(b) if b.universe() == n => Relation {
+                arity: self.arity,
+                repr: Repr::Chunked(ChunkedRel::from_bitrel(b)),
+            },
+            _ => {
+                let mut c = ChunkedRel::new(self.arity, n);
+                for t in self.iter() {
+                    c.insert(t);
+                }
+                Relation {
+                    arity: self.arity,
+                    repr: Repr::Chunked(c),
+                }
+            }
+        }
+    }
+
+    /// The same tuple set on the backend of `template` (dense/chunked
+    /// over the same universe iff `template` is).
     pub fn to_backend_of(&self, template: &Relation) -> Relation {
-        match template.dense_universe() {
-            Some(n) if self.dense_universe() != Some(n) => self.to_dense(n),
-            None if self.dense_universe().is_some() => self.to_sparse(),
+        match &template.repr {
+            Repr::Dense(b) if self.dense_universe() != Some(b.universe()) => {
+                self.to_dense(b.universe())
+            }
+            Repr::Chunked(c) if self.chunked_universe() != Some(c.universe()) => {
+                self.to_chunked(c.universe())
+            }
+            Repr::Sparse(_) if !matches!(self.repr, Repr::Sparse(_)) => self.to_sparse(),
             _ => self.clone(),
         }
     }
@@ -162,7 +243,7 @@ impl Relation {
     /// same-crate kernels that re-stride or scatter the bits wholesale.
     pub(crate) fn dense_bits(&self) -> Option<&[u64]> {
         match &self.repr {
-            Repr::Sparse(_) => None,
+            Repr::Sparse(_) | Repr::Chunked(_) => None,
             Repr::Dense(b) => Some(b.words()),
         }
     }
@@ -177,6 +258,7 @@ impl Relation {
         match &self.repr {
             Repr::Sparse(s) => s.len(),
             Repr::Dense(b) => b.len(),
+            Repr::Chunked(c) => c.len(),
         }
     }
 
@@ -191,6 +273,7 @@ impl Relation {
         match &self.repr {
             Repr::Sparse(s) => s.contains(t),
             Repr::Dense(b) => b.contains(t),
+            Repr::Chunked(c) => c.contains(t),
         }
     }
 
@@ -209,6 +292,7 @@ impl Relation {
         match &mut self.repr {
             Repr::Sparse(s) => s.insert(t),
             Repr::Dense(b) => b.insert(t),
+            Repr::Chunked(c) => c.insert(t),
         }
     }
 
@@ -218,6 +302,7 @@ impl Relation {
         match &mut self.repr {
             Repr::Sparse(s) => s.remove(t),
             Repr::Dense(b) => b.remove(t),
+            Repr::Chunked(c) => c.remove(t),
         }
     }
 
@@ -240,6 +325,7 @@ impl Relation {
         match &mut self.repr {
             Repr::Sparse(s) => s.clear(),
             Repr::Dense(b) => b.clear(),
+            Repr::Chunked(c) => c.clear(),
         }
     }
 
@@ -248,6 +334,7 @@ impl Relation {
         match &self.repr {
             Repr::Sparse(s) => RelIter::Sparse(s.iter()),
             Repr::Dense(b) => RelIter::Dense(b.iter()),
+            Repr::Chunked(c) => RelIter::Chunked(c.iter()),
         }
     }
 
@@ -273,6 +360,7 @@ impl Relation {
                 PrefixIter::Sparse(s.range(lo..=hi))
             }
             Repr::Dense(b) => PrefixIter::Dense(b.iter_prefix(prefix)),
+            Repr::Chunked(c) => PrefixIter::Chunked(c.iter_prefix(prefix)),
         }
     }
 
@@ -287,6 +375,10 @@ impl Relation {
                 arity: self.arity,
                 repr: Repr::Dense(b.complement()),
             },
+            Repr::Chunked(c) if c.universe() == n => Relation {
+                arity: self.arity,
+                repr: Repr::Chunked(c.complement()),
+            },
             _ => {
                 let mut out = Relation::with_universe(self.arity, n);
                 for t in all_tuples(n, self.arity) {
@@ -299,28 +391,38 @@ impl Relation {
         }
     }
 
-    /// Word-op when both sides are dense over the same universe; otherwise
-    /// merge by (sorted) iteration onto `self`'s backend.
+    /// Word-op when both sides are dense (or both chunked) over the same
+    /// universe; otherwise merge by (sorted) iteration onto `self`'s
+    /// backend.
     fn zip(
         &self,
         other: &Relation,
         word_op: impl Fn(&BitRel, &BitRel) -> BitRel,
+        chunk_op: impl Fn(&ChunkedRel, &ChunkedRel) -> ChunkedRel,
         keep: impl Fn(bool, bool) -> bool,
     ) -> Relation {
         assert_eq!(self.arity, other.arity);
-        if let (Repr::Dense(a), Repr::Dense(b)) = (&self.repr, &other.repr) {
-            if a.universe() == b.universe() {
+        match (&self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) if a.universe() == b.universe() => {
                 return Relation {
                     arity: self.arity,
                     repr: Repr::Dense(word_op(a, b)),
                 };
             }
+            (Repr::Chunked(a), Repr::Chunked(b)) if a.universe() == b.universe() => {
+                return Relation {
+                    arity: self.arity,
+                    repr: Repr::Chunked(chunk_op(a, b)),
+                };
+            }
+            _ => {}
         }
         let mut out = Relation {
             arity: self.arity,
             repr: match &self.repr {
                 Repr::Sparse(_) => Repr::Sparse(BTreeSet::new()),
                 Repr::Dense(b) => Repr::Dense(BitRel::new(self.arity, b.universe())),
+                Repr::Chunked(c) => Repr::Chunked(ChunkedRel::new(self.arity, c.universe())),
             },
         };
         for t in self.iter() {
@@ -338,17 +440,17 @@ impl Relation {
 
     /// Set union. Panics if arities differ.
     pub fn union(&self, other: &Relation) -> Relation {
-        self.zip(other, BitRel::union, |a, b| a || b)
+        self.zip(other, BitRel::union, ChunkedRel::union, |a, b| a || b)
     }
 
     /// Set intersection. Panics if arities differ.
     pub fn intersection(&self, other: &Relation) -> Relation {
-        self.zip(other, BitRel::intersection, |a, b| a && b)
+        self.zip(other, BitRel::intersection, ChunkedRel::intersection, |a, b| a && b)
     }
 
     /// Set difference. Panics if arities differ.
     pub fn difference(&self, other: &Relation) -> Relation {
-        self.zip(other, BitRel::difference, |a, b| a && !b)
+        self.zip(other, BitRel::difference, ChunkedRel::difference, |a, b| a && !b)
     }
 
     /// In-place union: `self ← self ∪ other`. Word-parallel when both
@@ -356,11 +458,16 @@ impl Relation {
     /// allocated on any backend. Panics if arities differ.
     pub fn union_assign(&mut self, other: &Relation) {
         assert_eq!(self.arity, other.arity);
-        if let (Repr::Dense(a), Repr::Dense(b)) = (&mut self.repr, &other.repr) {
-            if a.universe() == b.universe() {
+        match (&mut self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) if a.universe() == b.universe() => {
                 a.union_assign(b);
                 return;
             }
+            (Repr::Chunked(a), Repr::Chunked(b)) if a.universe() == b.universe() => {
+                a.union_assign(b);
+                return;
+            }
+            _ => {}
         }
         for t in other.iter() {
             self.insert(t);
@@ -371,11 +478,16 @@ impl Relation {
     /// differ.
     pub fn intersection_assign(&mut self, other: &Relation) {
         assert_eq!(self.arity, other.arity);
-        if let (Repr::Dense(a), Repr::Dense(b)) = (&mut self.repr, &other.repr) {
-            if a.universe() == b.universe() {
+        match (&mut self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) if a.universe() == b.universe() => {
                 a.intersection_assign(b);
                 return;
             }
+            (Repr::Chunked(a), Repr::Chunked(b)) if a.universe() == b.universe() => {
+                a.intersection_assign(b);
+                return;
+            }
+            _ => {}
         }
         let gone: Vec<Tuple> = self.iter().filter(|t| !other.contains(t)).collect();
         for t in &gone {
@@ -387,11 +499,16 @@ impl Relation {
     /// differ.
     pub fn difference_assign(&mut self, other: &Relation) {
         assert_eq!(self.arity, other.arity);
-        if let (Repr::Dense(a), Repr::Dense(b)) = (&mut self.repr, &other.repr) {
-            if a.universe() == b.universe() {
+        match (&mut self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) if a.universe() == b.universe() => {
                 a.difference_assign(b);
                 return;
             }
+            (Repr::Chunked(a), Repr::Chunked(b)) if a.universe() == b.universe() => {
+                a.difference_assign(b);
+                return;
+            }
+            _ => {}
         }
         let gone: Vec<Tuple> = self.iter().filter(|t| other.contains(t)).collect();
         for t in &gone {
@@ -406,10 +523,14 @@ impl Relation {
     /// same-universe dense pairs.
     pub fn hamming(&self, other: &Relation) -> usize {
         assert_eq!(self.arity, other.arity);
-        if let (Repr::Dense(a), Repr::Dense(b)) = (&self.repr, &other.repr) {
-            if a.universe() == b.universe() {
+        match (&self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) if a.universe() == b.universe() => {
                 return a.hamming(b);
             }
+            (Repr::Chunked(a), Repr::Chunked(b)) if a.universe() == b.universe() => {
+                return a.hamming(b);
+            }
+            _ => {}
         }
         let in_self_only = self.iter().filter(|t| !other.contains(t)).count();
         let in_other_only = other.iter().filter(|t| !self.contains(t)).count();
@@ -420,6 +541,7 @@ impl Relation {
 enum RelIter<'a> {
     Sparse(std::collections::btree_set::Iter<'a, Tuple>),
     Dense(crate::bitrel::BitRelIter<'a>),
+    Chunked(crate::bitrel::chunked::ChunkedIter<'a>),
 }
 
 impl Iterator for RelIter<'_> {
@@ -429,6 +551,7 @@ impl Iterator for RelIter<'_> {
         match self {
             RelIter::Sparse(it) => it.next().copied(),
             RelIter::Dense(it) => it.next(),
+            RelIter::Chunked(it) => it.next(),
         }
     }
 }
@@ -436,6 +559,7 @@ impl Iterator for RelIter<'_> {
 enum PrefixIter<'a> {
     Sparse(std::collections::btree_set::Range<'a, Tuple>),
     Dense(crate::bitrel::BitRelIter<'a>),
+    Chunked(crate::bitrel::chunked::ChunkedIter<'a>),
 }
 
 impl Iterator for PrefixIter<'_> {
@@ -445,6 +569,7 @@ impl Iterator for PrefixIter<'_> {
         match self {
             PrefixIter::Sparse(it) => it.next().copied(),
             PrefixIter::Dense(it) => it.next(),
+            PrefixIter::Chunked(it) => it.next(),
         }
     }
 }
@@ -456,6 +581,9 @@ impl PartialEq for Relation {
         match (&self.repr, &other.repr) {
             (Repr::Sparse(a), Repr::Sparse(b)) => self.arity == other.arity && a == b,
             (Repr::Dense(a), Repr::Dense(b)) if a.universe() == b.universe() => {
+                self.arity == other.arity && a == b
+            }
+            (Repr::Chunked(a), Repr::Chunked(b)) if a.universe() == b.universe() => {
                 self.arity == other.arity && a == b
             }
             _ => {

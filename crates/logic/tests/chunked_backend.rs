@@ -1,0 +1,462 @@
+//! Differential suite for the chunked hybrid bitmap backend: every
+//! `ChunkedRel` operation must agree with the dense `BitRel` and a
+//! sorted-set model on the same tuples — across occupancies from empty
+//! (0%) through 0.1%, 5%, 50%, and full, and across indexes straddling
+//! the 2^16-bit block boundary where container promotion, demotion, and
+//! run splitting live. The `Relation`-level checks additionally hold the
+//! three backends against each other through the public API, including
+//! mixed-backend set algebra.
+
+use dynfo_logic::bitrel::{BitRel, ChunkedRel};
+use dynfo_logic::{Elem, Relation, Tuple};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// 2^16, mirrored from the chunked layout: indexes with the same high
+/// bits share one container.
+const BLOCK_BITS: usize = 1 << 16;
+
+/// Occupancies named by the issue: empty, very sparse (Sparse/Run
+/// containers), sparse, balanced, and full (full-Run containers).
+const DENSITIES: [f64; 5] = [0.0, 0.001, 0.05, 0.5, 1.0];
+
+/// Decode a base-`n` tuple index (most-significant digit first — the
+/// shared lexicographic order of all backends).
+fn decode(mut idx: usize, k: usize, n: Elem) -> Tuple {
+    let mut items = vec![0 as Elem; k];
+    for i in (0..k).rev() {
+        items[i] = (idx % n as usize) as Elem;
+        idx /= n as usize;
+    }
+    Tuple::from_slice(&items)
+}
+
+/// Sample ~`density·n^k` distinct tuples of arity `k` over `{0..n}`.
+fn sample(k: usize, n: Elem, density: f64, seed: u64) -> Vec<Tuple> {
+    let space = (n as usize).pow(k as u32);
+    let target = ((space as f64) * density).round() as usize;
+    if target >= space {
+        return (0..space).map(|i| decode(i, k, n)).collect();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut picked = BTreeSet::new();
+    while picked.len() < target {
+        picked.insert(rng.gen_range(0..space));
+    }
+    picked.into_iter().map(|i| decode(i, k, n)).collect()
+}
+
+fn chunked_of(k: usize, n: Elem, tuples: &[Tuple]) -> ChunkedRel {
+    let mut c = ChunkedRel::new(k, n);
+    for t in tuples {
+        assert!(c.insert(*t), "fresh insert of {t} reported duplicate");
+    }
+    c
+}
+
+fn dense_of(k: usize, n: Elem, tuples: &[Tuple]) -> BitRel {
+    let mut d = BitRel::new(k, n);
+    for t in tuples {
+        d.insert(*t);
+    }
+    d
+}
+
+fn tuples_of_chunked(c: &ChunkedRel) -> Vec<Tuple> {
+    c.iter().collect()
+}
+
+fn tuples_of_dense(d: &BitRel) -> Vec<Tuple> {
+    d.iter().collect()
+}
+
+/// Hold every ChunkedRel op against BitRel on the same two tuple sets.
+fn check_pair(k: usize, n: Elem, a: &[Tuple], b: &[Tuple]) {
+    let (ca, cb) = (chunked_of(k, n, a), chunked_of(k, n, b));
+    let (da, db) = (dense_of(k, n, a), dense_of(k, n, b));
+
+    assert_eq!(ca.len(), da.len(), "len (k={k}, n={n})");
+    assert_eq!(ca.is_empty(), da.is_empty());
+    assert_eq!(tuples_of_chunked(&ca), tuples_of_dense(&da), "iter order");
+
+    // Membership: every member, plus a deterministic probe spread.
+    for t in a.iter().take(200) {
+        assert!(ca.contains(t), "missing member {t}");
+    }
+    let space = (n as usize).pow(k as u32);
+    for i in (0..space).step_by((space / 64).max(1)) {
+        let t = decode(i, k, n);
+        assert_eq!(ca.contains(&t), da.contains(&t), "contains({t})");
+    }
+
+    // Set algebra, owned and assign forms.
+    assert_eq!(
+        tuples_of_chunked(&ca.union(&cb)),
+        tuples_of_dense(&da.union(&db)),
+        "union"
+    );
+    assert_eq!(
+        tuples_of_chunked(&ca.intersection(&cb)),
+        tuples_of_dense(&da.intersection(&db)),
+        "intersection"
+    );
+    assert_eq!(
+        tuples_of_chunked(&ca.difference(&cb)),
+        tuples_of_dense(&da.difference(&db)),
+        "difference"
+    );
+    let mut cu = ca.clone();
+    cu.union_assign(&cb);
+    assert_eq!(cu.len(), da.union(&db).len(), "union_assign len");
+    let mut ci = ca.clone();
+    ci.intersection_assign(&cb);
+    assert_eq!(ci.len(), da.intersection(&db).len(), "intersection_assign len");
+    let mut cd = ca.clone();
+    cd.difference_assign(&cb);
+    assert_eq!(cd.len(), da.difference(&db).len(), "difference_assign len");
+
+    assert_eq!(
+        tuples_of_chunked(&ca.complement()),
+        tuples_of_dense(&da.complement()),
+        "complement"
+    );
+    assert_eq!(ca.hamming(&cb), da.hamming(&db), "hamming");
+
+    if k >= 2 {
+        for axis in 0..k {
+            assert_eq!(
+                tuples_of_chunked(&ca.exists_axis(axis)),
+                tuples_of_dense(&da.exists_axis(axis)),
+                "exists_axis({axis})"
+            );
+            assert_eq!(
+                tuples_of_chunked(&ca.forall_axis(axis)),
+                tuples_of_dense(&da.forall_axis(axis)),
+                "forall_axis({axis})"
+            );
+        }
+        let perm: Vec<usize> = (0..k).rev().collect();
+        assert_eq!(
+            tuples_of_chunked(&ca.permute(&perm)),
+            tuples_of_dense(&da.permute(&perm)),
+            "permute(rev)"
+        );
+    }
+
+    // Prefix scans agree element-for-element.
+    if k >= 2 {
+        for e in (0..n).step_by((n as usize / 8).max(1)) {
+            assert_eq!(
+                ca.iter_prefix(&[e]).collect::<Vec<_>>(),
+                da.iter_prefix(&[e]).collect::<Vec<_>>(),
+                "iter_prefix([{e}])"
+            );
+        }
+    }
+}
+
+/// The issue's density sweep at an in-block size (n=64: 4096 bits, one
+/// Sparse-capacity container) and at exactly one full block (n=256:
+/// 65536 bits).
+#[test]
+fn chunked_matches_dense_across_densities() {
+    for (i, &d) in DENSITIES.iter().enumerate() {
+        for (j, &e) in DENSITIES.iter().enumerate() {
+            let seed = (i * 10 + j) as u64;
+            check_pair(2, 64, &sample(2, 64, d, seed), &sample(2, 64, e, seed + 100));
+        }
+    }
+    // One exact block: promotion to Dense and full-Run detection.
+    for &d in &DENSITIES {
+        check_pair(
+            2,
+            256,
+            &sample(2, 256, d, 7),
+            &sample(2, 256, d * 0.5, 8),
+        );
+    }
+}
+
+/// n=300 arity 2 spans 90 000 bits — the second block is partial, so
+/// every op must respect the trailing-capacity mask.
+#[test]
+fn chunked_matches_dense_across_block_boundary() {
+    for &d in &[0.001, 0.05, 0.5] {
+        check_pair(2, 300, &sample(2, 300, d, 21), &sample(2, 300, d, 22));
+    }
+    // Full relation across a partial trailing block.
+    check_pair(2, 300, &sample(2, 300, 1.0, 0), &sample(2, 300, 0.05, 23));
+}
+
+/// Indexes hugging the 2^16 boundary: last bit of block 0, first of
+/// block 1, a run straddling the seam, and removals that split it.
+#[test]
+fn chunked_block_edge_bits() {
+    let k = 1usize;
+    let n = (3 * BLOCK_BITS + 17) as Elem;
+    let mut model: BTreeSet<u32> = BTreeSet::new();
+    let mut c = ChunkedRel::new(k, n);
+
+    let edges: Vec<u32> = vec![
+        0,
+        (BLOCK_BITS - 1) as u32,
+        BLOCK_BITS as u32,
+        (2 * BLOCK_BITS - 1) as u32,
+        (2 * BLOCK_BITS) as u32,
+        n - 1,
+    ];
+    for &e in &edges {
+        assert!(c.insert(Tuple::from_slice(&[e])));
+        model.insert(e);
+    }
+    // A run crossing the seam between blocks 0 and 1.
+    for e in (BLOCK_BITS - 500) as u32..(BLOCK_BITS + 500) as u32 {
+        c.insert(Tuple::from_slice(&[e]));
+        model.insert(e);
+    }
+    assert_eq!(c.len(), model.len());
+    assert_eq!(
+        tuples_of_chunked(&c),
+        model.iter().map(|&e| Tuple::from_slice(&[e])).collect::<Vec<_>>()
+    );
+
+    // Split the run by removing its middle, including the seam bits.
+    for e in (BLOCK_BITS - 100) as u32..(BLOCK_BITS + 100) as u32 {
+        assert!(c.remove(&Tuple::from_slice(&[e])));
+        model.remove(&e);
+    }
+    assert!(!c.contains(&Tuple::from_slice(&[BLOCK_BITS as u32])));
+    assert!(c.contains(&Tuple::from_slice(&[(BLOCK_BITS - 500) as u32])));
+    assert_eq!(c.len(), model.len());
+    assert_eq!(
+        tuples_of_chunked(&c),
+        model.iter().map(|&e| Tuple::from_slice(&[e])).collect::<Vec<_>>()
+    );
+
+    // Complement over the partial trailing block stays inside bounds.
+    let co = c.complement();
+    assert_eq!(co.len(), n as usize - c.len());
+    for t in co.iter() {
+        assert!(t.iter().next().unwrap() < n);
+    }
+}
+
+/// Single-bit churn through the promotion ladder: Sparse → Dense on the
+/// way up (past 4096 residents in one block), demotion on the way down,
+/// equality with the model held at every power-of-two checkpoint.
+#[test]
+fn chunked_promotion_demotion_churn() {
+    let n = (BLOCK_BITS + 1000) as Elem;
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut c = ChunkedRel::new(1, n);
+    let mut model: BTreeSet<u32> = BTreeSet::new();
+
+    let mut inserted: Vec<u32> = Vec::new();
+    for step in 0..12_000u32 {
+        let e = rng.gen_range(0..n);
+        if c.insert(Tuple::from_slice(&[e])) {
+            inserted.push(e);
+        }
+        model.insert(e);
+        if step.is_power_of_two() {
+            assert_eq!(c.len(), model.len(), "len at step {step}");
+        }
+    }
+    assert_eq!(
+        tuples_of_chunked(&c),
+        model.iter().map(|&e| Tuple::from_slice(&[e])).collect::<Vec<_>>(),
+        "post-insert snapshot"
+    );
+
+    // Remove most of what went in — crossing the demotion threshold.
+    for (i, &e) in inserted.iter().enumerate() {
+        if i % 8 != 0 {
+            assert!(c.remove(&Tuple::from_slice(&[e])), "remove {e}");
+            model.remove(&e);
+        }
+    }
+    assert_eq!(c.len(), model.len());
+    assert_eq!(
+        tuples_of_chunked(&c),
+        model.iter().map(|&e| Tuple::from_slice(&[e])).collect::<Vec<_>>(),
+        "post-remove snapshot"
+    );
+}
+
+/// Occupancy drives the container choice: near-empty blocks sit in
+/// Sparse, a fully saturated universe collapses to Run (full blocks),
+/// and mid-density random fill promotes to Dense — observable through
+/// `container_census` without poking at internals.
+#[test]
+fn container_census_tracks_occupancy() {
+    let n = (2 * BLOCK_BITS) as Elem; // two full blocks, arity 1
+
+    // A handful of bits per block: everything Sparse.
+    let mut c = ChunkedRel::new(1, n);
+    for e in [3u32, 70_000, 70_001] {
+        c.insert(Tuple::from_slice(&[e]));
+    }
+    assert_eq!(c.container_census(), [0, 2, 0, 0], "few bits → Sparse");
+
+    // Saturate: complement of empty is all-full Run blocks.
+    let full = ChunkedRel::new(1, n).complement();
+    assert_eq!(full.container_census(), [0, 0, 2, 0], "full → Run");
+    assert_eq!(full.len(), 2 * BLOCK_BITS);
+
+    // Random fill at ~25% of one block: too many bits for Sparse,
+    // too fragmented for Run — promoted to Dense; the other block
+    // stays Empty (and an op on the pair must skip it).
+    let mut half = ChunkedRel::new(1, n);
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..(BLOCK_BITS / 4) {
+        half.insert(Tuple::from_slice(&[rng.gen_range(0..BLOCK_BITS as u32)]));
+    }
+    assert_eq!(half.container_census(), [1, 0, 0, 1], "mid-density → Dense");
+    assert_eq!(
+        half.union(&half).container_census(),
+        [1, 0, 0, 1],
+        "union preserves the census shape"
+    );
+}
+
+/// Relation-level three-way differential: the same tuples held as
+/// sparse, dense, and chunked must agree through the public `Relation`
+/// API, including ops across mixed backends.
+#[test]
+fn relation_backends_agree() {
+    let (k, n) = (2usize, 300 as Elem);
+    for &d in &DENSITIES {
+        let a = sample(k, n, d, 31);
+        let b = sample(k, n, (d * 0.7).min(1.0), 32);
+
+        let mk = |tuples: &[Tuple]| {
+            let sparse = Relation::from_tuples(k, tuples.iter().cloned());
+            let dense = sparse.to_dense(n);
+            let chunked = sparse.to_chunked(n);
+            assert_eq!(chunked.backend_kind(), "chunked");
+            (sparse, dense, chunked)
+        };
+        let (sa, da, ca) = mk(&a);
+        let (sb, db, cb) = mk(&b);
+
+        assert_eq!(ca.len(), sa.len());
+        assert_eq!(ca, da, "chunked vs dense equality (density {d})");
+        assert_eq!(ca, sa, "chunked vs sparse equality (density {d})");
+        assert_eq!(
+            ca.iter().collect::<Vec<_>>(),
+            da.iter().collect::<Vec<_>>(),
+            "iter (density {d})"
+        );
+
+        // Same-backend and mixed-backend algebra all agree with sparse.
+        for (name, cc, dd) in [
+            ("union", ca.union(&cb), sa.union(&sb)),
+            ("intersection", ca.intersection(&cb), sa.intersection(&sb)),
+            ("difference", ca.difference(&cb), sa.difference(&sb)),
+            ("union mixed", ca.union(&db), sa.union(&sb)),
+            ("intersection mixed", ca.intersection(&sb), sa.intersection(&sb)),
+            ("difference mixed", da.difference(&cb), sa.difference(&sb)),
+        ] {
+            assert_eq!(cc, dd, "{name} (density {d})");
+        }
+
+        let mut cu = ca.clone();
+        cu.union_assign(&cb);
+        assert_eq!(cu, sa.union(&sb), "union_assign (density {d})");
+        let mut ci = ca.clone();
+        ci.intersection_assign(&cb);
+        assert_eq!(ci, sa.intersection(&sb), "intersection_assign (density {d})");
+        let mut cd = ca.clone();
+        cd.difference_assign(&cb);
+        assert_eq!(cd, sa.difference(&sb), "difference_assign (density {d})");
+
+        assert_eq!(ca.hamming(&cb), sa.hamming(&sb), "hamming (density {d})");
+        assert_eq!(
+            ca.complement(n),
+            da.complement(n),
+            "complement (density {d})"
+        );
+
+        // Round trips land on the requested backend with the same rows.
+        let back = ca.to_sparse().to_chunked(n).to_dense(n);
+        assert_eq!(back.backend_kind(), "dense");
+        assert_eq!(back, ca, "round trip (density {d})");
+    }
+}
+
+/// `with_universe` picks chunked between the dense and sparse caps.
+#[test]
+fn backend_selection_tiers() {
+    // 2^24 bits exactly: dense.
+    assert_eq!(Relation::with_universe(2, 4096).backend_kind(), "dense");
+    // 4097^2 > 2^24 bits but well under 2^32: chunked.
+    assert_eq!(Relation::with_universe(2, 4097).backend_kind(), "chunked");
+    assert_eq!(Relation::with_universe(3, 1024).backend_kind(), "chunked");
+    // 16^8 = 2^32 bits sits exactly on the chunked cap.
+    assert_eq!(Relation::with_universe(8, 16).backend_kind(), "chunked");
+    // 4096^3 = 2^36 bits: past both bitmap caps, sparse.
+    assert_eq!(Relation::with_universe(3, 4096).backend_kind(), "sparse");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random single-bit churn: ChunkedRel, BitRel, and the sorted-set
+    /// model stay pointwise identical through arbitrary insert/remove
+    /// interleavings, including duplicate inserts and phantom removes.
+    #[test]
+    fn chunked_random_churn_matches_dense(
+        ops in proptest::collection::vec((0u32..300, 0u32..300, proptest::bool::ANY), 1..120)
+    ) {
+        let (k, n) = (2usize, 300 as Elem);
+        let mut c = ChunkedRel::new(k, n);
+        let mut d = BitRel::new(k, n);
+        let mut model: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for &(x, y, ins) in &ops {
+            let t = Tuple::from_slice(&[x, y]);
+            if ins {
+                prop_assert_eq!(c.insert(t), d.insert(t));
+                model.insert((x, y));
+            } else {
+                prop_assert_eq!(c.remove(&t), d.remove(&t));
+                model.remove(&(x, y));
+            }
+            prop_assert_eq!(c.len(), model.len());
+        }
+        prop_assert_eq!(
+            tuples_of_chunked(&c),
+            model
+                .iter()
+                .map(|&(x, y)| Tuple::from_slice(&[x, y]))
+                .collect::<Vec<_>>()
+        );
+        prop_assert_eq!(tuples_of_chunked(&c.exists_axis(1)), tuples_of_dense(&d.exists_axis(1)));
+        prop_assert_eq!(tuples_of_chunked(&c.complement()), tuples_of_dense(&d.complement()));
+    }
+
+    /// Random pairs of sets: the full binary-op surface agrees.
+    #[test]
+    fn chunked_random_pairs_match_dense(
+        a in proptest::collection::vec(0usize..90_000, 0..400),
+        b in proptest::collection::vec(0usize..90_000, 0..400),
+    ) {
+        let (k, n) = (2usize, 300 as Elem);
+        let a: BTreeSet<usize> = a.into_iter().collect();
+        let b: BTreeSet<usize> = b.into_iter().collect();
+        let ta: Vec<Tuple> = a.iter().map(|&i| decode(i, k, n)).collect();
+        let tb: Vec<Tuple> = b.iter().map(|&i| decode(i, k, n)).collect();
+        let (ca, cb) = (chunked_of(k, n, &ta), chunked_of(k, n, &tb));
+        let (da, db) = (dense_of(k, n, &ta), dense_of(k, n, &tb));
+        prop_assert_eq!(tuples_of_chunked(&ca.union(&cb)), tuples_of_dense(&da.union(&db)));
+        prop_assert_eq!(
+            tuples_of_chunked(&ca.intersection(&cb)),
+            tuples_of_dense(&da.intersection(&db))
+        );
+        prop_assert_eq!(
+            tuples_of_chunked(&ca.difference(&cb)),
+            tuples_of_dense(&da.difference(&db))
+        );
+        prop_assert_eq!(ca.hamming(&cb), da.hamming(&db));
+    }
+}

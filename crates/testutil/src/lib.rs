@@ -65,6 +65,10 @@ pub enum DiffMode {
     /// Plans, applying requests through `apply_batch` in chunks of
     /// this size; state is compared at chunk boundaries only.
     Batch(usize),
+    /// Auxiliary state held on the chunked hybrid bitmap backend
+    /// (`with_chunked_state`); plans bail against it, so every rule
+    /// interprets through the chunked relation ops.
+    Chunked,
 }
 
 impl DiffMode {
@@ -73,6 +77,7 @@ impl DiffMode {
             DiffMode::Interp => DynFoMachine::new(program(), n).with_use_plans(false),
             DiffMode::Plans | DiffMode::Batch(_) => DynFoMachine::new(program(), n),
             DiffMode::Parallel(t) => DynFoMachine::new(program(), n).with_parallelism(t),
+            DiffMode::Chunked => DynFoMachine::new(program(), n).with_chunked_state(),
         }
     }
 }
