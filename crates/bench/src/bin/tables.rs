@@ -1,10 +1,12 @@
-//! Regenerates every experiment table (E01–E16, E20–E22) from
+//! Regenerates every experiment table (E01–E16, E20–E23) from
 //! `DESIGN.md` / `EXPERIMENTS.md`.
 //!
 //! Run with: `cargo run --release -p dynfo-bench --bin tables`
 //!
 //! `--json` additionally writes the E22 rows to `BENCH_E22.json`
-//! (`{op, n, backend, ns_per_op, kernel_words}` records) for CI trend
+//! (`{op, n, backend, ns_per_op, kernel_words}` records) and the E23
+//! rows to `BENCH_E23.json` (`{setup, endpoints, readers, read_rps,
+//! read_p99_us, write_rps, overloaded}` records) for CI trend
 //! tracking; remaining args filter sections by substring.
 //!
 //! Times are microseconds per operation. Absolute numbers are
@@ -26,7 +28,8 @@ fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
-/// Whether `--json` was passed: E22 also writes `BENCH_E22.json`.
+/// Whether `--json` was passed: E22 and E23 also write
+/// `BENCH_E22.json` / `BENCH_E23.json`.
 static EMIT_JSON: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 fn main() {
@@ -40,7 +43,7 @@ fn main() {
     }
     let run = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
     println!("Dyn-FO experiment tables (microseconds unless noted)");
-    let sections: [(&str, fn()); 19] = [
+    let sections: [(&str, fn()); 20] = [
         ("e01", e01_parity),
         ("e02", e02_reach_u),
         ("e03", e03_reach_acyclic),
@@ -60,6 +63,7 @@ fn main() {
         ("e20", e20_compiled),
         ("e21", e21_observability),
         ("e22", e22_simd_chunked),
+        ("e23", e23_serving_tier),
     ];
     for (name, section) in sections {
         if run(name) {
@@ -1153,5 +1157,175 @@ fn e22_simd_chunked() {
         out.push_str("]\n");
         std::fs::write("BENCH_E22.json", &out).expect("write BENCH_E22.json");
         println!("wrote BENCH_E22.json ({} rows)", rows.len());
+    }
+}
+
+/// One E23 measurement, also emitted to `BENCH_E23.json` under `--json`.
+struct E23Row {
+    setup: &'static str,
+    endpoints: usize,
+    readers: usize,
+    read_rps: f64,
+    read_p99_us: f64,
+    write_rps: f64,
+    overloaded: u64,
+}
+
+/// E23 — the networked serving tier: read-heavy throughput, primary
+/// only vs primary + two log-shipping read replicas.
+///
+/// The workload is 6 closed-loop reader connections plus 1 writer
+/// driving REACH_u edge churn with every write fsynced
+/// (`group_commit=1`). On the primary alone, all queries serialize
+/// against the fsync-holding writes on the one session lock; with two
+/// replicas the same readers spread across three endpoints, each with
+/// its own session copy, so aggregate read throughput must *rise* —
+/// that scaling, with tail latency, is the claim this table checks.
+fn e23_serving_tier() {
+    use dynfo_net::loadgen::{run, LoadConfig};
+    use dynfo_net::{AdmissionConfig, ProgramRegistry, Replica, ReplicaConfig, Server, ServerConfig};
+    use dynfo_obs::ObsHandle;
+    use dynfo_serve::{scratch_dir, SessionStore, StoreConfig};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const SESSION: &str = "e23";
+    const PROGRAM: &str = "reach_u";
+    const N: u32 = 64;
+    const READERS: usize = 6;
+
+    header("E23 serving tier: read-heavy req/s, primary vs +2 replicas");
+    row(["setup", "endpoints", "readers", "read req/s", "read p99 us", "write req/s", "shed"]
+        .map(String::from).as_ref());
+
+    let dir = scratch_dir("bench-e23");
+    let registry = Arc::new(ProgramRegistry::standard());
+    let primary_handle = ObsHandle::with_registry(Arc::new(dynfo_obs::Registry::new()));
+    let primary_store = Arc::new(
+        SessionStore::open_with_obs(dir.join("primary"), StoreConfig::default(), primary_handle.clone())
+            .expect("open primary store"),
+    );
+    // Admission stays wide open for the experiment: this measures read
+    // scaling with the writer *contending* (each write holds the
+    // session lock through its fsync — the very tail replicas remove).
+    // When the full tables run precedes this section, prior experiments
+    // leave the page cache dirty enough that real fsync p99 crosses the
+    // production 50 ms default, and shedding every write would delete
+    // the contention being measured. The shed path itself is pinned
+    // deterministically by the backpressure test suite.
+    let primary = Server::start(
+        "127.0.0.1:0",
+        Arc::clone(&primary_store),
+        Arc::clone(&registry),
+        ServerConfig {
+            admission: AdmissionConfig {
+                max_inflight_writes: i64::MAX,
+                max_pool_queue_depth: i64::MAX,
+                max_fsync_p99_ns: u64::MAX,
+            },
+            ..ServerConfig::default()
+        },
+        primary_handle,
+    )
+    .expect("start primary");
+    let primary_addr = primary.addr().to_string();
+
+    let mut rows: Vec<E23Row> = Vec::new();
+    let mut scenario = |setup: &'static str, read_addrs: Vec<String>| {
+        let report = run(&LoadConfig {
+            read_addrs: read_addrs.clone(),
+            write_addr: primary_addr.clone(),
+            session: SESSION.to_string(),
+            program: PROGRAM.to_string(),
+            n: N,
+            readers: READERS,
+            writers: 1,
+            duration: Duration::from_secs(2),
+        })
+        .expect("loadgen run");
+        assert_eq!(report.errors, 0, "serving tier returned hard errors");
+        row(&[
+            setup.to_string(),
+            read_addrs.len().to_string(),
+            READERS.to_string(),
+            format!("{:.0}", report.read_rps),
+            format!("{:.1}", report.read_p99_ns as f64 / 1e3),
+            format!("{:.0}", report.write_rps),
+            report.overloaded.to_string(),
+        ]);
+        rows.push(E23Row {
+            setup,
+            endpoints: read_addrs.len(),
+            readers: READERS,
+            read_rps: report.read_rps,
+            read_p99_us: report.read_p99_ns as f64 / 1e3,
+            write_rps: report.write_rps,
+            overloaded: report.overloaded,
+        });
+    };
+
+    scenario("primary-only", vec![primary_addr.clone()]);
+
+    // Bring up two followers, let them catch up, then spread the same
+    // reader pool across all three endpoints.
+    let replicas: Vec<Replica> = (0..2)
+        .map(|i| {
+            let handle = ObsHandle::with_registry(Arc::new(dynfo_obs::Registry::new()));
+            let store = Arc::new(
+                SessionStore::open_with_obs(
+                    dir.join(format!("replica{i}")),
+                    StoreConfig::default(),
+                    handle.clone(),
+                )
+                .expect("open replica store"),
+            );
+            Replica::start(
+                "127.0.0.1:0",
+                &primary_addr,
+                store,
+                Arc::clone(&registry),
+                SESSION,
+                PROGRAM,
+                N,
+                ReplicaConfig::default(),
+                handle,
+            )
+            .expect("start replica")
+        })
+        .collect();
+    let primary_seq = primary_store.get(SESSION).expect("session").seq();
+    for r in &replicas {
+        while r.seq() < primary_seq {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    let mut addrs = vec![primary_addr.clone()];
+    addrs.extend(replicas.iter().map(|r| r.addr().to_string()));
+    scenario("primary+2-replicas", addrs);
+
+    for r in replicas {
+        r.shutdown().expect("replica shutdown");
+    }
+    primary.shutdown().expect("primary shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if EMIT_JSON.load(std::sync::atomic::Ordering::Relaxed) {
+        let mut out = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"setup\": \"{}\", \"endpoints\": {}, \"readers\": {}, \"read_rps\": {:.0}, \"read_p99_us\": {:.1}, \"write_rps\": {:.0}, \"overloaded\": {}}}{}\n",
+                r.setup,
+                r.endpoints,
+                r.readers,
+                r.read_rps,
+                r.read_p99_us,
+                r.write_rps,
+                r.overloaded,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write("BENCH_E23.json", &out).expect("write BENCH_E23.json");
+        println!("wrote BENCH_E23.json ({} rows)", rows.len());
     }
 }

@@ -1,0 +1,211 @@
+//! Admission control: decide, *before* a write touches the session
+//! lock or the journal, whether the server is healthy enough to take
+//! it — and shed with a typed `Overloaded` response when it is not.
+//!
+//! Three signals gate a write, all already maintained by the layers
+//! below (this module adds no bookkeeping to the hot path):
+//!
+//! * the server's own in-flight write count (a hard cap, tracked here
+//!   with a plain atomic so it works even with `obs` compiled out);
+//! * the `pool.queue_depth` gauge — update rules queued on the
+//!   [`EvalPool`] but not started; a deep queue means the evaluator is
+//!   saturated and more writes only grow latency;
+//! * the p99 of `serve.journal.fsync_ns` — when the disk falls behind,
+//!   every write holds the session lock for the fsync, and shedding is
+//!   kinder than queueing.
+//!
+//! Reads are never shed: the whole point of the replica tier is that
+//! query capacity scales out, and a query costs no fsync.
+//!
+//! [`EvalPool`]: dynfo_logic::parallel::EvalPool
+
+use dynfo_obs::{Gauge, Histogram, ObsHandle};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// Thresholds for [`Admission`]. `i64::MAX` / `u64::MAX` disable a
+/// signal.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Hard cap on writes admitted and not yet completed.
+    pub max_inflight_writes: i64,
+    /// Shed writes while `pool.queue_depth` exceeds this.
+    pub max_pool_queue_depth: i64,
+    /// Shed writes while the journal fsync p99 exceeds this (ns).
+    pub max_fsync_p99_ns: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            max_inflight_writes: 256,
+            max_pool_queue_depth: 4096,
+            max_fsync_p99_ns: 50_000_000, // 50 ms: the disk is drowning
+        }
+    }
+}
+
+/// The admission controller one server owns.
+pub struct Admission {
+    config: AdmissionConfig,
+    /// Writes admitted and not yet finished. A plain atomic, not a
+    /// gauge: the cap must hold even in `--no-default-features` builds
+    /// where gauge recording compiles away.
+    inflight: AtomicI64,
+    /// Exporter mirror of `inflight` (`net.server.inflight_writes`).
+    inflight_gauge: Arc<Gauge>,
+    /// Live queue depth of the evaluation pool (`pool.queue_depth`),
+    /// resolved from the same registry the pool records to.
+    pool_queue_depth: Arc<Gauge>,
+    /// Journal fsync latency (`serve.journal.fsync_ns`), resolved from
+    /// the same registry the store's journal writers record to.
+    fsync_ns: Arc<Histogram>,
+}
+
+/// Why a write was shed (the `Overloaded` detail string).
+pub(crate) enum Overload {
+    Inflight(i64),
+    QueueDepth(i64),
+    FsyncP99(u64),
+}
+
+impl Overload {
+    pub fn detail(&self, config: &AdmissionConfig) -> String {
+        match self {
+            Overload::Inflight(v) => format!(
+                "{v} writes in flight (limit {})",
+                config.max_inflight_writes
+            ),
+            Overload::QueueDepth(v) => format!(
+                "eval pool queue depth {v} (limit {})",
+                config.max_pool_queue_depth
+            ),
+            Overload::FsyncP99(v) => format!(
+                "journal fsync p99 {v}ns (limit {}ns)",
+                config.max_fsync_p99_ns
+            ),
+        }
+    }
+}
+
+impl Admission {
+    /// Build a controller reading its gauges from `handle`'s registry —
+    /// the same handle the store and its pools were opened with, so the
+    /// signals are the server's own, not another tenant's.
+    pub fn new(config: AdmissionConfig, handle: &ObsHandle) -> Admission {
+        Admission {
+            config,
+            inflight: AtomicI64::new(0),
+            inflight_gauge: handle.gauge("net.server.inflight_writes"),
+            pool_queue_depth: handle.gauge("pool.queue_depth"),
+            fsync_ns: handle.histogram("serve.journal.fsync_ns"),
+        }
+    }
+
+    /// The active thresholds.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Writes currently in flight.
+    pub fn inflight(&self) -> i64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Admit one write or say why not. On success the returned permit
+    /// holds an in-flight slot until dropped.
+    pub(crate) fn try_admit(&self) -> Result<WritePermit<'_>, Overload> {
+        let depth = self.pool_queue_depth.get();
+        if depth > self.config.max_pool_queue_depth {
+            return Err(Overload::QueueDepth(depth));
+        }
+        if self.fsync_ns.count() >= 16 {
+            // Don't judge the disk on one cold write.
+            let p99 = self.fsync_ns.p99();
+            if p99 > self.config.max_fsync_p99_ns {
+                return Err(Overload::FsyncP99(p99));
+            }
+        }
+        let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.config.max_inflight_writes {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            return Err(Overload::Inflight(prev));
+        }
+        self.inflight_gauge.set(prev + 1);
+        Ok(WritePermit { admission: self })
+    }
+}
+
+/// An admitted write's in-flight slot; dropping it frees the slot.
+pub(crate) struct WritePermit<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for WritePermit<'_> {
+    fn drop(&mut self) {
+        let now = self.admission.inflight.fetch_sub(1, Ordering::AcqRel) - 1;
+        self.admission.inflight_gauge.set(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inflight_cap_is_a_hard_wall() {
+        let handle = ObsHandle::with_registry(Arc::new(dynfo_obs::Registry::new()));
+        let adm = Admission::new(
+            AdmissionConfig {
+                max_inflight_writes: 2,
+                ..AdmissionConfig::default()
+            },
+            &handle,
+        );
+        let a = adm.try_admit().ok().unwrap();
+        let _b = adm.try_admit().ok().unwrap();
+        assert!(adm.try_admit().is_err(), "third write over the cap");
+        assert_eq!(adm.inflight(), 2);
+        drop(a);
+        assert!(adm.try_admit().is_ok(), "slot freed on drop");
+    }
+
+    #[test]
+    fn pool_queue_depth_gauge_sheds() {
+        let reg = Arc::new(dynfo_obs::Registry::new());
+        let handle = ObsHandle::with_registry(Arc::clone(&reg));
+        let adm = Admission::new(
+            AdmissionConfig {
+                max_pool_queue_depth: 10,
+                ..AdmissionConfig::default()
+            },
+            &handle,
+        );
+        assert!(adm.try_admit().is_ok());
+        reg.gauge("pool.queue_depth").set(11);
+        let err = adm.try_admit().err().unwrap();
+        assert!(err.detail(adm.config()).contains("queue depth 11"));
+        reg.gauge("pool.queue_depth").set(0);
+        assert!(adm.try_admit().is_ok());
+    }
+
+    #[test]
+    fn slow_fsyncs_shed_after_warmup() {
+        let reg = Arc::new(dynfo_obs::Registry::new());
+        let handle = ObsHandle::with_registry(Arc::clone(&reg));
+        let adm = Admission::new(
+            AdmissionConfig {
+                max_fsync_p99_ns: 1_000,
+                ..AdmissionConfig::default()
+            },
+            &handle,
+        );
+        let h = reg.histogram("serve.journal.fsync_ns");
+        for _ in 0..15 {
+            h.observe(1 << 20); // over the limit, but below warmup count
+        }
+        assert!(adm.try_admit().is_ok(), "not judged before 16 samples");
+        h.observe(1 << 20);
+        assert!(adm.try_admit().is_err(), "p99 over limit sheds");
+    }
+}

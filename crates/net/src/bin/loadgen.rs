@@ -1,0 +1,184 @@
+//! Drive a running dynfo server (and optionally its replicas) with a
+//! closed-loop read/write mix and print throughput and latency.
+//!
+//! ```text
+//! loadgen --write-addr 127.0.0.1:7070 \
+//!         --read-addr 127.0.0.1:7070 --read-addr 127.0.0.1:7071 \
+//!         --readers 8 --writers 1 --secs 5 \
+//!         --session load --program reach_u --n 64
+//! ```
+//!
+//! `loadgen --smoke` boots a primary and one replica in-process on
+//! ephemeral ports, drives them briefly, and exits non-zero unless the
+//! run served requests with zero decode errors and the replica caught
+//! up — the CI smoke test for the whole serving tier.
+
+use dynfo_net::loadgen::{run, LoadConfig};
+use dynfo_net::{ProgramRegistry, Replica, ReplicaConfig, Server, ServerConfig};
+use dynfo_obs::ObsHandle;
+use dynfo_serve::{SessionStore, StoreConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen --write-addr A [--read-addr A]... [--readers N] [--writers N] \
+         [--secs S] [--session NAME] [--program NAME] [--n N] | --smoke"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut config = LoadConfig::default();
+    let mut smoke = false;
+    while let Some(arg) = args.next() {
+        let mut take = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--write-addr" => config.write_addr = take(),
+            "--read-addr" => config.read_addrs.push(take()),
+            "--readers" => config.readers = take().parse().unwrap_or_else(|_| usage()),
+            "--writers" => config.writers = take().parse().unwrap_or_else(|_| usage()),
+            "--secs" => {
+                config.duration =
+                    Duration::from_secs_f64(take().parse().unwrap_or_else(|_| usage()))
+            }
+            "--session" => config.session = take(),
+            "--program" => config.program = take(),
+            "--n" => config.n = take().parse().unwrap_or_else(|_| usage()),
+            "--smoke" => smoke = true,
+            _ => usage(),
+        }
+    }
+
+    if smoke {
+        run_smoke();
+        return;
+    }
+    if config.write_addr.is_empty() {
+        usage();
+    }
+    if config.read_addrs.is_empty() {
+        config.read_addrs.push(config.write_addr.clone());
+    }
+    match run(&config) {
+        Ok(report) => {
+            println!(
+                "reads  {:>10}  ({:>10.0} req/s)  p50 {:>9}ns  p99 {:>9}ns",
+                report.reads, report.read_rps, report.read_p50_ns, report.read_p99_ns
+            );
+            println!(
+                "writes {:>10}  ({:>10.0} req/s)  p99 {:>9}ns  overloaded {}",
+                report.writes, report.write_rps, report.write_p99_ns, report.overloaded
+            );
+            if report.errors > 0 {
+                eprintln!("loadgen: {} non-backpressure errors", report.errors);
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Boot primary + one replica in-process and verify the tier end to
+/// end: non-zero request throughput, zero decode errors, replica
+/// caught up with the primary.
+fn run_smoke() {
+    let dir = std::env::temp_dir().join(format!("dynfo-loadgen-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let primary_handle = ObsHandle::with_registry(Arc::new(dynfo_obs::Registry::new()));
+    let replica_handle = ObsHandle::with_registry(Arc::new(dynfo_obs::Registry::new()));
+    let registry = Arc::new(ProgramRegistry::standard());
+
+    let primary_store = Arc::new(
+        SessionStore::open_with_obs(
+            dir.join("primary"),
+            StoreConfig::default(),
+            primary_handle.clone(),
+        )
+        .expect("open primary store"),
+    );
+    let primary = Server::start(
+        "127.0.0.1:0",
+        Arc::clone(&primary_store),
+        Arc::clone(&registry),
+        ServerConfig::default(),
+        primary_handle.clone(),
+    )
+    .expect("start primary");
+    let primary_addr = primary.addr().to_string();
+
+    let replica_store = Arc::new(
+        SessionStore::open_with_obs(
+            dir.join("replica"),
+            StoreConfig::default(),
+            replica_handle.clone(),
+        )
+        .expect("open replica store"),
+    );
+    let replica = Replica::start(
+        "127.0.0.1:0",
+        &primary_addr,
+        replica_store,
+        Arc::clone(&registry),
+        "smoke",
+        "reach_u",
+        64,
+        ReplicaConfig::default(),
+        replica_handle.clone(),
+    )
+    .expect("start replica");
+    let replica_addr = replica.addr().to_string();
+
+    let report = run(&LoadConfig {
+        read_addrs: vec![primary_addr.clone(), replica_addr],
+        write_addr: primary_addr,
+        session: "smoke".to_string(),
+        program: "reach_u".to_string(),
+        n: 64,
+        readers: 4,
+        writers: 1,
+        duration: Duration::from_millis(1500),
+    })
+    .expect("loadgen run");
+
+    // Let the replica drain the tail, then compare positions.
+    let primary_seq = primary_store.get("smoke").expect("session").seq();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while replica.seq() < primary_seq && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let replica_seq = replica.seq();
+
+    let decode_errors = primary_handle
+        .registry()
+        .expect("registry")
+        .counter("net.server.decode_errors")
+        .get();
+
+    println!(
+        "smoke: reads={} ({:.0}/s) writes={} ({:.0}/s) overloaded={} errors={} \
+         decode_errors={decode_errors} primary_seq={primary_seq} replica_seq={replica_seq}",
+        report.reads, report.read_rps, report.writes, report.write_rps,
+        report.overloaded, report.errors
+    );
+
+    replica.shutdown().expect("replica shutdown");
+    primary.shutdown().expect("primary shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let ok = report.reads > 0
+        && report.writes > 0
+        && report.errors == 0
+        && decode_errors == 0
+        && replica_seq >= primary_seq;
+    if !ok {
+        eprintln!("loadgen --smoke FAILED");
+        std::process::exit(1);
+    }
+    println!("loadgen --smoke OK");
+}

@@ -1,0 +1,158 @@
+//! A blocking wire client: one TCP connection, strict
+//! request/response. This is the client the replica puller, the load
+//! generator, and the examples all share — and the reference
+//! implementation of the protocol's client side.
+
+use crate::error::NetError;
+use crate::proto::{
+    read_hello, read_message, write_hello, write_message, Message, WIRE_VERSION,
+};
+use dynfo_core::Request;
+use dynfo_logic::Elem;
+use dynfo_serve::JournalEntry;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A connected client speaking wire version [`WIRE_VERSION`].
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` and complete the handshake.
+    pub fn connect(addr: &str) -> Result<Client, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Client::handshake(stream)
+    }
+
+    /// Like [`Client::connect`] with a connect timeout (used by the
+    /// replica puller so a dead primary doesn't wedge the poll loop).
+    pub fn connect_timeout(addr: &str, timeout: Duration) -> Result<Client, NetError> {
+        let sockaddr = addr
+            .parse()
+            .map_err(|e| NetError::Protocol(format!("bad address {addr:?}: {e}")))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, timeout)?;
+        stream.set_nodelay(true)?;
+        Client::handshake(stream)
+    }
+
+    fn handshake(mut stream: TcpStream) -> Result<Client, NetError> {
+        write_hello(&mut stream)?;
+        let version = read_hello(&mut stream)?;
+        if version != WIRE_VERSION {
+            return Err(NetError::Protocol(format!(
+                "server speaks wire version {version}, this client speaks {WIRE_VERSION}"
+            )));
+        }
+        Ok(Client { stream })
+    }
+
+    /// One request/response round trip.
+    fn call(&mut self, msg: &Message) -> Result<Message, NetError> {
+        write_message(&mut self.stream, msg)?;
+        match read_message(&mut self.stream)? {
+            Some(reply) => Ok(reply),
+            None => Err(NetError::Protocol(
+                "server closed the connection mid-call".to_string(),
+            )),
+        }
+    }
+
+    /// Turn a typed `Err` frame into a [`NetError::Remote`]; anything
+    /// unexpected into a protocol error.
+    fn expect(reply: Message, want: &str) -> Result<Message, NetError> {
+        match reply {
+            Message::Err { code, detail } => Err(NetError::Remote { code, detail }),
+            other if other.kind_name() == want => Ok(other),
+            other => Err(NetError::Protocol(format!(
+                "expected {want}, server sent {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
+    /// Bind this connection to session `name` running `program` over a
+    /// universe of size `n` (opening or recovering it server-side).
+    /// Returns the session's current sequence number.
+    pub fn open(&mut self, name: &str, program: &str, n: Elem) -> Result<u64, NetError> {
+        let reply = self.call(&Message::Open {
+            session: name.to_string(),
+            program: program.to_string(),
+            n,
+        })?;
+        match Client::expect(reply, "Ok")? {
+            Message::Ok { seq } => Ok(seq),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Apply one update through the bound session. Returns the new
+    /// durable sequence number.
+    pub fn apply(&mut self, req: Request) -> Result<u64, NetError> {
+        let reply = self.call(&Message::Apply(req))?;
+        match Client::expect(reply, "Ok")? {
+            Message::Ok { seq } => Ok(seq),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Apply a batch of updates atomically with respect to durability.
+    pub fn apply_batch(&mut self, reqs: Vec<Request>) -> Result<u64, NetError> {
+        let reply = self.call(&Message::ApplyBatch(reqs))?;
+        match Client::expect(reply, "Ok")? {
+            Message::Ok { seq } => Ok(seq),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Evaluate the bound session's designated query relation.
+    pub fn query(&mut self) -> Result<bool, NetError> {
+        self.query_named("", &[])
+    }
+
+    /// Evaluate relation `name` at `args` (empty name = the program's
+    /// designated query).
+    pub fn query_named(&mut self, name: &str, args: &[Elem]) -> Result<bool, NetError> {
+        let reply = self.call(&Message::Query {
+            name: name.to_string(),
+            args: args.to_vec(),
+        })?;
+        match Client::expect(reply, "Answer")? {
+            Message::Answer { value } => Ok(value),
+            _ => unreachable!(),
+        }
+    }
+
+    /// The server's metrics in Prometheus text format.
+    pub fn metrics(&mut self) -> Result<String, NetError> {
+        let reply = self.call(&Message::Metrics)?;
+        match Client::expect(reply, "MetricsText")? {
+            Message::MetricsText { text } => Ok(text),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Fetch up to `max` durable journal entries with sequence numbers
+    /// after `after_seq`, plus the primary's current sequence number.
+    pub fn fetch_log(
+        &mut self,
+        after_seq: u64,
+        max: u32,
+    ) -> Result<(u64, Vec<JournalEntry>), NetError> {
+        let reply = self.call(&Message::FetchLog { after_seq, max })?;
+        match Client::expect(reply, "LogChunk")? {
+            Message::LogChunk {
+                primary_seq,
+                entries,
+            } => Ok((primary_seq, entries)),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        let reply = self.call(&Message::Ping)?;
+        Client::expect(reply, "Pong").map(|_| ())
+    }
+}

@@ -1,0 +1,92 @@
+//! The network tier's error type.
+
+use crate::proto::ErrorCode;
+use dynfo_serve::DecodeError;
+use std::fmt;
+
+/// Anything that can go wrong speaking the wire protocol.
+#[derive(Debug)]
+pub enum NetError {
+    /// A socket operation failed (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// A payload failed to decode field by field.
+    Decode(DecodeError),
+    /// Frame-level damage: bad magic, oversized length prefix, CRC
+    /// mismatch, unknown message kind. The connection is dead.
+    Corrupt(String),
+    /// The peer answered with a typed error frame. `Overloaded` lands
+    /// here — check [`NetError::is_overloaded`] before treating it as
+    /// failure: it is the backpressure signal, and the request may be
+    /// retried later.
+    Remote {
+        /// The typed error code from the wire.
+        code: ErrorCode,
+        /// Human-readable detail from the peer.
+        detail: String,
+    },
+    /// The peer sent a well-formed message that makes no sense here
+    /// (wrong direction, answer to a question never asked).
+    Protocol(String),
+    /// The local serving layer failed (journal, snapshot, recovery) —
+    /// only produced server-side, during shutdown drains and replica
+    /// bootstrap.
+    Serve(dynfo_serve::ServeError),
+}
+
+impl NetError {
+    /// True iff this is the peer's typed backpressure response —
+    /// shed load, not a broken connection or a bug.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(
+            self,
+            NetError::Remote {
+                code: ErrorCode::Overloaded,
+                ..
+            }
+        )
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "I/O error: {e}"),
+            NetError::Decode(e) => write!(f, "payload decode error: {e}"),
+            NetError::Corrupt(why) => write!(f, "corrupt frame: {why}"),
+            NetError::Remote { code, detail } => {
+                write!(f, "remote error [{}]: {detail}", code.as_str())
+            }
+            NetError::Protocol(why) => write!(f, "protocol violation: {why}"),
+            NetError::Serve(e) => write!(f, "serving layer error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Decode(e) => Some(e),
+            NetError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+impl From<DecodeError> for NetError {
+    fn from(e: DecodeError) -> NetError {
+        NetError::Decode(e)
+    }
+}
+
+impl From<dynfo_serve::ServeError> for NetError {
+    fn from(e: dynfo_serve::ServeError) -> NetError {
+        NetError::Serve(e)
+    }
+}

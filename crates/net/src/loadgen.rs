@@ -1,0 +1,213 @@
+//! A closed-loop load generator for the serving tier: N reader
+//! connections spread round-robin across a set of endpoints (primary +
+//! replicas) and M writer connections pinned to the primary, each
+//! issuing back-to-back requests for a fixed wall-clock duration.
+//! Latencies land in private-registry histograms so a loadgen run
+//! never pollutes the server's own metrics.
+
+use crate::client::Client;
+use crate::error::NetError;
+use dynfo_core::Request;
+use dynfo_logic::Elem;
+use dynfo_obs::{ObsHandle, Registry};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What to drive, how hard, for how long.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Endpoints serving reads (primary and any replicas).
+    pub read_addrs: Vec<String>,
+    /// The write endpoint (the primary).
+    pub write_addr: String,
+    /// Session to open on every connection.
+    pub session: String,
+    /// Program name for `Open`.
+    pub program: String,
+    /// Universe size for `Open`.
+    pub n: Elem,
+    /// Reader connections (spread across `read_addrs`).
+    pub readers: usize,
+    /// Writer connections (all to `write_addr`).
+    pub writers: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            read_addrs: Vec::new(),
+            write_addr: String::new(),
+            session: "load".to_string(),
+            program: "reach_u".to_string(),
+            n: 64,
+            readers: 4,
+            writers: 1,
+            duration: Duration::from_secs(2),
+        }
+    }
+}
+
+/// What happened: throughput and latency per path, plus shed count.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Queries answered across all readers.
+    pub reads: u64,
+    /// Writes acknowledged across all writers.
+    pub writes: u64,
+    /// Writes refused with a typed `Overloaded` frame.
+    pub overloaded: u64,
+    /// Errors that were not backpressure (should be zero).
+    pub errors: u64,
+    /// Read throughput, requests per second.
+    pub read_rps: f64,
+    /// Write throughput, requests per second.
+    pub write_rps: f64,
+    /// Read latency p50, nanoseconds (histogram bucket upper bound).
+    pub read_p50_ns: u64,
+    /// Read latency p99, nanoseconds (histogram bucket upper bound).
+    pub read_p99_ns: u64,
+    /// Write latency p99, nanoseconds (histogram bucket upper bound).
+    pub write_p99_ns: u64,
+    /// Wall-clock duration actually measured.
+    pub elapsed: Duration,
+}
+
+/// A random-ish edge stream over `n` vertices: a multiplicative
+/// congruential walk, deterministic per worker so runs reproduce.
+struct EdgeStream {
+    state: u64,
+    n: Elem,
+}
+
+impl EdgeStream {
+    fn new(seed: u64, n: Elem) -> EdgeStream {
+        EdgeStream {
+            state: seed | 1,
+            n: n.max(2),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*: plenty for load shapes, no dependency needed.
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn pair(&mut self) -> (Elem, Elem) {
+        let r = self.next_u64();
+        let a = (r % self.n as u64) as Elem;
+        let b = ((r >> 32) % self.n as u64) as Elem;
+        (a, if a == b { (b + 1) % self.n } else { b })
+    }
+}
+
+/// Run the closed loop described by `config` and report.
+pub fn run(config: &LoadConfig) -> Result<LoadReport, NetError> {
+    let reg = Arc::new(Registry::new());
+    let handle = ObsHandle::with_registry(Arc::clone(&reg));
+    let read_ns = handle.histogram("loadgen.read_ns");
+    let write_ns = handle.histogram("loadgen.write_ns");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let writes = Arc::new(AtomicU64::new(0));
+    let overloaded = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+
+    let mut workers = Vec::new();
+    for i in 0..config.readers {
+        let addr = config.read_addrs[i % config.read_addrs.len()].clone();
+        let mut client = Client::connect(&addr)?;
+        client.open(&config.session, &config.program, config.n)?;
+        let stop = Arc::clone(&stop);
+        let reads = Arc::clone(&reads);
+        let errors = Arc::clone(&errors);
+        let hist = Arc::clone(&read_ns);
+        let n = config.n;
+        workers.push(std::thread::spawn(move || {
+            let mut stream = EdgeStream::new(0x9E37 + i as u64, n);
+            while !stop.load(Ordering::Relaxed) {
+                let (a, b) = stream.pair();
+                let started = Instant::now();
+                match client.query_named("", &[a, b]) {
+                    Ok(_) => {
+                        hist.observe(started.elapsed().as_nanos() as u64);
+                        reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+        }));
+    }
+    for i in 0..config.writers {
+        let mut client = Client::connect(&config.write_addr)?;
+        client.open(&config.session, &config.program, config.n)?;
+        let stop = Arc::clone(&stop);
+        let writes = Arc::clone(&writes);
+        let overloaded = Arc::clone(&overloaded);
+        let errors = Arc::clone(&errors);
+        let hist = Arc::clone(&write_ns);
+        let n = config.n;
+        workers.push(std::thread::spawn(move || {
+            let mut stream = EdgeStream::new(0xDA7A + i as u64, n);
+            let mut insert = true;
+            while !stop.load(Ordering::Relaxed) {
+                let (a, b) = stream.pair();
+                let req = if insert {
+                    Request::ins("E", [a, b])
+                } else {
+                    Request::del("E", [a, b])
+                };
+                insert = !insert;
+                let started = Instant::now();
+                match client.apply(req) {
+                    Ok(_) => {
+                        hist.observe(started.elapsed().as_nanos() as u64);
+                        writes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) if e.is_overloaded() => {
+                        overloaded.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+        }));
+    }
+
+    let started = Instant::now();
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::SeqCst);
+    for w in workers {
+        let _ = w.join();
+    }
+    let elapsed = started.elapsed();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let reads = reads.load(Ordering::Relaxed);
+    let writes = writes.load(Ordering::Relaxed);
+    Ok(LoadReport {
+        reads,
+        writes,
+        overloaded: overloaded.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        read_rps: reads as f64 / secs,
+        write_rps: writes as f64 / secs,
+        read_p50_ns: read_ns.quantile(0.50),
+        read_p99_ns: read_ns.p99(),
+        write_p99_ns: write_ns.p99(),
+        elapsed,
+    })
+}

@@ -1,0 +1,65 @@
+//! Network-tier metric handles (crate-private), resolved once from the
+//! [`ObsHandle`] the server or replica was started with — like the rest
+//! of the workspace, nothing here is a process-wide singleton, so a
+//! primary and a replica in one test process report separately.
+
+use dynfo_obs::{Counter, Gauge, Histogram, ObsHandle};
+use std::sync::Arc;
+
+/// Server-side connection and request metrics.
+#[derive(Clone)]
+pub(crate) struct ServerObs {
+    /// Open connections, now (`net.server.conns`).
+    pub conns: Arc<Gauge>,
+    /// Frames served over the server's lifetime
+    /// (`net.server.requests`).
+    pub requests: Arc<Counter>,
+    /// Writes shed by admission control (`net.server.shed`).
+    pub shed: Arc<Counter>,
+    /// Malformed frames that errored a connection
+    /// (`net.server.decode_errors`).
+    pub decode_errors: Arc<Counter>,
+    /// Per-frame service time, read or write
+    /// (`net.server.request_ns`).
+    pub request_ns: Arc<Histogram>,
+    /// Per-query service time (`net.server.query_ns`) — the read-path
+    /// latency the replicas exist to protect.
+    pub query_ns: Arc<Histogram>,
+}
+
+impl ServerObs {
+    pub fn new(handle: &ObsHandle) -> ServerObs {
+        ServerObs {
+            conns: handle.gauge("net.server.conns"),
+            requests: handle.counter("net.server.requests"),
+            shed: handle.counter("net.server.shed"),
+            decode_errors: handle.counter("net.server.decode_errors"),
+            request_ns: handle.histogram("net.server.request_ns"),
+            query_ns: handle.histogram("net.server.query_ns"),
+        }
+    }
+}
+
+/// Replica-side replication metrics.
+#[derive(Clone)]
+pub(crate) struct ReplicaObs {
+    /// Primary seq minus local seq at the last poll
+    /// (`net.replica.lag`).
+    pub lag: Arc<Gauge>,
+    /// Journal entries replayed from the primary
+    /// (`net.replica.applied`).
+    pub applied: Arc<Counter>,
+    /// Times the puller lost and re-established its connection
+    /// (`net.replica.reconnects`).
+    pub reconnects: Arc<Counter>,
+}
+
+impl ReplicaObs {
+    pub fn new(handle: &ObsHandle) -> ReplicaObs {
+        ReplicaObs {
+            lag: handle.gauge("net.replica.lag"),
+            applied: handle.counter("net.replica.applied"),
+            reconnects: handle.counter("net.replica.reconnects"),
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! The wire protocol: length-prefixed, CRC-checked binary frames over a
+//! byte stream, reusing the journal codec for every request payload.
+//!
+//! A connection opens with an 8-byte handshake in each direction —
+//! exactly a journal segment header with its own magic:
+//!
+//! ```text
+//! hello   := "DYNW" version:u16 flags:u16
+//! ```
+//!
+//! after which both directions speak frames shaped exactly like journal
+//! frames (same header layout, same CRC):
+//!
+//! ```text
+//! frame   := len:u32 crc:u32 payload        crc = CRC-32(payload)
+//! payload := kind:u8 body
+//! request := (the journal codec: serve::journal::{encode,decode}_request)
+//! ```
+//!
+//! Client-to-server kinds: `Open` (bind this connection to a named
+//! session), `Apply`/`ApplyBatch` (writes), `Query`, `Metrics`,
+//! `FetchLog` (replication pull: every durable journal entry after a
+//! sequence number), `Ping`. Server-to-client kinds: `Ok`, `Answer`,
+//! `Err` (typed — `Overloaded` is the backpressure signal), `MetricsText`,
+//! `LogChunk`, `Pong`.
+//!
+//! Decoding is paranoid by construction: a length prefix beyond
+//! [`MAX_WIRE_FRAME`] is rejected *before* any allocation, a batch
+//! count beyond [`MAX_BATCH`] is rejected before any element parse, and
+//! every field read is bounds-checked ([`Reader`]) — malformed input
+//! errors the connection, it never panics and never over-allocates.
+
+use crate::error::NetError;
+use dynfo_serve::codec::{crc32, Reader, Writer};
+use dynfo_serve::journal::{decode_request, encode_request};
+use dynfo_serve::JournalEntry;
+use dynfo_core::Request;
+use std::io::{Read, Write as IoWrite};
+
+/// Magic bytes opening the handshake in each direction.
+pub const WIRE_MAGIC: &[u8; 4] = b"DYNW";
+/// Current wire protocol version.
+pub const WIRE_VERSION: u16 = 1;
+/// Upper bound on one frame's payload. Large enough for a maximal
+/// `LogChunk`/`ApplyBatch`, small enough that a hostile length prefix
+/// cannot make the server allocate unbounded memory.
+pub const MAX_WIRE_FRAME: u32 = 1 << 20;
+/// Upper bound on requests per `ApplyBatch` / entries per `LogChunk`.
+pub const MAX_BATCH: u32 = 1 << 16;
+
+/// Typed error codes carried by [`Message::Err`] frames.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorCode {
+    /// Admission control shed this write: retry later, the server is
+    /// protecting its queues. Not a failure of the request itself.
+    Overloaded,
+    /// The frame or a field in it failed to decode.
+    Malformed,
+    /// The machine rejected the request (unknown relation, bad arity,
+    /// out-of-universe argument, unknown query …).
+    Machine,
+    /// This server is a read replica; writes go to the primary.
+    ReadOnly,
+    /// The connection has not bound a session via `Open` yet, or the
+    /// requested program is unknown to the server.
+    NoSession,
+    /// Handshake version mismatch.
+    VersionMismatch,
+    /// Anything else that went wrong server-side.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The on-wire byte.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ErrorCode::Overloaded => 1,
+            ErrorCode::Malformed => 2,
+            ErrorCode::Machine => 3,
+            ErrorCode::ReadOnly => 4,
+            ErrorCode::NoSession => 5,
+            ErrorCode::VersionMismatch => 6,
+            ErrorCode::Internal => 7,
+        }
+    }
+
+    /// Decode the on-wire byte.
+    pub fn from_u8(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::Overloaded,
+            2 => ErrorCode::Malformed,
+            3 => ErrorCode::Machine,
+            4 => ErrorCode::ReadOnly,
+            5 => ErrorCode::NoSession,
+            6 => ErrorCode::VersionMismatch,
+            7 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// A stable lowercase label (log lines, metrics).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::Machine => "machine",
+            ErrorCode::ReadOnly => "read_only",
+            ErrorCode::NoSession => "no_session",
+            ErrorCode::VersionMismatch => "version_mismatch",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// Every message either side can put in a frame.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Message {
+    /// Bind this connection to session `session` running `program` on a
+    /// universe of size `n` (creating or recovering it server-side).
+    Open {
+        /// Session name (`[A-Za-z0-9_-]+`).
+        session: String,
+        /// Program name, resolved against the server's registry.
+        program: String,
+        /// Universe size.
+        n: u32,
+    },
+    /// Apply one request to the bound session.
+    Apply(Request),
+    /// Apply a whole batch under one group commit.
+    ApplyBatch(Vec<Request>),
+    /// Evaluate a query: the program's boolean query when `name` is
+    /// empty, else the named query with `args`.
+    Query {
+        /// Named query, or empty for the program query.
+        name: String,
+        /// Query arguments.
+        args: Vec<u32>,
+    },
+    /// Ask for the server's metrics registry as Prometheus text.
+    Metrics,
+    /// Replication pull: durable journal entries of the bound session
+    /// with sequence numbers in `(after_seq, after_seq + max]`-ish
+    /// (up to `max` entries).
+    FetchLog {
+        /// Ship entries strictly after this sequence number.
+        after_seq: u64,
+        /// At most this many entries.
+        max: u32,
+    },
+    /// Liveness probe.
+    Ping,
+
+    /// Write acknowledged; `seq` is the session sequence after it.
+    Ok {
+        /// Session sequence number after the write.
+        seq: u64,
+    },
+    /// Query answer.
+    Answer {
+        /// The boolean answer.
+        value: bool,
+    },
+    /// Typed failure; see [`ErrorCode`].
+    Err {
+        /// What class of failure.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Metrics registry rendered as Prometheus text.
+    MetricsText {
+        /// The rendered exposition.
+        text: String,
+    },
+    /// A chunk of the primary's durable log.
+    LogChunk {
+        /// The primary's current session sequence (lag = this minus the
+        /// follower's own sequence).
+        primary_seq: u64,
+        /// The shipped entries, consecutive by `seq`.
+        entries: Vec<JournalEntry>,
+    },
+    /// Liveness reply.
+    Pong,
+}
+
+impl Message {
+    fn kind(&self) -> u8 {
+        match self {
+            Message::Open { .. } => 0x01,
+            Message::Apply(..) => 0x02,
+            Message::ApplyBatch(..) => 0x03,
+            Message::Query { .. } => 0x04,
+            Message::Metrics => 0x05,
+            Message::FetchLog { .. } => 0x06,
+            Message::Ping => 0x07,
+            Message::Ok { .. } => 0x81,
+            Message::Answer { .. } => 0x82,
+            Message::Err { .. } => 0x83,
+            Message::MetricsText { .. } => 0x84,
+            Message::LogChunk { .. } => 0x85,
+            Message::Pong => 0x86,
+        }
+    }
+
+    /// The variant's name, for protocol error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Message::Open { .. } => "Open",
+            Message::Apply(..) => "Apply",
+            Message::ApplyBatch(..) => "ApplyBatch",
+            Message::Query { .. } => "Query",
+            Message::Metrics => "Metrics",
+            Message::FetchLog { .. } => "FetchLog",
+            Message::Ping => "Ping",
+            Message::Ok { .. } => "Ok",
+            Message::Answer { .. } => "Answer",
+            Message::Err { .. } => "Err",
+            Message::MetricsText { .. } => "MetricsText",
+            Message::LogChunk { .. } => "LogChunk",
+            Message::Pong => "Pong",
+        }
+    }
+}
+
+/// Encode a message payload (kind byte + body, no frame header).
+pub fn encode_payload(m: &Message) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(m.kind());
+    match m {
+        Message::Open { session, program, n } => {
+            w.put_str(session);
+            w.put_str(program);
+            w.put_u32(*n);
+        }
+        Message::Apply(req) => encode_request(&mut w, req),
+        Message::ApplyBatch(reqs) => {
+            debug_assert!(reqs.len() <= MAX_BATCH as usize);
+            w.put_u32(reqs.len() as u32);
+            for req in reqs {
+                encode_request(&mut w, req);
+            }
+        }
+        Message::Query { name, args } => {
+            w.put_str(name);
+            debug_assert!(args.len() <= u8::MAX as usize);
+            w.put_u8(args.len() as u8);
+            for &a in args {
+                w.put_u32(a);
+            }
+        }
+        Message::Metrics | Message::Ping | Message::Pong => {}
+        Message::FetchLog { after_seq, max } => {
+            w.put_u64(*after_seq);
+            w.put_u32(*max);
+        }
+        Message::Ok { seq } => w.put_u64(*seq),
+        Message::Answer { value } => w.put_u8(*value as u8),
+        Message::Err { code, detail } => {
+            w.put_u8(code.as_u8());
+            w.put_str(detail);
+        }
+        Message::MetricsText { text } => {
+            // Longer than put_str's u16 limit: length-prefix with u32.
+            w.put_u32(text.len() as u32);
+            w.put_bytes(text.as_bytes());
+        }
+        Message::LogChunk { primary_seq, entries } => {
+            debug_assert!(entries.len() <= MAX_BATCH as usize);
+            w.put_u64(*primary_seq);
+            w.put_u32(entries.len() as u32);
+            for e in entries {
+                w.put_u64(e.seq);
+                encode_request(&mut w, &e.request);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode a message payload (the inverse of [`encode_payload`]).
+///
+/// Every collection length is validated against the remaining byte
+/// count before anything is allocated, so a hostile count cannot
+/// reserve memory the input does not back.
+pub fn decode_payload(bytes: &[u8]) -> Result<Message, NetError> {
+    let mut r = Reader::new(bytes);
+    let kind = r.get_u8("message kind")?;
+    let msg = match kind {
+        0x01 => Message::Open {
+            session: r.get_str("session name")?.to_string(),
+            program: r.get_str("program name")?.to_string(),
+            n: r.get_u32("universe size")?,
+        },
+        0x02 => Message::Apply(decode_request(&mut r)?),
+        0x03 => {
+            let count = r.get_u32("batch count")?;
+            if count > MAX_BATCH {
+                return Err(NetError::Corrupt(format!(
+                    "batch count {count} exceeds maximum {MAX_BATCH}"
+                )));
+            }
+            let mut reqs = Vec::new();
+            for _ in 0..count {
+                reqs.push(decode_request(&mut r)?);
+            }
+            Message::ApplyBatch(reqs)
+        }
+        0x04 => {
+            let name = r.get_str("query name")?.to_string();
+            let argc = r.get_u8("query arity")? as usize;
+            let mut args = Vec::with_capacity(argc); // argc ≤ 255
+            for _ in 0..argc {
+                args.push(r.get_u32("query argument")?);
+            }
+            Message::Query { name, args }
+        }
+        0x05 => Message::Metrics,
+        0x06 => Message::FetchLog {
+            after_seq: r.get_u64("fetch cursor")?,
+            max: r.get_u32("fetch max")?,
+        },
+        0x07 => Message::Ping,
+        0x81 => Message::Ok {
+            seq: r.get_u64("ack seq")?,
+        },
+        0x82 => Message::Answer {
+            value: match r.get_u8("answer value")? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(NetError::Corrupt(format!(
+                        "boolean answer byte {other} is neither 0 nor 1"
+                    )))
+                }
+            },
+        },
+        0x83 => {
+            let raw = r.get_u8("error code")?;
+            let code = ErrorCode::from_u8(raw)
+                .ok_or_else(|| NetError::Corrupt(format!("unknown error code {raw}")))?;
+            Message::Err {
+                code,
+                detail: r.get_str("error detail")?.to_string(),
+            }
+        }
+        0x84 => {
+            let len = r.get_u32("metrics length")? as usize;
+            let bytes = r.get_bytes(len, "metrics text")?;
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| NetError::Corrupt("metrics text is not UTF-8".to_string()))?
+                .to_string();
+            Message::MetricsText { text }
+        }
+        0x85 => {
+            let primary_seq = r.get_u64("primary seq")?;
+            let count = r.get_u32("log chunk count")?;
+            if count > MAX_BATCH {
+                return Err(NetError::Corrupt(format!(
+                    "log chunk count {count} exceeds maximum {MAX_BATCH}"
+                )));
+            }
+            let mut entries = Vec::new();
+            for _ in 0..count {
+                let seq = r.get_u64("entry seq")?;
+                let request = decode_request(&mut r)?;
+                entries.push(JournalEntry { seq, request });
+            }
+            Message::LogChunk { primary_seq, entries }
+        }
+        0x86 => Message::Pong,
+        other => {
+            return Err(NetError::Corrupt(format!("unknown message kind {other:#04x}")))
+        }
+    };
+    if !r.is_exhausted() {
+        return Err(NetError::Corrupt(format!(
+            "{} trailing bytes after message",
+            r.remaining()
+        )));
+    }
+    Ok(msg)
+}
+
+/// Write the handshake hello.
+pub fn write_hello(w: &mut impl IoWrite) -> Result<(), NetError> {
+    let mut h = Writer::new();
+    h.put_bytes(WIRE_MAGIC);
+    h.put_u16(WIRE_VERSION);
+    h.put_u16(0); // flags, reserved
+    w.write_all(h.as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read and validate the peer's hello; returns its protocol version.
+/// Bad magic is [`NetError::Corrupt`]; a well-formed hello with a
+/// different version is returned for the caller to reject politely.
+pub fn read_hello(r: &mut impl Read) -> Result<u16, NetError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    if &buf[0..4] != WIRE_MAGIC {
+        return Err(NetError::Corrupt("bad handshake magic".to_string()));
+    }
+    Ok(u16::from_le_bytes([buf[4], buf[5]]))
+}
+
+/// Frame and write one message: `len crc payload`, one `write_all`.
+pub fn write_message(w: &mut impl IoWrite, m: &Message) -> Result<(), NetError> {
+    let payload = encode_payload(m);
+    debug_assert!(payload.len() <= MAX_WIRE_FRAME as usize);
+    let mut frame = Writer::new();
+    frame.put_u32(payload.len() as u32);
+    frame.put_u32(crc32(&payload));
+    frame.put_bytes(&payload);
+    w.write_all(frame.as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one framed message. Returns `Ok(None)` on clean end-of-stream
+/// *at a frame boundary* (the peer hung up between messages); EOF
+/// mid-frame, an oversized length prefix (checked before allocation),
+/// a CRC mismatch, or an undecodable payload are errors.
+pub fn read_message(r: &mut impl Read) -> Result<Option<Message>, NetError> {
+    let mut header = [0u8; 8];
+    match read_full_or_eof(r, &mut header)? {
+        FillOutcome::Eof => return Ok(None),
+        FillOutcome::Filled => {}
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_WIRE_FRAME {
+        return Err(NetError::Corrupt(format!(
+            "frame length {len} exceeds maximum {MAX_WIRE_FRAME}"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(NetError::Corrupt("frame CRC mismatch".to_string()));
+    }
+    decode_payload(&payload).map(Some)
+}
+
+enum FillOutcome {
+    Filled,
+    Eof,
+}
+
+/// Fill `buf` completely, distinguishing EOF-before-anything (a clean
+/// close) from EOF-mid-buffer (a torn frame, an error).
+fn read_full_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<FillOutcome, NetError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(FillOutcome::Eof)
+                } else {
+                    Err(NetError::Corrupt(format!(
+                        "stream closed {filled} bytes into a frame header"
+                    )))
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    Ok(FillOutcome::Filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(m: Message) {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &m).unwrap();
+        let got = read_message(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(got, m);
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        round_trip(Message::Open {
+            session: "net".into(),
+            program: "reach_u".into(),
+            n: 64,
+        });
+        round_trip(Message::Apply(Request::ins("E", [1, 2])));
+        round_trip(Message::ApplyBatch(vec![
+            Request::ins("E", [1, 2]),
+            Request::del("E", [1, 2]),
+            Request::set("s", 7),
+        ]));
+        round_trip(Message::Query {
+            name: "connected".into(),
+            args: vec![0, 5],
+        });
+        round_trip(Message::Metrics);
+        round_trip(Message::FetchLog {
+            after_seq: 41,
+            max: 512,
+        });
+        round_trip(Message::Ping);
+        round_trip(Message::Ok { seq: 99 });
+        round_trip(Message::Answer { value: true });
+        round_trip(Message::Err {
+            code: ErrorCode::Overloaded,
+            detail: "queue depth 5000 over limit 4096".into(),
+        });
+        round_trip(Message::MetricsText {
+            text: "net_server_conns 3\n".into(),
+        });
+        round_trip(Message::LogChunk {
+            primary_seq: 12,
+            entries: vec![
+                JournalEntry {
+                    seq: 11,
+                    request: Request::ins("E", [0, 1]),
+                },
+                JournalEntry {
+                    seq: 12,
+                    request: Request::set("s", 3),
+                },
+            ],
+        });
+        round_trip(Message::Pong);
+    }
+
+    #[test]
+    fn clean_eof_between_frames_is_none() {
+        let empty: &[u8] = &[];
+        assert!(read_message(&mut &*empty).unwrap().is_none());
+    }
+
+    #[test]
+    fn handshake_round_trips() {
+        let mut buf = Vec::new();
+        write_hello(&mut buf).unwrap();
+        assert_eq!(read_hello(&mut buf.as_slice()).unwrap(), WIRE_VERSION);
+    }
+}

@@ -1,0 +1,78 @@
+//! The server's program registry: wire `Open` frames carry a program
+//! *name*; this maps names to the actual update programs a session can
+//! run. The standard registry holds the full Section 4 library; embed a
+//! custom one to serve bespoke programs.
+
+use dynfo_core::{programs, DynFoProgram};
+use std::collections::BTreeMap;
+
+/// Name → program map consulted by the server on `Open`.
+pub struct ProgramRegistry {
+    programs: BTreeMap<String, DynFoProgram>,
+}
+
+impl ProgramRegistry {
+    /// An empty registry.
+    pub fn new() -> ProgramRegistry {
+        ProgramRegistry {
+            programs: BTreeMap::new(),
+        }
+    }
+
+    /// The whole Section 4 library, keyed by each program's own name.
+    pub fn standard() -> ProgramRegistry {
+        let mut reg = ProgramRegistry::new();
+        for p in [
+            programs::parity::program(),
+            programs::reach_u::program(),
+            programs::reach_acyclic::program(),
+            programs::trans_reduction::program(),
+            programs::msf::program(),
+            programs::bipartite::program(),
+            programs::kconn::program(),
+            programs::matching::program(),
+            programs::lca::program(),
+            programs::vertex_cover::program(),
+        ] {
+            reg.insert(p);
+        }
+        reg
+    }
+
+    /// Register `program` under its own name (replacing any previous).
+    pub fn insert(&mut self, program: DynFoProgram) {
+        self.programs.insert(program.name().to_string(), program);
+    }
+
+    /// Look a program up by name.
+    pub fn get(&self, name: &str) -> Option<&DynFoProgram> {
+        self.programs.get(name)
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.programs.keys().cloned().collect()
+    }
+}
+
+impl Default for ProgramRegistry {
+    fn default() -> ProgramRegistry {
+        ProgramRegistry::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_resolves_the_library() {
+        let reg = ProgramRegistry::standard();
+        for name in ["parity", "reach_u", "msf"] {
+            let p = reg.get(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(p.name(), name);
+        }
+        assert!(reg.get("no_such_program").is_none());
+        assert!(reg.names().len() >= 9);
+    }
+}

@@ -1,0 +1,229 @@
+//! Log-shipping read replicas.
+//!
+//! A replica is an ordinary durable [`SessionStore`] plus a *puller*
+//! thread per replicated session: connect to the primary, `Open` the
+//! same session name, and loop `FetchLog(local_seq, …)` — the primary
+//! only ever ships its group-committed prefix, so a follower can never
+//! observe state a primary crash would roll back. Shipped entries are
+//! re-applied through the replica's own [`Session`], which journals
+//! and snapshots them locally; a follower restart therefore recovers
+//! through the exact same ladder as a primary restart and resumes
+//! pulling from whatever sequence number local recovery reached.
+//!
+//! Reads are served by a read-only [`Server`] fronting the replica's
+//! store — byte-for-byte the same serving stack as the primary, with
+//! writes refused via a typed `ReadOnly` error.
+//!
+//! The `net.replica.lag` gauge tracks `primary_seq − local_seq` at
+//! every poll; `net.replica.reconnects` counts primary-connection
+//! re-establishments (the catch-up-after-partition path).
+
+use crate::client::Client;
+use crate::error::NetError;
+use crate::obs::ReplicaObs;
+use crate::registry::ProgramRegistry;
+use crate::server::{Server, ServerConfig};
+use dynfo_logic::Elem;
+use dynfo_obs::ObsHandle;
+use dynfo_serve::SessionStore;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Replica tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicaConfig {
+    /// Serving configuration for the replica's read endpoint
+    /// (`read_only` is forced on regardless of what this says).
+    pub server: ServerConfig,
+    /// Most entries pulled per `FetchLog` round trip.
+    pub fetch_max: u32,
+    /// Sleep between polls once caught up with the primary.
+    pub poll_interval: Duration,
+    /// Backoff before re-dialing a lost primary connection.
+    pub reconnect_backoff: Duration,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> ReplicaConfig {
+        ReplicaConfig {
+            server: ServerConfig::default(),
+            fetch_max: 4096,
+            poll_interval: Duration::from_millis(5),
+            reconnect_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// A running replica: local store, read-only server, puller thread.
+pub struct Replica {
+    store: Arc<SessionStore>,
+    server: Option<Server>,
+    stop: Arc<AtomicBool>,
+    puller: Option<std::thread::JoinHandle<()>>,
+    session: String,
+}
+
+impl Replica {
+    /// Start a replica of `session_name` (running `program` over a
+    /// universe of `n`) from the primary at `primary_addr`, serving
+    /// reads on `listen_addr` (port 0 for ephemeral), with local
+    /// durable state under `store`'s root.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        listen_addr: &str,
+        primary_addr: &str,
+        store: Arc<SessionStore>,
+        registry: Arc<ProgramRegistry>,
+        session_name: &str,
+        program: &str,
+        n: Elem,
+        config: ReplicaConfig,
+        handle: ObsHandle,
+    ) -> Result<Replica, NetError> {
+        let prog = registry
+            .get(program)
+            .ok_or_else(|| NetError::Protocol(format!("unknown program {program:?}")))?;
+        // Open (or recover) the local copy before serving anything, so
+        // the read endpoint never sees a half-initialized session.
+        let session = store.session(session_name, prog, n).map_err(NetError::Serve)?;
+
+        let server = Server::start(
+            listen_addr,
+            Arc::clone(&store),
+            Arc::clone(&registry),
+            ServerConfig {
+                read_only: true,
+                ..config.server
+            },
+            handle.clone(),
+        )?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let puller = {
+            let stop = Arc::clone(&stop);
+            let obs = ReplicaObs::new(&handle);
+            let primary = primary_addr.to_string();
+            let name = session_name.to_string();
+            let program = program.to_string();
+            std::thread::Builder::new()
+                .name("dynfo-net-puller".into())
+                .spawn(move || pull_loop(primary, session, name, program, n, config, obs, stop))
+                .map_err(NetError::Io)?
+        };
+        Ok(Replica {
+            store,
+            server: Some(server),
+            stop,
+            puller: Some(puller),
+            session: session_name.to_string(),
+        })
+    }
+
+    /// The replica's read endpoint address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.as_ref().expect("server runs until shutdown").addr()
+    }
+
+    /// The replica's local store.
+    pub fn store(&self) -> &Arc<SessionStore> {
+        &self.store
+    }
+
+    /// The replicated session's current local sequence number.
+    pub fn seq(&self) -> u64 {
+        self.store.get(&self.session).map_or(0, |s| s.seq())
+    }
+
+    /// Stop pulling, drain the read endpoint, seal the local journal.
+    pub fn shutdown(mut self) -> Result<(), NetError> {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.puller.take() {
+            let _ = t.join();
+        }
+        match self.server.take() {
+            Some(s) => s.shutdown(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.puller.take() {
+            let _ = t.join();
+        }
+        // Server::drop stops its threads.
+    }
+}
+
+/// The puller: connect (with retry), open the session on the primary,
+/// then stream the log into the local session forever.
+#[allow(clippy::too_many_arguments)]
+fn pull_loop(
+    primary: String,
+    session: Arc<dynfo_serve::Session>,
+    name: String,
+    program: String,
+    n: Elem,
+    config: ReplicaConfig,
+    obs: ReplicaObs,
+    stop: Arc<AtomicBool>,
+) {
+    let mut connected_once = false;
+    'dial: while !stop.load(Ordering::SeqCst) {
+        let mut client =
+            match Client::connect_timeout(&primary, Duration::from_millis(500)) {
+                Ok(c) => c,
+                Err(_) => {
+                    std::thread::sleep(config.reconnect_backoff);
+                    continue 'dial;
+                }
+            };
+        if connected_once {
+            obs.reconnects.inc();
+        }
+        connected_once = true;
+        if client.open(&name, &program, n).is_err() {
+            std::thread::sleep(config.reconnect_backoff);
+            continue 'dial;
+        }
+        while !stop.load(Ordering::SeqCst) {
+            // Resume from the *durable local* position — after a
+            // restart this is whatever the recovery ladder replayed.
+            let local = session.seq();
+            let (primary_seq, entries) = match client.fetch_log(local, config.fetch_max) {
+                Ok(chunk) => chunk,
+                Err(_) => {
+                    std::thread::sleep(config.reconnect_backoff);
+                    continue 'dial;
+                }
+            };
+            obs.lag.set(primary_seq.saturating_sub(local).min(i64::MAX as u64) as i64);
+            if entries.is_empty() {
+                std::thread::sleep(config.poll_interval);
+                continue;
+            }
+            let mut expected = local;
+            for entry in &entries {
+                expected += 1;
+                if entry.seq != expected {
+                    // A gap means our cursor raced a primary rewind or
+                    // the stream is damaged; redial and re-resolve.
+                    std::thread::sleep(config.reconnect_backoff);
+                    continue 'dial;
+                }
+                if session.apply(&entry.request).is_err() {
+                    // The primary accepted it, so a local refusal is a
+                    // divergence bug; stop replicating rather than
+                    // papering over it.
+                    return;
+                }
+                obs.applied.inc();
+            }
+            obs.lag.set(primary_seq.saturating_sub(session.seq()).min(i64::MAX as u64) as i64);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Replica semantics: after the primary ships its log, the follower's
+//! recovered state must be *byte-identical* to the primary's — for the
+//! canonical snapshot encoding of machine state, across segment
+//! boundaries, across follower restarts mid-stream, and for both a
+//! relational program (REACH_u) and a counting one (PARITY).
+
+use dynfo_core::Request;
+use dynfo_net::{Client, ProgramRegistry, Replica, ReplicaConfig, Server, ServerConfig};
+use dynfo_obs::{ObsHandle, Registry};
+use dynfo_serve::{scratch_dir, SessionStore, StoreConfig};
+use dynfo_testutil::{edge_requests, rng, churn_stream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn handle() -> (ObsHandle, Arc<Registry>) {
+    let reg = Arc::new(Registry::new());
+    (ObsHandle::with_registry(Arc::clone(&reg)), reg)
+}
+
+fn open_store(dir: &std::path::Path, config: StoreConfig, h: &ObsHandle) -> Arc<SessionStore> {
+    Arc::new(SessionStore::open_with_obs(dir, config, h.clone()).unwrap())
+}
+
+fn start_primary(store: Arc<SessionStore>, h: ObsHandle) -> Server {
+    Server::start(
+        "127.0.0.1:0",
+        store,
+        Arc::new(ProgramRegistry::standard()),
+        ServerConfig::default(),
+        h,
+    )
+    .unwrap()
+}
+
+/// Block until the follower's local seq reaches `target`.
+fn await_catch_up(replica: &Replica, target: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while replica.seq() < target {
+        assert!(
+            Instant::now() < deadline,
+            "replica stuck at seq {} wanting {target}",
+            replica.seq()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The acceptance check: canonical snapshot bytes of both copies of
+/// `session` are identical.
+fn assert_byte_identical(primary: &SessionStore, replica: &SessionStore, session: &str) {
+    let p = primary.get(session).expect("primary session");
+    let r = replica.get(session).expect("replica session");
+    assert_eq!(p.seq(), r.seq(), "sequence numbers diverged");
+    assert_eq!(
+        p.snapshot_bytes(),
+        r.snapshot_bytes(),
+        "canonical state bytes diverged at seq {}",
+        p.seq()
+    );
+}
+
+/// Drive `reqs` through a primary one by one; after every
+/// `check_every` requests (a snapshot/segment cadence multiple), wait
+/// for the follower and compare bytes.
+fn replicate_and_verify(program: &str, reqs: &[Request], snapshot_every: u64, check_every: usize) {
+    let dir = scratch_dir(&format!("net-repl-{program}"));
+    let (ph, _preg) = handle();
+    let (rh, _rreg) = handle();
+    let store_config = StoreConfig {
+        snapshot_every,
+        ..StoreConfig::default()
+    };
+
+    let primary_store = open_store(&dir.join("primary"), store_config, &ph);
+    let primary = start_primary(Arc::clone(&primary_store), ph.clone());
+    let primary_addr = primary.addr().to_string();
+
+    let replica_store = open_store(&dir.join("replica"), store_config, &rh);
+    let replica = Replica::start(
+        "127.0.0.1:0",
+        &primary_addr,
+        Arc::clone(&replica_store),
+        Arc::new(ProgramRegistry::standard()),
+        "sess",
+        program,
+        32,
+        ReplicaConfig::default(),
+        rh.clone(),
+    )
+    .unwrap();
+
+    let mut client = Client::connect(&primary_addr).unwrap();
+    client.open("sess", program, 32).unwrap();
+    for (i, req) in reqs.iter().enumerate() {
+        let seq = client.apply(req.clone()).unwrap();
+        if (i + 1) % check_every == 0 {
+            // Every shipped segment boundary: follower equals primary.
+            await_catch_up(&replica, seq);
+            assert_byte_identical(&primary_store, &replica_store, "sess");
+        }
+    }
+    let final_seq = primary_store.get("sess").unwrap().seq();
+    await_catch_up(&replica, final_seq);
+    assert_byte_identical(&primary_store, &replica_store, "sess");
+
+    replica.shutdown().unwrap();
+    primary.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reach_u_follower_is_byte_identical_at_every_segment() {
+    // snapshot_every=8 forces several segment rotations in 64 requests,
+    // so the comparison crosses real shipped-segment boundaries.
+    let ops = churn_stream(16, 64, 0.3, false, &mut rng(7));
+    let reqs = edge_requests("E", &ops);
+    replicate_and_verify("reach_u", &reqs, 8, 8);
+}
+
+#[test]
+fn parity_follower_is_byte_identical_at_every_segment() {
+    let mut reqs = Vec::new();
+    let mut r = rng(11);
+    use rand::Rng;
+    for _ in 0..48 {
+        let v = r.gen_range(0..32u32);
+        if r.gen_bool(0.7) {
+            reqs.push(Request::ins("M", [v]));
+        } else {
+            reqs.push(Request::del("M", [v]));
+        }
+    }
+    replicate_and_verify("parity", &reqs, 8, 6);
+}
+
+#[test]
+fn follower_restart_mid_stream_resumes_and_converges() {
+    let dir = scratch_dir("net-repl-restart");
+    let (ph, _preg) = handle();
+    let store_config = StoreConfig {
+        snapshot_every: 8,
+        ..StoreConfig::default()
+    };
+    let primary_store = open_store(&dir.join("primary"), store_config, &ph);
+    let primary = start_primary(Arc::clone(&primary_store), ph.clone());
+    let primary_addr = primary.addr().to_string();
+
+    let ops = churn_stream(16, 96, 0.3, false, &mut rng(23));
+    let reqs = edge_requests("E", &ops);
+    let mut client = Client::connect(&primary_addr).unwrap();
+    client.open("sess", "reach_u", 32).unwrap();
+
+    // Phase 1: replicate the first half, then *stop the follower*.
+    let (rh1, _r1) = handle();
+    let replica_store = open_store(&dir.join("replica"), store_config, &rh1);
+    let replica = Replica::start(
+        "127.0.0.1:0",
+        &primary_addr,
+        Arc::clone(&replica_store),
+        Arc::new(ProgramRegistry::standard()),
+        "sess",
+        "reach_u",
+        32,
+        ReplicaConfig::default(),
+        rh1,
+    )
+    .unwrap();
+    let mut mid_seq = 0;
+    for req in &reqs[..48] {
+        mid_seq = client.apply(req.clone()).unwrap();
+    }
+    await_catch_up(&replica, mid_seq);
+    replica.shutdown().unwrap();
+    drop(replica_store); // the first incarnation's open store handle
+
+    // Phase 2: primary keeps writing while the follower is down.
+    for req in &reqs[48..] {
+        client.apply(req.clone()).unwrap();
+    }
+    let final_seq = primary_store.get("sess").unwrap().seq();
+
+    // Phase 3: restart the follower over the *same directory*. It must
+    // recover seq 48 locally through the recovery ladder, resume the
+    // pull from there, and converge byte-for-byte.
+    let (rh2, rreg2) = handle();
+    let replica_store = open_store(&dir.join("replica"), store_config, &rh2);
+    let replica = Replica::start(
+        "127.0.0.1:0",
+        &primary_addr,
+        Arc::clone(&replica_store),
+        Arc::new(ProgramRegistry::standard()),
+        "sess",
+        "reach_u",
+        32,
+        ReplicaConfig::default(),
+        rh2,
+    )
+    .unwrap();
+    let recovered = replica_store.get("sess").unwrap().seq();
+    assert!(
+        recovered >= mid_seq,
+        "restart lost durable state: recovered seq {recovered} < {mid_seq}"
+    );
+    await_catch_up(&replica, final_seq);
+    assert_byte_identical(&primary_store, &replica_store, "sess");
+    // The lag gauge converges to zero (set by the puller just after
+    // the apply that catch-up observes, so poll briefly).
+    let lag = rreg2.gauge("net.replica.lag");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while lag.get() != 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(lag.get(), 0, "replica lag gauge never converged to zero");
+
+    // And the replica answers reads — but refuses writes, typed.
+    let mut rc = Client::connect(&replica.addr().to_string()).unwrap();
+    rc.open("sess", "reach_u", 32).unwrap();
+    rc.query().unwrap();
+    match rc.apply(Request::ins("E", [1, 2])) {
+        Err(dynfo_net::NetError::Remote { code, .. }) => {
+            assert_eq!(code.as_u8(), dynfo_net::ErrorCode::ReadOnly.as_u8());
+        }
+        other => panic!("replica accepted a write: {other:?}"),
+    }
+
+    replica.shutdown().unwrap();
+    primary.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replica_queries_match_primary_queries() {
+    // Differential read check on top of byte identity: the same named
+    // queries answer the same on both ends of the wire.
+    let dir = scratch_dir("net-repl-reads");
+    let (ph, _preg) = handle();
+    let (rh, _rreg) = handle();
+    let primary_store = open_store(&dir.join("primary"), StoreConfig::default(), &ph);
+    let primary = start_primary(Arc::clone(&primary_store), ph.clone());
+    let primary_addr = primary.addr().to_string();
+    let replica_store = open_store(&dir.join("replica"), StoreConfig::default(), &rh);
+    let replica = Replica::start(
+        "127.0.0.1:0",
+        &primary_addr,
+        replica_store,
+        Arc::new(ProgramRegistry::standard()),
+        "sess",
+        "reach_u",
+        16,
+        ReplicaConfig::default(),
+        rh,
+    )
+    .unwrap();
+
+    let mut pw = Client::connect(&primary_addr).unwrap();
+    pw.open("sess", "reach_u", 16).unwrap();
+    let ops = churn_stream(8, 40, 0.25, false, &mut rng(31));
+    let mut last = 0;
+    for req in edge_requests("E", &ops) {
+        last = pw.apply(req).unwrap();
+    }
+    await_catch_up(&replica, last);
+
+    let mut pr = Client::connect(&primary_addr).unwrap();
+    pr.open("sess", "reach_u", 16).unwrap();
+    let mut rr = Client::connect(&replica.addr().to_string()).unwrap();
+    rr.open("sess", "reach_u", 16).unwrap();
+    for a in 0..8u32 {
+        for b in 0..8u32 {
+            assert_eq!(
+                pr.query_named("connected", &[a, b]).unwrap(),
+                rr.query_named("connected", &[a, b]).unwrap(),
+                "connected({a},{b}) diverged between primary and replica"
+            );
+        }
+    }
+
+    replica.shutdown().unwrap();
+    primary.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -24,6 +24,7 @@
 
 use crate::codec::{crc32, DecodeError, Reader, Writer};
 use crate::error::ServeError;
+use crate::obs::JournalObs;
 use dynfo_core::Request;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
@@ -140,12 +141,27 @@ pub struct JournalWriter {
     /// Fault hook: once this many frames are durable, silently drop all
     /// later appends and commits (the process "died" at that frame).
     kill_after_frame: Option<u64>,
+    /// Where this writer's append/fsync latencies go — threaded in by
+    /// the owning store so two stores in one process stay separable.
+    obs: JournalObs,
 }
 
 impl JournalWriter {
     /// Create a fresh segment at `path` (fails if it exists — segments
-    /// are immutable once rotated away from).
+    /// are immutable once rotated away from), recording no metrics.
+    /// Stores thread their own handles via
+    /// [`create_with_obs`](Self::create_with_obs).
     pub fn create(path: &Path, auto_commit_every: usize) -> Result<JournalWriter, ServeError> {
+        JournalWriter::create_with_obs(path, auto_commit_every, JournalObs::disabled())
+    }
+
+    /// Like [`create`](Self::create), but route this writer's metrics
+    /// (append/fsync latency, frames per commit) through `obs`.
+    pub fn create_with_obs(
+        path: &Path,
+        auto_commit_every: usize,
+        obs: JournalObs,
+    ) -> Result<JournalWriter, ServeError> {
         let mut file = OpenOptions::new()
             .write(true)
             .create_new(true)
@@ -167,17 +183,37 @@ impl JournalWriter {
             auto_commit_every: auto_commit_every.max(1),
             syncs: 0,
             kill_after_frame: None,
+            obs,
         })
     }
 
     /// Reopen an existing segment for appending after `existing_frames`
     /// valid frames (`valid_len` bytes) — the tail beyond the valid
-    /// prefix, e.g. a torn frame, is truncated away first.
+    /// prefix, e.g. a torn frame, is truncated away first. Records no
+    /// metrics; see [`reopen_with_obs`](Self::reopen_with_obs).
     pub fn reopen(
         path: &Path,
         valid_len: u64,
         existing_frames: u64,
         auto_commit_every: usize,
+    ) -> Result<JournalWriter, ServeError> {
+        JournalWriter::reopen_with_obs(
+            path,
+            valid_len,
+            existing_frames,
+            auto_commit_every,
+            JournalObs::disabled(),
+        )
+    }
+
+    /// Like [`reopen`](Self::reopen), but route this writer's metrics
+    /// through `obs`.
+    pub fn reopen_with_obs(
+        path: &Path,
+        valid_len: u64,
+        existing_frames: u64,
+        auto_commit_every: usize,
+        obs: JournalObs,
     ) -> Result<JournalWriter, ServeError> {
         let file = OpenOptions::new()
             .write(true)
@@ -197,6 +233,7 @@ impl JournalWriter {
             auto_commit_every: auto_commit_every.max(1),
             syncs: 0,
             kill_after_frame: None,
+            obs,
         })
     }
 
@@ -250,9 +287,7 @@ impl JournalWriter {
         let started = dynfo_obs::clock();
         self.pending.extend_from_slice(&encode_frame(seq, req));
         self.pending_frames += 1;
-        if dynfo_obs::ENABLED {
-            crate::obs::journal_obs().append_ns.observe_since(started);
-        }
+        self.obs.append_ns.observe_since(started);
         Ok(())
     }
 
@@ -285,11 +320,8 @@ impl JournalWriter {
                 .and_then(|()| self.file.sync_data())
                 .map_err(|e| ServeError::io(&self.path, e))?;
             self.syncs += 1;
-            if dynfo_obs::ENABLED {
-                let obs = crate::obs::journal_obs();
-                obs.fsync_ns.observe_since(started);
-                obs.batch_frames.observe(frames_to_write);
-            }
+            self.obs.fsync_ns.observe_since(started);
+            self.obs.batch_frames.observe(frames_to_write);
         }
         self.committed_frames += frames_to_write;
         self.pending.clear();
@@ -382,6 +414,66 @@ fn read_one_frame(r: &mut Reader<'_>) -> Result<JournalEntry, String> {
         return Err(format!("{} trailing bytes in frame payload", pr.remaining()));
     }
     Ok(JournalEntry { seq, request })
+}
+
+/// Read the durable log tail of a session directory: every committed
+/// frame with sequence number strictly greater than `after_seq`, in
+/// order, capped at `max` entries. This is the primary-side read path
+/// of log-shipping replication — it serves only what is on disk (the
+/// group-committed prefix), never the in-memory batch, so a follower
+/// can never get ahead of what a crash would preserve.
+///
+/// The scan is concurrency-tolerant by construction: segment files are
+/// appended with whole frames and [`read_segment`] stops at the first
+/// torn or invalid frame, so racing a live writer yields the committed
+/// prefix. A mid-history gap (a frame sequence that skips numbers)
+/// is corruption and fails; running out of frames early is not.
+pub fn read_log_after(
+    dir: &Path,
+    after_seq: u64,
+    max: usize,
+) -> Result<Vec<JournalEntry>, ServeError> {
+    let mut bases: Vec<u64> = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(|e| ServeError::io(dir, e))? {
+        let entry = entry.map_err(|e| ServeError::io(dir, e))?;
+        if let Some(base) = parse_segment_name(&entry.file_name().to_string_lossy()) {
+            bases.push(base);
+        }
+    }
+    bases.sort_unstable();
+    let mut out: Vec<JournalEntry> = Vec::new();
+    let mut expected = after_seq;
+    for (i, &base) in bases.iter().enumerate() {
+        // Every frame in this segment is ≤ the next segment's base, so
+        // the whole segment is behind the cursor when that base is.
+        if bases.get(i + 1).is_some_and(|&next| next <= after_seq) {
+            continue;
+        }
+        let read = read_segment(&segment_path(dir, base))?;
+        for entry in read.entries {
+            if entry.seq <= expected {
+                continue;
+            }
+            if entry.seq != expected + 1 {
+                return Err(ServeError::Corrupt(format!(
+                    "log gap shipping tail: expected seq {}, found {}",
+                    expected + 1,
+                    entry.seq
+                )));
+            }
+            expected = entry.seq;
+            out.push(entry);
+            if out.len() >= max {
+                return Ok(out);
+            }
+        }
+        if read.anomaly.is_some() {
+            // Torn tail: the committed prefix ends here (a live writer
+            // is mid-append, or the last crash tore the frame).
+            break;
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -510,6 +602,42 @@ mod tests {
         let read = read_segment(&path).unwrap();
         assert_eq!(read.entries.len(), 2, "exactly the pre-death frames");
         assert!(read.anomaly.is_none(), "death is clean, not torn");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_log_after_ships_only_the_committed_tail() {
+        let dir = scratch_dir("journal-shiplog");
+        // Two sealed segments (bases 0 and 2) plus a live one (base 3)
+        // holding one committed and one uncommitted frame.
+        let reqs = sample_requests();
+        let mut w = JournalWriter::create(&segment_path(&dir, 0), 1).unwrap();
+        w.append(1, &reqs[0]).unwrap();
+        w.append(2, &reqs[1]).unwrap();
+        drop(w);
+        let mut w = JournalWriter::create(&segment_path(&dir, 2), 1).unwrap();
+        w.append(3, &reqs[2]).unwrap();
+        drop(w);
+        let mut w = JournalWriter::create(&segment_path(&dir, 3), usize::MAX).unwrap();
+        w.append(4, &reqs[3]).unwrap();
+        w.commit().unwrap();
+        w.append(5, &reqs[0]).unwrap(); // never committed
+        let all = read_log_after(&dir, 0, 100).unwrap();
+        assert_eq!(
+            all.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4],
+            "uncommitted frame 5 must not ship"
+        );
+        // A cursor mid-history skips covered segments and dedups.
+        let tail = read_log_after(&dir, 2, 100).unwrap();
+        assert_eq!(tail.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(tail[0].request, reqs[2]);
+        // The cap truncates without skipping.
+        let capped = read_log_after(&dir, 1, 2).unwrap();
+        assert_eq!(capped.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![2, 3]);
+        // Caught up: nothing to ship.
+        assert!(read_log_after(&dir, 4, 100).unwrap().is_empty());
+        drop(w);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -44,13 +44,14 @@ pub mod codec;
 pub mod error;
 pub mod fault;
 pub mod journal;
-pub(crate) mod obs;
+pub mod obs;
 pub mod session;
 pub mod snapshot;
 
 pub use codec::DecodeError;
 pub use error::ServeError;
-pub use journal::{read_segment, JournalEntry, JournalWriter, SegmentRead};
+pub use journal::{read_log_after, read_segment, JournalEntry, JournalWriter, SegmentRead};
+pub use obs::JournalObs;
 pub use session::{drain_queues, RecoveryReport, Session, SessionStore, StoreConfig};
 pub use snapshot::{read_snapshot, write_snapshot};
 

@@ -1,19 +1,25 @@
 //! Serve-layer metric handles (crate-private).
 //!
-//! Two lifetimes of handle live here. [`journal_obs`] is a process-wide
-//! singleton on the global registry, because `JournalWriter` is created
-//! deep inside recovery and rotation paths where threading a handle
-//! would contaminate every signature for three histograms. Everything
+//! Every handle here is resolved from the [`ObsHandle`] its owner was
+//! opened with — there are no process-wide `OnceLock` singletons, so
+//! two stores in one process (a primary and a log-shipping replica in
+//! the same test binary, say) report *separate* journal, fsync, and
+//! recovery metrics when opened with separate registries.
+//! [`JournalObs`] rides inside every [`JournalWriter`]; everything
 //! session-scoped — snapshot duration, the recovery-ladder rung,
-//! per-session request counters — goes through [`SessionObs`], resolved
-//! from the [`ObsHandle`] the `SessionStore` was opened with, so tests
-//! can route one store's metrics to a private registry.
+//! per-session request counters — goes through [`SessionObs`].
+//!
+//! [`JournalWriter`]: crate::journal::JournalWriter
 
 use dynfo_obs::{Counter, Gauge, Histogram, ObsHandle};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
-/// Journal write-path metrics, registered on the global registry.
-pub(crate) struct JournalObs {
+/// Journal write-path metrics, cloned into each [`JournalWriter`] a
+/// store (or test) creates.
+///
+/// [`JournalWriter`]: crate::journal::JournalWriter
+#[derive(Clone)]
+pub struct JournalObs {
     /// Time to encode + buffer one frame (`serve.journal.append_ns`).
     pub append_ns: Arc<Histogram>,
     /// Time for one group commit's write + fsync
@@ -24,21 +30,27 @@ pub(crate) struct JournalObs {
     pub batch_frames: Arc<Histogram>,
 }
 
-/// The process-wide journal metrics (lazily registered).
-pub(crate) fn journal_obs() -> &'static JournalObs {
-    static OBS: OnceLock<JournalObs> = OnceLock::new();
-    OBS.get_or_init(|| {
-        let handle = ObsHandle::global();
+impl JournalObs {
+    /// Resolve the journal metrics against `handle`'s registry.
+    pub fn new(handle: &ObsHandle) -> JournalObs {
         JournalObs {
             append_ns: handle.histogram("serve.journal.append_ns"),
             fsync_ns: handle.histogram("serve.journal.fsync_ns"),
             batch_frames: handle.histogram("serve.journal.batch_frames"),
         }
-    })
+    }
+
+    /// A detached instance no exporter sees — the default for bare
+    /// [`JournalWriter::create`] callers outside a store.
+    ///
+    /// [`JournalWriter::create`]: crate::journal::JournalWriter::create
+    pub fn disabled() -> JournalObs {
+        JournalObs::new(&ObsHandle::disabled())
+    }
 }
 
 /// Per-session metric handles, resolved once at `Session::open`.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub(crate) struct SessionObs {
     /// Snapshot encode + write + rename time
     /// (`serve.snapshot.write_ns`).
@@ -53,6 +65,9 @@ pub(crate) struct SessionObs {
     /// Requests applied through this session
     /// (`serve.session.<name>.requests`).
     pub requests: Arc<Counter>,
+    /// The journal write-path metrics threaded into every segment
+    /// writer this session rotates through.
+    pub journal: JournalObs,
 }
 
 impl SessionObs {
@@ -62,6 +77,7 @@ impl SessionObs {
             recovery_rung: handle.gauge("serve.recovery.rung"),
             recovery_replayed: handle.counter("serve.recovery.replayed"),
             requests: handle.counter(&format!("serve.session.{session_name}.requests")),
+            journal: JournalObs::new(handle),
         }
     }
 }

@@ -311,7 +311,11 @@ impl Session {
         }
         let (machine, seq, journal, recovery) = if fresh {
             write_meta(&dir, program.name(), n)?;
-            let journal = JournalWriter::create(&segment_path(&dir, 0), config.group_commit)?;
+            let journal = JournalWriter::create_with_obs(
+                &segment_path(&dir, 0),
+                config.group_commit,
+                obs.journal.clone(),
+            )?;
             (
                 DynFoMachine::new(program.clone(), n).with_obs(handle),
                 0,
@@ -327,7 +331,7 @@ impl Session {
                     program.name()
                 )));
             }
-            recover(&dir, program, n, config, handle)?
+            recover(&dir, program, n, config, handle, obs.journal.clone())?
         };
         obs.recovery_rung.set(recovery.rung as i64);
         obs.recovery_replayed.add(recovery.replayed);
@@ -472,6 +476,28 @@ impl Session {
         inner.journal.commit()
     }
 
+    /// Commit the journal batch and seal the active segment (rotate to
+    /// a fresh one, no snapshot). Graceful shutdown calls this so the
+    /// final segment on disk is complete and immutable; replication
+    /// uses the sealed boundary as a shipping unit.
+    pub fn seal_segment(&self) -> Result<(), ServeError> {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.seq;
+        if inner.is_killed(seq) {
+            return Ok(());
+        }
+        inner.seal_locked(&self.dir, self.config, &self.obs)
+    }
+
+    /// The canonical snapshot encoding of the current machine state at
+    /// the current sequence number — the byte-identical comparison
+    /// anchor for replication tests (a follower that replayed the same
+    /// durable prefix must produce exactly these bytes).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let inner = self.inner.lock().unwrap();
+        crate::snapshot::encode_snapshot(&inner.machine, inner.seq)
+    }
+
     /// Force a snapshot + segment rotation now.
     pub fn checkpoint(&self) -> Result<(), ServeError> {
         let mut inner = self.inner.lock().unwrap();
@@ -511,7 +537,35 @@ impl Inner {
         // snapshot, so recovery from this snapshot reads only segments
         // with base ≥ seq.
         self.rotated_fsyncs += self.journal.syncs();
-        self.journal = JournalWriter::create(&segment_path(dir, self.seq), config.group_commit)?;
+        self.journal = JournalWriter::create_with_obs(
+            &segment_path(dir, self.seq),
+            config.group_commit,
+            obs.journal.clone(),
+        )?;
+        Ok(())
+    }
+
+    /// Commit and seal the active segment, rotating to a fresh one
+    /// based at the current sequence — no snapshot is taken. Used by
+    /// graceful shutdown (the sealed file is immutable from here on)
+    /// and by replication tests that want whole-segment shipping
+    /// boundaries. A segment with no frames is left in place.
+    fn seal_locked(
+        &mut self,
+        dir: &Path,
+        config: StoreConfig,
+        obs: &SessionObs,
+    ) -> Result<(), ServeError> {
+        self.journal.commit()?;
+        if self.journal.committed_frames() == 0 {
+            return Ok(()); // already a fresh segment; nothing to seal
+        }
+        self.rotated_fsyncs += self.journal.syncs();
+        self.journal = JournalWriter::create_with_obs(
+            &segment_path(dir, self.seq),
+            config.group_commit,
+            obs.journal.clone(),
+        )?;
         Ok(())
     }
 }
@@ -583,6 +637,7 @@ fn recover(
     n: Elem,
     config: StoreConfig,
     obs: &ObsHandle,
+    journal_obs: crate::obs::JournalObs,
 ) -> Result<(DynFoMachine, u64, JournalWriter, RecoveryReport), ServeError> {
     let mut report = RecoveryReport::default();
 
@@ -676,11 +731,12 @@ fn recover(
             report.replayed += 1;
         }
         if is_last {
-            tail_writer = Some(JournalWriter::reopen(
+            tail_writer = Some(JournalWriter::reopen_with_obs(
                 &path,
                 read.valid_len,
                 frames_in_segment,
                 config.group_commit,
+                journal_obs.clone(),
             )?);
         }
     }
@@ -689,7 +745,11 @@ fn recover(
         Some(w) => w,
         // No segments at all (e.g. a bare snapshot was copied in):
         // start a fresh one at the current position.
-        None => JournalWriter::create(&segment_path(dir, seq), config.group_commit)?,
+        None => JournalWriter::create_with_obs(
+            &segment_path(dir, seq),
+            config.group_commit,
+            journal_obs,
+        )?,
     };
     Ok((machine, seq, journal, report))
 }
@@ -948,6 +1008,70 @@ mod tests {
         let s = store.session("net", &reach_u::program(), 8).unwrap();
         assert_eq!(s.seq(), 1, "only the first committed batch survives");
         assert!(!s.query_named("connected", &[1, 2]).unwrap());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn two_stores_report_separate_journal_metrics() {
+        use dynfo_obs::Registry;
+        let root = scratch_dir("store-split-obs");
+        let reg_a = Arc::new(Registry::new());
+        let reg_b = Arc::new(Registry::new());
+        let store_a = SessionStore::open_with_obs(
+            root.join("a"),
+            StoreConfig::default(),
+            ObsHandle::with_registry(Arc::clone(&reg_a)),
+        )
+        .unwrap();
+        let store_b = SessionStore::open_with_obs(
+            root.join("b"),
+            StoreConfig::default(),
+            ObsHandle::with_registry(Arc::clone(&reg_b)),
+        )
+        .unwrap();
+        let a = store_a.session("bits", &parity::program(), 8).unwrap();
+        let b = store_b.session("bits", &parity::program(), 8).unwrap();
+        for i in 0..5u32 {
+            a.apply(&Request::ins("M", [i])).unwrap();
+        }
+        b.apply(&Request::ins("M", [0])).unwrap();
+        let fsyncs = |reg: &Registry| reg.histogram("serve.journal.fsync_ns").count();
+        assert_eq!(fsyncs(&reg_a), 5, "primary's fsyncs on its registry");
+        assert_eq!(fsyncs(&reg_b), 1, "replica-style store counts its own");
+        store_a.shutdown().unwrap();
+        store_b.shutdown().unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn seal_segment_rotates_and_recovers_cleanly() {
+        let root = scratch_dir("store-seal");
+        let config = StoreConfig {
+            snapshot_every: 0,
+            group_commit: 1_000,
+        };
+        {
+            let store = SessionStore::open(&root, config).unwrap();
+            let s = store.session("net", &reach_u::program(), 8).unwrap();
+            s.apply(&Request::ins("E", [0, 1])).unwrap();
+            s.apply(&Request::ins("E", [1, 2])).unwrap();
+            s.seal_segment().unwrap();
+            s.seal_segment().unwrap(); // idempotent on an empty segment
+            s.apply(&Request::ins("E", [2, 3])).unwrap();
+            s.sync().unwrap();
+            store.crash();
+        }
+        let dir = root.join("net");
+        let mut bases: Vec<u64> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| parse_segment_name(&e.unwrap().file_name().to_string_lossy()))
+            .collect();
+        bases.sort_unstable();
+        assert_eq!(bases, vec![0, 2], "sealed at seq 2, live tail based there");
+        let store = SessionStore::open(&root, config).unwrap();
+        let s = store.session("net", &reach_u::program(), 8).unwrap();
+        assert_eq!(s.seq(), 3);
+        assert!(s.query_named("connected", &[0, 3]).unwrap());
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -29,6 +29,10 @@
 //!   graphs, COLOR-REACH, and PAD(REACH_a) (Section 5).
 //! * [`serve`] — the durable serving layer: request journal (WAL),
 //!   state snapshots, crash recovery, and a concurrent session store.
+//! * [`net`] — the networked serving tier on top of [`serve`]: a
+//!   length-prefixed binary wire protocol reusing the journal codec, a
+//!   multi-threaded TCP server with admission control/backpressure, and
+//!   log-shipping read replicas that replay the primary's journal.
 //! * [`obs`] — the observability substrate: a lock-free metrics
 //!   registry (counters, gauges, log₂ histograms) fed by every layer
 //!   above, structured span tracing, and Prometheus/table exporters.
@@ -55,6 +59,7 @@ pub use dynfo_arith as arith;
 pub use dynfo_automata as automata;
 pub use dynfo_graph as graph;
 pub use dynfo_logic as logic;
+pub use dynfo_net as net;
 pub use dynfo_obs as obs;
 pub use dynfo_reductions as reductions;
 pub use dynfo_serve as serve;
