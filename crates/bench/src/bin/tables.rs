@@ -1222,6 +1222,7 @@ fn e23_serving_tier() {
                 max_inflight_writes: i64::MAX,
                 max_pool_queue_depth: i64::MAX,
                 max_fsync_p99_ns: u64::MAX,
+                ..AdmissionConfig::default()
             },
             ..ServerConfig::default()
         },

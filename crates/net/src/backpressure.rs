@@ -12,16 +12,33 @@
 //!   saturated and more writes only grow latency;
 //! * the p99 of `serve.journal.fsync_ns` — when the disk falls behind,
 //!   every write holds the session lock for the fsync, and shedding is
-//!   kinder than queueing.
+//!   kinder than queueing. The histogram itself is cumulative, so the
+//!   controller judges it through a *rolling window*: it snapshots the
+//!   bucket counts every [`AdmissionConfig::fsync_window`] and computes
+//!   the p99 of only the samples recorded since the previous snapshot.
+//!   Without the window the signal would latch: shed writes produce no
+//!   fsyncs, no fsyncs means no fresh samples, and a transient disk
+//!   stall would freeze the p99 above the limit forever. With it, a
+//!   window that saw fewer than [`FSYNC_WARMUP_SAMPLES`] fsyncs is not
+//!   judged at all — which also means a sustained stall admits a
+//!   bounded trickle of probe writes each window, exactly the traffic
+//!   needed to notice the disk recovering.
 //!
 //! Reads are never shed: the whole point of the replica tier is that
 //! query capacity scales out, and a query costs no fsync.
 //!
 //! [`EvalPool`]: dynfo_logic::parallel::EvalPool
 
-use dynfo_obs::{Gauge, Histogram, ObsHandle};
+use dynfo_obs::{Gauge, Histogram, ObsHandle, HISTOGRAM_BUCKETS};
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Minimum fsync samples in the current window before the p99 signal is
+/// trusted — never judge the disk on a handful of cold writes, and
+/// while a stall sheds traffic this is also the per-window probe
+/// budget that lets the signal recover.
+pub const FSYNC_WARMUP_SAMPLES: u64 = 16;
 
 /// Thresholds for [`Admission`]. `i64::MAX` / `u64::MAX` disable a
 /// signal.
@@ -33,6 +50,9 @@ pub struct AdmissionConfig {
     pub max_pool_queue_depth: i64,
     /// Shed writes while the journal fsync p99 exceeds this (ns).
     pub max_fsync_p99_ns: u64,
+    /// Width of the rolling window the fsync p99 is computed over.
+    /// Shorter reacts (and recovers) faster; longer smooths more.
+    pub fsync_window: Duration,
 }
 
 impl Default for AdmissionConfig {
@@ -41,6 +61,7 @@ impl Default for AdmissionConfig {
             max_inflight_writes: 256,
             max_pool_queue_depth: 4096,
             max_fsync_p99_ns: 50_000_000, // 50 ms: the disk is drowning
+            fsync_window: Duration::from_secs(2),
         }
     }
 }
@@ -60,6 +81,16 @@ pub struct Admission {
     /// Journal fsync latency (`serve.journal.fsync_ns`), resolved from
     /// the same registry the store's journal writers record to.
     fsync_ns: Arc<Histogram>,
+    /// Rolling-window state for the fsync signal: the bucket snapshot
+    /// taken at the last window boundary, and when it was taken.
+    fsync_window: Mutex<FsyncWindow>,
+}
+
+/// The fsync signal's window anchor (see the module docs): everything
+/// recorded after `baseline` is "the current window".
+struct FsyncWindow {
+    baseline: [u64; HISTOGRAM_BUCKETS],
+    renewed: Instant,
 }
 
 /// Why a write was shed (the `Overloaded` detail string).
@@ -93,12 +124,18 @@ impl Admission {
     /// the same handle the store and its pools were opened with, so the
     /// signals are the server's own, not another tenant's.
     pub fn new(config: AdmissionConfig, handle: &ObsHandle) -> Admission {
+        let fsync_ns = handle.histogram("serve.journal.fsync_ns");
+        let baseline = fsync_ns.bucket_counts();
         Admission {
             config,
             inflight: AtomicI64::new(0),
             inflight_gauge: handle.gauge("net.server.inflight_writes"),
             pool_queue_depth: handle.gauge("pool.queue_depth"),
-            fsync_ns: handle.histogram("serve.journal.fsync_ns"),
+            fsync_ns,
+            fsync_window: Mutex::new(FsyncWindow {
+                baseline,
+                renewed: Instant::now(),
+            }),
         }
     }
 
@@ -119,12 +156,8 @@ impl Admission {
         if depth > self.config.max_pool_queue_depth {
             return Err(Overload::QueueDepth(depth));
         }
-        if self.fsync_ns.count() >= 16 {
-            // Don't judge the disk on one cold write.
-            let p99 = self.fsync_ns.p99();
-            if p99 > self.config.max_fsync_p99_ns {
-                return Err(Overload::FsyncP99(p99));
-            }
+        if let Some(p99) = self.windowed_fsync_p99_over_limit() {
+            return Err(Overload::FsyncP99(p99));
         }
         let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
         if prev >= self.config.max_inflight_writes {
@@ -133,6 +166,48 @@ impl Admission {
         }
         self.inflight_gauge.set(prev + 1);
         Ok(WritePermit { admission: self })
+    }
+
+    /// The fsync signal, evaluated over the rolling window: `Some(p99)`
+    /// when the window holds enough samples *and* its p99 is over the
+    /// limit. Rotating the window here (rather than on a timer thread)
+    /// is what gives the signal a recovery path: once a window elapses
+    /// with every write shed, the next window is empty, the warmup
+    /// floor withholds judgement, and probe writes flow again.
+    ///
+    /// The quantile rank is capped at the second-worst sample: in a
+    /// window smaller than ~100 samples a plain p99 *is* the maximum,
+    /// and one freak fsync (a compaction hiccup, a noisy neighbor)
+    /// would shed every write for a whole window. A genuine stall puts
+    /// many samples over the limit and trips regardless.
+    fn windowed_fsync_p99_over_limit(&self) -> Option<u64> {
+        let mut win = self.fsync_window.lock().unwrap();
+        let now = self.fsync_ns.bucket_counts();
+        let mut delta = [0u64; HISTOGRAM_BUCKETS];
+        for (d, (cur, base)) in delta.iter_mut().zip(now.iter().zip(win.baseline.iter())) {
+            *d = cur.saturating_sub(*base);
+        }
+        if win.renewed.elapsed() >= self.config.fsync_window {
+            win.baseline = now;
+            win.renewed = Instant::now();
+        }
+        drop(win);
+        let samples: u64 = delta.iter().sum();
+        if samples < FSYNC_WARMUP_SAMPLES {
+            return None;
+        }
+        let rank = ((0.99 * samples as f64).ceil() as u64)
+            .max(1)
+            .min(samples - 1);
+        let mut seen = 0u64;
+        for (i, &c) in delta.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let p99 = dynfo_obs::bucket_upper_bound(i);
+                return (p99 > self.config.max_fsync_p99_ns).then_some(p99);
+            }
+        }
+        None
     }
 }
 
@@ -201,11 +276,38 @@ mod tests {
             &handle,
         );
         let h = reg.histogram("serve.journal.fsync_ns");
-        for _ in 0..15 {
+        for _ in 0..FSYNC_WARMUP_SAMPLES - 1 {
             h.observe(1 << 20); // over the limit, but below warmup count
         }
-        assert!(adm.try_admit().is_ok(), "not judged before 16 samples");
+        assert!(adm.try_admit().is_ok(), "not judged before warmup");
         h.observe(1 << 20);
         assert!(adm.try_admit().is_err(), "p99 over limit sheds");
+    }
+
+    #[test]
+    fn fsync_shed_signal_recovers_after_a_quiet_window() {
+        let reg = Arc::new(dynfo_obs::Registry::new());
+        let handle = ObsHandle::with_registry(Arc::clone(&reg));
+        let adm = Admission::new(
+            AdmissionConfig {
+                max_fsync_p99_ns: 1_000,
+                fsync_window: Duration::from_millis(20),
+                ..AdmissionConfig::default()
+            },
+            &handle,
+        );
+        let h = reg.histogram("serve.journal.fsync_ns");
+        for _ in 0..FSYNC_WARMUP_SAMPLES {
+            h.observe(1 << 20); // a disk stall, then silence
+        }
+        assert!(adm.try_admit().is_err(), "stalled disk sheds");
+        // The stall ends. Shed writes record no fsyncs, so no fresh
+        // samples arrive — the signal must still clear on its own.
+        std::thread::sleep(Duration::from_millis(25));
+        let _ = adm.try_admit(); // first call past the boundary rotates
+        assert!(
+            adm.try_admit().is_ok(),
+            "an empty window must un-latch the shed signal"
+        );
     }
 }

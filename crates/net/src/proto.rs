@@ -383,6 +383,45 @@ pub fn decode_payload(bytes: &[u8]) -> Result<Message, NetError> {
     Ok(msg)
 }
 
+/// The largest prefix of `entries` whose encoded `LogChunk` payload
+/// fits in [`MAX_WIRE_FRAME`]. `FetchLog` replies are capped by *bytes*
+/// with this, not just by entry count: `MAX_BATCH` entries can encode
+/// past the frame limit, and an oversized reply would be rejected by
+/// the follower as corruption. A truncated chunk is harmless — the
+/// follower's next `FetchLog` resumes from its new cursor.
+pub fn log_chunk_fit(entries: &[JournalEntry]) -> usize {
+    // kind byte + primary_seq + entry count, then per-entry encodings.
+    let mut used = 1 + 8 + 4;
+    for (i, e) in entries.iter().enumerate() {
+        let mut w = Writer::new();
+        w.put_u64(e.seq);
+        encode_request(&mut w, &e.request);
+        if used + w.as_bytes().len() > MAX_WIRE_FRAME as usize {
+            return i;
+        }
+        used += w.as_bytes().len();
+    }
+    entries.len()
+}
+
+/// Clamp a Prometheus exposition to fit a `MetricsText` frame. The
+/// registry is unbounded (metric names arrive at runtime), the frame
+/// is not; a too-large rendering is cut at the last whole line that
+/// fits and marked with a trailing comment, which scrapers tolerate —
+/// unlike a dead connection.
+pub fn clamp_metrics_text(text: String) -> String {
+    const MARKER: &str = "# truncated: exposition exceeded the wire frame limit\n";
+    // kind byte + u32 length prefix, plus room for the marker.
+    let budget = MAX_WIRE_FRAME as usize - 1 - 4 - MARKER.len();
+    if text.len() <= budget {
+        return text;
+    }
+    let cut = text[..budget].rfind('\n').map_or(0, |i| i + 1);
+    let mut out = text[..cut].to_string();
+    out.push_str(MARKER);
+    out
+}
+
 /// Write the handshake hello.
 pub fn write_hello(w: &mut impl IoWrite) -> Result<(), NetError> {
     let mut h = Writer::new();
@@ -407,9 +446,22 @@ pub fn read_hello(r: &mut impl Read) -> Result<u16, NetError> {
 }
 
 /// Frame and write one message: `len crc payload`, one `write_all`.
+///
+/// A payload over [`MAX_WIRE_FRAME`] is a hard error *before* anything
+/// hits the socket: the peer would reject the oversized length prefix
+/// as corruption and kill the connection, so refusing locally (in
+/// release builds too) is the only honest outcome. Servers avoid ever
+/// reaching this by sizing replies with [`log_chunk_fit`] and
+/// [`clamp_metrics_text`].
 pub fn write_message(w: &mut impl IoWrite, m: &Message) -> Result<(), NetError> {
     let payload = encode_payload(m);
-    debug_assert!(payload.len() <= MAX_WIRE_FRAME as usize);
+    if payload.len() > MAX_WIRE_FRAME as usize {
+        return Err(NetError::Protocol(format!(
+            "refusing to send {} frame: {} byte payload exceeds maximum {MAX_WIRE_FRAME}",
+            m.kind_name(),
+            payload.len()
+        )));
+    }
     let mut frame = Writer::new();
     frame.put_u32(payload.len() as u32);
     frame.put_u32(crc32(&payload));
@@ -529,6 +581,60 @@ mod tests {
             ],
         });
         round_trip(Message::Pong);
+    }
+
+    #[test]
+    fn oversized_payloads_are_refused_before_the_stream() {
+        let big = "x".repeat(MAX_WIRE_FRAME as usize + 1);
+        let mut buf = Vec::new();
+        let err = write_message(&mut buf, &Message::MetricsText { text: big }).unwrap_err();
+        assert!(err.to_string().contains("exceeds maximum"), "got {err}");
+        assert!(buf.is_empty(), "no bytes may reach the peer");
+    }
+
+    #[test]
+    fn log_chunk_fit_caps_by_encoded_bytes() {
+        let entries: Vec<JournalEntry> = (1..=MAX_BATCH as u64)
+            .map(|seq| JournalEntry {
+                seq,
+                request: Request::ins("E", [1, 2]),
+            })
+            .collect();
+        let fit = log_chunk_fit(&entries);
+        assert!(fit > 0 && fit < entries.len(), "maximal batch overflows one frame");
+        // The fitted prefix really goes over the wire…
+        let mut buf = Vec::new();
+        write_message(
+            &mut buf,
+            &Message::LogChunk {
+                primary_seq: entries.len() as u64,
+                entries: entries[..fit].to_vec(),
+            },
+        )
+        .unwrap();
+        // …and one more entry would not have.
+        let over = encode_payload(&Message::LogChunk {
+            primary_seq: entries.len() as u64,
+            entries: entries[..fit + 1].to_vec(),
+        });
+        assert!(over.len() > MAX_WIRE_FRAME as usize);
+    }
+
+    #[test]
+    fn metrics_text_is_clamped_at_a_line_boundary() {
+        assert_eq!(clamp_metrics_text("a 1\n".into()), "a 1\n", "small text untouched");
+        let mut text = String::new();
+        while text.len() <= MAX_WIRE_FRAME as usize {
+            text.push_str("dynfo_some_metric_total 123456789\n");
+        }
+        let clamped = clamp_metrics_text(text);
+        assert!(clamped.ends_with("limit\n"), "truncation marker present");
+        assert!(
+            clamped[..clamped.len() - 1].rfind('\n').is_some(),
+            "cut falls on a line boundary"
+        );
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Message::MetricsText { text: clamped }).unwrap();
     }
 
     #[test]

@@ -34,8 +34,8 @@ use crate::backpressure::{Admission, AdmissionConfig};
 use crate::error::NetError;
 use crate::obs::ServerObs;
 use crate::proto::{
-    read_hello, write_hello, write_message, ErrorCode, Message, MAX_BATCH, MAX_WIRE_FRAME,
-    WIRE_VERSION,
+    clamp_metrics_text, log_chunk_fit, read_hello, write_hello, write_message, ErrorCode, Message,
+    MAX_BATCH, MAX_WIRE_FRAME, WIRE_VERSION,
 };
 use crate::registry::ProgramRegistry;
 use dynfo_obs::ObsHandle;
@@ -184,12 +184,28 @@ impl Drop for Server {
     }
 }
 
+/// Join (and drop) every handler thread that has already exited, so a
+/// long-running server's handle list tracks *live* connections instead
+/// of growing with every connection ever served.
+fn reap_finished(conns: &Mutex<Vec<std::thread::JoinHandle<()>>>) {
+    let mut guard = conns.lock().unwrap();
+    let mut i = 0;
+    while i < guard.len() {
+        if guard[i].is_finished() {
+            let _ = guard.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
 fn accept_loop(
     listener: TcpListener,
     shared: Arc<Shared>,
     conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 ) {
     while !shared.stop.load(Ordering::SeqCst) {
+        reap_finished(&conns);
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let shared = Arc::clone(&shared);
@@ -274,11 +290,33 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> Result<(), NetErr
     }
 }
 
+/// How many idle-poll intervals a *started* frame may stall once
+/// shutdown is requested before the connection is aborted. A peer that
+/// committed to a frame gets this grace to finish it (10 × the default
+/// 50 ms poll = 500 ms); past that it is holding the drain hostage.
+const SHUTDOWN_MID_FRAME_GRACE_POLLS: u32 = 10;
+
 /// Read one frame, polling the stop flag while idle. Returns `None` on
 /// clean close, or when shutdown was requested and the connection sits
 /// at a frame boundary (the drain point: an in-flight frame is always
-/// finished and answered first).
+/// finished and answered first — but only within a bounded grace; a
+/// peer stalled mid-frame cannot wedge [`Server::shutdown`] forever).
 fn read_frame_polling(stream: &mut TcpStream, shared: &Shared) -> Result<Option<Message>, NetError> {
+    // Counts consecutive idle polls under a requested shutdown while a
+    // frame is partially read; any byte of progress resets it.
+    let mut drain_polls = 0u32;
+    let stalled_draining = |drain_polls: &mut u32| -> Result<(), NetError> {
+        if !shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        *drain_polls += 1;
+        if *drain_polls >= SHUTDOWN_MID_FRAME_GRACE_POLLS {
+            return Err(NetError::Corrupt(
+                "peer stalled mid-frame past the shutdown drain grace".to_string(),
+            ));
+        }
+        Ok(())
+    };
     let mut header = [0u8; 8];
     let mut filled = 0;
     while filled < header.len() {
@@ -292,13 +330,20 @@ fn read_frame_polling(stream: &mut TcpStream, shared: &Shared) -> Result<Option<
                     )))
                 }
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                drain_polls = 0;
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                if filled == 0 && shared.stop.load(Ordering::SeqCst) {
-                    return Ok(None);
+                if filled == 0 {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        return Ok(None);
+                    }
+                } else {
+                    stalled_draining(&mut drain_polls)?;
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -321,13 +366,20 @@ fn read_frame_polling(stream: &mut TcpStream, shared: &Shared) -> Result<Option<
                     "stream closed {got} bytes into a {len}-byte payload"
                 )))
             }
-            Ok(n) => got += n,
-            // Mid-frame timeouts keep reading even under shutdown: the
-            // peer already committed to this frame, finish it.
+            Ok(n) => {
+                got += n;
+                drain_polls = 0;
+            }
+            // Mid-frame timeouts keep reading even under shutdown — the
+            // peer already committed to this frame — but only within
+            // the drain grace, or a stalled peer blocks shutdown.
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut
-                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                stalled_draining(&mut drain_polls)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) => return Err(NetError::Io(e)),
         }
     }
@@ -418,8 +470,10 @@ fn dispatch(shared: &Shared, conn: &mut Conn, msg: Message) -> Message {
             }
         }
         Message::Metrics => Message::MetricsText {
+            // Clamped to the frame limit: the registry grows without
+            // bound, the wire frame does not.
             text: match shared.handle.registry() {
-                Some(reg) => reg.render_prometheus(),
+                Some(reg) => clamp_metrics_text(reg.render_prometheus()),
                 None => String::new(),
             },
         },
@@ -428,11 +482,24 @@ fn dispatch(shared: &Shared, conn: &mut Conn, msg: Message) -> Message {
                 return err(ErrorCode::NoSession, "no session bound; send Open first");
             };
             let max = max.min(MAX_BATCH) as usize;
+            // Ship nothing past the fsync watermark: a racing group
+            // commit's frames are visible on disk before its sync_data
+            // returns, and those must not reach a follower until a
+            // crash could no longer roll them back.
+            let durable = session.durable_seq();
             match read_log_after(session.dir(), after_seq, max) {
-                Ok(entries) => Message::LogChunk {
-                    primary_seq: session.seq(),
-                    entries,
-                },
+                Ok(mut entries) => {
+                    if let Some(cut) = entries.iter().position(|e| e.seq > durable) {
+                        entries.truncate(cut);
+                    }
+                    // Cap by encoded bytes too: MAX_BATCH entries can
+                    // outgrow the frame the peer will accept.
+                    entries.truncate(log_chunk_fit(&entries));
+                    Message::LogChunk {
+                        primary_seq: session.seq(),
+                        entries,
+                    }
+                }
                 Err(e) => serve_error_reply(&e),
             }
         }

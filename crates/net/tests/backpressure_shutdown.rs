@@ -204,6 +204,70 @@ fn shutdown_with_idle_connections_drains_promptly() {
 }
 
 #[test]
+fn shutdown_is_not_wedged_by_a_peer_stalled_mid_frame() {
+    use std::io::Write;
+    let dir = scratch_dir("net-shutdown-midframe");
+    let (server, addr, _registry) =
+        start(&dir, StoreConfig::default(), AdmissionConfig::default());
+    // A raw peer that completes the handshake, sends 3 bytes of an
+    // 8-byte frame header, then goes silent — without a mid-frame
+    // drain deadline this would hold a handler thread (and the join in
+    // shutdown) forever.
+    let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+    dynfo_net::proto::write_hello(&mut raw).unwrap();
+    dynfo_net::proto::read_hello(&mut raw).unwrap();
+    raw.write_all(&[7, 0, 0]).unwrap();
+    raw.flush().unwrap();
+    // Let the handler pick up the partial header before stop is set.
+    std::thread::sleep(Duration::from_millis(150));
+    let started = Instant::now();
+    server.shutdown().unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "drain took {:?} with a peer stalled mid-frame",
+        started.elapsed()
+    );
+    drop(raw);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shed_fsync_signal_unlatches_without_fresh_samples() {
+    let dir = scratch_dir("net-bp-fsync-recover");
+    let (server, addr, registry) = start(
+        &dir,
+        StoreConfig::default(),
+        AdmissionConfig {
+            max_fsync_p99_ns: 1_000,
+            fsync_window: Duration::from_millis(50),
+            ..AdmissionConfig::default()
+        },
+    );
+    let mut client = Client::connect(&addr).unwrap();
+    client.open("bp", "parity", 8).unwrap();
+    // A transient disk stall: 16 terrible fsyncs, then silence.
+    let h = registry.histogram("serve.journal.fsync_ns");
+    for _ in 0..16 {
+        h.observe(100_000_000);
+    }
+    assert_overloaded(client.apply(Request::ins("M", [1])));
+    // Shed writes record no fsyncs; the signal must still clear once a
+    // window passes without bad samples — not require a restart.
+    let recovered = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(25));
+        match client.apply(Request::ins("M", [1])) {
+            Ok(_) => break,
+            Err(e) if e.is_overloaded() && recovered.elapsed() < Duration::from_secs(5) => {}
+            Err(e) => panic!("write never recovered after the stall: {e}"),
+        }
+    }
+    assert!(client.query().unwrap(), "the recovered write landed");
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn programmatic_shutdown_flag_round_trips() {
     assert!(!dynfo_net::shutdown_requested());
     dynfo_net::install_signal_handlers();

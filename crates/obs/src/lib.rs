@@ -31,7 +31,7 @@ mod metrics;
 mod registry;
 pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram, Timer, HISTOGRAM_BUCKETS};
+pub use metrics::{bucket_upper_bound, Counter, Gauge, Histogram, Timer, HISTOGRAM_BUCKETS};
 pub use registry::{global, Metric, Registry};
 pub use trace::{clear_jsonl_sink, current_path, set_jsonl_sink, span, Span};
 

@@ -112,8 +112,10 @@ pub(crate) fn bucket_index(v: u64) -> usize {
     (u64::BITS - v.leading_zeros()) as usize
 }
 
-/// Inclusive upper bound of bucket `i` (`u64::MAX` for the top bucket).
-pub(crate) fn bucket_upper_bound(i: usize) -> u64 {
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the top
+/// bucket). Public so controllers can compute custom quantiles over
+/// [`Histogram::bucket_counts`] snapshots (e.g. windowed deltas).
+pub fn bucket_upper_bound(i: usize) -> u64 {
     match i {
         0 => 0,
         1..=63 => (1u64 << i) - 1,
@@ -190,21 +192,7 @@ impl Histogram {
     /// bound. Returns 0 for an empty histogram. `q` is clamped to
     /// [0, 1]; `quantile(0.0)` reports the lowest non-empty bucket.
     pub fn quantile(&self, q: f64) -> u64 {
-        let counts = self.bucket_counts();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_upper_bound(i);
-            }
-        }
-        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+        quantile_of_counts(&self.bucket_counts(), q).1
     }
 
     /// Median (upper-bounded, see [`Histogram::quantile`]).
@@ -230,6 +218,26 @@ impl Histogram {
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
     }
+}
+
+/// Shared quantile readout over a bucket-count array: returns the
+/// total sample count and the inclusive upper bound of the bucket
+/// holding the rank-`q` sample (`(0, 0)` when empty).
+fn quantile_of_counts(counts: &[u64; HISTOGRAM_BUCKETS], q: f64) -> (u64, u64) {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return (0, 0);
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return (total, bucket_upper_bound(i));
+        }
+    }
+    (total, bucket_upper_bound(HISTOGRAM_BUCKETS - 1))
 }
 
 /// Drop guard from [`Histogram::start_timer`]: records the elapsed

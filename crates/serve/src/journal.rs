@@ -133,8 +133,17 @@ pub struct JournalWriter {
     path: PathBuf,
     pending: Vec<u8>,
     pending_frames: usize,
+    /// Entry sequence numbers of the pending frames, in append order
+    /// (parallel to the frames in `pending`).
+    pending_seqs: Vec<u64>,
     /// Frames made durable in this segment so far.
     committed_frames: u64,
+    /// Highest entry sequence number whose frame is *fsynced* — updated
+    /// only after `sync_data` returns, so readers capping at this
+    /// watermark never observe a written-but-not-yet-durable suffix.
+    /// Spans rotations: the owner re-seeds it via
+    /// [`set_durable_seq`](Self::set_durable_seq) on reopen/rotation.
+    durable_seq: u64,
     auto_commit_every: usize,
     /// Write+fsync batches issued by [`commit`](Self::commit) so far.
     syncs: u64,
@@ -179,7 +188,9 @@ impl JournalWriter {
             path: path.to_path_buf(),
             pending: Vec::new(),
             pending_frames: 0,
+            pending_seqs: Vec::new(),
             committed_frames: 0,
+            durable_seq: 0,
             auto_commit_every: auto_commit_every.max(1),
             syncs: 0,
             kill_after_frame: None,
@@ -229,12 +240,29 @@ impl JournalWriter {
             path: path.to_path_buf(),
             pending: Vec::new(),
             pending_frames: 0,
+            pending_seqs: Vec::new(),
             committed_frames: existing_frames,
+            durable_seq: 0,
             auto_commit_every: auto_commit_every.max(1),
             syncs: 0,
             kill_after_frame: None,
             obs,
         })
+    }
+
+    /// Seed the durable watermark — the owner calls this after recovery
+    /// or segment rotation, when every frame up to `seq` is known to be
+    /// on disk (recovered segments were read *from* disk; rotation
+    /// commits before switching files).
+    pub fn set_durable_seq(&mut self, seq: u64) {
+        self.durable_seq = seq;
+    }
+
+    /// Highest entry sequence number made durable by this writer (after
+    /// its `sync_data` returned); see [`set_durable_seq`](Self::set_durable_seq)
+    /// for how the watermark survives rotation.
+    pub fn durable_seq(&self) -> u64 {
+        self.durable_seq
     }
 
     /// Install the kill-after-frame fault: once `frame` frames are
@@ -287,6 +315,7 @@ impl JournalWriter {
         let started = dynfo_obs::clock();
         self.pending.extend_from_slice(&encode_frame(seq, req));
         self.pending_frames += 1;
+        self.pending_seqs.push(seq);
         self.obs.append_ns.observe_since(started);
         Ok(())
     }
@@ -322,10 +351,14 @@ impl JournalWriter {
             self.syncs += 1;
             self.obs.fsync_ns.observe_since(started);
             self.obs.batch_frames.observe(frames_to_write);
+            // Only here — strictly after sync_data returned — does the
+            // batch count as durable for watermark readers.
+            self.durable_seq = self.pending_seqs[frames_to_write as usize - 1];
         }
         self.committed_frames += frames_to_write;
         self.pending.clear();
         self.pending_frames = 0;
+        self.pending_seqs.clear();
         Ok(())
     }
 }
@@ -420,8 +453,16 @@ fn read_one_frame(r: &mut Reader<'_>) -> Result<JournalEntry, String> {
 /// frame with sequence number strictly greater than `after_seq`, in
 /// order, capped at `max` entries. This is the primary-side read path
 /// of log-shipping replication — it serves only what is on disk (the
-/// group-committed prefix), never the in-memory batch, so a follower
-/// can never get ahead of what a crash would preserve.
+/// group-committed prefix), never the in-memory batch.
+///
+/// One caveat: a group commit's frames become *visible* at `write_all`
+/// but *durable* only when its `sync_data` returns, so a scan racing a
+/// live writer can include a suffix a power-loss crash would roll
+/// back. Callers co-located with the writer must therefore cap the
+/// result at the session's fsync watermark
+/// ([`Session::durable_seq`](crate::Session::durable_seq)) before
+/// shipping it to a follower; against a quiesced or crashed directory
+/// the scan alone is exact.
 ///
 /// The scan is concurrency-tolerant by construction: segment files are
 /// appended with whole frames and [`read_segment`] stops at the first

@@ -376,6 +376,16 @@ impl Session {
         self.inner.lock().unwrap().seq
     }
 
+    /// Highest sequence number whose journal frame is fsynced — the
+    /// crash-durable watermark. Always ≤ [`Session::seq`]; the gap is
+    /// the group-commit buffer plus any commit whose `sync_data` has
+    /// not returned yet. Log shipping caps `FetchLog` replies here so a
+    /// follower never replays an entry a primary power-loss could
+    /// still roll back.
+    pub fn durable_seq(&self) -> u64 {
+        self.inner.lock().unwrap().journal.durable_seq()
+    }
+
     /// Apply one request: machine update + journal append, atomically
     /// ordered within this session. A malformed request is rejected
     /// before any state or disk change.
@@ -542,6 +552,9 @@ impl Inner {
             config.group_commit,
             obs.journal.clone(),
         )?;
+        // The commit above made everything through `seq` durable; the
+        // fresh writer carries the watermark across the rotation.
+        self.journal.set_durable_seq(self.seq);
         Ok(())
     }
 
@@ -566,6 +579,7 @@ impl Inner {
             config.group_commit,
             obs.journal.clone(),
         )?;
+        self.journal.set_durable_seq(self.seq);
         Ok(())
     }
 }
@@ -741,7 +755,7 @@ fn recover(
         }
     }
 
-    let journal = match tail_writer {
+    let mut journal = match tail_writer {
         Some(w) => w,
         // No segments at all (e.g. a bare snapshot was copied in):
         // start a fresh one at the current position.
@@ -751,6 +765,9 @@ fn recover(
             journal_obs,
         )?,
     };
+    // Everything recovery replayed was read *from* disk, so the
+    // durable watermark starts at the recovered position.
+    journal.set_durable_seq(seq);
     Ok((machine, seq, journal, report))
 }
 
@@ -1008,6 +1025,40 @@ mod tests {
         let s = store.session("net", &reach_u::program(), 8).unwrap();
         assert_eq!(s.seq(), 1, "only the first committed batch survives");
         assert!(!s.query_named("connected", &[1, 2]).unwrap());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn durable_seq_advances_only_on_fsync_and_survives_rotation() {
+        let root = scratch_dir("store-durable-seq");
+        let config = StoreConfig {
+            snapshot_every: 0,
+            group_commit: 1_000, // nothing commits until forced
+        };
+        {
+            let store = SessionStore::open(&root, config).unwrap();
+            let s = store.session("net", &reach_u::program(), 8).unwrap();
+            for (a, b) in [(0, 1), (1, 2), (2, 3)] {
+                s.apply(&Request::ins("E", [a, b])).unwrap();
+            }
+            assert_eq!(s.seq(), 3);
+            assert_eq!(s.durable_seq(), 0, "buffered frames are not durable");
+            s.sync().unwrap();
+            assert_eq!(s.durable_seq(), 3, "commit advances the watermark");
+            s.apply(&Request::ins("E", [3, 4])).unwrap();
+            assert_eq!(s.durable_seq(), 3, "the new frame is back in the buffer");
+            s.seal_segment().unwrap();
+            assert_eq!(s.durable_seq(), 4, "sealing commits and spans rotation");
+            s.apply(&Request::ins("E", [4, 5])).unwrap();
+            s.checkpoint().unwrap();
+            assert_eq!(s.durable_seq(), 5, "checkpoint rotation carries it too");
+            store.shutdown().unwrap();
+        }
+        // Recovery seeds the watermark at the recovered position.
+        let store = SessionStore::open(&root, config).unwrap();
+        let s = store.session("net", &reach_u::program(), 8).unwrap();
+        assert_eq!(s.seq(), 5);
+        assert_eq!(s.durable_seq(), 5, "recovered frames came from disk");
         std::fs::remove_dir_all(&root).unwrap();
     }
 
