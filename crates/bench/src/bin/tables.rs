@@ -1,13 +1,16 @@
-//! Regenerates every experiment table (E01–E16, E20–E23) from
+//! Regenerates every experiment table (E01–E16, E20–E24) from
 //! `DESIGN.md` / `EXPERIMENTS.md`.
 //!
 //! Run with: `cargo run --release -p dynfo-bench --bin tables`
 //!
 //! `--json` additionally writes the E22 rows to `BENCH_E22.json`
-//! (`{op, n, backend, ns_per_op, kernel_words}` records) and the E23
+//! (`{op, n, backend, ns_per_op, kernel_words}` records), the E23
 //! rows to `BENCH_E23.json` (`{setup, endpoints, readers, read_rps,
-//! read_p99_us, write_rps, overloaded}` records) for CI trend
-//! tracking; remaining args filter sections by substring.
+//! read_p99_us, write_rps, overloaded}` records), and the E24 rows to
+//! `BENCH_E24.json` (`{kind, name, n, kernel_words_off,
+//! kernel_words_on, saved_pct, run_words_off, run_words_on, us_off,
+//! us_on, ops_removed, words_saved}` records) for CI trend tracking;
+//! remaining args filter sections by substring.
 //!
 //! Times are microseconds per operation. Absolute numbers are
 //! machine-specific; the *shapes* (who grows with n, who stays flat,
@@ -28,8 +31,8 @@ fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
-/// Whether `--json` was passed: E22 and E23 also write
-/// `BENCH_E22.json` / `BENCH_E23.json`.
+/// Whether `--json` was passed: E22, E23, and E24 also write
+/// `BENCH_E22.json` / `BENCH_E23.json` / `BENCH_E24.json`.
 static EMIT_JSON: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 fn main() {
@@ -43,7 +46,7 @@ fn main() {
     }
     let run = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
     println!("Dyn-FO experiment tables (microseconds unless noted)");
-    let sections: [(&str, fn()); 20] = [
+    let sections: [(&str, fn()); 21] = [
         ("e01", e01_parity),
         ("e02", e02_reach_u),
         ("e03", e03_reach_acyclic),
@@ -64,6 +67,7 @@ fn main() {
         ("e21", e21_observability),
         ("e22", e22_simd_chunked),
         ("e23", e23_serving_tier),
+        ("e24", e24_plan_optimizer),
     ];
     for (name, section) in sections {
         if run(name) {
@@ -746,7 +750,9 @@ fn e20_compiled() {
     // the binary-aux programs. REACH_a is the honest fallback row: its
     // 4-variable delete formula exceeds the machine's plan work budget,
     // so deletes run interpreted (the fallback counter lights up) while
-    // inserts run compiled.
+    // inserts run compiled. Since the plan optimizer (E24) the n = 64
+    // delete shrinks under budget and runs compiled; n = 128 still
+    // exceeds the cap and keeps the fallback counter non-zero.
     let cases: Vec<Case> = vec![
         // PARITY's aux relations are unary, so it sweeps to n = 1024
         // for free and pins the blocked-fold path at large n; REACH_u's
@@ -1328,5 +1334,349 @@ fn e23_serving_tier() {
         out.push_str("]\n");
         std::fs::write("BENCH_E23.json", &out).expect("write BENCH_E23.json");
         println!("wrote BENCH_E23.json ({} rows)", rows.len());
+    }
+}
+
+/// One E24 measurement, also emitted to `BENCH_E24.json` under `--json`.
+/// `kwords_*` are static per-execution plan words (plan-for-plan over
+/// the optimized machine's plan set, so asymmetric work-cap fallback
+/// cannot skew them); `run_kwords_*` are the realized kernel-word
+/// counters from actually driving the stream and queries.
+struct E24Row {
+    kind: &'static str,
+    name: String,
+    n: u32,
+    kwords_off: u64,
+    kwords_on: u64,
+    run_kwords_off: u64,
+    run_kwords_on: u64,
+    us_off: f64,
+    us_on: f64,
+    ops_removed: u64,
+    words_saved: u64,
+}
+
+impl E24Row {
+    fn saved_pct(&self) -> f64 {
+        if self.kwords_off == 0 {
+            0.0
+        } else {
+            100.0 * (self.kwords_off.saturating_sub(self.kwords_on)) as f64
+                / self.kwords_off as f64
+        }
+    }
+}
+
+/// E24 — the algebraic plan optimizer: kernel words and per-op latency,
+/// raw lowering vs optimized, across the 12 update programs and the
+/// enumerated synth corpus.
+///
+/// Part 1 drives each update program over a fixed churn stream twice —
+/// once with `with_plan_opt(false)` (the raw syntactic lowering, which
+/// is also the differential baseline in `plan_equivalence`) and once
+/// with the optimizer on — then replays its queries, and compares the
+/// *realized* kernel words (update + query work) and the mean
+/// per-update latency. `ops_removed` / `words_saved` are the machine's
+/// static `plan_opt_summary()` over every compiled plan. The
+/// binary-aux programs run at n = 64 (REACH_u also 256, PARITY to
+/// 1024); the 4/5-variable programs run at the sizes E20 established
+/// as honest for their plan budgets (MSF at 16, the S⁴-slot programs
+/// at 32).
+///
+/// Part 2 sweeps the enumerated workload corpus
+/// (`dynfo_testutil::synth::corpus`) at n ∈ {64, 256, 1024}: every
+/// formula is compiled both ways directly (no machine, no work cap),
+/// comparing summed static `work_words`; the subset whose raw plan
+/// fits the production compile budget *and* whose root decode stays
+/// small (≤ 2²⁰ bits) is also executed for wall-clock per-formula
+/// latency. Baselines pin the optimizer per-plan via `compile_with` /
+/// `with_plan_opt`, never `DYNFO_PLAN_OPT` — the env var is read once
+/// per process and would poison the in-process A/B.
+fn e24_plan_optimizer() {
+    use dynfo_core::program::DynFoProgram;
+    use dynfo_graph::generate::{churn_stream, rng, EdgeOp};
+    use dynfo_logic::{Evaluator, Plan, Sym};
+    use dynfo_testutil::synth;
+    use std::collections::BTreeMap;
+
+    let mut rows: Vec<E24Row> = Vec::new();
+    let mut total_ops_removed = 0u64;
+
+    header("E24 plan optimizer: 12 update programs, raw lowering vs optimized");
+    row(["program", "n", "plan kw off", "plan kw on", "saved", "run kw off", "run kw on",
+         "upd us off", "upd us on", "ops rm"]
+        .map(String::from).as_ref());
+
+    fn insert_reqs(n: u32, undirected: bool, seed: u64) -> Vec<Request> {
+        churn_stream(n, 120, 0.0, undirected, &mut rng(seed))
+            .into_iter()
+            .map(|op| match op {
+                EdgeOp::Ins(a, b) | EdgeOp::Del(a, b) => Request::ins("E", [a, b]),
+            })
+            .collect()
+    }
+
+    type Case = (
+        &'static str,
+        fn() -> DynFoProgram,
+        Box<dyn Fn(u32) -> Vec<Request>>,
+        Vec<u32>,
+        Vec<(&'static str, Vec<u32>)>,
+    );
+    fn kconn2() -> DynFoProgram {
+        programs::kconn::program_up_to(2)
+    }
+    let cases: Vec<Case> = vec![
+        (
+            "PARITY",
+            programs::parity::program,
+            Box::new(|n| {
+                (0..200u32)
+                    .map(|i| {
+                        if i % 3 == 0 {
+                            Request::del("M", [(i * 7) % n])
+                        } else {
+                            Request::ins("M", [(i * 13) % n])
+                        }
+                    })
+                    .collect()
+            }),
+            vec![64, 256, 1024],
+            vec![],
+        ),
+        (
+            "REACH_u",
+            programs::reach_u::program,
+            Box::new(|n| undirected_workload(n, 120, 211)),
+            vec![64, 128],
+            vec![("connected", vec![0, 6])],
+        ),
+        (
+            "REACH_a",
+            programs::reach_acyclic::program,
+            Box::new(|n| dag_workload(n, 120, 223)),
+            vec![64],
+            vec![("reaches", vec![0, 6])],
+        ),
+        (
+            "TRANS_RED",
+            programs::trans_reduction::program,
+            Box::new(|n| dag_workload(n, 60, 227)),
+            vec![32],
+            vec![("in_tr", vec![0, 1])],
+        ),
+        (
+            "MSF",
+            programs::msf::program,
+            Box::new(|n| weighted_workload(n, 40, 229)),
+            vec![16],
+            vec![("in_msf", vec![0, 1])],
+        ),
+        (
+            "BIPARTITE",
+            programs::bipartite::program,
+            Box::new(|n| undirected_workload(n, 120, 233)),
+            vec![64],
+            vec![("odd_path", vec![0, 1])],
+        ),
+        (
+            "KCONN<=2",
+            kconn2,
+            Box::new(|n| undirected_workload(n, 60, 239)),
+            vec![32],
+            vec![("connected", vec![0, 5])],
+        ),
+        (
+            "MATCHING",
+            programs::matching::program,
+            Box::new(|n| undirected_workload(n, 60, 241)),
+            vec![32],
+            vec![("matched", vec![0, 1])],
+        ),
+        (
+            "LCA",
+            programs::lca::program,
+            Box::new(|n| dag_workload(n, 60, 251)),
+            vec![32],
+            vec![("ancestor", vec![0, 5])],
+        ),
+        (
+            "VERTEX_COVER",
+            programs::vertex_cover::program,
+            Box::new(|n| undirected_workload(n, 60, 257)),
+            vec![32],
+            vec![("in_cover", vec![0])],
+        ),
+        (
+            "semi REACH_u",
+            programs::semi::reach_u_program,
+            Box::new(|n| insert_reqs(n, true, 263)),
+            vec![64],
+            vec![("connected", vec![0, 6])],
+        ),
+        (
+            "semi REACH",
+            programs::semi::reach_program,
+            Box::new(|n| insert_reqs(n, false, 269)),
+            vec![64],
+            vec![("reaches", vec![0, 6])],
+        ),
+    ];
+
+    const QUERY_REPS: usize = 25;
+    for (name, program, workload, sizes, queries) in &cases {
+        for &n in sizes {
+            let reqs = workload(n);
+            let mut run_kw = [0u64; 2];
+            let mut upd = [0f64; 2];
+            let mut summary = (0u64, 0u64);
+            let mut static_on = 0u64;
+            for (i, optimize) in [false, true].into_iter().enumerate() {
+                let mut machine = DynFoMachine::new(program(), n).with_plan_opt(optimize);
+                upd[i] = mean_update_seconds(&mut machine, &reqs);
+                for _ in 0..QUERY_REPS {
+                    for (q, args) in queries {
+                        machine.query_named(q, args).expect("query");
+                    }
+                }
+                let stats = machine.stats();
+                run_kw[i] = stats.update_work.kernel_words + stats.query_work.kernel_words;
+                if optimize {
+                    summary = machine.plan_opt_summary();
+                    // Named-query plans have compiled lazily by now, so
+                    // this covers rules + boolean query + named queries.
+                    static_on = machine.plan_static_words();
+                }
+            }
+            let r = E24Row {
+                kind: "program",
+                name: name.to_string(),
+                n,
+                // Plan-for-plan: the optimized machine's plan set, with
+                // the saved words added back for the raw-lowering side.
+                kwords_off: static_on + summary.1,
+                kwords_on: static_on,
+                run_kwords_off: run_kw[0],
+                run_kwords_on: run_kw[1],
+                us_off: upd[0],
+                us_on: upd[1],
+                ops_removed: summary.0,
+                words_saved: summary.1,
+            };
+            row(&[
+                r.name.clone(),
+                n.to_string(),
+                r.kwords_off.to_string(),
+                r.kwords_on.to_string(),
+                format!("{:.1}%", r.saved_pct()),
+                format!("{}k", r.run_kwords_off / 1000),
+                format!("{}k", r.run_kwords_on / 1000),
+                us(r.us_off),
+                us(r.us_on),
+                r.ops_removed.to_string(),
+            ]);
+            total_ops_removed += r.ops_removed;
+            rows.push(r);
+        }
+    }
+
+    header("E24 enumerated corpus: static work words and execute latency");
+    row(["corpus", "n", "fit/exec", "kw off", "kw on", "saved", "exec us off", "exec us on", "ops rm"]
+        .map(String::from).as_ref());
+    let rels: BTreeMap<Sym, usize> =
+        [(Sym::new("E"), 2), (Sym::new("M"), 1)].into_iter().collect();
+    const CORPUS_CAP: usize = 120;
+    // The production compile budget and a decode bound (root table stays
+    // enumerable) gate which formulas also get executed for wall-clock.
+    const EXEC_WORDS_CAP: u64 = 1 << 22;
+    const EXEC_ROOT_BITS_CAP: u64 = 1 << 20;
+    for n in [64u32, 256, 1024] {
+        let st = synth::random_structure(&rels, n, 4242);
+        let s = (n as u64).next_power_of_two();
+        let mut kw = [0u64; 2];
+        let mut run_kw = [0u64; 2];
+        let mut exec_secs = [0f64; 2];
+        let mut compiled = 0usize;
+        let mut executed = 0usize;
+        let mut ops_removed = 0u64;
+        for f in synth::corpus(CORPUS_CAP) {
+            let (Some(off), Some(on)) = (
+                Plan::compile_with(&f, &st, false),
+                Plan::compile_with(&f, &st, true),
+            ) else {
+                continue;
+            };
+            compiled += 1;
+            kw[0] += off.work_words();
+            kw[1] += on.work_words();
+            ops_removed += on.opt_ops_removed();
+            let root_bits = s.pow(off.vars().len() as u32);
+            if off.work_words() <= EXEC_WORDS_CAP && root_bits <= EXEC_ROOT_BITS_CAP {
+                executed += 1;
+                for (i, plan) in [&off, &on].into_iter().enumerate() {
+                    let mut arena = plan.arena();
+                    let mut ev = Evaluator::new(&st, &[]);
+                    let (out, secs) = timed(|| plan.execute(&mut ev, &mut arena, None));
+                    out.expect("corpus execute").expect("layout matches");
+                    exec_secs[i] += secs;
+                    run_kw[i] += ev.stats().kernel_words;
+                }
+            }
+        }
+        let r = E24Row {
+            kind: "corpus",
+            name: format!("corpus[{CORPUS_CAP}]"),
+            n,
+            kwords_off: kw[0],
+            kwords_on: kw[1],
+            run_kwords_off: run_kw[0],
+            run_kwords_on: run_kw[1],
+            us_off: exec_secs[0] / executed.max(1) as f64,
+            us_on: exec_secs[1] / executed.max(1) as f64,
+            ops_removed,
+            words_saved: kw[0].saturating_sub(kw[1]),
+        };
+        row(&[
+            r.name.clone(),
+            n.to_string(),
+            format!("{compiled}/{executed}"),
+            format!("{}k", r.kwords_off / 1000),
+            format!("{}k", r.kwords_on / 1000),
+            format!("{:.1}%", r.saved_pct()),
+            us(r.us_off),
+            us(r.us_on),
+            r.ops_removed.to_string(),
+        ]);
+        total_ops_removed += r.ops_removed;
+        rows.push(r);
+    }
+
+    // Single grep-able line for the CI smoke step: the optimizer must
+    // have removed a non-zero number of ops across the suite.
+    println!("plan.opt_ops_removed: {total_ops_removed}");
+
+    if EMIT_JSON.load(std::sync::atomic::Ordering::Relaxed) {
+        let mut out = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"kind\": \"{}\", \"name\": \"{}\", \"n\": {}, \"kernel_words_off\": {}, \"kernel_words_on\": {}, \"saved_pct\": {:.1}, \"run_words_off\": {}, \"run_words_on\": {}, \"us_off\": {:.1}, \"us_on\": {:.1}, \"ops_removed\": {}, \"words_saved\": {}}}{}\n",
+                r.kind,
+                r.name,
+                r.n,
+                r.kwords_off,
+                r.kwords_on,
+                r.saved_pct(),
+                r.run_kwords_off,
+                r.run_kwords_on,
+                r.us_off * 1e6,
+                r.us_on * 1e6,
+                r.ops_removed,
+                r.words_saved,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write("BENCH_E24.json", &out).expect("write BENCH_E24.json");
+        println!("wrote BENCH_E24.json ({} rows)", rows.len());
     }
 }

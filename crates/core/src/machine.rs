@@ -344,9 +344,30 @@ fn plan_work_cap() -> u64 {
     })
 }
 
+/// The algebraic-optimizer default: `DYNFO_PLAN_OPT=off|0|false`
+/// disables the plan optimizer process-wide (parsed once, exported
+/// through dynfo-obs as the `machine.plan_opt` gauge); anything else —
+/// including unset — leaves it on. Per-machine override:
+/// [`DynFoMachine::with_plan_opt`].
+fn plan_opt_default() -> bool {
+    static OPT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *OPT.get_or_init(|| {
+        let on = !matches!(
+            std::env::var("DYNFO_PLAN_OPT")
+                .map(|v| v.trim().to_ascii_lowercase())
+                .as_deref(),
+            Ok("off" | "0" | "false")
+        );
+        if dynfo_obs::ENABLED {
+            ObsHandle::default().gauge("machine.plan_opt").set(on as i64);
+        }
+        on
+    })
+}
+
 impl BitPlan {
-    fn compile(f: &Formula, st: &Structure) -> Option<BitPlan> {
-        let plan = Plan::compile(f, st)?;
+    fn compile(f: &Formula, st: &Structure, optimize: bool) -> Option<BitPlan> {
+        let plan = Plan::compile_with(f, st, optimize)?;
         let work_words = plan.work_words();
         if work_words > PLAN_COMPILE_WORDS_CAP.max(plan_work_cap()) {
             return None;
@@ -451,6 +472,10 @@ pub struct DynFoMachine {
     /// Execute general rules and queries through compiled plans where
     /// available (the default); off keeps the interpreter everywhere.
     use_plans: bool,
+    /// Run the algebraic optimizer over compiled plans (the default —
+    /// see `DYNFO_PLAN_OPT`). Off compiles the raw syntactic lowering,
+    /// the differential baseline for the optimizer-on/off suites.
+    plan_opt: bool,
     /// Delta installs (default) or the rebuild baseline.
     install_mode: InstallMode,
     /// Worker threads for scheduling general rules within one request
@@ -466,15 +491,17 @@ impl DynFoMachine {
     /// Initialize for universe size `n` (runs the program's `f(∅)`).
     pub fn new(program: DynFoProgram, n: Elem) -> DynFoMachine {
         let state = program.initial_structure(n);
+        let plan_opt = plan_opt_default();
         let plans = compile_plans(&program);
-        let bit_plans = compile_bit_plans(&program, &plans, &state);
-        let query_plan = BitPlan::compile(program.query(), &state);
+        let bit_plans = compile_bit_plans(&program, &plans, &state, plan_opt);
+        let query_plan = BitPlan::compile(program.query(), &state, plan_opt);
         DynFoMachine {
             plans,
             bit_plans,
             query_plan,
             named_plans: BTreeMap::new(),
             use_plans: true,
+            plan_opt,
             program,
             state,
             stats: MachineStats::default(),
@@ -530,15 +557,17 @@ impl DynFoMachine {
                 ));
             }
         }
+        let plan_opt = plan_opt_default();
         let plans = compile_plans(&program);
-        let bit_plans = compile_bit_plans(&program, &plans, &state);
-        let query_plan = BitPlan::compile(program.query(), &state);
+        let bit_plans = compile_bit_plans(&program, &plans, &state, plan_opt);
+        let query_plan = BitPlan::compile(program.query(), &state, plan_opt);
         Ok(DynFoMachine {
             plans,
             bit_plans,
             query_plan,
             named_plans: BTreeMap::new(),
             use_plans: true,
+            plan_opt,
             program,
             state,
             stats: MachineStats::default(),
@@ -595,6 +624,83 @@ impl DynFoMachine {
     pub fn with_use_plans(mut self, on: bool) -> DynFoMachine {
         self.use_plans = on;
         self
+    }
+
+    /// Whether the algebraic optimizer rewrites compiled plans (the
+    /// default unless `DYNFO_PLAN_OPT=off`).
+    pub fn plan_opt(&self) -> bool {
+        self.plan_opt
+    }
+
+    /// Enable or disable the algebraic plan optimizer. Both settings
+    /// compute the same state and answers — the optimizer-off lowering
+    /// is the differential baseline the equivalence suites hold the
+    /// optimized plans against; only plan shape, `plan.opt_*` counters,
+    /// and speed differ. Toggling recompiles every rule and query plan
+    /// (named-query plans recompile lazily on next use).
+    pub fn set_plan_opt(&mut self, on: bool) {
+        if self.plan_opt == on {
+            return;
+        }
+        self.plan_opt = on;
+        self.bit_plans = compile_bit_plans(&self.program, &self.plans, &self.state, on);
+        self.query_plan = BitPlan::compile(self.program.query(), &self.state, on);
+        self.named_plans.clear();
+    }
+
+    /// Builder form of [`DynFoMachine::set_plan_opt`].
+    pub fn with_plan_opt(mut self, on: bool) -> DynFoMachine {
+        self.set_plan_opt(on);
+        self
+    }
+
+    /// Total `(ops removed, kernel words saved per execution)` by the
+    /// algebraic optimizer across every currently compiled plan (rule
+    /// plans, the boolean query, and named queries compiled so far).
+    /// All zeros when the optimizer is off or nothing was reducible.
+    pub fn plan_opt_summary(&self) -> (u64, u64) {
+        let mut ops = 0u64;
+        let mut words = 0u64;
+        let mut add = |bp: &BitPlan| {
+            ops += bp.plan.opt_ops_removed();
+            words += bp.plan.opt_kernel_words_saved();
+        };
+        for rules in self.bit_plans.values() {
+            for bp in rules.iter().flatten() {
+                add(bp);
+            }
+        }
+        if let Some(bp) = &self.query_plan {
+            add(bp);
+        }
+        for bp in self.named_plans.values().flatten() {
+            add(bp);
+        }
+        (ops, words)
+    }
+
+    /// Sum of `work_words` (kernel words one execution touches) across
+    /// every currently compiled plan — the static counterpart to the
+    /// realized `kernel_words` counters, unaffected by which plans the
+    /// per-execution work cap lets the machine actually run. Adding
+    /// back [`DynFoMachine::plan_opt_summary`]'s words-saved term gives
+    /// the raw-lowering total, so optimizer-off and optimizer-on
+    /// machines can be compared plan-for-plan.
+    pub fn plan_static_words(&self) -> u64 {
+        let mut words = 0u64;
+        let mut add = |bp: &BitPlan| words += bp.plan.work_words();
+        for rules in self.bit_plans.values() {
+            for bp in rules.iter().flatten() {
+                add(bp);
+            }
+        }
+        if let Some(bp) = &self.query_plan {
+            add(bp);
+        }
+        for bp in self.named_plans.values().flatten() {
+            add(bp);
+        }
+        words
     }
 
     /// Worker threads used to schedule general rules within one request.
@@ -1076,7 +1182,7 @@ impl DynFoMachine {
         if self.use_plans && !self.named_plans.contains_key(&sym) {
             // Plans are parameter-generic (`?i` resolves at execution),
             // so one compilation serves every argument vector.
-            let bp = BitPlan::compile(&f, &self.state);
+            let bp = BitPlan::compile(&f, &self.state, self.plan_opt);
             self.named_plans.insert(sym, bp);
         }
         let pool = (self.parallelism > 1).then(|| EvalPool::global(self.parallelism));
@@ -1125,6 +1231,7 @@ fn compile_bit_plans(
     program: &DynFoProgram,
     plans: &BTreeMap<RequestKind, Vec<RulePlan>>,
     st: &Structure,
+    optimize: bool,
 ) -> BTreeMap<RequestKind, Vec<Option<BitPlan>>> {
     let mut out = BTreeMap::new();
     for (&kind, rule_plans) in plans {
@@ -1134,9 +1241,9 @@ fn compile_bit_plans(
             .iter()
             .zip(rule_plans)
             .map(|(rule, plan)| match plan {
-                RulePlan::General(GeneralPlan::Grow(psi)) => BitPlan::compile(psi, st),
+                RulePlan::General(GeneralPlan::Grow(psi)) => BitPlan::compile(psi, st, optimize),
                 RulePlan::General(GeneralPlan::Shrink | GeneralPlan::Full) => {
-                    BitPlan::compile(&rule.formula, st)
+                    BitPlan::compile(&rule.formula, st, optimize)
                 }
                 // Guard refinement already beats whole-formula
                 // evaluation; its surviving disjuncts vary per request,

@@ -276,3 +276,202 @@ proptest! {
         assert_plans_transparent(programs::parity::program, 8, &reqs, &[], false);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Optimizer-on vs optimizer-off differentials (PR 8)
+// ---------------------------------------------------------------------------
+//
+// The algebraic plan optimizer must be invisible in state and answers:
+// each `opt_*` test drives one stream through the raw-lowering baseline
+// (`PlansNoOpt`, the reference), the optimized default, the parallel
+// scheduler, and `apply_batch`, asserting step-for-step agreement. The
+// returned `(ops_removed, words_saved)` summary additionally pins, per
+// program, whether the optimizer found anything to do — a rewrite
+// regression that silently stops firing fails here, not just in E24.
+
+use dynfo_testutil::assert_opt_transparent;
+
+#[test]
+fn opt_parity() {
+    let mut rand = rng(71);
+    let reqs: Vec<Request> = (0..30)
+        .map(|_| {
+            let i = rand.gen_range(0..8u32);
+            if rand.gen_bool(0.4) {
+                Request::del("M", [i])
+            } else {
+                Request::ins("M", [i])
+            }
+        })
+        .collect();
+    // PARITY's counter rules are already tight: nothing to remove.
+    let (ops, _) = assert_opt_transparent(programs::parity::program, 8, &reqs, &[]);
+    assert_eq!(ops, 0, "optimizer unexpectedly fired on PARITY");
+}
+
+#[test]
+fn opt_reach_u() {
+    let n = 7u32;
+    let mut reqs = edge_requests("E", &churn_stream(n, 30, 0.3, true, &mut rng(73)));
+    reqs.insert(8, Request::set("s", 1));
+    let (ops, words) = assert_opt_transparent(
+        programs::reach_u::program,
+        n,
+        &reqs,
+        &[("connected", &[0, 6])],
+    );
+    assert!(ops > 0, "optimizer found nothing in REACH_u");
+    assert!(words > 0);
+}
+
+#[test]
+fn opt_reach_acyclic() {
+    let n = 7u32;
+    let reqs = edge_requests("E", &dag_churn_stream(n, 30, 0.3, &mut rng(79)));
+    let (ops, _) = assert_opt_transparent(
+        programs::reach_acyclic::program,
+        n,
+        &reqs,
+        &[("reaches", &[0, 6])],
+    );
+    assert!(ops > 0, "optimizer found nothing in REACH_acyclic");
+}
+
+#[test]
+fn opt_trans_reduction() {
+    let n = 6u32;
+    let reqs = edge_requests("E", &dag_churn_stream(n, 25, 0.3, &mut rng(83)));
+    let (ops, _) = assert_opt_transparent(
+        programs::trans_reduction::program,
+        n,
+        &reqs,
+        &[("in_tr", &[0, 1])],
+    );
+    assert!(ops > 0, "optimizer found nothing in TRANS_REDUCTION");
+}
+
+#[test]
+fn opt_msf() {
+    let n = 5u32;
+    let reqs = weighted_stream(n, 25, 89);
+    let (ops, words) = assert_opt_transparent(
+        programs::msf::program,
+        n,
+        &reqs,
+        &[("in_msf", &[0, 1]), ("connected", &[0, 4])],
+    );
+    // MSF's 5-ary cycle rules are the biggest win in the whole library.
+    assert!(ops > 0, "optimizer found nothing in MSF");
+    assert!(words > 0);
+}
+
+#[test]
+fn opt_bipartite() {
+    let n = 7u32;
+    let reqs = edge_requests("E", &churn_stream(n, 30, 0.3, true, &mut rng(97)));
+    let (ops, _) = assert_opt_transparent(
+        programs::bipartite::program,
+        n,
+        &reqs,
+        &[("odd_path", &[0, 1])],
+    );
+    assert!(ops > 0, "optimizer found nothing in BIPARTITE");
+}
+
+#[test]
+fn opt_kconn() {
+    let n = 6u32;
+    let reqs = edge_requests("E", &churn_stream(n, 25, 0.3, true, &mut rng(101)));
+    let (ops, _) = assert_opt_transparent(
+        || programs::kconn::program_up_to(2),
+        n,
+        &reqs,
+        &[("connected", &[0, 5])],
+    );
+    assert!(ops > 0, "optimizer found nothing in KCONN");
+}
+
+#[test]
+fn opt_matching() {
+    let n = 6u32;
+    let reqs = edge_requests("E", &churn_stream(n, 25, 0.3, true, &mut rng(103)));
+    let (ops, _) = assert_opt_transparent(
+        programs::matching::program,
+        n,
+        &reqs,
+        &[("matched", &[0, 1]), ("is_matched", &[2])],
+    );
+    assert!(ops > 0, "optimizer found nothing in MATCHING");
+}
+
+#[test]
+fn opt_lca() {
+    let n = 6u32;
+    let reqs = edge_requests("E", &dag_churn_stream(n, 25, 0.3, &mut rng(107)));
+    let (ops, _) = assert_opt_transparent(
+        programs::lca::program,
+        n,
+        &reqs,
+        &[("ancestor", &[0, 5])],
+    );
+    assert!(ops > 0, "optimizer found nothing in LCA");
+}
+
+#[test]
+fn opt_vertex_cover() {
+    let n = 6u32;
+    let reqs = edge_requests("E", &churn_stream(n, 25, 0.3, true, &mut rng(109)));
+    let (ops, _) = assert_opt_transparent(
+        programs::vertex_cover::program,
+        n,
+        &reqs,
+        &[("in_cover", &[0])],
+    );
+    assert!(ops > 0, "optimizer found nothing in VERTEX_COVER");
+}
+
+#[test]
+fn opt_semi_reach_u() {
+    let n = 7u32;
+    let reqs: Vec<Request> =
+        edge_requests("E", &churn_stream(n, 20, 0.0, true, &mut rng(113)));
+    assert_opt_transparent(
+        programs::semi::reach_u_program,
+        n,
+        &reqs,
+        &[("connected", &[0, 6])],
+    );
+}
+
+#[test]
+fn opt_semi_reach() {
+    let n = 7u32;
+    let reqs: Vec<Request> =
+        edge_requests("E", &churn_stream(n, 20, 0.0, false, &mut rng(127)));
+    assert_opt_transparent(
+        programs::semi::reach_program,
+        n,
+        &reqs,
+        &[("reaches", &[0, 6])],
+    );
+}
+
+/// The enumerated synth corpus, machine-free: every corpus formula's
+/// optimized plan must match its raw lowering and the interpreter on a
+/// seeded random graph structure (the logic-level proptest corpus runs
+/// the same assertion over random structures; this pins the checked-in
+/// corpus itself).
+#[test]
+fn opt_corpus_formulas_match() {
+    use dynfo_testutil::assert_plan_matches;
+    let rels: std::collections::BTreeMap<_, _> =
+        [(dynfo_logic::Sym::new("E"), 2), (dynfo_logic::Sym::new("M"), 1)]
+            .into_iter()
+            .collect();
+    for (i, n) in [6u32, 9].into_iter().enumerate() {
+        let st = dynfo_testutil::synth::random_structure(&rels, n, 1000 + i as u64);
+        for f in dynfo_testutil::synth::corpus(120) {
+            assert_plan_matches(&f, &st, &[]);
+        }
+    }
+}

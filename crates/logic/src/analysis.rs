@@ -395,4 +395,29 @@ mod tests {
         assert_eq!(size(&f), 4);
         assert_eq!(num_variables(&f), 3);
     }
+
+    /// `canonicalize` is idempotent and its output always satisfies
+    /// `is_canonical` — the contract `Plan::compile_canonical` (and the
+    /// `compile_with` fast path that skips re-canonicalizing) rests on.
+    #[test]
+    fn canonicalize_is_idempotent() {
+        let e = || rel("E", [v("x"), v("y")]);
+        let cases = [
+            e(),
+            not(e()),
+            not(not(e())),
+            implies(e(), rel("M", [v("x")])),
+            iff(e(), not(rel("M", [v("y")]))),
+            forall(["y"], or([e(), eq(v("x"), v("y"))])),
+            not(forall(["x"], implies(e(), exists(["z"], rel("E", [v("y"), v("z")]))))),
+            exists(["y"], and([e(), not(exists(["z"], rel("E", [v("y"), v("z")])))])),
+            and([not(and([e(), not(e())])), forall(["x"], not(e()))]),
+            not(bit(v("x"), lit(1))),
+        ];
+        for f in cases {
+            let c = canonicalize(&f);
+            assert!(is_canonical(&c), "canonicalize left non-canonical: {f} -> {c}");
+            assert_eq!(canonicalize(&c), c, "canonicalize not idempotent on {f}");
+        }
+    }
 }

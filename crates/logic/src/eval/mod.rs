@@ -19,6 +19,7 @@
 pub mod delta;
 pub(crate) mod kernels;
 pub mod naive;
+pub mod opt;
 pub mod plan;
 mod table;
 

@@ -57,23 +57,23 @@ pub const PLAN_SLOT_BITS_CAP: u128 = 1 << 28;
 /// evaluation already runs rule-parallel on the pool).
 const PARALLEL_MIN_WORDS: usize = 1 << 14;
 
-type SlotId = usize;
+pub(crate) type SlotId = usize;
 
 #[derive(Clone, Debug)]
-struct SlotInfo {
+pub(crate) struct SlotInfo {
     /// Free variables, in sorted `Sym` order — the canonical column
     /// order every buffer shares, so connectives never permute.
-    vars: Vec<Sym>,
-    words: usize,
+    pub(crate) vars: Vec<Sym>,
+    pub(crate) words: usize,
     /// True iff the slot reads no relation, parameter, or constant:
     /// its contents are identical for every request and survive in the
     /// arena once computed.
-    stable: bool,
+    pub(crate) stable: bool,
 }
 
 /// How one atom argument maps into the slot's axes.
 #[derive(Clone, Debug)]
-enum ColSpec {
+pub(crate) enum ColSpec {
     /// First occurrence of a variable: relation column feeds this axis.
     Axis(usize),
     /// Repeated variable: must equal the named axis (a filter).
@@ -85,7 +85,7 @@ enum ColSpec {
 /// Specialized execution strategy for a [`Op::Load`], chosen at compile
 /// time from the argument shape and the universe geometry.
 #[derive(Clone, Debug)]
-enum LoadPath {
+pub(crate) enum LoadPath {
     /// `n == S`, arguments are the slot variables in order: the base-`n`
     /// and padded layouts coincide — straight word copy.
     WordCopy,
@@ -105,7 +105,7 @@ enum LoadPath {
 }
 
 #[derive(Clone, Debug)]
-enum Op {
+pub(crate) enum Op {
     /// `True`/`False` over the slot's variables.
     Const { dst: SlotId, value: bool },
     /// Scan a dense relation atom into a slot.
@@ -126,7 +126,7 @@ enum Op {
 }
 
 impl Op {
-    fn dst(&self) -> SlotId {
+    pub(crate) fn dst(&self) -> SlotId {
         match self {
             Op::Const { dst, .. }
             | Op::Load { dst, .. }
@@ -150,6 +150,12 @@ pub struct Plan {
     /// Valid-bit masks per arity, for ops that negate (built only for
     /// arities that need one).
     valids: Vec<Option<Vec<u64>>>,
+    /// Ops the optimizer removed relative to the unoptimized lowering
+    /// of the same formula (0 when compiled with the optimizer off).
+    opt_ops_removed: u64,
+    /// Per-execution kernel words the optimizer saved relative to the
+    /// unoptimized lowering (`work_words` delta).
+    opt_words_saved: u64,
 }
 
 /// Per-plan scratch buffers, reused across requests. Holding one arena
@@ -167,49 +173,76 @@ impl Plan {
     /// Compile a canonical formula against the structure it will run on
     /// (relation backends are inspected at compile time). Returns `None`
     /// when the root cannot be lowered — callers keep the interpreter.
+    /// Runs the algebraic optimizer ([`super::opt`]); use
+    /// [`Plan::compile_with`] to compare against the raw lowering.
     pub fn compile(f: &Formula, st: &Structure) -> Option<Plan> {
-        let canonical;
-        let f = if is_canonical(f) {
-            f
+        Plan::compile_with(f, st, true)
+    }
+
+    /// [`Plan::compile`] with the optimizer under caller control:
+    /// `optimize = false` emits the direct syntactic lowering (the
+    /// differential baseline for the optimizer-off/on suites).
+    pub fn compile_with(f: &Formula, st: &Structure, optimize: bool) -> Option<Plan> {
+        if is_canonical(f) {
+            Plan::compile_canonical(f, st, optimize)
         } else {
-            canonical = crate::analysis::canonicalize(f);
-            &canonical
-        };
-        let mut c = Compiler {
-            st,
-            lay: Layout::new(st.size()),
-            slots: Vec::new(),
-            ops: Vec::new(),
-            memo: HashMap::new(),
-        };
-        let root = c.emit(f).ok()?;
-        // A plan that is a single interpreter island does no kernel work;
-        // plain interpreter fallback is strictly cheaper.
-        if c.ops.len() == 1 && matches!(c.ops[0], Op::Interp { .. }) {
-            return None;
+            Plan::compile_canonical(&crate::analysis::canonicalize(f), st, optimize)
         }
-        let mut valids: Vec<Option<Vec<u64>>> = vec![None; MAX_ARITY + 1];
-        for op in &c.ops {
-            let arity = match op {
-                Op::Combine { dst, masked: true, .. } | Op::Not { dst, .. } => {
-                    Some(c.slots[*dst].vars.len())
-                }
-                Op::Const { dst, value: true } => Some(c.slots[*dst].vars.len()),
-                _ => None,
-            };
-            if let Some(k) = arity {
-                if valids[k].is_none() {
-                    valids[k] = Some(kernels::valid_mask(&c.lay, k));
-                }
+    }
+
+    /// [`Plan::compile_with`] minus the `is_canonical` walk: the caller
+    /// guarantees `f` is already canonical (the machine's stored rule
+    /// and query formulas are canonicalized once at program build, so
+    /// install-time compilation skips the re-check).
+    pub fn compile_canonical(f: &Formula, st: &Structure, optimize: bool) -> Option<Plan> {
+        debug_assert!(
+            is_canonical(f),
+            "compile_canonical caller contract violated: {f}"
+        );
+        let (mut c, mut root) = lower(f, st)?;
+        if !optimize {
+            return finish(c, root, 0, 0);
+        }
+        let base_ops = c.ops.len() as u64;
+        let base_words: u64 = c.slots.iter().map(|s| s.words as u64).sum();
+        let orig_vars = c.slots[root].vars.clone();
+        // Formula stage: vetted rewrite rules + quantifier pushing. The
+        // rewritten formula is re-lowered; if its lowering declines
+        // (shouldn't happen — rewrites stay in the canonical fragment),
+        // the baseline lowering stands.
+        if let Some(g) = super::opt::optimize_formula(f) {
+            if let Some((c2, root2)) = lower(&g, st) {
+                (c, root) = (c2, root2);
             }
         }
-        Some(Plan {
-            lay: c.lay,
-            slots: c.slots,
-            ops: c.ops,
-            root,
-            valids,
-        })
+        // Op stage: CSE, NOT fusion, combine flattening, broadcast/fold
+        // cancellation, constant propagation, dead-slot elimination.
+        super::opt::optimize_ops(&mut c.slots, &mut c.ops, &mut root);
+        // Rewrites may drop variables the result table is still expected
+        // to carry (e.g. a conjunct collapsing to `true`); broadcast the
+        // root back to the original column set so `Plan::vars()` — and
+        // every decoded table — is identical optimizer-on and -off.
+        root = c.broadcast_to(root, &orig_vars);
+        let final_words: u64 = c.slots.iter().map(|s| s.words as u64).sum();
+        // The optimizer must never ship a costlier plan: a formula-stage
+        // rewrite can lower into *larger* intermediates than the direct
+        // emission (whose peepholes see the original shape), and
+        // work_words is the cost model every profitability gate reads.
+        // Anything not strictly cheaper falls back to the baseline.
+        if final_words > base_words
+            || (final_words == base_words && c.ops.len() as u64 >= base_ops)
+        {
+            let (c0, root0) = lower(f, st)?;
+            return finish(c0, root0, 0, 0);
+        }
+        let removed = base_ops.saturating_sub(c.ops.len() as u64);
+        let saved = base_words.saturating_sub(final_words);
+        if dynfo_obs::ENABLED && (removed > 0 || saved > 0) {
+            let obs = crate::obs::eval_obs();
+            obs.plan_opt_ops_removed.add(removed);
+            obs.plan_opt_kernel_words_saved.add(saved);
+        }
+        finish(c, root, removed, saved)
     }
 
     /// The variables of the result table, in slot (sorted) order.
@@ -230,6 +263,18 @@ impl Plan {
     /// Number of ops (interpreter islands included).
     pub fn len(&self) -> usize {
         self.ops.len()
+    }
+
+    /// Ops the optimizer eliminated relative to the raw lowering of the
+    /// same formula (0 when compiled with `optimize = false`).
+    pub fn opt_ops_removed(&self) -> u64 {
+        self.opt_ops_removed
+    }
+
+    /// Per-execution kernel words the optimizer saved relative to the
+    /// raw lowering (the `work_words` delta; 0 with the optimizer off).
+    pub fn opt_kernel_words_saved(&self) -> u64 {
+        self.opt_words_saved
     }
 
     /// True iff the plan has no ops (never produced by `compile`).
@@ -616,6 +661,53 @@ fn combine_pooled(
 /// Marker: this subtree cannot be lowered; the caller decides whether to
 /// wrap it in an interpreter island or give up.
 struct Unsupported;
+
+/// Lower a canonical formula to a raw (unoptimized) op sequence.
+fn lower<'a>(f: &Formula, st: &'a Structure) -> Option<(Compiler<'a>, SlotId)> {
+    let mut c = Compiler {
+        st,
+        lay: Layout::new(st.size()),
+        slots: Vec::new(),
+        ops: Vec::new(),
+        memo: HashMap::new(),
+    };
+    let root = c.emit(f).ok()?;
+    Some((c, root))
+}
+
+/// Seal a lowered (and possibly optimized) op sequence into a [`Plan`]:
+/// reject interp-only plans, build the per-arity valid masks.
+fn finish(c: Compiler<'_>, root: SlotId, opt_ops_removed: u64, opt_words_saved: u64) -> Option<Plan> {
+    // A plan that is a single interpreter island does no kernel work;
+    // plain interpreter fallback is strictly cheaper.
+    if c.ops.len() == 1 && matches!(c.ops[0], Op::Interp { .. }) {
+        return None;
+    }
+    let mut valids: Vec<Option<Vec<u64>>> = vec![None; MAX_ARITY + 1];
+    for op in &c.ops {
+        let arity = match op {
+            Op::Combine { dst, masked: true, .. } | Op::Not { dst, .. } => {
+                Some(c.slots[*dst].vars.len())
+            }
+            Op::Const { dst, value: true } => Some(c.slots[*dst].vars.len()),
+            _ => None,
+        };
+        if let Some(k) = arity {
+            if valids[k].is_none() {
+                valids[k] = Some(kernels::valid_mask(&c.lay, k));
+            }
+        }
+    }
+    Some(Plan {
+        lay: c.lay,
+        slots: c.slots,
+        ops: c.ops,
+        root,
+        valids,
+        opt_ops_removed,
+        opt_words_saved,
+    })
+}
 
 struct Compiler<'a> {
     st: &'a Structure,

@@ -39,6 +39,13 @@ pub struct EvalObs {
     pub interp_rows: Arc<Counter>,
     /// `eval.kernel_words` — 64-bit words touched by plan kernels.
     pub kernel_words: Arc<Counter>,
+    /// `plan.opt_ops_removed` — SSA plan ops eliminated by the
+    /// algebraic optimizer at compile time (vs the raw lowering).
+    pub plan_opt_ops_removed: Arc<Counter>,
+    /// `plan.opt_kernel_words_saved` — per-execution kernel words the
+    /// optimizer shaved off compiled plans (work_words delta at compile
+    /// time; multiply by executions for the realized saving).
+    pub plan_opt_kernel_words_saved: Arc<Counter>,
     /// `eval.simd_lanes` — u64 words that went through a ≥128-bit
     /// vector path in [`crate::simd`] (0 when the scalar tier runs).
     pub simd_lanes: Arc<Counter>,
@@ -71,6 +78,8 @@ pub fn eval_obs() -> &'static EvalObs {
             plan_fallback: reg.counter("eval.plan_fallback"),
             interp_rows: reg.counter("eval.interp_rows"),
             kernel_words: reg.counter("eval.kernel_words"),
+            plan_opt_ops_removed: reg.counter("plan.opt_ops_removed"),
+            plan_opt_kernel_words_saved: reg.counter("plan.opt_kernel_words_saved"),
             simd_lanes: reg.counter("eval.simd_lanes"),
             chunked_kernel_words: reg.counter("chunked.kernel_words"),
             chunked_blocks_skipped: reg.counter("chunked.blocks_skipped"),

@@ -1,0 +1,127 @@
+//! Anti-overfitting coverage for the optimizer's vetted rule table.
+//!
+//! The table in `dynfo_logic::eval::opt::VETTED_RULES` was synthesized
+//! ruler-style on a battery of seeded random structures at sizes 3–5
+//! (see `dynfo_testutil::synth`). A rule that merely memorized that
+//! battery would still ship, so this suite re-vets every entry with
+//! fresh seeds at size 9 — a universe size the synthesis never
+//! evaluated — and checks the synthesizer still *derives* the
+//! propositional core of the table from nothing but the term
+//! enumerator and the differential oracle.
+
+use dynfo_logic::eval::opt::vetted_rules;
+use dynfo_logic::formula::Formula;
+use dynfo_logic::parser::parse;
+use dynfo_testutil::synth;
+use proptest::prelude::*;
+
+/// Holdout universe size: strictly larger than every size the synthesis
+/// battery (3–5) and the checked-in vetting pass used.
+const HOLDOUT_N: u32 = 9;
+
+proptest! {
+    /// Every vetted rule holds on fresh random structures at the
+    /// holdout size, for arbitrary seeds.
+    #[test]
+    fn vetted_rules_hold_at_holdout_size(seed in 0u64..1_000_000_000_000) {
+        for (lhs, rhs) in vetted_rules() {
+            prop_assert!(
+                synth::rule_holds(lhs, rhs, HOLDOUT_N, seed),
+                "vetted rule failed at n={HOLDOUT_N}, seed {seed}: {lhs} => {rhs}"
+            );
+        }
+    }
+
+    /// The quantifier side condition is not vacuous: the *unsound*
+    /// variant of the hoisting rule — pulling a conjunct that DOES
+    /// mention the bound variable out of the quantifier — must be
+    /// refutable by the same oracle that vetted the real table.
+    #[test]
+    fn oracle_refutes_unsound_hoist(salt in 0u64..1000) {
+        let lhs = parse("exists x (A(x,y) & B(x,y))").unwrap();
+        let rhs = parse("(exists x (A(x,y))) & B(x,y)").unwrap();
+        let refuted = (0..32).any(|i| !synth::rule_holds(&lhs, &rhs, HOLDOUT_N, salt * 32 + i));
+        prop_assert!(refuted, "oracle failed to refute an unsound rule in 32 draws");
+    }
+}
+
+/// Sort n-ary connective operands recursively so rule containment
+/// checks ignore the operand order the enumerator happened to emit.
+fn normalize(f: &Formula) -> Formula {
+    use Formula::*;
+    match f {
+        Not(g) => Not(Box::new(normalize(g))),
+        Exists(vs, g) => Exists(vs.clone(), Box::new(normalize(g))),
+        And(fs) | Or(fs) => {
+            let mut out: Vec<Formula> = fs.iter().map(normalize).collect();
+            out.sort_by_key(|g| format!("{g}"));
+            if matches!(f, And(..)) {
+                And(out)
+            } else {
+                Or(out)
+            }
+        }
+        f => f.clone(),
+    }
+}
+
+/// The synthesizer rediscovers the propositional core of the vetted
+/// table (idempotence, absorption, annihilation, excluded middle) from
+/// the bare algebra: enumerate, fingerprint on a battery, vet on fresh
+/// seeds. Deeper entries (negative absorption, quantifier pushing) need
+/// depth the test budget doesn't buy; they are covered by the holdout
+/// proptest above and the optimizer unit tests.
+#[test]
+fn synthesizer_rediscovers_propositional_core() {
+    use dynfo_logic::formula::{rel, v};
+    let atoms = [
+        rel("A", [v("x"), v("y")]),
+        rel("B", [v("x"), v("y")]),
+        Formula::False,
+        Formula::True,
+    ];
+    let battery = [(3, 101), (4, 102), (5, 103)];
+    let vet = [(3, 201), (4, 202), (5, 203)];
+    let rules = synth::synthesize(&atoms, &["x", "y"], 2, 1200, &battery, &vet);
+    assert!(!rules.is_empty(), "synthesizer found nothing");
+    let have: std::collections::HashSet<(String, String)> = rules
+        .iter()
+        .map(|(l, r)| (format!("{}", normalize(l)), format!("{}", normalize(r))))
+        .collect();
+    for (lhs, rhs) in [
+        ("A(x,y) & A(x,y)", "A(x,y)"),
+        ("A(x,y) | A(x,y)", "A(x,y)"),
+        ("A(x,y) & (A(x,y) | B(x,y))", "A(x,y)"),
+        ("A(x,y) | (A(x,y) & B(x,y))", "A(x,y)"),
+        ("A(x,y) & !A(x,y)", "false"),
+        ("A(x,y) | !A(x,y)", "true"),
+    ] {
+        let want = (
+            format!("{}", normalize(&parse(lhs).unwrap())),
+            format!("{}", normalize(&parse(rhs).unwrap())),
+        );
+        assert!(
+            have.contains(&want),
+            "synthesizer missed {lhs} => {rhs} (have {} rules)",
+            rules.len()
+        );
+    }
+}
+
+/// The workload corpus is deterministic, canonical, and deduplicated —
+/// benches and differential suites must sweep the same formulas.
+#[test]
+fn corpus_is_deterministic_and_canonical() {
+    let a = synth::corpus(200);
+    let b = synth::corpus(200);
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 200);
+    let distinct: std::collections::HashSet<&Formula> = a.iter().collect();
+    assert_eq!(distinct.len(), a.len(), "corpus contains duplicates");
+    for f in &a {
+        assert!(
+            dynfo_logic::analysis::is_canonical(f),
+            "corpus formula not canonical: {f}"
+        );
+    }
+}

@@ -66,6 +66,19 @@ fn corpus() -> Vec<Formula> {
         rel("E", [param(0), param(1)]) & rel("M", [v("x")]),
         neq(v("x"), param(0)) & rel("M", [v("x")]),
         exists(["y"], rel("E", [v("x"), v("y")]) & neq(v("y"), param(0))),
+        // Optimizer-triggering shapes: `assert_plan_matches` compiles
+        // every corpus formula with the algebraic optimizer both off and
+        // on, so these exercise CSE, absorption, annihilation, and
+        // quantifier hoisting against the raw lowering.
+        rel("E", [v("x"), v("y")]) & rel("E", [v("x"), v("y")]),
+        rel("M", [v("x")]) | (rel("M", [v("x")]) & rel("E", [v("x"), v("y")])),
+        rel("E", [v("x"), v("y")]) & not(rel("E", [v("x"), v("y")])),
+        rel("M", [v("x")]) | not(rel("M", [v("x")])),
+        exists(["z"], rel("E", [v("x"), v("z")]) & rel("M", [v("y")])),
+        exists(["z"], rel("M", [v("z")])) & rel("E", [v("x"), v("y")]),
+        not(exists(["z"], rel("E", [v("x"), v("z")]) & rel("M", [v("y")]))),
+        (rel("E", [v("x"), v("y")]) & rel("M", [v("x")]))
+            | (rel("E", [v("x"), v("y")]) & rel("M", [v("x")])),
     ]
 }
 

@@ -16,6 +16,8 @@ use dynfo_logic::formula::Formula;
 use dynfo_logic::{evaluate, Elem, Evaluator, Plan, Structure, Sym};
 use rand::Rng;
 
+pub mod synth;
+
 pub use dynfo_graph::generate::{churn_stream, dag_churn_stream, rng, EdgeOp};
 
 /// Convert edge ops into ins/del requests against relation `rel`.
@@ -60,6 +62,10 @@ pub enum DiffMode {
     Interp,
     /// Compiled bit-parallel plans (the default machine).
     Plans,
+    /// Compiled plans with the algebraic optimizer disabled
+    /// (`with_plan_opt(false)`): the raw syntactic lowering, the
+    /// baseline the optimizer-on modes are held against.
+    PlansNoOpt,
     /// Plans plus the parallel rule scheduler with this many workers.
     Parallel(usize),
     /// Plans, applying requests through `apply_batch` in chunks of
@@ -76,6 +82,7 @@ impl DiffMode {
         match self {
             DiffMode::Interp => DynFoMachine::new(program(), n).with_use_plans(false),
             DiffMode::Plans | DiffMode::Batch(_) => DynFoMachine::new(program(), n),
+            DiffMode::PlansNoOpt => DynFoMachine::new(program(), n).with_plan_opt(false),
             DiffMode::Parallel(t) => DynFoMachine::new(program(), n).with_parallelism(t),
             DiffMode::Chunked => DynFoMachine::new(program(), n).with_chunked_state(),
         }
@@ -190,27 +197,76 @@ pub fn assert_plans_transparent(
     }
 }
 
-/// Formula-level differential: compile `f` (skipping formulas the plan
-/// compiler declines), execute the plan twice on one arena (stable-slot
-/// reuse), and hold both runs against the interpreter's table.
+/// Formula-level differential: compile `f` both with the algebraic
+/// optimizer off and on (skipping formulas the plan compiler declines),
+/// execute each plan twice on one arena (stable-slot reuse), and hold
+/// every run against the interpreter's table. The optimizer must also
+/// preserve the root column set — decode depends on it.
 pub fn assert_plan_matches(f: &Formula, st: &Structure, params: &[Elem]) {
     let canonical = canonicalize(f);
-    let Some(plan) = Plan::compile(&canonical, st) else {
-        return;
-    };
-    let mut arena = plan.arena();
     let expect = evaluate(&canonical, st, params).expect("interpreter failed");
-    for run in 0..2 {
-        let mut ev = Evaluator::new(st, params);
-        let got = plan
-            .execute(&mut ev, &mut arena, None)
-            .expect("plan execution failed")
-            .expect("plan bailed at runtime on its own compile-time structure");
-        let order: Vec<Sym> = got.vars().to_vec();
-        assert_eq!(
-            got.sorted(),
-            expect.clone().project(&order).sorted(),
-            "run {run}: plan != interpreter for {canonical} (params {params:?})"
-        );
+    let mut orders: Vec<Vec<Sym>> = Vec::new();
+    for optimize in [false, true] {
+        let Some(plan) = Plan::compile_with(&canonical, st, optimize) else {
+            continue;
+        };
+        let mut arena = plan.arena();
+        for run in 0..2 {
+            let mut ev = Evaluator::new(st, params);
+            let got = plan
+                .execute(&mut ev, &mut arena, None)
+                .expect("plan execution failed")
+                .expect("plan bailed at runtime on its own compile-time structure");
+            let order: Vec<Sym> = got.vars().to_vec();
+            assert_eq!(
+                got.sorted(),
+                expect.clone().project(&order).sorted(),
+                "run {run} (optimize: {optimize}): plan != interpreter for {canonical} \
+                 (params {params:?})"
+            );
+            orders.push(order);
+        }
     }
+    orders.dedup();
+    assert!(
+        orders.len() <= 1,
+        "optimizer changed the root column order for {canonical}: {orders:?}"
+    );
+}
+
+/// The optimizer-on vs optimizer-off machine differential: one stream,
+/// all twelve-program-compatible execution paths — the raw lowering
+/// (reference), the optimized default, the parallel scheduler, and
+/// `apply_batch` — must agree step for step in state and every query
+/// answer. Returns `(ops_removed, kernel_words_saved)` summed over the
+/// optimized machine's plans so callers can assert the optimizer
+/// actually fired (or stayed off) for their program.
+pub fn assert_opt_transparent(
+    program: impl Fn() -> DynFoProgram,
+    n: u32,
+    reqs: &[Request],
+    queries: &[(&str, &[u32])],
+) -> (u64, u64) {
+    let machines = run_differential(
+        &program,
+        n,
+        reqs,
+        queries,
+        &[
+            DiffMode::PlansNoOpt,
+            DiffMode::Plans,
+            DiffMode::Parallel(3),
+            DiffMode::Batch(5),
+        ],
+    );
+    let baseline = &machines[0];
+    assert!(!baseline.plan_opt(), "reference machine must not optimize");
+    assert_eq!(
+        baseline.plan_opt_summary(),
+        (0, 0),
+        "optimizer-off machine reported optimizer savings"
+    );
+    let optimized = &machines[1];
+    assert!(optimized.plan_opt());
+    optimized.plan_opt_summary()
 }

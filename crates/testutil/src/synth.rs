@@ -1,0 +1,276 @@
+//! Ruler-style rewrite-rule synthesis over the plan-term algebra, and
+//! the enumerated workload corpus it doubles as.
+//!
+//! The method is `ruler`'s: [`plug`] operator shapes into the terms of
+//! the previous layers to enumerate a candidate space, [`fingerprint`]
+//! every term by evaluating it on a battery of seeded random structures,
+//! read same-fingerprint groups as candidate equivalences, and keep
+//! only the pairs whose sides still agree on a *fresh* battery
+//! ([`synthesize`]). The vetted table checked into
+//! `dynfo_logic::eval::opt::VETTED_RULES` is the hand-curated subset of
+//! that output the peephole matcher can execute; [`rule_holds`] is the
+//! per-rule oracle the proptest suites use to re-vet it on structures
+//! (and sizes) the synthesis never saw.
+//!
+//! The same enumerator, pointed at the graph vocabulary instead of the
+//! metavariable algebra, yields an unbounded [`corpus`] of plan shapes
+//! beyond the paper's 12 update programs — the differential suites and
+//! the E24 bench sweep it.
+
+use dynfo_logic::analysis::{canonicalize, free_vars};
+use dynfo_logic::formula::Formula;
+use dynfo_logic::{evaluate, Elem, Structure, Sym, Vocabulary};
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::rng;
+
+/// A candidate (or vetted) rewrite rule: lhs rewrites to rhs.
+pub type Rule = (Formula, Formula);
+
+/// Node count — the measure candidate pairs are oriented by (the rhs
+/// must be strictly smaller, so every rewrite shrinks the term).
+pub fn size(f: &Formula) -> usize {
+    use Formula::*;
+    match f {
+        Not(g) | Exists(_, g) => 1 + size(g),
+        And(fs) | Or(fs) => 1 + fs.iter().map(size).sum::<usize>(),
+        _ => 1,
+    }
+}
+
+/// Every relation symbol `f` mentions, with its arity.
+pub fn relations_of(f: &Formula) -> BTreeMap<Sym, usize> {
+    fn walk(f: &Formula, out: &mut BTreeMap<Sym, usize>) {
+        use Formula::*;
+        match f {
+            Rel { name, args } => {
+                out.insert(*name, args.len());
+            }
+            Not(g) | Exists(_, g) | Forall(_, g) => walk(g, out),
+            And(fs) | Or(fs) => fs.iter().for_each(|g| walk(g, out)),
+            Implies(a, b) | Iff(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            _ => {}
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(f, &mut out);
+    out
+}
+
+/// Enumerate the term algebra breadth-first: layer 0 is `atoms`, and
+/// each further layer plugs every unary shape (`¬`, `∃v` for each
+/// enumeration variable) into every known term and every binary shape
+/// (`∧`, `∨`) into every ordered pair. Terms are canonicalized and
+/// deduplicated syntactically; enumeration stops at `depth` layers or
+/// `cap` distinct terms, whichever comes first, and the result order is
+/// deterministic (layer by layer, insertion order within a layer).
+pub fn plug(atoms: &[Formula], vars: &[&str], depth: usize, cap: usize) -> Vec<Formula> {
+    use Formula::*;
+    let mut seen: HashSet<Formula> = HashSet::new();
+    let mut terms: Vec<Formula> = Vec::new();
+    let push = |t: &Formula, terms: &mut Vec<Formula>, seen: &mut HashSet<Formula>| {
+        let t = canonicalize(t);
+        if seen.insert(t.clone()) {
+            terms.push(t);
+        }
+    };
+    for a in atoms {
+        push(a, &mut terms, &mut seen);
+    }
+    let mut layer_start = 0;
+    for _ in 0..depth {
+        let layer_end = terms.len();
+        if terms.len() >= cap {
+            break;
+        }
+        // Unary shapes over the newest layer (older terms already met
+        // them), binary shapes pairing the newest layer with everything.
+        let mut fresh: Vec<Formula> = Vec::new();
+        for i in layer_start..layer_end {
+            let t = terms[i].clone();
+            fresh.push(Not(Box::new(t.clone())));
+            for v in vars {
+                if free_vars(&t).contains(&Sym::new(v)) {
+                    fresh.push(Exists(vec![Sym::new(v)], Box::new(t.clone())));
+                }
+            }
+            for u in &terms[..layer_end] {
+                fresh.push(And(vec![t.clone(), u.clone()]));
+                fresh.push(Or(vec![t.clone(), u.clone()]));
+            }
+        }
+        for t in &fresh {
+            if terms.len() >= cap {
+                break;
+            }
+            push(t, &mut terms, &mut seen);
+        }
+        layer_start = layer_end;
+    }
+    terms.truncate(cap);
+    terms
+}
+
+/// A seeded random structure interpreting exactly `rels`, each tuple
+/// present independently with probability 1/2. Deterministic in
+/// `(rels, n, seed)`.
+pub fn random_structure(rels: &BTreeMap<Sym, usize>, n: Elem, seed: u64) -> Structure {
+    let mut vocab = Vocabulary::new();
+    for (&name, &arity) in rels {
+        vocab.add_relation(name, arity);
+    }
+    let mut st = Structure::empty(Arc::new(vocab), n);
+    let mut rand = rng(seed);
+    for (&name, &arity) in rels {
+        for t in dynfo_logic::tuple::all_tuples(n, arity) {
+            if rand.gen_bool(0.5) {
+                st.insert(&name.to_string(), t);
+            }
+        }
+    }
+    st
+}
+
+/// The truth of `f` on `st` at every assignment of `frame` (mixed-radix
+/// order, last variable fastest). `frame` must cover `f`'s free
+/// variables; columns outside `f`'s own table are ignored, so two
+/// formulas over different variable subsets compare on a common frame.
+pub fn truth_table(f: &Formula, st: &Structure, frame: &[Sym]) -> Vec<bool> {
+    let t = evaluate(f, st, &[]).expect("synth formula evaluates");
+    let tvars: Vec<Sym> = t.vars().to_vec();
+    let pos: Vec<usize> = tvars
+        .iter()
+        .map(|v| {
+            frame
+                .iter()
+                .position(|w| w == v)
+                .expect("frame covers free variables")
+        })
+        .collect();
+    let set: HashSet<Vec<Elem>> = t
+        .rows()
+        .iter()
+        .map(|r| r.as_slice().to_vec())
+        .collect();
+    let n = st.size() as usize;
+    let count = n.pow(frame.len() as u32);
+    let mut out = Vec::with_capacity(count);
+    let mut asgn = vec![0 as Elem; frame.len()];
+    for idx in 0..count {
+        let mut rem = idx;
+        for (i, slot) in asgn.iter_mut().enumerate().rev() {
+            let _ = i;
+            *slot = (rem % n) as Elem;
+            rem /= n;
+        }
+        out.push(if tvars.is_empty() {
+            t.as_bool()
+        } else {
+            set.contains(&pos.iter().map(|&i| asgn[i]).collect::<Vec<Elem>>())
+        });
+    }
+    out
+}
+
+/// Does `lhs ≡ rhs` hold on one seeded random structure of size `n`?
+/// The structure interprets the union of both sides' relation symbols;
+/// equivalence is truth-for-truth over every assignment of the union
+/// free-variable frame. This is the oracle the vetting pass and the
+/// anti-overfitting proptest run.
+pub fn rule_holds(lhs: &Formula, rhs: &Formula, n: Elem, seed: u64) -> bool {
+    let mut rels = relations_of(lhs);
+    rels.extend(relations_of(rhs));
+    let st = random_structure(&rels, n, seed);
+    let frame: Vec<Sym> = free_vars(lhs)
+        .union(&free_vars(rhs))
+        .copied()
+        .collect::<BTreeSet<Sym>>()
+        .into_iter()
+        .collect();
+    truth_table(&canonicalize(lhs), &st, &frame) == truth_table(&canonicalize(rhs), &st, &frame)
+}
+
+/// Battery specification: one structure per `(size, seed)` pair.
+pub type Battery<'a> = &'a [(Elem, u64)];
+
+/// Ruler-style synthesis: enumerate [`plug`] terms over `atoms`, group
+/// them by joint [`truth_table`] fingerprint across the `battery`
+/// structures, read each group as "everything here rewrites to the
+/// group's smallest member", and keep only the pairs that still agree
+/// on every `vet` structure (fresh seeds — candidate equivalences that
+/// merely memorized the battery die here). Returns deterministic,
+/// deduplicated `(lhs, rhs)` pairs with `size(rhs) < size(lhs)`.
+pub fn synthesize(
+    atoms: &[Formula],
+    vars: &[&str],
+    depth: usize,
+    cap: usize,
+    battery: Battery<'_>,
+    vet: Battery<'_>,
+) -> Vec<Rule> {
+    let terms = plug(atoms, vars, depth, cap);
+    let mut rels = BTreeMap::new();
+    for t in &terms {
+        rels.extend(relations_of(t));
+    }
+    let frame: Vec<Sym> = vars.iter().map(|v| Sym::new(v)).collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let batteries: Vec<Structure> = battery
+        .iter()
+        .map(|&(n, seed)| random_structure(&rels, n, seed))
+        .collect();
+    let mut groups: HashMap<Vec<bool>, Vec<usize>> = HashMap::new();
+    for (i, t) in terms.iter().enumerate() {
+        let fp: Vec<bool> = batteries
+            .iter()
+            .flat_map(|st| truth_table(t, st, &frame))
+            .collect();
+        groups.entry(fp).or_default().push(i);
+    }
+    let mut rules: Vec<Rule> = Vec::new();
+    for members in groups.values() {
+        let &best = members
+            .iter()
+            .min_by_key(|&&i| (size(&terms[i]), i))
+            .expect("nonempty group");
+        for &i in members {
+            if i == best || size(&terms[i]) <= size(&terms[best]) {
+                continue;
+            }
+            let (lhs, rhs) = (terms[i].clone(), terms[best].clone());
+            let vetted = vet.iter().all(|&(n, seed)| rule_holds(&lhs, &rhs, n, seed));
+            if vetted {
+                rules.push((lhs, rhs));
+            }
+        }
+    }
+    rules.sort_by_key(|(l, r)| (size(l), format!("{l} => {r}")));
+    rules.dedup();
+    rules
+}
+
+/// The enumerated workload corpus: [`plug`] terms over the graph
+/// vocabulary (`E/2`, `M/1`) and three variables, canonical and
+/// deduplicated, capped at `cap`. The early entries are the atoms and
+/// shallow connectives; deeper layers mix quantifiers, negation, and
+/// n-ary connectives into shapes none of the 12 update programs
+/// exercise. Deterministic, so bench runs and differential suites see
+/// the same corpus.
+pub fn corpus(cap: usize) -> Vec<Formula> {
+    use dynfo_logic::formula::{rel, v};
+    let atoms = [
+        rel("E", [v("x"), v("y")]),
+        rel("E", [v("y"), v("z")]),
+        rel("E", [v("y"), v("x")]),
+        rel("E", [v("x"), v("x")]),
+        rel("M", [v("x")]),
+        rel("M", [v("y")]),
+    ];
+    plug(&atoms, &["x", "y", "z"], 3, cap)
+}
