@@ -8,7 +8,8 @@
 //! *pre*-state (simultaneous semantics) and swapping the results in.
 
 use crate::program::{DynFoProgram, UpdateRule};
-use crate::request::{apply_to_input, Op, Request, RequestError, RequestKind};
+use crate::request::{apply_to_input, delta_rows, Op, Request, RequestError, RequestKind};
+use dynfo_logic::analysis::{canonicalize, positive_in};
 use dynfo_logic::eval::delta::{install_plan, DeltaMode, InstallPlan};
 use dynfo_logic::eval::{Evaluator, SubformulaCache};
 use dynfo_logic::formula::{Formula, Term};
@@ -43,6 +44,17 @@ struct MachineObs {
     /// `machine.batch_coalesced` — requests skipped inside a fast run
     /// as consecutive duplicates.
     batch_coalesced: Arc<Counter>,
+    /// `machine.bulk_tuples` — live Δ tuples materialized by definable
+    /// bulk changes (the popcount admission control weighs).
+    bulk_tuples: Arc<Counter>,
+    /// `machine.bulk_plan_ns` — end-to-end bulk maintenance latency:
+    /// δ materialization plus the one-shot fixpoint or the expanded
+    /// stream (nanoseconds).
+    bulk_plan_ns: Arc<Histogram>,
+    /// `machine.bulk_fallback` — bulk requests that expanded to
+    /// single-tuple streams (Guarded/Full rules, or no memoryless
+    /// claim to justify the fixpoint).
+    bulk_fallback: Arc<Counter>,
 }
 
 const GUARD_NOOP: usize = 0;
@@ -61,6 +73,9 @@ impl MachineObs {
             batch_size: handle.histogram("machine.batch_size"),
             batch_fast_runs: handle.counter("machine.batch_fast_runs"),
             batch_coalesced: handle.counter("machine.batch_coalesced"),
+            bulk_tuples: handle.counter("machine.bulk_tuples"),
+            bulk_plan_ns: handle.histogram("machine.bulk_plan_ns"),
+            bulk_fallback: handle.counter("machine.bulk_fallback"),
         }
     }
 
@@ -789,6 +804,9 @@ impl DynFoMachine {
     /// [`DynFoMachine::apply`] minus validation (the batch path
     /// validates every frame up front).
     fn apply_validated(&mut self, req: &Request) -> Result<EvalStats, MachineError> {
+        if req.is_bulk() {
+            return self.apply_bulk(req);
+        }
         let mut params = std::mem::take(&mut self.scratch.params);
         req.params_into(&mut params);
         let out = self.update_with_params(req, &params);
@@ -1087,7 +1105,9 @@ impl DynFoMachine {
     /// fast path — applying it cannot evaluate a formula. (A kind with
     /// no rules at all is vacuously fast: the request is a no-op.)
     fn is_fast_only(&self, req: &Request) -> bool {
-        if matches!(req, Request::Set(..)) {
+        // `set` rebinds a constant and a bulk change runs its own
+        // maintenance pipeline; neither is a tuple fast path.
+        if matches!(req, Request::Set(..)) || req.is_bulk() {
             return false;
         }
         match self.plans.get(&req.kind()) {
@@ -1148,6 +1168,434 @@ impl DynFoMachine {
         // of changed targets equals the per-request passes it replaces.
         if !changed.is_empty() {
             self.cache.invalidate_reads(&changed);
+        }
+    }
+
+    /// Apply a validated definable bulk change (Schwentick–Vortmeier–
+    /// Zeume: the request carries a formula δ(x̄) defining the whole
+    /// changed set instead of one tuple).
+    ///
+    /// The live Δ — the tuples the change actually toggles — is
+    /// materialized first (compiled δ-plan where the budget admits).
+    /// Maintenance then dispatches: programs whose rules for this kind
+    /// are all copies and `Grow`/`Shrink` shapes with target-positive
+    /// residuals run *one* monotone fixpoint over the whole Δ
+    /// ([`DynFoMachine::apply_bulk_one_shot`]); everything else replays
+    /// Δ through the ordinary per-tuple pipeline. Both paths land on
+    /// the byte-identical state the expanded single-tuple stream
+    /// produces — the `DiffMode::Bulk` differential suites enforce it.
+    fn apply_bulk(&mut self, req: &Request) -> Result<EvalStats, MachineError> {
+        let _span = dynfo_obs::span("machine.bulk");
+        let started = dynfo_obs::clock();
+        let (rel, delta, is_ins) = match req {
+            Request::BulkIns { rel, delta } => (*rel, delta, true),
+            Request::BulkDel { rel, delta } => (*rel, delta, false),
+            _ => unreachable!("apply_bulk takes bulk requests only"),
+        };
+        let tuples = self.bulk_delta(rel, delta, is_ins)?;
+        self.obs.bulk_tuples.add(tuples.len() as u64);
+        let kind = req.kind();
+        let out = if self.bulk_one_shot_eligible(kind, is_ins) {
+            self.apply_bulk_one_shot(kind, &tuples, is_ins)
+        } else {
+            self.obs.bulk_fallback.inc();
+            self.apply_bulk_fallback(rel, &tuples, is_ins)
+        };
+        self.obs.bulk_plan_ns.observe_since(started);
+        out
+    }
+
+    /// Materialize a bulk request's *live* Δ: δ evaluated over the
+    /// current state (the auxiliary structure mirrors the input
+    /// relations), keeping only the tuples the change actually toggles
+    /// — absent tuples for an insert, present ones for a delete.
+    /// Sorted and duplicate-free; exactly the set the equivalent
+    /// single-tuple stream walks.
+    fn bulk_delta(
+        &self,
+        rel: Sym,
+        delta: &Formula,
+        is_ins: bool,
+    ) -> Result<Vec<Tuple>, MachineError> {
+        let id = self
+            .state
+            .vocab()
+            .relation(rel)
+            .expect("validated bulk target exists in aux vocab");
+        let current = self.state.relation(id);
+        let defined = self.eval_delta_set(delta, current.arity())?;
+        Ok(defined
+            .into_iter()
+            .filter(|t| current.contains(t) != is_ins)
+            .collect())
+    }
+
+    /// Evaluate δ to its full defined set, rows in `x0…x_{k−1}` column
+    /// order. Compiles δ through the plan pipeline (optimizer included)
+    /// when plans are on and the density-aware budget admits it — one
+    /// kernel pass materializes the whole set at 64 tuples per word —
+    /// else interprets. The evaluation is metered by `bulk_plan_ns`,
+    /// not `update_work`, so a fallback expansion's per-request
+    /// statistics stay identical to the stream it replays.
+    fn eval_delta_set(&self, delta: &Formula, arity: usize) -> Result<Vec<Tuple>, MachineError> {
+        let canonical = canonicalize(delta);
+        if self.use_plans && self.install_mode == InstallMode::Delta {
+            if let Some(bp) = BitPlan::compile(&canonical, &self.state, self.plan_opt) {
+                if bp.profitable(&self.state) {
+                    let mut local = SubformulaCache::new();
+                    let mut ev = Evaluator::with_cache(&self.state, &[], &mut local);
+                    let mut arena = bp.arena.lock().unwrap();
+                    if let Some(table) = bp
+                        .plan
+                        .execute(&mut ev, &mut arena, None)
+                        .map_err(MachineError::Eval)?
+                    {
+                        return Ok(delta_rows(table, arity, self.n()));
+                    }
+                }
+            }
+        }
+        let table = dynfo_logic::evaluate(&canonical, &self.state, &[])
+            .map_err(MachineError::Eval)?;
+        Ok(delta_rows(table, arity, self.n()))
+    }
+
+    /// Can `kind`'s rules run the one-shot bulk fixpoint? Three
+    /// conditions, each load-bearing for stream equivalence:
+    ///
+    /// 1. The program claims memorylessness (§3): the auxiliary
+    ///    structure is a function of the input alone, so any
+    ///    interleaving of Δ's requests — including the simultaneous
+    ///    closure the fixpoint computes — converges to the stream's
+    ///    final state.
+    /// 2. Every rule for the kind is an insert copy or `Grow` (bulk
+    ///    insert), or a delete copy or `Shrink` (bulk delete): the
+    ///    per-request change is a union with (intersection against) a
+    ///    definable set.
+    /// 3. Every residual ψ mentions the kind's rule targets only at
+    ///    even negation depth, so the per-round operator is monotone
+    ///    and its least (greatest) fixpoint from the pre-state is
+    ///    well-defined. ψ(x;ā) = R(x) with target R shows monotonicity
+    ///    cannot be dropped silently — hence the syntactic check, with
+    ///    the differential suites as the empirical backstop.
+    fn bulk_one_shot_eligible(&self, kind: RequestKind, is_ins: bool) -> bool {
+        if !self.program.claims_memoryless() {
+            return false;
+        }
+        // The fixpoint extends the state with a scratch Δ relation and
+        // rewrites params to fresh `__`-prefixed variables; a program
+        // using the reserved prefix itself takes the fallback.
+        if self
+            .state
+            .vocab()
+            .relation(Sym::new(BULK_DELTA_REL))
+            .is_some()
+        {
+            return false;
+        }
+        let Some(plans) = self.plans.get(&kind) else {
+            return true; // no rules: the aux state ignores this kind
+        };
+        let rules = self.program.rules_for(kind);
+        let targets: BTreeSet<Sym> = rules.iter().map(|r| r.target).collect();
+        rules.iter().zip(plans).all(|(rule, plan)| {
+            if format!("{}", rule.formula).contains("__") {
+                return false;
+            }
+            match plan {
+                RulePlan::InsertCopy => is_ins,
+                RulePlan::DeleteCopy => !is_ins,
+                RulePlan::General(GeneralPlan::Grow(psi)) => {
+                    is_ins && positive_in(psi, &targets)
+                }
+                RulePlan::General(GeneralPlan::Shrink) => {
+                    !is_ins
+                        && shrink_residual(rule)
+                            .is_some_and(|psi| positive_in(&psi, &targets))
+                }
+                RulePlan::General(_) => false,
+            }
+        })
+    }
+
+    /// Execute an eligible bulk change as one fixpoint. The state is
+    /// extended with Δ as a scratch relation, every rule's residual is
+    /// closed over all of Δ at once —
+    /// `ψ′ = ∃p̄. __DELTA(p̄) ∧ ψ[?i := pᵢ]` for a grow,
+    /// `∃p̄. __DELTA(p̄) ∧ ¬ψ[?i := pᵢ]` giving the removals of a
+    /// shrink — and the rounds iterate with simultaneous installs until
+    /// nothing changes. Eligibility guarantees the operator is
+    /// monotone (targets only grow, or only shrink), so the loop
+    /// terminates and its fixpoint equals the expanded stream's final
+    /// state. The converged targets are then diffed against the real
+    /// state and installed as one delta per relation.
+    fn apply_bulk_one_shot(
+        &mut self,
+        kind: RequestKind,
+        delta: &[Tuple],
+        is_ins: bool,
+    ) -> Result<EvalStats, MachineError> {
+        enum RoundRule<'a> {
+            /// Insert/delete copy: the target changes by Δ itself.
+            Copy(RelId, Sym),
+            /// A closed formula whose aligned rows are this round's
+            /// additions (bulk insert) or removals (bulk delete).
+            Closed(RelId, Sym, &'a UpdateRule, Formula),
+        }
+
+        let n = self.n();
+        let target_id = self
+            .state
+            .vocab()
+            .relation(kind.sym)
+            .expect("validated bulk target exists in aux vocab");
+        let arity = self.state.relation(target_id).arity();
+        let rules = self.program.rules_for(kind);
+        let no_plans = Vec::new();
+        let plans = self.plans.get(&kind).unwrap_or(&no_plans);
+
+        let dvars: Vec<Sym> = (0..arity).map(|i| Sym::new(&format!("__d{i}"))).collect();
+        let delta_atom = Formula::Rel {
+            name: Sym::new(BULK_DELTA_REL),
+            args: dvars.iter().map(|&v| Term::Var(v)).collect(),
+        };
+        let close = |psi: &Formula, negate: bool| -> Formula {
+            let bound = psi.map_terms(&|t| match t {
+                Term::Param(i) => Term::Var(Sym::new(&format!("__d{i}"))),
+                other => other,
+            });
+            let body = if negate {
+                Formula::Not(Box::new(bound))
+            } else {
+                bound
+            };
+            // Distribute Δ over the residual's top-level disjunction
+            // before quantifying: ∃d̄. Δ ∧ (A ∨ B) ≡ (∃d̄. Δ∧A) ∨
+            // (∃d̄. Δ∧B). One blanket ∃d̄ over the whole disjunction
+            // pins every round evaluation at arity |x̄|+|d̄|; closing
+            // per disjunct lets miniscoping sink each dᵢ to the
+            // conjuncts that actually mention it — the difference
+            // between an S⁴ and an S³ intermediate on the 2-parameter
+            // graph programs. Δ stays inside every disjunct so an
+            // empty Δ still closes to `false`.
+            let close_one = |g: Formula| {
+                canonicalize(&Formula::Exists(
+                    dvars.clone(),
+                    Box::new(Formula::And(vec![delta_atom.clone(), g])),
+                ))
+            };
+            let closed = match canonicalize(&body) {
+                Formula::Or(ds) => {
+                    canonicalize(&Formula::Or(ds.into_iter().map(close_one).collect()))
+                }
+                g => close_one(g),
+            };
+            if self.plan_opt {
+                dynfo_logic::eval::opt::optimize_formula(&closed).unwrap_or(closed)
+            } else {
+                closed
+            }
+        };
+        let mut round_rules: Vec<RoundRule> = Vec::with_capacity(rules.len());
+        for (rule, plan) in rules.iter().zip(plans) {
+            let id = self
+                .state
+                .vocab()
+                .relation(rule.target)
+                .expect("rule target exists in aux vocab");
+            match plan {
+                RulePlan::InsertCopy | RulePlan::DeleteCopy => {
+                    round_rules.push(RoundRule::Copy(id, rule.target))
+                }
+                RulePlan::General(GeneralPlan::Grow(psi)) => {
+                    round_rules.push(RoundRule::Closed(id, rule.target, rule, close(psi, false)))
+                }
+                RulePlan::General(GeneralPlan::Shrink) => {
+                    let psi = shrink_residual(rule).expect("eligibility checked shrink shape");
+                    round_rules.push(RoundRule::Closed(id, rule.target, rule, close(&psi, true)))
+                }
+                RulePlan::General(_) => unreachable!("eligibility admits copy/grow/shrink only"),
+            }
+        }
+
+        let delta_rel =
+            Relation::from_tuples_with_universe(arity, n, delta.iter().copied());
+        let mut ext = self.state.extended(BULK_DELTA_REL, delta_rel);
+        // Closed round formulas go through the same plan pipeline as
+        // single-tuple rules: compiled once against the extended
+        // layout, re-executed every round (the kernels read live
+        // relation contents at execution time). Unlike per-request
+        // rules there is no density check: the interpreter has no
+        // delta-pipeline shortcut for the closure — it must join Δ
+        // against the residual's relation atoms outright, so a
+        // compiled plan within the budget always wins, even over
+        // near-empty reads.
+        let compiled: Vec<Option<BitPlan>> = round_rules
+            .iter()
+            .map(|rr| match rr {
+                RoundRule::Closed(_, _, _, f)
+                    if self.use_plans && self.install_mode == InstallMode::Delta =>
+                {
+                    BitPlan::compile(f, &ext, self.plan_opt)
+                }
+                _ => None,
+            })
+            .collect();
+        let mut work = EvalStats::default();
+        let mut round_changes: Vec<(RelId, Vec<Tuple>)> = Vec::new();
+        loop {
+            // Evaluate every rule against the pre-round state, then
+            // install together (simultaneous semantics per round).
+            round_changes.clear();
+            for (rr, bp) in round_rules.iter().zip(&compiled) {
+                match rr {
+                    RoundRule::Copy(id, _) => round_changes.push((*id, delta.to_vec())),
+                    RoundRule::Closed(id, _, rule, f) => {
+                        let mut local = SubformulaCache::new();
+                        let mut ev = Evaluator::with_cache(&ext, &[], &mut local);
+                        let table = match bp {
+                            Some(bp) => {
+                                let mut arena = bp.arena.lock().unwrap();
+                                match bp
+                                    .plan
+                                    .execute(&mut ev, &mut arena, None)
+                                    .map_err(MachineError::Eval)?
+                                {
+                                    Some(t) => t,
+                                    // Runtime bail (backend mismatch):
+                                    // interpret this round instead.
+                                    None => ev.eval(f).map_err(MachineError::Eval)?,
+                                }
+                            }
+                            _ => ev.eval(f).map_err(MachineError::Eval)?,
+                        };
+                        work.absorb(&ev.stats());
+                        if is_ins {
+                            self.stats.installs.grow_evals += 1;
+                        } else {
+                            self.stats.installs.shrink_evals += 1;
+                        }
+                        round_changes.push((*id, align_to_rule(table, rule, n)));
+                    }
+                }
+            }
+            let mut changed = false;
+            for (id, rows) in &round_changes {
+                let target = ext.relation_mut(*id);
+                for t in rows {
+                    let did = if is_ins {
+                        target.insert(*t)
+                    } else {
+                        target.remove(t)
+                    };
+                    changed |= did;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Diff the converged targets against the real state and install
+        // each as one delta.
+        let mut changed_syms: BTreeSet<Sym> = BTreeSet::new();
+        for rr in &round_rules {
+            let (id, target) = match rr {
+                RoundRule::Copy(id, t) | RoundRule::Closed(id, t, ..) => (*id, *t),
+            };
+            let new_rel = ext.relation(id);
+            let old_rel = self.state.relation(id);
+            let mut added: Vec<Tuple> = Vec::new();
+            let mut removed: Vec<Tuple> = Vec::new();
+            if is_ins {
+                added = new_rel.iter().filter(|t| !old_rel.contains(t)).collect();
+                added.sort_unstable();
+            } else {
+                removed = old_rel.iter().filter(|t| !new_rel.contains(t)).collect();
+                removed.sort_unstable();
+            }
+            if added.is_empty() && removed.is_empty() {
+                self.stats.installs.unchanged += 1;
+                continue;
+            }
+            self.stats.installs.delta += 1;
+            self.stats.installs.tuples_added += added.len();
+            self.stats.installs.tuples_removed += removed.len();
+            self.state.apply_delta(id, &added, &removed);
+            changed_syms.insert(target);
+        }
+        if !changed_syms.is_empty() {
+            self.cache.invalidate_reads(&changed_syms);
+        }
+        // One-shot counts as one request, however many tuples Δ holds —
+        // the whole point of the bulk path. (The fallback below counts
+        // per expanded tuple, matching the stream it replays.)
+        self.stats.requests += 1;
+        self.obs.requests.inc();
+        self.stats.update_work.absorb(&work);
+        Ok(work)
+    }
+
+    /// Replay Δ through the ordinary per-request pipeline: state *and*
+    /// per-request statistics match the equivalent single-tuple stream
+    /// by construction, because each expanded request runs exactly the
+    /// apply path a streamed request would.
+    fn apply_bulk_fallback(
+        &mut self,
+        rel: Sym,
+        delta: &[Tuple],
+        is_ins: bool,
+    ) -> Result<EvalStats, MachineError> {
+        let mut work = EvalStats::default();
+        for t in delta {
+            let args: Vec<Elem> = t.iter().collect();
+            let single = if is_ins {
+                Request::Ins(rel, args)
+            } else {
+                Request::Del(rel, args)
+            };
+            work.absorb(&self.apply_validated(&single)?);
+        }
+        Ok(work)
+    }
+
+    /// The single-tuple request stream a bulk change is equivalent to
+    /// against this machine's *current* state: one `ins`/`del` per live
+    /// Δ tuple, in sorted tuple order. Non-bulk requests come back as
+    /// themselves. The differential suites replay this expansion on a
+    /// sibling machine to prove the bulk paths byte-identical.
+    pub fn expand_bulk(&self, req: &Request) -> Result<Vec<Request>, MachineError> {
+        req.validate(self.program.input_vocab(), self.n())?;
+        let (rel, delta, is_ins) = match req {
+            Request::BulkIns { rel, delta } => (*rel, delta, true),
+            Request::BulkDel { rel, delta } => (*rel, delta, false),
+            other => return Ok(vec![other.clone()]),
+        };
+        let tuples = self.bulk_delta(rel, delta, is_ins)?;
+        Ok(tuples
+            .into_iter()
+            .map(|t| {
+                let args: Vec<Elem> = t.iter().collect();
+                if is_ins {
+                    Request::Ins(rel, args)
+                } else {
+                    Request::Del(rel, args)
+                }
+            })
+            .collect())
+    }
+
+    /// A request's admission weight: the live Δ-popcount for a bulk
+    /// change (how many tuples it would toggle right now), 1 otherwise.
+    /// The serving tier counts this against its inflight-write cap so
+    /// one bulk frame cannot slip O(n²) tuples of work past
+    /// backpressure.
+    pub fn bulk_delta_count(&self, req: &Request) -> Result<usize, MachineError> {
+        req.validate(self.program.input_vocab(), self.n())?;
+        match req {
+            Request::BulkIns { rel, delta } => Ok(self.bulk_delta(*rel, delta, true)?.len()),
+            Request::BulkDel { rel, delta } => Ok(self.bulk_delta(*rel, delta, false)?.len()),
+            _ => Ok(1),
         }
     }
 
@@ -1316,6 +1764,39 @@ fn classify_rule(rule: &UpdateRule) -> RulePlan {
         }
         _ => RulePlan::General(GeneralPlan::Full),
     }
+}
+
+/// Scratch relation name the bulk fixpoint extends the state with —
+/// reserved, so programs using a `__`-prefixed symbol take the
+/// per-tuple fallback instead.
+const BULK_DELTA_REL: &str = "__DELTA";
+
+/// The residual ψ of a Shrink rule `T(x̄) ∧ ψ`: the stored conjunction
+/// minus the exact self-atom. `None` when the formula is not that
+/// shape (cannot happen for a rule classified `Shrink`).
+fn shrink_residual(rule: &UpdateRule) -> Option<Formula> {
+    let k = rule.vars.len();
+    let is_target_atom = |f: &Formula| -> bool {
+        matches!(f, Formula::Rel { name, args }
+            if *name == rule.target
+                && args.len() == k
+                && args.iter().zip(&rule.vars).all(|(a, v)| *a == Term::Var(*v)))
+    };
+    let Formula::And(parts) = &rule.formula else {
+        return None;
+    };
+    let self_at = parts.iter().position(is_target_atom)?;
+    let rest: Vec<Formula> = parts
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != self_at)
+        .map(|(_, f)| f.clone())
+        .collect();
+    Some(match rest.len() {
+        0 => Formula::True,
+        1 => rest.into_iter().next().expect("one conjunct"),
+        _ => Formula::And(rest),
+    })
 }
 
 impl InstallStats {
@@ -1802,6 +2283,130 @@ mod tests {
         m.apply(&Request::ins("M", [6])).unwrap();
         assert!(m.query_named("member", &[6]).unwrap());
         assert!(!m.query_named("member", &[5]).unwrap());
+    }
+
+    /// Insert-only transitive closure: T grows by path composition
+    /// through the inserted edge — memoryless over insert-only
+    /// streams, the one-shot bulk fixpoint's home turf.
+    fn closure() -> DynFoProgram {
+        use dynfo_logic::formula::param;
+        let (_, ins_e, _) = input_copy_rules("E", 2);
+        let eq = |a, b| Formula::Eq(a, b);
+        let step = rel("T", [v("x"), v("y")])
+            | (eq(v("x"), param(0)) & eq(v("y"), param(1)))
+            | (rel("T", [v("x"), param(0)]) & eq(v("y"), param(1)))
+            | (eq(v("x"), param(0)) & rel("T", [param(1), v("y")]))
+            | (rel("T", [v("x"), param(0)]) & rel("T", [param(1), v("y")]));
+        DynFoProgram::builder("closure")
+            .input_relation("E", 2)
+            .aux_relation("T", 2)
+            .on(RequestKind::ins("E"), "E", &["x0", "x1"], ins_e)
+            .on(RequestKind::ins("E"), "T", &["x", "y"], step)
+            .query(exists(["x", "y"], rel("T", [v("x"), v("y")])))
+            .memoryless()
+            .build()
+    }
+
+    #[test]
+    fn bulk_one_shot_matches_expanded_stream() {
+        // δ = the successor chain 0→1→…→7: forces the fixpoint through
+        // multiple rounds (path composition doubles reach per round),
+        // the case where a single Δ-substitution would be wrong.
+        use dynfo_logic::formula::{forall, lt, not};
+        let succ = lt(v("x0"), v("x1"))
+            & forall(
+                ["z"],
+                not(lt(v("x0"), v("z")) & lt(v("z"), v("x1"))),
+            );
+        let req = Request::bulk_ins("E", succ);
+        let n = 8;
+        let mut bulk = DynFoMachine::new(closure(), n);
+        let mut stream = DynFoMachine::new(closure(), n);
+        let expanded = bulk.expand_bulk(&req).unwrap();
+        assert_eq!(expanded.len(), 7, "seven chain edges");
+        for s in &expanded {
+            stream.apply(s).unwrap();
+        }
+        bulk.apply(&req).unwrap();
+        assert_eq!(bulk.state(), stream.state());
+        assert!(bulk.holds("T", [0u32, 7]), "closure spans the chain");
+        assert_eq!(bulk.stats().requests, 1, "one-shot counts one request");
+        // A second identical bulk insert is a live-Δ no-op.
+        assert_eq!(bulk.expand_bulk(&req).unwrap().len(), 0);
+        let before = bulk.state().clone();
+        bulk.apply(&req).unwrap();
+        assert_eq!(*bulk.state(), before);
+    }
+
+    #[test]
+    fn bulk_fallback_matches_expanded_stream() {
+        // The swap program does not claim memorylessness, so bulk
+        // requests take the per-tuple fallback — state *and* request
+        // count must match the expanded stream exactly.
+        let p = || {
+            DynFoProgram::builder("swap")
+                .input_relation("M", 1)
+                .aux_relation("A", 1)
+                .aux_relation("B", 1)
+                .on(RequestKind::ins("M"), "A", &["x"], rel("B", [v("x")]))
+                .on(
+                    RequestKind::ins("M"),
+                    "B",
+                    &["x"],
+                    rel("A", [v("x")]) | Formula::Eq(v("x"), dynfo_logic::formula::param(0)),
+                )
+                .query(Formula::True)
+                .build()
+        };
+        let delta = dynfo_logic::formula::lt(v("x0"), dynfo_logic::formula::lit(3));
+        let req = Request::bulk_ins("M", delta);
+        let mut bulk = DynFoMachine::new(p(), 4);
+        let mut stream = DynFoMachine::new(p(), 4);
+        let expanded = bulk.expand_bulk(&req).unwrap();
+        assert_eq!(expanded.len(), 3);
+        for s in &expanded {
+            stream.apply(s).unwrap();
+        }
+        bulk.apply(&req).unwrap();
+        assert_eq!(bulk.state(), stream.state());
+        assert_eq!(bulk.stats().requests, stream.stats().requests);
+        assert_eq!(bulk.stats().installs, stream.stats().installs);
+    }
+
+    #[test]
+    fn bulk_one_shot_delete_shrinks() {
+        // Pure copy rules are one-shot eligible in both directions.
+        let mut m = DynFoMachine::new(toy(), 8);
+        m.apply(&Request::bulk_ins(
+            "M",
+            dynfo_logic::formula::lt(v("x0"), dynfo_logic::formula::lit(6)),
+        ))
+        .unwrap();
+        assert!(m.query().unwrap());
+        // Delete every member below 6 that is even… via M itself: δ may
+        // read the input relations.
+        m.apply(&Request::bulk_del("M", rel("M", [v("x0")]))).unwrap();
+        assert!(!m.query().unwrap(), "deleting δ = M empties M");
+        assert_eq!(m.stats().requests, 2);
+    }
+
+    #[test]
+    fn bulk_in_batch_is_not_coalesced() {
+        let mut batch = DynFoMachine::new(toy(), 8);
+        let mut seq = DynFoMachine::new(toy(), 8);
+        let reqs = [
+            Request::ins("M", [7]),
+            Request::bulk_ins("M", dynfo_logic::formula::lt(v("x0"), dynfo_logic::formula::lit(2))),
+            Request::del("M", [1]),
+        ];
+        batch.apply_batch(&reqs).unwrap();
+        for r in &reqs {
+            seq.apply(r).unwrap();
+        }
+        assert_eq!(batch.state(), seq.state());
+        assert!(batch.holds("M", [0u32]));
+        assert!(!batch.holds("M", [1u32]));
+        assert!(batch.holds("M", [7u32]));
     }
 
     #[test]

@@ -31,10 +31,21 @@ fn path(s: Term, t: Term) -> Formula {
 
 /// Semi-dynamic undirected reachability. Input `⟨E², s, t⟩`; only
 /// `ins(E, ·, ·)` and `set` requests occur.
+///
+/// `P` maintains the *reflexive* symmetric path relation: the `x = y`
+/// disjunct pulls the whole diagonal in on the first insert. That makes
+/// the update idempotent — re-applying `ins(E, a, b)` with `a ~ b`
+/// already connected changes nothing, whereas the irreflexive variant
+/// would manufacture diagonal pairs from `P*(x,a) ∧ P*(b,x)` — which is
+/// exactly what the `memoryless` claim promises and what the bulk
+/// one-shot Δ-fixpoint (which closes every rule over the whole change
+/// set repeatedly) relies on to stay byte-identical to the expanded
+/// single-tuple stream.
 pub fn reach_u_program() -> DynFoProgram {
     let (a, b) = (param(0), param(1));
     let ins_e = rel("E", [v("x"), v("y")]) | eq_pair("x", "y");
     let ins_p = rel("P", [v("x"), v("y")])
+        | eq(v("x"), v("y"))
         | (path(v("x"), a) & path(b, v("y")))
         | (path(v("x"), b) & path(a, v("y")));
 
@@ -59,7 +70,10 @@ pub fn reach_program() -> DynFoProgram {
     use crate::programs::tuple_is_params;
     let (a, b) = (param(0), param(1));
     let ins_e = rel("E", [v("x"), v("y")]) | tuple_is_params(&["x", "y"]);
-    let ins_p = rel("P", [v("x"), v("y")]) | (path(v("x"), a) & path(b, v("y")));
+    // Reflexive for the same idempotence reason as `reach_u_program`.
+    let ins_p = rel("P", [v("x"), v("y")])
+        | eq(v("x"), v("y"))
+        | (path(v("x"), a) & path(b, v("y")));
 
     DynFoProgram::builder("semi_reach")
         .input_relation("E", 2)
@@ -126,6 +140,27 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn memoryless_under_duplicate_inserts() {
+        // The irreflexive path relation failed exactly this: a repeated
+        // insert between already-connected endpoints manufactured
+        // diagonal pairs, so the aux state depended on the history, not
+        // just the evaluated input — and the bulk one-shot fixpoint
+        // (which re-closes rules over the whole Δ) diverged from the
+        // expanded stream.
+        use crate::machine::check_memoryless;
+        let a = vec![Request::ins("E", [0, 1]), Request::ins("E", [1, 2])];
+        let b = vec![
+            Request::ins("E", [0, 1]),
+            Request::ins("E", [0, 1]),
+            Request::ins("E", [1, 2]),
+            Request::ins("E", [1, 2]),
+            Request::ins("E", [0, 1]),
+        ];
+        assert!(check_memoryless(&reach_u_program(), 5, &a, &b).unwrap());
+        assert!(check_memoryless(&reach_program(), 5, &a, &b).unwrap());
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! *sequence* evaluated against the initial structure `A₀ⁿ` yields the
 //! current input structure (`eval_{n,σ}`).
 
-use dynfo_logic::{Elem, Structure, Sym, Tuple, Vocabulary};
+use dynfo_logic::analysis::{
+    canonicalize, constant_symbols, free_vars, has_params, relation_symbols,
+};
+use dynfo_logic::{evaluate, Elem, EvalError, Formula, Structure, Sym, Table, Tuple, Vocabulary};
 use std::fmt;
 use std::sync::Arc;
 
@@ -24,6 +27,18 @@ pub enum RequestError {
     ArityMismatch { rel: Sym, expected: usize, got: usize },
     /// An argument lies outside the universe `{0..n}`.
     OutOfUniverse { elem: Elem, n: Elem },
+    /// A bulk change targets a constant symbol (only relations have
+    /// definable change sets).
+    BulkOnConstant(Sym),
+    /// A bulk change's δ formula does not have free variables exactly
+    /// `x0 … x_{k−1}` for the target relation's arity `k`.
+    DeltaFreeVars { rel: Sym },
+    /// A bulk change's δ formula mentions request parameters `?i`
+    /// (there is no request tuple to bind them against).
+    DeltaParams { rel: Sym },
+    /// A bulk change's δ formula mentions a relation or constant symbol
+    /// outside the input vocabulary.
+    DeltaSymbol { rel: Sym, sym: Sym },
 }
 
 impl fmt::Display for RequestError {
@@ -38,6 +53,20 @@ impl fmt::Display for RequestError {
             RequestError::OutOfUniverse { elem, n } => {
                 write!(f, "element {elem} outside universe of size {n}")
             }
+            RequestError::BulkOnConstant(s) => {
+                write!(f, "bulk change targets constant {s}; only relations have δ-sets")
+            }
+            RequestError::DeltaFreeVars { rel } => write!(
+                f,
+                "bulk δ for {rel} must have free variables exactly x0…x(arity−1)"
+            ),
+            RequestError::DeltaParams { rel } => {
+                write!(f, "bulk δ for {rel} mentions request parameters ?i")
+            }
+            RequestError::DeltaSymbol { rel, sym } => write!(
+                f,
+                "bulk δ for {rel} mentions {sym}, which is not in the input vocabulary"
+            ),
         }
     }
 }
@@ -64,6 +93,22 @@ pub enum Request {
     Del(Sym, Vec<Elem>),
     /// `set(c, a)`.
     Set(Sym, Elem),
+    /// `bulk_ins(R, δ)`: insert every tuple of the set defined by the
+    /// parameter-free FO formula `δ(x0 … x_{k−1})` over the current
+    /// input structure (Schwentick–Vortmeier–Zeume definable changes).
+    BulkIns {
+        /// Target input relation.
+        rel: Sym,
+        /// The change-set formula; column `i` binds variable `xi`.
+        delta: Formula,
+    },
+    /// `bulk_del(R, δ)`: delete every tuple of the δ-defined set.
+    BulkDel {
+        /// Target input relation.
+        rel: Sym,
+        /// The change-set formula; column `i` binds variable `xi`.
+        delta: Formula,
+    },
 }
 
 impl Request {
@@ -82,12 +127,31 @@ impl Request {
         Request::Set(Sym::new(cst), value)
     }
 
-    /// The `(op, symbol)` pair that update rules dispatch on.
+    /// Bulk-insert request: insert the δ-defined set into `rel`.
+    pub fn bulk_ins(rel: &str, delta: Formula) -> Request {
+        Request::BulkIns { rel: Sym::new(rel), delta }
+    }
+
+    /// Bulk-delete request: delete the δ-defined set from `rel`.
+    pub fn bulk_del(rel: &str, delta: Formula) -> Request {
+        Request::BulkDel { rel: Sym::new(rel), delta }
+    }
+
+    /// True for the definable bulk changes, which carry a formula
+    /// instead of a tuple and take the machine's bulk-maintenance path.
+    pub fn is_bulk(&self) -> bool {
+        matches!(self, Request::BulkIns { .. } | Request::BulkDel { .. })
+    }
+
+    /// The `(op, symbol)` pair that update rules dispatch on. A bulk
+    /// change dispatches like the single-tuple requests it expands to.
     pub fn kind(&self) -> RequestKind {
         match self {
             Request::Ins(s, _) => RequestKind { op: Op::Ins, sym: *s },
             Request::Del(s, _) => RequestKind { op: Op::Del, sym: *s },
             Request::Set(s, _) => RequestKind { op: Op::Set, sym: *s },
+            Request::BulkIns { rel, .. } => RequestKind { op: Op::Ins, sym: *rel },
+            Request::BulkDel { rel, .. } => RequestKind { op: Op::Del, sym: *rel },
         }
     }
 
@@ -107,12 +171,48 @@ impl Request {
         match self {
             Request::Ins(_, args) | Request::Del(_, args) => out.extend_from_slice(args),
             Request::Set(_, v) => out.push(*v),
+            // Bulk changes have no request tuple; each expanded
+            // single-tuple request binds its own parameters.
+            Request::BulkIns { .. } | Request::BulkDel { .. } => {}
         }
     }
 
     /// Validate against a vocabulary and universe size.
     pub fn validate(&self, vocab: &Vocabulary, n: Elem) -> Result<(), RequestError> {
         match self {
+            Request::BulkIns { rel, delta } | Request::BulkDel { rel, delta } => {
+                if vocab.constant(*rel).is_some() && vocab.relation(*rel).is_none() {
+                    return Err(RequestError::BulkOnConstant(*rel));
+                }
+                let id = vocab
+                    .relation(*rel)
+                    .ok_or(RequestError::UnknownRelation(*rel))?;
+                let arity = vocab.arity(id);
+                // Column i binds xi: the free variables must be exactly
+                // x0 … x_{arity−1} (so the defined set has the
+                // relation's shape), and nothing else may vary between
+                // evaluations — no ?i parameters, and every relation or
+                // constant symbol must come from the input vocabulary.
+                let expected: std::collections::BTreeSet<Sym> =
+                    (0..arity).map(|i| Sym::new(&format!("x{i}"))).collect();
+                if free_vars(delta) != expected {
+                    return Err(RequestError::DeltaFreeVars { rel: *rel });
+                }
+                if has_params(delta) {
+                    return Err(RequestError::DeltaParams { rel: *rel });
+                }
+                for s in relation_symbols(delta) {
+                    if vocab.relation(s).is_none() {
+                        return Err(RequestError::DeltaSymbol { rel: *rel, sym: s });
+                    }
+                }
+                for s in constant_symbols(delta) {
+                    if vocab.constant(s).is_none() {
+                        return Err(RequestError::DeltaSymbol { rel: *rel, sym: s });
+                    }
+                }
+                Ok(())
+            }
             Request::Ins(s, args) | Request::Del(s, args) => {
                 let id = vocab
                     .relation(*s)
@@ -148,6 +248,8 @@ impl fmt::Display for Request {
             Request::Ins(s, args) => write!(f, "ins({s}, {})", Tuple::from_slice(args)),
             Request::Del(s, args) => write!(f, "del({s}, {})", Tuple::from_slice(args)),
             Request::Set(s, v) => write!(f, "set({s}, {v})"),
+            Request::BulkIns { rel, delta } => write!(f, "bulk_ins({rel}, {delta})"),
+            Request::BulkDel { rel, delta } => write!(f, "bulk_del({rel}, {delta})"),
         }
     }
 }
@@ -178,9 +280,41 @@ impl RequestKind {
     }
 }
 
+/// Evaluate a bulk request's δ over `st`: the defined tuple set in
+/// column order `x0 … x_{arity−1}`, sorted and duplicate-free. The
+/// formula must already have passed [`Request::validate`].
+pub fn delta_tuples(
+    delta: &Formula,
+    arity: usize,
+    st: &Structure,
+) -> Result<Vec<Tuple>, EvalError> {
+    let table = evaluate(&canonicalize(delta), st, &[])?;
+    Ok(delta_rows(table, arity, st.size()))
+}
+
+/// Project an evaluated δ table to column order `x0…x_{k−1}` —
+/// extending variables the simplifier erased (e.g. a tautological
+/// `x0 = x0` conjunct) over the whole universe — and return the rows
+/// sorted and duplicate-free.
+pub fn delta_rows(table: Table, arity: usize, n: Elem) -> Vec<Tuple> {
+    let order: Vec<Sym> = (0..arity).map(|i| Sym::new(&format!("x{i}"))).collect();
+    let mut t = table;
+    for &v in &order {
+        if t.col(v).is_none() {
+            t = t.extend(v, n);
+        }
+    }
+    let mut rows = t.project(&order).into_rows();
+    rows.sort_unstable();
+    rows.dedup();
+    rows
+}
+
 /// Apply a request directly to an input structure — the paper's
 /// `eval_{n,σ}` step function. (This is the *semantic* update the Dyn-FO
-/// program must track in first-order logic.)
+/// program must track in first-order logic.) Bulk changes apply their
+/// whole δ-set, evaluated against the *current* input structure, in one
+/// step — exactly the set the expanded single-tuple stream would apply.
 pub fn apply_to_input(st: &mut Structure, req: &Request) {
     match req {
         Request::Ins(s, args) => {
@@ -191,6 +325,18 @@ pub fn apply_to_input(st: &mut Structure, req: &Request) {
         }
         Request::Set(s, v) => {
             st.set_const(s.as_str(), *v);
+        }
+        Request::BulkIns { rel, delta } | Request::BulkDel { rel, delta } => {
+            let name = rel.as_str();
+            let arity = st.rel(name).arity();
+            let tuples = delta_tuples(delta, arity, st)
+                .unwrap_or_else(|e| panic!("bulk δ failed to evaluate: {e}"));
+            let target = st.rel_mut(name);
+            if matches!(req, Request::BulkIns { .. }) {
+                target.insert_all(&tuples);
+            } else {
+                target.remove_all(&tuples);
+            }
         }
     }
 }
@@ -270,5 +416,78 @@ mod tests {
     fn display() {
         assert_eq!(Request::ins("E", [1, 2]).to_string(), "ins(E, (1,2))");
         assert_eq!(Request::set("s", 7).to_string(), "set(s, 7)");
+    }
+
+    #[test]
+    fn bulk_validation() {
+        use dynfo_logic::formula::{cst, eq, lit, param, rel, v};
+        let voc = vocab();
+        // δ(x0,x1) = x0 < x1: well-formed for the binary relation E.
+        let ok = Request::bulk_ins("E", dynfo_logic::formula::lt(v("x0"), v("x1")));
+        assert!(ok.validate(&voc, 4).is_ok());
+        assert!(ok.is_bulk());
+        assert_eq!(ok.kind(), RequestKind::ins("E"));
+        assert_eq!(ok.params(), Vec::<Elem>::new());
+        // Wrong free variables.
+        let bad_vars = Request::bulk_ins("E", eq(v("x0"), lit(1)));
+        assert_eq!(
+            bad_vars.validate(&voc, 4),
+            Err(RequestError::DeltaFreeVars { rel: Sym::new("E") })
+        );
+        // Parameters are not allowed in δ.
+        let bad_params =
+            Request::bulk_del("E", eq(v("x0"), param(0)) & eq(v("x1"), v("x1")));
+        assert_eq!(
+            bad_params.validate(&voc, 4),
+            Err(RequestError::DeltaParams { rel: Sym::new("E") })
+        );
+        // Unknown relation / constant symbols inside δ.
+        let bad_rel = Request::bulk_ins("E", rel("Q", [v("x0"), v("x1")]));
+        assert_eq!(
+            bad_rel.validate(&voc, 4),
+            Err(RequestError::DeltaSymbol { rel: Sym::new("E"), sym: Sym::new("Q") })
+        );
+        let bad_const =
+            Request::bulk_ins("E", eq(v("x0"), cst("nope")) & eq(v("x1"), v("x1")));
+        assert_eq!(
+            bad_const.validate(&voc, 4),
+            Err(RequestError::DeltaSymbol { rel: Sym::new("E"), sym: Sym::new("nope") })
+        );
+        // Bulk against a constant symbol.
+        let on_const = Request::bulk_ins("s", eq(v("x0"), v("x0")));
+        assert_eq!(
+            on_const.validate(&voc, 4),
+            Err(RequestError::BulkOnConstant(Sym::new("s")))
+        );
+        // Unknown target relation.
+        let unknown = Request::bulk_ins("Q", eq(v("x0"), v("x0")));
+        assert_eq!(
+            unknown.validate(&voc, 4),
+            Err(RequestError::UnknownRelation(Sym::new("Q")))
+        );
+    }
+
+    #[test]
+    fn bulk_apply_to_input_matches_expanded_stream() {
+        use dynfo_logic::formula::{lt, rel as frel, v};
+        let voc = vocab();
+        let mut st = Structure::empty(Arc::clone(&voc), 4);
+        st.insert("E", [3, 0]);
+        // bulk_ins(E, x0 < x1): the strict upper triangle.
+        apply_to_input(&mut st, &Request::bulk_ins("E", lt(v("x0"), v("x1"))));
+        let mut expect = Structure::empty(Arc::clone(&voc), 4);
+        expect.insert("E", [3, 0]);
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                expect.insert("E", [a, b]);
+            }
+        }
+        assert_eq!(st, expect);
+        // bulk_del(E, E(x1,x0)): drop every edge whose reverse is live —
+        // evaluated against the *pre*-state in one step.
+        apply_to_input(&mut st, &Request::bulk_del("E", frel("E", [v("x1"), v("x0")])));
+        assert!(!st.holds("E", [3, 0]), "(3,0) reversed (0,3) was live");
+        assert!(!st.holds("E", [0, 3]), "(0,3) reversed (3,0) was live");
+        assert!(st.holds("E", [0, 1]), "(0,1): (1,0) was never live");
     }
 }

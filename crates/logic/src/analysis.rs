@@ -212,6 +212,56 @@ pub fn mentions_param_or_const(f: &Formula) -> bool {
     }
 }
 
+/// True iff any term of the formula is a request parameter `?i`.
+///
+/// Unlike [`mentions_param_or_const`] this ignores structure constants:
+/// bulk-change formulas δ(x̄) may read constants (they are part of the
+/// structure being queried) but must be parameter-free, because there is
+/// no request tuple to bind `?i` against.
+pub fn has_params(f: &Formula) -> bool {
+    use Formula::*;
+    let term = |t: &Term| matches!(t, Term::Param(_));
+    match f {
+        True | False => false,
+        Rel { args, .. } => args.iter().any(term),
+        Eq(a, b) | Le(a, b) | Lt(a, b) | Bit(a, b) => term(a) || term(b),
+        Not(g) | Exists(_, g) | Forall(_, g) => has_params(g),
+        And(fs) | Or(fs) => fs.iter().any(has_params),
+        Implies(a, b) | Iff(a, b) => has_params(a) || has_params(b),
+    }
+}
+
+/// True iff every occurrence of a relation in `rels` sits under an even
+/// number of negations — the monotonicity precondition for evaluating a
+/// definable bulk change as one iterated fixpoint instead of a
+/// tuple-at-a-time stream: if the maintained relations only appear
+/// positively in an update formula, installing a superset of the
+/// single-step result can only grow later rounds toward the same
+/// fixpoint the serialized stream reaches.
+///
+/// `Implies(a, b)` flips polarity on `a`; `Iff` gives both polarities to
+/// both sides, so any mention of a target under `Iff` is non-positive.
+pub fn positive_in(f: &Formula, rels: &BTreeSet<Sym>) -> bool {
+    polarity_ok(f, rels, true)
+}
+
+fn polarity_ok(f: &Formula, rels: &BTreeSet<Sym>, positive: bool) -> bool {
+    use Formula::*;
+    match f {
+        True | False | Eq(..) | Le(..) | Lt(..) | Bit(..) => true,
+        Rel { name, .. } => positive || !rels.contains(name),
+        Not(g) => polarity_ok(g, rels, !positive),
+        And(fs) | Or(fs) => fs.iter().all(|g| polarity_ok(g, rels, positive)),
+        Implies(a, b) => polarity_ok(a, rels, !positive) && polarity_ok(b, rels, positive),
+        Iff(a, b) => {
+            [a, b].iter().all(|g| {
+                polarity_ok(g, rels, true) && polarity_ok(g, rels, false)
+            })
+        }
+        Exists(_, g) | Forall(_, g) => polarity_ok(g, rels, positive),
+    }
+}
+
 /// Rewrite to canonical form (see module docs): no `Implies`/`Iff`/
 /// `Forall`; `Not` only over atoms and `Exists`.
 pub fn canonicalize(f: &Formula) -> Formula {
@@ -387,6 +437,40 @@ mod tests {
             ["z"],
             rel("E", [v("z"), lit(3)])
         )));
+    }
+
+    #[test]
+    fn has_params_ignores_constants() {
+        assert!(has_params(&eq(v("x"), param(0))));
+        assert!(!has_params(&rel("E", [cst("s"), v("y")])));
+        assert!(has_params(&exists(["z"], rel("E", [v("z"), param(1)]))));
+        assert!(!has_params(&Formula::True));
+    }
+
+    #[test]
+    fn positive_in_tracks_negation_depth() {
+        let targets: BTreeSet<Sym> = [sym("P")].into_iter().collect();
+        assert!(positive_in(&rel("P", [v("x")]), &targets));
+        assert!(!positive_in(&not(rel("P", [v("x")])), &targets));
+        // Double negation restores positivity.
+        assert!(positive_in(&not(not(rel("P", [v("x")]))), &targets));
+        // Non-target relations may occur at any polarity.
+        assert!(positive_in(&not(rel("E", [v("x"), v("y")])), &targets));
+        // ∃z (E(x,z) ∧ P(z)) — positive through quantifiers and ∧.
+        assert!(positive_in(
+            &exists(["z"], rel("E", [v("x"), v("z")]) & rel("P", [v("z")])),
+            &targets
+        ));
+        // Canonical guarded form ¬∃z(… ∧ ¬P(z)): P at depth 2, positive.
+        assert!(positive_in(
+            &not(exists(["z"], rel("E", [v("x"), v("z")]) & not(rel("P", [v("z")])))),
+            &targets
+        ));
+        // Implies flips its left side.
+        assert!(!positive_in(&implies(rel("P", [v("x")]), Formula::True), &targets));
+        assert!(positive_in(&implies(rel("E", [v("x"), v("x")]), rel("P", [v("x")])), &targets));
+        // Any target mention under Iff is non-positive.
+        assert!(!positive_in(&iff(rel("P", [v("x")]), Formula::True), &targets));
     }
 
     #[test]

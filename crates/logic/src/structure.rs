@@ -243,6 +243,39 @@ impl Structure {
         rel.insert_all(added) + rel.remove_all(removed)
     }
 
+    /// A copy of this structure whose vocabulary gains one extra
+    /// relation `name` (arity taken from `rel`) interpreted as `rel`.
+    ///
+    /// This is the scratch-structure constructor of the bulk-change
+    /// path: the machine clones its auxiliary state, adjoins the
+    /// materialized change set Δ as a first-class relation, and
+    /// evaluates Δ-substituted update formulas against the extension —
+    /// without ever widening the real state's vocabulary.
+    ///
+    /// # Panics
+    /// Panics if `name` is already in the vocabulary or a tuple of
+    /// `rel` lies outside the universe.
+    pub fn extended(&self, name: &str, rel: Relation) -> Structure {
+        assert!(
+            self.vocab.relation(name).is_none(),
+            "relation {name} already in the vocabulary"
+        );
+        assert!(
+            rel.iter().all(|t| t.iter().all(|v| v < self.size)),
+            "extension relation {name} has tuples outside the universe"
+        );
+        let mut vocab = (*self.vocab).clone();
+        vocab.add_relation(name, rel.arity());
+        let mut relations = self.relations.clone();
+        relations.push(rel);
+        Structure {
+            vocab: Arc::new(vocab),
+            size: self.size,
+            relations,
+            constants: self.constants.clone(),
+        }
+    }
+
     /// Replace the interpretation of relation `id` wholesale.
     pub fn set_relation(&mut self, id: RelId, rel: Relation) {
         assert_eq!(

@@ -150,8 +150,17 @@ impl Admission {
     }
 
     /// Admit one write or say why not. On success the returned permit
-    /// holds an in-flight slot until dropped.
-    pub(crate) fn try_admit(&self) -> Result<WritePermit<'_>, Overload> {
+    /// holds `weight` in-flight slots until dropped.
+    ///
+    /// `weight` is the write's cost against the in-flight cap: 1 for a
+    /// plain tuple write, the live Δ-popcount for a bulk write (its
+    /// journal frame is one fsync but its evaluation cost scales with
+    /// the defined set). Admission only requires the *current* total to
+    /// be under the cap — an oversized bulk is admitted when capacity
+    /// exists and then holds the ledger, shedding later writes until it
+    /// completes, rather than being unsendable forever.
+    pub(crate) fn try_admit(&self, weight: u64) -> Result<WritePermit<'_>, Overload> {
+        let weight = (weight.max(1)).min(i64::MAX as u64) as i64;
         let depth = self.pool_queue_depth.get();
         if depth > self.config.max_pool_queue_depth {
             return Err(Overload::QueueDepth(depth));
@@ -159,13 +168,16 @@ impl Admission {
         if let Some(p99) = self.windowed_fsync_p99_over_limit() {
             return Err(Overload::FsyncP99(p99));
         }
-        let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
+        let prev = self.inflight.fetch_add(weight, Ordering::AcqRel);
         if prev >= self.config.max_inflight_writes {
-            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.inflight.fetch_sub(weight, Ordering::AcqRel);
             return Err(Overload::Inflight(prev));
         }
-        self.inflight_gauge.set(prev + 1);
-        Ok(WritePermit { admission: self })
+        self.inflight_gauge.set(prev + weight);
+        Ok(WritePermit {
+            admission: self,
+            weight,
+        })
     }
 
     /// The fsync signal, evaluated over the rolling window: `Some(p99)`
@@ -211,14 +223,19 @@ impl Admission {
     }
 }
 
-/// An admitted write's in-flight slot; dropping it frees the slot.
+/// An admitted write's in-flight slots; dropping it frees them.
 pub(crate) struct WritePermit<'a> {
     admission: &'a Admission,
+    weight: i64,
 }
 
 impl Drop for WritePermit<'_> {
     fn drop(&mut self) {
-        let now = self.admission.inflight.fetch_sub(1, Ordering::AcqRel) - 1;
+        let now = self
+            .admission
+            .inflight
+            .fetch_sub(self.weight, Ordering::AcqRel)
+            - self.weight;
         self.admission.inflight_gauge.set(now);
     }
 }
@@ -237,12 +254,35 @@ mod tests {
             },
             &handle,
         );
-        let a = adm.try_admit().ok().unwrap();
-        let _b = adm.try_admit().ok().unwrap();
-        assert!(adm.try_admit().is_err(), "third write over the cap");
+        let a = adm.try_admit(1).ok().unwrap();
+        let _b = adm.try_admit(1).ok().unwrap();
+        assert!(adm.try_admit(1).is_err(), "third write over the cap");
         assert_eq!(adm.inflight(), 2);
         drop(a);
-        assert!(adm.try_admit().is_ok(), "slot freed on drop");
+        assert!(adm.try_admit(1).is_ok(), "slot freed on drop");
+    }
+
+    #[test]
+    fn bulk_weight_counts_against_the_cap() {
+        let handle = ObsHandle::with_registry(Arc::new(dynfo_obs::Registry::new()));
+        let adm = Admission::new(
+            AdmissionConfig {
+                max_inflight_writes: 8,
+                ..AdmissionConfig::default()
+            },
+            &handle,
+        );
+        // A bulk heavier than the whole cap is admitted while idle …
+        let big = adm.try_admit(1_000).ok().unwrap();
+        assert_eq!(adm.inflight(), 1_000);
+        // … but holds the ledger: nothing else gets in until it ends.
+        assert!(adm.try_admit(1).is_err());
+        drop(big);
+        assert_eq!(adm.inflight(), 0);
+        // Moderate weights stack under the cap like plain writes.
+        let _a = adm.try_admit(5).ok().unwrap();
+        let _b = adm.try_admit(5).ok().unwrap(); // 5 < 8: still admitted
+        assert!(adm.try_admit(1).is_err(), "10 in flight is over the cap");
     }
 
     #[test]
@@ -256,12 +296,12 @@ mod tests {
             },
             &handle,
         );
-        assert!(adm.try_admit().is_ok());
+        assert!(adm.try_admit(1).is_ok());
         reg.gauge("pool.queue_depth").set(11);
-        let err = adm.try_admit().err().unwrap();
+        let err = adm.try_admit(1).err().unwrap();
         assert!(err.detail(adm.config()).contains("queue depth 11"));
         reg.gauge("pool.queue_depth").set(0);
-        assert!(adm.try_admit().is_ok());
+        assert!(adm.try_admit(1).is_ok());
     }
 
     #[test]
@@ -279,9 +319,9 @@ mod tests {
         for _ in 0..FSYNC_WARMUP_SAMPLES - 1 {
             h.observe(1 << 20); // over the limit, but below warmup count
         }
-        assert!(adm.try_admit().is_ok(), "not judged before warmup");
+        assert!(adm.try_admit(1).is_ok(), "not judged before warmup");
         h.observe(1 << 20);
-        assert!(adm.try_admit().is_err(), "p99 over limit sheds");
+        assert!(adm.try_admit(1).is_err(), "p99 over limit sheds");
     }
 
     #[test]
@@ -300,13 +340,13 @@ mod tests {
         for _ in 0..FSYNC_WARMUP_SAMPLES {
             h.observe(1 << 20); // a disk stall, then silence
         }
-        assert!(adm.try_admit().is_err(), "stalled disk sheds");
+        assert!(adm.try_admit(1).is_err(), "stalled disk sheds");
         // The stall ends. Shed writes record no fsyncs, so no fresh
         // samples arrive — the signal must still clear on its own.
         std::thread::sleep(Duration::from_millis(25));
-        let _ = adm.try_admit(); // first call past the boundary rotates
+        let _ = adm.try_admit(1); // first call past the boundary rotates
         assert!(
-            adm.try_admit().is_ok(),
+            adm.try_admit(1).is_ok(),
             "an empty window must un-latch the shed signal"
         );
     }

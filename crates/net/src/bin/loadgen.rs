@@ -23,7 +23,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen --write-addr A [--read-addr A]... [--readers N] [--writers N] \
-         [--secs S] [--session NAME] [--program NAME] [--n N] | --smoke"
+         [--secs S] [--session NAME] [--program NAME] [--n N] [--bulk] | --smoke"
     );
     std::process::exit(2);
 }
@@ -46,6 +46,7 @@ fn main() {
             "--session" => config.session = take(),
             "--program" => config.program = take(),
             "--n" => config.n = take().parse().unwrap_or_else(|_| usage()),
+            "--bulk" => config.bulk = true,
             "--smoke" => smoke = true,
             _ => usage(),
         }
@@ -68,8 +69,9 @@ fn main() {
                 report.reads, report.read_rps, report.read_p50_ns, report.read_p99_ns
             );
             println!(
-                "writes {:>10}  ({:>10.0} req/s)  p99 {:>9}ns  overloaded {}",
-                report.writes, report.write_rps, report.write_p99_ns, report.overloaded
+                "writes {:>10}  ({:>10.0} req/s)  p99 {:>9}ns  overloaded {}  bulk {}",
+                report.writes, report.write_rps, report.write_p99_ns, report.overloaded,
+                report.bulk_writes
             );
             if report.errors > 0 {
                 eprintln!("loadgen: {} non-backpressure errors", report.errors);
@@ -143,6 +145,7 @@ fn run_smoke() {
         readers: 4,
         writers: 1,
         duration: Duration::from_millis(1500),
+        bulk: true, // exercise definable bulk changes over the wire
     })
     .expect("loadgen run");
 
@@ -161,10 +164,10 @@ fn run_smoke() {
         .get();
 
     println!(
-        "smoke: reads={} ({:.0}/s) writes={} ({:.0}/s) overloaded={} errors={} \
+        "smoke: reads={} ({:.0}/s) writes={} ({:.0}/s) bulk={} overloaded={} errors={} \
          decode_errors={decode_errors} primary_seq={primary_seq} replica_seq={replica_seq}",
         report.reads, report.read_rps, report.writes, report.write_rps,
-        report.overloaded, report.errors
+        report.bulk_writes, report.overloaded, report.errors
     );
 
     replica.shutdown().expect("replica shutdown");
@@ -173,6 +176,7 @@ fn run_smoke() {
 
     let ok = report.reads > 0
         && report.writes > 0
+        && report.bulk_writes > 0
         && report.errors == 0
         && decode_errors == 0
         && replica_seq >= primary_seq;

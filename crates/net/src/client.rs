@@ -64,6 +64,17 @@ impl Client {
     fn expect(reply: Message, want: &str) -> Result<Message, NetError> {
         match reply {
             Message::Err { code, detail } => Err(NetError::Remote { code, detail }),
+            Message::BatchErr {
+                index,
+                seq,
+                code,
+                detail,
+            } => Err(NetError::RemoteBatch {
+                index,
+                seq,
+                code,
+                detail,
+            }),
             other if other.kind_name() == want => Ok(other),
             other => Err(NetError::Protocol(format!(
                 "expected {want}, server sent {}",
@@ -98,6 +109,9 @@ impl Client {
     }
 
     /// Apply a batch of updates atomically with respect to durability.
+    /// A mid-batch failure surfaces as [`NetError::RemoteBatch`] with
+    /// the failing request's index and the sequence the session
+    /// advanced to (the applied prefix stays applied).
     pub fn apply_batch(&mut self, reqs: Vec<Request>) -> Result<u64, NetError> {
         let reply = self.call(&Message::ApplyBatch(reqs))?;
         match Client::expect(reply, "Ok")? {

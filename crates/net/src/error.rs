@@ -24,6 +24,19 @@ pub enum NetError {
         /// Human-readable detail from the peer.
         detail: String,
     },
+    /// The peer reported a batch failure with the failing request's
+    /// position: frames before `index` were applied and journaled
+    /// (the session advanced to `seq`), the rest were not.
+    RemoteBatch {
+        /// Zero-based index of the failing request within the batch.
+        index: u32,
+        /// Session sequence number after the applied prefix.
+        seq: u64,
+        /// The typed error code from the wire.
+        code: ErrorCode,
+        /// Human-readable detail from the peer.
+        detail: String,
+    },
     /// The peer sent a well-formed message that makes no sense here
     /// (wrong direction, answer to a question never asked).
     Protocol(String),
@@ -56,6 +69,16 @@ impl fmt::Display for NetError {
             NetError::Remote { code, detail } => {
                 write!(f, "remote error [{}]: {detail}", code.as_str())
             }
+            NetError::RemoteBatch {
+                index,
+                seq,
+                code,
+                detail,
+            } => write!(
+                f,
+                "batch failed at request {index} (session at seq {seq}) [{}]: {detail}",
+                code.as_str()
+            ),
             NetError::Protocol(why) => write!(f, "protocol violation: {why}"),
             NetError::Serve(e) => write!(f, "serving layer error: {e}"),
         }

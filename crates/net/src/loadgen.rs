@@ -33,7 +33,14 @@ pub struct LoadConfig {
     pub writers: usize,
     /// Wall-clock run length.
     pub duration: Duration,
+    /// Mixed bulk mode: every [`BULK_EVERY`]-th write per writer is a
+    /// definable bulk change (alternating `bulk_ins`/`bulk_del` of the
+    /// successor chain) instead of a single-tuple write.
+    pub bulk: bool,
 }
+
+/// In bulk mode, one write in this many is a bulk change.
+pub const BULK_EVERY: u64 = 8;
 
 impl Default for LoadConfig {
     fn default() -> LoadConfig {
@@ -46,6 +53,7 @@ impl Default for LoadConfig {
             readers: 4,
             writers: 1,
             duration: Duration::from_secs(2),
+            bulk: false,
         }
     }
 }
@@ -57,6 +65,9 @@ pub struct LoadReport {
     pub reads: u64,
     /// Writes acknowledged across all writers.
     pub writes: u64,
+    /// Of those, bulk (definable) changes — nonzero only with
+    /// [`LoadConfig::bulk`].
+    pub bulk_writes: u64,
     /// Writes refused with a typed `Overloaded` frame.
     pub overloaded: u64,
     /// Errors that were not backpressure (should be zero).
@@ -108,6 +119,16 @@ impl EdgeStream {
     }
 }
 
+/// δ for bulk-mode writers: the successor chain `x1 = x0 + 1`,
+/// expressed order-logically so it works at any universe size.
+fn successor_chain_delta() -> dynfo_logic::formula::Formula {
+    use dynfo_logic::formula::{and, forall, lt, not, v};
+    and([
+        lt(v("x0"), v("x1")),
+        forall(["z"], not(and([lt(v("x0"), v("z")), lt(v("z"), v("x1"))]))),
+    ])
+}
+
 /// Run the closed loop described by `config` and report.
 pub fn run(config: &LoadConfig) -> Result<LoadReport, NetError> {
     let reg = Arc::new(Registry::new());
@@ -118,6 +139,7 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, NetError> {
     let stop = Arc::new(AtomicBool::new(false));
     let reads = Arc::new(AtomicU64::new(0));
     let writes = Arc::new(AtomicU64::new(0));
+    let bulk_writes = Arc::new(AtomicU64::new(0));
     let overloaded = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(AtomicU64::new(0));
 
@@ -154,26 +176,48 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, NetError> {
         client.open(&config.session, &config.program, config.n)?;
         let stop = Arc::clone(&stop);
         let writes = Arc::clone(&writes);
+        let bulk_writes = Arc::clone(&bulk_writes);
         let overloaded = Arc::clone(&overloaded);
         let errors = Arc::clone(&errors);
         let hist = Arc::clone(&write_ns);
         let n = config.n;
+        let bulk = config.bulk;
         workers.push(std::thread::spawn(move || {
             let mut stream = EdgeStream::new(0xDA7A + i as u64, n);
             let mut insert = true;
+            let mut issued = 0u64;
+            let mut bulk_insert = true;
+            // δ = the successor chain: Θ(n) live tuples per bulk write.
+            let chain = successor_chain_delta();
             while !stop.load(Ordering::Relaxed) {
-                let (a, b) = stream.pair();
-                let req = if insert {
-                    Request::ins("E", [a, b])
+                issued += 1;
+                let is_bulk = bulk && issued.is_multiple_of(BULK_EVERY);
+                let req = if is_bulk {
+                    let r = if bulk_insert {
+                        Request::bulk_ins("E", chain.clone())
+                    } else {
+                        Request::bulk_del("E", chain.clone())
+                    };
+                    bulk_insert = !bulk_insert;
+                    r
                 } else {
-                    Request::del("E", [a, b])
+                    let (a, b) = stream.pair();
+                    let r = if insert {
+                        Request::ins("E", [a, b])
+                    } else {
+                        Request::del("E", [a, b])
+                    };
+                    insert = !insert;
+                    r
                 };
-                insert = !insert;
                 let started = Instant::now();
                 match client.apply(req) {
                     Ok(_) => {
                         hist.observe(started.elapsed().as_nanos() as u64);
                         writes.fetch_add(1, Ordering::Relaxed);
+                        if is_bulk {
+                            bulk_writes.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                     Err(e) if e.is_overloaded() => {
                         overloaded.fetch_add(1, Ordering::Relaxed);
@@ -201,6 +245,7 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, NetError> {
     Ok(LoadReport {
         reads,
         writes,
+        bulk_writes: bulk_writes.load(Ordering::Relaxed),
         overloaded: overloaded.load(Ordering::Relaxed),
         errors: errors.load(Ordering::Relaxed),
         read_rps: reads as f64 / secs,

@@ -22,7 +22,8 @@
 //! `FetchLog` (replication pull: every durable journal entry after a
 //! sequence number), `Ping`. Server-to-client kinds: `Ok`, `Answer`,
 //! `Err` (typed — `Overloaded` is the backpressure signal), `MetricsText`,
-//! `LogChunk`, `Pong`.
+//! `LogChunk`, `Pong`, `BatchErr` (an `ApplyBatch` failure carrying the
+//! failing request's index).
 //!
 //! Decoding is paranoid by construction: a length prefix beyond
 //! [`MAX_WIRE_FRAME`] is rejected *before* any allocation, a batch
@@ -39,8 +40,11 @@ use std::io::{Read, Write as IoWrite};
 
 /// Magic bytes opening the handshake in each direction.
 pub const WIRE_MAGIC: &[u8; 4] = b"DYNW";
-/// Current wire protocol version.
-pub const WIRE_VERSION: u16 = 1;
+/// Current wire protocol version. v2 adds definable bulk changes
+/// (journal codec v2 request tags inside `Apply`/`ApplyBatch`/
+/// `LogChunk`) and the `BatchErr` reply kind carrying the failing
+/// batch index.
+pub const WIRE_VERSION: u16 = 2;
 /// Upper bound on one frame's payload. Large enough for a maximal
 /// `LogChunk`/`ApplyBatch`, small enough that a hostile length prefix
 /// cannot make the server allocate unbounded memory.
@@ -168,6 +172,20 @@ pub enum Message {
         /// Human-readable detail.
         detail: String,
     },
+    /// An `ApplyBatch` failed partway: `index` is the offending
+    /// request's position in the batch, `seq` the session sequence
+    /// after the applied prefix (frames before `index` are durable
+    /// exactly as if sent one at a time).
+    BatchErr {
+        /// Zero-based index of the failing request within the batch.
+        index: u32,
+        /// Session sequence number after the applied prefix.
+        seq: u64,
+        /// What class of failure.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
     /// Metrics registry rendered as Prometheus text.
     MetricsText {
         /// The rendered exposition.
@@ -201,6 +219,7 @@ impl Message {
             Message::MetricsText { .. } => 0x84,
             Message::LogChunk { .. } => 0x85,
             Message::Pong => 0x86,
+            Message::BatchErr { .. } => 0x87,
         }
     }
 
@@ -220,6 +239,7 @@ impl Message {
             Message::MetricsText { .. } => "MetricsText",
             Message::LogChunk { .. } => "LogChunk",
             Message::Pong => "Pong",
+            Message::BatchErr { .. } => "BatchErr",
         }
     }
 }
@@ -258,6 +278,17 @@ pub fn encode_payload(m: &Message) -> Vec<u8> {
         Message::Ok { seq } => w.put_u64(*seq),
         Message::Answer { value } => w.put_u8(*value as u8),
         Message::Err { code, detail } => {
+            w.put_u8(code.as_u8());
+            w.put_str(detail);
+        }
+        Message::BatchErr {
+            index,
+            seq,
+            code,
+            detail,
+        } => {
+            w.put_u32(*index);
+            w.put_u64(*seq);
             w.put_u8(code.as_u8());
             w.put_str(detail);
         }
@@ -370,6 +401,19 @@ pub fn decode_payload(bytes: &[u8]) -> Result<Message, NetError> {
             Message::LogChunk { primary_seq, entries }
         }
         0x86 => Message::Pong,
+        0x87 => {
+            let index = r.get_u32("batch error index")?;
+            let seq = r.get_u64("batch error seq")?;
+            let raw = r.get_u8("error code")?;
+            let code = ErrorCode::from_u8(raw)
+                .ok_or_else(|| NetError::Corrupt(format!("unknown error code {raw}")))?;
+            Message::BatchErr {
+                index,
+                seq,
+                code,
+                detail: r.get_str("error detail")?.to_string(),
+            }
+        }
         other => {
             return Err(NetError::Corrupt(format!("unknown message kind {other:#04x}")))
         }
@@ -543,9 +587,14 @@ mod tests {
             n: 64,
         });
         round_trip(Message::Apply(Request::ins("E", [1, 2])));
+        round_trip(Message::Apply(Request::bulk_ins(
+            "E",
+            dynfo_logic::parser::parse("E(x1, x0)").unwrap(),
+        )));
         round_trip(Message::ApplyBatch(vec![
             Request::ins("E", [1, 2]),
             Request::del("E", [1, 2]),
+            Request::bulk_del("E", dynfo_logic::parser::parse("E(x0, x1)").unwrap()),
             Request::set("s", 7),
         ]));
         round_trip(Message::Query {
@@ -563,6 +612,12 @@ mod tests {
         round_trip(Message::Err {
             code: ErrorCode::Overloaded,
             detail: "queue depth 5000 over limit 4096".into(),
+        });
+        round_trip(Message::BatchErr {
+            index: 3,
+            seq: 17,
+            code: ErrorCode::Machine,
+            detail: "element 99 outside universe".into(),
         });
         round_trip(Message::MetricsText {
             text: "net_server_conns 3\n".into(),

@@ -423,7 +423,11 @@ fn dispatch(shared: &Shared, conn: &mut Conn, msg: Message) -> Message {
         }
         Message::Apply(req) => match write_gate(shared, conn) {
             Ok(session) => {
-                let _permit = match shared.admission.try_admit() {
+                // A bulk write is admitted at the weight of its live
+                // defined set, not as one request — the evaluation and
+                // maintenance cost it admits scales with Δ.
+                let weight = session.write_weight(std::slice::from_ref(&req));
+                let _permit = match shared.admission.try_admit(weight) {
                     Ok(p) => p,
                     Err(why) => {
                         shared.obs.shed.inc();
@@ -439,7 +443,8 @@ fn dispatch(shared: &Shared, conn: &mut Conn, msg: Message) -> Message {
         },
         Message::ApplyBatch(reqs) => match write_gate(shared, conn) {
             Ok(session) => {
-                let _permit = match shared.admission.try_admit() {
+                let weight = session.write_weight(&reqs);
+                let _permit = match shared.admission.try_admit(weight) {
                     Ok(p) => p,
                     Err(why) => {
                         shared.obs.shed.inc();
@@ -448,6 +453,15 @@ fn dispatch(shared: &Shared, conn: &mut Conn, msg: Message) -> Message {
                 };
                 match session.apply_batch(&reqs) {
                     Ok(_) => Message::Ok { seq: session.seq() },
+                    Err(ServeError::Batch { index, source }) => Message::BatchErr {
+                        index: index.min(u32::MAX as usize) as u32,
+                        seq: session.seq(),
+                        code: match source.as_ref() {
+                            ServeError::Machine(_) => ErrorCode::Machine,
+                            _ => ErrorCode::Internal,
+                        },
+                        detail: source.to_string(),
+                    },
                     Err(e) => serve_error_reply(&e),
                 }
             }
@@ -510,6 +524,7 @@ fn dispatch(shared: &Shared, conn: &mut Conn, msg: Message) -> Message {
         Message::Ok { .. }
         | Message::Answer { .. }
         | Message::Err { .. }
+        | Message::BatchErr { .. }
         | Message::MetricsText { .. }
         | Message::LogChunk { .. }
         | Message::Pong => err(ErrorCode::Malformed, "client sent a server-side message kind"),

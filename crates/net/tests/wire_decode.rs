@@ -65,7 +65,7 @@ impl Harness {
         s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         let mut hello = Vec::new();
         hello.extend_from_slice(b"DYNW");
-        hello.extend_from_slice(&1u16.to_le_bytes());
+        hello.extend_from_slice(&dynfo_net::proto::WIRE_VERSION.to_le_bytes());
         hello.extend_from_slice(&0u16.to_le_bytes());
         s.write_all(&hello).unwrap();
         let mut reply = [0u8; 8];

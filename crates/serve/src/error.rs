@@ -27,6 +27,26 @@ pub enum ServeError {
     SessionExists(String),
     /// No session with this name is open.
     UnknownSession(String),
+    /// A batch failed at a specific frame; `index` is the offending
+    /// request's position in the batch (frames before it were applied
+    /// and journaled).
+    Batch {
+        /// Zero-based index of the failing request within the batch.
+        index: usize,
+        /// The underlying failure.
+        source: Box<ServeError>,
+    },
+    /// On-disk data was written by a codec this binary does not speak —
+    /// the typed refusal an old binary gives a newer session directory
+    /// instead of a decode panic deep in frame replay.
+    UnsupportedCodec {
+        /// Codec version recorded in the session metadata.
+        found: u16,
+        /// Oldest codec version this binary reads.
+        min: u16,
+        /// Newest codec version this binary reads.
+        max: u16,
+    },
 }
 
 impl ServeError {
@@ -48,6 +68,13 @@ impl fmt::Display for ServeError {
             ServeError::Machine(e) => write!(f, "machine error: {e}"),
             ServeError::SessionExists(name) => write!(f, "session {name} already exists"),
             ServeError::UnknownSession(name) => write!(f, "unknown session {name}"),
+            ServeError::Batch { index, source } => {
+                write!(f, "batch failed at request {index}: {source}")
+            }
+            ServeError::UnsupportedCodec { found, min, max } => write!(
+                f,
+                "session requires journal codec {found}; this binary reads {min}..={max}"
+            ),
         }
     }
 }
@@ -58,6 +85,7 @@ impl std::error::Error for ServeError {
             ServeError::Io { source, .. } => Some(source),
             ServeError::Decode(e) => Some(e),
             ServeError::Machine(e) => Some(e),
+            ServeError::Batch { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }

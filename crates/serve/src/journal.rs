@@ -14,7 +14,14 @@
 //! request  := 0x00 rel:str argc:u8 arg:u32*   (ins)
 //!           | 0x01 rel:str argc:u8 arg:u32*   (del)
 //!           | 0x02 cst:str value:u32          (set)
+//!           | 0x03 rel:str delta:str          (bulk_ins, v2)
+//!           | 0x04 rel:str delta:str          (bulk_del, v2)
 //! ```
+//!
+//! Version 2 added the definable bulk-change frames (tags 3/4); the δ
+//! formula travels as its parseable text form, whose round trip the
+//! logic crate property-tests. Version-1 segments remain readable —
+//! they simply contain no bulk frames.
 //!
 //! Writes are buffered and become durable only at [`JournalWriter::commit`]
 //! (group commit: one write + fsync for a whole batch). Reads are
@@ -32,16 +39,19 @@ use std::path::{Path, PathBuf};
 
 /// Magic bytes opening every journal segment.
 pub const JOURNAL_MAGIC: &[u8; 4] = b"DYNJ";
-/// Current journal format version.
-pub const JOURNAL_VERSION: u16 = 1;
+/// Current journal format version (2: definable bulk-change frames).
+pub const JOURNAL_VERSION: u16 = 2;
+/// Oldest journal format version this binary still reads.
+pub const MIN_JOURNAL_VERSION: u16 = 1;
 /// Segment header size in bytes (magic + version + flags).
 pub const HEADER_LEN: usize = 8;
 /// Per-frame header size in bytes (len + crc).
 pub const FRAME_HEADER_LEN: usize = 8;
 /// Upper bound on one frame's payload; a decoded length beyond this is
-/// corruption, not a huge request (the largest legal request is a few
-/// dozen bytes).
-pub const MAX_FRAME_LEN: u32 = 1 << 16;
+/// corruption, not a huge request. Tuple requests are a few dozen
+/// bytes; a bulk frame carries its δ text, itself capped at 64 KiB by
+/// the codec's string length prefix.
+pub const MAX_FRAME_LEN: u32 = 1 << 17;
 
 /// Encode one request (without the seq prefix).
 pub fn encode_request(w: &mut Writer, req: &Request) {
@@ -59,6 +69,14 @@ pub fn encode_request(w: &mut Writer, req: &Request) {
             w.put_u8(2);
             w.put_str(sym.as_str());
             w.put_u32(*v);
+        }
+        Request::BulkIns { rel, delta } | Request::BulkDel { rel, delta } => {
+            w.put_u8(if matches!(req, Request::BulkIns { .. }) { 3 } else { 4 });
+            w.put_str(rel.as_str());
+            // δ ships as its text form; `parse(format!("{δ}")) == δ` is
+            // property-tested in the logic crate, so the frame decodes
+            // to the identical formula.
+            w.put_str(&delta.to_string());
         }
     }
 }
@@ -84,6 +102,20 @@ pub fn decode_request(r: &mut Reader<'_>) -> Result<Request, DecodeError> {
             let sym = r.get_str("constant name")?.to_string();
             let v = r.get_u32("constant value")?;
             Ok(Request::set(&sym, v))
+        }
+        3 | 4 => {
+            let sym = r.get_str("relation name")?.to_string();
+            let text_at = r.pos();
+            let text = r.get_str("bulk delta formula")?;
+            let delta = dynfo_logic::parser::parse(text).map_err(|e| DecodeError::Corrupt {
+                offset: text_at,
+                why: format!("bulk δ does not parse: {e}"),
+            })?;
+            Ok(if tag == 3 {
+                Request::bulk_ins(&sym, delta)
+            } else {
+                Request::bulk_del(&sym, delta)
+            })
         }
         other => Err(r.corrupt(format!("unknown request tag {other}"))),
     }
@@ -396,7 +428,7 @@ pub fn read_segment(path: &Path) -> Result<SegmentRead, ServeError> {
         )));
     }
     let version = r.get_u16("journal version").map_err(ServeError::Decode)?;
-    if version != JOURNAL_VERSION {
+    if !(MIN_JOURNAL_VERSION..=JOURNAL_VERSION).contains(&version) {
         return Err(ServeError::Corrupt(format!(
             "{}: unsupported journal version {version}",
             path.display()
@@ -541,6 +573,66 @@ mod tests {
             assert_eq!(decode_request(&mut r).unwrap(), req);
             assert!(r.is_exhausted());
         }
+    }
+
+    #[test]
+    fn bulk_request_codec_round_trips() {
+        use dynfo_logic::formula::{lt, not, rel, v};
+        let reqs = [
+            Request::bulk_ins("E", lt(v("x0"), v("x1"))),
+            Request::bulk_del("E", not(rel("E", [v("x1"), v("x0")]))),
+            Request::bulk_ins("M", rel("M", [v("x0")]) | lt(v("x0"), v("x0"))),
+        ];
+        for req in reqs {
+            let mut w = Writer::new();
+            encode_request(&mut w, &req);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(decode_request(&mut r).unwrap(), req);
+            assert!(r.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn bulk_delta_garbage_is_corrupt_not_panic() {
+        let mut w = Writer::new();
+        w.put_u8(3);
+        w.put_str("E");
+        w.put_str("((((not a formula");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            decode_request(&mut r),
+            Err(DecodeError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn v1_segments_remain_readable() {
+        let dir = scratch_dir("journal-v1");
+        let path = segment_path(&dir, 0);
+        // Hand-write a version-1 segment: same grammar, no bulk frames.
+        let mut w = Writer::new();
+        w.put_bytes(JOURNAL_MAGIC);
+        w.put_u16(1);
+        w.put_u16(0);
+        w.put_bytes(&encode_frame(1, &Request::ins("E", [0, 1])));
+        std::fs::write(&path, w.into_bytes()).unwrap();
+        let read = read_segment(&path).unwrap();
+        assert!(read.anomaly.is_none());
+        assert_eq!(read.entries.len(), 1);
+        assert_eq!(read.entries[0].request, Request::ins("E", [0, 1]));
+        // A future version is still rejected.
+        let mut w = Writer::new();
+        w.put_bytes(JOURNAL_MAGIC);
+        w.put_u16(JOURNAL_VERSION + 1);
+        w.put_u16(0);
+        std::fs::write(&path, w.into_bytes()).unwrap();
+        assert!(matches!(
+            read_segment(&path),
+            Err(ServeError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -18,7 +18,8 @@
 
 use crate::error::ServeError;
 use crate::journal::{
-    parse_segment_name, read_segment, segment_path, JournalWriter,
+    parse_segment_name, read_segment, segment_path, JournalWriter, JOURNAL_VERSION,
+    MIN_JOURNAL_VERSION,
 };
 use crate::codec::{crc32, Reader, Writer};
 use crate::obs::SessionObs;
@@ -74,16 +75,24 @@ pub struct RecoveryReport {
 
 /// Magic bytes of the per-session `meta` file.
 const META_MAGIC: &[u8; 4] = b"DYNM";
-const META_VERSION: u16 = 1;
+/// Meta layout version. v1 carried `program_name, n`; v2 appends the
+/// journal codec version the session's segments are written with, so a
+/// binary that only speaks an older codec refuses the session up front
+/// with a typed error instead of tripping over an unknown frame tag
+/// mid-replay.
+const META_VERSION: u16 = 2;
+/// Oldest meta layout this binary reads (v1 implies journal codec 1).
+const MIN_META_VERSION: u16 = 1;
 
-/// Write the immutable session metadata (program name, universe size)
-/// once, atomically, at session creation.
+/// Write the immutable session metadata (program name, universe size,
+/// journal codec version) once, atomically, at session creation.
 fn write_meta(dir: &Path, program_name: &str, n: Elem) -> Result<(), ServeError> {
     let mut w = Writer::new();
     w.put_bytes(META_MAGIC);
     w.put_u16(META_VERSION);
     w.put_str(program_name);
     w.put_u32(n);
+    w.put_u16(JOURNAL_VERSION);
     let crc = crc32(w.as_bytes());
     w.put_u32(crc);
     let tmp = dir.join(".tmp-meta");
@@ -93,7 +102,9 @@ fn write_meta(dir: &Path, program_name: &str, n: Elem) -> Result<(), ServeError>
     Ok(())
 }
 
-/// Read back the session metadata: `(program_name, n)`.
+/// Read back the session metadata: `(program_name, n)`. Validates the
+/// recorded journal codec version against what this binary reads,
+/// returning [`ServeError::UnsupportedCodec`] on mismatch.
 fn read_meta(dir: &Path) -> Result<(String, Elem), ServeError> {
     let path = dir.join("meta");
     let bytes = std::fs::read(&path).map_err(|e| ServeError::io(&path, e))?;
@@ -111,7 +122,7 @@ fn read_meta(dir: &Path) -> Result<(String, Elem), ServeError> {
         return Err(ServeError::Corrupt("meta file has bad magic".to_string()));
     }
     let version = r.get_u16("meta version").map_err(ServeError::Decode)?;
-    if version != META_VERSION {
+    if !(MIN_META_VERSION..=META_VERSION).contains(&version) {
         return Err(ServeError::Corrupt(format!(
             "unsupported meta version {version}"
         )));
@@ -121,6 +132,19 @@ fn read_meta(dir: &Path) -> Result<(String, Elem), ServeError> {
         .map_err(ServeError::Decode)?
         .to_string();
     let n = r.get_u32("universe size").map_err(ServeError::Decode)?;
+    let codec = if version >= 2 {
+        r.get_u16("journal codec version")
+            .map_err(ServeError::Decode)?
+    } else {
+        1 // v1 metas predate bulk frames: codec 1 by construction
+    };
+    if !(MIN_JOURNAL_VERSION..=JOURNAL_VERSION).contains(&codec) {
+        return Err(ServeError::UnsupportedCodec {
+            found: codec,
+            min: MIN_JOURNAL_VERSION,
+            max: JOURNAL_VERSION,
+        });
+    }
     Ok((name, n))
 }
 
@@ -429,7 +453,13 @@ impl Session {
         let start = inner.seq;
         let (applied, outcome) = match inner.machine.apply_batch(reqs) {
             Ok(stats) => (reqs.len() as u64, Ok(stats)),
-            Err(be) => (be.applied as u64, Err(ServeError::from(be.error))),
+            Err(be) => (
+                be.applied as u64,
+                Err(ServeError::Batch {
+                    index: be.index,
+                    source: Box::new(ServeError::from(be.error)),
+                }),
+            ),
         };
         self.obs.requests.add(applied);
         for (k, req) in reqs[..applied as usize].iter().enumerate() {
@@ -459,6 +489,18 @@ impl Session {
     pub fn fsyncs(&self) -> u64 {
         let inner = self.inner.lock().unwrap();
         inner.rotated_fsyncs + inner.journal.syncs()
+    }
+
+    /// Admission weight of a write: each plain request counts 1, a bulk
+    /// request counts its live Δ-popcount against the machine's current
+    /// state (see [`DynFoMachine::bulk_delta_count`]). A request that
+    /// fails to validate or evaluate weighs 1 — admission is a load
+    /// estimate, and `apply`/`apply_batch` own the typed rejection.
+    pub fn write_weight(&self, reqs: &[Request]) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        reqs.iter()
+            .map(|req| inner.machine.bulk_delta_count(req).unwrap_or(1) as u64)
+            .sum()
     }
 
     /// Answer the program's boolean query.
@@ -1123,6 +1165,113 @@ mod tests {
         let s = store.session("net", &reach_u::program(), 8).unwrap();
         assert_eq!(s.seq(), 3);
         assert!(s.query_named("connected", &[0, 3]).unwrap());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn apply_batch_error_carries_failing_index() {
+        let root = scratch_dir("store-batch-index");
+        let store = SessionStore::open(&root, StoreConfig::default()).unwrap();
+        let s = store.session("net", &reach_u::program(), 8).unwrap();
+        let batch = vec![
+            Request::ins("E", [0, 1]),
+            Request::ins("E", [0, 99]), // out of universe
+            Request::ins("E", [1, 2]),
+        ];
+        match s.apply_batch(&batch) {
+            Err(ServeError::Batch { index, source }) => {
+                assert_eq!(index, 1, "the offending frame's position");
+                assert!(matches!(*source, ServeError::Machine(_)));
+            }
+            other => panic!("expected ServeError::Batch, got {other:?}"),
+        }
+        assert_eq!(s.seq(), 0, "validation failure applies nothing");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn meta_rejects_newer_codec_with_typed_error() {
+        use crate::journal::JOURNAL_VERSION;
+        let root = scratch_dir("store-meta-codec");
+        let program = reach_u::program();
+        {
+            let store = SessionStore::open(&root, StoreConfig::default()).unwrap();
+            store.session("net", &program, 8).unwrap();
+            store.shutdown().unwrap();
+        }
+        // Rewrite the meta claiming a codec from the future — what an
+        // old binary sees after a newer one created the session.
+        let mut w = Writer::new();
+        w.put_bytes(META_MAGIC);
+        w.put_u16(META_VERSION);
+        w.put_str(program.name());
+        w.put_u32(8);
+        w.put_u16(JOURNAL_VERSION + 1);
+        let crc = crc32(w.as_bytes());
+        w.put_u32(crc);
+        std::fs::write(root.join("net").join("meta"), w.as_bytes()).unwrap();
+        let store = SessionStore::open(&root, StoreConfig::default()).unwrap();
+        match store.session("net", &program, 8) {
+            Err(ServeError::UnsupportedCodec { found, min, max }) => {
+                assert_eq!(found, JOURNAL_VERSION + 1);
+                assert_eq!((min, max), (super::MIN_JOURNAL_VERSION, JOURNAL_VERSION));
+            }
+            Err(other) => panic!("expected UnsupportedCodec, got {other:?}"),
+            Ok(_) => panic!("expected UnsupportedCodec, got a session"),
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn v1_meta_remains_readable() {
+        let root = scratch_dir("store-meta-v1");
+        let program = reach_u::program();
+        {
+            let store = SessionStore::open(&root, StoreConfig::default()).unwrap();
+            let s = store.session("net", &program, 8).unwrap();
+            s.apply(&Request::ins("E", [0, 1])).unwrap();
+            store.shutdown().unwrap();
+        }
+        // Downgrade the meta to the v1 layout (no codec field): still
+        // readable, codec implied 1.
+        let mut w = Writer::new();
+        w.put_bytes(META_MAGIC);
+        w.put_u16(1);
+        w.put_str(program.name());
+        w.put_u32(8);
+        let crc = crc32(w.as_bytes());
+        w.put_u32(crc);
+        std::fs::write(root.join("net").join("meta"), w.as_bytes()).unwrap();
+        let store = SessionStore::open(&root, StoreConfig::default()).unwrap();
+        let s = store.session("net", &program, 8).unwrap();
+        assert_eq!(s.seq(), 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn bulk_frames_journal_and_recover() {
+        use dynfo_logic::formula::{and, forall, lt, not, v};
+        let root = scratch_dir("store-bulk");
+        // δ = the successor chain 0→1→…→7.
+        let delta = and([
+            lt(v("x0"), v("x1")),
+            forall(["z"], not(and([lt(v("x0"), v("z")), lt(v("z"), v("x1"))]))),
+        ]);
+        let bulk = Request::bulk_ins("E", delta);
+        {
+            let store = SessionStore::open(&root, StoreConfig::default()).unwrap();
+            let s = store.session("net", &reach_u::program(), 8).unwrap();
+            s.apply(&bulk).unwrap();
+            assert!(s.query_named("connected", &[0, 7]).unwrap());
+            store.crash(); // group_commit=1: the bulk frame is durable
+        }
+        let mut reference = DynFoMachine::new(reach_u::program(), 8);
+        reference.apply(&bulk).unwrap();
+        let store = SessionStore::open(&root, StoreConfig::default()).unwrap();
+        let s = store.session("net", &reach_u::program(), 8).unwrap();
+        assert_eq!(s.seq(), 1, "one frame covers the whole bulk change");
+        assert_eq!(s.state(), *reference.state());
+        assert!(s.query_named("connected", &[0, 7]).unwrap());
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -79,6 +79,24 @@ fn reach_u_stream() -> Vec<Request> {
     reqs
 }
 
+/// The REACH_u stream with definable bulk changes sitting exactly on
+/// the fault lines: frame [`KILL_AT`] is a `bulk_ins` (so the kill rung
+/// recovers through a durable bulk frame and replays it) and the final
+/// frame is a `bulk_del` (so the torn-frame rung tears a bulk frame and
+/// must drop it cleanly).
+fn reach_u_bulk_stream() -> Vec<Request> {
+    use dynfo_logic::formula::{and, forall, lit, lt, not, v};
+    let chain = and([
+        lt(v("x0"), v("x1")),
+        forall(["z"], not(and([lt(v("x0"), v("z")), lt(v("z"), v("x1"))]))),
+    ]);
+    let block = and([lt(v("x0"), v("x1")), lt(v("x1"), lit(5))]);
+    let mut reqs = reach_u_stream();
+    reqs[KILL_AT as usize - 1] = Request::bulk_ins("E", chain);
+    reqs[STREAM - 1] = Request::bulk_del("E", block);
+    reqs
+}
+
 /// A deterministic 24-request member-toggle stream for PARITY.
 fn parity_stream() -> Vec<Request> {
     (0..STREAM as u32)
@@ -200,6 +218,20 @@ fn recovery_fault_matrix() {
         for k in [1u64, 4, 16] {
             run_cell("reach_u", &programs::reach_u::program, &reach, fault, k);
             run_cell("parity", &programs::parity::program, &parity, fault, k);
+        }
+    }
+}
+
+/// Crash recovery through a *bulk* journal frame: the kill rung's
+/// durable prefix ends on one, and the torn-frame rung tears one off
+/// the tail. Recovery must replay (or drop) the δ frame exactly like a
+/// tuple frame — same ladder, same state-equals-reference guarantee.
+#[test]
+fn recovery_through_bulk_frames() {
+    let bulk = reach_u_bulk_stream();
+    for fault in [Fault::Kill, Fault::TornFrame] {
+        for k in [1u64, 4, 16] {
+            run_cell("reach_u_bulk", &programs::reach_u::program, &bulk, fault, k);
         }
     }
 }

@@ -75,13 +75,24 @@ pub enum DiffMode {
     /// (`with_chunked_state`); plans bail against it, so every rule
     /// interprets through the chunked relation ops.
     Chunked,
+    /// Definable bulk changes applied natively through the machine's
+    /// bulk-maintenance path (one-shot Δ-fixpoint or internal
+    /// fallback). Every *other* non-batch mode replays the equivalent
+    /// single-tuple stream from its own `expand_bulk` instead, so
+    /// holding this mode against any of them is exactly the bulk ≡
+    /// tuple-stream equivalence contract. (`Batch` carries bulk
+    /// requests through `apply_batch`, which dispatches them natively
+    /// too.)
+    Bulk,
 }
 
 impl DiffMode {
     fn build(self, program: &dyn Fn() -> DynFoProgram, n: u32) -> DynFoMachine {
         match self {
             DiffMode::Interp => DynFoMachine::new(program(), n).with_use_plans(false),
-            DiffMode::Plans | DiffMode::Batch(_) => DynFoMachine::new(program(), n),
+            DiffMode::Plans | DiffMode::Batch(_) | DiffMode::Bulk => {
+                DynFoMachine::new(program(), n)
+            }
             DiffMode::PlansNoOpt => DynFoMachine::new(program(), n).with_plan_opt(false),
             DiffMode::Parallel(t) => DynFoMachine::new(program(), n).with_parallelism(t),
             DiffMode::Chunked => DynFoMachine::new(program(), n).with_chunked_state(),
@@ -94,8 +105,12 @@ impl DiffMode {
 /// identical auxiliary state, identical boolean query answer, and
 /// identical answers for every `(name, args)` in `queries`, at every
 /// step where the compared machine is aligned (always, except inside a
-/// `Batch` chunk). Returns the machines, in mode order, so callers can
-/// make additional assertions about their stats.
+/// `Batch` chunk). A definable bulk request is applied natively by
+/// [`DiffMode::Bulk`] and [`DiffMode::Batch`] machines and replayed as
+/// each machine's own `expand_bulk` tuple stream everywhere else, so
+/// any stream mixing bulk and single-tuple requests doubles as a
+/// bulk-vs-stream equivalence check. Returns the machines, in mode
+/// order, so callers can make additional assertions about their stats.
 pub fn run_differential(
     program: &dyn Fn() -> DynFoProgram,
     n: u32,
@@ -123,10 +138,29 @@ pub fn run_differential(
                         pending[i].clear();
                     }
                 }
-                _ => {
+                DiffMode::Bulk => {
                     machines[i]
                         .apply(req)
                         .unwrap_or_else(|e| panic!("step {step} ({req}): apply failed: {e}"));
+                }
+                _ => {
+                    // Bulk requests become the equivalent single-tuple
+                    // stream against this machine's own state (equal to
+                    // the reference's at every aligned step, so every
+                    // mode expands the same stream); non-bulk requests
+                    // come back from `expand_bulk` as themselves.
+                    let expanded = if req.is_bulk() {
+                        machines[i].expand_bulk(req).unwrap_or_else(|e| {
+                            panic!("step {step} ({req}): expand failed: {e}")
+                        })
+                    } else {
+                        vec![req.clone()]
+                    };
+                    for r in &expanded {
+                        machines[i]
+                            .apply(r)
+                            .unwrap_or_else(|e| panic!("step {step} ({r}): apply failed: {e}"));
+                    }
                 }
             }
         }
