@@ -1,0 +1,169 @@
+//! Property-based hardening of the automata oracles themselves: the
+//! Dyn-FO string programs are judged against `Dfa::run` replays,
+//! `DynRegular`, `DynDyck`, and `dyck_valid`, so those must agree with
+//! each other and with first principles under *random* DFAs and edit
+//! streams — not just the hand-picked cases of the unit tests.
+//!
+//! Honors `PROPTEST_SEED` (the vendored proptest reads it) so CI
+//! failures replay deterministically.
+
+use dynfo_automata::dfa::count_mod;
+use dynfo_automata::{
+    complement, dyck_valid, equivalent, intersect, minimize, union, Dfa, DynDyck, DynRegular,
+    Paren,
+};
+use proptest::prelude::*;
+
+const ALPHABET: [char; 2] = ['a', 'b'];
+const MAX_STATES: usize = 5;
+
+/// A random DFA over {a, b} with 1..=5 states. The vendored proptest
+/// has no `prop_flat_map`, so we sample a fixed-size raw table and fold
+/// everything into range with `% k` — every DFA on ≤ 5 states is still
+/// reachable.
+fn arb_dfa() -> impl Strategy<Value = Dfa> {
+    (
+        1u8..(MAX_STATES as u8 + 1),
+        proptest::collection::vec(0u8..(MAX_STATES as u8), 2 * MAX_STATES..2 * MAX_STATES + 1),
+        0u8..(MAX_STATES as u8),
+        proptest::collection::vec(0u8..(MAX_STATES as u8), 0..MAX_STATES + 1),
+    )
+        .prop_map(|(k, flat, start, accepting)| {
+            let delta: Vec<Vec<u8>> = (0..2)
+                .map(|sym| (0..k as usize).map(|q| flat[sym * MAX_STATES + q] % k).collect())
+                .collect();
+            let accepting: Vec<u8> = {
+                let mut acc: Vec<u8> = accepting.iter().map(|a| a % k).collect();
+                acc.sort_unstable();
+                acc.dedup();
+                acc
+            };
+            Dfa::new(k, &ALPHABET, delta, start % k, accepting)
+        })
+}
+
+/// A random word over {a, b} as symbol ids.
+fn arb_word() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..2, 0..24)
+}
+
+/// Random string edits: position, plus a raw draw decoded to `None`
+/// (clear, ~30%) or a symbol id.
+fn arb_edits(n: usize, steps: usize) -> impl Strategy<Value = Vec<(usize, Option<usize>)>> {
+    proptest::collection::vec((0..n, 0u8..10), 1..steps).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(pos, draw)| (pos, if draw < 3 { None } else { Some(draw as usize % 2) }))
+            .collect()
+    })
+}
+
+/// Random Dyck edits: position, plus a raw draw decoded to `None`
+/// (clear, ~30%) or a bracket of type `draw % k`, open/close by parity.
+fn arb_dyck_edits(
+    k: u8,
+    n: usize,
+    steps: usize,
+) -> impl Strategy<Value = Vec<(usize, Option<Paren>)>> {
+    proptest::collection::vec((0..n, 0u8..20), 1..steps).prop_map(move |raw| {
+        raw.into_iter()
+            .map(|(pos, draw)| {
+                let bracket = if draw < 6 {
+                    None
+                } else if draw % 2 == 0 {
+                    Some(Paren::open(draw % k))
+                } else {
+                    Some(Paren::close(draw % k))
+                };
+                (pos, bracket)
+            })
+            .collect()
+    })
+}
+
+fn accepts_word(d: &Dfa, w: &[usize]) -> bool {
+    d.is_accepting(d.run(w.iter().copied()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The product constructions distribute over membership: on every
+    /// word, intersect/union/complement answer exactly like the
+    /// underlying per-symbol `step` replays combined in Boolean logic.
+    #[test]
+    fn products_match_per_symbol_replay(
+        (a, b, w) in (arb_dfa(), arb_dfa(), arb_word()),
+    ) {
+        let (ra, rb) = (accepts_word(&a, &w), accepts_word(&b, &w));
+        prop_assert_eq!(accepts_word(&intersect(&a, &b), &w), ra && rb);
+        prop_assert_eq!(accepts_word(&union(&a, &b), &w), ra || rb);
+        prop_assert_eq!(accepts_word(&complement(&a), &w), !ra);
+    }
+
+    /// Minimization preserves the language (checked both by the
+    /// equivalence oracle and by direct replay on the sampled word).
+    #[test]
+    fn minimize_preserves_language((a, w) in (arb_dfa(), arb_word())) {
+        let m = minimize(&a);
+        prop_assert!(equivalent(&a, &m));
+        prop_assert_eq!(accepts_word(&a, &w), accepts_word(&m, &w));
+    }
+
+    /// `DynRegular`'s segment-tree maintenance agrees with a cold
+    /// `Dfa::run` replay of the buffer after every edit — for a random
+    /// product automaton, so the monoid composition is exercised on
+    /// transition structures no hand-written instance has.
+    #[test]
+    fn dyn_regular_tracks_replay(
+        (a, b, edits) in (arb_dfa(), arb_dfa(), arb_edits(16, 40)),
+    ) {
+        let dfa = intersect(&a, &b);
+        let mut dynr = DynRegular::new(dfa.clone(), 16);
+        let mut shadow: Vec<Option<usize>> = vec![None; 16];
+        for (pos, sym) in edits {
+            dynr.set(pos, sym);
+            shadow[pos] = sym;
+            let replay = dfa.run(shadow.iter().flatten().copied());
+            prop_assert_eq!(
+                dynr.accepted(),
+                dfa.is_accepting(replay),
+                "buffer {:?}", shadow
+            );
+        }
+    }
+
+    /// `count_mod` products compose like modular arithmetic: a word is
+    /// in `(#a ≡ r₁ mod 2) ∩ (#a ≡ r₂ mod 3)` iff both counts agree.
+    #[test]
+    fn count_mod_product_counts((w, r1, r2) in (arb_word(), 0u8..2, 0u8..3)) {
+        let d = intersect(
+            &count_mod(&ALPHABET, 'a', 2, r1),
+            &count_mod(&ALPHABET, 'a', 3, r2),
+        );
+        let a_count = w.iter().filter(|&&s| s == 0).count() as u8;
+        prop_assert_eq!(
+            accepts_word(&d, &w),
+            a_count % 2 == r1 && a_count % 3 == r2
+        );
+    }
+
+    /// `DynDyck`'s irreducible-form segment tree agrees with the
+    /// stack-scan oracle after every random edit, for every k.
+    #[test]
+    fn dyn_dyck_tracks_stack_oracle(
+        (k, edits) in (1u8..4, arb_dyck_edits(3, 16, 40)),
+    ) {
+        let mut d = DynDyck::new(k, 16);
+        let mut shadow: Vec<Option<Paren>> = vec![None; 16];
+        for (pos, bracket) in edits {
+            // Fold the raw type (sampled over 0..3) into this k.
+            let bracket = bracket.map(|p| {
+                let ty = p.ty % k;
+                if p.open { Paren::open(ty) } else { Paren::close(ty) }
+            });
+            d.set(pos, bracket);
+            shadow[pos] = bracket;
+            prop_assert_eq!(d.balanced(), dyck_valid(&shadow), "string {}", d.string());
+        }
+    }
+}

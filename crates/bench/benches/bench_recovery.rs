@@ -25,6 +25,7 @@ fn prepare(history: usize, keep_snapshots: bool) -> PathBuf {
         if keep_snapshots { "snap" } else { "bare" }
     ));
     let config = StoreConfig {
+        recompute_every: 0,
         snapshot_every: SNAPSHOT_EVERY,
         // Group commit sized to the batch: setup speed, not durability,
         // matters here.
@@ -45,6 +46,7 @@ fn prepare(history: usize, keep_snapshots: bool) -> PathBuf {
 
 fn bench(c: &mut Criterion) {
     let config = StoreConfig {
+        recompute_every: 0,
         snapshot_every: SNAPSHOT_EVERY,
         group_commit: 64,
     };

@@ -66,9 +66,62 @@ fn bench_dyck(c: &mut Criterion) {
     group.finish();
 }
 
+/// E26 — the same comparison at editor-buffer scale: a 1 MiB buffer
+/// (n = 2²⁰), per-edit tree maintenance vs the full recompute. The
+/// rescan side keeps the buffer balanced (pair rewrites for Dyck) so
+/// the stack scan cannot early-exit.
+fn bench_megabyte(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E26_megabyte");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 1usize << 20;
+
+    let dfa = contains_substring(&['a', 'b'], "abba");
+    let mut s = DynRegular::new(dfa.clone(), n);
+    for i in (0..n).step_by(3) {
+        s.insert_char(i, if i % 2 == 0 { 'a' } else { 'b' });
+    }
+    group.bench_function("regular_tree_update", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i * 2654435761 + 17) % n;
+            s.insert_char(i, if i.is_multiple_of(3) { 'b' } else { 'a' });
+            s.accepted()
+        })
+    });
+    let text = s.string();
+    group.bench_function("regular_dfa_rerun", |b| {
+        b.iter(|| dfa.accepts(std::hint::black_box(&text)))
+    });
+
+    let mut d = DynDyck::new(2, n);
+    let mut slots = vec![None; n];
+    for i in 0..n / 2 {
+        let ty = (i % 2) as u8;
+        d.insert_open(2 * i, ty);
+        d.insert_close(2 * i + 1, ty);
+        slots[2 * i] = d.get(2 * i);
+        slots[2 * i + 1] = d.get(2 * i + 1);
+    }
+    group.bench_function("dyck_tree_update", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i * 2654435761 + 29) % (n / 2);
+            d.insert_open(2 * i, 0);
+            d.insert_close(2 * i + 1, 0);
+            d.balanced()
+        })
+    });
+    group.bench_function("dyck_stack_rescan", |b| {
+        b.iter(|| dyck_valid(std::hint::black_box(&slots)))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().without_plots();
-    targets = bench_regular, bench_dyck
+    targets = bench_regular, bench_dyck, bench_megabyte
 }
 criterion_main!(benches);

@@ -68,6 +68,7 @@ fn report_fsyncs(stream: &[Request]) {
     for &batch in &BATCHES {
         let root = scratch_dir(&format!("bench-throughput-fsync-{batch}"));
         let config = StoreConfig {
+            recompute_every: 0,
             snapshot_every: 256,
             group_commit: 1024, // never auto-commits inside a batch
         };

@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E01–E16, E20–E25) from
+//! Regenerates every experiment table (E01–E16, E20–E26) from
 //! `DESIGN.md` / `EXPERIMENTS.md`.
 //!
 //! Run with: `cargo run --release -p dynfo-bench --bin tables`
@@ -11,8 +11,10 @@
 //! kernel_words_on, saved_pct, run_words_off, run_words_on, us_off,
 //! us_on, ops_removed, words_saved}` records), and the E25 rows to
 //! `BENCH_E25.json` (`{program, n, delta, tuples, path, bulk_us,
-//! stream_us, speedup}` records) for CI trend tracking; remaining args
-//! filter sections by substring.
+//! stream_us, speedup}` records), and the E26 rows to
+//! `BENCH_E26.json` (`{workload, n, edits, dyn_us, rescan_us,
+//! speedup}` records) for CI trend tracking; remaining args filter
+//! sections by substring.
 //!
 //! Times are microseconds per operation. Absolute numbers are
 //! machine-specific; the *shapes* (who grows with n, who stays flat,
@@ -33,8 +35,8 @@ fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
-/// Whether `--json` was passed: E22–E25 also write
-/// `BENCH_E22.json` … `BENCH_E25.json`.
+/// Whether `--json` was passed: E22–E26 also write
+/// `BENCH_E22.json` … `BENCH_E26.json`.
 static EMIT_JSON: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 fn main() {
@@ -48,7 +50,7 @@ fn main() {
     }
     let run = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
     println!("Dyn-FO experiment tables (microseconds unless noted)");
-    let sections: [(&str, fn()); 22] = [
+    let sections: [(&str, fn()); 23] = [
         ("e01", e01_parity),
         ("e02", e02_reach_u),
         ("e03", e03_reach_acyclic),
@@ -71,6 +73,7 @@ fn main() {
         ("e23", e23_serving_tier),
         ("e24", e24_plan_optimizer),
         ("e25", e25_bulk_changes),
+        ("e26", e26_megabyte_strings),
     ];
     for (name, section) in sections {
         if run(name) {
@@ -891,6 +894,7 @@ fn e21_observability() {
     let reqs = undirected_workload(n, 272, 83);
     let root = dynfo_serve::scratch_dir("tables-e21");
     let config = StoreConfig {
+        recompute_every: 0,
         snapshot_every: 64,
         group_commit: 4,
     };
@@ -1846,5 +1850,214 @@ fn e25_bulk_changes() {
         out.push_str("]\n");
         std::fs::write("BENCH_E25.json", &out).expect("write BENCH_E25.json");
         println!("wrote BENCH_E25.json ({} rows)", rows.len());
+    }
+}
+
+/// One E26 measurement, also emitted to `BENCH_E26.json` under
+/// `--json`. Times are *per edit*, averaged over the cell's edit loop.
+struct E26Row {
+    workload: &'static str,
+    n: usize,
+    edits: usize,
+    dyn_us: f64,
+    rescan_us: f64,
+}
+
+impl E26Row {
+    fn speedup(&self) -> f64 {
+        if self.dyn_us == 0.0 { 0.0 } else { self.rescan_us / self.dyn_us }
+    }
+}
+
+/// E26 — megabyte-scale dynamic strings: per-edit incremental
+/// maintenance ([`DynRegular`] monoid segment tree, [`DynDyck`]
+/// irreducible forms) vs the "start over" baseline that rereads the
+/// whole buffer (`Dfa::run` replay, `dyck_valid` stack scan) after
+/// every edit.
+///
+/// The FO machine validates these programs at small n (the INT aux
+/// relation is arity 4; dense bitsets at n = 2²⁰ are infeasible by
+/// design — see E14's expansion dichotomy); this section carries the
+/// same update algebra to editor-buffer scale through the automata
+/// structures the FO programs were compiled from, so the ≥10× claim is
+/// about the *maintenance strategy*, not the logic encoding. Each cell
+/// also cross-checks the dynamic answer against its rescan oracle at
+/// the end — a divergence fails the run, so the table doubles as a
+/// megabyte-scale differential test.
+fn e26_megabyte_strings() {
+    use dynfo_automata::dyck::{dyck_valid, DynDyck, Paren};
+    use dynfo_automata::dyntree::DynRegular;
+    use dynfo_automata::{dfa, Dfa};
+
+    header("E26 megabyte-scale strings: per-edit maintenance vs full recompute");
+    row(["workload", "n", "edits", "per-edit dyn", "per-edit rescan", "speedup"]
+        .map(String::from).as_ref());
+
+    const EDITS: usize = 200;
+    let mut rows: Vec<E26Row> = Vec::new();
+
+    fn regular_cell(name: &'static str, dfa: Dfa, n: usize) -> E26Row {
+        const EDITS: usize = 200;
+        let mut dynr = DynRegular::new(dfa.clone(), n);
+        let mut shadow: Vec<Option<usize>> = vec![None; n];
+        // Pre-fill ~2/3 of the buffer deterministically.
+        for (i, slot) in shadow.iter_mut().enumerate() {
+            if i % 3 != 0 {
+                let sym = (i.wrapping_mul(2654435761) >> 3) % 2;
+                dynr.set(i, Some(sym));
+                *slot = Some(sym);
+            }
+        }
+        // Deterministic edit sequence, replayed identically by both
+        // strategies so each rescan sees the same evolving buffer the
+        // tree maintains.
+        let edit = |e: usize, pos: &mut usize| {
+            *pos = pos.wrapping_mul(2654435761).wrapping_add(17) % n;
+            let sym = if (e + *pos).is_multiple_of(5) { None } else { Some((e + *pos) % 2) };
+            (*pos, sym)
+        };
+        let mut pos = 1usize;
+        let (_, dyn_secs) = timed(|| {
+            for e in 0..EDITS {
+                let (p, sym) = edit(e, &mut pos);
+                dynr.set(p, sym);
+                shadow[p] = sym;
+                std::hint::black_box(dynr.accepted());
+            }
+        });
+        let mut rescan_shadow = shadow.clone();
+        let mut pos = 1usize;
+        let (_, rescan_secs) = timed(|| {
+            for e in 0..EDITS {
+                let (p, sym) = edit(e, &mut pos);
+                rescan_shadow[p] = sym;
+                let q = dfa.run(rescan_shadow.iter().flatten().copied());
+                std::hint::black_box(dfa.is_accepting(q));
+            }
+        });
+        assert_eq!(
+            dynr.accepted(),
+            dfa.is_accepting(dfa.run(shadow.iter().flatten().copied())),
+            "{name} n={n}: dynamic answer diverged from the rescan oracle"
+        );
+        E26Row {
+            workload: name,
+            n,
+            edits: EDITS,
+            dyn_us: dyn_secs * 1e6 / EDITS as f64,
+            rescan_us: rescan_secs * 1e6 / EDITS as f64,
+        }
+    }
+
+    for exp in [16u32, 18, 20] {
+        let n = 1usize << exp;
+        rows.push(regular_cell(
+            "regular count_mod(a,3,1)",
+            dfa::count_mod(&['a', 'b'], 'a', 3, 1),
+            n,
+        ));
+        rows.push(regular_cell(
+            "regular contains(abba)",
+            dfa::contains_substring(&['a', 'b'], "abba"),
+            n,
+        ));
+
+        // Dyck-2: start from a fully balanced buffer, then rewrite
+        // random *pairs* (retype or clear both slots) so the buffer
+        // stays balanced — otherwise the stack scan would early-exit at
+        // the first broken position and the baseline would be measuring
+        // the edit's offset, not the scan.
+        let mut d = DynDyck::new(2, n);
+        let mut shadow: Vec<Option<Paren>> = vec![None; n];
+        for i in 0..n / 2 {
+            let ty = (i % 2) as u8;
+            d.set(2 * i, Some(Paren::open(ty)));
+            d.set(2 * i + 1, Some(Paren::close(ty)));
+            shadow[2 * i] = Some(Paren::open(ty));
+            shadow[2 * i + 1] = Some(Paren::close(ty));
+        }
+        let edit = |e: usize, pair: &mut usize| {
+            *pair = pair.wrapping_mul(2654435761).wrapping_add(29) % (n / 2);
+            let slot = if (e + *pair).is_multiple_of(5) {
+                (None, None)
+            } else {
+                let ty = ((e + *pair) % 2) as u8;
+                (Some(Paren::open(ty)), Some(Paren::close(ty)))
+            };
+            (2 * *pair, slot)
+        };
+        let mut pair = 1usize;
+        let (_, dyn_secs) = timed(|| {
+            for e in 0..EDITS {
+                let (p, (open, close)) = edit(e, &mut pair);
+                d.set(p, open);
+                d.set(p + 1, close);
+                shadow[p] = open;
+                shadow[p + 1] = close;
+                std::hint::black_box(d.balanced());
+            }
+        });
+        let mut rescan_shadow = shadow.clone();
+        let mut pair = 1usize;
+        let (_, rescan_secs) = timed(|| {
+            for e in 0..EDITS {
+                let (p, (open, close)) = edit(e, &mut pair);
+                rescan_shadow[p] = open;
+                rescan_shadow[p + 1] = close;
+                std::hint::black_box(dyck_valid(&rescan_shadow));
+            }
+        });
+        assert_eq!(
+            d.balanced(),
+            dyck_valid(&shadow),
+            "dyck k=2 n={n}: dynamic answer diverged from the stack oracle"
+        );
+        rows.push(E26Row {
+            workload: "dyck k=2",
+            n,
+            edits: EDITS,
+            dyn_us: dyn_secs * 1e6 / EDITS as f64,
+            rescan_us: rescan_secs * 1e6 / EDITS as f64,
+        });
+    }
+
+    for r in &rows {
+        row(&[
+            r.workload.to_string(),
+            r.n.to_string(),
+            r.edits.to_string(),
+            format!("{:.2}", r.dyn_us),
+            format!("{:.1}", r.rescan_us),
+            format!("{:.1}x", r.speedup()),
+        ]);
+    }
+
+    // Grep-able headline for the CI smoke step: at the megabyte point
+    // (n = 2²⁰ = 1 MiB buffer) every workload's per-edit maintenance
+    // must beat the full recompute by at least an order of magnitude.
+    let megabyte = rows
+        .iter()
+        .filter(|r| r.n == 1 << 20)
+        .map(E26Row::speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("e26.megabyte.min_speedup: {megabyte:.1}");
+
+    if EMIT_JSON.load(std::sync::atomic::Ordering::Relaxed) {
+        let mut out = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"workload\": \"{}\", \"n\": {}, \"edits\": {}, \"dyn_us\": {:.2}, \"rescan_us\": {:.1}, \"speedup\": {:.1}}}{}\n",
+                r.workload,
+                r.n,
+                r.edits,
+                r.dyn_us,
+                r.rescan_us,
+                r.speedup(),
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write("BENCH_E26.json", &out).expect("write BENCH_E26.json");
+        println!("wrote BENCH_E26.json ({} rows)", rows.len());
     }
 }

@@ -52,9 +52,14 @@ struct MachineObs {
     /// stream (nanoseconds).
     bulk_plan_ns: Arc<Histogram>,
     /// `machine.bulk_fallback` — bulk requests that expanded to
-    /// single-tuple streams (Guarded/Full rules, or no memoryless
-    /// claim to justify the fixpoint).
+    /// single-tuple streams (Guarded/Full rules, no memoryless claim
+    /// to justify the fixpoint, or a Δ too small to pay the closure's
+    /// fixed cost under [`BulkRoute::Auto`]).
     bulk_fallback: Arc<Counter>,
+    /// `machine.recomputes` — full "start over" recomputes executed
+    /// (explicit [`DynFoMachine::recompute`] calls plus cadence
+    /// firings).
+    recomputes: Arc<Counter>,
 }
 
 const GUARD_NOOP: usize = 0;
@@ -76,6 +81,7 @@ impl MachineObs {
             bulk_tuples: handle.counter("machine.bulk_tuples"),
             bulk_plan_ns: handle.histogram("machine.bulk_plan_ns"),
             bulk_fallback: handle.counter("machine.bulk_fallback"),
+            recomputes: handle.counter("machine.recomputes"),
         }
     }
 
@@ -177,6 +183,9 @@ pub struct MachineStats {
     pub query_work: EvalStats,
     /// How general-rule results reached the auxiliary structure.
     pub installs: InstallStats,
+    /// Full "start over" recomputes executed (explicit calls plus
+    /// [`DynFoMachine::with_recompute_every`] cadence firings).
+    pub recomputes: usize,
 }
 
 /// Counters for the install phase of updates: how each general rule's
@@ -447,6 +456,25 @@ pub enum InstallMode {
     Rebuild,
 }
 
+/// How a definable bulk change reaches the state (ROADMAP item 1's
+/// small-Δ headroom). Routing never affects the final state — both
+/// paths land on the expanded stream's result — only which pipeline
+/// computes it and what the request counters read.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BulkRoute {
+    /// Cost-model routing (the default): take the one-shot Δ-fixpoint
+    /// only when `|Δ|` per-tuple applies would cost at least the
+    /// closure's fixed price, estimated from compiled-plan kernel words
+    /// and maintained popcounts ([`DynFoMachine::bulk_one_shot_pays`]).
+    Auto,
+    /// Always take the one-shot fixpoint when the program is eligible
+    /// (memoryless + monotone shapes) — pins the mechanics for tests
+    /// and benchmarks regardless of Δ size.
+    OneShot,
+    /// Always expand to the per-tuple stream.
+    Fallback,
+}
+
 /// What a general-rule evaluation asks the install phase to do.
 #[derive(Clone, Debug)]
 enum GeneralOutcome {
@@ -498,6 +526,12 @@ pub struct DynFoMachine {
     parallelism: usize,
     /// Reused per-request buffers; empty between calls.
     scratch: Scratch,
+    /// Fire the program's recompute closure after every k-th request
+    /// applied through [`DynFoMachine::apply`] (0 = never — the
+    /// default; serving layers drive their own seq-keyed cadence).
+    recompute_every: u64,
+    /// How definable bulk changes are routed (see [`BulkRoute`]).
+    bulk_route: BulkRoute,
     /// Where this machine's metrics go (see [`DynFoMachine::with_obs`]).
     obs: MachineObs,
 }
@@ -524,6 +558,8 @@ impl DynFoMachine {
             install_mode: InstallMode::Delta,
             parallelism: 1,
             scratch: Scratch::default(),
+            recompute_every: 0,
+            bulk_route: BulkRoute::Auto,
             obs: MachineObs::new(&ObsHandle::default()),
         }
     }
@@ -590,6 +626,8 @@ impl DynFoMachine {
             install_mode: InstallMode::Delta,
             parallelism: 1,
             scratch: Scratch::default(),
+            recompute_every: 0,
+            bulk_route: BulkRoute::Auto,
             obs: MachineObs::new(&ObsHandle::default()),
         })
     }
@@ -750,6 +788,72 @@ impl DynFoMachine {
         self
     }
 
+    /// "Start over and muddle through" cadence: fire the program's
+    /// recompute closure after every `k`-th request applied through
+    /// [`DynFoMachine::apply`] (0 — the default — never fires). The
+    /// cadence is keyed on the cumulative request count, so it is a
+    /// property of the request *stream*, not of wall time. Batch and
+    /// bulk entry points do not fire it — a journal has no batch
+    /// boundaries, so a serving layer replays recovery through `apply`
+    /// and drives the cadence off absolute sequence numbers instead
+    /// (`StoreConfig::recompute_every`). No-op for programs without a
+    /// recompute closure.
+    pub fn with_recompute_every(mut self, k: u64) -> DynFoMachine {
+        self.recompute_every = k;
+        self
+    }
+
+    /// The machine-internal recompute cadence (0 = off).
+    pub fn recompute_every(&self) -> u64 {
+        self.recompute_every
+    }
+
+    /// How definable bulk changes are routed (see [`BulkRoute`];
+    /// [`BulkRoute::Auto`] is the default).
+    pub fn bulk_route(&self) -> BulkRoute {
+        self.bulk_route
+    }
+
+    /// Select bulk routing. All three routes produce the same state —
+    /// the differential suites hold them against each other — so
+    /// [`BulkRoute::OneShot`]/[`BulkRoute::Fallback`] exist to pin one
+    /// pipeline for tests and benchmarks, while [`BulkRoute::Auto`]
+    /// picks by the cost model.
+    pub fn set_bulk_route(&mut self, route: BulkRoute) {
+        self.bulk_route = route;
+    }
+
+    /// Builder form of [`DynFoMachine::set_bulk_route`].
+    pub fn with_bulk_route(mut self, route: BulkRoute) -> DynFoMachine {
+        self.bulk_route = route;
+        self
+    }
+
+    /// Start over now: run the program's recompute closure against the
+    /// current state and adopt the result. Returns `Ok(false)` when the
+    /// program carries no closure. The rebuilt structure must keep the
+    /// same universe and vocabulary — anything else is a
+    /// [`MachineError::StateMismatch`].
+    pub fn recompute(&mut self) -> Result<bool, MachineError> {
+        let Some(f) = self.program.recompute_fn().cloned() else {
+            return Ok(false);
+        };
+        let _span = dynfo_obs::span("machine.recompute");
+        let fresh = f(&self.state);
+        if fresh.size() != self.state.size() || !Arc::ptr_eq(fresh.vocab(), self.state.vocab()) {
+            return Err(MachineError::StateMismatch(
+                "recompute closure changed the universe or vocabulary".into(),
+            ));
+        }
+        self.state = fresh;
+        // The rebuild may have rewritten anything: start the
+        // subformula cache cold rather than diffing.
+        self.cache.clear();
+        self.stats.recomputes += 1;
+        self.obs.recomputes.inc();
+        Ok(true)
+    }
+
     /// The cross-request subformula cache (diagnostics, benches).
     pub fn cache(&self) -> &SubformulaCache {
         &self.cache
@@ -798,7 +902,17 @@ impl DynFoMachine {
     /// frame leaves the machine untouched.
     pub fn apply(&mut self, req: &Request) -> Result<EvalStats, MachineError> {
         req.validate(self.program.input_vocab(), self.n())?;
-        self.apply_validated(req)
+        let before = self.stats.requests as u64;
+        let out = self.apply_validated(req)?;
+        // Muddle-through cadence: a bulk fallback can advance the
+        // request count by more than one, so fire on window *crossings*
+        // rather than exact multiples.
+        if self.recompute_every > 0
+            && self.stats.requests as u64 / self.recompute_every > before / self.recompute_every
+        {
+            self.recompute()?;
+        }
+        Ok(out)
     }
 
     /// [`DynFoMachine::apply`] minus validation (the batch path
@@ -1195,7 +1309,13 @@ impl DynFoMachine {
         let tuples = self.bulk_delta(rel, delta, is_ins)?;
         self.obs.bulk_tuples.add(tuples.len() as u64);
         let kind = req.kind();
-        let out = if self.bulk_one_shot_eligible(kind, is_ins) {
+        let eligible = self.bulk_one_shot_eligible(kind, is_ins);
+        let one_shot = match self.bulk_route {
+            BulkRoute::OneShot => eligible,
+            BulkRoute::Fallback => false,
+            BulkRoute::Auto => eligible && self.bulk_one_shot_pays(kind, tuples.len()),
+        };
+        let out = if one_shot {
             self.apply_bulk_one_shot(kind, &tuples, is_ins)
         } else {
             self.obs.bulk_fallback.inc();
@@ -1316,6 +1436,79 @@ impl DynFoMachine {
                 RulePlan::General(_) => false,
             }
         })
+    }
+
+    /// ROADMAP item 1's small-Δ headroom: is the one-shot Δ-fixpoint
+    /// worth its fixed cost for this Δ, or should [`BulkRoute::Auto`]
+    /// expand to `|Δ|` single-tuple applies?
+    ///
+    /// The comparison is `|Δ| · per_tuple ≥ closure_fixed`, both sides
+    /// in kernel words:
+    ///
+    /// * **closure_fixed** — each non-copy rule's closed residual is an
+    ///   `S^(arity+1)`-shaped pass (the Δ columns join in one extra
+    ///   axis), charged for [`BULK_ROUNDS_FLOOR`] fixpoint rounds. A
+    ///   program whose rules are all copies has no closure at all and
+    ///   always takes the one-shot splice.
+    /// * **per_tuple** — the compiled [`BitPlan`]'s exact
+    ///   `work_words` where plans are on, else the interpreter proxy:
+    ///   [`PLAN_WORDS_PER_ROW`] per maintained row the rule reads
+    ///   (live popcounts), capped at the dense pass the plan would do.
+    ///
+    /// Deliberately closure-pessimistic: a Δ must comfortably cover the
+    /// fixed price before the fixpoint runs, so the item-1 regression —
+    /// a 2-tuple δ paying a whole-relation closure — cannot recur,
+    /// while relation-scale deltas (E25's subgraph δ) keep the
+    /// one-shot's order-of-magnitude win. Routing is observable as
+    /// `machine.bulk_fallback` and request counts; the state is
+    /// identical either way.
+    fn bulk_one_shot_pays(&self, kind: RequestKind, delta_len: usize) -> bool {
+        /// Fixed rounds the closure is charged up front: converge +
+        /// detect, doubled because chain-shaped Δs (path composition)
+        /// genuinely iterate.
+        const BULK_ROUNDS_FLOOR: u64 = 4;
+        let n = self.n() as u64;
+        let dense_words = |arity: u32| n.saturating_pow(arity).div_ceil(64).max(1);
+        let rules = self.program.rules_for(kind);
+        let no_plans = Vec::new();
+        let plans = self.plans.get(&kind).unwrap_or(&no_plans);
+        let no_bits = Vec::new();
+        let bits = self.bit_plans.get(&kind).unwrap_or(&no_bits);
+        let mut closure_fixed = 0u64;
+        let mut per_tuple = 0u64;
+        for (i, (rule, plan)) in rules.iter().zip(plans).enumerate() {
+            match plan {
+                RulePlan::InsertCopy | RulePlan::DeleteCopy => {
+                    per_tuple = per_tuple.saturating_add(1);
+                }
+                RulePlan::General(_) => {
+                    let arity = rule.vars.len() as u32;
+                    closure_fixed = closure_fixed.saturating_add(
+                        dense_words(arity)
+                            .saturating_mul(n)
+                            .saturating_mul(BULK_ROUNDS_FLOOR),
+                    );
+                    let compiled = (self.use_plans && self.install_mode == InstallMode::Delta)
+                        .then(|| bits.get(i).and_then(|bp| bp.as_ref().map(|bp| bp.work_words)))
+                        .flatten();
+                    let cost = compiled.unwrap_or_else(|| {
+                        let rows: u64 = dynfo_logic::analysis::relation_symbols(&rule.formula)
+                            .into_iter()
+                            .filter_map(|s| self.state.vocab().relation(s))
+                            .map(|id| self.state.relation(id).len() as u64)
+                            .sum();
+                        PLAN_WORDS_PER_ROW
+                            .saturating_mul(rows.max(1))
+                            .min(dense_words(arity))
+                    });
+                    per_tuple = per_tuple.saturating_add(cost);
+                }
+            }
+        }
+        if closure_fixed == 0 {
+            return true;
+        }
+        (delta_len as u64).saturating_mul(per_tuple) >= closure_fixed
     }
 
     /// Execute an eligible bulk change as one fixpoint. The state is
@@ -2320,7 +2513,9 @@ mod tests {
             );
         let req = Request::bulk_ins("E", succ);
         let n = 8;
-        let mut bulk = DynFoMachine::new(closure(), n);
+        // Pin the one-shot pipeline: at n = 8 a 7-tuple Δ is exactly
+        // the small-Δ case `BulkRoute::Auto` routes to the fallback.
+        let mut bulk = DynFoMachine::new(closure(), n).with_bulk_route(BulkRoute::OneShot);
         let mut stream = DynFoMachine::new(closure(), n);
         let expanded = bulk.expand_bulk(&req).unwrap();
         assert_eq!(expanded.len(), 7, "seven chain edges");

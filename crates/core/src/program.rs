@@ -40,6 +40,23 @@ pub struct UpdateRule {
 /// Precomputation for a Dyn-FO⁺ initial structure.
 pub type InitFn = Arc<dyn Fn(&Arc<Vocabulary>, Elem) -> Structure + Send + Sync>;
 
+/// Full recompute for "start over and muddle through" executors
+/// (Datta–Mukherjee–Schwentick–Vortmeier–Zeume): rebuild the auxiliary
+/// structure from the maintained input copies inside the current
+/// state. Must be deterministic — the serving tier replays it at fixed
+/// journal sequence numbers and requires byte-identical recovery.
+pub type RecomputeFn = Arc<dyn Fn(&Structure) -> Structure + Send + Sync>;
+
+/// [`RecomputeFn`] wrapped for `Debug`/`Clone` derives on the program.
+#[derive(Clone)]
+pub struct Recompute(pub RecomputeFn);
+
+impl std::fmt::Debug for Recompute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Recompute(..)")
+    }
+}
+
 /// How the auxiliary structure is initialized.
 #[derive(Clone)]
 pub enum Init {
@@ -69,6 +86,7 @@ pub struct DynFoProgram {
     query: Formula,
     named_queries: BTreeMap<Sym, Formula>,
     memoryless: bool,
+    recompute: Option<Recompute>,
 }
 
 /// Builder for [`DynFoProgram`].
@@ -81,6 +99,7 @@ pub struct ProgramBuilder {
     query: Formula,
     named_queries: BTreeMap<Sym, Formula>,
     memoryless: bool,
+    recompute: Option<Recompute>,
 }
 
 impl DynFoProgram {
@@ -95,6 +114,7 @@ impl DynFoProgram {
             query: Formula::False,
             named_queries: BTreeMap::new(),
             memoryless: false,
+            recompute: None,
         }
     }
 
@@ -163,6 +183,12 @@ impl DynFoProgram {
         self.memoryless
     }
 
+    /// The program's full-recompute function, if it opts into the
+    /// muddle-through executor mode ([`ProgramBuilder::recompute`]).
+    pub fn recompute_fn(&self) -> Option<&RecomputeFn> {
+        self.recompute.as_ref().map(|r| &r.0)
+    }
+
     /// The CRAM parallel time of one update: the maximum quantifier depth
     /// over all update formulas (constant per program — the paper's
     /// headline parallel claim).
@@ -221,6 +247,21 @@ impl ProgramBuilder {
     /// Declare the program memoryless.
     pub fn memoryless(mut self) -> Self {
         self.memoryless = true;
+        self
+    }
+
+    /// Install a "start over" full-recompute function: given the
+    /// current auxiliary structure (whose input copies are by
+    /// construction exact), rebuild every auxiliary relation from
+    /// scratch. Programs with cheap almost-everywhere update rules and
+    /// one stale direction (muddle-through) pair this with
+    /// [`crate::machine::DynFoMachine::with_recompute_every`] or the
+    /// serving tier's `recompute_every` cadence.
+    pub fn recompute(
+        mut self,
+        f: impl Fn(&Structure) -> Structure + Send + Sync + 'static,
+    ) -> Self {
+        self.recompute = Some(Recompute(Arc::new(f)));
         self
     }
 
@@ -318,6 +359,7 @@ impl ProgramBuilder {
             rules: self.rules,
             query: self.query,
             named_queries: self.named_queries,
+            recompute: self.recompute,
             memoryless: self.memoryless,
         }
     }

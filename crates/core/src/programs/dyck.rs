@@ -1,0 +1,309 @@
+//! Dynamic Dyck-k membership (Proposition 4.8): balanced parentheses
+//! of `k` types over the string structure
+//! ⟨{0..n−1}, ≤, (OP_t, CL_t)_{t<k}⟩, maintained by the paper's
+//! prefix-*level* trick \[BC89\].
+//!
+//! The auxiliary relation is the level table
+//!
+//! ```text
+//! LEV(p, l)  ≡  the prefix 0..=p (gaps skipped) has nesting level
+//!               l − B,   B = ⌊n/2⌋ the offset marked by ZERO(B)
+//! ```
+//!
+//! — a total function of `p`, shifted by `B` so negative levels stay in
+//! the universe. A point edit at position `p` adds a constant
+//! δ ∈ {−2,−1,0,+1,+2} to every level at a position ≥ p (δ determined
+//! by what the edit overwrites), so the update is a guarded ±1/±2
+//! shift through the FO `succ`/`plus2` macros — constant quantifier
+//! depth, the paper's parallel claim. The empty string initializes
+//! `LEV(p, B)` everywhere: a genuinely precomputed Dyn-FO⁺ structure.
+//!
+//! Membership is FO over levels:
+//!
+//! * the whole string returns to level 0: `LEV(max, B)`;
+//! * no prefix dips below 0: every level is ≥ B;
+//! * types match: a closer's unique matching opener — the `o < p` with
+//!   `lev(o) = lev(p) + 1` and every interior level `> lev(p)` — has
+//!   the same type.
+//!
+//! **Semantics: overwrite**, exactly like [`crate::programs::strings`]:
+//! `ins(OP_t, p)` *sets* position `p` (clearing any other bracket
+//! there in the same simultaneous update), `del` is guarded on the
+//! bracket actually being present. [`bracket_request`] names the
+//! point-edit surface; [`DynDyck`](dynfo_automata::DynDyck) and
+//! [`dyck_valid`](dynfo_automata::dyck_valid) are the cross-check
+//! oracles.
+//!
+//! **Capacity discipline.** The ±shifts saturate at the ends of the
+//! universe, so levels must stay inside `(0, n−1)`: keep at most
+//! `⌊n/2⌋ − 1` positions occupied (asserted nowhere — a workload
+//! contract, enforced by the generators in `dynfo-testutil`).
+
+use crate::program::DynFoProgram;
+use crate::request::{Request, RequestKind};
+use dynfo_automata::Paren;
+use dynfo_logic::formula::{and, eq, exists, forall, implies, le, lt, not, or, rel, v, Formula, Term};
+use dynfo_logic::strings::{close_rel, forall_between, open_rel, plus2, succ};
+use dynfo_logic::Elem;
+
+/// The maintained level table `LEV(p, l)`.
+pub const LEV: &str = "LEV";
+/// The unary relation holding exactly the offset `B = ⌊n/2⌋`.
+pub const ZERO: &str = "ZERO";
+
+/// What an edit at `?0` overwrites, as closed FO guards.
+fn any_open(k: u8, at: Term) -> Formula {
+    or((0..k).map(|t| rel(&open_rel(t), [at])))
+}
+
+fn any_close(k: u8, at: Term) -> Formula {
+    or((0..k).map(|t| rel(&close_rel(t), [at])))
+}
+
+/// `LEV'(q, l)` under "every level at `q ≥ ?0` moves by `delta`":
+/// copies below the edit point, shifts at and above it.
+fn shifted_lev(delta: i8) -> Formula {
+    let p = || Term::Param(0);
+    let copy = rel(LEV, [v("q"), v("l")]);
+    let shift = match delta {
+        0 => copy.clone(),
+        1 => exists(["l0"], and([succ(v("l0"), v("l")), rel(LEV, [v("q"), v("l0")])])),
+        -1 => exists(["l0"], and([succ(v("l"), v("l0")), rel(LEV, [v("q"), v("l0")])])),
+        2 => exists(["l0"], and([plus2(v("l0"), v("l")), rel(LEV, [v("q"), v("l0")])])),
+        -2 => exists(["l0"], and([plus2(v("l"), v("l0")), rel(LEV, [v("q"), v("l0")])])),
+        _ => unreachable!("level deltas are in -2..=2"),
+    };
+    (lt(v("q"), p()) & copy) | (le(p(), v("q")) & shift)
+}
+
+/// Compile the Dyck-`k` membership program. Levels live in the same
+/// universe as positions (offset `B = ⌊n/2⌋`), so the workload must
+/// keep at most `⌊n/2⌋ − 1` positions occupied.
+pub fn dyck_program(k: u8) -> DynFoProgram {
+    assert!(k > 0, "at least one parenthesis type");
+    let mut b = DynFoProgram::builder("strings::dyck");
+    for t in 0..k {
+        b = b.input_relation(&open_rel(t), 1);
+        b = b.input_relation(&close_rel(t), 1);
+    }
+    b = b.aux_relation(LEV, 2).aux_relation(ZERO, 1);
+
+    // Dyn-FO⁺ init: the empty string is at level 0 ≙ B everywhere.
+    b = b.precomputed(|vocab, n| {
+        assert!(n >= 4, "universe too small for offset levels: n = {n}");
+        let mut st = dynfo_logic::Structure::empty(std::sync::Arc::clone(vocab), n);
+        let offset = n / 2;
+        st.insert(ZERO, [offset]);
+        for p in 0..n {
+            st.insert(LEV, [p, offset]);
+        }
+        st
+    });
+
+    let p = || Term::Param(0);
+    let lev_vars = ["q", "l"];
+    for t in 0..k {
+        let op = open_rel(t);
+        let cl = close_rel(t);
+
+        // ins(OP_t, p): overwrite p with an opener of type t. The level
+        // delta depends on what was there: another opener → 0, a closer
+        // → +2, a gap → +1.
+        b = b.on(RequestKind::ins(&op), &op, &["x"], rel(&op, [v("x")]) | eq(v("x"), p()));
+        for u in 0..k {
+            if u != t {
+                let other = open_rel(u);
+                b = b.on(RequestKind::ins(&op), &other, &["x"], rel(&other, [v("x")]) & !eq(v("x"), p()));
+            }
+            let other = close_rel(u);
+            b = b.on(RequestKind::ins(&op), &other, &["x"], rel(&other, [v("x")]) & !eq(v("x"), p()));
+        }
+        b = b.on(
+            RequestKind::ins(&op),
+            LEV,
+            &lev_vars,
+            (any_open(k, p()) & shifted_lev(0))
+                | (any_close(k, p()) & shifted_lev(2))
+                | (not(any_open(k, p())) & not(any_close(k, p())) & shifted_lev(1)),
+        );
+
+        // ins(CL_t, p): symmetric; opener → −2, closer → 0, gap → −1.
+        b = b.on(RequestKind::ins(&cl), &cl, &["x"], rel(&cl, [v("x")]) | eq(v("x"), p()));
+        for u in 0..k {
+            if u != t {
+                let other = close_rel(u);
+                b = b.on(RequestKind::ins(&cl), &other, &["x"], rel(&other, [v("x")]) & !eq(v("x"), p()));
+            }
+            let other = open_rel(u);
+            b = b.on(RequestKind::ins(&cl), &other, &["x"], rel(&other, [v("x")]) & !eq(v("x"), p()));
+        }
+        b = b.on(
+            RequestKind::ins(&cl),
+            LEV,
+            &lev_vars,
+            (any_open(k, p()) & shifted_lev(-2))
+                | (any_close(k, p()) & shifted_lev(0))
+                | (not(any_open(k, p())) & not(any_close(k, p())) & shifted_lev(-1)),
+        );
+
+        // del(OP_t, p) / del(CL_t, p): clear p iff it holds that exact
+        // bracket; a mismatched delete is a no-op.
+        b = b.on(RequestKind::del(&op), &op, &["x"], rel(&op, [v("x")]) & !eq(v("x"), p()));
+        b = b.on(
+            RequestKind::del(&op),
+            LEV,
+            &lev_vars,
+            (rel(&op, [p()]) & shifted_lev(-1)) | (not(rel(&op, [p()])) & rel(LEV, [v("q"), v("l")])),
+        );
+        b = b.on(RequestKind::del(&cl), &cl, &["x"], rel(&cl, [v("x")]) & !eq(v("x"), p()));
+        b = b.on(
+            RequestKind::del(&cl),
+            LEV,
+            &lev_vars,
+            (rel(&cl, [p()]) & shifted_lev(1)) | (not(rel(&cl, [p()])) & rel(LEV, [v("q"), v("l")])),
+        );
+    }
+
+    // Membership. lev(p) abbreviates the unique l with LEV(p, l).
+    // (1) Final level 0: LEV(max, B).
+    let closed = exists(["z"], and([rel(ZERO, [v("z")]), rel(LEV, [Term::Max, v("z")])]));
+    // (2) No prefix dips below 0: every level ≥ B.
+    let nonneg = forall(
+        ["q", "l"],
+        implies(
+            rel(LEV, [v("q"), v("l")]),
+            exists(["z"], and([rel(ZERO, [v("z")]), le(v("z"), v("l"))])),
+        ),
+    );
+    // (3) Types match. The opener matching a closer at p is the unique
+    // o < p with lev(o) = lev(p) + 1 and every interior level > lev(p).
+    let matched = |o: &str, pc: &str| {
+        exists(
+            ["l", "l1"],
+            and([
+                rel(LEV, [v(pc), v("l")]),
+                succ(v("l"), v("l1")),
+                rel(LEV, [v(o), v("l1")]),
+                forall_between(
+                    v(o),
+                    v(pc),
+                    "m",
+                    not(exists(
+                        ["lm"],
+                        and([rel(LEV, [v("m"), v("lm")]), le(v("lm"), v("l"))]),
+                    )),
+                ),
+            ]),
+        )
+    };
+    let types_ok = and((0..k).map(|t| {
+        not(exists(
+            ["o", "pc"],
+            and([
+                lt(v("o"), v("pc")),
+                any_open(k, v("o")),
+                rel(&close_rel(t), [v("pc")]),
+                matched("o", "pc"),
+                not(rel(&open_rel(t), [v("o")])),
+            ]),
+        ))
+    }));
+
+    b.query(closed & nonneg & types_ok)
+        .named_query("at_level", rel(LEV, [Term::Param(0), Term::Param(1)]))
+        .build()
+}
+
+/// The point-edit request for "set position `pos` to `bracket`": one
+/// overwrite `ins`, or — to clear — the guarded `del` of whatever is
+/// there (`current`). Clearing an empty position yields no request.
+pub fn bracket_request(pos: Elem, bracket: Option<Paren>, current: Option<Paren>) -> Option<Request> {
+    let name = |p: Paren| if p.open { open_rel(p.ty) } else { close_rel(p.ty) };
+    match (bracket, current) {
+        (Some(b), _) => Some(Request::ins(&name(b), [pos])),
+        (None, Some(c)) => Some(Request::del(&name(c), [pos])),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::DynFoMachine;
+    use dynfo_automata::{dyck_valid, DynDyck};
+
+    const N: u32 = 16; // capacity discipline: ≤ 7 occupied positions
+
+    /// Apply the same point edit to the FO machine, the segment-tree
+    /// oracle, and the raw slot buffer.
+    fn set(m: &mut DynFoMachine, d: &mut DynDyck, slots: &mut [Option<Paren>], pos: u32, b: Option<Paren>) {
+        if let Some(req) = bracket_request(pos, b, slots[pos as usize]) {
+            m.apply(&req).unwrap();
+        }
+        d.set(pos as usize, b);
+        slots[pos as usize] = b;
+    }
+
+    fn check(m: &mut DynFoMachine, d: &DynDyck, slots: &[Option<Paren>]) {
+        let fo = m.query().unwrap();
+        assert_eq!(fo, d.balanced(), "FO vs DynDyck on {:?}", d.string());
+        assert_eq!(fo, dyck_valid(slots), "FO vs stack oracle on {:?}", d.string());
+    }
+
+    #[test]
+    fn brackets_track_both_oracles() {
+        let mut m = DynFoMachine::new(dyck_program(2), N);
+        let mut d = DynDyck::new(2, N as usize);
+        let mut slots = vec![None; N as usize];
+        check(&mut m, &d, &slots); // empty string is balanced
+        let edits: [(u32, Option<Paren>); 10] = [
+            (2, Some(Paren::open(0))),
+            (10, Some(Paren::close(0))), // "()"
+            (4, Some(Paren::open(1))),
+            (7, Some(Paren::close(1))),  // "([])"
+            (7, Some(Paren::close(0))),  // "([))" mismatch
+            (7, Some(Paren::close(1))),  // healed
+            (4, None),                   // "(])"
+            (7, None),                   // "()"
+            (2, Some(Paren::close(0))),  // "))" wrong order
+            (2, Some(Paren::open(0))),   // "()" again
+        ];
+        for (pos, b) in edits {
+            set(&mut m, &mut d, &mut slots, pos, b);
+            check(&mut m, &d, &slots);
+        }
+    }
+
+    #[test]
+    fn mismatched_delete_is_a_no_op() {
+        let mut m = DynFoMachine::new(dyck_program(2), N);
+        m.apply(&Request::ins(&open_rel(0), [3])).unwrap();
+        let before = m.state().clone();
+        m.apply(&Request::del(&open_rel(1), [3])).unwrap();
+        m.apply(&Request::del(&close_rel(0), [3])).unwrap();
+        assert_eq!(*m.state(), before);
+    }
+
+    #[test]
+    fn at_level_tracks_the_prefix_sums() {
+        let mut m = DynFoMachine::new(dyck_program(1), N);
+        let b = N / 2;
+        m.apply(&Request::ins(&open_rel(0), [2])).unwrap();
+        m.apply(&Request::ins(&open_rel(0), [5])).unwrap();
+        m.apply(&Request::ins(&close_rel(0), [9])).unwrap();
+        // Levels: positions 0..2 → 0 before the first opener… prefix
+        // levels: p<2: 0, 2..5: 1, 5..9: 2, ≥9: 1 (offset by B).
+        assert!(m.query_named("at_level", &[0, b]).unwrap());
+        assert!(m.query_named("at_level", &[2, b + 1]).unwrap());
+        assert!(m.query_named("at_level", &[6, b + 2]).unwrap());
+        assert!(m.query_named("at_level", &[9, b + 1]).unwrap());
+        assert!(!m.query_named("at_level", &[9, b]).unwrap());
+    }
+
+    #[test]
+    fn update_depth_is_constant() {
+        let p = dyck_program(2);
+        assert!(p.update_depth() <= 5, "depth {}", p.update_depth());
+        assert!(p.has_precomputation());
+    }
+}

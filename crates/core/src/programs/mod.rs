@@ -33,7 +33,10 @@ pub mod msf;
 pub mod parity;
 pub mod reach_acyclic;
 pub mod reach_u;
+pub mod dir_reach;
+pub mod dyck;
 pub mod semi;
+pub mod strings;
 pub mod trans_reduction;
 pub mod vertex_cover;
 

@@ -1,0 +1,327 @@
+//! Dynamic regular-language membership: compile any [`Dfa`] into a
+//! Dyn-FO⁺ update program over the string structure
+//! ⟨{0..n−1}, ≤, (S_c)_{c∈Σ}⟩ (Schmidt–Schwentick–Tantau–Vortmeier–
+//! Zeume 2021, monoid/interval decomposition, specialized to FO).
+//!
+//! The auxiliary relation is the *full interval table*
+//!
+//! ```text
+//! INT(i, j, q, r)  ≡  reading positions i..=j (gaps skipped) from
+//!                     DFA state q ends in state r        (i ≤ j)
+//! ```
+//!
+//! — the state-transformation monoid element of every maintained
+//! interval at once. A point edit at position `p` touches exactly the
+//! intervals containing `p`, and each is recomposed from two untouched
+//! sub-intervals and the edited letter in one quantifier block:
+//!
+//! ```text
+//! INT'(i,j,q,r) ≡ ¬(i ≤ p ≤ j) ∧ INT(i,j,q,r)
+//!               ∨ i ≤ p ≤ j ∧ ∃q₁q₂ ( L(i,q,q₁) ∧ Δ_c(q₁,q₂) ∧ R(j,q₂,r) )
+//! L(i,q,q₁) ≡ (i = p ∧ q = q₁) ∨ ∃m (succ(m,p) ∧ INT(i,m,q,q₁))
+//! R(j,q₂,r) ≡ (j = p ∧ q₂ = r) ∨ ∃s (succ(p,s) ∧ INT(s,j,q₂,r))
+//! ```
+//!
+//! with `Δ_c` the (finite) transition relation of the edited symbol,
+//! inlined as a disjunction of state literals. Deletion composes the
+//! identity at `p` instead, guarded on `S_c(p)` actually holding so a
+//! mismatched delete is a no-op. Updates are constant quantifier depth
+//! — the paper's parallel claim — and the empty string initializes
+//! every interval to the identity, a genuinely precomputed (Dyn-FO⁺)
+//! structure.
+//!
+//! **Semantics: overwrite.** `ins(S_c, p)` *sets* position `p` to `c`,
+//! deleting any other symbol's copy at `p` in the same simultaneous
+//! update — an editor-buffer write, not a set union. `del(S_c, p)`
+//! clears `p` iff it currently carries `c`. [`set_request`] names this
+//! point-edit surface. Bulk δ requests route through the machine's
+//! per-tuple fallback (the rules are guarded, not Grow/Shrink), so the
+//! bulk path is supported with stream-identical state — the
+//! oracle-differential suites drive it.
+//!
+//! DFA states live in the same universe as positions, so the machine
+//! needs `n ≥ dfa.num_states()` — asserted at initialization.
+
+use crate::program::DynFoProgram;
+use crate::request::{Request, RequestKind};
+use dynfo_automata::Dfa;
+use dynfo_logic::formula::{and, eq, exists, le, lit, not, or, rel, v, Formula, Term};
+use dynfo_logic::strings::{succ, sym_rel};
+use dynfo_logic::Elem;
+
+/// The interval state-transform relation maintained by every compiled
+/// string program.
+pub const INT: &str = "INT";
+
+/// Compile `dfa` into a Dyn-FO⁺ program deciding membership of the
+/// current string (gaps skipped) in `L(dfa)`. `name` labels the
+/// program in reports.
+pub fn dfa_program(name: &str, dfa: &Dfa) -> DynFoProgram {
+    let states: Vec<Elem> = (0..dfa.num_states()).map(|q| q as Elem).collect();
+    let alphabet: Vec<char> = dfa.alphabet().to_vec();
+
+    let mut b = DynFoProgram::builder(name);
+    for &c in &alphabet {
+        b = b.input_relation(&sym_rel(c), 1);
+    }
+    b = b.aux_relation(INT, 4);
+
+    // Dyn-FO⁺ init: the empty string, i.e. every interval i ≤ j is the
+    // identity transform.
+    {
+        let num_states = states.len() as Elem;
+        b = b.precomputed(move |vocab, n| {
+            assert!(
+                n >= num_states,
+                "universe must fit the DFA's states: n = {n} < {num_states}"
+            );
+            let mut st = dynfo_logic::Structure::empty(std::sync::Arc::clone(vocab), n);
+            for i in 0..n {
+                for j in i..n {
+                    for q in 0..num_states {
+                        st.insert(INT, [i, j, q, q]);
+                    }
+                }
+            }
+            st
+        });
+    }
+
+    // Shared pieces. Positions: i, j free; the edit position is ?0.
+    let p = || Term::Param(0);
+    let inside = || and([le(v("i"), p()), le(p(), v("j"))]);
+    let int = |i, j, q, r| rel(INT, [i, j, q, r]);
+    let copy_int = || int(v("i"), v("j"), v("q"), v("r"));
+    // L(i, q, q1): the transform of the part strictly left of p.
+    let left = |q1: Term| {
+        or([
+            and([eq(v("i"), p()), eq(v("q"), q1)]),
+            exists(
+                ["pm"],
+                and([succ(v("pm"), p()), int(v("i"), v("pm"), v("q"), q1)]),
+            ),
+        ])
+    };
+    // R(j, q2, r): the transform of the part strictly right of p.
+    let right = |q2: Term| {
+        or([
+            and([eq(v("j"), p()), eq(q2, v("r"))]),
+            exists(
+                ["ps"],
+                and([succ(p(), v("ps")), int(v("ps"), v("j"), q2, v("r"))]),
+            ),
+        ])
+    };
+    // Δ_c(q1, q2): the edited symbol's transition relation, inlined.
+    let delta_c = |sym_id: usize| {
+        or(states.iter().map(|&q| {
+            let q2 = dfa.step(q as u8, sym_id) as Elem;
+            and([eq(v("q1"), lit(q)), eq(v("q2"), lit(q2))])
+        }))
+    };
+    // Recompose an inside interval around p through `mid(q1, q2)`.
+    let recompose = |mid: Formula| {
+        exists(
+            ["q1", "q2"],
+            and([left(v("q1")), mid, right(v("q2"))]),
+        )
+    };
+
+    let int_vars = ["i", "j", "q", "r"];
+    for (sym_id, &c) in alphabet.iter().enumerate() {
+        let sc = sym_rel(c);
+        // ins(S_c, p): set position p to c (overwrite).
+        b = b.on(
+            RequestKind::ins(&sc),
+            &sc,
+            &["x"],
+            rel(&sc, [v("x")]) | eq(v("x"), p()),
+        );
+        for &d in alphabet.iter().filter(|&&d| d != c) {
+            let sd = sym_rel(d);
+            b = b.on(
+                RequestKind::ins(&sc),
+                &sd,
+                &["x"],
+                rel(&sd, [v("x")]) & !eq(v("x"), p()),
+            );
+        }
+        b = b.on(
+            RequestKind::ins(&sc),
+            INT,
+            &int_vars,
+            (not(inside()) & copy_int()) | (inside() & recompose(delta_c(sym_id))),
+        );
+
+        // del(S_c, p): clear position p iff it carries c. The closed
+        // guard S_c(?0) keeps a mismatched delete a no-op and gets the
+        // efficient Guarded classification.
+        b = b.on(
+            RequestKind::del(&sc),
+            &sc,
+            &["x"],
+            rel(&sc, [v("x")]) & !eq(v("x"), p()),
+        );
+        let identity = eq(v("q1"), v("q2"));
+        b = b.on(
+            RequestKind::del(&sc),
+            INT,
+            &int_vars,
+            (not(rel(&sc, [p()])) & copy_int())
+                | (rel(&sc, [p()])
+                    & ((not(inside()) & copy_int()) | (inside() & recompose(identity)))),
+        );
+    }
+
+    // Membership: the whole-string interval [min, max] maps the start
+    // state into an accepting state.
+    let accept = or(states
+        .iter()
+        .filter(|&&q| dfa.is_accepting(q as u8))
+        .map(|&q| eq(v("f"), lit(q))));
+    let query = exists(
+        ["f"],
+        and([
+            rel(INT, [Term::Min, Term::Max, lit(dfa.start() as Elem), v("f")]),
+            accept,
+        ]),
+    );
+    // in_state(q): general operation asking which state the run ends in.
+    let named = rel(INT, [Term::Min, Term::Max, lit(dfa.start() as Elem), Term::Param(0)]);
+    b.query(query).named_query("in_state", named).build()
+}
+
+/// The point-edit request for "set position `pos` to `sym`": one
+/// `ins(S_sym, pos)` whose update rules overwrite whatever was there.
+/// `None` clears the position and needs the symbol currently held
+/// (`current`), since `del(S_c, p)` is guarded on `S_c(p)`; clearing an
+/// already-empty position yields no request.
+pub fn set_request(pos: Elem, sym: Option<char>, current: Option<char>) -> Option<Request> {
+    match (sym, current) {
+        (Some(c), _) => Some(Request::ins(&sym_rel(c), [pos])),
+        (None, Some(c)) => Some(Request::del(&sym_rel(c), [pos])),
+        (None, None) => None,
+    }
+}
+
+/// `count_mod` instance: #`target` ≡ r (mod m) over `alphabet`.
+pub fn count_mod_program(alphabet: &[char], target: char, m: u8, r: u8) -> DynFoProgram {
+    dfa_program("strings::count_mod", &dynfo_automata::dfa::count_mod(alphabet, target, m, r))
+}
+
+/// `contains_substring` instance (KMP automaton) over `alphabet`.
+pub fn contains_substring_program(alphabet: &[char], pattern: &str) -> DynFoProgram {
+    dfa_program(
+        "strings::contains_substring",
+        &dynfo_automata::dfa::contains_substring(alphabet, pattern),
+    )
+}
+
+/// `a*b*` instance: the 3-state dead-state DFA.
+pub fn a_star_b_star_program() -> DynFoProgram {
+    dfa_program("strings::a_star_b_star", &dynfo_automata::dfa::a_star_b_star())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::DynFoMachine;
+    use dynfo_automata::dfa::{a_star_b_star, count_mod};
+
+    /// Apply `set(pos, sym)` to machine and shadow buffer together.
+    fn set(
+        machine: &mut DynFoMachine,
+        shadow: &mut [Option<char>],
+        pos: Elem,
+        sym: Option<char>,
+    ) {
+        if let Some(req) = set_request(pos, sym, shadow[pos as usize]) {
+            machine.apply(&req).unwrap();
+        }
+        shadow[pos as usize] = sym;
+    }
+
+    fn oracle_accepts(dfa: &Dfa, shadow: &[Option<char>]) -> bool {
+        let syms = shadow
+            .iter()
+            .filter_map(|s| s.and_then(|c| dfa.symbol(c)));
+        dfa.is_accepting(dfa.run(syms))
+    }
+
+    #[test]
+    fn count_mod_tracks_the_dfa_oracle() {
+        let dfa = count_mod(&['a', 'b'], 'a', 3, 1);
+        let n = 12u32;
+        let mut m = DynFoMachine::new(dfa_program("count_mod", &dfa), n);
+        let mut shadow = vec![None; n as usize];
+        let edits: [(Elem, Option<char>); 9] = [
+            (0, Some('a')),
+            (3, Some('b')),
+            (5, Some('a')),
+            (5, Some('b')), // overwrite a → b
+            (7, Some('a')),
+            (0, None),      // clear
+            (3, Some('a')), // overwrite b → a
+            (11, Some('a')),
+            (7, None),
+        ];
+        for (pos, sym) in edits {
+            set(&mut m, &mut shadow, pos, sym);
+            assert_eq!(
+                m.query().unwrap(),
+                oracle_accepts(&dfa, &shadow),
+                "after set({pos}, {sym:?}); buffer {shadow:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_star_b_star_rejects_interleavings() {
+        let dfa = a_star_b_star();
+        let n = 8u32;
+        let mut m = DynFoMachine::new(a_star_b_star_program(), n);
+        let mut shadow = vec![None; n as usize];
+        assert!(m.query().unwrap(), "empty string is in a*b*");
+        set(&mut m, &mut shadow, 1, Some('a'));
+        set(&mut m, &mut shadow, 4, Some('b'));
+        assert!(m.query().unwrap(), "ab ∈ a*b*");
+        set(&mut m, &mut shadow, 6, Some('a'));
+        assert!(!m.query().unwrap(), "aba ∉ a*b*");
+        assert_eq!(m.query().unwrap(), oracle_accepts(&dfa, &shadow));
+        set(&mut m, &mut shadow, 6, None);
+        assert!(m.query().unwrap(), "deleting the stray a recovers ab");
+    }
+
+    #[test]
+    fn mismatched_delete_is_a_no_op() {
+        let n = 8u32;
+        let mut m = DynFoMachine::new(count_mod_program(&['a', 'b'], 'a', 2, 0), n);
+        m.apply(&Request::ins("S_a", [2])).unwrap();
+        let before = m.state().clone();
+        // Position 2 carries 'a'; deleting 'b' there must change nothing.
+        m.apply(&Request::del("S_b", [2])).unwrap();
+        assert_eq!(*m.state(), before);
+    }
+
+    #[test]
+    fn in_state_named_query_tracks_the_run() {
+        let dfa = count_mod(&['a', 'b'], 'a', 3, 0);
+        let n = 9u32;
+        let mut m = DynFoMachine::new(dfa_program("count_mod", &dfa), n);
+        for pos in [1u32, 4, 6] {
+            m.apply(&Request::ins("S_a", [pos])).unwrap();
+        }
+        // Three a's: the run ends in state 3 mod 3 = 0.
+        assert!(m.query_named("in_state", &[0]).unwrap());
+        assert!(!m.query_named("in_state", &[1]).unwrap());
+    }
+
+    #[test]
+    fn update_depth_is_constant() {
+        let p = count_mod_program(&['a', 'b'], 'a', 3, 1);
+        // Interval recomposition is one ∃q1q2 block over succ macros:
+        // constant depth regardless of n — the parallel claim.
+        assert!(p.update_depth() <= 5, "depth {}", p.update_depth());
+        assert!(p.has_precomputation(), "identity table is Dyn-FO⁺ init");
+    }
+}

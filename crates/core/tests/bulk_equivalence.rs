@@ -14,7 +14,7 @@
 //! `crates/serve/tests/fault_matrix.rs`; core cannot exercise the
 //! journal from here.
 
-use dynfo_core::{programs, DynFoMachine, DynFoProgram, Request, RequestKind};
+use dynfo_core::{programs, BulkRoute, DynFoMachine, DynFoProgram, Request, RequestKind};
 use dynfo_logic::formula::{
     and, eq, exists, forall, lit, lt, not, param, rel, v, Formula,
 };
@@ -294,7 +294,9 @@ fn bulk_semi_reach() {
 fn semi_reach_u_bulk_insert_takes_the_one_shot_path() {
     let n = 16u32;
     let p = programs::semi::reach_u_program;
-    let mut bulk = DynFoMachine::new(p(), n);
+    // Pin the one-shot pipeline: a 15-tuple chain Δ at n = 16 is the
+    // small-Δ case `BulkRoute::Auto` now routes to the fallback.
+    let mut bulk = DynFoMachine::new(p(), n).with_bulk_route(BulkRoute::OneShot);
     let mut stream = DynFoMachine::new(p(), n);
     let req = Request::bulk_ins("E", chain());
     let expanded = bulk.expand_bulk(&req).unwrap();
@@ -386,7 +388,8 @@ fn down_closure() -> DynFoProgram {
 #[test]
 fn shrink_program_bulk_delete_takes_the_one_shot_path() {
     let n = 12u32;
-    let mut bulk = DynFoMachine::new(down_closure(), n);
+    // Pin the one-shot pipeline (small Δ would otherwise fall back).
+    let mut bulk = DynFoMachine::new(down_closure(), n).with_bulk_route(BulkRoute::OneShot);
     let mut stream = DynFoMachine::new(down_closure(), n);
     for &m in &[3u32, 7, 10] {
         bulk.apply(&Request::ins("M", [m])).unwrap();
@@ -458,4 +461,38 @@ fn bulk_composes_with_every_execution_mode() {
             DiffMode::Chunked,
         ],
     );
+}
+
+/// ROADMAP item 1's small-Δ headroom: under the default
+/// [`BulkRoute::Auto`], a δ of two tuples expands to the per-tuple
+/// fallback (the closure's fixed cost dwarfs two single-tuple
+/// applies) while a relation-scale δ still takes the one-shot
+/// fixpoint — and the routing is observable on `machine.bulk_fallback`
+/// and the request counters, with byte-identical state either way.
+#[test]
+fn auto_routes_by_delta_size() {
+    let n = 16u32;
+    let p = programs::semi::reach_u_program;
+    let registry = std::sync::Arc::new(dynfo_obs::Registry::new());
+    let mut auto_m =
+        DynFoMachine::new(p(), n).with_obs(&dynfo_obs::ObsHandle::with_registry(registry.clone()));
+    let mut pinned = DynFoMachine::new(p(), n).with_bulk_route(BulkRoute::OneShot);
+    let fallbacks = registry.counter("machine.bulk_fallback");
+
+    // |Δ| = 2: the chain edges below 3.
+    let small = Request::bulk_ins("E", and([chain(), lt(v("x1"), lit(3))]));
+    assert_eq!(auto_m.expand_bulk(&small).unwrap().len(), 2);
+    auto_m.apply(&small).unwrap();
+    pinned.apply(&small).unwrap();
+    assert_eq!(auto_m.state(), pinned.state(), "routing never changes the state");
+    assert_eq!(auto_m.stats().requests, 2, "small Δ replays per tuple");
+    assert_eq!(fallbacks.get(), 1, "machine.bulk_fallback witnesses the routing");
+
+    // |Δ| ≈ n²/2: every increasing pair — relation-scale, one-shot.
+    let big = Request::bulk_ins("E", lt(v("x0"), v("x1")));
+    auto_m.apply(&big).unwrap();
+    pinned.apply(&big).unwrap();
+    assert_eq!(auto_m.state(), pinned.state(), "one-shot after crossover");
+    assert_eq!(auto_m.stats().requests, 3, "the big Δ counts one request");
+    assert_eq!(fallbacks.get(), 1, "no further fallback past the crossover");
 }

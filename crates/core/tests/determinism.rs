@@ -9,12 +9,17 @@
 //! unordered map, a time- or address-dependent cache policy — fails
 //! here even when the states happen to agree.
 //!
-//! All twelve Section 4 programs, n = 16, streams from seeded
-//! generators re-run from scratch for each machine.
+//! All twelve Section 4 programs plus the string-workload family
+//! (compiled DFA membership, Dyck-k levels, muddle-through directed
+//! reachability), n = 16, streams from seeded generators re-run from
+//! scratch for each machine.
 
 use dynfo_core::programs;
 use dynfo_core::{DynFoMachine, DynFoProgram, Request};
-use dynfo_testutil::{churn_stream, dag_churn_stream, edge_requests, rng, weighted_stream};
+use dynfo_testutil::{
+    churn_stream, dag_churn_stream, dyck_edit_requests, edge_requests, rng,
+    string_edit_requests, weighted_stream,
+};
 
 const N: u32 = 16;
 const STEPS: usize = 36;
@@ -119,8 +124,32 @@ fn all_programs_reproduce_state_and_work_profile() {
             Box::new(programs::semi::reach_program),
             insert_only(359, false),
         ),
+        (
+            "strings::count_mod",
+            Box::new(|| programs::strings::count_mod_program(&['a', 'b'], 'a', 3, 1)),
+            string_edit_requests(&['a', 'b'], N, STEPS, 0.25, &mut rng(361)),
+        ),
+        (
+            "strings::a_star_b_star",
+            Box::new(programs::strings::a_star_b_star_program),
+            string_edit_requests(&['a', 'b'], N, STEPS, 0.3, &mut rng(367)),
+        ),
+        (
+            "strings::dyck(2)",
+            Box::new(|| programs::dyck::dyck_program(2)),
+            dyck_edit_requests(2, N, STEPS, &mut rng(373)),
+        ),
+        (
+            "dir_reach::muddle",
+            Box::new(programs::dir_reach::dir_reach_program),
+            dag(379),
+        ),
     ];
-    assert_eq!(cells.len(), 12, "the whole Section 4 library is covered");
+    assert_eq!(
+        cells.len(),
+        16,
+        "the Section 4 library plus the string-workload family is covered"
+    );
     for (name, program, reqs) in &cells {
         assert_deterministic(name, program, reqs);
     }

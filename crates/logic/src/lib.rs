@@ -20,6 +20,7 @@ pub mod printer;
 pub mod relation;
 pub mod simd;
 pub mod simplify;
+pub mod strings;
 pub mod structure;
 pub mod subst;
 pub mod tuple;

@@ -1,0 +1,129 @@
+//! String-structure helpers: alphabet-indexed relation names and the
+//! FO position macros the dynamic-language programs are built from.
+//!
+//! A string over alphabet Σ is encoded as the one-sorted structure
+//! ⟨{0..n−1}, ≤, (S_c)_{c∈Σ}⟩ where `S_c(p)` holds iff position `p`
+//! currently carries symbol `c` (Büchi–Elgot–Trakhtenbrot, specialized
+//! to the dynamic setting of Schmidt–Schwentick–Tantau–Vortmeier–Zeume
+//! 2021). Positions carried by no `S_c` are *gaps* — an editor buffer
+//! with holes — and read as the empty word. The helpers here name the
+//! per-symbol relations uniformly and provide the successor/adjacency
+//! macros every interval-decomposition update formula needs, so the
+//! `dynfo-core` string programs and their tests agree on one naming
+//! scheme.
+
+use crate::formula::{and, exists, forall, lt, not, v, Formula, Term};
+
+/// The relation name carrying symbol `c`: `S_c` for alphanumeric
+/// symbols, `S_xNN` (hex code point) otherwise, so every alphabet char
+/// maps to a distinct, parseable relation identifier.
+pub fn sym_rel(c: char) -> String {
+    if c.is_ascii_alphanumeric() {
+        format!("S_{c}")
+    } else {
+        format!("S_x{:x}", c as u32)
+    }
+}
+
+/// The relation name for an open parenthesis of `ty` (Dyck-k input).
+pub fn open_rel(ty: u8) -> String {
+    format!("OP_{ty}")
+}
+
+/// The relation name for a close parenthesis of `ty` (Dyck-k input).
+pub fn close_rel(ty: u8) -> String {
+    format!("CL_{ty}")
+}
+
+/// `succ(a, b) ≡ a < b ∧ ¬∃z (a < z < b)`: `b = a + 1` in pure FO over
+/// `<`. The workhorse of every ±1 shift and interval-boundary formula;
+/// quantifier depth 1.
+pub fn succ(a: Term, b: Term) -> Formula {
+    and([
+        lt(a, b),
+        not(exists(["__sz"], and([lt(a, v("__sz")), lt(v("__sz"), b)]))),
+    ])
+}
+
+/// `plus2(a, b) ≡ ∃m (succ(a, m) ∧ succ(m, b))`: `b = a + 2`.
+pub fn plus2(a: Term, b: Term) -> Formula {
+    exists(["__sm"], and([succ(a, v("__sm")), succ(v("__sm"), b)]))
+}
+
+/// `between(a, z, b) ≡ a < z ∧ z < b` — strict interior of an interval.
+pub fn between(a: Term, z: Term, b: Term) -> Formula {
+    and([lt(a, z), lt(z, b)])
+}
+
+/// `∀z (a < z < b → φ(z))` with `z` fresh: every strictly interior
+/// position satisfies φ.
+pub fn forall_between(a: Term, b: Term, z: &str, body: Formula) -> Formula {
+    forall([z], Formula::Implies(Box::new(between(a, v(z), b)), Box::new(body)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::{lit, rel};
+    use crate::{evaluate, Structure, Vocabulary};
+    use std::sync::Arc;
+
+    fn st(n: u32) -> Structure {
+        let mut voc = Vocabulary::new();
+        voc.add_relation("R", 1);
+        Structure::empty(Arc::new(voc), n)
+    }
+
+    #[test]
+    fn sym_rel_names_are_distinct_and_stable() {
+        assert_eq!(sym_rel('a'), "S_a");
+        assert_eq!(sym_rel('7'), "S_7");
+        assert_eq!(sym_rel('('), "S_x28");
+        assert_ne!(sym_rel('('), sym_rel(')'));
+        assert_eq!(open_rel(2), "OP_2");
+        assert_eq!(close_rel(2), "CL_2");
+    }
+
+    #[test]
+    fn succ_is_the_graph_of_plus_one() {
+        let s = st(6);
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                let f = succ(lit(a), lit(b));
+                assert_eq!(
+                    evaluate(&f, &s, &[]).unwrap().as_bool(),
+                    b == a + 1,
+                    "succ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plus2_is_the_graph_of_plus_two() {
+        let s = st(6);
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                let f = plus2(lit(a), lit(b));
+                assert_eq!(
+                    evaluate(&f, &s, &[]).unwrap().as_bool(),
+                    b == a + 2,
+                    "plus2({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forall_between_quantifies_the_open_interval() {
+        let mut s = st(8);
+        s.insert("R", [3u32]);
+        s.insert("R", [4u32]);
+        // Every z with 2 < z < 5 is in R: {3, 4} ⊆ R holds.
+        let f = forall_between(lit(2), lit(5), "z", rel("R", [v("z")]));
+        assert!(evaluate(&f, &s, &[]).unwrap().as_bool());
+        // 2 < z < 6 adds z = 5 ∉ R.
+        let g = forall_between(lit(2), lit(6), "z", rel("R", [v("z")]));
+        assert!(!evaluate(&g, &s, &[]).unwrap().as_bool());
+    }
+}

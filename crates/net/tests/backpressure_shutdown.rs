@@ -136,6 +136,7 @@ fn graceful_shutdown_flushes_group_commit_and_seals_the_segment() {
     // group_commit=64: acknowledged writes sit in the journal buffer,
     // durable only when something commits them. Graceful shutdown must.
     let store_config = StoreConfig {
+        recompute_every: 0,
         snapshot_every: 0,
         group_commit: 64,
     };

@@ -40,11 +40,24 @@ pub struct StoreConfig {
     /// Group commit: fsync the journal after this many frames. 1 means
     /// every request is durable before `apply` returns.
     pub group_commit: usize,
+    /// "Start over and muddle through" cadence: run the program's full
+    /// recompute pass ([`DynFoMachine::recompute`]) after every this
+    /// many requests; 0 disables it. The cadence is keyed on the
+    /// absolute journal sequence number, so snapshot + tail replay
+    /// reproduce the recompute points — and therefore the machine state
+    /// — byte for byte. Programs without a recompute pass treat each
+    /// firing as a no-op. With a nonzero cadence [`Session::apply_batch`]
+    /// steps the machine frame by frame (the journal records no batch
+    /// boundaries, so recovery could not otherwise replay a mid-batch
+    /// recompute at the same point), trading batch-level validation
+    /// atomicity for replayability.
+    pub recompute_every: u64,
 }
 
 impl Default for StoreConfig {
     fn default() -> StoreConfig {
         StoreConfig {
+            recompute_every: 0,
             snapshot_every: 256,
             group_commit: 1,
         }
@@ -419,6 +432,12 @@ impl Session {
         self.obs.requests.inc();
         inner.seq += 1;
         let seq = inner.seq;
+        // Recompute before any snapshot so a checkpoint at this seq
+        // captures the post-recompute state — exactly what replay
+        // produces when it reaches the same sequence number.
+        if self.config.recompute_every > 0 && seq.is_multiple_of(self.config.recompute_every) {
+            inner.machine.recompute()?;
+        }
         if !inner.is_killed(seq) {
             inner.journal.append(seq, req)?;
             if self.config.snapshot_every > 0 && seq.is_multiple_of(self.config.snapshot_every) {
@@ -445,21 +464,31 @@ impl Session {
     /// An evaluation failure mid-batch journals and keeps the applied
     /// prefix — identical to issuing the requests one at a time — and
     /// surfaces the machine's error.
+    ///
+    /// With [`StoreConfig::recompute_every`] nonzero the machine is
+    /// stepped frame by frame instead (recompute points must land on
+    /// exact sequence numbers for replay to reproduce them), so a
+    /// malformed frame keeps the applied prefix rather than rejecting
+    /// the whole batch; journaling and group commit are unchanged.
     pub fn apply_batch(&self, reqs: &[Request]) -> Result<EvalStats, ServeError> {
         if reqs.is_empty() {
             return Ok(EvalStats::default());
         }
         let mut inner = self.inner.lock().unwrap();
         let start = inner.seq;
-        let (applied, outcome) = match inner.machine.apply_batch(reqs) {
-            Ok(stats) => (reqs.len() as u64, Ok(stats)),
-            Err(be) => (
-                be.applied as u64,
-                Err(ServeError::Batch {
-                    index: be.index,
-                    source: Box::new(ServeError::from(be.error)),
-                }),
-            ),
+        let (applied, outcome) = if self.config.recompute_every > 0 {
+            inner.apply_frames_locked(reqs, start, self.config.recompute_every)
+        } else {
+            match inner.machine.apply_batch(reqs) {
+                Ok(stats) => (reqs.len() as u64, Ok(stats)),
+                Err(be) => (
+                    be.applied as u64,
+                    Err(ServeError::Batch {
+                        index: be.index,
+                        source: Box::new(ServeError::from(be.error)),
+                    }),
+                ),
+            }
         };
         self.obs.requests.add(applied);
         for (k, req) in reqs[..applied as usize].iter().enumerate() {
@@ -573,6 +602,38 @@ impl Session {
 impl Inner {
     fn is_killed(&self, seq: u64) -> bool {
         self.killed_after.is_some_and(|k| seq > k)
+    }
+
+    /// Frame-by-frame batch application for sessions with a recompute
+    /// cadence: each frame lands on its exact sequence number and the
+    /// recompute pass fires at every multiple, mirroring what recovery
+    /// replay does. Returns `(applied, outcome)` shaped like the
+    /// machine's own `apply_batch` result.
+    fn apply_frames_locked(
+        &mut self,
+        reqs: &[Request],
+        start: u64,
+        recompute_every: u64,
+    ) -> (u64, Result<EvalStats, ServeError>) {
+        let mut stats = EvalStats::default();
+        for (index, req) in reqs.iter().enumerate() {
+            let step = |e: dynfo_core::MachineError| ServeError::Batch {
+                index,
+                source: Box::new(ServeError::from(e)),
+            };
+            match self.machine.apply(req) {
+                Ok(s) => stats = s,
+                Err(e) => return (index as u64, Err(step(e))),
+            }
+            let seq = start + 1 + index as u64;
+            if seq.is_multiple_of(recompute_every) {
+                if let Err(e) = self.machine.recompute() {
+                    // The frame itself applied; count it before failing.
+                    return (index as u64 + 1, Err(step(e)));
+                }
+            }
+        }
+        (reqs.len() as u64, Ok(stats))
     }
 
     fn checkpoint_locked(
@@ -783,6 +844,12 @@ fn recover(
                 )));
             }
             machine.apply(&entry.request)?;
+            // Replay the recompute cadence at the same absolute
+            // sequence numbers the live session fired it, so the
+            // recovered machine is byte-identical to the pre-crash one.
+            if config.recompute_every > 0 && entry.seq.is_multiple_of(config.recompute_every) {
+                machine.recompute()?;
+            }
             seq = entry.seq;
             report.replayed += 1;
         }
@@ -863,6 +930,7 @@ mod tests {
     fn snapshot_policy_rotates_segments() {
         let root = scratch_dir("store-rotate");
         let config = StoreConfig {
+            recompute_every: 0,
             snapshot_every: 4,
             group_commit: 1,
         };
@@ -960,6 +1028,7 @@ mod tests {
     fn apply_batch_is_durable_at_batch_end() {
         let root = scratch_dir("store-batch");
         let config = StoreConfig {
+            recompute_every: 0,
             snapshot_every: 0,
             group_commit: 1_000, // never auto-commits: durability must
                                  // come from the batch-end commit
@@ -1007,10 +1076,12 @@ mod tests {
     fn fsyncs_are_amortized_and_survive_rotation() {
         let root = scratch_dir("store-fsyncs");
         let per_request = StoreConfig {
+            recompute_every: 0,
             snapshot_every: 0,
             group_commit: 1,
         };
         let batched = StoreConfig {
+            recompute_every: 0,
             snapshot_every: 4, // force checkpoint rotation mid-stream
             group_commit: 1_000,
         };
@@ -1043,6 +1114,7 @@ mod tests {
     fn kill_mid_batch_loses_the_whole_batch() {
         let root = scratch_dir("store-batch-kill");
         let config = StoreConfig {
+            recompute_every: 0,
             snapshot_every: 0,
             group_commit: 1_000,
         };
@@ -1074,6 +1146,7 @@ mod tests {
     fn durable_seq_advances_only_on_fsync_and_survives_rotation() {
         let root = scratch_dir("store-durable-seq");
         let config = StoreConfig {
+            recompute_every: 0,
             snapshot_every: 0,
             group_commit: 1_000, // nothing commits until forced
         };
@@ -1140,6 +1213,7 @@ mod tests {
     fn seal_segment_rotates_and_recovers_cleanly() {
         let root = scratch_dir("store-seal");
         let config = StoreConfig {
+            recompute_every: 0,
             snapshot_every: 0,
             group_commit: 1_000,
         };

@@ -81,6 +81,7 @@ fn kill_at_every_frame_recovers_that_prefix() {
     let program = reach_u::program();
     let stream = reach_stream(n, 13, 7);
     let config = StoreConfig {
+        recompute_every: 0,
         snapshot_every: 4,
         group_commit: 1,
     };
@@ -106,6 +107,7 @@ fn crash_loses_exactly_the_uncommitted_group_tail() {
     let program = reach_u::program();
     let stream = reach_stream(n, 8, 11);
     let config = StoreConfig {
+        recompute_every: 0,
         snapshot_every: 0,
         group_commit: 3,
     };
@@ -129,6 +131,7 @@ fn torn_final_frame_recovers_all_but_the_torn_one() {
     let program = reach_u::program();
     let stream = reach_stream(n, 10, 23);
     let config = StoreConfig {
+        recompute_every: 0,
         snapshot_every: 4,
         group_commit: 1,
     };
@@ -165,6 +168,7 @@ fn missing_snapshots_degrade_to_longer_replay_never_wrong_answers() {
     let program = reach_u::program();
     let stream = reach_stream(n, 10, 31);
     let config = StoreConfig {
+        recompute_every: 0,
         snapshot_every: 4,
         group_commit: 1,
     };
@@ -208,6 +212,7 @@ fn corrupt_snapshot_is_detected_and_skipped() {
     let program = reach_u::program();
     let stream = reach_stream(n, 10, 41);
     let config = StoreConfig {
+        recompute_every: 0,
         snapshot_every: 4,
         group_commit: 1,
     };
@@ -247,6 +252,7 @@ fn stacked_faults_still_recover_the_durable_prefix() {
     let program = reach_u::program();
     let stream = reach_stream(n, 12, 53);
     let config = StoreConfig {
+        recompute_every: 0,
         snapshot_every: 4,
         group_commit: 1,
     };
@@ -279,6 +285,7 @@ fn stacked_faults_still_recover_the_durable_prefix() {
 fn concurrent_sessions_from_many_threads_survive_a_crash() {
     let root = scratch_dir("concurrent");
     let config = StoreConfig {
+        recompute_every: 0,
         snapshot_every: 8,
         group_commit: 1,
     };

@@ -120,6 +120,7 @@ fn run_cell(
     let (want_seq, want_rung) = expectations(fault, k);
     let root = scratch_dir(&format!("fault-matrix-{label}-{fault:?}-k{k}"));
     let config = StoreConfig {
+        recompute_every: 0,
         snapshot_every: k,
         group_commit: 1,
     };
@@ -233,5 +234,141 @@ fn recovery_through_bulk_frames() {
         for k in [1u64, 4, 16] {
             run_cell("reach_u_bulk", &programs::reach_u::program, &bulk, fault, k);
         }
+    }
+}
+
+/// A deterministic 24-request editor-buffer stream (the generator may
+/// skip no-op edits, so oversample and truncate).
+fn string_stream() -> Vec<Request> {
+    let reqs: Vec<Request> =
+        dynfo_testutil::string_edit_requests(&['a', 'b'], 8, 64, 0.25, &mut rng(613))
+            .into_iter()
+            .take(STREAM)
+            .collect();
+    assert_eq!(reqs.len(), STREAM);
+    reqs
+}
+
+/// A deterministic 24-request Dyck-2 bracket stream, capacity-
+/// disciplined by the generator.
+fn dyck_stream() -> Vec<Request> {
+    let reqs: Vec<Request> = dynfo_testutil::dyck_edit_requests(2, 8, 64, &mut rng(617))
+        .into_iter()
+        .take(STREAM)
+        .collect();
+    assert_eq!(reqs.len(), STREAM);
+    reqs
+}
+
+/// The string workloads ride the whole matrix: the compiled count_mod
+/// DFA program and the Dyck-2 level program recover through every
+/// fault × snapshot-cadence cell with the same guarantees as the graph
+/// programs — their interval/level aux relations round-trip the
+/// snapshot codec and replay from journal frames exactly.
+#[test]
+fn string_programs_ride_the_fault_matrix() {
+    let strings = string_stream();
+    let dyck = dyck_stream();
+    for fault in [
+        Fault::Kill,
+        Fault::TornFrame,
+        Fault::CorruptSnapshot,
+        Fault::DroppedSnapshot,
+    ] {
+        for k in [1u64, 4, 16] {
+            run_cell(
+                "count_mod",
+                &|| programs::strings::count_mod_program(&['a', 'b'], 'a', 3, 1),
+                &strings,
+                fault,
+                k,
+            );
+            run_cell("dyck2", &|| programs::dyck::dyck_program(2), &dyck, fault, k);
+        }
+    }
+}
+
+/// The recompute-cadence rung: with [`StoreConfig::recompute_every`]
+/// set, the muddle-through reachability program's deletes leave the
+/// closure stale *between* recompute points, so recovery is byte-
+/// identical only if replay fires the pass at the same absolute
+/// sequence numbers the live session did — including points that
+/// landed mid-batch. Checked against a hand-replayed reference, with
+/// and without a snapshot in the history, and distinguished from the
+/// cadence-free replay to prove the rung is not vacuous.
+#[test]
+fn recompute_cadence_recovers_byte_identically() {
+    let program = programs::dir_reach::dir_reach_program;
+    let n = 8u32;
+    // Frames 5 and 8 are deletes whose stale closure pairs only the
+    // recompute points at seq 6 and 9 prune; frame 10 joins through
+    // the pruned state.
+    let reqs: Vec<Request> = vec![
+        Request::ins("E", [0, 1]),
+        Request::ins("E", [1, 2]),
+        Request::ins("E", [2, 3]),
+        Request::ins("E", [3, 4]),
+        Request::del("E", [1, 2]),
+        Request::ins("E", [4, 5]),
+        Request::ins("E", [5, 6]),
+        Request::del("E", [3, 4]),
+        Request::ins("E", [6, 7]),
+        Request::ins("E", [7, 0]),
+        // Lost to the kill after frame 10:
+        Request::ins("E", [1, 3]),
+        Request::ins("E", [2, 4]),
+    ];
+    // The hand-replayed reference over the durable prefix, cadence 3.
+    let mut reference = DynFoMachine::new(program(), n);
+    for (i, req) in reqs[..KILL_AT as usize].iter().enumerate() {
+        reference.apply(req).unwrap();
+        if (i as u64 + 1).is_multiple_of(3) {
+            reference.recompute().unwrap();
+        }
+    }
+    // Cadence-free replay of the same prefix diverges (stale pairs from
+    // the frame-5 delete survive), so the equality below is not vacuous.
+    let mut no_cadence = DynFoMachine::new(program(), n);
+    no_cadence.apply_all(&reqs[..KILL_AT as usize]).unwrap();
+    assert_ne!(
+        no_cadence.state(),
+        reference.state(),
+        "the cadence must be observable in the final state"
+    );
+
+    for snapshot_every in [0u64, 4] {
+        let config = StoreConfig {
+            recompute_every: 3,
+            snapshot_every,
+            group_commit: 1,
+        };
+        let root = scratch_dir(&format!("fault-matrix-cadence-snap{snapshot_every}"));
+        {
+            let store = SessionStore::open(&root, config).unwrap();
+            let session = store.session("s", &program(), n).unwrap();
+            session.kill_after_frame(KILL_AT);
+            // Batches of 5 put the recompute points at seq 3, 6, 9
+            // mid-batch; batch-end commits land the durable prefix
+            // exactly on frame 10.
+            for chunk in reqs.chunks(5) {
+                session.apply_batch(chunk).unwrap();
+            }
+            store.crash();
+        }
+        let store = SessionStore::open(&root, config).unwrap();
+        let session = store.session("s", &program(), n).unwrap();
+        let cell = format!(
+            "snapshot_every={snapshot_every}: {:?}",
+            session.recovery_report()
+        );
+        assert_eq!(session.seq(), KILL_AT, "durable prefix, {cell}");
+        assert_eq!(
+            &session.state(),
+            reference.state(),
+            "replayed cadence state, {cell}"
+        );
+        drop(session);
+        store.shutdown().unwrap();
+        std::fs::remove_dir_all(&root).ok();
     }
 }

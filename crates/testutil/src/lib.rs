@@ -16,9 +16,13 @@ use dynfo_logic::formula::Formula;
 use dynfo_logic::{evaluate, Elem, Evaluator, Plan, Structure, Sym};
 use rand::Rng;
 
+pub mod strings;
 pub mod synth;
 
 pub use dynfo_graph::generate::{churn_stream, dag_churn_stream, rng, EdgeOp};
+pub use strings::{
+    assert_dfa_oracle, assert_dyck_oracle, dyck_edit_requests, string_edit_requests,
+};
 
 /// Convert edge ops into ins/del requests against relation `rel`.
 pub fn edge_requests(rel: &str, ops: &[EdgeOp]) -> Vec<Request> {

@@ -1,0 +1,203 @@
+//! Dynamic-string workload builders and oracle-differential harnesses:
+//! editor-buffer edit streams over ⟨{0..n−1}, ≤, (S_c)⟩ and Dyck
+//! bracket streams, plus the per-step cross-checks against the
+//! independent automata oracles ([`Dfa::run`] replay,
+//! [`dyck_valid`]) that every compiled string program must track.
+
+use dynfo_automata::{dyck_valid, Dfa, Paren};
+use dynfo_core::programs::{dyck::bracket_request, strings::set_request};
+use dynfo_core::{DynFoMachine, DynFoProgram, Request};
+use dynfo_logic::strings::{close_rel, open_rel, sym_rel};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A random overwrite-semantics edit stream over `alphabet`: each step
+/// sets a random position to a random symbol (or clears it with
+/// probability `clear_p`). Requests are emitted through
+/// [`set_request`] against a tracked shadow buffer, so deletes are
+/// always well-guarded and no-op edits are skipped.
+pub fn string_edit_requests(
+    alphabet: &[char],
+    n: u32,
+    steps: usize,
+    clear_p: f64,
+    rand: &mut impl Rng,
+) -> Vec<Request> {
+    assert!(!alphabet.is_empty());
+    let mut shadow: Vec<Option<char>> = vec![None; n as usize];
+    let mut out = Vec::new();
+    for _ in 0..steps {
+        let pos = rand.gen_range(0..n);
+        let sym = if rand.gen_bool(clear_p) {
+            None
+        } else {
+            Some(alphabet[rand.gen_range(0..alphabet.len())])
+        };
+        if let Some(req) = set_request(pos, sym, shadow[pos as usize]) {
+            out.push(req);
+            shadow[pos as usize] = sym;
+        }
+    }
+    out
+}
+
+/// A random Dyck-`k` bracket stream honoring the level programs'
+/// capacity discipline (at most `⌊n/2⌋ − 1` occupied positions).
+/// Biased toward balance: half the insertions place a matched
+/// open/close pair of one type at two free positions, the rest are
+/// single random brackets or clears.
+pub fn dyck_edit_requests(k: u8, n: u32, steps: usize, rand: &mut impl Rng) -> Vec<Request> {
+    assert!(k > 0 && n >= 6);
+    let cap = (n as usize / 2).saturating_sub(1);
+    let mut shadow: Vec<Option<Paren>> = vec![None; n as usize];
+    let mut out = Vec::new();
+    let push = |shadow: &mut Vec<Option<Paren>>, out: &mut Vec<Request>, pos: u32, b| {
+        if let Some(req) = bracket_request(pos, b, shadow[pos as usize]) {
+            out.push(req);
+            shadow[pos as usize] = b;
+        }
+    };
+    for _ in 0..steps {
+        let occupied: Vec<u32> = (0..n).filter(|&p| shadow[p as usize].is_some()).collect();
+        let free: Vec<u32> = (0..n).filter(|&p| shadow[p as usize].is_none()).collect();
+        let must_clear = occupied.len() >= cap;
+        if must_clear || (!occupied.is_empty() && rand.gen_bool(0.3)) {
+            let pos = occupied[rand.gen_range(0..occupied.len())];
+            push(&mut shadow, &mut out, pos, None);
+        } else if free.len() >= 2 && occupied.len() + 2 <= cap && rand.gen_bool(0.5) {
+            // A matched pair: open at the earlier free slot, close at
+            // the later one.
+            let mut i = rand.gen_range(0..free.len());
+            let mut j = rand.gen_range(0..free.len());
+            if i == j {
+                continue;
+            }
+            if i > j {
+                std::mem::swap(&mut i, &mut j);
+            }
+            let ty = rand.gen_range(0..k);
+            push(&mut shadow, &mut out, free[i], Some(Paren::open(ty)));
+            push(&mut shadow, &mut out, free[j], Some(Paren::close(ty)));
+        } else if !free.is_empty() {
+            let pos = free[rand.gen_range(0..free.len())];
+            let ty = rand.gen_range(0..k);
+            let b = if rand.gen_bool(0.5) {
+                Paren::open(ty)
+            } else {
+                Paren::close(ty)
+            };
+            push(&mut shadow, &mut out, pos, Some(b));
+        }
+    }
+    out
+}
+
+/// Replay one request's overwrite-semantics effect onto a shadow
+/// buffer keyed by `rel name → value`. Returns false if the request
+/// touches a relation outside the map (e.g. a bulk frame — expand it
+/// first).
+fn shadow_apply<T: Copy + PartialEq>(
+    by_rel: &BTreeMap<String, T>,
+    shadow: &mut [Option<T>],
+    req: &Request,
+) -> bool {
+    match req {
+        Request::Ins(sym, args) => {
+            let Some(&val) = by_rel.get(sym.as_str()) else {
+                return false;
+            };
+            shadow[args[0] as usize] = Some(val);
+            true
+        }
+        Request::Del(sym, args) => {
+            let Some(&val) = by_rel.get(sym.as_str()) else {
+                return false;
+            };
+            let slot = &mut shadow[args[0] as usize];
+            if *slot == Some(val) {
+                *slot = None;
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Oracle-differential driver for a compiled DFA program: after every
+/// single-tuple edit (bulk frames are expanded first), the machine's
+/// membership answer must equal an independent [`Dfa::run`] replay of
+/// the shadow buffer. Returns the machine for further assertions.
+pub fn assert_dfa_oracle(
+    program: &dyn Fn() -> DynFoProgram,
+    dfa: &Dfa,
+    n: u32,
+    reqs: &[Request],
+) -> DynFoMachine {
+    let by_rel: BTreeMap<String, char> =
+        dfa.alphabet().iter().map(|&c| (sym_rel(c), c)).collect();
+    let mut m = DynFoMachine::new(program(), n);
+    let mut shadow: Vec<Option<char>> = vec![None; n as usize];
+    for req in reqs {
+        let expanded = if req.is_bulk() {
+            m.expand_bulk(req).expect("bulk expansion")
+        } else {
+            vec![req.clone()]
+        };
+        for r in &expanded {
+            m.apply(r).unwrap_or_else(|e| panic!("{r}: {e}"));
+            assert!(shadow_apply(&by_rel, &mut shadow, r), "unexpected request {r}");
+            let expect = dfa.is_accepting(dfa.run(
+                shadow.iter().filter_map(|s| s.and_then(|c| dfa.symbol(c))),
+            ));
+            assert_eq!(
+                m.query().unwrap(),
+                expect,
+                "DFA oracle diverged after {r}; buffer {:?}",
+                render(&shadow)
+            );
+        }
+    }
+    m
+}
+
+/// Oracle-differential driver for the Dyck-`k` program: after every
+/// edit the machine must agree with the stack oracle [`dyck_valid`].
+pub fn assert_dyck_oracle(
+    program: &dyn Fn() -> DynFoProgram,
+    k: u8,
+    n: u32,
+    reqs: &[Request],
+) -> DynFoMachine {
+    let mut by_rel: BTreeMap<String, Paren> = BTreeMap::new();
+    for t in 0..k {
+        by_rel.insert(open_rel(t), Paren::open(t));
+        by_rel.insert(close_rel(t), Paren::close(t));
+    }
+    let mut m = DynFoMachine::new(program(), n);
+    let mut shadow: Vec<Option<Paren>> = vec![None; n as usize];
+    for req in reqs {
+        let expanded = if req.is_bulk() {
+            m.expand_bulk(req).expect("bulk expansion")
+        } else {
+            vec![req.clone()]
+        };
+        for r in &expanded {
+            m.apply(r).unwrap_or_else(|e| panic!("{r}: {e}"));
+            assert!(shadow_apply(&by_rel, &mut shadow, r), "unexpected request {r}");
+            assert_eq!(
+                m.query().unwrap(),
+                dyck_valid(&shadow),
+                "Dyck stack oracle diverged after {r}"
+            );
+        }
+    }
+    m
+}
+
+fn render<T: Copy>(shadow: &[Option<T>]) -> Vec<(usize, T)> {
+    shadow
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.map(|v| (i, v)))
+        .collect()
+}

@@ -26,6 +26,7 @@ fn main() {
     let n = PEOPLE.len() as u32;
     let root = scratch_dir("durable-server-example");
     let config = StoreConfig {
+        recompute_every: 0,
         snapshot_every: 16,
         group_commit: 1,
     };

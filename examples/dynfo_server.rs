@@ -39,6 +39,7 @@ fn main() {
         SessionStore::open_with_obs(
             root.join("primary"),
             StoreConfig {
+                recompute_every: 0,
                 snapshot_every: 16,
                 group_commit: 1,
             },

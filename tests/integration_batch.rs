@@ -177,6 +177,7 @@ fn batch_recovery_roundtrip(program: &DynFoProgram, n: u32, len: usize, seed: u6
     let batches = random_batches(&stream, 6, seed);
     let root = scratch_dir(&format!("batch-prop-{}", seed & 0xFFFF));
     let config = StoreConfig {
+        recompute_every: 0,
         snapshot_every: 8,
         group_commit: 64, // larger than any batch: durability must come
                           // from the batch-end group commit
